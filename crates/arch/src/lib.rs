@@ -1,0 +1,29 @@
+//! # marionette-arch
+//!
+//! Architecture presets: each evaluated machine is a pair of a mapping
+//! policy (`marionette-compiler::CompileOptions`) and a timing model
+//! (`marionette-sim::TimingModel`), normalized to the same 4×4 computing
+//! fabric exactly as the paper does ("we built the performance models of
+//! Softbrain, TIA, REVEL, RipTide and Marionette with the simulator and
+//! normalized the computing fabric to the same size").
+//!
+//! - [`von_neumann_pe`] / [`dataflow_pe`] — the two generic PE execution
+//!   models of §2.3 (Fig 2), used by Fig 11;
+//! - [`marionette_pe`], [`marionette_cn`], [`marionette_full`] — the
+//!   feature-ablation ladder (Proactive PE Configuration → + Control
+//!   Network → + Agile PE Assignment) behind Figs 11, 12, 14, 15, 16;
+//! - [`softbrain`], [`tia`], [`revel`], [`riptide`] — the SOTA comparison
+//!   points of Fig 17, parameterized from their published execution
+//!   models (§8);
+//! - [`taxonomy`] — the static data behind Tables 2 and 3.
+
+#![warn(missing_docs)]
+
+pub mod presets;
+pub mod taxonomy;
+
+pub use presets::{
+    all_sota, dataflow_pe, marionette_cn, marionette_full, marionette_pe, revel, riptide,
+    softbrain, tia, von_neumann_pe, Architecture,
+};
+pub use taxonomy::{capability_matrix, sa_taxonomy, Capabilities};

@@ -1,0 +1,274 @@
+//! Architecture definitions, normalized to a 4×4 computing fabric.
+
+use marionette_compiler::{CompileOptions, CtrlPlacement, MemPlacement, SplitFabric};
+use marionette_sim::{CtrlTransport, TimingModel};
+
+/// One evaluated architecture: mapping policy + timing model.
+#[derive(Clone, Debug)]
+pub struct Architecture {
+    /// Display name.
+    pub name: &'static str,
+    /// Short tag used in figures.
+    pub short: &'static str,
+    /// Mapping policy.
+    pub opts: CompileOptions,
+    /// Timing model.
+    pub tm: TimingModel,
+}
+
+/// CCU round trip for a centralized configuration change: branch PE →
+/// CCU over the mesh (~corner distance), CCU processing, configuration
+/// network back out (Fig 3c "the whole array is left idle").
+const CCU_SWITCH: u32 = 12;
+/// Surcharge for configuring a dynamically-bounded loop through the CCU.
+const CCU_DYN: u32 = 10;
+/// Host-processor round trip for Softbrain stream reconfiguration
+/// ("processor fetches instruction from memory", Table 2).
+const HOST_SWITCH: u32 = 30;
+const HOST_DYN: u32 = 20;
+/// Proactive configuration switch: next-stage addresses are already
+/// resident in the Control Flow Trigger when the data arrives (Fig 5).
+const PROACTIVE_SWITCH: u32 = 1;
+
+/// Generic von Neumann PE array (Fig 2a): predicated branches, control
+/// hand-offs through a centralized control unit, configuration switching
+/// stalls the array.
+pub fn von_neumann_pe() -> Architecture {
+    let mut opts = CompileOptions::marionette_4x4();
+    opts.ctrl = CtrlPlacement::PeSlots;
+    opts.agile = false;
+    let mut tm = TimingModel::ideal("von Neumann PE");
+    tm.predicated_branches = true;
+    tm.ctrl_transport = CtrlTransport::Mesh;
+    tm.exclusive_groups = true;
+    tm.group_switch_cost = CCU_SWITCH;
+    tm.dyn_bound_extra = CCU_DYN;
+    tm.ctrl_parallel = false;
+    Architecture {
+        name: "von Neumann PE",
+        short: "vN",
+        opts,
+        tm,
+    }
+}
+
+/// Generic dataflow PE array (Fig 2b): tagged tokens couple configuration
+/// to every firing (one extra cycle of occupancy) and control may only
+/// travel on data paths.
+pub fn dataflow_pe() -> Architecture {
+    let mut opts = CompileOptions::marionette_4x4();
+    opts.ctrl = CtrlPlacement::PeSlots;
+    opts.agile = false;
+    let mut tm = TimingModel::ideal("dataflow PE");
+    tm.per_fire_overhead = 1;
+    tm.ctrl_transport = CtrlTransport::Mesh;
+    tm.ctrl_parallel = false;
+    // Fig 3f: loop configuration rides the data path (no direct channel
+    // between producer PEs and the loop generator).
+    tm.activation_extra = 6;
+    // Tagged token stores are shallow: wait-match capacity limits how far
+    // iterations can run ahead (the temporal coupling of Fig 2b).
+    tm.queue_capacity = 2;
+    tm.route_inflight_cap = 2;
+    // Under the conventional phased schedule only the current mapping's
+    // instructions are resident; switching fetches the next phase's
+    // configuration tokens.
+    tm.exclusive_groups = true;
+    tm.group_switch_cost = 4;
+    tm.idle_switch_threshold = 1;
+    Architecture {
+        name: "dataflow PE",
+        short: "DF",
+        opts,
+        tm,
+    }
+}
+
+/// Marionette PE with Proactive PE Configuration only (the Fig 11
+/// configuration: unified data network, no Agile PE Assignment).
+pub fn marionette_pe() -> Architecture {
+    let mut opts = CompileOptions::marionette_4x4();
+    opts.agile = false;
+    let mut tm = TimingModel::ideal("Marionette PE");
+    tm.ctrl_transport = CtrlTransport::Mesh; // §6.1: "we unify the data network"
+    tm.exclusive_groups = true; // pipelines rebuild serially without Agile
+    tm.group_switch_cost = PROACTIVE_SWITCH;
+    tm.idle_switch_threshold = 0; // proactive: switch as soon as the phase drains
+    Architecture {
+        name: "Marionette PE",
+        short: "M-PE",
+        opts,
+        tm,
+    }
+}
+
+/// Marionette PE + the dedicated CS-Benes control network (Fig 12).
+pub fn marionette_cn() -> Architecture {
+    let mut a = marionette_pe();
+    a.name = "Marionette PE + Control Network";
+    a.short = "M-CN";
+    a.tm.name = a.name.into();
+    a.tm.ctrl_transport = CtrlTransport::CtrlNetwork { latency: 1 };
+    a
+}
+
+/// Full Marionette: + Agile PE Assignment (Fig 14): loop levels become
+/// co-resident pipelines on disjoint, reshape-sized PE regions.
+pub fn marionette_full() -> Architecture {
+    let mut a = marionette_cn();
+    a.name = "Marionette";
+    a.short = "M";
+    a.tm.name = a.name.into();
+    a.opts.agile = true;
+    a.tm.exclusive_groups = false;
+    a.tm.group_switch_cost = 0;
+    a
+}
+
+/// Softbrain (stream-dataflow): memory on stream engines, innermost-loop
+/// pipelines, but outer control and reconfiguration owned by the host
+/// processor.
+pub fn softbrain() -> Architecture {
+    let mut opts = CompileOptions::marionette_4x4();
+    opts.ctrl = CtrlPlacement::PeSlots;
+    opts.mem = MemPlacement::StreamUnits { count: 3 };
+    opts.agile = false;
+    let mut tm = TimingModel::ideal("Softbrain");
+    tm.predicated_branches = true;
+    tm.ctrl_transport = CtrlTransport::Mesh;
+    tm.exclusive_groups = true;
+    tm.group_switch_cost = HOST_SWITCH;
+    tm.dyn_bound_extra = HOST_DYN;
+    tm.ctrl_parallel = false;
+    Architecture {
+        name: "Softbrain",
+        short: "SB",
+        opts,
+        tm,
+    }
+}
+
+/// TIA (triggered instructions): autonomous — no centralized round trips
+/// — but trigger resolution serializes with execution like a dataflow PE,
+/// and control shares the data network.
+pub fn tia() -> Architecture {
+    let mut opts = CompileOptions::marionette_4x4();
+    opts.ctrl = CtrlPlacement::PeSlots;
+    opts.agile = false;
+    let mut tm = TimingModel::ideal("TIA");
+    tm.per_fire_overhead = 1;
+    tm.ctrl_transport = CtrlTransport::Mesh;
+    tm.ctrl_parallel = false;
+    // Triggered instructions are autonomous but control still shares the
+    // datapath: activation transfers take the indirect route (Fig 3f).
+    tm.activation_extra = 6;
+    // Per-PE trigger state is shallow (a few architectural registers).
+    tm.queue_capacity = 2;
+    tm.route_inflight_cap = 2;
+    // A PE holds only ~16 triggered instructions: multi-level nests are
+    // phased, and the scheduler re-resolves triggers on each phase entry.
+    tm.exclusive_groups = true;
+    tm.group_switch_cost = 6;
+    tm.idle_switch_threshold = 1;
+    Architecture {
+        name: "TIA",
+        short: "TIA",
+        opts,
+        tm,
+    }
+}
+
+/// REVEL (hybrid systolic-dataflow): 15 systolic PEs pipeline innermost
+/// loops at full rate; everything else shares the single tagged-dataflow
+/// PE (the paper's normalization: "15 systolic PEs, 1 tagged-dataflow
+/// PE").
+pub fn revel() -> Architecture {
+    let mut opts = CompileOptions::marionette_4x4();
+    opts.ctrl = CtrlPlacement::PeSlots;
+    opts.agile = false;
+    opts.split = Some(SplitFabric {
+        systolic_pes: 15,
+        dataflow_pes: 1,
+    });
+    opts.slots_per_pe = 64; // the dataflow PE multiplexes many operators
+    let mut tm = TimingModel::ideal("REVEL");
+    tm.predicated_branches = true; // systolic lanes cannot steer
+    tm.ctrl_transport = CtrlTransport::Mesh;
+    tm.dyn_bound_extra = 2; // fast stream-port handoff
+    tm.ctrl_parallel = false;
+    Architecture {
+        name: "REVEL",
+        short: "RV",
+        opts,
+        tm,
+    }
+}
+
+/// RipTide (control flow in the NoC): control operators execute inside
+/// network switches — no PE slots, no reconfiguration — but every control
+/// transfer is a multi-hop trip through the shared, slower fabric.
+pub fn riptide() -> Architecture {
+    let mut opts = CompileOptions::marionette_4x4();
+    opts.ctrl = CtrlPlacement::NetSwitches;
+    opts.agile = false;
+    let mut tm = TimingModel::ideal("RipTide");
+    tm.ctrl_transport = CtrlTransport::Mesh;
+    tm.link_latency = 2; // energy-minimal NoC: "the transferring is slow"
+    tm.ctrl_parallel = true; // switches run beside PEs
+    Architecture {
+        name: "RipTide",
+        short: "RT",
+        opts,
+        tm,
+    }
+}
+
+/// The four state-of-the-art comparison architectures of Fig 17.
+pub fn all_sota() -> Vec<Architecture> {
+    vec![softbrain(), tia(), revel(), riptide()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct() {
+        let archs = [
+            von_neumann_pe(),
+            dataflow_pe(),
+            marionette_pe(),
+            marionette_cn(),
+            marionette_full(),
+            softbrain(),
+            tia(),
+            revel(),
+            riptide(),
+        ];
+        let mut names = std::collections::HashSet::new();
+        for a in &archs {
+            assert!(names.insert(a.short), "duplicate {}", a.short);
+        }
+    }
+
+    #[test]
+    fn ablation_ladder_is_monotone_in_features() {
+        let pe = marionette_pe();
+        let cn = marionette_cn();
+        let full = marionette_full();
+        assert!(matches!(pe.tm.ctrl_transport, CtrlTransport::Mesh));
+        assert!(matches!(
+            cn.tm.ctrl_transport,
+            CtrlTransport::CtrlNetwork { .. }
+        ));
+        assert!(!pe.opts.agile && !cn.opts.agile && full.opts.agile);
+        assert!(pe.tm.exclusive_groups && !full.tm.exclusive_groups);
+    }
+
+    #[test]
+    fn revel_splits_fabric() {
+        let r = revel();
+        let s = r.opts.split.unwrap();
+        assert_eq!(s.systolic_pes + s.dataflow_pes, 16);
+    }
+}

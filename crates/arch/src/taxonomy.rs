@@ -1,0 +1,127 @@
+//! Static survey data: the SA taxonomy of Table 2 and the control-flow
+//! capability matrix of Table 3.
+
+/// The paper's three control-flow capabilities (Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Can a PE autonomously change the configuration of other PEs?
+    pub autonomous: bool,
+    /// Is there a direct peer-to-peer control flow path between PEs?
+    pub peer_to_peer: bool,
+    /// Is control handling temporally loosely-coupled with the datapath
+    /// (configuration overlapping computation)?
+    pub temporally_decoupled: bool,
+}
+
+/// One row of the Table 2 survey.
+#[derive(Clone, Copy, Debug)]
+pub struct TaxonomyRow {
+    /// Architecture name.
+    pub architecture: &'static str,
+    /// `"von Neumann"` or `"dataflow"`.
+    pub class: &'static str,
+    /// Configuration-triggering mechanism, quoted from the survey.
+    pub mechanism: &'static str,
+}
+
+/// Table 2: SA taxonomy by PE execution model.
+pub fn sa_taxonomy() -> Vec<TaxonomyRow> {
+    vec![
+        TaxonomyRow { architecture: "RICA", class: "von Neumann", mechanism: "A core processor that generates the overall configuration signal" },
+        TaxonomyRow { architecture: "DRP", class: "von Neumann", mechanism: "Switching all PE configurations via a finite state machine" },
+        TaxonomyRow { architecture: "DySER", class: "von Neumann", mechanism: "Configuration update via external processor signal" },
+        TaxonomyRow { architecture: "FPCA", class: "von Neumann", mechanism: "External processor assignments" },
+        TaxonomyRow { architecture: "DORA", class: "von Neumann", mechanism: "A counter determines the end and update of the configurations" },
+        TaxonomyRow { architecture: "Plasticine", class: "von Neumann", mechanism: "A counter controls the distribution and execution of configurations" },
+        TaxonomyRow { architecture: "Softbrain", class: "von Neumann", mechanism: "Processor fetches instruction from memory" },
+        TaxonomyRow { architecture: "SPU", class: "von Neumann", mechanism: "Processor fetches instruction from memory" },
+        TaxonomyRow { architecture: "MP-CGRA", class: "von Neumann", mechanism: "Distributed instruction counters" },
+        TaxonomyRow { architecture: "DRIPS", class: "von Neumann", mechanism: "The centralized controller dynamically changes the map table" },
+        TaxonomyRow { architecture: "RipTide", class: "von Neumann", mechanism: "Processor fetches instruction" },
+        TaxonomyRow { architecture: "TRIPS", class: "dataflow", mechanism: "An instruction window to determine instruction execution" },
+        TaxonomyRow { architecture: "WaveScalar", class: "dataflow", mechanism: "According to the data, configurations are fetched to execute" },
+        TaxonomyRow { architecture: "TIA", class: "dataflow", mechanism: "Scheduler selects instructions based on the input data" },
+        TaxonomyRow { architecture: "T3", class: "dataflow", mechanism: "An instruction window to determine instruction execution" },
+        TaxonomyRow { architecture: "SGMF", class: "dataflow", mechanism: "The corresponding thread is executed when the token arrives" },
+        TaxonomyRow { architecture: "dMT-CGRA", class: "dataflow", mechanism: "An instruction window to determine instruction execution" },
+    ]
+}
+
+/// Table 3: control-flow capabilities of the compared architectures.
+pub fn capability_matrix() -> Vec<(&'static str, Capabilities)> {
+    vec![
+        (
+            "Softbrain",
+            Capabilities {
+                autonomous: false,
+                peer_to_peer: false,
+                temporally_decoupled: false,
+            },
+        ),
+        (
+            "TIA",
+            Capabilities {
+                autonomous: true,
+                peer_to_peer: false,
+                temporally_decoupled: false,
+            },
+        ),
+        (
+            "DySER",
+            Capabilities {
+                autonomous: false,
+                peer_to_peer: false,
+                temporally_decoupled: false,
+            },
+        ),
+        (
+            "Plasticine",
+            Capabilities {
+                autonomous: false,
+                peer_to_peer: false,
+                temporally_decoupled: false,
+            },
+        ),
+        (
+            "RipTide",
+            Capabilities {
+                autonomous: false,
+                peer_to_peer: false,
+                temporally_decoupled: false,
+            },
+        ),
+        (
+            "Marionette",
+            Capabilities {
+                autonomous: true,
+                peer_to_peer: true,
+                temporally_decoupled: true,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_matches_paper_counts() {
+        let rows = sa_taxonomy();
+        assert_eq!(rows.len(), 17);
+        assert_eq!(rows.iter().filter(|r| r.class == "dataflow").count(), 6);
+    }
+
+    #[test]
+    fn only_marionette_has_all_three() {
+        let m = capability_matrix();
+        let full: Vec<_> = m
+            .iter()
+            .filter(|(_, c)| c.autonomous && c.peer_to_peer && c.temporally_decoupled)
+            .collect();
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].0, "Marionette");
+        // TIA is the only other architecture with autonomy (Table 3).
+        assert!(m.iter().any(|(n, c)| *n == "TIA" && c.autonomous));
+    }
+}

@@ -1,0 +1,25 @@
+//! Criterion bench regenerating the Fig 11 comparison (vN / dataflow /
+//! Marionette PE) on a representative kernel at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marionette::kernels::traits::Scale;
+use marionette::runner::run_kernel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    for arch in [
+        marionette::arch::von_neumann_pe(),
+        marionette::arch::dataflow_pe(),
+        marionette::arch::marionette_pe(),
+    ] {
+        let k = marionette::kernels::by_short("MS").unwrap();
+        g.bench_function(format!("merge_sort/{}", arch.short), |b| {
+            b.iter(|| run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 1_000_000_000).unwrap().cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

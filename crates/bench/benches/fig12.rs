@@ -1,0 +1,21 @@
+//! Criterion bench regenerating the Fig 12 ablation (control network) on
+//! the kernel it helps most (CRC).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marionette::kernels::traits::Scale;
+use marionette::runner::run_kernel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for arch in [marionette::arch::marionette_pe(), marionette::arch::marionette_cn()] {
+        let k = marionette::kernels::by_short("CRC").unwrap();
+        g.bench_function(format!("crc/{}", arch.short), |b| {
+            b.iter(|| run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 1_000_000_000).unwrap().cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench of the Fig 13 network models: Benes routing across the
+//! stage counts the delay study sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marionette::net::Benes;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    for n in [16usize, 64, 256] {
+        let net = Benes::new(n);
+        let perm: Vec<usize> = (0..n).map(|i| (i * 7 + 3) % n).collect();
+        // (i*7+3) mod n is a permutation when gcd(7, n) == 1 (n power of 2).
+        g.bench_with_input(BenchmarkId::new("benes_route", n), &perm, |b, p| {
+            b.iter(|| net.route(p).unwrap())
+        });
+    }
+    g.bench_function("delay_study", |b| {
+        b.iter(marionette::hw::netdelay::paper_sweep)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

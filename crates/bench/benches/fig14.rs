@@ -1,0 +1,21 @@
+//! Criterion bench regenerating the Fig 14 ablation (Agile PE Assignment)
+//! on the imperfect-loop kernel it targets (GEMM).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marionette::kernels::traits::Scale;
+use marionette::runner::run_kernel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    for arch in [marionette::arch::marionette_cn(), marionette::arch::marionette_full()] {
+        let k = marionette::kernels::by_short("GEMM").unwrap();
+        g.bench_function(format!("gemm/{}", arch.short), |b| {
+            b.iter(|| run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 1_000_000_000).unwrap().cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

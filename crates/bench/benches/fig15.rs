@@ -1,0 +1,23 @@
+//! Criterion bench of the Fig 15 utilization measurement path (stats
+//! collection on an agile run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marionette::kernels::traits::Scale;
+use marionette::runner::run_kernel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    let k = marionette::kernels::by_short("HT").unwrap();
+    let arch = marionette::arch::marionette_full();
+    g.bench_function("hough_utilization_run", |b| {
+        b.iter(|| {
+            let r = run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 1_000_000_000).unwrap();
+            (r.stats.mean_pe_utilization(), r.cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench pairing the two ablations of Fig 16 on a
+//! network-leaning kernel (ADPCM) and a pipeline-leaning kernel (SCD).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marionette::kernels::traits::Scale;
+use marionette::runner::run_kernel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    for tag in ["ADPCM", "SCD"] {
+        for arch in [
+            marionette::arch::marionette_pe(),
+            marionette::arch::marionette_cn(),
+            marionette::arch::marionette_full(),
+        ] {
+            let k = marionette::kernels::by_short(tag).unwrap();
+            g.bench_function(format!("{tag}/{}", arch.short), |b| {
+                b.iter(|| {
+                    run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 1_000_000_000)
+                        .unwrap()
+                        .cycles
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

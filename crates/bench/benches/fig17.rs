@@ -1,0 +1,23 @@
+//! Criterion bench regenerating the Fig 17 face-off on LDPC (the paper's
+//! full-application case study).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marionette::kernels::traits::Scale;
+use marionette::runner::run_kernel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17");
+    g.sample_size(10);
+    let mut archs = marionette::arch::all_sota();
+    archs.push(marionette::arch::marionette_full());
+    for arch in archs {
+        let k = marionette::kernels::by_short("LDPC").unwrap();
+        g.bench_function(format!("ldpc/{}", arch.short), |b| {
+            b.iter(|| run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 1_000_000_000).unwrap().cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

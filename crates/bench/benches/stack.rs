@@ -1,0 +1,42 @@
+//! Criterion bench of the stack's own throughput: CDFG construction,
+//! interpretation, compilation, bitstream round trip and simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marionette::cdfg::interp::{interpret, ExecMode};
+use marionette::compiler::{compile, CompileOptions};
+use marionette::kernels::traits::Scale;
+use marionette::sim::{run, TimingModel};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stack");
+    let k = marionette::kernels::by_short("CRC").unwrap();
+    let wl = k.workload(Scale::Tiny, 0);
+    g.bench_function("build_cdfg", |b| b.iter(|| k.build(&wl)));
+    let graph = k.build(&wl);
+    g.bench_function("interpret", |b| {
+        b.iter(|| interpret(&graph, ExecMode::Dropping, &[]).unwrap().firings)
+    });
+    g.bench_function("compile", |b| {
+        b.iter(|| compile(&graph, &CompileOptions::marionette_4x4()).unwrap().1.routes)
+    });
+    let (prog, _) = compile(&graph, &CompileOptions::marionette_4x4()).unwrap();
+    g.bench_function("bitstream_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = marionette::isa::bitstream::encode(&prog);
+            marionette::isa::bitstream::decode(&bytes).unwrap().nodes.len()
+        })
+    });
+    let inputs: Vec<(String, Vec<marionette::cdfg::Value>)> = graph
+        .arrays
+        .iter()
+        .map(|a| (a.name.clone(), a.init.clone()))
+        .collect();
+    let tm = TimingModel::ideal("m");
+    g.bench_function("simulate", |b| {
+        b.iter(|| run(&prog, &tm, &inputs, &[], 100_000_000).unwrap().stats.cycles)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench of the table-generation paths: Table 1 profiling,
+//! Table 4 breakdown and Table 6 comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marionette::cdfg::analysis::profile;
+use marionette::hw::breakdown::{area_power_breakdown, FabricParams};
+use marionette::hw::netcmp::network_comparison;
+use marionette::kernels::traits::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table1_profiles", |b| {
+        let graphs: Vec<_> = marionette::kernels::all()
+            .iter()
+            .map(|k| k.build(&k.workload(Scale::Tiny, 0)))
+            .collect();
+        b.iter(|| graphs.iter().map(profile).count())
+    });
+    g.bench_function("table4_breakdown", |b| {
+        b.iter(|| area_power_breakdown(FabricParams::paper()))
+    });
+    g.bench_function("table6_network_comparison", |b| b.iter(network_comparison));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Runs every repro experiment in sequence (figures 11-17 and the
+//! tables). Pass --paper for the full Table 5 data sizes.
+
+fn main() {
+    let arg = if std::env::args().any(|a| a == "--paper") {
+        &["--paper"][..]
+    } else {
+        &[]
+    };
+    let me = std::env::current_exe().expect("self path");
+    let dir = me.parent().expect("bin dir");
+    for bin in [
+        "repro_tables",
+        "repro_fig11",
+        "repro_fig12",
+        "repro_fig13",
+        "repro_fig14",
+        "repro_fig15",
+        "repro_fig16",
+        "repro_fig17",
+    ] {
+        let path = dir.join(bin);
+        let status = std::process::Command::new(&path)
+            .args(arg)
+            .status()
+            .unwrap_or_else(|e| panic!("running {bin}: {e} (build with `cargo build --release -p marionette-bench` first)"));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+}

@@ -1,0 +1,58 @@
+//! # marionette-cdfg
+//!
+//! The computational model of the Marionette spatial architecture
+//! (MICRO 2023): programs are **control-data flow graphs** — a control flow
+//! graph (CFG) of basic blocks, each holding data flow graph (DFG)
+//! operators — lowered into a flat *dynamic dataflow* representation whose
+//! control operators (steer / carry / invariant / merge) are exactly the
+//! operators Marionette's control flow plane executes.
+//!
+//! The crate provides:
+//!
+//! - [`builder::CdfgBuilder`] — a structured front end (loops, branches,
+//!   arrays) standing in for the paper's annotated-C/LLVM flow;
+//! - [`interp`] — a sequential reference interpreter (Kahn network
+//!   semantics) used as the specification for the cycle-level simulator,
+//!   in both dropping (dataflow) and predicated (von Neumann) modes;
+//! - [`analysis`] — control-flow characterization reproducing Table 1 and
+//!   the operators-under-branch ratio of Fig 11;
+//! - [`memory::Memory`] — the scratchpad model shared with the simulator.
+//!
+//! ## Example
+//!
+//! ```
+//! use marionette_cdfg::builder::CdfgBuilder;
+//! use marionette_cdfg::interp::{interpret, ExecMode};
+//! use marionette_cdfg::value::Value;
+//!
+//! // sum of squares 0..10
+//! let mut b = CdfgBuilder::new("sumsq");
+//! let zero = b.imm(0);
+//! let out = b.for_range(0, 10, &[zero], |b, i, vars| {
+//!     let sq = b.mul(i, i);
+//!     vec![b.add(vars[0], sq)]
+//! });
+//! b.sink("sum", out[0]);
+//! let g = b.finish();
+//!
+//! let r = interpret(&g, ExecMode::Dropping, &[])?;
+//! assert_eq!(r.scalar("sum"), Value::I32(285));
+//! # Ok::<(), marionette_cdfg::interp::InterpError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod graph;
+pub mod interp;
+pub mod memory;
+pub mod op;
+pub mod value;
+
+pub use builder::{CdfgBuilder, V};
+pub use graph::{BlockId, Cdfg, LoopId, Node, NodeId, PortSrc};
+pub use interp::{interpret, ExecMode, InterpResult};
+pub use memory::Memory;
+pub use op::{ArrayId, BinOp, NlOp, Op, SteerRole, UnOp};
+pub use value::{ElemTy, Value};

@@ -1,0 +1,254 @@
+//! Runtime values carried by dataflow tokens.
+//!
+//! Marionette is a 32-bit architecture (the paper evaluates with "all data
+//! types ... 32-bit", Table 5). Tokens therefore carry either a 32-bit
+//! integer, a 32-bit float, a unit value (pure control/ordering tokens), or
+//! [`Value::Poison`].
+//!
+//! `Poison` exists for the *predicated* execution mode used by von
+//! Neumann-style PEs: under predication both sides of a branch fire every
+//! iteration and the untaken side produces poison, which is discarded at the
+//! merge point (see `marionette-sim`). Poison is absorbing for arithmetic.
+
+use std::fmt;
+
+/// A 32-bit machine value flowing through the data flow plane.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// 32-bit signed integer.
+    I32(i32),
+    /// 32-bit IEEE-754 float.
+    F32(f32),
+    /// Unit token: carries no payload, only ordering/control information
+    /// (memory dependence tokens, activation ticks).
+    Unit,
+    /// Result of an operation on the untaken side of a predicated branch.
+    Poison,
+}
+
+impl Value {
+    /// Canonical `true` as produced by comparison operators.
+    pub const TRUE: Value = Value::I32(1);
+    /// Canonical `false` as produced by comparison operators.
+    pub const FALSE: Value = Value::I32(0);
+
+    /// Returns `true` if this value is [`Value::Poison`].
+    #[inline]
+    pub fn is_poison(self) -> bool {
+        matches!(self, Value::Poison)
+    }
+
+    /// Interprets the value as a boolean predicate.
+    ///
+    /// Integer zero and float zero are false; everything else (except
+    /// poison) is true. Poison yields `None`.
+    #[inline]
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::I32(v) => Some(v != 0),
+            Value::F32(v) => Some(v != 0.0),
+            Value::Unit => Some(true),
+            Value::Poison => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is an [`Value::I32`].
+    #[inline]
+    pub fn as_i32(self) -> Option<i32> {
+        match self {
+            Value::I32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, if this is an [`Value::F32`].
+    #[inline]
+    pub fn as_f32(self) -> Option<f32> {
+        match self {
+            Value::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Integer payload with a lossy cast from floats; poison/unit become 0.
+    ///
+    /// Used by address computations, which are always integer in the ISA.
+    #[inline]
+    pub fn to_i32_lossy(self) -> i32 {
+        match self {
+            Value::I32(v) => v,
+            Value::F32(v) => v as i32,
+            Value::Unit | Value::Poison => 0,
+        }
+    }
+
+    /// Reinterprets the value as its 32-bit raw encoding (ISA word payload).
+    ///
+    /// `Unit` encodes as 0; `Poison` has no encoding and returns `None`
+    /// because poison never crosses the ISA boundary (it is a simulator
+    /// artifact, not an architectural value).
+    #[inline]
+    pub fn to_bits(self) -> Option<u32> {
+        match self {
+            Value::I32(v) => Some(v as u32),
+            Value::F32(v) => Some(v.to_bits()),
+            Value::Unit => Some(0),
+            Value::Poison => None,
+        }
+    }
+
+    /// Bit-exact equality (floats compared by bit pattern, so `NaN == NaN`).
+    #[inline]
+    pub fn bit_eq(self, other: Value) -> bool {
+        match (self, other) {
+            (Value::I32(a), Value::I32(b)) => a == b,
+            (Value::F32(a), Value::F32(b)) => a.to_bits() == b.to_bits(),
+            (Value::Unit, Value::Unit) => true,
+            (Value::Poison, Value::Poison) => true,
+            _ => false,
+        }
+    }
+
+    /// Approximate equality: exact for integers, relative tolerance for
+    /// floats. Used by kernel correctness tests on float workloads.
+    pub fn approx_eq(self, other: Value, rel_tol: f32) -> bool {
+        match (self, other) {
+            (Value::F32(a), Value::F32(b)) => {
+                if a == b {
+                    return true;
+                }
+                let scale = a.abs().max(b.abs()).max(1.0);
+                (a - b).abs() <= rel_tol * scale
+            }
+            _ => self.bit_eq(other),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::I32(0)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I32(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F32(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        if v {
+            Value::TRUE
+        } else {
+            Value::FALSE
+        }
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::I32(v as i32)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}"),
+            Value::F32(v) => write!(f, "{v}f"),
+            Value::Unit => write!(f, "()"),
+            Value::Poison => write!(f, "poison"),
+        }
+    }
+}
+
+/// Element type of a memory array declaration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ElemTy {
+    /// 32-bit signed integers.
+    I32,
+    /// 32-bit floats.
+    F32,
+}
+
+impl ElemTy {
+    /// The zero value of this element type.
+    pub fn zero(self) -> Value {
+        match self {
+            ElemTy::I32 => Value::I32(0),
+            ElemTy::F32 => Value::F32(0.0),
+        }
+    }
+}
+
+impl fmt::Display for ElemTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemTy::I32 => write!(f, "i32"),
+            ElemTy::F32 => write!(f, "f32"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_coercion() {
+        assert_eq!(Value::I32(0).as_bool(), Some(false));
+        assert_eq!(Value::I32(-3).as_bool(), Some(true));
+        assert_eq!(Value::F32(0.0).as_bool(), Some(false));
+        assert_eq!(Value::F32(2.5).as_bool(), Some(true));
+        assert_eq!(Value::Poison.as_bool(), None);
+        assert_eq!(Value::Unit.as_bool(), Some(true));
+    }
+
+    #[test]
+    fn bit_eq_nan() {
+        let nan = Value::F32(f32::NAN);
+        assert!(nan.bit_eq(nan));
+        assert!(!Value::F32(0.0).bit_eq(Value::F32(-0.0)));
+        assert_eq!(Value::F32(0.0), Value::F32(-0.0)); // PartialEq is numeric
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        assert!(Value::F32(100.0).approx_eq(Value::F32(100.0001), 1e-4));
+        assert!(!Value::F32(100.0).approx_eq(Value::F32(101.0), 1e-4));
+        assert!(Value::I32(5).approx_eq(Value::I32(5), 0.0));
+        assert!(!Value::I32(5).approx_eq(Value::I32(6), 0.5));
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        assert_eq!(Value::I32(-1).to_bits(), Some(u32::MAX));
+        assert_eq!(Value::F32(1.0).to_bits(), Some(1.0f32.to_bits()));
+        assert_eq!(Value::Poison.to_bits(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7), Value::I32(7));
+        assert_eq!(Value::from(true), Value::TRUE);
+        assert_eq!(Value::from(1.5f32), Value::F32(1.5));
+        assert_eq!(Value::from(0xFFFF_FFFFu32), Value::I32(-1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::I32(3).to_string(), "3");
+        assert_eq!(Value::F32(1.5).to_string(), "1.5f");
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::Poison.to_string(), "poison");
+        assert_eq!(ElemTy::I32.to_string(), "i32");
+    }
+}

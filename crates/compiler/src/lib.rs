@@ -1,0 +1,27 @@
+//! # marionette-compiler
+//!
+//! The mapping pipeline of the Marionette stack: a CDFG program becomes a
+//! placed, routed and configured [`MachineProgram`]:
+//!
+//! 1. [`place`]: the Marionette scheduling algorithm (Fig 8) — mapping
+//!    groups per loop level, innermost first, with reshape/time-extension
+//!    minimizing `PE_waste` (**Agile PE Assignment**), or whole-array
+//!    time multiplexing for baseline architectures;
+//! 2. [`route`]: dimension-ordered mesh paths for data edges; control
+//!    edges classed for the CS-Benes control network, with a static
+//!    feasibility check of the multicast sets;
+//! 3. [`compile`]: operand selector resolution, per-PE instruction buffer
+//!    generation with Control Flow Sender modes (DFG / Branch / Loop,
+//!    Fig 7a), and a [`CompileReport`] the evaluation harness consumes.
+
+#![warn(missing_docs)]
+
+pub mod options;
+pub mod place;
+pub mod pipeline;
+pub mod route;
+
+pub use options::{CompileOptions, CtrlPlacement, MemPlacement, SplitFabric};
+pub use pipeline::{compile, CompileReport};
+pub use place::{place, PlaceError, PlacementResult};
+pub use route::route;

@@ -1,0 +1,106 @@
+//! Compilation options: how a CDFG is mapped onto a given fabric.
+//!
+//! Architectures (in `marionette-arch`) are expressed as a pair of
+//! [`CompileOptions`] (static mapping policy) and a simulator timing
+//! model. The options here capture the *mapping-visible* differences the
+//! paper discusses: where control operators live, whether memory
+//! operators ride stream engines, whether the scheduler may co-locate
+//! concurrently-live loop levels (Agile PE Assignment), and split
+//! fabrics (REVEL).
+
+/// Where control operators (steer/carry/inv/merge/gate) execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtrlPlacement {
+    /// In the PE's control flow part, issuing in parallel with the FU
+    /// (Marionette's decoupled control flow plane).
+    CtrlPlane,
+    /// On ordinary PE issue slots (von Neumann, dataflow, TIA, REVEL).
+    PeSlots,
+    /// Inside network switches (RipTide's control-in-NoC).
+    NetSwitches,
+}
+
+/// Where memory operators execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemPlacement {
+    /// On PE issue slots (most architectures).
+    PeSlots,
+    /// On dedicated stream engines (Softbrain); `count` engines issue one
+    /// memory operation per cycle each.
+    StreamUnits {
+        /// Number of stream engines.
+        count: u8,
+    },
+}
+
+/// REVEL-style split fabric: an inner-loop systolic region plus a small
+/// tagged-dataflow region for everything else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitFabric {
+    /// PEs reserved for innermost-loop pipelines (systolic side).
+    pub systolic_pes: usize,
+    /// PEs for outer-BB work (tagged-dataflow side).
+    pub dataflow_pes: usize,
+}
+
+/// Static mapping policy for one architecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Fabric rows.
+    pub rows: usize,
+    /// Fabric columns.
+    pub cols: usize,
+    /// Control operator placement.
+    pub ctrl: CtrlPlacement,
+    /// Memory operator placement.
+    pub mem: MemPlacement,
+    /// Agile PE Assignment: loop levels co-resident on disjoint PE
+    /// regions, reshaped to minimize PE waste (Fig 8). When false, every
+    /// loop level is mapped across the whole array and levels
+    /// time-multiplex (configuration switching).
+    pub agile: bool,
+    /// Split fabric (REVEL), if any.
+    pub split: Option<SplitFabric>,
+    /// Instruction buffer depth: maximum resident operators per PE per
+    /// configuration.
+    pub slots_per_pe: usize,
+}
+
+impl CompileOptions {
+    /// The paper's 4×4 fabric with Marionette defaults.
+    pub fn marionette_4x4() -> Self {
+        CompileOptions {
+            rows: 4,
+            cols: 4,
+            ctrl: CtrlPlacement::CtrlPlane,
+            mem: MemPlacement::PeSlots,
+            agile: true,
+            split: None,
+            slots_per_pe: 16,
+        }
+    }
+
+    /// Number of PEs.
+    pub fn pe_count(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions::marionette_4x4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let o = CompileOptions::default();
+        assert_eq!(o.pe_count(), 16);
+        assert!(o.agile);
+        assert_eq!(o.ctrl, CtrlPlacement::CtrlPlane);
+    }
+}

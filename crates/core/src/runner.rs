@@ -1,0 +1,128 @@
+//! End-to-end kernel execution: workload → CDFG → compile → bitstream
+//! round-trip → cycle-level simulation → golden verification.
+
+use marionette_arch::Architecture;
+use marionette_cdfg::value::Value;
+use marionette_compiler::{compile, CompileReport, PlaceError};
+use marionette_kernels::traits::{Kernel, Scale};
+use marionette_kernels::verify::check_vs_golden;
+use marionette_sim::{run, RunStats, SimError};
+use std::fmt;
+
+/// Default cycle budget per run.
+pub const DEFAULT_MAX_CYCLES: u64 = 4_000_000_000;
+
+/// One kernel × architecture measurement.
+#[derive(Clone, Debug)]
+pub struct KernelRun {
+    /// Architecture short tag.
+    pub arch: String,
+    /// Kernel short tag.
+    pub kernel: String,
+    /// Total cycles to completion.
+    pub cycles: u64,
+    /// Full run statistics.
+    pub stats: RunStats,
+    /// Compilation report (group decisions, route stats).
+    pub report: CompileReport,
+    /// Outputs matched the golden reference.
+    pub verified: bool,
+}
+
+/// Runner failure.
+#[derive(Debug)]
+pub enum RunnerError {
+    /// Compilation failed.
+    Compile(PlaceError),
+    /// Simulation failed.
+    Sim(SimError),
+    /// Outputs diverged from the golden reference.
+    Verification {
+        /// Which kernel/architecture failed.
+        what: String,
+        /// First mismatch description.
+        first: String,
+        /// Mismatch count (capped).
+        count: usize,
+    },
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunnerError::Compile(e) => write!(f, "compile: {e}"),
+            RunnerError::Sim(e) => write!(f, "simulate: {e}"),
+            RunnerError::Verification { what, first, count } => {
+                write!(f, "{what}: {count} mismatches, first: {first}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+impl From<PlaceError> for RunnerError {
+    fn from(e: PlaceError) -> Self {
+        RunnerError::Compile(e)
+    }
+}
+
+impl From<SimError> for RunnerError {
+    fn from(e: SimError) -> Self {
+        RunnerError::Sim(e)
+    }
+}
+
+/// Compiles and simulates `kernel` on `arch`, verifying outputs against
+/// the golden reference. The ISA bitstream round-trip is exercised on
+/// every call: the simulator runs the *decoded* program.
+///
+/// # Errors
+/// Returns [`RunnerError`] on compile/simulation failure or output
+/// mismatch.
+pub fn run_kernel(
+    kernel: &dyn Kernel,
+    arch: &Architecture,
+    scale: Scale,
+    seed: u64,
+    max_cycles: u64,
+) -> Result<KernelRun, RunnerError> {
+    let wl = kernel.workload(scale, seed);
+    let golden = kernel.golden(&wl);
+    let g = kernel.build(&wl);
+    let (prog, report) = compile(&g, &arch.opts)?;
+    // Full-stack fidelity: serialize to the configuration bitstream and
+    // run the decoded program.
+    let bytes = marionette_isa::bitstream::encode(&prog);
+    let prog = marionette_isa::bitstream::decode(&bytes).expect("bitstream roundtrip");
+    let inputs: Vec<(String, Vec<Value>)> = g
+        .arrays
+        .iter()
+        .map(|a| (a.name.clone(), a.init.clone()))
+        .collect();
+    let r = run(&prog, &arch.tm, &inputs, &[], max_cycles)?;
+    let mismatches = check_vs_golden(
+        &g,
+        &golden,
+        |arr| r.memory[arr.0 as usize].clone(),
+        |name| r.sinks.get(name).cloned().unwrap_or_default(),
+    );
+    if !mismatches.is_empty() || r.oob_events > 0 {
+        return Err(RunnerError::Verification {
+            what: format!("{} on {}", kernel.name(), arch.name),
+            first: mismatches
+                .first()
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| format!("{} out-of-bounds accesses", r.oob_events)),
+            count: mismatches.len(),
+        });
+    }
+    Ok(KernelRun {
+        arch: arch.short.to_string(),
+        kernel: kernel.short().to_string(),
+        cycles: r.stats.cycles,
+        stats: r.stats,
+        report,
+        verified: true,
+    })
+}

@@ -1,0 +1,160 @@
+//! Table 4: area and power breakdown of the Marionette prototype
+//! (28 nm, 500 MHz), reconstructed bottom-up from component counts.
+
+use crate::tech;
+use marionette_net::{CsBenesNetwork, Mesh};
+
+/// One row of the breakdown.
+#[derive(Clone, Debug)]
+pub struct BreakdownRow {
+    /// Component category ("PE", "Network", "Memory", "Control").
+    pub category: &'static str,
+    /// Component name.
+    pub component: String,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// Fabric parameters for the breakdown.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricParams {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// PEs with nonlinear-fitting units.
+    pub nonlinear_pes: usize,
+    /// Data scratchpad KiB.
+    pub spm_kib: usize,
+    /// Instruction scratchpad KiB.
+    pub ispm_kib: usize,
+}
+
+impl FabricParams {
+    /// The paper's prototype: 4×4, 4 nonlinear PEs, 16 KiB SPM, 2 KiB
+    /// instruction scratchpad.
+    pub fn paper() -> Self {
+        FabricParams {
+            rows: 4,
+            cols: 4,
+            nonlinear_pes: 4,
+            spm_kib: 16,
+            ispm_kib: 2,
+        }
+    }
+}
+
+/// Computes the Table 4 breakdown for a fabric.
+pub fn area_power_breakdown(p: FabricParams) -> Vec<BreakdownRow> {
+    let npes = p.rows * p.cols;
+    let ordinary = npes - p.nonlinear_pes;
+    let mesh = Mesh::new(p.rows, p.cols);
+    let ctrl_net = CsBenesNetwork::new(npes, (4 * npes).next_power_of_two());
+    let mut rows = vec![
+        BreakdownRow {
+            category: "PE",
+            component: format!("PEs ({ordinary} ordinary)"),
+            area_mm2: tech::PE_ORDINARY_MM2 * ordinary as f64,
+            power_mw: tech::PE_ORDINARY_MW * ordinary as f64,
+        },
+        BreakdownRow {
+            category: "PE",
+            component: format!("PEs ({} with nonlinear fitting)", p.nonlinear_pes),
+            area_mm2: tech::PE_NONLINEAR_MM2 * p.nonlinear_pes as f64,
+            power_mw: tech::PE_NONLINEAR_MW * p.nonlinear_pes as f64,
+        },
+        BreakdownRow {
+            category: "Network",
+            component: "Data Network".into(),
+            area_mm2: tech::MESH_LINK_MM2 * mesh.link_count() as f64,
+            power_mw: tech::MESH_LINK_MW * mesh.link_count() as f64,
+        },
+        BreakdownRow {
+            category: "Network",
+            component: "Control Network".into(),
+            area_mm2: tech::CTRL_SWITCH_MM2 * ctrl_net.switch_count() as f64,
+            power_mw: tech::CTRL_SWITCH_MW * ctrl_net.switch_count() as f64,
+        },
+        BreakdownRow {
+            category: "Memory",
+            component: format!("Data Scratchpad ({} KiB)", p.spm_kib),
+            area_mm2: tech::SPM_MM2_PER_KIB * p.spm_kib as f64,
+            power_mw: tech::SPM_MW_PER_KIB * p.spm_kib as f64,
+        },
+        BreakdownRow {
+            category: "Memory",
+            component: "Memory Access Interconnect".into(),
+            area_mm2: tech::MEM_XBAR_MM2 * (npes as f64 / 16.0),
+            power_mw: tech::MEM_XBAR_MW * (npes as f64 / 16.0),
+        },
+        BreakdownRow {
+            category: "Memory",
+            component: "Control FIFOs".into(),
+            area_mm2: tech::CTRL_FIFO_MM2 * (npes as f64 / 16.0),
+            power_mw: tech::CTRL_FIFO_MW * (npes as f64 / 16.0),
+        },
+        BreakdownRow {
+            category: "Control",
+            component: format!("Controller + Instruction Scratchpad ({} KiB)", p.ispm_kib),
+            area_mm2: tech::CONTROLLER_MM2 * (p.ispm_kib as f64 / 2.0),
+            power_mw: tech::CONTROLLER_MW * (p.ispm_kib as f64 / 2.0),
+        },
+    ];
+    let total_area: f64 = rows.iter().map(|r| r.area_mm2).sum();
+    let total_power: f64 = rows.iter().map(|r| r.power_mw).sum();
+    rows.push(BreakdownRow {
+        category: "Total",
+        component: "Marionette".into(),
+        area_mm2: total_area,
+        power_mw: total_power,
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fabric_matches_published_totals() {
+        let rows = area_power_breakdown(FabricParams::paper());
+        let total = rows.last().unwrap();
+        // Paper: 0.151 mm², 152.09 mW. Allow 3% model error.
+        assert!(
+            (total.area_mm2 - 0.151).abs() / 0.151 < 0.03,
+            "area {} mm²",
+            total.area_mm2
+        );
+        assert!(
+            (total.power_mw - 152.09).abs() / 152.09 < 0.03,
+            "power {} mW",
+            total.power_mw
+        );
+    }
+
+    #[test]
+    fn control_network_is_small_fraction() {
+        let rows = area_power_breakdown(FabricParams::paper());
+        let ctrl = rows
+            .iter()
+            .find(|r| r.component == "Control Network")
+            .unwrap();
+        let total = rows.last().unwrap();
+        assert!(ctrl.area_mm2 / total.area_mm2 < 0.02, "control net is tiny");
+    }
+
+    #[test]
+    fn scales_with_fabric() {
+        let small = area_power_breakdown(FabricParams {
+            rows: 2,
+            cols: 2,
+            nonlinear_pes: 1,
+            spm_kib: 4,
+            ispm_kib: 1,
+        });
+        let big = area_power_breakdown(FabricParams::paper());
+        assert!(small.last().unwrap().area_mm2 < big.last().unwrap().area_mm2);
+    }
+}

@@ -1,0 +1,27 @@
+//! # marionette-hw
+//!
+//! Analytical 28 nm hardware models — the substitute for the paper's
+//! Synopsys DC synthesis flow (§5, Table 4, Table 6, Fig 13).
+//!
+//! Everything here is a structural function of component counts (PEs,
+//! network switches, SRAM bytes) and per-unit constants calibrated
+//! against the numbers the paper reports at 28 nm / 500 MHz. The models
+//! reproduce the three synthesis-derived artifacts:
+//!
+//! - [`breakdown::area_power_breakdown`] — Table 4 (area/power by
+//!   component);
+//! - [`netcmp::network_comparison`] — Table 6 (network area vs
+//!   state-of-the-art fabrics, normalized to 28 nm / 32-bit / 4×4);
+//! - [`netdelay::delay_study`] — Fig 13 (control network delay vs stage
+//!   count vs clock frequency).
+
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod netcmp;
+pub mod netdelay;
+pub mod tech;
+
+pub use breakdown::{area_power_breakdown, BreakdownRow};
+pub use netcmp::{network_comparison, NetworkRow};
+pub use netdelay::{delay_study, DelayPoint};

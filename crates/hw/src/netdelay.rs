@@ -1,0 +1,93 @@
+//! Fig 13: control network delay as a function of stage count and clock
+//! frequency — the scalability study of §7.2.
+//!
+//! The combinational path through the CS-Benes network is
+//! `stages × (switch delay + wire delay)`, with wire delay growing with
+//! the fabric span; the *network delay in cycles* is the path delay
+//! divided by the clock period, rounded up. Higher frequencies and larger
+//! fabrics increase cycle latency — but slowly, which is the paper's
+//! argument that the control network scales.
+
+use crate::tech;
+
+/// One measurement point of the study.
+#[derive(Clone, Copy, Debug)]
+pub struct DelayPoint {
+    /// Benes stage count (`2·log2(N) − 1`).
+    pub stages: usize,
+    /// Clock frequency in MHz.
+    pub freq_mhz: u32,
+    /// Combinational network path delay in ns.
+    pub path_delay_ns: f64,
+    /// Critical-path budget (clock period) in ns.
+    pub period_ns: f64,
+    /// Network delay in cycles at this frequency.
+    pub cycles: u32,
+}
+
+/// Path delay model: switch + wire per stage, wires lengthen with the
+/// network radix (stage count is `2·log2(N) − 1`, so `N` is recovered
+/// from it).
+pub fn path_delay_ns(stages: usize) -> f64 {
+    let log2n = (stages + 1) / 2;
+    let wire_scale = 1.0 + log2n as f64 / 8.0;
+    stages as f64 * (tech::SWITCH_DELAY_NS + tech::WIRE_DELAY_BASE_NS * wire_scale)
+}
+
+/// Runs the sweep over stage counts and frequencies.
+pub fn delay_study(stage_counts: &[usize], freqs_mhz: &[u32]) -> Vec<DelayPoint> {
+    let mut out = Vec::new();
+    for &stages in stage_counts {
+        let d = path_delay_ns(stages);
+        for &f in freqs_mhz {
+            let period = 1000.0 / f64::from(f);
+            let cycles = (d / period).ceil().max(1.0) as u32;
+            out.push(DelayPoint {
+                stages,
+                freq_mhz: f,
+                path_delay_ns: d,
+                period_ns: period,
+                cycles,
+            });
+        }
+    }
+    out
+}
+
+/// The paper's sweep: Benes networks from 16 to 256 lines at four clock
+/// targets.
+pub fn paper_sweep() -> Vec<DelayPoint> {
+    delay_study(&[7, 9, 11, 13, 15], &[250, 500, 750, 1000])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_operating_point_is_single_cycle() {
+        // 64-line network (11 stages) at 500 MHz: one cycle (§4.1).
+        let pts = delay_study(&[11], &[500]);
+        assert_eq!(pts[0].cycles, 1, "path {} ns", pts[0].path_delay_ns);
+    }
+
+    #[test]
+    fn latency_grows_with_frequency_and_size() {
+        let pts = paper_sweep();
+        let get = |stages: usize, f: u32| {
+            pts.iter()
+                .find(|p| p.stages == stages && p.freq_mhz == f)
+                .unwrap()
+                .cycles
+        };
+        assert!(get(15, 1000) >= get(7, 1000));
+        assert!(get(11, 1000) >= get(11, 250));
+        // Low growth: even the largest point stays within a few cycles.
+        assert!(get(15, 1000) <= 4);
+    }
+
+    #[test]
+    fn path_delay_monotone_in_stages() {
+        assert!(path_delay_ns(11) > path_delay_ns(7));
+    }
+}

@@ -1,0 +1,63 @@
+//! 28 nm technology constants, calibrated against the paper's synthesis
+//! results (Table 4: 0.151 mm² / 152 mW total at 500 MHz).
+
+/// Area of one ordinary PE (mm²): Table 4 reports 12 ordinary PEs at
+/// 0.059 mm².
+pub const PE_ORDINARY_MM2: f64 = 0.059 / 12.0;
+/// Area of one nonlinear-fitting PE (mm²): 4 PEs at 0.032 mm².
+pub const PE_NONLINEAR_MM2: f64 = 0.032 / 4.0;
+/// Power of one ordinary PE (mW).
+pub const PE_ORDINARY_MW: f64 = 48.99 / 12.0;
+/// Power of one nonlinear PE (mW).
+pub const PE_NONLINEAR_MW: f64 = 22.02 / 4.0;
+
+/// Area of one 32-bit mesh router/link slice (mm²): the 4×4 data mesh
+/// (48 directed links) totals 0.0063 mm².
+pub const MESH_LINK_MM2: f64 = 0.0063 / 48.0;
+/// Data network power (mW) per link slice.
+pub const MESH_LINK_MW: f64 = 40.80 / 48.0;
+
+/// Area of one control-network 2×2 switch equivalent (mm²): the CS-Benes
+/// instance (544 switch equivalents, 16-bit control words) totals
+/// 0.0022 mm².
+pub const CTRL_SWITCH_MM2: f64 = 0.0022 / 544.0;
+/// Control network power per switch equivalent (mW).
+pub const CTRL_SWITCH_MW: f64 = 13.89 / 544.0;
+
+/// Data scratchpad area per KiB (mm²): 16 KiB at 0.033 mm².
+pub const SPM_MM2_PER_KIB: f64 = 0.033 / 16.0;
+/// Data scratchpad power per KiB (mW).
+pub const SPM_MW_PER_KIB: f64 = 5.07 / 16.0;
+
+/// Memory access interconnect (mm²) for a 4×4 fabric.
+pub const MEM_XBAR_MM2: f64 = 0.003;
+/// Memory access interconnect power (mW).
+pub const MEM_XBAR_MW: f64 = 14.24;
+
+/// Control FIFOs (mm²).
+pub const CTRL_FIFO_MM2: f64 = 0.001;
+/// Control FIFO power (mW).
+pub const CTRL_FIFO_MW: f64 = 0.56;
+
+/// Controller + 2 KiB instruction scratchpad (mm²).
+pub const CONTROLLER_MM2: f64 = 0.013;
+/// Controller power (mW).
+pub const CONTROLLER_MW: f64 = 6.52;
+
+/// Propagation delay of one network switch stage (ns) at 28 nm.
+pub const SWITCH_DELAY_NS: f64 = 0.09;
+/// Base wire delay per stage (ns); grows with fabric span.
+pub const WIRE_DELAY_BASE_NS: f64 = 0.05;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reconstructs_paper_totals() {
+        let pe = PE_ORDINARY_MM2 * 12.0 + PE_NONLINEAR_MM2 * 4.0;
+        assert!((pe - 0.091).abs() < 1e-9);
+        let spm = SPM_MM2_PER_KIB * 16.0;
+        assert!((spm - 0.033).abs() < 1e-9);
+    }
+}

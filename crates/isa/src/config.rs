@@ -1,0 +1,387 @@
+//! Architectural configuration structures: the contract between the
+//! compiler (producer) and the simulator (consumer).
+//!
+//! A [`MachineProgram`] is a fully-placed, fully-routed executable: every
+//! CDFG operator carries a placement (data-plane PE slot, control flow
+//! plane, network switch, or memory stream unit), every dataflow edge is a
+//! [`Route`] with its physical path, and every PE has a per-basic-block
+//! configuration list in the style of the paper's Control Flow Trigger
+//! instruction buffer (Fig 5).
+
+use marionette_cdfg::value::{ElemTy, Value};
+use marionette_cdfg::Op;
+use std::fmt;
+
+/// Where an operator executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Data flow part of a PE: occupies an FU issue slot.
+    Pe {
+        /// Linear PE index (`row * cols + col`).
+        pe: u16,
+    },
+    /// Control flow part of a PE: issues in parallel with the FU
+    /// (Marionette's temporally loosely-coupled control path).
+    CtrlPlane {
+        /// Linear PE index hosting the control operator.
+        pe: u16,
+    },
+    /// A network switch control slot (RipTide-style in-network control).
+    NetSwitch {
+        /// Switch index.
+        sw: u16,
+    },
+    /// A memory stream engine (Softbrain-style stream dataflow).
+    MemUnit {
+        /// Stream engine index.
+        unit: u8,
+    },
+}
+
+impl Placement {
+    /// The PE index, when placed on a PE (either plane).
+    pub fn pe(self) -> Option<u16> {
+        match self {
+            Placement::Pe { pe } | Placement::CtrlPlane { pe } => Some(pe),
+            _ => None,
+        }
+    }
+}
+
+/// Operand source selector of a placed instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OperandSrc {
+    /// Input channel (route table index).
+    Route(u32),
+    /// Immediate literal.
+    Imm(Value),
+    /// Runtime scalar parameter.
+    Param(u16),
+    /// Unconnected optional port.
+    None,
+}
+
+/// Classification of a route: which physical network carries it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteClass {
+    /// Data value: travels on the mesh data network.
+    Data,
+    /// Control information (predicates, steering decisions, configuration
+    /// addresses): travels on the control network when the architecture
+    /// has one, otherwise on the data mesh or through the CCU.
+    Ctrl,
+}
+
+/// A point-to-point dataflow channel between two placed operators.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Route {
+    /// Producing node (index into [`MachineProgram::nodes`]).
+    pub src: u32,
+    /// Consuming node.
+    pub dst: u32,
+    /// Consuming port.
+    pub dst_port: u8,
+    /// Which plane the route belongs to.
+    pub class: RouteClass,
+    /// True for activation-rate transfers into loop state (carry inits and
+    /// invariant loads): the transfers that force CCU round-trips on
+    /// centralized architectures.
+    pub activation: bool,
+    /// True when the transfer configures a dynamically-bounded loop.
+    pub dynamic: bool,
+    /// Physical path as a sequence of linear PE/router indices, inclusive
+    /// of endpoints. Empty when producer and consumer share a tile.
+    pub path: Vec<u16>,
+}
+
+/// Control Flow Sender operating mode of a PE configuration (Fig 7a).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtrlMode {
+    /// Current and subsequent PEs share a basic block: configuration is
+    /// proactively emitted downstream.
+    Dfg,
+    /// The configuration resolves a branch: the next-stage address is sent
+    /// only after the branch result is known.
+    Branch,
+    /// Loop operator: the configuration is held until loop exit.
+    Loop,
+}
+
+/// One entry of a PE's instruction buffer: the configuration active while
+/// the PE executes the given basic block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BbConfig {
+    /// Basic block this configuration implements.
+    pub bb: u16,
+    /// Control Flow Sender mode.
+    pub mode: CtrlMode,
+    /// Operators resident under this configuration (node indices). Their
+    /// count bounds the initiation interval the PE can sustain.
+    pub slots: Vec<u32>,
+}
+
+/// Per-PE program: the instruction buffer contents.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PeConfig {
+    /// Configurations, addressed by position (the paper's instruction
+    /// addresses).
+    pub configs: Vec<BbConfig>,
+}
+
+/// A placed-and-routed operator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeConfig {
+    /// The operator.
+    pub op: Op,
+    /// Operand selectors, one per input port (length == `op.input_ports()`).
+    pub srcs: Vec<OperandSrc>,
+    /// Where it executes.
+    pub place: Placement,
+    /// Basic block tag.
+    pub bb: u16,
+    /// Mapping group (loop level) the operator belongs to; region-exclusive
+    /// architectures run one group at a time.
+    pub group: u16,
+    /// Sink label, for `Op::Sink`.
+    pub label: Option<String>,
+}
+
+/// Array declaration carried into the executable (initial data comes from
+/// the workload at run time).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayInfo {
+    /// Array name.
+    pub name: String,
+    /// Element count.
+    pub len: u32,
+    /// Element type.
+    pub elem: ElemTy,
+    /// Checked against golden output when set.
+    pub is_output: bool,
+}
+
+/// Scalar parameter declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamInfo {
+    /// Parameter name.
+    pub name: String,
+    /// Default value.
+    pub default: Value,
+}
+
+/// A fully placed, routed and configured executable for a spatial fabric.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MachineProgram {
+    /// Program name.
+    pub name: String,
+    /// Fabric rows.
+    pub rows: u8,
+    /// Fabric columns.
+    pub cols: u8,
+    /// Placed operators (dense, indexed by the original CDFG node id).
+    pub nodes: Vec<NodeConfig>,
+    /// Channel table.
+    pub routes: Vec<Route>,
+    /// Per-PE instruction buffers (length == rows*cols).
+    pub pes: Vec<PeConfig>,
+    /// Arrays.
+    pub arrays: Vec<ArrayInfo>,
+    /// Parameters.
+    pub params: Vec<ParamInfo>,
+}
+
+impl MachineProgram {
+    /// Number of PEs in the fabric.
+    pub fn pe_count(&self) -> usize {
+        self.rows as usize * self.cols as usize
+    }
+
+    /// Looks up a parameter index by name.
+    pub fn param_by_name(&self, name: &str) -> Option<u16> {
+        self.params
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| i as u16)
+    }
+
+    /// Structural validation of the executable; returns problems found.
+    ///
+    /// Checked invariants: operand selectors reference existing routes and
+    /// agree with the route table's `(dst, dst_port)`; placements are in
+    /// range; PE config slots reference nodes placed on that PE; route
+    /// endpoints are in range.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        let npes = self.pe_count();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.srcs.len() != n.op.input_ports() {
+                errs.push(format!("node {i}: selector count mismatch"));
+            }
+            for (port, s) in n.srcs.iter().enumerate() {
+                match s {
+                    OperandSrc::Route(r) => match self.routes.get(*r as usize) {
+                        None => errs.push(format!("node {i}: missing route {r}")),
+                        Some(route) => {
+                            if route.dst as usize != i || route.dst_port as usize != port {
+                                errs.push(format!(
+                                    "node {i} port {port}: route {r} endpoint mismatch"
+                                ));
+                            }
+                        }
+                    },
+                    OperandSrc::Param(p) => {
+                        if *p as usize >= self.params.len() {
+                            errs.push(format!("node {i}: missing param {p}"));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            match n.place {
+                Placement::Pe { pe } | Placement::CtrlPlane { pe } => {
+                    if pe as usize >= npes {
+                        errs.push(format!("node {i}: PE {pe} out of range"));
+                    }
+                }
+                Placement::NetSwitch { .. } | Placement::MemUnit { .. } => {}
+            }
+        }
+        for (r, route) in self.routes.iter().enumerate() {
+            if route.src as usize >= self.nodes.len() || route.dst as usize >= self.nodes.len() {
+                errs.push(format!("route {r}: endpoint out of range"));
+            }
+        }
+        if self.pes.len() != npes {
+            errs.push(format!(
+                "pe config table has {} entries for {npes} PEs",
+                self.pes.len()
+            ));
+        }
+        for (p, pe) in self.pes.iter().enumerate() {
+            for (ci, cfg) in pe.configs.iter().enumerate() {
+                for &slot in &cfg.slots {
+                    match self.nodes.get(slot as usize) {
+                        None => errs.push(format!("pe {p} cfg {ci}: missing node {slot}")),
+                        Some(n) => {
+                            if n.place.pe() != Some(p as u16) {
+                                errs.push(format!(
+                                    "pe {p} cfg {ci}: node {slot} not placed here"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        errs
+    }
+}
+
+impl fmt::Display for MachineProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}x{} fabric, {} nodes, {} routes",
+            self.name,
+            self.rows,
+            self.cols,
+            self.nodes.len(),
+            self.routes.len()
+        )
+    }
+}
+
+/// Test fixtures shared across the ISA test modules.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use marionette_cdfg::op::BinOp;
+
+    /// A minimal two-node program used across the ISA tests.
+    pub(crate) fn sample() -> MachineProgram {
+        MachineProgram {
+            name: "sample".into(),
+            rows: 2,
+            cols: 2,
+            nodes: vec![
+                NodeConfig {
+                    op: Op::Start,
+                    srcs: vec![],
+                    place: Placement::CtrlPlane { pe: 0 },
+                    bb: 0,
+                    group: 0,
+                    label: None,
+                },
+                NodeConfig {
+                    op: Op::Bin(BinOp::Add),
+                    srcs: vec![OperandSrc::Route(0), OperandSrc::Imm(Value::I32(5))],
+                    place: Placement::Pe { pe: 1 },
+                    bb: 0,
+                    group: 0,
+                    label: None,
+                },
+            ],
+            routes: vec![Route {
+                src: 0,
+                dst: 1,
+                dst_port: 0,
+                class: RouteClass::Ctrl,
+                activation: false,
+                dynamic: false,
+                path: vec![0, 1],
+            }],
+            pes: vec![
+                PeConfig {
+                    configs: vec![BbConfig {
+                        bb: 0,
+                        mode: CtrlMode::Dfg,
+                        slots: vec![],
+                    }],
+                },
+                PeConfig {
+                    configs: vec![BbConfig {
+                        bb: 0,
+                        mode: CtrlMode::Dfg,
+                        slots: vec![1],
+                    }],
+                },
+                PeConfig::default(),
+                PeConfig::default(),
+            ],
+            arrays: vec![],
+            params: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::sample;
+    use super::*;
+
+    #[test]
+    fn sample_validates() {
+        assert!(sample().validate().is_empty(), "{:?}", sample().validate());
+    }
+
+    #[test]
+    fn detects_route_mismatch() {
+        let mut p = sample();
+        p.routes[0].dst_port = 1;
+        assert!(!p.validate().is_empty());
+    }
+
+    #[test]
+    fn detects_bad_placement() {
+        let mut p = sample();
+        p.nodes[1].place = Placement::Pe { pe: 99 };
+        assert!(p.validate().iter().any(|e| e.contains("out of range")));
+    }
+
+    #[test]
+    fn detects_slot_not_placed_here() {
+        let mut p = sample();
+        p.pes[0].configs[0].slots.push(1);
+        assert!(p.validate().iter().any(|e| e.contains("not placed here")));
+    }
+}

@@ -1,0 +1,39 @@
+//! # marionette-isa
+//!
+//! The spatial instruction set of the Marionette reproduction: placed and
+//! routed executables ([`MachineProgram`]), the operator opcode space, the
+//! binary configuration bitstream, and a disassembler.
+//!
+//! The ISA captures the paper's decoupled planes directly:
+//!
+//! - data-plane instructions carry an opcode, operand selectors (input
+//!   channel / immediate / parameter) and a placement on a PE's functional
+//!   unit;
+//! - control-plane state is expressed as per-PE configuration lists
+//!   ([`config::BbConfig`]) with a Control Flow Sender mode
+//!   ([`config::CtrlMode`]: DFG / Branch / Loop operator — Fig 7a) and
+//!   control-class routes that ride the control network;
+//! - [`bitstream`] serializes the whole configuration, mirroring the
+//!   paper's bitstream generation step.
+//!
+//! ```
+//! use marionette_isa::{bitstream, config::MachineProgram};
+//!
+//! let p = MachineProgram::default();
+//! let bytes = bitstream::encode(&p);
+//! let q = bitstream::decode(&bytes)?;
+//! assert_eq!(p, q);
+//! # Ok::<(), marionette_isa::bitstream::BitstreamError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitstream;
+pub mod config;
+pub mod disasm;
+pub mod opcode;
+
+pub use config::{
+    ArrayInfo, BbConfig, CtrlMode, MachineProgram, NodeConfig, OperandSrc, ParamInfo, PeConfig,
+    Placement, Route, RouteClass,
+};

@@ -1,0 +1,250 @@
+//! Operator ↔ opcode byte encoding.
+//!
+//! Every CDFG operator maps to an 8-bit opcode plus a 12-bit auxiliary
+//! field (array index for memory operators; zero otherwise). The encoding
+//! is dense and stable: it is part of the binary bitstream format.
+
+use marionette_cdfg::op::{ArrayId, BinOp, NlOp, Op, SteerRole, UnOp};
+
+/// Errors raised when decoding an opcode byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadOpcode(pub u8);
+
+impl std::fmt::Display for BadOpcode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown opcode byte {:#04x}", self.0)
+    }
+}
+
+impl std::error::Error for BadOpcode {}
+
+const BIN_BASE: u8 = 0x00; // 0x00..=0x1F
+const UN_BASE: u8 = 0x20; // 0x20..=0x2F
+const NL_BASE: u8 = 0x30; // 0x30..=0x3F
+const OP_MUX: u8 = 0x40;
+const OP_LOAD: u8 = 0x41;
+const OP_STORE: u8 = 0x42;
+const OP_STEER_TB: u8 = 0x43;
+const OP_STEER_FB: u8 = 0x44;
+const OP_STEER_TL: u8 = 0x45;
+const OP_STEER_FL: u8 = 0x46;
+const OP_CARRY: u8 = 0x47;
+const OP_INV: u8 = 0x48;
+const OP_MERGE_B: u8 = 0x49;
+const OP_MERGE_L: u8 = 0x4A;
+const OP_GATE: u8 = 0x4B;
+const OP_START: u8 = 0x4C;
+const OP_SINK: u8 = 0x4D;
+
+const BINOPS: [BinOp; 29] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::AShr,
+    BinOp::Min,
+    BinOp::Max,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::FAdd,
+    BinOp::FSub,
+    BinOp::FMul,
+    BinOp::FDiv,
+    BinOp::FMin,
+    BinOp::FMax,
+    BinOp::FLt,
+    BinOp::FLe,
+    BinOp::FGt,
+    BinOp::FGe,
+];
+
+const UNOPS: [UnOp; 8] = [
+    UnOp::Not,
+    UnOp::Neg,
+    UnOp::Abs,
+    UnOp::FNeg,
+    UnOp::FAbs,
+    UnOp::I2F,
+    UnOp::F2I,
+    UnOp::LNot,
+];
+
+const NLOPS: [NlOp; 6] = [
+    NlOp::Sigmoid,
+    NlOp::Log,
+    NlOp::Exp,
+    NlOp::Sqrt,
+    NlOp::Recip,
+    NlOp::Tanh,
+];
+
+/// Encodes an operator as `(opcode byte, aux field)`.
+pub fn encode_op(op: Op) -> (u8, u16) {
+    match op {
+        Op::Bin(b) => {
+            let i = BINOPS.iter().position(|&x| x == b).expect("binop table");
+            (BIN_BASE + i as u8, 0)
+        }
+        Op::Un(u) => {
+            let i = UNOPS.iter().position(|&x| x == u).expect("unop table");
+            (UN_BASE + i as u8, 0)
+        }
+        Op::Nl(n) => {
+            let i = NLOPS.iter().position(|&x| x == n).expect("nlop table");
+            (NL_BASE + i as u8, 0)
+        }
+        Op::Mux => (OP_MUX, 0),
+        Op::Load(a) => (OP_LOAD, a.0 as u16),
+        Op::Store(a) => (OP_STORE, a.0 as u16),
+        Op::Steer { sense, role } => match (sense, role) {
+            (true, SteerRole::Branch) => (OP_STEER_TB, 0),
+            (false, SteerRole::Branch) => (OP_STEER_FB, 0),
+            (true, SteerRole::LoopCtl) => (OP_STEER_TL, 0),
+            (false, SteerRole::LoopCtl) => (OP_STEER_FL, 0),
+        },
+        Op::Carry => (OP_CARRY, 0),
+        Op::Inv => (OP_INV, 0),
+        Op::Merge { role } => match role {
+            SteerRole::Branch => (OP_MERGE_B, 0),
+            SteerRole::LoopCtl => (OP_MERGE_L, 0),
+        },
+        Op::Gate => (OP_GATE, 0),
+        Op::Start => (OP_START, 0),
+        Op::Sink => (OP_SINK, 0),
+    }
+}
+
+/// Decodes an `(opcode byte, aux field)` pair back into an operator.
+///
+/// # Errors
+/// Returns [`BadOpcode`] for bytes outside the defined encoding space.
+pub fn decode_op(byte: u8, aux: u16) -> Result<Op, BadOpcode> {
+    let op = match byte {
+        b if (BIN_BASE..BIN_BASE + BINOPS.len() as u8).contains(&b) => {
+            Op::Bin(BINOPS[(b - BIN_BASE) as usize])
+        }
+        b if (UN_BASE..UN_BASE + UNOPS.len() as u8).contains(&b) => {
+            Op::Un(UNOPS[(b - UN_BASE) as usize])
+        }
+        b if (NL_BASE..NL_BASE + NLOPS.len() as u8).contains(&b) => {
+            Op::Nl(NLOPS[(b - NL_BASE) as usize])
+        }
+        OP_MUX => Op::Mux,
+        OP_LOAD => Op::Load(ArrayId(aux as u32)),
+        OP_STORE => Op::Store(ArrayId(aux as u32)),
+        OP_STEER_TB => Op::Steer {
+            sense: true,
+            role: SteerRole::Branch,
+        },
+        OP_STEER_FB => Op::Steer {
+            sense: false,
+            role: SteerRole::Branch,
+        },
+        OP_STEER_TL => Op::Steer {
+            sense: true,
+            role: SteerRole::LoopCtl,
+        },
+        OP_STEER_FL => Op::Steer {
+            sense: false,
+            role: SteerRole::LoopCtl,
+        },
+        OP_CARRY => Op::Carry,
+        OP_INV => Op::Inv,
+        OP_MERGE_B => Op::Merge {
+            role: SteerRole::Branch,
+        },
+        OP_MERGE_L => Op::Merge {
+            role: SteerRole::LoopCtl,
+        },
+        OP_GATE => Op::Gate,
+        OP_START => Op::Start,
+        OP_SINK => Op::Sink,
+        b => return Err(BadOpcode(b)),
+    };
+    Ok(op)
+}
+
+/// Enumerates every encodable operator (for exhaustive round-trip tests).
+pub fn all_ops() -> Vec<Op> {
+    let mut v: Vec<Op> = BINOPS.iter().map(|&b| Op::Bin(b)).collect();
+    v.extend(UNOPS.iter().map(|&u| Op::Un(u)));
+    v.extend(NLOPS.iter().map(|&n| Op::Nl(n)));
+    v.extend([
+        Op::Mux,
+        Op::Load(ArrayId(7)),
+        Op::Store(ArrayId(3)),
+        Op::Steer {
+            sense: true,
+            role: SteerRole::Branch,
+        },
+        Op::Steer {
+            sense: false,
+            role: SteerRole::Branch,
+        },
+        Op::Steer {
+            sense: true,
+            role: SteerRole::LoopCtl,
+        },
+        Op::Steer {
+            sense: false,
+            role: SteerRole::LoopCtl,
+        },
+        Op::Carry,
+        Op::Inv,
+        Op::Merge {
+            role: SteerRole::Branch,
+        },
+        Op::Merge {
+            role: SteerRole::LoopCtl,
+        },
+        Op::Gate,
+        Op::Start,
+        Op::Sink,
+    ]);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_op() {
+        for op in all_ops() {
+            let (b, aux) = encode_op(op);
+            let back = decode_op(b, aux).unwrap();
+            assert_eq!(op, back, "op {op} byte {b:#04x}");
+        }
+    }
+
+    #[test]
+    fn opcode_space_is_collision_free() {
+        let mut seen = std::collections::HashSet::new();
+        for op in all_ops() {
+            let (b, _) = encode_op(op);
+            assert!(seen.insert(b), "collision at {b:#04x} for {op}");
+        }
+    }
+
+    #[test]
+    fn bad_byte_rejected() {
+        assert!(decode_op(0xFE, 0).is_err());
+        assert_eq!(decode_op(0xFE, 0).unwrap_err(), BadOpcode(0xFE));
+    }
+
+    #[test]
+    fn array_id_travels_in_aux() {
+        let (b, aux) = encode_op(Op::Load(ArrayId(42)));
+        assert_eq!(decode_op(b, aux).unwrap(), Op::Load(ArrayId(42)));
+    }
+}

@@ -1,0 +1,232 @@
+//! ADPCM Encode (IMA): a serial-branch chain inside a single sample loop —
+//! Table 1's "Serial branches" row. Every branch feeds the next through
+//! loop-carried predictor state, so control latency sits on the critical
+//! path (only partially pipelinable; Fig 16 puts ADPCM on the
+//! control-network side of the speedup balance).
+
+use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::workload;
+use marionette_cdfg::builder::CdfgBuilder;
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+
+/// IMA ADPCM step-size table.
+pub const STEP_TABLE: [i32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// IMA ADPCM index adjustment table (4-bit codes, magnitude part).
+pub const INDEX_ADJ: [i32; 8] = [-1, -1, -1, -1, 2, 4, 6, 8];
+
+/// ADPCM encoder kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AdpcmEncode;
+
+fn n_of(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 2000,
+        Scale::Small => 128,
+        Scale::Tiny => 12,
+    }
+}
+
+/// Scalar reference encoder (shared with the golden model and tests).
+pub fn encode_reference(samples: &[i32]) -> Vec<i32> {
+    let mut valpred = 0i32;
+    let mut index = 0i32;
+    let mut out = Vec::with_capacity(samples.len());
+    for &sample in samples {
+        let mut diff = sample - valpred;
+        let sign = if diff < 0 { 8 } else { 0 };
+        if sign != 0 {
+            diff = -diff;
+        }
+        let mut step = STEP_TABLE[index as usize];
+        let mut vpdiff = step >> 3;
+        let mut delta = 0i32;
+        if diff >= step {
+            delta = 4;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if diff >= step {
+            delta |= 2;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if diff >= step {
+            delta |= 1;
+            vpdiff += step;
+        }
+        if sign != 0 {
+            valpred -= vpdiff;
+        } else {
+            valpred += vpdiff;
+        }
+        valpred = valpred.clamp(-32768, 32767);
+        delta |= sign;
+        index += INDEX_ADJ[(delta & 7) as usize];
+        index = index.clamp(0, 88);
+        out.push(delta);
+    }
+    out
+}
+
+impl Kernel for AdpcmEncode {
+    fn name(&self) -> &'static str {
+        "ADPCM Encode"
+    }
+
+    fn short(&self) -> &'static str {
+        "ADPCM"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Mobile Communication"
+    }
+
+    fn workload(&self, scale: Scale, seed: u64) -> Workload {
+        let n = n_of(scale);
+        let mut r = workload::rng(seed);
+        Workload {
+            arrays: vec![(
+                "pcm".into(),
+                workload::i32_vec(&mut r, n, -20000, 20000),
+            )],
+            sizes: vec![("n".into(), n as i64)],
+        }
+    }
+
+    fn build(&self, wl: &Workload) -> Cdfg {
+        let n = wl.size("n") as i32;
+        let mut b = CdfgBuilder::new("adpcm");
+        let pv = wl.array_i32("pcm");
+        let pcm = b.array_i32("pcm", pv.len(), &pv);
+        let steps = b.array_i32("steps", STEP_TABLE.len(), &STEP_TABLE);
+        let iadj = b.array_i32("iadj", INDEX_ADJ.len(), &INDEX_ADJ);
+        let out = b.array_i32("code", n as usize, &[]);
+        b.mark_output(out);
+
+        let valpred0 = b.imm(0);
+        let index0 = b.imm(0);
+        let _ = b.for_range(0, n, &[valpred0, index0], |b, i, v| {
+            let (valpred, index) = (v[0], v[1]);
+            let sample = b.load(pcm, i);
+            let diff0 = b.sub(sample, valpred);
+            let neg = b.lt(diff0, 0.into());
+            // branch 1: sign extraction
+            let r1 = b.if_else(
+                neg,
+                |b| vec![b.imm(8), b.neg(diff0)],
+                |b| {
+                    let z = b.imm(0);
+                    vec![z, diff0]
+                },
+            );
+            let (sign, diff1) = (r1[0], r1[1]);
+            let step0 = b.load(steps, index);
+            let vpdiff0 = b.shr(step0, 3.into());
+            // branch 2: bit 2
+            let c2 = b.ge(diff1, step0);
+            let r2 = b.if_else(
+                c2,
+                |b| {
+                    let d = b.imm(4);
+                    let diff = b.sub(diff1, step0);
+                    let vp = b.add(vpdiff0, step0);
+                    vec![d, diff, vp]
+                },
+                |b| {
+                    let z = b.imm(0);
+                    vec![z, diff1, vpdiff0]
+                },
+            );
+            let step1 = b.shr(step0, 1.into());
+            // branch 3: bit 1
+            let c3 = b.ge(r2[1], step1);
+            let r3 = b.if_else(
+                c3,
+                |b| {
+                    let d = b.or_(r2[0], 2.into());
+                    let diff = b.sub(r2[1], step1);
+                    let vp = b.add(r2[2], step1);
+                    vec![d, diff, vp]
+                },
+                |_| vec![r2[0], r2[1], r2[2]],
+            );
+            let step2 = b.shr(step1, 1.into());
+            // branch 4: bit 0
+            let c4 = b.ge(r3[1], step2);
+            let r4 = b.if_else(
+                c4,
+                |b| {
+                    let d = b.or_(r3[0], 1.into());
+                    let vp = b.add(r3[2], step2);
+                    vec![d, vp]
+                },
+                |_| vec![r3[0], r3[2]],
+            );
+            let (delta_mag, vpdiff) = (r4[0], r4[1]);
+            // branch 5: predictor update direction
+            let r5 = b.if_else(
+                sign,
+                |b| vec![b.sub(valpred, vpdiff)],
+                |b| vec![b.add(valpred, vpdiff)],
+            );
+            let lo = b.imm(-32768);
+            let hi = b.imm(32767);
+            let vp1 = b.max(r5[0], lo);
+            let valpred_next = b.min(vp1, hi);
+            let delta = b.or_(delta_mag, sign);
+            let sel = b.and_(delta, 7.into());
+            let adj = b.load(iadj, sel);
+            let idx1 = b.add(index, adj);
+            let zero = b.imm(0);
+            let idx2 = b.max(idx1, zero);
+            let index_next = b.min(idx2, 88.into());
+            b.store(out, i, delta);
+            vec![valpred_next, index_next]
+        });
+        b.finish()
+    }
+
+    fn golden(&self, wl: &Workload) -> Golden {
+        let code = encode_reference(&wl.array_i32("pcm"));
+        Golden {
+            arrays: vec![(
+                "code".into(),
+                code.into_iter().map(Value::I32).collect(),
+            )],
+            sinks: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::interp_check_both;
+
+    #[test]
+    fn matches_golden() {
+        interp_check_both(&AdpcmEncode, Scale::Small, 6).unwrap();
+    }
+
+    #[test]
+    fn profile_has_serial_branches() {
+        let k = AdpcmEncode;
+        let wl = k.workload(Scale::Tiny, 0);
+        let g = k.build(&wl);
+        let p = marionette_cdfg::analysis::profile(&g);
+        assert!(p.branches.serial);
+        assert!(p.branches.innermost);
+        assert!(p.ops_under_branch > 0.2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Conv-1d (CO): 8-tap 1-D convolution, taps unrolled at build time.
+//! Non-intensive single-loop kernel (Fig 17 control group).
+
+use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::workload;
+use marionette_cdfg::builder::CdfgBuilder;
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+
+/// Number of filter taps (build-time unrolled).
+pub const TAPS: usize = 8;
+
+/// Conv-1d kernel: `out[i] = Σ_t x[i+t] · w[t]`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Conv1d;
+
+fn n_of(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 16384,
+        Scale::Small => 256,
+        Scale::Tiny => 16,
+    }
+}
+
+impl Kernel for Conv1d {
+    fn name(&self) -> &'static str {
+        "Conv-1d"
+    }
+
+    fn short(&self) -> &'static str {
+        "CO"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Signal Processing"
+    }
+
+    fn intensive(&self) -> bool {
+        false
+    }
+
+    fn workload(&self, scale: Scale, seed: u64) -> Workload {
+        let n = n_of(scale);
+        let mut r = workload::rng(seed);
+        Workload {
+            arrays: vec![
+                ("x".into(), workload::i32_vec(&mut r, n + TAPS, -64, 64)),
+                ("w".into(), workload::i32_vec(&mut r, TAPS, -8, 8)),
+            ],
+            sizes: vec![("n".into(), n as i64)],
+        }
+    }
+
+    fn build(&self, wl: &Workload) -> Cdfg {
+        let n = wl.size("n") as i32;
+        let mut b = CdfgBuilder::new("conv1d");
+        let xv = wl.array_i32("x");
+        let wv = wl.array_i32("w");
+        let xa = b.array_i32("x", xv.len(), &xv);
+        let out = b.array_i32("y", n as usize, &[]);
+        b.mark_output(out);
+        let zero = b.imm(0);
+        let _ = b.for_range(0, n, &[zero], |b, i, v| {
+            // Taps unrolled: weights become immediates, like a real CGRA
+            // mapping of a small FIR.
+            let mut acc = b.imm(0);
+            for (t, &w) in wv.iter().enumerate() {
+                let idx = b.add(i, (t as i32).into());
+                let x = b.load(xa, idx);
+                let p = b.mul(x, w.into());
+                acc = b.add(acc, p);
+            }
+            b.store(out, i, acc);
+            vec![v[0]]
+        });
+        b.finish()
+    }
+
+    fn golden(&self, wl: &Workload) -> Golden {
+        let n = wl.size("n") as usize;
+        let x = wl.array_i32("x");
+        let w = wl.array_i32("w");
+        let y: Vec<Value> = (0..n)
+            .map(|i| {
+                let mut acc = 0i32;
+                for t in 0..TAPS {
+                    acc = acc.wrapping_add(x[i + t].wrapping_mul(w[t]));
+                }
+                Value::I32(acc)
+            })
+            .collect();
+        Golden {
+            arrays: vec![("y".into(), y)],
+            sinks: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::interp_check_both;
+
+    #[test]
+    fn matches_golden() {
+        interp_check_both(&Conv1d, Scale::Small, 3).unwrap();
+    }
+}

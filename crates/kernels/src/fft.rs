@@ -1,0 +1,245 @@
+//! FFT: iterative radix-2 decimation-in-time over f32, with an in-place
+//! bit-reversal permutation (whose swap guard is the innermost branch of
+//! Table 1's FFT row) and a stage nest whose inner extents depend on the
+//! stage — an imperfect nest with cross-stage memory recurrences.
+
+use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::workload;
+use marionette_cdfg::builder::CdfgBuilder;
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+
+/// Radix-2 FFT kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fft;
+
+fn n_of(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 1024,
+        Scale::Small => 64,
+        Scale::Tiny => 8,
+    }
+}
+
+fn bitrev_table(n: usize) -> Vec<i32> {
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) as i32)
+        .collect()
+}
+
+fn twiddles(n: usize) -> (Vec<f32>, Vec<f32>) {
+    let mut wr = Vec::with_capacity(n / 2);
+    let mut wi = Vec::with_capacity(n / 2);
+    for k in 0..n / 2 {
+        let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        wr.push(ang.cos() as f32);
+        wi.push(ang.sin() as f32);
+    }
+    (wr, wi)
+}
+
+/// Scalar reference FFT, bit-identical to the CDFG op ordering.
+pub fn fft_reference(re: &mut [f32], im: &mut [f32]) {
+    let n = re.len();
+    let brt = bitrev_table(n);
+    let (wr, wi) = twiddles(n);
+    for i in 0..n {
+        let r = brt[i] as usize;
+        if i < r {
+            re.swap(i, r);
+            im.swap(i, r);
+        }
+    }
+    let stages = n.trailing_zeros();
+    for s in 0..stages {
+        let len = 1usize << s;
+        let full = len << 1;
+        let tw_step = n >> (s + 1);
+        let mut base = 0usize;
+        while base < n {
+            for k in 0..len {
+                let ti = k * tw_step;
+                let (cr, ci) = (wr[ti], wi[ti]);
+                let (ar, ai) = (re[base + k], im[base + k]);
+                let (br, bi) = (re[base + k + len], im[base + k + len]);
+                let tr = cr * br - ci * bi;
+                let tim = cr * bi + ci * br;
+                re[base + k] = ar + tr;
+                im[base + k] = ai + tim;
+                re[base + k + len] = ar - tr;
+                im[base + k + len] = ai - tim;
+            }
+            base += full;
+        }
+    }
+}
+
+impl Kernel for Fft {
+    fn name(&self) -> &'static str {
+        "FFT"
+    }
+
+    fn short(&self) -> &'static str {
+        "FFT"
+    }
+
+    fn domain(&self) -> &'static str {
+        "General purpose"
+    }
+
+    fn workload(&self, scale: Scale, seed: u64) -> Workload {
+        let n = n_of(scale);
+        let mut r = workload::rng(seed);
+        Workload {
+            arrays: vec![
+                ("re".into(), workload::f32_vec(&mut r, n, -1.0, 1.0)),
+                ("im".into(), workload::f32_vec(&mut r, n, -1.0, 1.0)),
+            ],
+            sizes: vec![("n".into(), n as i64)],
+        }
+    }
+
+    fn build(&self, wl: &Workload) -> Cdfg {
+        let n = wl.size("n") as i32;
+        let stages = (n as u32).trailing_zeros() as i32;
+        let rev = bitrev_table(n as usize);
+        let (twr, twi) = twiddles(n as usize);
+        let mut b = CdfgBuilder::new("fft");
+        let rv = wl.array_f32("re");
+        let iv = wl.array_f32("im");
+        let re = b.array_f32("re", rv.len(), &rv);
+        let im = b.array_f32("im", iv.len(), &iv);
+        b.mark_output(re);
+        b.mark_output(im);
+        let brt = b.array_i32("brt", rev.len(), &rev);
+        let wra = b.array_f32("wr", twr.len(), &twr);
+        let wia = b.array_f32("wi", twi.len(), &twi);
+        let start = b.start_token();
+
+        // Bit-reversal permutation with the swap guard branch.
+        let brev = b.for_range(0, n, &[start], |b, i, v| {
+            let r = b.load(brt, i);
+            let swap = b.lt(i, r);
+            let ar = b.load_dep(re, i, v[0]);
+            let ai = b.load_dep(im, i, v[0]);
+            let br = b.load_dep(re, r, v[0]);
+            let bi = b.load_dep(im, r, v[0]);
+            let res = b.if_else(
+                swap,
+                |b| {
+                    let t1 = b.store(re, i, br);
+                    let t2 = b.store_dep(im, i, bi, t1);
+                    let t3 = b.store_dep(re, r, ar, t2);
+                    let t4 = b.store_dep(im, r, ai, t3);
+                    vec![t4]
+                },
+                |_| vec![v[0]],
+            );
+            vec![res[0]]
+        });
+
+        // Stage nest. Loop bounds depend on the stage (imperfect nest).
+        // Butterflies within a stage touch disjoint pairs, so loads only
+        // wait on the *previous stage's* fence; stores chain per array to
+        // materialize the next fence without serializing the butterflies.
+        let _ = b.for_range(0, stages, &[brev[0]], |b, s, sv| {
+            let fence = sv[0];
+            let one = b.imm(1);
+            let len = b.shl(one, s);
+            let full = b.shl(len, 1.into());
+            let s1 = b.add(s, 1.into());
+            let tw_step = b.shr(n.into(), s1);
+            // Block loop: base = 0, full, 2*full, ...
+            let zero = b.imm(0);
+            let blocks = b.loop_while(
+                &[zero, fence, fence],
+                |b, bv| b.lt(bv[0], n.into()),
+                |b, bv| {
+                    let (base, tok_re, tok_im) = (bv[0], bv[1], bv[2]);
+                    let inner = b.for_range(0, len, &[tok_re, tok_im], |b, k, kv| {
+                        let ti = b.mul(k, tw_step);
+                        let cr = b.load(wra, ti);
+                        let ci = b.load(wia, ti);
+                        let ia = b.add(base, k);
+                        let ib = b.add(ia, len);
+                        let ar = b.load_dep(re, ia, fence);
+                        let ai = b.load_dep(im, ia, fence);
+                        let br = b.load_dep(re, ib, fence);
+                        let bi = b.load_dep(im, ib, fence);
+                        let m1 = b.fmul(cr, br);
+                        let m2 = b.fmul(ci, bi);
+                        let tr = b.fsub(m1, m2);
+                        let m3 = b.fmul(cr, bi);
+                        let m4 = b.fmul(ci, br);
+                        let tim = b.fadd(m3, m4);
+                        let or0 = b.fadd(ar, tr);
+                        let oi0 = b.fadd(ai, tim);
+                        let or1 = b.fsub(ar, tr);
+                        let oi1 = b.fsub(ai, tim);
+                        let t1 = b.store_dep(re, ia, or0, kv[0]);
+                        let t2 = b.store_dep(re, ib, or1, t1);
+                        let u1 = b.store_dep(im, ia, oi0, kv[1]);
+                        let u2 = b.store_dep(im, ib, oi1, u1);
+                        vec![t2, u2]
+                    });
+                    let base2 = b.add(base, full);
+                    vec![base2, inner[0], inner[1]]
+                },
+            );
+            // Join the two chains into the next stage's fence.
+            let joined = b.add(blocks[1], blocks[2]);
+            vec![joined]
+        });
+        b.finish()
+    }
+
+    fn golden(&self, wl: &Workload) -> Golden {
+        let mut re = wl.array_f32("re");
+        let mut im = wl.array_f32("im");
+        fft_reference(&mut re, &mut im);
+        Golden {
+            arrays: vec![
+                ("re".into(), re.into_iter().map(Value::F32).collect()),
+                ("im".into(), im.into_iter().map(Value::F32).collect()),
+            ],
+            sinks: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::interp_check_both;
+
+    #[test]
+    fn matches_golden() {
+        interp_check_both(&Fft, Scale::Small, 13).unwrap();
+    }
+
+    #[test]
+    fn reference_parseval_sanity() {
+        // FFT of an impulse is flat ones.
+        let n = 16;
+        let mut re = vec![0.0f32; n];
+        let mut im = vec![0.0f32; n];
+        re[0] = 1.0;
+        fft_reference(&mut re, &mut im);
+        for k in 0..n {
+            assert!((re[k] - 1.0).abs() < 1e-5 && im[k].abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn profile_shape() {
+        let k = Fft;
+        let wl = k.workload(Scale::Tiny, 0);
+        let g = k.build(&wl);
+        let p = marionette_cdfg::analysis::profile(&g);
+        assert!(p.branches.innermost, "bit-reversal swap guard");
+        assert!(p.loops.imperfect);
+        assert!(p.loops.serial, "bit-reversal then stage nest");
+        assert_eq!(p.loops.max_depth, 3);
+    }
+}

@@ -1,0 +1,107 @@
+//! Gray Processing (GP): RGB→luma conversion. A non-intensive single-loop
+//! streaming kernel used by Fig 17 to show Marionette does not degrade
+//! plain data-parallel pipelines.
+
+use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::workload;
+use marionette_cdfg::builder::CdfgBuilder;
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+
+/// Gray Processing kernel (`gray = (77·r + 150·g + 29·b) >> 8`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GrayProcessing;
+
+fn n_of(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 16384,
+        Scale::Small => 256,
+        Scale::Tiny => 16,
+    }
+}
+
+impl Kernel for GrayProcessing {
+    fn name(&self) -> &'static str {
+        "Gray Processing"
+    }
+
+    fn short(&self) -> &'static str {
+        "GP"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Image Processing"
+    }
+
+    fn intensive(&self) -> bool {
+        false
+    }
+
+    fn workload(&self, scale: Scale, seed: u64) -> Workload {
+        let n = n_of(scale);
+        let mut r = workload::rng(seed);
+        Workload {
+            arrays: vec![
+                ("r".into(), workload::i32_vec(&mut r, n, 0, 256)),
+                ("g".into(), workload::i32_vec(&mut r, n, 0, 256)),
+                ("b".into(), workload::i32_vec(&mut r, n, 0, 256)),
+            ],
+            sizes: vec![("n".into(), n as i64)],
+        }
+    }
+
+    fn build(&self, wl: &Workload) -> Cdfg {
+        let n = wl.size("n") as i32;
+        let mut b = CdfgBuilder::new("gray");
+        let rv: Vec<i32> = wl.array_i32("r");
+        let gv: Vec<i32> = wl.array_i32("g");
+        let bv: Vec<i32> = wl.array_i32("b");
+        let ra = b.array_i32("r", n as usize, &rv);
+        let ga = b.array_i32("g", n as usize, &gv);
+        let ba = b.array_i32("b", n as usize, &bv);
+        let out = b.array_i32("gray", n as usize, &[]);
+        b.mark_output(out);
+        let zero = b.imm(0);
+        let _ = b.for_range(0, n, &[zero], |b, i, v| {
+            let r = b.load(ra, i);
+            let g = b.load(ga, i);
+            let bl = b.load(ba, i);
+            let tr = b.mul(r, 77.into());
+            let tg = b.mul(g, 150.into());
+            let tb = b.mul(bl, 29.into());
+            let s1 = b.add(tr, tg);
+            let s2 = b.add(s1, tb);
+            let y = b.shr(s2, 8.into());
+            b.store(out, i, y);
+            vec![v[0]]
+        });
+        b.finish()
+    }
+
+    fn golden(&self, wl: &Workload) -> Golden {
+        let r = wl.array_i32("r");
+        let g = wl.array_i32("g");
+        let b = wl.array_i32("b");
+        let gray: Vec<Value> = r
+            .iter()
+            .zip(&g)
+            .zip(&b)
+            .map(|((&r, &g), &b)| Value::I32((77 * r + 150 * g + 29 * b) >> 8))
+            .collect();
+        Golden {
+            arrays: vec![("gray".into(), gray)],
+            sinks: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::interp_check_both;
+
+    #[test]
+    fn matches_golden() {
+        interp_check_both(&GrayProcessing, Scale::Small, 1).unwrap();
+    }
+}

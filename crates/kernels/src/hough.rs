@@ -1,0 +1,181 @@
+//! Hough Transform (HT): line detection by accumulator voting. Control
+//! above the inner loop decides whether a pixel votes at all (the paper's
+//! "sub-inner" branch): we express it as a data-dependent inner-loop
+//! bound, so non-edge pixels skip the θ sweep entirely — exactly the
+//! zero-trip control that centralized architectures pay CCU round-trips
+//! for. The accumulator read-modify-write chain is a loop-carried memory
+//! recurrence.
+
+use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::workload;
+use marionette_cdfg::builder::CdfgBuilder;
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+
+/// Fixed-point scale for the trig tables (2^10).
+pub const FP_SHIFT: i32 = 10;
+
+/// Hough transform kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Hough;
+
+/// `(height, width, theta-count)` per scale.
+fn dims(scale: Scale) -> (usize, usize, usize) {
+    match scale {
+        Scale::Paper => (120, 180, 90),
+        Scale::Small => (12, 18, 12),
+        Scale::Tiny => (4, 6, 4),
+    }
+}
+
+fn trig_tables(ntheta: usize) -> (Vec<i32>, Vec<i32>) {
+    let scale = (1 << FP_SHIFT) as f64;
+    let mut cos_t = Vec::with_capacity(ntheta);
+    let mut sin_t = Vec::with_capacity(ntheta);
+    for t in 0..ntheta {
+        let th = std::f64::consts::PI * t as f64 / ntheta as f64;
+        cos_t.push((th.cos() * scale).round() as i32);
+        sin_t.push((th.sin() * scale).round() as i32);
+    }
+    (cos_t, sin_t)
+}
+
+fn nrho(h: usize, w: usize) -> usize {
+    let diag = ((h * h + w * w) as f64).sqrt().ceil() as usize;
+    2 * diag + 1
+}
+
+/// Scalar reference accumulator.
+pub fn hough_reference(
+    h: usize,
+    w: usize,
+    ntheta: usize,
+    img: &[i32],
+) -> Vec<i32> {
+    let (cos_t, sin_t) = trig_tables(ntheta);
+    let nr = nrho(h, w);
+    let half = (nr / 2) as i32;
+    let mut acc = vec![0i32; ntheta * nr];
+    for y in 0..h {
+        for x in 0..w {
+            if img[y * w + x] != 0 {
+                for t in 0..ntheta {
+                    let rho = (x as i32 * cos_t[t] + y as i32 * sin_t[t]) >> FP_SHIFT;
+                    let idx = t * nr + (rho + half) as usize;
+                    acc[idx] += 1;
+                }
+            }
+        }
+    }
+    acc
+}
+
+impl Kernel for Hough {
+    fn name(&self) -> &'static str {
+        "Hough Transform"
+    }
+
+    fn short(&self) -> &'static str {
+        "HT"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Computer Vision"
+    }
+
+    fn workload(&self, scale: Scale, seed: u64) -> Workload {
+        let (h, w, nt) = dims(scale);
+        let mut r = workload::rng(seed);
+        Workload {
+            arrays: vec![("img".into(), workload::binary_vec(&mut r, h * w, 12))],
+            sizes: vec![
+                ("h".into(), h as i64),
+                ("w".into(), w as i64),
+                ("nt".into(), nt as i64),
+            ],
+        }
+    }
+
+    fn build(&self, wl: &Workload) -> Cdfg {
+        let h = wl.size("h") as i32;
+        let w = wl.size("w") as i32;
+        let nt = wl.size("nt") as i32;
+        let nr = nrho(h as usize, w as usize) as i32;
+        let half = nr / 2;
+        let (cos_v, sin_v) = trig_tables(nt as usize);
+        let mut b = CdfgBuilder::new("hough");
+        let iv = wl.array_i32("img");
+        let img = b.array_i32("img", iv.len(), &iv);
+        let cos_t = b.array_i32("cos", cos_v.len(), &cos_v);
+        let sin_t = b.array_i32("sin", sin_v.len(), &sin_v);
+        let acc = b.array_i32("acc", (nt * nr) as usize, &[]);
+        b.mark_output(acc);
+        let start = b.start_token();
+
+        let _ = b.for_range(0, h, &[start], |b, y, vy| {
+            let rowbase = b.mul(y, w.into());
+            let xs = b.for_range(0, w, &[vy[0]], |b, x, vx| {
+                let pi = b.add(rowbase, x);
+                let px = b.load(img, pi);
+                let edge = b.ne(px, 0.into());
+                // Sub-inner control: the θ loop runs 0 or nt times.
+                let bound = b.mux(edge, nt.into(), 0.into());
+                let th = b.for_range(0, bound, &[vx[0]], |b, t, vt| {
+                    let c = b.load(cos_t, t);
+                    let s = b.load(sin_t, t);
+                    let xc = b.mul(x, c);
+                    let ys = b.mul(y, s);
+                    let sum = b.add(xc, ys);
+                    let rho = b.ashr(sum, FP_SHIFT.into());
+                    let ri = b.add(rho, half.into());
+                    let ti = b.mul(t, nr.into());
+                    let idx = b.add(ti, ri);
+                    // RMW with a carried dependence token.
+                    let cur = b.load_dep(acc, idx, vt[0]);
+                    let inc = b.add(cur, 1.into());
+                    let tok = b.store(acc, idx, inc);
+                    vec![tok]
+                });
+                vec![th[0]]
+            });
+            vec![xs[0]]
+        });
+        b.finish()
+    }
+
+    fn golden(&self, wl: &Workload) -> Golden {
+        let h = wl.size("h") as usize;
+        let w = wl.size("w") as usize;
+        let nt = wl.size("nt") as usize;
+        let acc = hough_reference(h, w, nt, &wl.array_i32("img"));
+        Golden {
+            arrays: vec![(
+                "acc".into(),
+                acc.into_iter().map(Value::I32).collect(),
+            )],
+            sinks: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::interp_check_both;
+
+    #[test]
+    fn matches_golden() {
+        interp_check_both(&Hough, Scale::Small, 9).unwrap();
+    }
+
+    #[test]
+    fn profile_is_deep_dynamic_nest() {
+        let k = Hough;
+        let wl = k.workload(Scale::Tiny, 0);
+        let g = k.build(&wl);
+        let p = marionette_cdfg::analysis::profile(&g);
+        assert_eq!(p.loops.max_depth, 3);
+        assert!(p.loops.dynamic_bounds, "θ bound is data-dependent");
+        assert!(p.loops.imperfect);
+    }
+}

@@ -1,0 +1,307 @@
+//! LDPC Decode: iterative min-sum decoding of a regular (3,6) code.
+//! Nested branches in the check-node minimum search, serial inner loops,
+//! and an imperfect three-deep nest (Table 1's most control-heavy row).
+
+use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::workload;
+use marionette_cdfg::builder::CdfgBuilder;
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+use rand::seq::SliceRandom;
+
+/// Check node degree of the regular code.
+pub const CHECK_DEG: usize = 6;
+/// Variable node degree of the regular code.
+pub const VAR_DEG: usize = 3;
+
+/// LDPC min-sum decoder kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LdpcDecode;
+
+/// `(code length n, iterations)` per scale.
+fn dims(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Paper => (128, 20),
+        Scale::Small => (32, 4),
+        Scale::Tiny => (8, 2),
+    }
+}
+
+/// Deterministically generates the regular Tanner graph: returns
+/// `cnbr[m*6]` (variable index per check edge).
+pub fn gen_graph(n: usize, seed: u64) -> Vec<i32> {
+    let mut slots: Vec<i32> = (0..n as i32)
+        .flat_map(|v| std::iter::repeat(v).take(VAR_DEG))
+        .collect();
+    let mut r = workload::rng(seed ^ 0xC0DE);
+    slots.shuffle(&mut r);
+    slots
+}
+
+/// Builds the variable→edge adjacency from the check adjacency.
+pub fn var_edges(n: usize, cnbr: &[i32]) -> Vec<i32> {
+    let mut vedge = vec![Vec::new(); n];
+    for (e, &v) in cnbr.iter().enumerate() {
+        vedge[v as usize].push(e as i32);
+    }
+    vedge
+        .into_iter()
+        .flat_map(|mut es| {
+            debug_assert_eq!(es.len(), VAR_DEG);
+            es.drain(..).collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Scalar min-sum reference: returns `(final var LLRs, hard bits)`.
+pub fn ldpc_reference(
+    n: usize,
+    iters: usize,
+    cnbr: &[i32],
+    llr_in: &[i32],
+) -> (Vec<i32>, Vec<i32>) {
+    let m = n * VAR_DEG / CHECK_DEG;
+    let vedge = var_edges(n, cnbr);
+    let mut vllr: Vec<i32> = llr_in.to_vec();
+    let mut msg = vec![0i32; m * CHECK_DEG];
+    for _ in 0..iters {
+        // check pass
+        for c in 0..m {
+            let mut min1 = i32::MAX / 2;
+            let mut min2 = i32::MAX / 2;
+            let mut arg = 0i32;
+            let mut sgn = 0i32;
+            for e in 0..CHECK_DEG {
+                let idx = c * CHECK_DEG + e;
+                let val = vllr[cnbr[idx] as usize] - msg[idx];
+                let a = val.abs();
+                let s = (val < 0) as i32;
+                if a < min1 {
+                    min2 = min1;
+                    min1 = a;
+                    arg = e as i32;
+                } else if a < min2 {
+                    min2 = a;
+                }
+                sgn ^= s;
+            }
+            for e in 0..CHECK_DEG {
+                let idx = c * CHECK_DEG + e;
+                let val = vllr[cnbr[idx] as usize] - msg[idx];
+                let se = (val < 0) as i32;
+                let mag = if e as i32 == arg { min2 } else { min1 };
+                let newm = if (sgn ^ se) != 0 { -mag } else { mag };
+                msg[idx] = newm;
+            }
+        }
+        // var pass
+        for v in 0..n {
+            let mut acc = llr_in[v];
+            for d in 0..VAR_DEG {
+                acc += msg[vedge[v * VAR_DEG + d] as usize];
+            }
+            vllr[v] = acc;
+        }
+    }
+    let hard: Vec<i32> = vllr.iter().map(|&x| (x < 0) as i32).collect();
+    (vllr, hard)
+}
+
+impl Kernel for LdpcDecode {
+    fn name(&self) -> &'static str {
+        "LDPC Decode"
+    }
+
+    fn short(&self) -> &'static str {
+        "LDPC"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Mobile Communication"
+    }
+
+    fn workload(&self, scale: Scale, seed: u64) -> Workload {
+        let (n, iters) = dims(scale);
+        let mut r = workload::rng(seed);
+        let cnbr = gen_graph(n, seed);
+        Workload {
+            arrays: vec![
+                ("llr_in".into(), workload::i32_vec(&mut r, n, -31, 32)),
+                (
+                    "cnbr".into(),
+                    cnbr.into_iter().map(Value::I32).collect(),
+                ),
+            ],
+            sizes: vec![("n".into(), n as i64), ("iters".into(), iters as i64)],
+        }
+    }
+
+    fn build(&self, wl: &Workload) -> Cdfg {
+        let n = wl.size("n") as i32;
+        let iters = wl.size("iters") as i32;
+        let m = n * VAR_DEG as i32 / CHECK_DEG as i32;
+        let cnbr_v = wl.array_i32("cnbr");
+        let vedge_v = var_edges(n as usize, &cnbr_v);
+        let llr_v = wl.array_i32("llr_in");
+
+        let mut b = CdfgBuilder::new("ldpc");
+        let llr_in = b.array_i32("llr_in", llr_v.len(), &llr_v);
+        let cnbr = b.array_i32("cnbr", cnbr_v.len(), &cnbr_v);
+        let vedge = b.array_i32("vedge", vedge_v.len(), &vedge_v);
+        let vllr = b.array_i32("vllr", n as usize, &[]);
+        let msg = b.array_i32("msg", (m * CHECK_DEG as i32) as usize, &[]);
+        let hard = b.array_i32("hard", n as usize, &[]);
+        b.mark_output(vllr);
+        b.mark_output(hard);
+        let start = b.start_token();
+
+        // init vllr = llr_in
+        let init = b.for_range(0, n, &[start], |b, v, t| {
+            let x = b.load(llr_in, v);
+            let tok = b.store_dep(vllr, v, x, t[0]);
+            vec![tok]
+        });
+        let decoded = decoder_core(&mut b, llr_in, cnbr, vedge, vllr, msg, n, iters, init[0]);
+
+        // hard decision
+        let _ = b.for_range(0, n, &[decoded], |b, v, t| {
+            let x = b.load_dep(vllr, v, t[0]);
+            let h = b.lt(x, 0.into());
+            let tok = b.store_dep(hard, v, h, t[0]);
+            vec![tok]
+        });
+        b.finish()
+    }
+
+    fn golden(&self, wl: &Workload) -> Golden {
+        let n = wl.size("n") as usize;
+        let iters = wl.size("iters") as usize;
+        let (vllr, hard) = ldpc_reference(n, iters, &wl.array_i32("cnbr"), &wl.array_i32("llr_in"));
+        Golden {
+            arrays: vec![
+                ("vllr".into(), vllr.into_iter().map(Value::I32).collect()),
+                ("hard".into(), hard.into_iter().map(Value::I32).collect()),
+            ],
+            sinks: vec![],
+        }
+    }
+}
+
+/// The min-sum decoding iterations, shared between [`LdpcDecode`] and the
+/// full-application composite (`crate::ldpc_app`). `fence` orders the
+/// first iteration after `vllr` initialization; returns the fence after
+/// the last iteration.
+pub(crate) fn decoder_core(
+    b: &mut CdfgBuilder,
+    llr_in: marionette_cdfg::ArrayId,
+    cnbr: marionette_cdfg::ArrayId,
+    vedge: marionette_cdfg::ArrayId,
+    vllr: marionette_cdfg::ArrayId,
+    msg: marionette_cdfg::ArrayId,
+    n: i32,
+    iters: i32,
+    fence: marionette_cdfg::V,
+) -> marionette_cdfg::V {
+    let m = n * VAR_DEG as i32 / CHECK_DEG as i32;
+    let big = b.imm(i32::MAX / 2);
+    let iter_out = b.for_range(0, iters, &[fence], |b, _it, itv| {
+            let fence_in = itv[0];
+            // ---- check pass ----
+            let checks = b.for_range(0, m, &[fence_in], |b, c, cv| {
+                let cfence = cv[0];
+                let base = b.mul(c, (CHECK_DEG as i32).into());
+                // serial inner loop 1: minimum search
+                let zero = b.imm(0);
+                let mins = b.for_range(0, CHECK_DEG as i32, &[big, big, zero, zero], |b, e, st| {
+                    let (min1, min2, arg, sgn) = (st[0], st[1], st[2], st[3]);
+                    let idx = b.add(base, e);
+                    let vi = b.load(cnbr, idx);
+                    let lv = b.load_dep(vllr, vi, cfence);
+                    let mv = b.load_dep(msg, idx, cfence);
+                    let val = b.sub(lv, mv);
+                    let a = b.abs(val);
+                    let s = b.lt(val, 0.into());
+                    let c1 = b.lt(a, min1);
+                    // nested branch: two-minimum tracking
+                    let r = b.if_else(
+                        c1,
+                        |_| vec![a, min1, e],
+                        |b| {
+                            let c2 = b.lt(a, min2);
+                            let rr = b.if_else(c2, |_| vec![a], |_| vec![min2]);
+                            vec![min1, rr[0], arg]
+                        },
+                    );
+                    let sgn2 = b.xor(sgn, s);
+                    vec![r[0], r[1], r[2], sgn2]
+                });
+                let (min1, min2, arg, sgn) = (mins[0], mins[1], mins[2], mins[3]);
+                // serial inner loop 2: message update
+                let upd = b.for_range(0, CHECK_DEG as i32, &[cfence], |b, e, uv| {
+                    let idx = b.add(base, e);
+                    let vi = b.load(cnbr, idx);
+                    let lv = b.load_dep(vllr, vi, uv[0]);
+                    let mv = b.load_dep(msg, idx, uv[0]);
+                    let val = b.sub(lv, mv);
+                    let se = b.lt(val, 0.into());
+                    let ise = b.eq(e, arg);
+                    let mag = b.mux(ise, min2, min1);
+                    let flip = b.xor(sgn, se);
+                    let nmag = b.neg(mag);
+                    let nm = b.mux(flip, nmag, mag);
+                    let tok = b.store(msg, idx, nm);
+                    vec![tok]
+                });
+                vec![upd[0]]
+            });
+            // ---- var pass ----
+            let vars = b.for_range(0, n, &[checks[0]], |b, v, vv| {
+                let vfence = vv[0];
+                // llr_in may be produced by an upstream phase (the full
+                // LDPC application), so order the read behind the fence.
+                let x0 = b.load_dep(llr_in, v, vfence);
+                let vb = b.mul(v, (VAR_DEG as i32).into());
+                let acc = b.for_range(0, VAR_DEG as i32, &[x0], |b, d, av| {
+                    let ei = b.add(vb, d);
+                    let e = b.load(vedge, ei);
+                    let mv = b.load_dep(msg, e, vfence);
+                    vec![b.add(av[0], mv)]
+                });
+                let tok = b.store_dep(vllr, v, acc[0], vfence);
+                vec![tok]
+            });
+            vec![vars[0]]
+        });
+    iter_out[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::interp_check_both;
+
+    #[test]
+    fn graph_is_regular() {
+        let cnbr = gen_graph(32, 0);
+        assert_eq!(cnbr.len(), 32 * VAR_DEG);
+        let ve = var_edges(32, &cnbr);
+        assert_eq!(ve.len(), 32 * VAR_DEG);
+    }
+
+    #[test]
+    fn matches_golden() {
+        interp_check_both(&LdpcDecode, Scale::Small, 10).unwrap();
+    }
+
+    #[test]
+    fn profile_shape() {
+        let k = LdpcDecode;
+        let wl = k.workload(Scale::Tiny, 0);
+        let g = k.build(&wl);
+        let p = marionette_cdfg::analysis::profile(&g);
+        assert!(p.branches.nested);
+        assert!(p.loops.serial);
+        assert!(p.loops.imperfect);
+        assert_eq!(p.loops.max_depth, 3);
+    }
+}

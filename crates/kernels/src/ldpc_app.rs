@@ -1,0 +1,163 @@
+//! The full LDPC application of Fig 17's closing claim: a non-intensive
+//! front end (channel LLR conditioning), the intensive min-sum decode,
+//! and a non-intensive back end (hard decision + error statistics) in a
+//! single program — "containing both intensive control flow and
+//! non-intensive control flow kernels".
+
+use crate::ldpc::{decoder_core, gen_graph, var_edges, CHECK_DEG, VAR_DEG};
+use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::workload;
+use marionette_cdfg::builder::CdfgBuilder;
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+
+/// The composite LDPC application kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LdpcApp;
+
+fn dims(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Paper => (128, 20),
+        Scale::Small => (32, 4),
+        Scale::Tiny => (8, 2),
+    }
+}
+
+/// LLR conditioning: scale raw 8-bit channel samples into the decoder's
+/// saturated 6-bit LLR range.
+fn condition(raw: i32) -> i32 {
+    (raw >> 2).clamp(-31, 31)
+}
+
+/// Scalar reference for the whole application: returns
+/// `(vllr, hard, one_count)`.
+pub fn app_reference(
+    n: usize,
+    iters: usize,
+    cnbr: &[i32],
+    raw: &[i32],
+) -> (Vec<i32>, Vec<i32>, i32) {
+    let llr: Vec<i32> = raw.iter().map(|&r| condition(r)).collect();
+    let (vllr, hard) = crate::ldpc::ldpc_reference(n, iters, cnbr, &llr);
+    let ones = hard.iter().sum();
+    (vllr, hard, ones)
+}
+
+impl Kernel for LdpcApp {
+    fn name(&self) -> &'static str {
+        "LDPC Application"
+    }
+
+    fn short(&self) -> &'static str {
+        "LDPC-APP"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Mobile Communication"
+    }
+
+    fn workload(&self, scale: Scale, seed: u64) -> Workload {
+        let (n, iters) = dims(scale);
+        let mut r = workload::rng(seed);
+        let cnbr = gen_graph(n, seed);
+        Workload {
+            arrays: vec![
+                ("raw".into(), workload::i32_vec(&mut r, n, -128, 128)),
+                ("cnbr".into(), cnbr.into_iter().map(Value::I32).collect()),
+            ],
+            sizes: vec![("n".into(), n as i64), ("iters".into(), iters as i64)],
+        }
+    }
+
+    fn build(&self, wl: &Workload) -> Cdfg {
+        let n = wl.size("n") as i32;
+        let iters = wl.size("iters") as i32;
+        let m = n * VAR_DEG as i32 / CHECK_DEG as i32;
+        let cnbr_v = wl.array_i32("cnbr");
+        let vedge_v = var_edges(n as usize, &cnbr_v);
+        let raw_v = wl.array_i32("raw");
+
+        let mut b = CdfgBuilder::new("ldpc_app");
+        let raw = b.array_i32("raw", raw_v.len(), &raw_v);
+        let llr_in = b.array_i32("llr_in", n as usize, &[]);
+        let cnbr = b.array_i32("cnbr", cnbr_v.len(), &cnbr_v);
+        let vedge = b.array_i32("vedge", vedge_v.len(), &vedge_v);
+        let vllr = b.array_i32("vllr", n as usize, &[]);
+        let msg = b.array_i32("msg", (m * CHECK_DEG as i32) as usize, &[]);
+        let hard = b.array_i32("hard", n as usize, &[]);
+        b.mark_output(vllr);
+        b.mark_output(hard);
+        let start = b.start_token();
+
+        // Phase 1 (non-intensive): condition raw channel samples and seed
+        // the working LLRs.
+        let pre = b.for_range(0, n, &[start], |b, v, t| {
+            let x = b.load(raw, v);
+            let s = b.ashr(x, 2.into());
+            let lo = b.imm(-31);
+            let hi = b.imm(31);
+            let c1 = b.max(s, lo);
+            let c = b.min(c1, hi);
+            let t1 = b.store_dep(llr_in, v, c, t[0]);
+            let t2 = b.store_dep(vllr, v, c, t1);
+            vec![t2]
+        });
+
+        // Phase 2 (intensive): min-sum decoding iterations.
+        let decoded = decoder_core(&mut b, llr_in, cnbr, vedge, vllr, msg, n, iters, pre[0]);
+
+        // Phase 3 (non-intensive): hard decisions + popcount.
+        let zero = b.imm(0);
+        let post = b.for_range(0, n, &[decoded, zero], |b, v, t| {
+            let x = b.load_dep(vllr, v, t[0]);
+            let h = b.lt(x, 0.into());
+            let tok = b.store_dep(hard, v, h, t[0]);
+            let ones = b.in_loop_header(|b| b.add(t[1], h));
+            vec![tok, ones]
+        });
+        b.sink("ones", post[1]);
+        b.finish()
+    }
+
+    fn golden(&self, wl: &Workload) -> Golden {
+        let n = wl.size("n") as usize;
+        let iters = wl.size("iters") as usize;
+        let (vllr, hard, ones) =
+            app_reference(n, iters, &wl.array_i32("cnbr"), &wl.array_i32("raw"));
+        Golden {
+            arrays: vec![
+                ("vllr".into(), vllr.into_iter().map(Value::I32).collect()),
+                ("hard".into(), hard.into_iter().map(Value::I32).collect()),
+            ],
+            sinks: vec![("ones".into(), vec![Value::I32(ones)])],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::interp_check_both;
+
+    #[test]
+    fn matches_golden() {
+        interp_check_both(&LdpcApp, Scale::Small, 21).unwrap();
+    }
+
+    #[test]
+    fn conditioning_saturates() {
+        assert_eq!(condition(127), 31);
+        assert_eq!(condition(-128), -31);
+        assert_eq!(condition(12), 3);
+    }
+
+    #[test]
+    fn mixes_intensive_and_non_intensive_phases() {
+        let k = LdpcApp;
+        let wl = k.workload(Scale::Tiny, 0);
+        let g = k.build(&wl);
+        let p = marionette_cdfg::analysis::profile(&g);
+        assert!(p.branches.nested, "decoder's min-search branches");
+        assert!(p.loops.serial, "pre / decode / post phases");
+    }
+}

@@ -1,0 +1,38 @@
+//! # marionette-kernels
+//!
+//! The 13 evaluation benchmarks of the Marionette paper (Table 5), each
+//! implemented three ways from one seeded workload:
+//!
+//! 1. a **golden** scalar Rust reference;
+//! 2. a **CDFG program** written against `marionette-cdfg`'s structured
+//!    builder (the object the compiler maps and the simulator runs);
+//! 3. a deterministic **workload generator**.
+//!
+//! Control-flow shape follows Table 1: branch divergence in Merge Sort /
+//! NW / CRC / ADPCM / LDPC / SCD, imperfect nests in GEMM / FFT / SPMV-like
+//! sweeps, serial loops in CRC / LDPC / FFT, and plain streaming loops in
+//! the non-intensive control group (Conv-1d, Sigmoid, Gray).
+
+#![warn(missing_docs)]
+
+pub mod adpcm;
+pub mod conv1d;
+pub mod crc;
+pub mod fft;
+pub mod gemm;
+pub mod gray;
+pub mod hough;
+pub mod ldpc;
+pub mod ldpc_app;
+pub mod mergesort;
+pub mod nw;
+pub mod registry;
+pub mod scd;
+pub mod sigmoid;
+pub mod traits;
+pub mod verify;
+pub mod viterbi;
+pub mod workload;
+
+pub use registry::{all, by_short, intensive, ldpc_app, non_intensive};
+pub use traits::{check_outputs, Golden, Kernel, Mismatch, Scale, Workload};

@@ -1,0 +1,191 @@
+//! Merge Sort (MS): bottom-up merge sort. The paper's flagship branch
+//! divergence kernel (Fig 3a): the merge comparison forks the data flow
+//! every iteration, so branch-target PEs see per-iteration configuration
+//! switches — the case Proactive PE Configuration wins the most (Fig 11:
+//! up to 1.45×).
+//!
+//! All three loop levels are `while` loops with data-dependent bounds
+//! (runs shrink and widths double), and the pass structure writes through
+//! a scratch buffer with a copy-back loop, mirroring how a CGRA actually
+//! stages the passes.
+
+use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::workload;
+use marionette_cdfg::builder::CdfgBuilder;
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+
+/// Merge sort kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MergeSort;
+
+fn n_of(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 1024,
+        Scale::Small => 64,
+        Scale::Tiny => 8,
+    }
+}
+
+impl Kernel for MergeSort {
+    fn name(&self) -> &'static str {
+        "Merge Sort"
+    }
+
+    fn short(&self) -> &'static str {
+        "MS"
+    }
+
+    fn domain(&self) -> &'static str {
+        "General purpose"
+    }
+
+    fn workload(&self, scale: Scale, seed: u64) -> Workload {
+        let n = n_of(scale);
+        let mut r = workload::rng(seed);
+        Workload {
+            arrays: vec![("data".into(), workload::i32_vec(&mut r, n, -1000, 1000))],
+            sizes: vec![("n".into(), n as i64)],
+        }
+    }
+
+    fn build(&self, wl: &Workload) -> Cdfg {
+        let n = wl.size("n") as i32;
+        let mut b = CdfgBuilder::new("mergesort");
+        let dv = wl.array_i32("data");
+        let a = b.array_i32("data", dv.len(), &dv);
+        let tmp = b.array_i32("tmp", dv.len(), &[]);
+        b.mark_output(a);
+        let start = b.start_token();
+
+        // Pass loop: width = 1, 2, 4, ... while width < n.
+        let one = b.imm(1);
+        let _ = b.loop_while(
+            &[one, start],
+            |b, vals| b.lt(vals[0], n.into()),
+            |b, vals| {
+                let (width, fence) = (vals[0], vals[1]);
+                let two_w = b.shl(width, 1.into());
+                // Run loop: merge [lo, lo+width) and [lo+width, lo+2w).
+                let zero = b.imm(0);
+                let runs = b.loop_while(
+                    &[zero, fence],
+                    |b, rv| b.lt(rv[0], n.into()),
+                    |b, rv| {
+                        let (lo, rfence) = (rv[0], rv[1]);
+                        let mid0 = b.add(lo, width);
+                        let mid = b.min(mid0, n.into());
+                        let hi0 = b.add(lo, two_w);
+                        let hi = b.min(hi0, n.into());
+                        // Main merge: while i < mid && j < hi.
+                        let merged = b.loop_while(
+                            &[lo, mid, lo, rfence],
+                            |b, mv| {
+                                let c1 = b.lt(mv[0], mid);
+                                let c2 = b.lt(mv[1], hi);
+                                b.and_(c1, c2)
+                            },
+                            |b, mv| {
+                                let (i, j, k, tok) = (mv[0], mv[1], mv[2], mv[3]);
+                                let av = b.load_dep(a, i, tok);
+                                let bv = b.load_dep(a, j, tok);
+                                let take_a = b.le(av, bv);
+                                // The branch divergence of Fig 3(a).
+                                let r = b.if_else(
+                                    take_a,
+                                    |b| {
+                                        let t = b.store(tmp, k, av);
+                                        let i2 = b.add(i, 1.into());
+                                        vec![i2, j, t]
+                                    },
+                                    |b| {
+                                        let t = b.store(tmp, k, bv);
+                                        let j2 = b.add(j, 1.into());
+                                        vec![i, j2, t]
+                                    },
+                                );
+                                let k2 = b.add(k, 1.into());
+                                vec![r[0], r[1], k2, r[2]]
+                            },
+                        );
+                        // Drain left run.
+                        let d1 = b.loop_while(
+                            &[merged[0], merged[2], merged[3]],
+                            |b, dv| b.lt(dv[0], mid),
+                            |b, dv| {
+                                let x = b.load_dep(a, dv[0], dv[2]);
+                                let t = b.store(tmp, dv[1], x);
+                                let i2 = b.add(dv[0], 1.into());
+                                let k2 = b.add(dv[1], 1.into());
+                                vec![i2, k2, t]
+                            },
+                        );
+                        // Drain right run.
+                        let d2 = b.loop_while(
+                            &[merged[1], d1[1], d1[2]],
+                            |b, dv| b.lt(dv[0], hi),
+                            |b, dv| {
+                                let x = b.load_dep(a, dv[0], dv[2]);
+                                let t = b.store(tmp, dv[1], x);
+                                let j2 = b.add(dv[0], 1.into());
+                                let k2 = b.add(dv[1], 1.into());
+                                vec![j2, k2, t]
+                            },
+                        );
+                        let lo2 = b.add(lo, two_w);
+                        vec![lo2, d2[2]]
+                    },
+                );
+                // Copy back tmp -> data for the next pass.
+                let zero2 = b.imm(0);
+                let copy = b.for_range(0, n, &[runs[1], zero2], |b, t, cv| {
+                    let x = b.load_dep(tmp, t, cv[0]);
+                    let tok = b.store(a, t, x);
+                    vec![tok, cv[1]]
+                });
+                vec![two_w, copy[0]]
+            },
+        );
+        b.finish()
+    }
+
+    fn golden(&self, wl: &Workload) -> Golden {
+        let mut data = wl.array_i32("data");
+        data.sort();
+        Golden {
+            arrays: vec![(
+                "data".into(),
+                data.into_iter().map(Value::I32).collect(),
+            )],
+            sinks: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::interp_check_both;
+
+    #[test]
+    fn matches_golden() {
+        interp_check_both(&MergeSort, Scale::Small, 11).unwrap();
+    }
+
+    #[test]
+    fn tiny_matches() {
+        interp_check_both(&MergeSort, Scale::Tiny, 12).unwrap();
+    }
+
+    #[test]
+    fn profile_has_innermost_branch_under_deep_nest() {
+        let k = MergeSort;
+        let wl = k.workload(Scale::Tiny, 0);
+        let g = k.build(&wl);
+        let p = marionette_cdfg::analysis::profile(&g);
+        assert!(p.branches.innermost);
+        assert!(p.loops.serial, "merge + drains + copy are serial loops");
+        assert!(p.loops.dynamic_bounds);
+        assert!(p.ops_under_branch > 0.05);
+    }
+}

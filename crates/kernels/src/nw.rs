@@ -1,0 +1,187 @@
+//! NW (Needleman-Wunsch): sequence-alignment dynamic programming with
+//! nested branch divergence in the innermost loop and a loop-carried
+//! memory recurrence across rows (Table 1's bioinformatics row).
+
+use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::workload;
+use marionette_cdfg::builder::CdfgBuilder;
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+
+/// Match reward.
+pub const MATCH: i32 = 1;
+/// Mismatch penalty.
+pub const MISMATCH: i32 = -1;
+/// Gap penalty.
+pub const GAP: i32 = -1;
+
+/// Needleman-Wunsch kernel: fills the `(n+1)²` score table.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Nw;
+
+fn n_of(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 128,
+        Scale::Small => 16,
+        Scale::Tiny => 5,
+    }
+}
+
+/// Scalar reference (shared with tests).
+pub fn nw_reference(a: &[i32], b: &[i32]) -> Vec<i32> {
+    let n = a.len();
+    let w = n + 1;
+    let mut t = vec![0i32; w * w];
+    for j in 0..=n {
+        t[j] = j as i32 * GAP;
+    }
+    for i in 1..=n {
+        t[i * w] = i as i32 * GAP;
+        for j in 1..=n {
+            let m = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let s1 = t[(i - 1) * w + j - 1] + m;
+            let s2 = t[(i - 1) * w + j] + GAP;
+            let s3 = t[i * w + j - 1] + GAP;
+            let best = if s1 >= s2 {
+                if s1 >= s3 {
+                    s1
+                } else {
+                    s3
+                }
+            } else if s2 >= s3 {
+                s2
+            } else {
+                s3
+            };
+            t[i * w + j] = best;
+        }
+    }
+    t
+}
+
+impl Kernel for Nw {
+    fn name(&self) -> &'static str {
+        "NW"
+    }
+
+    fn short(&self) -> &'static str {
+        "NW"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Bioinformatics"
+    }
+
+    fn workload(&self, scale: Scale, seed: u64) -> Workload {
+        let n = n_of(scale);
+        let mut r = workload::rng(seed);
+        Workload {
+            arrays: vec![
+                ("a".into(), workload::i32_vec(&mut r, n, 0, 4)),
+                ("b".into(), workload::i32_vec(&mut r, n, 0, 4)),
+            ],
+            sizes: vec![("n".into(), n as i64)],
+        }
+    }
+
+    fn build(&self, wl: &Workload) -> Cdfg {
+        let n = wl.size("n") as i32;
+        let w = n + 1;
+        let mut b = CdfgBuilder::new("nw");
+        let av = wl.array_i32("a");
+        let bv = wl.array_i32("b");
+        let aa = b.array_i32("a", av.len(), &av);
+        let ba = b.array_i32("b", bv.len(), &bv);
+        let table = b.array_i32("table", (w * w) as usize, &[]);
+        b.mark_output(table);
+        let start = b.start_token();
+
+        // Row 0 initialization: table[j] = j * GAP. The chained store token
+        // becomes the first row fence.
+        let init = b.for_range(0, w, &[start], |b, j, v| {
+            let val = b.mul(j, GAP.into());
+            let tok = b.store_dep(table, j, val, v[0]);
+            vec![tok]
+        });
+        let fence0 = init[0];
+
+        // Main doubly-nested DP. The outer loop carries the row fence:
+        // loads of row i-1 wait on the previous row's final store.
+        let _ = b.for_range(1, w, &[fence0], |b, i, v| {
+            let fence = v[0];
+            let ai = b.sub(i, 1.into());
+            let achr = b.load(aa, ai);
+            let rowbase = b.mul(i, w.into());
+            let prevbase = b.sub(rowbase, w.into());
+            let left0 = b.mul(i, GAP.into());
+            let tok0 = b.store_dep(table, rowbase, left0, fence);
+            let inner = b.for_range(1, w, &[left0, tok0], |b, j, vars| {
+                let (left, tok) = (vars[0], vars[1]);
+                let up_i = b.add(prevbase, j);
+                let diag_i = b.sub(up_i, 1.into());
+                let up = b.load_dep(table, up_i, fence);
+                let diag = b.load_dep(table, diag_i, fence);
+                let bj = b.sub(j, 1.into());
+                let bchr = b.load(ba, bj);
+                let is_match = b.eq(achr, bchr);
+                let m = b.mux(is_match, MATCH.into(), MISMATCH.into());
+                let s1 = b.add(diag, m);
+                let s2 = b.add(up, GAP.into());
+                let s3 = b.add(left, GAP.into());
+                // nested branch divergence: 3-way max
+                let c1 = b.ge(s1, s2);
+                let best = b.if_else(
+                    c1,
+                    |b| {
+                        let c = b.ge(s1, s3);
+                        let r = b.if_else(c, |_| vec![s1], |_| vec![s3]);
+                        vec![r[0]]
+                    },
+                    |b| {
+                        let c = b.ge(s2, s3);
+                        let r = b.if_else(c, |_| vec![s2], |_| vec![s3]);
+                        vec![r[0]]
+                    },
+                );
+                let idx = b.add(rowbase, j);
+                let tok2 = b.store_dep(table, idx, best[0], tok);
+                vec![best[0], tok2]
+            });
+            vec![inner[1]]
+        });
+        b.finish()
+    }
+
+    fn golden(&self, wl: &Workload) -> Golden {
+        let t = nw_reference(&wl.array_i32("a"), &wl.array_i32("b"));
+        Golden {
+            arrays: vec![(
+                "table".into(),
+                t.into_iter().map(Value::I32).collect(),
+            )],
+            sinks: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::interp_check_both;
+
+    #[test]
+    fn matches_golden() {
+        interp_check_both(&Nw, Scale::Small, 7).unwrap();
+    }
+
+    #[test]
+    fn profile_has_nested_branches() {
+        let k = Nw;
+        let wl = k.workload(Scale::Tiny, 0);
+        let g = k.build(&wl);
+        let p = marionette_cdfg::analysis::profile(&g);
+        assert!(p.branches.nested);
+        assert!(p.branches.innermost);
+        assert!(p.loops.nested);
+    }
+}

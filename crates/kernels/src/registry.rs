@@ -1,0 +1,87 @@
+//! Kernel registry: the paper's benchmark suite (Table 5).
+
+use crate::adpcm::AdpcmEncode;
+use crate::conv1d::Conv1d;
+use crate::crc::Crc;
+use crate::fft::Fft;
+use crate::gemm::Gemm;
+use crate::gray::GrayProcessing;
+use crate::hough::Hough;
+use crate::ldpc::LdpcDecode;
+use crate::mergesort::MergeSort;
+use crate::nw::Nw;
+use crate::scd::ScDecode;
+use crate::sigmoid::Sigmoid;
+use crate::traits::Kernel;
+use crate::viterbi::Viterbi;
+
+/// All 13 evaluation kernels in the paper's figure order
+/// (MS, FFT, VI, NW, HT, CRC, ADPCM, SCD, LDPC, GEMM, CO, SI, GP).
+pub fn all() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(MergeSort),
+        Box::new(Fft),
+        Box::new(Viterbi),
+        Box::new(Nw),
+        Box::new(Hough),
+        Box::new(Crc),
+        Box::new(AdpcmEncode),
+        Box::new(ScDecode),
+        Box::new(LdpcDecode),
+        Box::new(Gemm),
+        Box::new(Conv1d),
+        Box::new(Sigmoid),
+        Box::new(GrayProcessing),
+    ]
+}
+
+/// The ten control-flow-intensive kernels (Figs 11-16).
+pub fn intensive() -> Vec<Box<dyn Kernel>> {
+    all().into_iter().filter(|k| k.intensive()).collect()
+}
+
+/// The non-intensive control group of Fig 17 (CO, SI, GP).
+pub fn non_intensive() -> Vec<Box<dyn Kernel>> {
+    all().into_iter().filter(|k| !k.intensive()).collect()
+}
+
+/// The full LDPC application (Fig 17's composite case study): not part of
+/// the 13-kernel suite, evaluated separately.
+pub fn ldpc_app() -> Box<dyn Kernel> {
+    Box::new(crate::ldpc_app::LdpcApp)
+}
+
+/// Finds a kernel by its short tag (e.g. `"MS"`); includes the composite
+/// `"LDPC-APP"`.
+pub fn by_short(short: &str) -> Option<Box<dyn Kernel>> {
+    if short == "LDPC-APP" {
+        return Some(ldpc_app());
+    }
+    all().into_iter().find(|k| k.short() == short)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(all().len(), 13);
+        assert_eq!(intensive().len(), 10);
+        assert_eq!(non_intensive().len(), 3);
+    }
+
+    #[test]
+    fn shorts_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in all() {
+            assert!(seen.insert(k.short().to_string()), "dup {}", k.short());
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        assert_eq!(by_short("GEMM").unwrap().name(), "GEMM");
+        assert!(by_short("nope").is_none());
+    }
+}

@@ -1,0 +1,361 @@
+//! SC Decode (SCD): successive-cancellation decoding of a polar code.
+//!
+//! The decoder follows the fast-SSC formulation: the static DFS schedule
+//! over the code tree (f-messages down the left edges, g-messages after
+//! left decisions, partial-sum combines on the way up, frozen/information
+//! decisions at the leaves) is precomputed at build time into *visit
+//! tables* — exactly how vectorized/spatial SC decoders are deployed —
+//! and the kernel executes the schedule with data-dependent inner-loop
+//! extents, min-sign branches in `f`, and sign-select branches in `g`.
+//! This gives Table 1's SCD shape: innermost branches, an imperfect nest
+//! and serial (phase-alternating) loops.
+
+use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::workload;
+use marionette_cdfg::builder::CdfgBuilder;
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+
+/// SC polar decoder kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ScDecode;
+
+fn n_of(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 2048,
+        Scale::Small => 64,
+        Scale::Tiny => 8,
+    }
+}
+
+/// Visit opcodes of the static SC schedule.
+const OP_F: i32 = 0;
+const OP_G: i32 = 1;
+const OP_COMBINE: i32 = 2;
+const OP_LEAF: i32 = 3;
+
+/// One visit: `(op, size, llr_src, llr_dst, bit_a, bit_b)` — offsets into
+/// the LLR workspace / bit workspace.
+#[derive(Clone, Copy, Debug)]
+pub struct Visit {
+    op: i32,
+    size: i32,
+    src: i32,
+    dst: i32,
+    ba: i32,
+    bb: i32,
+}
+
+/// Builds the DFS schedule for a length-`n` code.
+///
+/// Workspace layout: LLR level `l` (node size `n >> l`) lives at offset
+/// `2n - (n >> (l-1))`... simplified: each tree level gets a contiguous
+/// region; left/right children share their parent's level slot since SC
+/// visits them sequentially.
+pub fn schedule(n: usize) -> Vec<Visit> {
+    let levels = n.trailing_zeros() as usize;
+    // LLR workspace: level l (sizes n/2^l) at offset off[l].
+    let mut off = vec![0i32; levels + 1];
+    for l in 1..=levels {
+        off[l] = off[l - 1] + (n >> (l - 1)) as i32;
+    }
+    let mut visits = Vec::new();
+    // Bits workspace mirrors the leaf order: bit region per node = its
+    // span in natural order.
+    fn rec(
+        visits: &mut Vec<Visit>,
+        off: &[i32],
+        level: usize,
+        levels: usize,
+        pos: usize, // leaf span start
+        size: usize,
+    ) {
+        if size == 1 {
+            visits.push(Visit {
+                op: OP_LEAF,
+                size: 1,
+                src: off[level],
+                dst: pos as i32,
+                ba: pos as i32,
+                bb: 0,
+            });
+            return;
+        }
+        let half = size / 2;
+        // f: child LLRs from this node's LLRs
+        visits.push(Visit {
+            op: OP_F,
+            size: half as i32,
+            src: off[level],
+            dst: off[level + 1],
+            ba: 0,
+            bb: 0,
+        });
+        rec(visits, off, level + 1, levels, pos, half);
+        // g: right child LLRs use left decisions
+        visits.push(Visit {
+            op: OP_G,
+            size: half as i32,
+            src: off[level],
+            dst: off[level + 1],
+            ba: pos as i32,
+            bb: 0,
+        });
+        rec(visits, off, level + 1, levels, pos + half, half);
+        // combine partial sums: u_left ^= u_right
+        visits.push(Visit {
+            op: OP_COMBINE,
+            size: half as i32,
+            src: 0,
+            dst: pos as i32,
+            ba: pos as i32,
+            bb: (pos + half) as i32,
+        });
+    }
+    rec(&mut visits, &off, 0, levels, 0, n);
+    visits
+}
+
+/// Total LLR workspace size for a length-`n` code.
+pub fn workspace_len(n: usize) -> usize {
+    2 * n // sum over levels of n/2^l < 2n
+}
+
+/// Scalar reference: executes the same schedule.
+pub fn scd_reference(n: usize, llr: &[i32], frozen: &[i32]) -> Vec<i32> {
+    let mut w = vec![0i32; workspace_len(n)];
+    let mut u = vec![0i32; n];
+    w[..n].copy_from_slice(llr);
+    for v in schedule(n) {
+        let sz = v.size as usize;
+        match v.op {
+            OP_F => {
+                for i in 0..sz {
+                    let a = w[v.src as usize + i];
+                    let b = w[v.src as usize + sz + i];
+                    let mag = a.abs().min(b.abs());
+                    let s = (a < 0) ^ (b < 0);
+                    w[v.dst as usize + i] = if s { -mag } else { mag };
+                }
+            }
+            OP_G => {
+                for i in 0..sz {
+                    let a = w[v.src as usize + i];
+                    let b = w[v.src as usize + sz + i];
+                    let ub = u[v.ba as usize + i];
+                    w[v.dst as usize + i] = if ub != 0 { b - a } else { b + a };
+                }
+            }
+            OP_COMBINE => {
+                for i in 0..sz {
+                    u[v.ba as usize + i] ^= u[v.bb as usize + i];
+                }
+            }
+            OP_LEAF => {
+                let bit = if frozen[v.ba as usize] != 0 {
+                    0
+                } else {
+                    (w[v.src as usize] < 0) as i32
+                };
+                u[v.ba as usize] = bit;
+            }
+            _ => unreachable!(),
+        }
+    }
+    u
+}
+
+impl Kernel for ScDecode {
+    fn name(&self) -> &'static str {
+        "SC Decode"
+    }
+
+    fn short(&self) -> &'static str {
+        "SCD"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Mobile Communication"
+    }
+
+    fn workload(&self, scale: Scale, seed: u64) -> Workload {
+        let n = n_of(scale);
+        let mut r = workload::rng(seed);
+        Workload {
+            arrays: vec![
+                ("llr".into(), workload::i32_vec(&mut r, n, -31, 32)),
+                ("frozen".into(), workload::binary_vec(&mut r, n, 50)),
+            ],
+            sizes: vec![("n".into(), n as i64)],
+        }
+    }
+
+    fn build(&self, wl: &Workload) -> Cdfg {
+        let n = wl.size("n") as i32;
+        let sched = schedule(n as usize);
+        let nv = sched.len() as i32;
+        // Flatten the schedule into parallel visit tables.
+        let vop: Vec<i32> = sched.iter().map(|v| v.op).collect();
+        let vsize: Vec<i32> = sched.iter().map(|v| v.size).collect();
+        let vsrc: Vec<i32> = sched.iter().map(|v| v.src).collect();
+        let vdst: Vec<i32> = sched.iter().map(|v| v.dst).collect();
+        let vba: Vec<i32> = sched.iter().map(|v| v.ba).collect();
+        let vbb: Vec<i32> = sched.iter().map(|v| v.bb).collect();
+
+        let llr_v = wl.array_i32("llr");
+        let frz_v = wl.array_i32("frozen");
+        let mut b = CdfgBuilder::new("scd");
+        let llr = b.array_i32("llr", llr_v.len(), &llr_v);
+        let frz = b.array_i32("frozen", frz_v.len(), &frz_v);
+        let top = b.array_i32("op_t", vop.len(), &vop);
+        let tsz = b.array_i32("sz_t", vsize.len(), &vsize);
+        let tsrc = b.array_i32("src_t", vsrc.len(), &vsrc);
+        let tdst = b.array_i32("dst_t", vdst.len(), &vdst);
+        let tba = b.array_i32("ba_t", vba.len(), &vba);
+        let tbb = b.array_i32("bb_t", vbb.len(), &vbb);
+        let w = b.array_i32("w", workspace_len(n as usize), &[]);
+        let u = b.array_i32("u", n as usize, &[]);
+        b.mark_output(u);
+        let start = b.start_token();
+
+        // Load channel LLRs into the workspace root level.
+        let init = b.for_range(0, n, &[start], |b, i, t| {
+            let x = b.load(llr, i);
+            let tok = b.store_dep(w, i, x, t[0]);
+            vec![tok]
+        });
+
+        // Execute the static schedule.
+        let _ = b.for_range(0, nv, &[init[0]], |b, vi, fv| {
+            let fence = fv[0];
+            let op = b.load(top, vi);
+            let sz = b.load(tsz, vi);
+            let src = b.load(tsrc, vi);
+            let dst = b.load(tdst, vi);
+            let ba = b.load(tba, vi);
+            let bb = b.load(tbb, vi);
+            let elems = b.for_range(0, sz, &[fence], |b, i, ev| {
+                let tok = ev[0];
+                let si = b.add(src, i);
+                let sj = b.add(si, sz);
+                let isf = b.eq(op, OP_F.into());
+                let isg = b.eq(op, OP_G.into());
+                let isc = b.eq(op, OP_COMBINE.into());
+                // Nested dispatch: f / g / combine / leaf.
+                let res = b.if_else(
+                    isf,
+                    |b| {
+                        let a = b.load_dep(w, si, tok);
+                        let x = b.load_dep(w, sj, tok);
+                        let aa = b.abs(a);
+                        let ax = b.abs(x);
+                        let mag = b.min(aa, ax);
+                        let sa = b.lt(a, 0.into());
+                        let sx = b.lt(x, 0.into());
+                        let s = b.xor(sa, sx);
+                        let nm = b.neg(mag);
+                        let val = b.mux(s, nm, mag);
+                        let di = b.add(dst, i);
+                        let t = b.store(w, di, val);
+                        vec![t]
+                    },
+                    |b| {
+                        let inner = b.if_else(
+                            isg,
+                            |b| {
+                                let a = b.load_dep(w, si, tok);
+                                let x = b.load_dep(w, sj, tok);
+                                let ui = b.add(ba, i);
+                                let ub = b.load_dep(u, ui, tok);
+                                let sum = b.add(x, a);
+                                let dif = b.sub(x, a);
+                                let val = b.mux(ub, dif, sum);
+                                let di = b.add(dst, i);
+                                let t = b.store(w, di, val);
+                                vec![t]
+                            },
+                            |b| {
+                                let third = b.if_else(
+                                    isc,
+                                    |b| {
+                                        let ai = b.add(ba, i);
+                                        let bi = b.add(bb, i);
+                                        let ua = b.load_dep(u, ai, tok);
+                                        let ubv = b.load_dep(u, bi, tok);
+                                        let x = b.xor(ua, ubv);
+                                        let t = b.store(u, ai, x);
+                                        vec![t]
+                                    },
+                                    |b| {
+                                        // leaf decision
+                                        let f = b.load_dep(frz, ba, tok);
+                                        let lv = b.load_dep(w, src, tok);
+                                        let neg = b.lt(lv, 0.into());
+                                        let zero = b.imm(0);
+                                        let bit = b.mux(f, zero, neg);
+                                        let t = b.store(u, ba, bit);
+                                        vec![t]
+                                    },
+                                );
+                                vec![third[0]]
+                            },
+                        );
+                        vec![inner[0]]
+                    },
+                );
+                vec![res[0]]
+            });
+            vec![elems[0]]
+        });
+        b.finish()
+    }
+
+    fn golden(&self, wl: &Workload) -> Golden {
+        let n = wl.size("n") as usize;
+        let u = scd_reference(n, &wl.array_i32("llr"), &wl.array_i32("frozen"));
+        Golden {
+            arrays: vec![("u".into(), u.into_iter().map(Value::I32).collect())],
+            sinks: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::interp_check_both;
+
+    #[test]
+    fn schedule_covers_tree() {
+        let s = schedule(8);
+        // 2N-1 nodes; internal nodes contribute f+g+combine, leaves one.
+        let leaves = s.iter().filter(|v| v.op == OP_LEAF).count();
+        assert_eq!(leaves, 8);
+        let fs = s.iter().filter(|v| v.op == OP_F).count();
+        assert_eq!(fs, 7);
+    }
+
+    #[test]
+    fn all_frozen_decodes_zero() {
+        let n = 16;
+        let llr: Vec<i32> = (0..n as i32).map(|i| i - 8).collect();
+        let frozen = vec![1i32; n];
+        assert_eq!(scd_reference(n, &llr, &frozen), vec![0i32; n]);
+    }
+
+    #[test]
+    fn matches_golden() {
+        interp_check_both(&ScDecode, Scale::Small, 14).unwrap();
+    }
+
+    #[test]
+    fn profile_shape() {
+        let k = ScDecode;
+        let wl = k.workload(Scale::Tiny, 0);
+        let g = k.build(&wl);
+        let p = marionette_cdfg::analysis::profile(&g);
+        assert!(p.branches.nested);
+        assert!(p.branches.innermost);
+        assert!(p.loops.dynamic_bounds);
+    }
+}

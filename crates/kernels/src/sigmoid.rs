@@ -1,0 +1,89 @@
+//! Sigmoid (SI): elementwise logistic activation on the nonlinear-fitting
+//! PEs. Non-intensive single-loop kernel (Fig 17 control group).
+
+use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::workload;
+use marionette_cdfg::builder::CdfgBuilder;
+use marionette_cdfg::op::NlOp;
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+
+/// Sigmoid kernel: `out[i] = 1 / (1 + exp(-x[i]))`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Sigmoid;
+
+fn n_of(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 2048,
+        Scale::Small => 128,
+        Scale::Tiny => 8,
+    }
+}
+
+impl Kernel for Sigmoid {
+    fn name(&self) -> &'static str {
+        "Sigmoid"
+    }
+
+    fn short(&self) -> &'static str {
+        "SI"
+    }
+
+    fn domain(&self) -> &'static str {
+        "AI"
+    }
+
+    fn intensive(&self) -> bool {
+        false
+    }
+
+    fn workload(&self, scale: Scale, seed: u64) -> Workload {
+        let n = n_of(scale);
+        let mut r = workload::rng(seed);
+        Workload {
+            arrays: vec![("x".into(), workload::f32_vec(&mut r, n, -4.0, 4.0))],
+            sizes: vec![("n".into(), n as i64)],
+        }
+    }
+
+    fn build(&self, wl: &Workload) -> Cdfg {
+        let n = wl.size("n") as i32;
+        let mut b = CdfgBuilder::new("sigmoid");
+        let xv = wl.array_f32("x");
+        let xa = b.array_f32("x", n as usize, &xv);
+        let out = b.array_f32("y", n as usize, &[]);
+        b.mark_output(out);
+        let zero = b.imm(0);
+        let _ = b.for_range(0, n, &[zero], |b, i, v| {
+            let x = b.load(xa, i);
+            let y = b.sigmoid(x);
+            b.store(out, i, y);
+            vec![v[0]]
+        });
+        b.finish()
+    }
+
+    fn golden(&self, wl: &Workload) -> Golden {
+        // Uses the exact same nonlinear unit model as the simulator.
+        let y: Vec<Value> = wl
+            .array("x")
+            .iter()
+            .map(|&x| NlOp::Sigmoid.eval(x))
+            .collect();
+        Golden {
+            arrays: vec![("y".into(), y)],
+            sinks: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::interp_check_both;
+
+    #[test]
+    fn matches_golden() {
+        interp_check_both(&Sigmoid, Scale::Small, 2).unwrap();
+    }
+}

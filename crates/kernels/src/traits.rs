@@ -1,0 +1,188 @@
+//! Kernel abstraction: each evaluation benchmark provides a workload
+//! generator, a golden scalar reference, and a CDFG program.
+
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+use std::fmt;
+
+/// Problem size selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's Table 5 data sizes.
+    Paper,
+    /// Reduced sizes for fast unit/integration testing.
+    Small,
+    /// Very small sizes for property tests and smoke tests.
+    Tiny,
+}
+
+/// Input data for one kernel run.
+#[derive(Clone, Debug, Default)]
+pub struct Workload {
+    /// Named input arrays (must match the CDFG's array declarations).
+    pub arrays: Vec<(String, Vec<Value>)>,
+    /// Scalar sizes and constants the kernel builder needs.
+    pub sizes: Vec<(String, i64)>,
+}
+
+impl Workload {
+    /// Looks up a size by name.
+    ///
+    /// # Panics
+    /// Panics if the size is missing.
+    pub fn size(&self, name: &str) -> i64 {
+        self.sizes
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("workload missing size {name}"))
+            .1
+    }
+
+    /// Looks up an input array by name.
+    ///
+    /// # Panics
+    /// Panics if the array is missing.
+    pub fn array(&self, name: &str) -> &[Value] {
+        &self
+            .arrays
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("workload missing array {name}"))
+            .1
+    }
+
+    /// Integer view of an input array.
+    pub fn array_i32(&self, name: &str) -> Vec<i32> {
+        self.array(name)
+            .iter()
+            .map(|v| v.to_i32_lossy())
+            .collect()
+    }
+
+    /// Float view of an input array.
+    pub fn array_f32(&self, name: &str) -> Vec<f32> {
+        self.array(name)
+            .iter()
+            .map(|v| v.as_f32().unwrap_or(0.0))
+            .collect()
+    }
+}
+
+/// Expected results of one kernel run.
+#[derive(Clone, Debug, Default)]
+pub struct Golden {
+    /// Expected final contents of each output array.
+    pub arrays: Vec<(String, Vec<Value>)>,
+    /// Expected sink values (in arrival order).
+    pub sinks: Vec<(String, Vec<Value>)>,
+}
+
+/// Mismatch found by [`check_outputs`].
+#[derive(Clone, Debug)]
+pub struct Mismatch {
+    /// Where the mismatch is (`array name[index]` or `sink name[k]`).
+    pub site: String,
+    /// Expected value.
+    pub expected: Value,
+    /// Actual value.
+    pub actual: Value,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: expected {}, got {}",
+            self.site, self.expected, self.actual
+        )
+    }
+}
+
+/// Relative float tolerance used by output comparison.
+pub const FLOAT_TOL: f32 = 1e-3;
+
+/// Compares produced outputs against the golden reference.
+///
+/// `get_array` fetches the final memory contents of a named output array;
+/// `get_sink` fetches the values a named sink collected. Returns all
+/// mismatches (empty = pass); at most 16 are reported.
+pub fn check_outputs(
+    golden: &Golden,
+    mut get_array: impl FnMut(&str) -> Vec<Value>,
+    mut get_sink: impl FnMut(&str) -> Vec<Value>,
+) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    for (name, expect) in &golden.arrays {
+        let actual = get_array(name);
+        if actual.len() != expect.len() {
+            out.push(Mismatch {
+                site: format!("{name}.len"),
+                expected: Value::I32(expect.len() as i32),
+                actual: Value::I32(actual.len() as i32),
+            });
+            continue;
+        }
+        for (i, (e, a)) in expect.iter().zip(&actual).enumerate() {
+            if !e.approx_eq(*a, FLOAT_TOL) {
+                out.push(Mismatch {
+                    site: format!("{name}[{i}]"),
+                    expected: *e,
+                    actual: *a,
+                });
+                if out.len() >= 16 {
+                    return out;
+                }
+            }
+        }
+    }
+    for (name, expect) in &golden.sinks {
+        let actual = get_sink(name);
+        if actual.len() != expect.len() {
+            out.push(Mismatch {
+                site: format!("sink {name}.len"),
+                expected: Value::I32(expect.len() as i32),
+                actual: Value::I32(actual.len() as i32),
+            });
+            continue;
+        }
+        for (i, (e, a)) in expect.iter().zip(&actual).enumerate() {
+            if !e.approx_eq(*a, FLOAT_TOL) {
+                out.push(Mismatch {
+                    site: format!("sink {name}[{i}]"),
+                    expected: *e,
+                    actual: *a,
+                });
+                if out.len() >= 16 {
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// An evaluation benchmark.
+pub trait Kernel: Send + Sync {
+    /// Full benchmark name (e.g. `"Merge Sort"`).
+    fn name(&self) -> &'static str;
+
+    /// Short tag used in figures (e.g. `"MS"`).
+    fn short(&self) -> &'static str;
+
+    /// Application domain (Table 1 grouping).
+    fn domain(&self) -> &'static str;
+
+    /// Whether the paper classes it as control-flow intensive.
+    fn intensive(&self) -> bool {
+        true
+    }
+
+    /// Generates a deterministic workload at the given scale.
+    fn workload(&self, scale: Scale, seed: u64) -> Workload;
+
+    /// Builds the CDFG program for a workload.
+    fn build(&self, wl: &Workload) -> Cdfg;
+
+    /// Computes the expected outputs for a workload.
+    fn golden(&self, wl: &Workload) -> Golden;
+}

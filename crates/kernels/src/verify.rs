@@ -1,0 +1,71 @@
+//! Kernel verification helpers: run a kernel's CDFG through the reference
+//! interpreter (both execution modes) and compare against its golden
+//! reference.
+
+use crate::traits::{check_outputs, Golden, Kernel, Scale};
+use marionette_cdfg::interp::{interpret, ExecMode};
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+
+/// Runs the kernel at `scale` through the interpreter in the given mode
+/// and returns an error string describing any mismatch.
+///
+/// # Errors
+/// Returns a human-readable report when interpretation fails or outputs
+/// diverge from the golden reference.
+pub fn interp_check(k: &dyn Kernel, scale: Scale, seed: u64, mode: ExecMode) -> Result<(), String> {
+    let wl = k.workload(scale, seed);
+    let golden = k.golden(&wl);
+    let g = k.build(&wl);
+    let r = interpret(&g, mode, &[])
+        .map_err(|e| format!("{} ({mode:?}): interpreter error: {e}", k.name()))?;
+    if r.memory.oob_events() > 0 {
+        return Err(format!(
+            "{} ({mode:?}): {} out-of-bounds accesses",
+            k.name(),
+            r.memory.oob_events()
+        ));
+    }
+    let mismatches = check_vs_golden(&g, &golden, |arr| r.memory.array(arr).to_vec(), |name| {
+        r.sinks.get(name).cloned().unwrap_or_default()
+    });
+    if mismatches.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} ({mode:?}): {} mismatches, first: {}",
+            k.name(),
+            mismatches.len(),
+            mismatches[0]
+        ))
+    }
+}
+
+/// Compares any executor's outputs against a golden reference, resolving
+/// output array names through the CDFG declarations.
+pub fn check_vs_golden(
+    g: &Cdfg,
+    golden: &Golden,
+    mut array_contents: impl FnMut(marionette_cdfg::ArrayId) -> Vec<Value>,
+    get_sink: impl FnMut(&str) -> Vec<Value>,
+) -> Vec<crate::traits::Mismatch> {
+    check_outputs(
+        golden,
+        |name| {
+            let id = g
+                .array_by_name(name)
+                .unwrap_or_else(|| panic!("output array {name} not declared"));
+            array_contents(id)
+        },
+        get_sink,
+    )
+}
+
+/// Convenience: check both interpreter modes at once.
+///
+/// # Errors
+/// Propagates the first failing mode's report.
+pub fn interp_check_both(k: &dyn Kernel, scale: Scale, seed: u64) -> Result<(), String> {
+    interp_check(k, scale, seed, ExecMode::Dropping)?;
+    interp_check(k, scale, seed, ExecMode::Predicated)
+}

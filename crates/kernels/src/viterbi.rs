@@ -1,0 +1,208 @@
+//! Viterbi (VI): hidden-Markov decoding. Triple-nested DP with an
+//! argmax branch in the innermost loop (Table 1: innermost branch,
+//! imperfect nest).
+
+use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::workload;
+use marionette_cdfg::builder::CdfgBuilder;
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+
+/// Viterbi decoder kernel (additive costs; max-sum recursion).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Viterbi;
+
+/// `(states, observations, alphabet)` per scale.
+fn dims(scale: Scale) -> (usize, usize, usize) {
+    match scale {
+        Scale::Paper => (64, 140, 64),
+        Scale::Small => (8, 12, 8),
+        Scale::Tiny => (3, 4, 3),
+    }
+}
+
+/// Scalar reference: returns `(backpointers, final_scores)`.
+pub fn viterbi_reference(
+    s: usize,
+    t_len: usize,
+    trans: &[i32],
+    emit: &[i32],
+    obs: &[i32],
+) -> (Vec<i32>, Vec<i32>) {
+    let m = emit.len() / s;
+    let mut prev = vec![0i32; s];
+    let mut cur = vec![0i32; s];
+    let mut bp = vec![0i32; t_len * s];
+    for st in 0..s {
+        prev[st] = emit[st * m + obs[0] as usize];
+    }
+    for t in 1..t_len {
+        let o = obs[t] as usize;
+        for st in 0..s {
+            let mut best = i32::MIN / 2;
+            let mut bestp = 0i32;
+            for p in 0..s {
+                let cand = prev[p] + trans[p * s + st];
+                if cand > best {
+                    best = cand;
+                    bestp = p as i32;
+                }
+            }
+            cur[st] = best + emit[st * m + o];
+            bp[t * s + st] = bestp;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (bp, prev)
+}
+
+impl Kernel for Viterbi {
+    fn name(&self) -> &'static str {
+        "Viterbi"
+    }
+
+    fn short(&self) -> &'static str {
+        "VI"
+    }
+
+    fn domain(&self) -> &'static str {
+        "General purpose"
+    }
+
+    fn workload(&self, scale: Scale, seed: u64) -> Workload {
+        let (s, t, m) = dims(scale);
+        let mut r = workload::rng(seed);
+        Workload {
+            arrays: vec![
+                ("trans".into(), workload::i32_vec(&mut r, s * s, -50, 0)),
+                ("emit".into(), workload::i32_vec(&mut r, s * m, -50, 0)),
+                ("obs".into(), workload::i32_vec(&mut r, t, 0, m as i32)),
+            ],
+            sizes: vec![
+                ("s".into(), s as i64),
+                ("t".into(), t as i64),
+                ("m".into(), m as i64),
+            ],
+        }
+    }
+
+    fn build(&self, wl: &Workload) -> Cdfg {
+        let s = wl.size("s") as i32;
+        let t_len = wl.size("t") as i32;
+        let m = wl.size("m") as i32;
+        let mut b = CdfgBuilder::new("viterbi");
+        let tv = wl.array_i32("trans");
+        let ev = wl.array_i32("emit");
+        let ov = wl.array_i32("obs");
+        let trans = b.array_i32("trans", tv.len(), &tv);
+        let emit = b.array_i32("emit", ev.len(), &ev);
+        let obs = b.array_i32("obs", ov.len(), &ov);
+        // Two score rows (ping-pong by t parity) in one array.
+        let score = b.array_i32("score", 2 * s as usize, &[]);
+        let bp = b.array_i32("bp", (t_len * s) as usize, &[]);
+        b.mark_output(bp);
+        let final_s = b.array_i32("final", s as usize, &[]);
+        b.mark_output(final_s);
+        let start = b.start_token();
+
+        // t = 0 initialization.
+        let o0 = b.load(obs, 0.into());
+        let init = b.for_range(0, s, &[start], |b, st, v| {
+            let ei = b.mul(st, m.into());
+            let ei = b.add(ei, o0);
+            let e = b.load(emit, ei);
+            let tok = b.store_dep(score, st, e, v[0]);
+            vec![tok]
+        });
+        let fence0 = init[0];
+
+        // Main recursion over observations.
+        let neg_inf = b.imm(i32::MIN / 2);
+        let outer = b.for_range(1, t_len, &[fence0], |b, t, v| {
+            let fence = v[0];
+            let o = b.load(obs, t);
+            let par = b.and_(t, 1.into());
+            let curbase = b.mul(par, s.into());
+            let one = b.imm(1);
+            let prevpar = b.sub(one, par);
+            let prevbase = b.mul(prevpar, s.into());
+            let trow = b.mul(t, s.into());
+            let states = b.for_range(0, s, &[fence], |b, st, w| {
+                let stok = w[0];
+                let zero_arg = b.imm(0);
+                let best = b.for_range(0, s, &[neg_inf, zero_arg], |b, p, acc| {
+                    let pi = b.add(prevbase, p);
+                    let sc = b.load_dep(score, pi, stok);
+                    let ti = b.mul(p, s.into());
+                    let ti = b.add(ti, st);
+                    let tr = b.load(trans, ti);
+                    let cand = b.add(sc, tr);
+                    let better = b.gt(cand, acc[0]);
+                    let r = b.if_else(better, |_| vec![cand, p], |_| vec![acc[0], acc[1]]);
+                    vec![r[0], r[1]]
+                });
+                let ei = b.mul(st, m.into());
+                let ei = b.add(ei, o);
+                let e = b.load(emit, ei);
+                let sc = b.add(best[0], e);
+                let ci = b.add(curbase, st);
+                let tok1 = b.store_dep(score, ci, sc, stok);
+                let bi = b.add(trow, st);
+                let tok2 = b.store_dep(bp, bi, best[1], tok1);
+                vec![tok2]
+            });
+            vec![states[0]]
+        });
+
+        // Copy out the final row for checking.
+        let lastpar = (t_len - 1) & 1;
+        let _ = b.for_range(0, s, &[outer[0]], |b, st, v| {
+            let idx = b.add(st, (lastpar * s).into());
+            let sc = b.load_dep(score, idx, v[0]);
+            let tok = b.store_dep(final_s, st, sc, v[0]);
+            vec![tok]
+        });
+        b.finish()
+    }
+
+    fn golden(&self, wl: &Workload) -> Golden {
+        let s = wl.size("s") as usize;
+        let t = wl.size("t") as usize;
+        let (bp, fin) = viterbi_reference(
+            s,
+            t,
+            &wl.array_i32("trans"),
+            &wl.array_i32("emit"),
+            &wl.array_i32("obs"),
+        );
+        Golden {
+            arrays: vec![
+                ("bp".into(), bp.into_iter().map(Value::I32).collect()),
+                ("final".into(), fin.into_iter().map(Value::I32).collect()),
+            ],
+            sinks: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::interp_check_both;
+
+    #[test]
+    fn matches_golden() {
+        interp_check_both(&Viterbi, Scale::Small, 8).unwrap();
+    }
+
+    #[test]
+    fn profile_shape() {
+        let k = Viterbi;
+        let wl = k.workload(Scale::Tiny, 0);
+        let g = k.build(&wl);
+        let p = marionette_cdfg::analysis::profile(&g);
+        assert!(p.branches.innermost);
+        assert!(p.loops.imperfect);
+        assert_eq!(p.loops.max_depth, 3);
+    }
+}

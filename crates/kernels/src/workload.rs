@@ -1,0 +1,56 @@
+//! Deterministic workload generation helpers (seeded).
+
+use marionette_cdfg::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG for workload generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0x4D61_7269_6F6E_6574) // "Marionet"
+}
+
+/// Random i32 vector in `lo..hi`.
+pub fn i32_vec(r: &mut StdRng, n: usize, lo: i32, hi: i32) -> Vec<Value> {
+    (0..n).map(|_| Value::I32(r.gen_range(lo..hi))).collect()
+}
+
+/// Random f32 vector in `lo..hi`.
+pub fn f32_vec(r: &mut StdRng, n: usize, lo: f32, hi: f32) -> Vec<Value> {
+    (0..n).map(|_| Value::F32(r.gen_range(lo..hi))).collect()
+}
+
+/// Random sparse binary vector with the given one-density (percent).
+pub fn binary_vec(r: &mut StdRng, n: usize, density_pct: u32) -> Vec<Value> {
+    (0..n)
+        .map(|_| Value::I32((r.gen_range(0u32..100) < density_pct) as i32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = i32_vec(&mut rng(7), 16, 0, 100);
+        let b = i32_vec(&mut rng(7), 16, 0, 100);
+        let c = i32_vec(&mut rng(8), 16, 0, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let v = i32_vec(&mut rng(1), 256, -5, 5);
+        assert!(v
+            .iter()
+            .all(|x| (-5..5).contains(&x.to_i32_lossy())));
+        let f = f32_vec(&mut rng(2), 64, 0.5, 1.5);
+        assert!(f.iter().all(|x| {
+            let v = x.as_f32().unwrap();
+            (0.5..1.5).contains(&v)
+        }));
+        let b = binary_vec(&mut rng(3), 100, 30);
+        assert!(b.iter().all(|x| matches!(x.to_i32_lossy(), 0 | 1)));
+    }
+}

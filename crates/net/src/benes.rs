@@ -1,0 +1,325 @@
+//! Benes rearrangeable non-blocking network.
+//!
+//! An N×N Benes network (N a power of two) consists of `2·log2(N) − 1`
+//! stages of N/2 two-by-two switches. It can realize *any* permutation of
+//! its inputs — the property the paper's control network design starts
+//! from (Fig 6a) because it needs far fewer switches than a crossbar.
+//!
+//! Routing uses the classic *looping algorithm*: connections sharing an
+//! input switch must use different subnetworks, and likewise for output
+//! switches; alternating these constraints around each loop 2-colors the
+//! connection graph, yielding the two half-size sub-permutations that are
+//! routed recursively.
+
+use std::fmt;
+
+/// Configuration of one Benes network: a recursive switch-setting tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BenesConfig {
+    /// 2×2 base case: `cross == false` routes straight.
+    Leaf {
+        /// Whether the single switch crosses its inputs.
+        cross: bool,
+    },
+    /// Recursive case.
+    Node {
+        /// Input-stage switch settings (`true` = cross), N/2 entries.
+        in_cross: Vec<bool>,
+        /// Output-stage switch settings, N/2 entries.
+        out_cross: Vec<bool>,
+        /// Upper N/2 subnetwork.
+        upper: Box<BenesConfig>,
+        /// Lower N/2 subnetwork.
+        lower: Box<BenesConfig>,
+    },
+}
+
+/// Routing failure: the requested mapping is not a permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotAPermutation;
+
+impl fmt::Display for NotAPermutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "requested mapping is not a permutation")
+    }
+}
+
+impl std::error::Error for NotAPermutation {}
+
+/// An N×N Benes network descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Benes {
+    n: usize,
+}
+
+impl Benes {
+    /// Creates a descriptor for an N×N network.
+    ///
+    /// # Panics
+    /// Panics unless `n` is a power of two and at least 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "benes size must be 2^k >= 2");
+        Benes { n }
+    }
+
+    /// Network radix.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of switch stages: `2·log2(N) − 1`.
+    pub fn stages(&self) -> usize {
+        2 * self.n.trailing_zeros() as usize - 1
+    }
+
+    /// Total number of 2×2 switches: `stages · N/2`.
+    pub fn switch_count(&self) -> usize {
+        self.stages() * self.n / 2
+    }
+
+    /// Configures the network to realize `perm` (`perm[i]` is the output
+    /// reached from input `i`) using the looping algorithm.
+    ///
+    /// # Errors
+    /// Returns [`NotAPermutation`] if `perm` is not a permutation of
+    /// `0..n`.
+    pub fn route(&self, perm: &[usize]) -> Result<BenesConfig, NotAPermutation> {
+        if perm.len() != self.n {
+            return Err(NotAPermutation);
+        }
+        let mut seen = vec![false; self.n];
+        for &p in perm {
+            if p >= self.n || seen[p] {
+                return Err(NotAPermutation);
+            }
+            seen[p] = true;
+        }
+        Ok(route_rec(perm))
+    }
+
+    /// Applies a configuration: returns `out` where `out[perm[i]] = i`,
+    /// i.e. the input index arriving at each output.
+    pub fn evaluate(&self, cfg: &BenesConfig) -> Vec<usize> {
+        let inputs: Vec<usize> = (0..self.n).collect();
+        eval_rec(cfg, &inputs)
+    }
+}
+
+fn route_rec(perm: &[usize]) -> BenesConfig {
+    let n = perm.len();
+    if n == 2 {
+        return BenesConfig::Leaf {
+            cross: perm[0] == 1,
+        };
+    }
+    let mut inv = vec![0usize; n];
+    for (i, &o) in perm.iter().enumerate() {
+        inv[o] = i;
+    }
+    // assign[i] == Some(true) => connection from input i uses the upper
+    // subnetwork.
+    let mut assign: Vec<Option<bool>> = vec![None; n];
+    for seed in 0..n {
+        if assign[seed].is_some() {
+            continue;
+        }
+        let mut cur = seed;
+        let color = true;
+        loop {
+            assign[cur] = Some(color);
+            // The output partner of cur's output must use the opposite
+            // subnetwork (they share an output switch).
+            let partner_out = perm[cur] ^ 1;
+            let partner_in = inv[partner_out];
+            if assign[partner_in].is_some() {
+                break;
+            }
+            assign[partner_in] = Some(!color);
+            // partner_in's input-switch partner must use the opposite of
+            // partner_in, i.e. `color` again.
+            let next = partner_in ^ 1;
+            if assign[next].is_some() {
+                break;
+            }
+            cur = next;
+        }
+    }
+    let half = n / 2;
+    let mut in_cross = vec![false; half];
+    let mut out_cross = vec![false; half];
+    let mut up_perm = vec![usize::MAX; half];
+    let mut low_perm = vec![usize::MAX; half];
+    for i in 0..n {
+        let upper = assign[i].expect("all assigned");
+        let s = i / 2; // input switch
+        let t = perm[i] / 2; // output switch
+        if upper {
+            up_perm[s] = t;
+        } else {
+            low_perm[s] = t;
+        }
+        // Input switch: straight sends even input to upper subnet.
+        if (i & 1 == 0) != upper {
+            in_cross[s] = true;
+        }
+        // Output switch: straight delivers upper subnet to even output.
+        if (perm[i] & 1 == 0) != upper {
+            out_cross[t] = true;
+        }
+    }
+    debug_assert!(up_perm.iter().all(|&x| x != usize::MAX));
+    debug_assert!(low_perm.iter().all(|&x| x != usize::MAX));
+    BenesConfig::Node {
+        in_cross,
+        out_cross,
+        upper: Box::new(route_rec(&up_perm)),
+        lower: Box::new(route_rec(&low_perm)),
+    }
+}
+
+fn eval_rec(cfg: &BenesConfig, inputs: &[usize]) -> Vec<usize> {
+    match cfg {
+        BenesConfig::Leaf { cross } => {
+            if *cross {
+                vec![inputs[1], inputs[0]]
+            } else {
+                inputs.to_vec()
+            }
+        }
+        BenesConfig::Node {
+            in_cross,
+            out_cross,
+            upper,
+            lower,
+        } => {
+            let half = inputs.len() / 2;
+            let mut up_in = vec![0usize; half];
+            let mut low_in = vec![0usize; half];
+            for s in 0..half {
+                let (a, b) = (inputs[2 * s], inputs[2 * s + 1]);
+                if in_cross[s] {
+                    up_in[s] = b;
+                    low_in[s] = a;
+                } else {
+                    up_in[s] = a;
+                    low_in[s] = b;
+                }
+            }
+            let up_out = eval_rec(upper, &up_in);
+            let low_out = eval_rec(lower, &low_in);
+            let mut out = vec![0usize; inputs.len()];
+            for t in 0..half {
+                if out_cross[t] {
+                    out[2 * t] = low_out[t];
+                    out[2 * t + 1] = up_out[t];
+                } else {
+                    out[2 * t] = up_out[t];
+                    out[2 * t + 1] = low_out[t];
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_perm(n: usize, perm: Vec<usize>) {
+        let net = Benes::new(n);
+        let cfg = net.route(&perm).expect("routable");
+        let out = net.evaluate(&cfg);
+        for (i, &o) in perm.iter().enumerate() {
+            assert_eq!(out[o], i, "input {i} should reach output {o}");
+        }
+    }
+
+    #[test]
+    fn identity_and_reversal() {
+        check_perm(8, (0..8).collect());
+        check_perm(8, (0..8).rev().collect());
+        check_perm(2, vec![1, 0]);
+        check_perm(2, vec![0, 1]);
+    }
+
+    #[test]
+    fn all_permutations_of_4() {
+        // exhaustive for N=4 (24 permutations)
+        let mut perm = [0usize, 1, 2, 3];
+        permutohedron_heap(&mut perm, &mut |p| check_perm(4, p.to_vec()));
+    }
+
+    /// Minimal Heap's algorithm to avoid a dependency.
+    fn permutohedron_heap(arr: &mut [usize; 4], f: &mut impl FnMut(&[usize; 4])) {
+        fn heap(k: usize, arr: &mut [usize; 4], f: &mut impl FnMut(&[usize; 4])) {
+            if k == 1 {
+                f(arr);
+                return;
+            }
+            for i in 0..k {
+                heap(k - 1, arr, f);
+                if k % 2 == 0 {
+                    arr.swap(i, k - 1);
+                } else {
+                    arr.swap(0, k - 1);
+                }
+            }
+        }
+        heap(4, arr, f);
+    }
+
+    #[test]
+    fn structural_counts() {
+        let n64 = Benes::new(64);
+        assert_eq!(n64.stages(), 11);
+        assert_eq!(n64.switch_count(), 11 * 32);
+        let n16 = Benes::new(16);
+        assert_eq!(n16.stages(), 7);
+        assert_eq!(n16.switch_count(), 7 * 8);
+    }
+
+    #[test]
+    fn rejects_non_permutations() {
+        let net = Benes::new(4);
+        assert!(net.route(&[0, 0, 1, 2]).is_err());
+        assert!(net.route(&[0, 1, 2]).is_err());
+        assert!(net.route(&[0, 1, 2, 9]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "benes size must be 2^k")]
+    fn rejects_non_power_of_two() {
+        let _ = Benes::new(6);
+    }
+
+    proptest! {
+        #[test]
+        fn routes_any_permutation_64(seed in 0u64..5000) {
+            // Fisher-Yates with a tiny LCG for determinism.
+            let n = 64usize;
+            let mut perm: Vec<usize> = (0..n).collect();
+            let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for i in (1..n).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (s >> 33) as usize % (i + 1);
+                perm.swap(i, j);
+            }
+            check_perm(n, perm);
+        }
+
+        #[test]
+        fn routes_any_permutation_16(seed in 0u64..2000) {
+            let n = 16usize;
+            let mut perm: Vec<usize> = (0..n).collect();
+            let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            for i in (1..n).rev() {
+                s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                let j = (s >> 33) as usize % (i + 1);
+                perm.swap(i, j);
+            }
+            check_perm(n, perm);
+        }
+    }
+}

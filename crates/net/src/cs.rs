@@ -1,0 +1,228 @@
+//! Consecutive-Spreading (CS) broadcast network.
+//!
+//! The Benes network cannot broadcast; the paper augments it with the CS
+//! network of Lea (1988), which spreads each input over a *consecutive*
+//! range of outputs at a cost far below cascading same-sized networks
+//! (Fig 6b). We implement the spreading fabric as `log2(N)` stages of
+//! per-line 2:1 copy cells with strides `N/2, N/4, …, 1`: a value sitting
+//! at the start of its target interval doubles across the interval, one
+//! stride at a time. Disjoint intervals use disjoint cells, so any
+//! non-overlapping interval assignment is conflict-free.
+
+use std::fmt;
+
+/// Configuration of one CS network: for each stage, for each line, whether
+/// the line copies from its stride partner (`line - stride`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsConfig {
+    /// `copy[stage][line]` — line takes the value from `line - stride`.
+    pub copy: Vec<Vec<bool>>,
+}
+
+/// Interval assignment error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsError {
+    /// An interval exceeds the line range.
+    OutOfRange,
+    /// Two intervals overlap.
+    Overlap,
+    /// A value's line is not at the start of its interval.
+    Misaligned,
+}
+
+impl fmt::Display for CsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsError::OutOfRange => write!(f, "interval out of range"),
+            CsError::Overlap => write!(f, "intervals overlap"),
+            CsError::Misaligned => write!(f, "value not at interval start"),
+        }
+    }
+}
+
+impl std::error::Error for CsError {}
+
+/// An N-line consecutive-spreading network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CsNetwork {
+    n: usize,
+}
+
+impl CsNetwork {
+    /// Creates an N-line network.
+    ///
+    /// # Panics
+    /// Panics unless `n` is a power of two and at least 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "cs size must be 2^k >= 2");
+        CsNetwork { n }
+    }
+
+    /// Line count.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Stage count: `log2(N)`.
+    pub fn stages(&self) -> usize {
+        self.n.trailing_zeros() as usize
+    }
+
+    /// Copy-cell count: one 2:1 selector per line per stage.
+    pub fn cell_count(&self) -> usize {
+        self.n * self.stages()
+    }
+
+    /// Configures spreading for non-overlapping intervals.
+    ///
+    /// Each `(lo, hi)` entry spreads the value entering at line `lo` over
+    /// output lines `lo..hi`.
+    ///
+    /// # Errors
+    /// Returns [`CsError`] if intervals are out of range or overlap.
+    pub fn route(&self, intervals: &[(usize, usize)]) -> Result<CsConfig, CsError> {
+        let mut owner = vec![usize::MAX; self.n];
+        for (k, &(lo, hi)) in intervals.iter().enumerate() {
+            if lo >= hi {
+                continue; // empty interval: nothing to spread
+            }
+            if hi > self.n {
+                return Err(CsError::OutOfRange);
+            }
+            for line in lo..hi {
+                if owner[line] != usize::MAX {
+                    return Err(CsError::Overlap);
+                }
+                owner[line] = k;
+            }
+        }
+        let stages = self.stages();
+        let mut copy = vec![vec![false; self.n]; stages];
+        for &(lo, hi) in intervals {
+            if lo >= hi {
+                continue;
+            }
+            // Doubling schedule: after the stage with stride s, lines
+            // { lo + m·s } ∩ [lo, hi) hold the value.
+            let mut occupied: Vec<usize> = vec![lo];
+            for (si, stage) in copy.iter_mut().enumerate() {
+                let stride = self.n >> (si + 1);
+                let mut new = Vec::new();
+                for &x in &occupied {
+                    let y = x + stride;
+                    if y < hi {
+                        stage[y] = true;
+                        new.push(y);
+                    }
+                }
+                occupied.extend(new);
+            }
+        }
+        Ok(CsConfig { copy })
+    }
+
+    /// Applies a configuration to input line values; `None` lines are
+    /// empty.
+    pub fn evaluate<T: Copy>(&self, cfg: &CsConfig, inputs: &[Option<T>]) -> Vec<Option<T>> {
+        assert_eq!(inputs.len(), self.n);
+        let mut lines = inputs.to_vec();
+        for (si, stage) in cfg.copy.iter().enumerate() {
+            let stride = self.n >> (si + 1);
+            let prev = lines.clone();
+            for (line, &c) in stage.iter().enumerate() {
+                if c {
+                    lines[line] = prev[line - stride];
+                }
+            }
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check(n: usize, intervals: Vec<(usize, usize)>) {
+        let net = CsNetwork::new(n);
+        let cfg = net.route(&intervals).expect("routable");
+        let mut inputs = vec![None; n];
+        for (k, &(lo, hi)) in intervals.iter().enumerate() {
+            if lo < hi {
+                inputs[lo] = Some(k);
+            }
+        }
+        let out = net.evaluate(&cfg, &inputs);
+        for (k, &(lo, hi)) in intervals.iter().enumerate() {
+            for line in lo..hi {
+                assert_eq!(out[line], Some(k), "line {line} of interval {k}");
+            }
+        }
+        // Lines outside every interval must not receive spurious copies of
+        // interval starts that were overwritten... they may carry stale
+        // input values but never a spread value.
+        for line in 0..n {
+            let inside = intervals.iter().any(|&(lo, hi)| line >= lo && line < hi);
+            if !inside && out[line].is_some() {
+                // Only acceptable if the line held an input and no one
+                // overwrote it.
+                assert_eq!(out[line], inputs[line], "stray copy at {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_full_broadcast() {
+        check(8, vec![(0, 8)]);
+        check(16, vec![(0, 16)]);
+    }
+
+    #[test]
+    fn arbitrary_intervals() {
+        check(8, vec![(1, 6)]);
+        check(8, vec![(0, 3), (3, 5), (5, 8)]);
+        check(16, vec![(2, 5), (7, 8), (9, 16)]);
+        check(8, vec![(3, 5)]);
+    }
+
+    #[test]
+    fn empty_intervals_allowed() {
+        check(8, vec![(0, 0), (2, 4), (6, 6)]);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let net = CsNetwork::new(8);
+        assert_eq!(net.route(&[(0, 4), (3, 6)]).unwrap_err(), CsError::Overlap);
+        assert_eq!(net.route(&[(4, 10)]).unwrap_err(), CsError::OutOfRange);
+    }
+
+    #[test]
+    fn structural_counts() {
+        let net = CsNetwork::new(16);
+        assert_eq!(net.stages(), 4);
+        assert_eq!(net.cell_count(), 64);
+    }
+
+    proptest! {
+        #[test]
+        fn random_interval_sets(seed in 0u64..3000) {
+            let n = 64usize;
+            // carve 0..n into random disjoint intervals with gaps
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (s >> 33) as usize };
+            let mut intervals = Vec::new();
+            let mut pos = 0usize;
+            while pos < n {
+                let gap = next() % 3;
+                pos += gap;
+                if pos >= n { break; }
+                let len = 1 + next() % (n - pos);
+                intervals.push((pos, pos + len));
+                pos += len;
+            }
+            check(n, intervals);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! The CS-Benes control network (Fig 6c): single-cycle, statically
+//! configured, peer-to-peer multicast of control flow between PEs, control
+//! FIFOs and the controller.
+//!
+//! The paper composes Consecutive-Spreading stages with a 64×64 Benes
+//! permutation so that each of the 16 PE-array control outputs can reach
+//! any set of control inputs with *no arbitration*: the network is
+//! configured once per mapping and every path sustains one transfer per
+//! cycle. We realize the same composition constructively:
+//!
+//! 1. each multicast source is assigned a consecutive interval of internal
+//!    lines sized by its fanout;
+//! 2. the Benes permutation carries source `i` to the start of its
+//!    interval;
+//! 3. the CS stage spreads it across the interval;
+//! 4. a per-output selector picks the line carrying the value destined to
+//!    that output.
+//!
+//! Total fanout is bounded by the internal line count (64 in the paper's
+//! 4×4 instance); the compiler degrades to time-multiplexed delivery when
+//! a mapping exceeds it (none of the evaluation kernels do).
+
+use crate::benes::{Benes, BenesConfig};
+use crate::cs::{CsConfig, CsNetwork};
+use std::fmt;
+
+/// A configured control-network instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CtrlNetConfig {
+    /// Permutation stage settings.
+    pub benes: BenesConfig,
+    /// Spreading stage settings.
+    pub cs: CsConfig,
+    /// Per-output line selector (`None` = output unused).
+    pub out_sel: Vec<Option<usize>>,
+    /// Source port feeding each interval, for diagnostics.
+    pub intervals: Vec<(usize, usize, usize)>,
+}
+
+/// Control network routing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlNetError {
+    /// Sum of fanouts exceeds the internal line count.
+    FanoutExceeded {
+        /// Requested total fanout.
+        requested: usize,
+        /// Available internal lines.
+        capacity: usize,
+    },
+    /// More sources than input ports.
+    TooManySources,
+    /// A destination port is out of range or doubly driven.
+    BadDestination(usize),
+}
+
+impl fmt::Display for CtrlNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtrlNetError::FanoutExceeded {
+                requested,
+                capacity,
+            } => write!(f, "total fanout {requested} exceeds {capacity} lines"),
+            CtrlNetError::TooManySources => write!(f, "more sources than input ports"),
+            CtrlNetError::BadDestination(d) => write!(f, "bad destination {d}"),
+        }
+    }
+}
+
+impl std::error::Error for CtrlNetError {}
+
+/// The control network of a Marionette fabric: `ports` endpoints (PE
+/// control I/O, control FIFOs, controller) over `lines` internal lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CsBenesNetwork {
+    ports: usize,
+    lines: usize,
+}
+
+impl CsBenesNetwork {
+    /// Creates a network with the given endpoint count and internal line
+    /// count (the paper's 4×4 instance uses 16+ ports over 64 lines).
+    ///
+    /// # Panics
+    /// Panics unless `lines` is a power of two, at least `ports`.
+    pub fn new(ports: usize, lines: usize) -> Self {
+        assert!(lines.is_power_of_two() && lines >= 2, "lines must be 2^k");
+        assert!(lines >= ports, "need at least one line per port");
+        CsBenesNetwork { ports, lines }
+    }
+
+    /// The paper's configuration: 16 endpoints over a 64×64 Benes with
+    /// 16×16 CS stages.
+    pub fn paper_4x4() -> Self {
+        CsBenesNetwork::new(16, 64)
+    }
+
+    /// Endpoint count.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Internal line count.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Total 2×2-switch-equivalent count (Benes switches + CS cells),
+    /// the basis of the Table 6 area comparison.
+    pub fn switch_count(&self) -> usize {
+        Benes::new(self.lines).switch_count() + CsNetwork::new(self.lines).cell_count() / 2
+    }
+
+    /// Configures the network for a set of multicasts: `casts[k] = (src,
+    /// dsts)` routes source port `src` to every port in `dsts`. Each
+    /// destination may be driven by at most one source.
+    ///
+    /// # Errors
+    /// See [`CtrlNetError`].
+    pub fn route(&self, casts: &[(usize, Vec<usize>)]) -> Result<CtrlNetConfig, CtrlNetError> {
+        if casts.len() > self.ports {
+            return Err(CtrlNetError::TooManySources);
+        }
+        let total: usize = casts.iter().map(|(_, d)| d.len()).sum();
+        if total > self.lines {
+            return Err(CtrlNetError::FanoutExceeded {
+                requested: total,
+                capacity: self.lines,
+            });
+        }
+        let mut out_sel: Vec<Option<usize>> = vec![None; self.ports];
+        let mut intervals = Vec::new();
+        let mut perm_pairs: Vec<(usize, usize)> = Vec::new(); // (input line, target line)
+        let mut cursor = 0usize;
+        let mut cs_intervals = Vec::new();
+        for (src, dsts) in casts {
+            if *src >= self.ports {
+                return Err(CtrlNetError::BadDestination(*src));
+            }
+            if dsts.is_empty() {
+                continue; // source drives nothing: no lines needed
+            }
+            let lo = cursor;
+            let hi = cursor + dsts.len();
+            perm_pairs.push((*src, lo));
+            cs_intervals.push((lo, hi));
+            for (k, &d) in dsts.iter().enumerate() {
+                if d >= self.ports || out_sel[d].is_some() {
+                    return Err(CtrlNetError::BadDestination(d));
+                }
+                out_sel[d] = Some(lo + k);
+            }
+            intervals.push((lo, hi, *src));
+            cursor = hi;
+        }
+        // Complete the permutation: unused inputs map to leftover lines.
+        let mut used_out = vec![false; self.lines];
+        for &(_, t) in &perm_pairs {
+            used_out[t] = true;
+        }
+        let mut used_in = vec![false; self.lines];
+        for &(s, _) in &perm_pairs {
+            used_in[s] = true;
+        }
+        let mut perm = vec![usize::MAX; self.lines];
+        for &(s, t) in &perm_pairs {
+            perm[s] = t;
+        }
+        let mut free_out = (0..self.lines).filter(|&o| !used_out[o]);
+        for (i, p) in perm.iter_mut().enumerate() {
+            if *p == usize::MAX {
+                let _ = i;
+                *p = free_out.next().expect("line counts match");
+            }
+        }
+        let benes = Benes::new(self.lines)
+            .route(&perm)
+            .expect("constructed permutation is valid");
+        let cs = CsNetwork::new(self.lines)
+            .route(&cs_intervals)
+            .expect("intervals are disjoint by construction");
+        Ok(CtrlNetConfig {
+            benes,
+            cs,
+            out_sel,
+            intervals,
+        })
+    }
+
+    /// Evaluates a configured network on source port values.
+    ///
+    /// Returns the value arriving at each output port.
+    pub fn evaluate<T: Copy>(&self, cfg: &CtrlNetConfig, inputs: &[Option<T>]) -> Vec<Option<T>> {
+        assert_eq!(inputs.len(), self.ports);
+        // Input ports sit on the first `ports` lines.
+        let mut lines: Vec<Option<T>> = vec![None; self.lines];
+        lines[..self.ports].copy_from_slice(inputs);
+        // Benes permutation.
+        let mapping = Benes::new(self.lines).evaluate(&cfg.benes);
+        let mut permuted: Vec<Option<T>> = vec![None; self.lines];
+        for (out_line, &in_line) in mapping.iter().enumerate() {
+            permuted[out_line] = lines[in_line];
+        }
+        // CS spreading.
+        let spread = CsNetwork::new(self.lines).evaluate(&cfg.cs, &permuted);
+        // Output selectors.
+        cfg.out_sel
+            .iter()
+            .map(|sel| sel.and_then(|line| spread[line]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check(net: CsBenesNetwork, casts: Vec<(usize, Vec<usize>)>) {
+        let cfg = net.route(&casts).expect("routable");
+        let mut inputs = vec![None; net.ports()];
+        for (src, _) in &casts {
+            inputs[*src] = Some(*src as u32 + 100);
+        }
+        let out = net.evaluate(&cfg, &inputs);
+        let mut expected = vec![None; net.ports()];
+        for (src, dsts) in &casts {
+            for &d in dsts {
+                expected[d] = Some(*src as u32 + 100);
+            }
+        }
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn unicast_pairs() {
+        check(
+            CsBenesNetwork::paper_4x4(),
+            vec![(0, vec![5]), (1, vec![0]), (7, vec![7])],
+        );
+    }
+
+    #[test]
+    fn broadcast_one_to_all() {
+        let all: Vec<usize> = (0..16).collect();
+        check(CsBenesNetwork::paper_4x4(), vec![(3, all)]);
+    }
+
+    #[test]
+    fn mixed_multicast() {
+        check(
+            CsBenesNetwork::paper_4x4(),
+            vec![
+                (0, vec![1, 2, 3]),
+                (4, vec![0, 8, 9, 10]),
+                (5, vec![4]),
+                (15, vec![5, 6, 7, 11, 12, 13, 14, 15]),
+            ],
+        );
+    }
+
+    #[test]
+    fn fanout_limit_enforced() {
+        let net = CsBenesNetwork::new(4, 4);
+        let err = net
+            .route(&[(0, vec![0, 1, 2]), (1, vec![3]), (2, vec![])])
+            .map(|_| ());
+        assert!(err.is_ok());
+        let err = net.route(&[(0, vec![0, 1, 2, 3]), (1, vec![0])]);
+        assert!(matches!(
+            err.unwrap_err(),
+            CtrlNetError::BadDestination(0) | CtrlNetError::FanoutExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn double_driven_output_rejected() {
+        let net = CsBenesNetwork::paper_4x4();
+        let err = net.route(&[(0, vec![3]), (1, vec![3])]).unwrap_err();
+        assert_eq!(err, CtrlNetError::BadDestination(3));
+    }
+
+    #[test]
+    fn switch_count_sane() {
+        let net = CsBenesNetwork::paper_4x4();
+        // 64x64 Benes: 11 stages * 32 = 352; CS(64): 64*6/2 = 192
+        assert_eq!(net.switch_count(), 352 + 192);
+    }
+
+    proptest! {
+        #[test]
+        fn random_multicasts(seed in 0u64..2000) {
+            let net = CsBenesNetwork::paper_4x4();
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+            let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (s >> 33) as usize };
+            // random assignment of each output to at most one source
+            let nsrc = 1 + next() % 8;
+            let srcs: Vec<usize> = (0..nsrc).map(|_| next() % 16).collect();
+            let mut casts: Vec<(usize, Vec<usize>)> = Vec::new();
+            let mut seen_src = std::collections::HashSet::new();
+            for &s0 in &srcs {
+                if seen_src.insert(s0) {
+                    casts.push((s0, vec![]));
+                }
+            }
+            for out in 0..16 {
+                if next() % 3 == 0 {
+                    let k = next() % casts.len();
+                    casts[k].1.push(out);
+                }
+            }
+            check(net, casts);
+        }
+    }
+}

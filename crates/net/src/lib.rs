@@ -1,0 +1,28 @@
+//! # marionette-net
+//!
+//! Interconnect substrate of the Marionette reproduction:
+//!
+//! - [`benes`]: N×N rearrangeable non-blocking Benes network with the
+//!   looping routing algorithm (the control network's permutation core,
+//!   Fig 6a);
+//! - [`cs`]: Consecutive-Spreading broadcast stages (Fig 6b);
+//! - [`csbenes`]: the composed CS-Benes control network — statically
+//!   configured single-cycle peer-to-peer multicast with no arbitration
+//!   (Fig 6c);
+//! - [`mesh`]: the XY-routed mesh data network topology whose per-link
+//!   bandwidth the simulator accounts cycle by cycle.
+//!
+//! Switch/cell counts exposed here feed the `marionette-hw` area models
+//! behind Table 6 and the Fig 13 scalability study.
+
+#![warn(missing_docs)]
+
+pub mod benes;
+pub mod cs;
+pub mod csbenes;
+pub mod mesh;
+
+pub use benes::{Benes, BenesConfig};
+pub use cs::{CsConfig, CsNetwork};
+pub use csbenes::{CsBenesNetwork, CtrlNetConfig, CtrlNetError};
+pub use mesh::{Dir, LinkId, Mesh};

@@ -1,0 +1,32 @@
+//! # marionette-sim
+//!
+//! Cycle-level simulator for the Marionette spatial architecture and the
+//! baseline PE execution models it is evaluated against.
+//!
+//! The simulator executes a placed-and-routed [`MachineProgram`] (produced
+//! by `marionette-compiler`, loadable from an ISA bitstream) with real
+//! 32-bit values — every kernel's outputs are checked against golden
+//! references — while accounting cycles for:
+//!
+//! - PE issue bandwidth (one FU operation per cycle, plus a parallel
+//!   control flow part on Marionette-style PEs);
+//! - the mesh data NoC (per-link bandwidth, XY routes, contention);
+//! - the CS-Benes control network (single-cycle fixed paths);
+//! - configuration behaviour: per-firing configure overhead (dataflow
+//!   PEs), predicated branch execution (von Neumann PEs), group-exclusive
+//!   execution with configuration-switch stalls (CCU round trips), and
+//!   CCU surcharges on dynamically-bounded loop activations;
+//! - memory latency on an optimistic multi-ported scratchpad.
+//!
+//! Architectural presets live in `marionette-arch`; this crate provides
+//! the neutral machine plus the [`TimingModel`] parameter space.
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod stats;
+pub mod timing;
+
+pub use machine::{run, RunResult, SimError};
+pub use stats::{GroupStats, RunStats, UnitStats};
+pub use timing::{CtrlTransport, TimingModel};

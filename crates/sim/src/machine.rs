@@ -1,0 +1,1242 @@
+//! The cycle-level machine: executes a placed [`MachineProgram`] under a
+//! [`TimingModel`].
+//!
+//! The machine is a synchronous token simulator:
+//!
+//! - every PE has a **data flow part** (one FU issue per cycle among its
+//!   resident operators) and, on Marionette-style models, a **control
+//!   flow part** issuing control operators in parallel (temporal
+//!   decoupling, Fig 4);
+//! - inter-tile data tokens traverse the mesh as flits, one link per
+//!   cycle, one flit per directed link per cycle (contention is real);
+//! - control tokens either ride the dedicated control network
+//!   (fixed-path, one cycle, per-route serialization — Fig 6) or the
+//!   mesh, per the timing model;
+//! - configuration behaviour is modeled through group exclusivity and
+//!   switch costs (CCU round trips for von Neumann machines, cheap
+//!   proactive switches for non-agile Marionette) plus the per-firing
+//!   configure overhead of dataflow PEs;
+//! - operator firing semantics are identical to the reference
+//!   interpreter's (`marionette-cdfg::interp`), including predicated
+//!   (poison) execution — integration tests assert cycle-level runs
+//!   produce bit-identical outputs.
+
+use crate::stats::{GroupStats, RunStats, UnitStats};
+use crate::timing::{CtrlTransport, TimingModel};
+use marionette_cdfg::op::{Op, SteerRole};
+use marionette_cdfg::value::Value;
+use marionette_isa::{MachineProgram, OperandSrc, Placement, RouteClass};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::fmt;
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No progress is possible but tokens remain.
+    Deadlock {
+        /// Cycle at which the machine wedged.
+        cycle: u64,
+        /// Diagnostic description.
+        detail: String,
+    },
+    /// The cycle budget was exhausted.
+    CycleLimit {
+        /// The exceeded budget.
+        limit: u64,
+    },
+    /// A workload array does not exist in the program.
+    UnknownArray(String),
+    /// A parameter override does not exist in the program.
+    UnknownParam(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, detail } => {
+                write!(f, "deadlock at cycle {cycle}: {detail}")
+            }
+            SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
+            SimError::UnknownArray(a) => write!(f, "unknown workload array {a}"),
+            SimError::UnknownParam(p) => write!(f, "unknown parameter {p}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Run statistics (cycles, utilization, transport counters).
+    pub stats: RunStats,
+    /// Final contents of every array, by program array index.
+    pub memory: Vec<Vec<Value>>,
+    /// Sink collections by label.
+    pub sinks: HashMap<String, Vec<Value>>,
+    /// Out-of-bounds accesses observed (should be zero).
+    pub oob_events: u64,
+}
+
+impl RunResult {
+    /// Final contents of a named array.
+    pub fn array(&self, prog: &MachineProgram, name: &str) -> Option<Vec<Value>> {
+        prog.arrays
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| self.memory[i].clone())
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum SeqState {
+    Fresh,
+    Looping,
+    Held(Value),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct EvKey {
+    at: u64,
+    seq: u64,
+}
+
+#[derive(Clone, Debug)]
+enum EvKind {
+    Deliver {
+        node: u32,
+        port: u8,
+        value: Value,
+        route: Option<u32>,
+    },
+    SpawnFlit {
+        route: u32,
+        value: Value,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Flit {
+    route: u32,
+    hop: usize,
+    value: Value,
+    alive: bool,
+    /// Earliest cycle the flit may take its next link (link latency).
+    ready_at: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ConsLink {
+    Local { node: u32, port: u8 },
+    Remote { route: u32 },
+}
+
+/// Unit index space: data PEs, then control parts, then net switches,
+/// then memory stream units.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct UnitId(usize);
+
+struct Machine<'p> {
+    prog: &'p MachineProgram,
+    tm: &'p TimingModel,
+    npes: usize,
+    cols: usize,
+    // topology of units
+    node_unit: Vec<UnitId>,
+    /// Loop-header basic blocks: their operators form one *loop unit*
+    /// (the paper's Loop operator / stream generators of the baselines)
+    /// that evaluates combinationally once per cycle.
+    header_bb: Vec<bool>,
+    /// Virtual unit index per header bb (usize::MAX when not a header).
+    header_unit: Vec<usize>,
+    last_fire_cycle: Vec<u64>,
+    unit_free_at: Vec<u64>,
+    unit_candidates: Vec<VecDeque<u32>>,
+    in_candidates: Vec<bool>,
+    // queues
+    port_base: Vec<usize>,
+    queues: Vec<VecDeque<Value>>,
+    /// Tokens emitted but not yet delivered (local/control-network), per
+    /// queue: capacity checks count them so deliveries never find a full
+    /// queue and per-edge FIFO order is preserved.
+    reserved: Vec<usize>,
+    blocked_on_queue: Vec<Vec<u32>>,
+    // routing
+    consumers: Vec<Vec<ConsLink>>,
+    route_inflight: Vec<usize>,
+    blocked_on_route: Vec<Vec<u32>>,
+    route_next_free: Vec<u64>,
+    link_used: Vec<u64>,
+    flits: Vec<Flit>,
+    // events
+    events: BinaryHeap<Reverse<EvKey>>,
+    event_payload: HashMap<EvKey, EvKind>,
+    ev_seq: u64,
+    // state
+    seq_state: Vec<SeqState>,
+    params: Vec<Value>,
+    memory: Vec<Vec<Value>>,
+    oob: u64,
+    sinks: HashMap<String, Vec<Value>>,
+    // groups
+    active_group: u16,
+    switch_until: u64,
+    last_active_fire: u64,
+    /// Tokens emitted but not yet delivered, per destination group:
+    /// a group with in-flight traffic is not drained, so exclusive
+    /// execution must not switch away from it yet.
+    group_inflight: Vec<u64>,
+    // stats
+    stats: RunStats,
+    cycle: u64,
+    progressed: bool,
+}
+
+/// Runs a program to quiescence.
+///
+/// `inputs` overwrite array contents by name (missing arrays zero-fill);
+/// `params` override scalar parameters.
+///
+/// # Errors
+/// Returns [`SimError`] on deadlock, cycle-budget exhaustion or unknown
+/// workload names.
+pub fn run(
+    prog: &MachineProgram,
+    tm: &TimingModel,
+    inputs: &[(String, Vec<Value>)],
+    params: &[(String, Value)],
+    max_cycles: u64,
+) -> Result<RunResult, SimError> {
+    let mut m = Machine::new(prog, tm)?;
+    for (name, data) in inputs {
+        let idx = prog
+            .arrays
+            .iter()
+            .position(|a| &a.name == name)
+            .ok_or_else(|| SimError::UnknownArray(name.clone()))?;
+        let arr = &mut m.memory[idx];
+        for (i, v) in data.iter().enumerate().take(arr.len()) {
+            arr[i] = *v;
+        }
+    }
+    for (name, v) in params {
+        let idx = prog
+            .param_by_name(name)
+            .ok_or_else(|| SimError::UnknownParam(name.clone()))?;
+        m.params[idx as usize] = *v;
+    }
+    m.boot();
+    m.run_to_quiescence(max_cycles)?;
+    let mut stats = m.stats;
+    stats.cycles = m.cycle;
+    Ok(RunResult {
+        stats,
+        memory: m.memory,
+        sinks: m.sinks,
+        oob_events: m.oob,
+    })
+}
+
+impl<'p> Machine<'p> {
+    fn new(prog: &'p MachineProgram, tm: &'p TimingModel) -> Result<Self, SimError> {
+        let npes = prog.pe_count();
+        let nmem = prog
+            .nodes
+            .iter()
+            .filter_map(|n| match n.place {
+                Placement::MemUnit { unit } => Some(unit as usize + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        // Loop headers: blocks containing a Carry operator. Every header
+        // block becomes a dedicated loop unit.
+        let max_bb = prog.nodes.iter().map(|n| n.bb as usize + 1).max().unwrap_or(1);
+        let mut header_bb = vec![false; max_bb];
+        for n in &prog.nodes {
+            if matches!(n.op, Op::Carry) {
+                header_bb[n.bb as usize] = true;
+            }
+        }
+        let mut header_unit = vec![usize::MAX; max_bb];
+        let mut next_unit = 3 * npes + nmem;
+        for (bb, is_h) in header_bb.iter().enumerate() {
+            if *is_h {
+                header_unit[bb] = next_unit;
+                next_unit += 1;
+            }
+        }
+        let nunits = next_unit;
+        let mut port_base = Vec::with_capacity(prog.nodes.len() + 1);
+        let mut total = 0usize;
+        for n in &prog.nodes {
+            port_base.push(total);
+            total += n.srcs.len();
+        }
+        port_base.push(total);
+
+        let node_unit: Vec<UnitId> = prog
+            .nodes
+            .iter()
+            .map(|n| {
+                if header_bb[n.bb as usize] && !n.op.is_memory() {
+                    return UnitId(header_unit[n.bb as usize]);
+                }
+                match n.place {
+                    Placement::Pe { pe } => UnitId(pe as usize),
+                    Placement::CtrlPlane { pe } => {
+                        if tm.ctrl_parallel {
+                            UnitId(npes + pe as usize)
+                        } else {
+                            UnitId(pe as usize)
+                        }
+                    }
+                    Placement::NetSwitch { sw } => UnitId(2 * npes + sw as usize),
+                    Placement::MemUnit { unit } => UnitId(3 * npes + unit as usize),
+                }
+            })
+            .collect();
+
+        let mut consumers: Vec<Vec<ConsLink>> = vec![Vec::new(); prog.nodes.len()];
+        for (ri, r) in prog.routes.iter().enumerate() {
+            let link = if r.path.len() <= 1 {
+                ConsLink::Local {
+                    node: r.dst,
+                    port: r.dst_port,
+                }
+            } else {
+                ConsLink::Remote { route: ri as u32 }
+            };
+            consumers[r.src as usize].push(link);
+        }
+
+        let memory: Vec<Vec<Value>> = prog
+            .arrays
+            .iter()
+            .map(|a| vec![a.elem.zero(); a.len as usize])
+            .collect();
+
+        Ok(Machine {
+            prog,
+            tm,
+            npes,
+            cols: prog.cols as usize,
+            node_unit,
+            header_bb,
+            header_unit,
+            last_fire_cycle: vec![u64::MAX; prog.nodes.len()],
+            unit_free_at: vec![0; nunits],
+            unit_candidates: vec![VecDeque::new(); nunits],
+            in_candidates: vec![false; prog.nodes.len()],
+            port_base,
+            queues: vec![VecDeque::new(); total],
+            reserved: vec![0; total],
+            blocked_on_queue: vec![Vec::new(); total],
+            consumers,
+            route_inflight: vec![0; prog.routes.len()],
+            blocked_on_route: vec![Vec::new(); prog.routes.len()],
+            route_next_free: vec![0; prog.routes.len()],
+            link_used: vec![u64::MAX; 4 * npes],
+            flits: Vec::new(),
+            events: BinaryHeap::new(),
+            event_payload: HashMap::new(),
+            ev_seq: 0,
+            seq_state: vec![SeqState::Fresh; prog.nodes.len()],
+            params: prog.params.iter().map(|p| p.default).collect(),
+            memory,
+            oob: 0,
+            sinks: prog
+                .nodes
+                .iter()
+                .filter(|n| matches!(n.op, Op::Sink))
+                .map(|n| (n.label.clone().unwrap_or_default(), Vec::new()))
+                .collect(),
+            active_group: 0,
+            switch_until: 0,
+            last_active_fire: 0,
+            group_inflight: {
+                let ngroups = prog.nodes.iter().map(|n| n.group as usize + 1).max().unwrap_or(1);
+                vec![0; ngroups]
+            },
+            stats: RunStats {
+                pe_data: vec![UnitStats::default(); npes],
+                pe_ctrl: vec![UnitStats::default(); npes],
+                groups: Vec::new(),
+                ..Default::default()
+            },
+            cycle: 0,
+            progressed: false,
+        })
+    }
+
+    fn boot(&mut self) {
+        // Fire every Start node at cycle 0.
+        for (i, n) in self.prog.nodes.iter().enumerate() {
+            if matches!(n.op, Op::Start) {
+                self.active_group = n.group;
+                self.record_fire(i as u32, false);
+                self.emit(i as u32, Value::Unit, 1);
+            }
+        }
+    }
+
+    fn qidx(&self, node: u32, port: u8) -> usize {
+        self.port_base[node as usize] + port as usize
+    }
+
+    fn schedule(&mut self, at: u64, kind: EvKind) {
+        let key = EvKey {
+            at,
+            seq: self.ev_seq,
+        };
+        self.ev_seq += 1;
+        self.events.push(Reverse(key));
+        self.event_payload.insert(key, kind);
+    }
+
+    fn mark_candidate(&mut self, node: u32) {
+        if !self.in_candidates[node as usize] {
+            self.in_candidates[node as usize] = true;
+            let u = self.node_unit[node as usize];
+            self.unit_candidates[u.0].push_back(node);
+        }
+    }
+
+    /// Latency from fire to result availability.
+    fn result_latency(&self, op: Op) -> u64 {
+        match op {
+            Op::Load(_) => u64::from(self.tm.mem_latency),
+            o => u64::from(o.latency().max(1)),
+        }
+    }
+
+    /// Emits a value to all consumers of `node`.
+    fn emit(&mut self, node: u32, value: Value, lat: u64) {
+        let links = self.consumers[node as usize].clone();
+        let src_bb = self.prog.nodes[node as usize].bb as usize;
+        let in_cluster = self.header_bb[src_bb];
+        for link in links {
+            // Combinational forwarding inside a loop unit: same-header
+            // operators see the value in the same cycle.
+            if in_cluster {
+                let (dst, port) = match link {
+                    ConsLink::Local { node: dst, port } => (dst, port),
+                    ConsLink::Remote { route } => {
+                        let r = &self.prog.routes[route as usize];
+                        (r.dst, r.dst_port)
+                    }
+                };
+                if self.prog.nodes[dst as usize].bb as usize == src_bb
+                    && !self.prog.nodes[dst as usize].op.is_memory()
+                {
+                    let qi = self.qidx(dst, port);
+                    self.queues[qi].push_back(value);
+                    self.mark_candidate(dst);
+                    continue;
+                }
+            }
+            match link {
+                ConsLink::Local { node: dst, port } => {
+                    let qi = self.qidx(dst, port);
+                    self.reserved[qi] += 1;
+                    self.group_inflight[self.prog.nodes[dst as usize].group as usize] += 1;
+                    self.schedule(
+                        self.cycle + lat,
+                        EvKind::Deliver {
+                            node: dst,
+                            port,
+                            value,
+                            route: None,
+                        },
+                    );
+                }
+                ConsLink::Remote { route } => {
+                    let r = &self.prog.routes[route as usize];
+                    self.route_inflight[route as usize] += 1;
+                    self.group_inflight
+                        [self.prog.nodes[r.dst as usize].group as usize] += 1;
+                    let mut extra = 0u64;
+                    if r.activation {
+                        extra += u64::from(self.tm.activation_extra);
+                        if r.dynamic {
+                            extra += u64::from(self.tm.dyn_bound_extra);
+                        }
+                    }
+                    let is_ctrl = r.class == RouteClass::Ctrl;
+                    if is_ctrl {
+                        self.stats.ctrl_tokens += 1;
+                    } else {
+                        self.stats.data_tokens += 1;
+                    }
+                    match (is_ctrl, self.tm.ctrl_transport) {
+                        (true, CtrlTransport::CtrlNetwork { latency }) => {
+                            // Fixed-path network: one transfer per route per
+                            // cycle, single-cycle traversal.
+                            let qi = self.qidx(r.dst, r.dst_port);
+                            self.reserved[qi] += 1;
+                            let ready = self.cycle + lat + extra;
+                            let slot = ready.max(self.route_next_free[route as usize]);
+                            self.route_next_free[route as usize] = slot + 1;
+                            self.schedule(
+                                slot + u64::from(latency),
+                                EvKind::Deliver {
+                                    node: r.dst,
+                                    port: r.dst_port,
+                                    value,
+                                    route: Some(route),
+                                },
+                            );
+                        }
+                        _ => {
+                            self.schedule(
+                                self.cycle + lat + extra,
+                                EvKind::SpawnFlit { route, value },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_fire(&mut self, node: u32, poisoned: bool) {
+        let n = &self.prog.nodes[node as usize];
+        self.stats.fires += 1;
+        let grp = n.group as usize;
+        if self.stats.groups.len() <= grp {
+            self.stats.groups.resize(grp + 1, GroupStats::default());
+        }
+        let gs = &mut self.stats.groups[grp];
+        gs.fires += 1;
+        gs.busy += 1;
+        if gs.first_fire.is_none() {
+            gs.first_fire = Some(self.cycle);
+        }
+        gs.last_fire = self.cycle;
+        let occ = 1 + u64::from(self.tm.per_fire_overhead);
+        match n.place {
+            Placement::Pe { pe } => {
+                let u = &mut self.stats.pe_data[pe as usize];
+                u.busy += occ;
+                if poisoned {
+                    u.poison_fires += 1;
+                } else {
+                    u.useful_fires += 1;
+                }
+            }
+            Placement::CtrlPlane { pe } | Placement::NetSwitch { sw: pe } => {
+                let u = &mut self.stats.pe_ctrl[pe as usize % self.npes];
+                u.busy += occ;
+                if poisoned {
+                    u.poison_fires += 1;
+                } else {
+                    u.useful_fires += 1;
+                }
+            }
+            Placement::MemUnit { .. } => {}
+        }
+        if n.group == self.active_group {
+            self.last_active_fire = self.cycle;
+        }
+    }
+
+    // ---------------- queue helpers -----------------------------------
+
+    fn peek(&self, node: u32, port: u8) -> Option<Value> {
+        match self.prog.nodes[node as usize].srcs[port as usize] {
+            OperandSrc::Imm(v) => Some(v),
+            OperandSrc::Param(p) => Some(self.params[p as usize]),
+            OperandSrc::Route(_) => self.queues[self.qidx(node, port)].front().copied(),
+            OperandSrc::None => None,
+        }
+    }
+
+    fn avail(&self, node: u32, port: u8) -> bool {
+        self.peek(node, port).is_some()
+    }
+
+    fn connected(&self, node: u32, port: u8) -> bool {
+        !matches!(
+            self.prog.nodes[node as usize].srcs[port as usize],
+            OperandSrc::None
+        )
+    }
+
+    fn pop(&mut self, node: u32, port: u8) -> Value {
+        match self.prog.nodes[node as usize].srcs[port as usize] {
+            OperandSrc::Imm(v) => v,
+            OperandSrc::Param(p) => self.params[p as usize],
+            OperandSrc::Route(_) => {
+                let qi = self.qidx(node, port);
+                let v = self.queues[qi].pop_front().expect("pop on empty queue");
+                // The queue shrank: unblock producers waiting on it.
+                let blocked = std::mem::take(&mut self.blocked_on_queue[qi]);
+                for b in blocked {
+                    self.mark_candidate(b);
+                }
+                v
+            }
+            OperandSrc::None => panic!("pop on unconnected port"),
+        }
+    }
+
+    /// Can the node send to every consumer (queue/flight capacity)?
+    fn output_ready(&mut self, node: u32) -> bool {
+        let links = std::mem::take(&mut self.consumers[node as usize]);
+        let ok = self.output_ready_inner(node, &links);
+        self.consumers[node as usize] = links;
+        ok
+    }
+
+    fn output_ready_inner(&mut self, node: u32, links: &[ConsLink]) -> bool {
+        let src_bb = self.prog.nodes[node as usize].bb as usize;
+        let in_cluster = self.header_bb[src_bb];
+        for link in links {
+            if in_cluster {
+                let dst = match *link {
+                    ConsLink::Local { node: dst, .. } => dst,
+                    ConsLink::Remote { route } => self.prog.routes[route as usize].dst,
+                };
+                if self.prog.nodes[dst as usize].bb as usize == src_bb
+                    && !self.prog.nodes[dst as usize].op.is_memory()
+                {
+                    continue; // loop-unit internal registers
+                }
+            }
+            match *link {
+                ConsLink::Local { node: dst, port } => {
+                    let qi = self.qidx(dst, port);
+                    if self.queues[qi].len() + self.reserved[qi] >= self.tm.queue_capacity {
+                        self.blocked_on_queue[qi].push(node);
+                        return false;
+                    }
+                }
+                ConsLink::Remote { route } => {
+                    if self.route_inflight[route as usize] >= self.tm.route_inflight_cap {
+                        self.blocked_on_route[route as usize].push(node);
+                        return false;
+                    }
+                    let r = &self.prog.routes[route as usize];
+                    if r.class == RouteClass::Ctrl
+                        && matches!(self.tm.ctrl_transport, CtrlTransport::CtrlNetwork { .. })
+                    {
+                        let qi = self.qidx(r.dst, r.dst_port);
+                        if self.queues[qi].len() + self.reserved[qi]
+                            >= self.tm.queue_capacity
+                        {
+                            self.blocked_on_queue[qi].push(node);
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    // ---------------- firing ------------------------------------------
+
+    /// Attempts to fire `node`; returns true if it fired.
+    fn try_fire(&mut self, node: u32) -> bool {
+        let op = self.prog.nodes[node as usize].op;
+        let predicated = self.tm.predicated_branches;
+        macro_rules! need {
+            ($($port:expr),*) => {
+                if $( !self.avail(node, $port) )||* { return false; }
+            };
+        }
+        match op {
+            Op::Start => false,
+            Op::Bin(b) => {
+                need!(0, 1);
+                if !self.output_ready(node) {
+                    return false;
+                }
+                let x = self.pop(node, 0);
+                let y = self.pop(node, 1);
+                let out = b.eval(x, y);
+                self.finish_fire(node, Some(out), op);
+                true
+            }
+            Op::Un(u) => {
+                need!(0);
+                if !self.output_ready(node) {
+                    return false;
+                }
+                let x = self.pop(node, 0);
+                let out = u.eval(x);
+                self.finish_fire(node, Some(out), op);
+                true
+            }
+            Op::Nl(u) => {
+                need!(0);
+                if !self.output_ready(node) {
+                    return false;
+                }
+                let x = self.pop(node, 0);
+                let out = u.eval(x);
+                self.finish_fire(node, Some(out), op);
+                true
+            }
+            Op::Mux => {
+                need!(0, 1, 2);
+                if !self.output_ready(node) {
+                    return false;
+                }
+                let p = self.pop(node, 0);
+                let t = self.pop(node, 1);
+                let f = self.pop(node, 2);
+                let out = match p.as_bool() {
+                    None => Value::Poison,
+                    Some(true) => t,
+                    Some(false) => f,
+                };
+                self.finish_fire(node, Some(out), op);
+                true
+            }
+            Op::Load(arr) => {
+                let need_dep = self.connected(node, 1);
+                if !self.avail(node, 0) || (need_dep && !self.avail(node, 1)) {
+                    return false;
+                }
+                if !self.output_ready(node) {
+                    return false;
+                }
+                let idx = self.pop(node, 0);
+                if need_dep {
+                    self.pop(node, 1);
+                }
+                let out = if idx.is_poison() {
+                    Value::Poison
+                } else {
+                    self.mem_load(arr.0 as usize, idx.to_i32_lossy())
+                };
+                self.finish_fire(node, Some(out), op);
+                true
+            }
+            Op::Store(arr) => {
+                let need_dep = self.connected(node, 2);
+                if !(self.avail(node, 0) && self.avail(node, 1))
+                    || (need_dep && !self.avail(node, 2))
+                {
+                    return false;
+                }
+                if !self.output_ready(node) {
+                    return false;
+                }
+                let idx = self.pop(node, 0);
+                let val = self.pop(node, 1);
+                if need_dep {
+                    self.pop(node, 2);
+                }
+                let poisoned = idx.is_poison() || val.is_poison();
+                if !poisoned {
+                    self.mem_store(arr.0 as usize, idx.to_i32_lossy(), val);
+                }
+                self.finish_fire_poison(node, Some(Value::Unit), op, poisoned);
+                true
+            }
+            Op::Gate => {
+                let val_tok = matches!(
+                    self.prog.nodes[node as usize].srcs[1],
+                    OperandSrc::Route(_)
+                );
+                if !self.avail(node, 0) || (val_tok && !self.avail(node, 1)) {
+                    return false;
+                }
+                if !self.output_ready(node) {
+                    return false;
+                }
+                let trig = self.pop(node, 0);
+                let v = self.pop(node, 1);
+                let out = if trig.is_poison() { Value::Poison } else { v };
+                self.finish_fire(node, Some(out), op);
+                true
+            }
+            Op::Steer { sense, role } => {
+                need!(0, 1);
+                if !self.output_ready(node) {
+                    return false;
+                }
+                let p = self.pop(node, 0);
+                let v = self.pop(node, 1);
+                let pred_mode = predicated && role == SteerRole::Branch;
+                if pred_mode {
+                    let out = match p.as_bool() {
+                        Some(b) if b == sense => v,
+                        _ => Value::Poison,
+                    };
+                    let poisoned = out.is_poison();
+                    self.finish_fire_poison(node, Some(out), op, poisoned);
+                } else if p.as_bool() == Some(sense) {
+                    self.finish_fire(node, Some(v), op);
+                } else {
+                    self.finish_fire(node, None, op);
+                }
+                true
+            }
+            Op::Merge { role } => {
+                let pred_mode = predicated && role == SteerRole::Branch;
+                if pred_mode {
+                    need!(0, 1, 2);
+                    if !self.output_ready(node) {
+                        return false;
+                    }
+                    let p = self.pop(node, 0);
+                    let t = self.pop(node, 1);
+                    let f = self.pop(node, 2);
+                    let out = match p.as_bool() {
+                        None => Value::Poison,
+                        Some(true) => t,
+                        Some(false) => f,
+                    };
+                    self.finish_fire(node, Some(out), op);
+                    true
+                } else {
+                    let Some(p) = self.peek(node, 0) else {
+                        return false;
+                    };
+                    let side = if p.as_bool() == Some(true) { 1 } else { 2 };
+                    if !self.avail(node, side) {
+                        return false;
+                    }
+                    if !self.output_ready(node) {
+                        return false;
+                    }
+                    self.pop(node, 0);
+                    let v = self.pop(node, side);
+                    self.finish_fire(node, Some(v), op);
+                    true
+                }
+            }
+            Op::Carry => match self.seq_state[node as usize] {
+                SeqState::Fresh => {
+                    if !self.avail(node, 1) {
+                        return false;
+                    }
+                    if !self.output_ready(node) {
+                        return false;
+                    }
+                    let init = self.pop(node, 1);
+                    self.seq_state[node as usize] = SeqState::Looping;
+                    self.finish_fire(node, Some(init), op);
+                    true
+                }
+                SeqState::Looping => {
+                    let Some(last) = self.peek(node, 0) else {
+                        return false;
+                    };
+                    if !self.avail(node, 2) {
+                        return false;
+                    }
+                    if !self.output_ready(node) {
+                        return false;
+                    }
+                    self.pop(node, 0);
+                    let next = self.pop(node, 2);
+                    if last.as_bool() == Some(false) {
+                        self.finish_fire(node, Some(next), op);
+                    } else {
+                        self.seq_state[node as usize] = SeqState::Fresh;
+                        self.finish_fire(node, None, op);
+                    }
+                    true
+                }
+                SeqState::Held(_) => unreachable!("carry never holds"),
+            },
+            Op::Inv => match self.seq_state[node as usize] {
+                SeqState::Fresh => {
+                    if !self.avail(node, 0) {
+                        return false;
+                    }
+                    if !self.output_ready(node) {
+                        return false;
+                    }
+                    let v = self.pop(node, 0);
+                    self.seq_state[node as usize] = SeqState::Held(v);
+                    self.finish_fire(node, Some(v), op);
+                    true
+                }
+                SeqState::Held(v) => {
+                    if !self.avail(node, 1) {
+                        return false;
+                    }
+                    if !self.output_ready(node) {
+                        return false;
+                    }
+                    let last = self.pop(node, 1);
+                    if last.as_bool() == Some(false) {
+                        self.finish_fire(node, Some(v), op);
+                    } else {
+                        self.seq_state[node as usize] = SeqState::Fresh;
+                        self.finish_fire(node, None, op);
+                    }
+                    true
+                }
+                SeqState::Looping => unreachable!("inv never loops"),
+            },
+            Op::Sink => {
+                need!(0);
+                let v = self.pop(node, 0);
+                let label = self.prog.nodes[node as usize]
+                    .label
+                    .clone()
+                    .unwrap_or_default();
+                self.sinks.entry(label).or_default().push(v);
+                self.record_fire(node, false);
+                true
+            }
+        }
+    }
+
+    fn finish_fire(&mut self, node: u32, out: Option<Value>, op: Op) {
+        let poisoned = matches!(out, Some(Value::Poison));
+        self.finish_fire_poison(node, out, op, poisoned);
+    }
+
+    fn finish_fire_poison(&mut self, node: u32, out: Option<Value>, op: Op, poisoned: bool) {
+        self.record_fire(node, poisoned);
+        self.last_fire_cycle[node as usize] = self.cycle;
+        let u = self.node_unit[node as usize];
+        self.unit_free_at[u.0] = self.cycle + 1 + u64::from(self.tm.per_fire_overhead);
+        if let Some(v) = out {
+            let lat = self.result_latency(op);
+            self.emit(node, v, lat);
+        }
+        // The node may be immediately ready again.
+        self.mark_candidate(node);
+    }
+
+    fn mem_load(&mut self, arr: usize, idx: i32) -> Value {
+        let a = &self.memory[arr];
+        if idx < 0 || idx as usize >= a.len() {
+            self.oob += 1;
+            return Value::I32(0);
+        }
+        a[idx as usize]
+    }
+
+    fn mem_store(&mut self, arr: usize, idx: i32, v: Value) {
+        let a = &mut self.memory[arr];
+        if idx < 0 || idx as usize >= a.len() {
+            self.oob += 1;
+            return;
+        }
+        a[idx as usize] = v;
+    }
+
+    // ---------------- cycle loop ---------------------------------------
+
+    fn process_events(&mut self) {
+        while let Some(Reverse(key)) = self.events.peek().copied() {
+            if key.at > self.cycle {
+                break;
+            }
+            self.events.pop();
+            let kind = self.event_payload.remove(&key).expect("payload");
+            self.progressed = true;
+            match kind {
+                EvKind::Deliver {
+                    node,
+                    port,
+                    value,
+                    route,
+                } => {
+                    let qi = self.qidx(node, port);
+                    debug_assert!(
+                        self.queues[qi].len() < self.tm.queue_capacity,
+                        "reservation guarantees space"
+                    );
+                    self.reserved[qi] = self.reserved[qi].saturating_sub(1);
+                    let dg = self.prog.nodes[node as usize].group as usize;
+                    self.group_inflight[dg] = self.group_inflight[dg].saturating_sub(1);
+                    self.queues[qi].push_back(value);
+                    if let Some(r) = route {
+                        self.route_inflight[r as usize] -= 1;
+                        let blocked = std::mem::take(&mut self.blocked_on_route[r as usize]);
+                        for b in blocked {
+                            self.mark_candidate(b);
+                        }
+                    }
+                    self.mark_candidate(node);
+                }
+                EvKind::SpawnFlit { route, value } => {
+                    self.flits.push(Flit {
+                        route,
+                        hop: 0,
+                        value,
+                        alive: true,
+                        ready_at: self.cycle,
+                    });
+                }
+            }
+        }
+    }
+
+    fn link_id(&self, from: usize, to: usize) -> usize {
+        let dir = if to == from + 1 {
+            0 // east
+        } else if to + 1 == from {
+            1 // west
+        } else if to == from + self.cols {
+            2 // south
+        } else {
+            3 // north
+        };
+        from * 4 + dir
+    }
+
+    fn advance_flits(&mut self) {
+        if self.flits.is_empty() {
+            return;
+        }
+        for fi in 0..self.flits.len() {
+            if !self.flits[fi].alive {
+                continue;
+            }
+            let route = self.flits[fi].route as usize;
+            let hop = self.flits[fi].hop;
+            let r = &self.prog.routes[route];
+            if hop + 1 >= r.path.len() {
+                // at destination tile: deliver
+                let qi = self.qidx(r.dst, r.dst_port);
+                if self.queues[qi].len() < self.tm.queue_capacity {
+                    let value = self.flits[fi].value;
+                    let dg = self.prog.nodes[r.dst as usize].group as usize;
+                    self.group_inflight[dg] = self.group_inflight[dg].saturating_sub(1);
+                    self.queues[qi].push_back(value);
+                    self.route_inflight[route] -= 1;
+                    let dst = r.dst;
+                    let blocked = std::mem::take(&mut self.blocked_on_route[route]);
+                    for b in blocked {
+                        self.mark_candidate(b);
+                    }
+                    self.mark_candidate(dst);
+                    self.flits[fi].alive = false;
+                    self.progressed = true;
+                } else {
+                    self.stats.link_stall_cycles += 1;
+                }
+                continue;
+            }
+            if self.flits[fi].ready_at > self.cycle {
+                continue; // still traversing the previous link
+            }
+            let from = r.path[hop] as usize;
+            let to = r.path[hop + 1] as usize;
+            let lid = self.link_id(from, to);
+            if self.link_used[lid] != self.cycle {
+                self.link_used[lid] = self.cycle;
+                self.flits[fi].hop += 1;
+                self.flits[fi].ready_at = self.cycle + u64::from(self.tm.link_latency);
+                self.stats.mesh_hops += 1;
+                self.progressed = true;
+            } else {
+                self.stats.link_stall_cycles += 1;
+            }
+        }
+        self.flits.retain(|f| f.alive);
+    }
+
+    fn group_logic(&mut self) {
+        if !self.tm.exclusive_groups {
+            return;
+        }
+        if self.cycle < self.switch_until {
+            self.stats.switch_stall_cycles += 1;
+            return;
+        }
+        let idle = self.cycle.saturating_sub(self.last_active_fire);
+        if idle <= u64::from(self.tm.idle_switch_threshold) {
+            return;
+        }
+        // Only switch once the active group is truly drained: no tokens in
+        // flight toward it (a transient memory/route stall is not a phase
+        // boundary). A long stall overrides the drain check — the pending
+        // tokens may themselves depend on another group's output.
+        let drained = self
+            .group_inflight
+            .get(self.active_group as usize)
+            .copied()
+            .unwrap_or(0)
+            == 0;
+        if !drained && idle <= u64::from(self.tm.idle_switch_threshold) + 4 {
+            return;
+        }
+        // Active group is idle: find another group with waiting candidates.
+        let mut target: Option<u16> = None;
+        'outer: for (ui, cand) in self.unit_candidates.iter().enumerate() {
+            let _ = ui;
+            for &n in cand {
+                let g = self.prog.nodes[n as usize].group;
+                if g != self.active_group {
+                    target = Some(g);
+                    break 'outer;
+                }
+            }
+        }
+        if let Some(g) = target {
+            self.active_group = g;
+            self.switch_until = self.cycle + u64::from(self.tm.group_switch_cost);
+            self.last_active_fire = self.switch_until;
+            self.stats.group_switches += 1;
+        }
+    }
+
+    fn issue(&mut self) {
+        if self.tm.exclusive_groups && self.cycle < self.switch_until {
+            return; // the array is stalled while configurations change
+        }
+        let loop_units_start = self.unit_candidates.len()
+            - self.header_unit.iter().filter(|&&u| u != usize::MAX).count();
+        for ui in 0..self.unit_candidates.len() {
+            if self.unit_free_at[ui] > self.cycle {
+                continue;
+            }
+            let is_loop_unit = ui >= loop_units_start;
+            if is_loop_unit {
+                // Loop unit: evaluate the whole header cluster to fixpoint
+                // (each member at most once per cycle) — the paper's Loop
+                // operator sustains one iteration per cycle.
+                let mut fired_any = false;
+                let mut guard = 0usize;
+                loop {
+                    let mut fired_round = false;
+                    let len = self.unit_candidates[ui].len();
+                    for _ in 0..len {
+                        let Some(n) = self.unit_candidates[ui].pop_front() else {
+                            break;
+                        };
+                        self.in_candidates[n as usize] = false;
+                        if self.last_fire_cycle[n as usize] == self.cycle
+                            || (self.tm.exclusive_groups
+                                && self.prog.nodes[n as usize].group != self.active_group)
+                        {
+                            self.in_candidates[n as usize] = true;
+                            self.unit_candidates[ui].push_back(n);
+                            continue;
+                        }
+                        if self.try_fire(n) {
+                            fired_round = true;
+                            fired_any = true;
+                        }
+                    }
+                    guard += 1;
+                    if !fired_round || guard > 64 {
+                        break;
+                    }
+                }
+                if fired_any {
+                    self.progressed = true;
+                    self.unit_free_at[ui] =
+                        self.cycle + 1 + u64::from(self.tm.per_fire_overhead);
+                }
+                continue;
+            }
+            // Pop candidates until one fires (or none can).
+            let mut tried = 0usize;
+            let max_tries = self.unit_candidates[ui].len();
+            while tried < max_tries {
+                let Some(n) = self.unit_candidates[ui].pop_front() else {
+                    break;
+                };
+                self.in_candidates[n as usize] = false;
+                if self.tm.exclusive_groups
+                    && self.prog.nodes[n as usize].group != self.active_group
+                {
+                    // Wrong group: keep waiting without burning the slot.
+                    self.in_candidates[n as usize] = true;
+                    self.unit_candidates[ui].push_back(n);
+                    tried += 1;
+                    continue;
+                }
+                if self.try_fire(n) {
+                    self.progressed = true;
+                    break;
+                }
+                tried += 1;
+            }
+        }
+    }
+
+    fn pending_work(&self) -> bool {
+        !self.events.is_empty()
+            || !self.flits.is_empty()
+            || self.unit_candidates.iter().any(|c| !c.is_empty())
+    }
+
+    fn run_to_quiescence(&mut self, max_cycles: u64) -> Result<(), SimError> {
+        let mut idle_streak = 0u64;
+        while self.pending_work() {
+            if self.cycle >= max_cycles {
+                return Err(SimError::CycleLimit { limit: max_cycles });
+            }
+            self.progressed = false;
+            self.process_events();
+            self.advance_flits();
+            self.group_logic();
+            self.issue();
+            if self.progressed {
+                idle_streak = 0;
+                self.cycle += 1;
+                continue;
+            }
+            // Nothing happened: fast-forward to the next interesting cycle.
+            let mut next: Option<u64> = self.events.peek().map(|Reverse(k)| k.at);
+            if !self.flits.is_empty() {
+                next = Some(next.map_or(self.cycle + 1, |n| n.min(self.cycle + 1)));
+            }
+            if self.tm.exclusive_groups {
+                if self.switch_until > self.cycle {
+                    next = Some(next.map_or(self.switch_until, |n| n.min(self.switch_until)));
+                } else if self
+                    .unit_candidates
+                    .iter()
+                    .flatten()
+                    .any(|&n| self.prog.nodes[n as usize].group != self.active_group)
+                {
+                    let t = self.last_active_fire + u64::from(self.tm.idle_switch_threshold) + 1;
+                    let t = t.max(self.cycle + 1);
+                    next = Some(next.map_or(t, |n| n.min(t)));
+                }
+            }
+            // Units busy in the future holding candidates.
+            for (ui, cand) in self.unit_candidates.iter().enumerate() {
+                if !cand.is_empty() && self.unit_free_at[ui] > self.cycle {
+                    let t = self.unit_free_at[ui];
+                    next = Some(next.map_or(t, |n| n.min(t)));
+                }
+            }
+            match next {
+                Some(t) if t > self.cycle => {
+                    self.cycle = t;
+                    idle_streak = 0;
+                }
+                _ => {
+                    idle_streak += 1;
+                    self.cycle += 1;
+                    if idle_streak > 64 {
+                        let waiting: Vec<u32> = self
+                            .unit_candidates
+                            .iter()
+                            .flatten()
+                            .copied()
+                            .take(8)
+                            .collect();
+                        return Err(SimError::Deadlock {
+                            cycle: self.cycle,
+                            detail: format!(
+                                "{} flits, {} events, waiting nodes {:?}",
+                                self.flits.len(),
+                                self.events.len(),
+                                waiting
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,125 @@
+//! Run statistics: PE utilization, group activity, firing profiles.
+
+/// Per-execution-unit counters.
+#[derive(Clone, Debug, Default)]
+pub struct UnitStats {
+    /// Cycles the unit was occupied.
+    pub busy: u64,
+    /// Firings that produced useful (non-poison) results.
+    pub useful_fires: u64,
+    /// Firings wasted on predicated-off work.
+    pub poison_fires: u64,
+}
+
+/// Per-mapping-group activity.
+#[derive(Clone, Debug, Default)]
+pub struct GroupStats {
+    /// First cycle any operator of the group fired.
+    pub first_fire: Option<u64>,
+    /// Last cycle any operator of the group fired.
+    pub last_fire: u64,
+    /// Total firings.
+    pub fires: u64,
+    /// Total busy-cycles accumulated by the group's operators.
+    pub busy: u64,
+}
+
+/// Statistics of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Per-PE data-plane stats.
+    pub pe_data: Vec<UnitStats>,
+    /// Per-PE control-plane stats.
+    pub pe_ctrl: Vec<UnitStats>,
+    /// Per-group activity.
+    pub groups: Vec<GroupStats>,
+    /// Total node firings.
+    pub fires: u64,
+    /// Cycles the array spent stalled on group configuration switches.
+    pub switch_stall_cycles: u64,
+    /// Number of group switches.
+    pub group_switches: u64,
+    /// Tokens transported over the control path.
+    pub ctrl_tokens: u64,
+    /// Tokens transported over the data mesh.
+    pub data_tokens: u64,
+    /// Total flit-hops on the mesh.
+    pub mesh_hops: u64,
+    /// Cycles flits spent blocked on busy links (contention measure).
+    pub link_stall_cycles: u64,
+}
+
+impl RunStats {
+    /// Mean data-plane PE utilization (busy / total cycles).
+    pub fn mean_pe_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.pe_data.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.pe_data.iter().map(|u| u.busy).sum();
+        busy as f64 / (self.cycles as f64 * self.pe_data.len() as f64)
+    }
+
+    /// Utilization of one group over its active window, normalized by the
+    /// PE count assigned to it.
+    pub fn group_window_utilization(&self, group: usize, pes: usize) -> f64 {
+        let Some(gs) = self.groups.get(group) else {
+            return 0.0;
+        };
+        let Some(first) = gs.first_fire else {
+            return 0.0;
+        };
+        let window = gs.last_fire.saturating_sub(first) + 1;
+        if window == 0 || pes == 0 {
+            return 0.0;
+        }
+        gs.busy as f64 / (window as f64 * pes as f64)
+    }
+
+    /// Fraction of firings wasted on predicated-off (poison) work.
+    pub fn poison_fraction(&self) -> f64 {
+        let poison: u64 = self
+            .pe_data
+            .iter()
+            .chain(self.pe_ctrl.iter())
+            .map(|u| u.poison_fires)
+            .sum();
+        let useful: u64 = self
+            .pe_data
+            .iter()
+            .chain(self.pe_ctrl.iter())
+            .map(|u| u.useful_fires)
+            .sum();
+        if poison + useful == 0 {
+            0.0
+        } else {
+            poison as f64 / (poison + useful) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let mut s = RunStats {
+            cycles: 100,
+            pe_data: vec![UnitStats::default(); 4],
+            ..Default::default()
+        };
+        s.pe_data[0].busy = 100;
+        s.pe_data[1].busy = 50;
+        assert!((s.mean_pe_utilization() - 0.375).abs() < 1e-12);
+        s.groups.push(GroupStats {
+            first_fire: Some(10),
+            last_fire: 59,
+            fires: 10,
+            busy: 25,
+        });
+        assert!((s.group_window_utilization(0, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(s.group_window_utilization(9, 1), 0.0);
+    }
+}

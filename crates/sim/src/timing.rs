@@ -1,0 +1,114 @@
+//! Timing models: the architectural execution-model parameters that
+//! differentiate von Neumann, dataflow and Marionette PEs (and the SOTA
+//! comparison points built on them).
+//!
+//! The same functional token program runs under every model; what changes
+//! is *when* things happen:
+//!
+//! - whether configuration/tag resolution serializes with execution
+//!   ([`TimingModel::per_fire_overhead`] — dataflow PEs pay one cycle per
+//!   firing, Fig 2b);
+//! - whether branch divergence is predicated (both sides burn issue
+//!   slots, poison results discarded at merges — von Neumann PEs,
+//!   Fig 3c) or steered (untaken side never fires — dataflow and
+//!   Marionette);
+//! - how control information travels ([`CtrlTransport`]): the dedicated
+//!   one-cycle CS-Benes control network, or multi-hop shared mesh;
+//! - whether loop levels execute exclusively with configuration-switch
+//!   stalls ([`TimingModel::exclusive_groups`], the Fig 3d CCU pattern and
+//!   the non-agile baseline of Fig 14), and what a switch costs;
+//! - the CCU round-trip surcharge on dynamically-bounded loop
+//!   configuration ([`TimingModel::dyn_bound_extra`], Fig 3d).
+
+/// How control-class routes are transported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtrlTransport {
+    /// Dedicated CS-Benes control network: fixed single-cycle paths, no
+    /// arbitration (Fig 6).
+    CtrlNetwork {
+        /// Delivery latency in cycles (the paper: 1).
+        latency: u32,
+    },
+    /// Control rides the data mesh: per-hop latency and link contention.
+    Mesh,
+}
+
+/// Complete timing model of one architecture.
+#[derive(Clone, Debug)]
+pub struct TimingModel {
+    /// Display name.
+    pub name: String,
+    /// Extra FU occupancy per firing (tag check + configure for dataflow
+    /// PEs; 0 when configuration overlaps computation).
+    pub per_fire_overhead: u32,
+    /// Predicated branch execution (von Neumann): both sides fire, the
+    /// untaken side produces poison.
+    pub predicated_branches: bool,
+    /// Control transport.
+    pub ctrl_transport: CtrlTransport,
+    /// One mapping group (loop level) executes at a time; others stall
+    /// until a configuration switch.
+    pub exclusive_groups: bool,
+    /// Cycles to switch the active group (CCU round trip + configuration
+    /// distribution for vN; ~proactive cost for Marionette non-agile).
+    pub group_switch_cost: u32,
+    /// Extra latency on activation routes of dynamically-bounded loops
+    /// (the CCU round trip of Fig 3d). Zero for autonomous architectures.
+    pub dyn_bound_extra: u32,
+    /// Extra latency on *every* loop-activation transfer: the indirect
+    /// control-through-data-path detour of dataflow PEs (Fig 3f), where
+    /// loop configuration must ride the data network because control and
+    /// data are spatially coupled. Zero when a direct control path exists.
+    pub activation_extra: u32,
+    /// Mesh per-hop latency.
+    pub link_latency: u32,
+    /// Load latency (optimistic scratchpad).
+    pub mem_latency: u32,
+    /// Control operators issue on the PE's control flow part, in parallel
+    /// with the FU (Marionette's temporal decoupling).
+    pub ctrl_parallel: bool,
+    /// Input queue capacity per port.
+    pub queue_capacity: usize,
+    /// Max in-flight tokens per route (producer backpressure).
+    pub route_inflight_cap: usize,
+    /// Idle cycles on the active group before switching away.
+    pub idle_switch_threshold: u32,
+}
+
+impl TimingModel {
+    /// A neutral, optimistic model (used as a base by `marionette-arch`).
+    pub fn ideal(name: impl Into<String>) -> Self {
+        TimingModel {
+            name: name.into(),
+            per_fire_overhead: 0,
+            predicated_branches: false,
+            ctrl_transport: CtrlTransport::CtrlNetwork { latency: 1 },
+            exclusive_groups: false,
+            group_switch_cost: 0,
+            dyn_bound_extra: 0,
+            activation_extra: 0,
+            link_latency: 1,
+            mem_latency: 2,
+            ctrl_parallel: true,
+            queue_capacity: 8,
+            route_inflight_cap: 8,
+            idle_switch_threshold: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_defaults() {
+        let t = TimingModel::ideal("x");
+        assert_eq!(t.per_fire_overhead, 0);
+        assert!(!t.exclusive_groups);
+        assert!(matches!(
+            t.ctrl_transport,
+            CtrlTransport::CtrlNetwork { latency: 1 }
+        ));
+    }
+}

@@ -1,0 +1,160 @@
+//! Directional properties of the timing machinery, isolated on a single
+//! synthetic kernel: each modeled cost must actually cost cycles.
+
+use marionette_cdfg::builder::CdfgBuilder;
+use marionette_cdfg::Cdfg;
+use marionette_compiler::{compile, CompileOptions};
+use marionette_sim::{run, CtrlTransport, TimingModel};
+
+/// An imperfect nest with branch divergence: every timing feature has
+/// something to bite on.
+fn workload_graph() -> Cdfg {
+    let mut b = CdfgBuilder::new("t");
+    let init: Vec<i32> = (0..64).map(|i| (i * 17 + 3) % 29 - 14).collect();
+    let a = b.array_i32("a", 64, &init);
+    let o = b.array_i32("o", 64, &[]);
+    b.mark_output(o);
+    let zero = b.imm(0);
+    let _ = b.for_range(0, 8, &[zero], |b, i, v| {
+        let base = b.mul(i, 8.into());
+        let inner = b.for_range(0, 8, &[v[0]], |b, j, w| {
+            let idx = b.add(base, j);
+            let x = b.load(a, idx);
+            let c = b.gt(x, 0.into());
+            let r = b.if_else(c, |b| vec![b.mul(x, 3.into())], |b| vec![b.neg(x)]);
+            b.store(o, idx, r[0]);
+            vec![b.add(w[0], r[0])]
+        });
+        vec![inner[0]]
+    });
+    b.finish()
+}
+
+fn cycles_with(tm: &TimingModel, opts: &CompileOptions) -> u64 {
+    let g = workload_graph();
+    let (prog, _) = compile(&g, opts).unwrap();
+    let inputs: Vec<(String, Vec<marionette_cdfg::Value>)> = g
+        .arrays
+        .iter()
+        .map(|x| (x.name.clone(), x.init.clone()))
+        .collect();
+    run(&prog, tm, &inputs, &[], 50_000_000).unwrap().stats.cycles
+}
+
+#[test]
+fn per_fire_overhead_costs_cycles() {
+    let opts = CompileOptions::marionette_4x4();
+    let base = TimingModel::ideal("base");
+    let mut slow = TimingModel::ideal("overhead");
+    slow.per_fire_overhead = 1;
+    assert!(cycles_with(&slow, &opts) > cycles_with(&base, &opts));
+}
+
+#[test]
+fn mesh_control_is_slower_than_the_control_network() {
+    let opts = CompileOptions::marionette_4x4();
+    let net = TimingModel::ideal("ctrlnet");
+    let mut mesh = TimingModel::ideal("mesh");
+    mesh.ctrl_transport = CtrlTransport::Mesh;
+    assert!(cycles_with(&mesh, &opts) >= cycles_with(&net, &opts));
+}
+
+#[test]
+fn exclusive_groups_cost_cycles() {
+    let mut opts = CompileOptions::marionette_4x4();
+    opts.agile = false;
+    let free = TimingModel::ideal("free");
+    let mut excl = TimingModel::ideal("excl");
+    excl.exclusive_groups = true;
+    excl.group_switch_cost = 8;
+    assert!(cycles_with(&excl, &opts) > cycles_with(&free, &opts));
+}
+
+#[test]
+fn switch_cost_scales_the_exclusivity_penalty() {
+    let mut opts = CompileOptions::marionette_4x4();
+    opts.agile = false;
+    let mut cheap = TimingModel::ideal("cheap");
+    cheap.exclusive_groups = true;
+    cheap.group_switch_cost = 1;
+    let mut dear = TimingModel::ideal("dear");
+    dear.exclusive_groups = true;
+    dear.group_switch_cost = 30;
+    assert!(cycles_with(&dear, &opts) > cycles_with(&cheap, &opts));
+}
+
+#[test]
+fn link_latency_slows_the_mesh() {
+    let opts = CompileOptions::marionette_4x4();
+    let mut l1 = TimingModel::ideal("l1");
+    l1.ctrl_transport = CtrlTransport::Mesh;
+    let mut l2 = TimingModel::ideal("l2");
+    l2.ctrl_transport = CtrlTransport::Mesh;
+    l2.link_latency = 3;
+    assert!(cycles_with(&l2, &opts) > cycles_with(&l1, &opts));
+}
+
+#[test]
+fn memory_latency_costs_cycles() {
+    let opts = CompileOptions::marionette_4x4();
+    let fast = TimingModel::ideal("m2");
+    let mut slow = TimingModel::ideal("m8");
+    slow.mem_latency = 8;
+    assert!(cycles_with(&slow, &opts) > cycles_with(&fast, &opts));
+}
+
+#[test]
+fn activation_extra_costs_cycles_on_nested_loops() {
+    let opts = CompileOptions::marionette_4x4();
+    let base = TimingModel::ideal("b");
+    let mut act = TimingModel::ideal("a");
+    act.activation_extra = 12;
+    assert!(cycles_with(&act, &opts) > cycles_with(&base, &opts));
+}
+
+#[test]
+fn queue_capacity_throttles_pipelining() {
+    let opts = CompileOptions::marionette_4x4();
+    let deep = TimingModel::ideal("deep");
+    let mut shallow = TimingModel::ideal("shallow");
+    shallow.queue_capacity = 1;
+    shallow.route_inflight_cap = 1;
+    assert!(cycles_with(&shallow, &opts) >= cycles_with(&deep, &opts));
+}
+
+#[test]
+fn every_variant_stays_functionally_correct() {
+    // All of the above knobs must never change results; re-run one
+    // exotic combination and verify output contents.
+    let g = workload_graph();
+    let mut tm = TimingModel::ideal("exotic");
+    tm.per_fire_overhead = 2;
+    tm.ctrl_transport = CtrlTransport::Mesh;
+    tm.exclusive_groups = true;
+    tm.group_switch_cost = 17;
+    tm.link_latency = 2;
+    tm.mem_latency = 5;
+    tm.queue_capacity = 2;
+    tm.route_inflight_cap = 2;
+    tm.predicated_branches = true;
+    let mut opts = CompileOptions::marionette_4x4();
+    opts.agile = false;
+    let (prog, _) = compile(&g, &opts).unwrap();
+    let inputs: Vec<(String, Vec<marionette_cdfg::Value>)> = g
+        .arrays
+        .iter()
+        .map(|x| (x.name.clone(), x.init.clone()))
+        .collect();
+    let r = run(&prog, &tm, &inputs, &[], 50_000_000).unwrap();
+    let expected = marionette_cdfg::interp::interpret(
+        &g,
+        marionette_cdfg::interp::ExecMode::Dropping,
+        &[],
+    )
+    .unwrap();
+    let oid = g.array_by_name("o").unwrap();
+    assert_eq!(
+        r.memory[oid.0 as usize],
+        expected.memory.array(oid).to_vec()
+    );
+}

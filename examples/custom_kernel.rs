@@ -1,0 +1,103 @@
+//! Writing your own kernel: a sparse matrix-vector multiply (the paper's
+//! Fig 3b motivating example) built directly against the CDFG DSL, with
+//! the dynamic inner-loop bounds that make it an *imperfect loop*, then
+//! raced across three architectures.
+//!
+//! ```sh
+//! cargo run --release --example custom_kernel
+//! ```
+
+use marionette::arch;
+use marionette::cdfg::builder::CdfgBuilder;
+use marionette::cdfg::value::Value;
+use marionette::cdfg::Cdfg;
+use marionette::compiler::compile;
+use marionette::sim::run;
+
+/// CSR SPMV: `y[i] = Σ_j val[j] · vec[cols[j]]` for `j` in the row extent
+/// `row_delim[i] .. row_delim[i+1]` — the exact code of the paper's
+/// Fig 3(b).
+fn build_spmv(n: usize, row_delim: &[i32], cols: &[i32], vals: &[i32], vecv: &[i32]) -> Cdfg {
+    let mut b = CdfgBuilder::new("spmv");
+    let rd = b.array_i32("row_delim", row_delim.len(), row_delim);
+    let ca = b.array_i32("cols", cols.len(), cols);
+    let va = b.array_i32("vals", vals.len(), vals);
+    let xa = b.array_i32("vec", vecv.len(), vecv);
+    let ya = b.array_i32("y", n, &[]);
+    b.mark_output(ya);
+    let zero = b.imm(0);
+    let _ = b.for_range(0, n as i32, &[zero], |b, i, v| {
+        let lo = b.load(rd, i);
+        let i1 = b.add(i, 1.into());
+        let hi = b.load(rd, i1);
+        let z = b.imm(0);
+        // Dynamic bounds: the hallmark of the imperfect loop (Fig 3b).
+        let sum = b.for_range(lo, hi, &[z], |b, j, w| {
+            let c = b.load(ca, j);
+            let x = b.load(xa, c);
+            let a = b.load(va, j);
+            let p = b.mul(a, x);
+            let s = b.in_loop_header(|b| b.add(w[0], p));
+            vec![s]
+        });
+        b.store(ya, i, sum[0]);
+        vec![v[0]]
+    });
+    b.finish()
+}
+
+fn main() {
+    // A small, deterministic sparse matrix with wildly uneven rows.
+    let n = 32;
+    let mut row_delim = vec![0i32];
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..n {
+        let row_len = (i * 7 + 1) % 9; // 0..8 nonzeros: empty rows included
+        for k in 0..row_len {
+            cols.push(((i * 5 + k * 3) % n) as i32);
+            vals.push(((i + k) % 7) as i32 - 3);
+        }
+        row_delim.push(cols.len() as i32);
+    }
+    let vecv: Vec<i32> = (0..n).map(|i| (i % 11) as i32 - 5).collect();
+    let g = build_spmv(n, &row_delim, &cols, &vals, &vecv);
+
+    // Golden reference.
+    let mut y = vec![0i64; n];
+    for i in 0..n {
+        for j in row_delim[i] as usize..row_delim[i + 1] as usize {
+            y[i] += i64::from(vals[j]) * i64::from(vecv[cols[j] as usize]);
+        }
+    }
+
+    println!("SPMV ({n} rows, {} nonzeros, empty rows included)\n", cols.len());
+    for a in [
+        arch::von_neumann_pe(),
+        arch::softbrain(),
+        arch::marionette_full(),
+    ] {
+        let (prog, _) = compile(&g, &a.opts).expect("compiles");
+        let inputs: Vec<(String, Vec<Value>)> = g
+            .arrays
+            .iter()
+            .map(|ar| (ar.name.clone(), ar.init.clone()))
+            .collect();
+        let r = run(&prog, &a.tm, &inputs, &[], 100_000_000).expect("runs");
+        let got = r.memory[g.array_by_name("y").unwrap().0 as usize].clone();
+        let ok = got
+            .iter()
+            .zip(&y)
+            .all(|(g, &e)| i64::from(g.to_i32_lossy()) == e);
+        println!(
+            "{:<16} {:>8} cycles   verified: {}",
+            a.name, r.stats.cycles, ok
+        );
+        assert!(ok, "{} produced wrong results", a.name);
+    }
+    println!(
+        "\nThe dynamic row extents force centralized architectures through a\n\
+         CCU/host round trip per row; Marionette's loop operator receives the\n\
+         bounds over the control plane and keeps the pipeline full."
+    );
+}

@@ -1,0 +1,53 @@
+//! Imperfect loop case study (the paper's Fig 3b/Fig 8): GEMM's
+//! three-level nest under conventional phase scheduling vs Agile PE
+//! Assignment, showing the co-resident pipeline regions and the Fig 15
+//! utilization story.
+//!
+//! ```sh
+//! cargo run --release --example imperfect_loop
+//! ```
+
+use marionette::arch;
+use marionette::kernels::traits::Scale;
+use marionette::runner::run_kernel;
+
+fn main() {
+    let kernel = marionette::kernels::by_short("GEMM").unwrap();
+    println!("kernel: {} (imperfect nested loops)\n", kernel.name());
+    for a in [arch::marionette_cn(), arch::marionette_full()] {
+        let r = run_kernel(kernel.as_ref(), &a, Scale::Small, 7, 1_000_000_000)
+            .expect("verified run");
+        println!("=== {} ===", a.name);
+        println!(
+            "cycles {}   switches {}   mean PE utilization {:.1}%",
+            r.cycles,
+            r.stats.group_switches,
+            100.0 * r.stats.mean_pe_utilization()
+        );
+        println!("mapping groups (the Fig 8 schedule):");
+        for (gi, gp) in r.report.groups.iter().enumerate() {
+            if gp.pes.is_empty() {
+                continue;
+            }
+            let kind = match (gp.loop_id, gp.innermost) {
+                (None, _) => "top-level",
+                (Some(_), true) => "innermost loop",
+                (Some(_), false) => "outer loop",
+            };
+            println!(
+                "  group {gi}: {kind:<15} {} PEs, II={}, PE_waste={}, ops={}",
+                gp.pes.len(),
+                gp.ii,
+                gp.waste,
+                gp.ops
+            );
+        }
+        println!();
+    }
+    println!(
+        "With Agile PE Assignment the loop levels hold disjoint PE regions\n\
+         sized by reshape (time-extension) minimizing PE_waste, so the outer\n\
+         basic blocks pipeline concurrently with the innermost loop instead\n\
+         of time-multiplexing the whole array."
+    );
+}

@@ -1,0 +1,34 @@
+//! State-of-the-art face-off (the paper's Fig 17 in miniature): a chosen
+//! kernel across Softbrain, TIA, REVEL, RipTide and Marionette.
+//!
+//! ```sh
+//! cargo run --release --example sota_faceoff [KERNEL_TAG]
+//! ```
+
+use marionette::arch;
+use marionette::kernels::traits::Scale;
+use marionette::runner::run_kernel;
+
+fn main() {
+    let tag = std::env::args().nth(1).unwrap_or_else(|| "LDPC".into());
+    let kernel = marionette::kernels::by_short(&tag)
+        .unwrap_or_else(|| panic!("unknown kernel tag {tag} (try MS, FFT, VI, NW, HT, CRC, ADPCM, SCD, LDPC, GEMM, CO, SI, GP)"));
+    println!("kernel: {} ({})\n", kernel.name(), kernel.domain());
+    let mut archs = arch::all_sota();
+    archs.push(arch::marionette_full());
+    let mut rows = Vec::new();
+    for a in &archs {
+        let r = run_kernel(kernel.as_ref(), a, Scale::Small, 11, 2_000_000_000)
+            .expect("verified run");
+        rows.push((a.name, r.cycles, r.stats.mean_pe_utilization()));
+    }
+    let worst = rows.iter().map(|r| r.1).max().unwrap();
+    println!("{:<14} {:>10} {:>9} {:>8}", "architecture", "cycles", "speedup", "util");
+    for (name, cycles, util) in rows {
+        println!(
+            "{name:<14} {cycles:>10} {:>8.2}x {:>7.1}%",
+            worst as f64 / cycles as f64,
+            100.0 * util
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Directional claims of the paper hold across the feature ladder and the
+//! baselines: each Marionette feature may only help on intensive control
+//! flow (in geomean), and the full system beats every baseline.
+
+use marionette::arch;
+use marionette::experiments::geomean;
+use marionette::kernels::traits::Scale;
+use marionette::runner::run_kernel;
+
+const MAX: u64 = 500_000_000;
+
+fn cycles(tag: &str, a: &marionette::arch::Architecture, seed: u64) -> u64 {
+    let k = marionette::kernels::by_short(tag).unwrap();
+    run_kernel(k.as_ref(), a, Scale::Small, seed, MAX)
+        .unwrap_or_else(|e| panic!("{tag} on {}: {e}", a.name))
+        .cycles
+}
+
+const INTENSIVE: [&str; 10] = ["MS", "FFT", "VI", "NW", "HT", "CRC", "ADPCM", "SCD", "LDPC", "GEMM"];
+
+#[test]
+fn control_network_helps_in_geomean() {
+    let base = arch::marionette_pe();
+    let plus = arch::marionette_cn();
+    let speedups: Vec<f64> = INTENSIVE
+        .iter()
+        .map(|t| cycles(t, &base, 7) as f64 / cycles(t, &plus, 7) as f64)
+        .collect();
+    let gm = geomean(&speedups);
+    assert!(gm > 1.0, "control network geomean {gm:.3}");
+}
+
+#[test]
+fn agile_assignment_helps_in_geomean() {
+    let base = arch::marionette_cn();
+    let plus = arch::marionette_full();
+    let speedups: Vec<f64> = INTENSIVE
+        .iter()
+        .map(|t| cycles(t, &base, 7) as f64 / cycles(t, &plus, 7) as f64)
+        .collect();
+    let gm = geomean(&speedups);
+    assert!(gm > 1.0, "agile geomean {gm:.3}");
+}
+
+#[test]
+fn full_marionette_beats_every_baseline_in_geomean() {
+    let m = arch::marionette_full();
+    for baseline in [
+        arch::von_neumann_pe(),
+        arch::dataflow_pe(),
+        arch::softbrain(),
+        arch::tia(),
+        arch::revel(),
+        arch::riptide(),
+    ] {
+        let speedups: Vec<f64> = INTENSIVE
+            .iter()
+            .map(|t| cycles(t, &baseline, 3) as f64 / cycles(t, &m, 3) as f64)
+            .collect();
+        let gm = geomean(&speedups);
+        assert!(
+            gm > 1.0,
+            "Marionette vs {}: geomean {gm:.3}",
+            baseline.name
+        );
+    }
+}
+
+#[test]
+fn non_intensive_kernels_not_degraded() {
+    // Fig 17: "the innovative features of the Marionette do not
+    // deteriorate performance for non-intensive control flow applications".
+    let m = arch::marionette_full();
+    let mpe = arch::marionette_pe();
+    for t in ["CO", "SI", "GP"] {
+        let full = cycles(t, &m, 5);
+        let base = cycles(t, &mpe, 5);
+        assert!(
+            (full as f64) < 1.25 * base as f64,
+            "{t}: full {full} vs base {base}"
+        );
+    }
+}
+
+#[test]
+fn predication_wastes_fires_on_branchy_code() {
+    // von Neumann predication must show real poisoned work on the most
+    // divergent kernel (Merge Sort), and Marionette must show none.
+    let k = marionette::kernels::by_short("MS").unwrap();
+    let vn = run_kernel(k.as_ref(), &arch::von_neumann_pe(), Scale::Small, 9, MAX).unwrap();
+    let m = run_kernel(k.as_ref(), &arch::marionette_full(), Scale::Small, 9, MAX).unwrap();
+    assert!(
+        vn.stats.poison_fraction() > 0.02,
+        "vN poison fraction {:.4}",
+        vn.stats.poison_fraction()
+    );
+    assert_eq!(m.stats.poison_fraction(), 0.0, "Marionette steers, never predicates");
+}
+
+#[test]
+fn ccu_switches_only_on_centralized_architectures() {
+    let k = marionette::kernels::by_short("GEMM").unwrap();
+    let vn = run_kernel(k.as_ref(), &arch::von_neumann_pe(), Scale::Tiny, 9, MAX).unwrap();
+    let m = run_kernel(k.as_ref(), &arch::marionette_full(), Scale::Tiny, 9, MAX).unwrap();
+    assert!(vn.stats.group_switches > 0, "vN time-multiplexes loop levels");
+    assert!(vn.stats.switch_stall_cycles > 0, "CCU stalls the array");
+    assert_eq!(m.stats.group_switches, 0, "agile co-residency never switches");
+}

@@ -1,0 +1,106 @@
+//! Every kernel on every architecture must produce golden-identical
+//! outputs: the architectures differ in *timing*, never in *function*.
+
+use marionette::arch;
+use marionette::kernels::traits::Scale;
+use marionette::runner::run_kernel;
+
+const MAX: u64 = 500_000_000;
+
+fn all_archs() -> Vec<marionette::arch::Architecture> {
+    vec![
+        arch::von_neumann_pe(),
+        arch::dataflow_pe(),
+        arch::marionette_pe(),
+        arch::marionette_cn(),
+        arch::marionette_full(),
+        arch::softbrain(),
+        arch::tia(),
+        arch::revel(),
+        arch::riptide(),
+    ]
+}
+
+fn check_all(tag: &str, scale: Scale, seed: u64) {
+    let k = marionette::kernels::by_short(tag).expect("kernel");
+    for a in all_archs() {
+        let r = run_kernel(k.as_ref(), &a, scale, seed, MAX)
+            .unwrap_or_else(|e| panic!("{tag} on {}: {e}", a.name));
+        assert!(r.verified);
+        assert!(r.cycles > 0);
+    }
+}
+
+#[test]
+fn merge_sort_everywhere() {
+    check_all("MS", Scale::Small, 101);
+}
+
+#[test]
+fn fft_everywhere() {
+    check_all("FFT", Scale::Small, 102);
+}
+
+#[test]
+fn viterbi_everywhere() {
+    check_all("VI", Scale::Small, 103);
+}
+
+#[test]
+fn nw_everywhere() {
+    check_all("NW", Scale::Small, 104);
+}
+
+#[test]
+fn hough_everywhere() {
+    check_all("HT", Scale::Small, 105);
+}
+
+#[test]
+fn crc_everywhere() {
+    check_all("CRC", Scale::Small, 106);
+}
+
+#[test]
+fn adpcm_everywhere() {
+    check_all("ADPCM", Scale::Small, 107);
+}
+
+#[test]
+fn scd_everywhere() {
+    check_all("SCD", Scale::Small, 108);
+}
+
+#[test]
+fn ldpc_everywhere() {
+    check_all("LDPC", Scale::Small, 109);
+}
+
+#[test]
+fn gemm_everywhere() {
+    check_all("GEMM", Scale::Small, 110);
+}
+
+#[test]
+fn conv1d_everywhere() {
+    check_all("CO", Scale::Small, 111);
+}
+
+#[test]
+fn sigmoid_everywhere() {
+    check_all("SI", Scale::Small, 112);
+}
+
+#[test]
+fn gray_everywhere() {
+    check_all("GP", Scale::Small, 113);
+}
+
+#[test]
+fn seeds_change_workloads_not_correctness() {
+    let k = marionette::kernels::by_short("CRC").unwrap();
+    let a = arch::marionette_full();
+    let r1 = run_kernel(k.as_ref(), &a, Scale::Tiny, 1, MAX).unwrap();
+    let r2 = run_kernel(k.as_ref(), &a, Scale::Tiny, 2, MAX).unwrap();
+    assert!(r1.verified && r2.verified);
+}
