@@ -27,23 +27,91 @@ pub struct TaxonomyRow {
 /// Table 2: SA taxonomy by PE execution model.
 pub fn sa_taxonomy() -> Vec<TaxonomyRow> {
     vec![
-        TaxonomyRow { architecture: "RICA", class: "von Neumann", mechanism: "A core processor that generates the overall configuration signal" },
-        TaxonomyRow { architecture: "DRP", class: "von Neumann", mechanism: "Switching all PE configurations via a finite state machine" },
-        TaxonomyRow { architecture: "DySER", class: "von Neumann", mechanism: "Configuration update via external processor signal" },
-        TaxonomyRow { architecture: "FPCA", class: "von Neumann", mechanism: "External processor assignments" },
-        TaxonomyRow { architecture: "DORA", class: "von Neumann", mechanism: "A counter determines the end and update of the configurations" },
-        TaxonomyRow { architecture: "Plasticine", class: "von Neumann", mechanism: "A counter controls the distribution and execution of configurations" },
-        TaxonomyRow { architecture: "Softbrain", class: "von Neumann", mechanism: "Processor fetches instruction from memory" },
-        TaxonomyRow { architecture: "SPU", class: "von Neumann", mechanism: "Processor fetches instruction from memory" },
-        TaxonomyRow { architecture: "MP-CGRA", class: "von Neumann", mechanism: "Distributed instruction counters" },
-        TaxonomyRow { architecture: "DRIPS", class: "von Neumann", mechanism: "The centralized controller dynamically changes the map table" },
-        TaxonomyRow { architecture: "RipTide", class: "von Neumann", mechanism: "Processor fetches instruction" },
-        TaxonomyRow { architecture: "TRIPS", class: "dataflow", mechanism: "An instruction window to determine instruction execution" },
-        TaxonomyRow { architecture: "WaveScalar", class: "dataflow", mechanism: "According to the data, configurations are fetched to execute" },
-        TaxonomyRow { architecture: "TIA", class: "dataflow", mechanism: "Scheduler selects instructions based on the input data" },
-        TaxonomyRow { architecture: "T3", class: "dataflow", mechanism: "An instruction window to determine instruction execution" },
-        TaxonomyRow { architecture: "SGMF", class: "dataflow", mechanism: "The corresponding thread is executed when the token arrives" },
-        TaxonomyRow { architecture: "dMT-CGRA", class: "dataflow", mechanism: "An instruction window to determine instruction execution" },
+        TaxonomyRow {
+            architecture: "RICA",
+            class: "von Neumann",
+            mechanism: "A core processor that generates the overall configuration signal",
+        },
+        TaxonomyRow {
+            architecture: "DRP",
+            class: "von Neumann",
+            mechanism: "Switching all PE configurations via a finite state machine",
+        },
+        TaxonomyRow {
+            architecture: "DySER",
+            class: "von Neumann",
+            mechanism: "Configuration update via external processor signal",
+        },
+        TaxonomyRow {
+            architecture: "FPCA",
+            class: "von Neumann",
+            mechanism: "External processor assignments",
+        },
+        TaxonomyRow {
+            architecture: "DORA",
+            class: "von Neumann",
+            mechanism: "A counter determines the end and update of the configurations",
+        },
+        TaxonomyRow {
+            architecture: "Plasticine",
+            class: "von Neumann",
+            mechanism: "A counter controls the distribution and execution of configurations",
+        },
+        TaxonomyRow {
+            architecture: "Softbrain",
+            class: "von Neumann",
+            mechanism: "Processor fetches instruction from memory",
+        },
+        TaxonomyRow {
+            architecture: "SPU",
+            class: "von Neumann",
+            mechanism: "Processor fetches instruction from memory",
+        },
+        TaxonomyRow {
+            architecture: "MP-CGRA",
+            class: "von Neumann",
+            mechanism: "Distributed instruction counters",
+        },
+        TaxonomyRow {
+            architecture: "DRIPS",
+            class: "von Neumann",
+            mechanism: "The centralized controller dynamically changes the map table",
+        },
+        TaxonomyRow {
+            architecture: "RipTide",
+            class: "von Neumann",
+            mechanism: "Processor fetches instruction",
+        },
+        TaxonomyRow {
+            architecture: "TRIPS",
+            class: "dataflow",
+            mechanism: "An instruction window to determine instruction execution",
+        },
+        TaxonomyRow {
+            architecture: "WaveScalar",
+            class: "dataflow",
+            mechanism: "According to the data, configurations are fetched to execute",
+        },
+        TaxonomyRow {
+            architecture: "TIA",
+            class: "dataflow",
+            mechanism: "Scheduler selects instructions based on the input data",
+        },
+        TaxonomyRow {
+            architecture: "T3",
+            class: "dataflow",
+            mechanism: "An instruction window to determine instruction execution",
+        },
+        TaxonomyRow {
+            architecture: "SGMF",
+            class: "dataflow",
+            mechanism: "The corresponding thread is executed when the token arrives",
+        },
+        TaxonomyRow {
+            architecture: "dMT-CGRA",
+            class: "dataflow",
+            mechanism: "An instruction window to determine instruction execution",
+        },
     ]
 }
 

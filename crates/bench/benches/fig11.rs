@@ -15,7 +15,11 @@ fn bench(c: &mut Criterion) {
     ] {
         let k = marionette::kernels::by_short("MS").unwrap();
         g.bench_function(format!("merge_sort/{}", arch.short), |b| {
-            b.iter(|| run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 1_000_000_000).unwrap().cycles)
+            b.iter(|| {
+                run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 1_000_000_000)
+                    .unwrap()
+                    .cycles
+            })
         });
     }
     g.finish();

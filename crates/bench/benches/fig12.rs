@@ -8,10 +8,17 @@ use marionette::runner::run_kernel;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig12");
     g.sample_size(10);
-    for arch in [marionette::arch::marionette_pe(), marionette::arch::marionette_cn()] {
+    for arch in [
+        marionette::arch::marionette_pe(),
+        marionette::arch::marionette_cn(),
+    ] {
         let k = marionette::kernels::by_short("CRC").unwrap();
         g.bench_function(format!("crc/{}", arch.short), |b| {
-            b.iter(|| run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 1_000_000_000).unwrap().cycles)
+            b.iter(|| {
+                run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 1_000_000_000)
+                    .unwrap()
+                    .cycles
+            })
         });
     }
     g.finish();

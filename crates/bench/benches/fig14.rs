@@ -8,10 +8,17 @@ use marionette::runner::run_kernel;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig14");
     g.sample_size(10);
-    for arch in [marionette::arch::marionette_cn(), marionette::arch::marionette_full()] {
+    for arch in [
+        marionette::arch::marionette_cn(),
+        marionette::arch::marionette_full(),
+    ] {
         let k = marionette::kernels::by_short("GEMM").unwrap();
         g.bench_function(format!("gemm/{}", arch.short), |b| {
-            b.iter(|| run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 1_000_000_000).unwrap().cycles)
+            b.iter(|| {
+                run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 1_000_000_000)
+                    .unwrap()
+                    .cycles
+            })
         });
     }
     g.finish();

@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
     for arch in archs {
         let k = marionette::kernels::by_short("LDPC").unwrap();
         g.bench_function(format!("ldpc/{}", arch.short), |b| {
-            b.iter(|| run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 1_000_000_000).unwrap().cycles)
+            b.iter(|| {
+                run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 1_000_000_000)
+                    .unwrap()
+                    .cycles
+            })
         });
     }
     g.finish();

@@ -17,13 +17,21 @@ fn bench(c: &mut Criterion) {
         b.iter(|| interpret(&graph, ExecMode::Dropping, &[]).unwrap().firings)
     });
     g.bench_function("compile", |b| {
-        b.iter(|| compile(&graph, &CompileOptions::marionette_4x4()).unwrap().1.routes)
+        b.iter(|| {
+            compile(&graph, &CompileOptions::marionette_4x4())
+                .unwrap()
+                .1
+                .routes
+        })
     });
     let (prog, _) = compile(&graph, &CompileOptions::marionette_4x4()).unwrap();
     g.bench_function("bitstream_roundtrip", |b| {
         b.iter(|| {
             let bytes = marionette::isa::bitstream::encode(&prog);
-            marionette::isa::bitstream::decode(&bytes).unwrap().nodes.len()
+            marionette::isa::bitstream::decode(&bytes)
+                .unwrap()
+                .nodes
+                .len()
         })
     });
     let inputs: Vec<(String, Vec<marionette::cdfg::Value>)> = graph
@@ -33,7 +41,12 @@ fn bench(c: &mut Criterion) {
         .collect();
     let tm = TimingModel::ideal("m");
     g.bench_function("simulate", |b| {
-        b.iter(|| run(&prog, &tm, &inputs, &[], 100_000_000).unwrap().stats.cycles)
+        b.iter(|| {
+            run(&prog, &tm, &inputs, &[], 100_000_000)
+                .unwrap()
+                .stats
+                .cycles
+        })
     });
     g.finish();
 }

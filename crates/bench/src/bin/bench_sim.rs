@@ -1,0 +1,158 @@
+//! Simulator performance trajectory harness.
+//!
+//! Runs the full evaluation sweep (every kernel, every architecture
+//! preset: the 13-kernel suite + the composite LDPC app, across the
+//! vN/DF ladder and the SOTA models) and writes `BENCH_sim.json` with
+//! per-point cycle counts and wall-clock times, so successive PRs can
+//! track simulator speedups and catch cycle-count regressions.
+//!
+//! Flags:
+//! - `--paper`    use the paper's Table 5 data sizes (default: Small);
+//! - `--serial`   run the sweep single-threaded only;
+//! - `--compare`  run the sweep twice (serial then parallel) and record
+//!   the wall-clock speedup;
+//! - `--out PATH` output path (default `BENCH_sim.json`).
+
+use marionette::kernels::traits::Scale;
+use marionette::parallel::{par_map, sweep_threads};
+use marionette::runner::{run_kernel, DEFAULT_MAX_CYCLES};
+use std::time::Instant;
+
+const SEED: u64 = 1;
+
+struct Point {
+    kernel: String,
+    arch: marionette::arch::Architecture,
+}
+
+struct Measured {
+    kernel: String,
+    arch: String,
+    cycles: u64,
+    fires: u64,
+    wall_ms: f64,
+}
+
+fn points() -> Vec<Point> {
+    let mut archs = vec![
+        marionette::arch::von_neumann_pe(),
+        marionette::arch::dataflow_pe(),
+        marionette::arch::marionette_pe(),
+        marionette::arch::marionette_cn(),
+        marionette::arch::marionette_full(),
+    ];
+    archs.extend(marionette::arch::all_sota());
+    let mut tags: Vec<String> = marionette::kernels::all()
+        .iter()
+        .map(|k| k.short().to_string())
+        .collect();
+    tags.push("LDPC-APP".to_string());
+    tags.iter()
+        .flat_map(|kernel| {
+            archs.iter().map(move |a| Point {
+                kernel: kernel.clone(),
+                arch: a.clone(),
+            })
+        })
+        .collect()
+}
+
+fn sweep(scale: Scale, threads: usize) -> (Vec<Measured>, f64) {
+    let pts = points();
+    let t0 = Instant::now();
+    let results = par_map(pts, threads, |p| {
+        let k = marionette::kernels::by_short(&p.kernel).expect("kernel tag");
+        let t = Instant::now();
+        let r = run_kernel(k.as_ref(), &p.arch, scale, SEED, DEFAULT_MAX_CYCLES)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", p.kernel, p.arch.short));
+        Measured {
+            kernel: p.kernel.clone(),
+            arch: p.arch.short.to_string(),
+            cycles: r.cycles,
+            fires: r.stats.fires,
+            wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        }
+    });
+    (results, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Small
+    };
+    let serial_only = args.iter().any(|a| a == "--serial");
+    let compare = args.iter().any(|a| a == "--compare");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let threads = sweep_threads();
+
+    let mut serial_wall: Option<f64> = None;
+    let (points, wall_ms, mode, used_threads) = if serial_only {
+        let (p, w) = sweep(scale, 1);
+        (p, w, "serial", 1)
+    } else {
+        if compare {
+            let (_, w) = sweep(scale, 1);
+            serial_wall = Some(w);
+        }
+        let (p, w) = sweep(scale, threads);
+        (p, w, "parallel", threads)
+    };
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"marionette.bench_sim/v1\",\n");
+    j.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if matches!(scale, Scale::Paper) {
+            "paper"
+        } else {
+            "small"
+        }
+    ));
+    j.push_str(&format!("  \"seed\": {SEED},\n"));
+    j.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    j.push_str(&format!("  \"threads\": {used_threads},\n"));
+    j.push_str(&format!("  \"total_wall_ms\": {wall_ms:.3},\n"));
+    if let Some(sw) = serial_wall {
+        j.push_str(&format!("  \"serial_wall_ms\": {sw:.3},\n"));
+        j.push_str(&format!("  \"parallel_speedup\": {:.3},\n", sw / wall_ms));
+    }
+    j.push_str("  \"points\": [\n");
+    for (i, m) in points.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"arch\": \"{}\", \"cycles\": {}, \"fires\": {}, \"wall_ms\": {:.3}}}{}\n",
+            json_escape(&m.kernel),
+            json_escape(&m.arch),
+            m.cycles,
+            m.fires,
+            m.wall_ms,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &j).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+
+    let total_cycles: u64 = points.iter().map(|m| m.cycles).sum();
+    println!(
+        "bench_sim: {} points, {total_cycles} total cycles, {wall_ms:.1} ms wall ({mode}, {used_threads} threads) -> {out_path}",
+        points.len()
+    );
+    if let Some(sw) = serial_wall {
+        println!(
+            "bench_sim: serial {sw:.1} ms vs parallel {wall_ms:.1} ms = {:.2}x speedup",
+            sw / wall_ms
+        );
+    }
+}

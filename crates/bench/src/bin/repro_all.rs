@@ -1,30 +1,49 @@
-//! Runs every repro experiment in sequence (figures 11-17 and the
-//! tables). Pass --paper for the full Table 5 data sizes.
+//! Runs every repro experiment (figures 11-17 and the tables) in one
+//! process, computing shared sweeps only once: the feature ladder behind
+//! Figs 12/14/16 is simulated one time and sliced per figure. Pass
+//! `--paper` for the full Table 5 data sizes.
+
+use marionette::experiments;
+use marionette_bench::report;
+use marionette_bench::scale_from_args;
+use std::time::Instant;
 
 fn main() {
-    let arg = if std::env::args().any(|a| a == "--paper") {
-        &["--paper"][..]
-    } else {
-        &[]
-    };
-    let me = std::env::current_exe().expect("self path");
-    let dir = me.parent().expect("bin dir");
-    for bin in [
-        "repro_tables",
-        "repro_fig11",
-        "repro_fig12",
-        "repro_fig13",
-        "repro_fig14",
-        "repro_fig15",
-        "repro_fig16",
-        "repro_fig17",
-    ] {
-        let path = dir.join(bin);
-        let status = std::process::Command::new(&path)
-            .args(arg)
-            .status()
-            .unwrap_or_else(|e| panic!("running {bin}: {e} (build with `cargo build --release -p marionette-bench` first)"));
-        assert!(status.success(), "{bin} failed");
-        println!();
-    }
+    let scale = scale_from_args();
+    let t0 = Instant::now();
+
+    report::print_tables();
+    println!();
+
+    let f11 = experiments::fig11(scale, 1).expect("fig11");
+    report::print_fig11(&f11);
+    println!();
+
+    // One sweep feeds Figs 12, 14 and 16.
+    let ladder = experiments::ladder(scale, 1).expect("ladder");
+    report::print_fig12(&ladder.fig12());
+    println!();
+
+    report::print_fig13();
+    println!();
+
+    report::print_fig14(&ladder.fig14());
+    println!();
+
+    let f15 = experiments::fig15(scale, 1).expect("fig15");
+    report::print_fig15(&f15);
+    println!();
+
+    report::print_fig16(&ladder.fig16());
+    println!();
+
+    let f17 = experiments::fig17(scale, 1).expect("fig17");
+    report::print_fig17(&f17);
+    println!();
+
+    println!(
+        "repro_all: done in {:.2}s ({} threads; set MARIONETTE_THREADS=1 for serial)",
+        t0.elapsed().as_secs_f64(),
+        marionette::parallel::sweep_threads()
+    );
 }

@@ -1,32 +1,10 @@
 //! Fig 11: Marionette PE (with Proactive PE Configuration) vs the generic
 //! von Neumann and dataflow PE execution models.
 
-use marionette::experiments::{fig11, geomean};
-use marionette_bench::{banner, header, row, scale_from_args};
+use marionette::experiments::fig11;
+use marionette_bench::{report, scale_from_args};
 
 fn main() {
-    banner("Fig 11 — PE execution model comparison", "MICRO'23 Fig 11");
     let f = fig11(scale_from_args(), 1).expect("experiment");
-    println!("{}", header("kernel", &f.cycles.kernels));
-    for (a, cyc) in &f.cycles.series {
-        println!("{}", row(&format!("cycles {a}"), &cyc.iter().map(|&c| c as f64).collect::<Vec<_>>()));
-    }
-    println!("{}", row("speedup M-PE / vN", &f.speedup_vs_vn));
-    println!("{}", row("speedup M-PE / DF", &f.speedup_vs_df));
-    println!(
-        "{}",
-        row(
-            "ops under branch (%)",
-            &f.ops_under_branch.iter().map(|x| x * 100.0).collect::<Vec<_>>()
-        )
-    );
-    println!("----------------------------------------------------------------");
-    println!(
-        "geomean speedup vs von Neumann PE: {:.2}x   (paper: 1.18x)",
-        geomean(&f.speedup_vs_vn)
-    );
-    println!(
-        "geomean speedup vs dataflow PE:    {:.2}x   (paper: 1.33x)",
-        geomean(&f.speedup_vs_df)
-    );
+    report::print_fig11(&f);
 }

@@ -1,19 +1,9 @@
 //! Fig 12: the dedicated peer-to-peer control network's contribution.
 
-use marionette::experiments::{fig12, geomean};
-use marionette_bench::{banner, header, row, scale_from_args};
+use marionette::experiments::fig12;
+use marionette_bench::{report, scale_from_args};
 
 fn main() {
-    banner("Fig 12 — control network speedup", "MICRO'23 Fig 12");
     let f = fig12(scale_from_args(), 1).expect("experiment");
-    println!("{}", header("kernel", &f.cycles.kernels));
-    for (a, cyc) in &f.cycles.series {
-        println!("{}", row(&format!("cycles {a}"), &cyc.iter().map(|&c| c as f64).collect::<Vec<_>>()));
-    }
-    println!("{}", row("speedup from ctrl net", &f.speedup));
-    println!("----------------------------------------------------------------");
-    println!(
-        "geomean speedup: {:.2}x   (paper: 1.14x, up to 1.36x on CRC)",
-        geomean(&f.speedup)
-    );
+    report::print_fig12(&f);
 }

@@ -1,20 +1,8 @@
 //! Fig 13: control-network delay vs stage count vs clock frequency
 //! (the DC-synthesis scalability study, reproduced analytically).
 
-use marionette::hw::netdelay::paper_sweep;
+use marionette_bench::report;
 
 fn main() {
-    println!("================================================================");
-    println!("Fig 13 — control network scalability (analytical 28nm model)");
-    println!("================================================================");
-    println!("{:>7} {:>10} {:>10} {:>10} {:>8}", "stages", "freq MHz", "path ns", "period ns", "cycles");
-    for p in paper_sweep() {
-        println!(
-            "{:>7} {:>10} {:>10.3} {:>10.3} {:>8}",
-            p.stages, p.freq_mhz, p.path_delay_ns, p.period_ns, p.cycles
-        );
-    }
-    println!("----------------------------------------------------------------");
-    println!("The paper's operating point (64 lines / 11 stages @ 500 MHz) is 1 cycle;");
-    println!("latency grows slowly with frequency and fabric size.");
+    report::print_fig13();
 }

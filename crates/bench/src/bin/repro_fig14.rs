@@ -1,19 +1,9 @@
 //! Fig 14: Agile PE Assignment's contribution on imperfect loops.
 
-use marionette::experiments::{fig14, geomean};
-use marionette_bench::{banner, header, row, scale_from_args};
+use marionette::experiments::fig14;
+use marionette_bench::{report, scale_from_args};
 
 fn main() {
-    banner("Fig 14 — Agile PE Assignment speedup", "MICRO'23 Fig 14");
     let f = fig14(scale_from_args(), 1).expect("experiment");
-    println!("{}", header("kernel", &f.cycles.kernels));
-    for (a, cyc) in &f.cycles.series {
-        println!("{}", row(&format!("cycles {a}"), &cyc.iter().map(|&c| c as f64).collect::<Vec<_>>()));
-    }
-    println!("{}", row("speedup from Agile", &f.speedup));
-    println!("----------------------------------------------------------------");
-    println!(
-        "geomean speedup: {:.2}x   (paper: 2.03x, up to 5.99x)",
-        geomean(&f.speedup)
-    );
+    report::print_fig14(&f);
 }

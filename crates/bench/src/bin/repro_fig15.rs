@@ -2,40 +2,9 @@
 //! after Agile PE Assignment, on the nested-loop benchmarks.
 
 use marionette::experiments::fig15;
-use marionette_bench::{banner, scale_from_args};
+use marionette_bench::{report, scale_from_args};
 
 fn main() {
-    banner("Fig 15 — utilization effects of Agile PE Assignment", "MICRO'23 Fig 15");
     let f = fig15(scale_from_args(), 1).expect("experiment");
-    println!(
-        "{:<8} {:>12} {:>12} {:>8} | {:>11} {:>11} {:>7}",
-        "kernel", "outer before", "outer after", "gain", "pipe before", "pipe after", "gain"
-    );
-    let mut outer_gains = Vec::new();
-    let mut pipe_gains = Vec::new();
-    for i in 0..f.kernels.len() {
-        let og = f.outer_util_after[i] / f.outer_util_before[i].max(1e-9);
-        let pg = f.pipe_util_after[i] / f.pipe_util_before[i].max(1e-9);
-        outer_gains.push(og);
-        pipe_gains.push(pg);
-        println!(
-            "{:<8} {:>11.1}% {:>11.1}% {:>7.1}x | {:>10.1}% {:>10.1}% {:>6.2}x",
-            f.kernels[i],
-            100.0 * f.outer_util_before[i],
-            100.0 * f.outer_util_after[i],
-            og,
-            100.0 * f.pipe_util_before[i],
-            100.0 * f.pipe_util_after[i],
-            pg
-        );
-    }
-    println!("----------------------------------------------------------------");
-    println!(
-        "mean outer-BB utilization gain: {:.1}x (paper: 21.57x avg, 134x on GEMM)",
-        outer_gains.iter().sum::<f64>() / outer_gains.len() as f64
-    );
-    println!(
-        "mean pipeline utilization gain: {:.2}x (paper: 1.54x avg)",
-        pipe_gains.iter().sum::<f64>() / pipe_gains.len() as f64
-    );
+    report::print_fig15(&f);
 }

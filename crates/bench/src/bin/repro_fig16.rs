@@ -2,24 +2,9 @@
 //! Assignment — which kernels benefit from which feature.
 
 use marionette::experiments::fig16;
-use marionette_bench::{banner, scale_from_args};
+use marionette_bench::{report, scale_from_args};
 
 fn main() {
-    banner("Fig 16 — control network vs Agile PE Assignment", "MICRO'23 Fig 16");
     let f = fig16(scale_from_args(), 1).expect("experiment");
-    println!("{:<8} {:>14} {:>14} {:>22}", "kernel", "ctrl-net gain", "agile gain", "dominant feature");
-    for i in 0..f.kernels.len() {
-        let cn = f.cn_speedup[i];
-        let ag = f.agile_speedup[i];
-        let who = if (cn - 1.0) > 1.25 * (ag - 1.0) {
-            "network"
-        } else if (ag - 1.0) > 1.25 * (cn - 1.0) {
-            "pipeline (agile)"
-        } else {
-            "balanced"
-        };
-        println!("{:<8} {:>13.2}x {:>13.2}x {:>22}", f.kernels[i], cn, ag, who);
-    }
-    println!("----------------------------------------------------------------");
-    println!("Paper: MS/ADPCM/CRC/LDPC lean on the network; VI/HT/SCD/GEMM on Agile.");
+    report::print_fig16(&f);
 }

@@ -2,34 +2,9 @@
 //! kernels (intensive + non-intensive control flow).
 
 use marionette::experiments::fig17;
-use marionette_bench::{banner, header, row, scale_from_args};
+use marionette_bench::{report, scale_from_args};
 
 fn main() {
-    banner("Fig 17 — state-of-the-art comparison", "MICRO'23 Fig 17");
     let f = fig17(scale_from_args(), 1).expect("experiment");
-    println!("intensive control flow:");
-    println!("{}", header("kernel", &f.intensive.kernels));
-    for (a, cyc) in &f.intensive.series {
-        println!("{}", row(&format!("cycles {a}"), &cyc.iter().map(|&c| c as f64).collect::<Vec<_>>()));
-    }
-    for a in ["SB", "TIA", "RV", "RT"] {
-        println!("{}", row(&format!("speedup M / {a}"), &f.intensive.speedups("M", a)));
-    }
-    println!("\nnon-intensive control flow (must not regress):");
-    println!("{}", header("kernel", &f.non_intensive.kernels));
-    for (a, cyc) in &f.non_intensive.series {
-        println!("{}", row(&format!("cycles {a}"), &cyc.iter().map(|&c| c as f64).collect::<Vec<_>>()));
-    }
-    println!("----------------------------------------------------------------");
-    let paper = [("SB", 2.88), ("TIA", 3.38), ("RV", 1.55), ("RT", 2.66)];
-    for (a, gm) in &f.geomeans {
-        let p = paper.iter().find(|(t, _)| t == a).unwrap().1;
-        println!("geomean speedup vs {a:<4}: {gm:.2}x   (paper: {p:.2}x)");
-    }
-    println!("\nfull LDPC application (pre + decode + post):");
-    let paper_app = [("SB", 3.01), ("TIA", 3.13), ("RV", 2.36), ("RT", 2.68)];
-    for (a, sp) in &f.ldpc_app_speedups {
-        let p = paper_app.iter().find(|(t, _)| t == a).unwrap().1;
-        println!("speedup vs {a:<4}: {sp:.2}x   (paper: {p:.2}x)");
-    }
+    report::print_fig17(&f);
 }

@@ -1,76 +1,8 @@
 //! Tables 1-6: control-flow characterization, taxonomy, capabilities,
 //! area/power breakdown, data sizes and network-area comparison.
 
-use marionette::arch::taxonomy::{capability_matrix, sa_taxonomy};
-use marionette::cdfg::analysis::profile;
-use marionette::hw::breakdown::{area_power_breakdown, FabricParams};
-use marionette::hw::netcmp::network_comparison;
-use marionette::kernels::traits::Scale;
+use marionette_bench::report;
 
 fn main() {
-    println!("=== Table 1: control flow forms across the benchmarks ===");
-    println!("{:<18} {:<22} {:<28} {:<28}", "workload", "domain", "branches", "loops");
-    for k in marionette::kernels::all() {
-        let wl = k.workload(Scale::Tiny, 0);
-        let p = profile(&k.build(&wl));
-        println!(
-            "{:<18} {:<22} {:<28} {:<28}",
-            k.name(),
-            k.domain(),
-            p.branch_text(),
-            p.loop_text()
-        );
-    }
-
-    println!("\n=== Table 2: SA taxonomy by PE execution model ===");
-    for r in sa_taxonomy() {
-        println!("{:<12} {:<12} {}", r.architecture, r.class, r.mechanism);
-    }
-
-    println!("\n=== Table 3: control-flow capability matrix ===");
-    println!("{:<12} {:>11} {:>13} {:>22}", "architecture", "autonomous", "peer-to-peer", "temporally decoupled");
-    for (name, c) in capability_matrix() {
-        let t = |b: bool| if b { "yes" } else { "no" };
-        println!(
-            "{name:<12} {:>11} {:>13} {:>22}",
-            t(c.autonomous),
-            t(c.peer_to_peer),
-            t(c.temporally_decoupled)
-        );
-    }
-
-    println!("\n=== Table 4: area & power breakdown (28nm, 500MHz, 4x4) ===");
-    println!("{:<10} {:<42} {:>10} {:>10}", "category", "component", "area mm2", "power mW");
-    for r in area_power_breakdown(FabricParams::paper()) {
-        println!(
-            "{:<10} {:<42} {:>10.4} {:>10.2}",
-            r.category, r.component, r.area_mm2, r.power_mw
-        );
-    }
-    println!("(paper totals: 0.151 mm2, 152.09 mW)");
-
-    println!("\n=== Table 5: benchmark data sizes (Paper scale) ===");
-    for k in marionette::kernels::all() {
-        let wl = k.workload(Scale::Paper, 0);
-        let sizes: Vec<String> = wl.sizes.iter().map(|(n, v)| format!("{n}={v}")).collect();
-        println!("{:<18} {}", k.name(), sizes.join(", "));
-    }
-
-    println!("\n=== Table 6: network area vs state of the art (normalized) ===");
-    println!(
-        "{:<12} {:>9} {:>12} {:>9} {:>12} {:>9}",
-        "arch", "PE mm2", "network mm2", "fabric", "net ratio", "source"
-    );
-    for r in network_comparison() {
-        println!(
-            "{:<12} {:>9.4} {:>12.4} {:>9.4} {:>11.1}% {:>9}",
-            r.architecture,
-            r.pe_area_mm2,
-            r.network_area_mm2,
-            r.fabric_area(),
-            100.0 * r.network_ratio(),
-            if r.computed { "computed" } else { "paper" }
-        );
-    }
-    println!("(paper: Marionette network ratio 11.5%)");
+    report::print_tables();
 }

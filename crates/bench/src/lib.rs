@@ -1,6 +1,8 @@
 //! Shared formatting helpers for the `repro_*` binaries that regenerate
 //! the paper's tables and figures.
 
+pub mod report;
+
 use marionette::kernels::traits::Scale;
 
 /// Parses the common CLI convention: `--paper` selects Table 5 sizes,

@@ -165,12 +165,22 @@ impl CdfgBuilder {
     /// Declares an i32 scratchpad array initialized with `init`
     /// (zero-extended to `len`).
     pub fn array_i32(&mut self, name: &str, len: usize, init: &[i32]) -> ArrayId {
-        self.array(name, len, ElemTy::I32, init.iter().map(|&v| Value::I32(v)).collect())
+        self.array(
+            name,
+            len,
+            ElemTy::I32,
+            init.iter().map(|&v| Value::I32(v)).collect(),
+        )
     }
 
     /// Declares an f32 scratchpad array initialized with `init`.
     pub fn array_f32(&mut self, name: &str, len: usize, init: &[f32]) -> ArrayId {
-        self.array(name, len, ElemTy::F32, init.iter().map(|&v| Value::F32(v)).collect())
+        self.array(
+            name,
+            len,
+            ElemTy::F32,
+            init.iter().map(|&v| Value::F32(v)).collect(),
+        )
     }
 
     /// Declares an array with explicit element type and initial values.
@@ -425,7 +435,13 @@ impl CdfgBuilder {
     /// `body(builder, i, vars)` returns the next value of each variable;
     /// the final values (after the last iteration, or the initial values if
     /// the loop runs zero times) are returned.
-    pub fn for_range<F>(&mut self, lo: impl Into<V>, hi: impl Into<V>, inits: &[V], body: F) -> Vec<V>
+    pub fn for_range<F>(
+        &mut self,
+        lo: impl Into<V>,
+        hi: impl Into<V>,
+        inits: &[V],
+        body: F,
+    ) -> Vec<V>
     where
         F: FnOnce(&mut Self, V, &[V]) -> Vec<V>,
     {
@@ -486,7 +502,10 @@ impl CdfgBuilder {
         C: Fn(&mut Self, &[V]) -> V,
         F: FnOnce(&mut Self, &[V]) -> Vec<V>,
     {
-        assert!(!inits.is_empty(), "loop_while requires at least one variable");
+        assert!(
+            !inits.is_empty(),
+            "loop_while requires at least one variable"
+        );
         self.lower_loop(inits, true, cond, body)
     }
 
@@ -675,10 +694,7 @@ impl CdfgBuilder {
                 }
             })
             .collect();
-        let cont = cond(
-            self,
-            &next_srcs.iter().map(|&s| V(s)).collect::<Vec<_>>(),
-        );
+        let cont = cond(self, &next_srcs.iter().map(|&s| V(s)).collect::<Vec<_>>());
         let cont = self.import_into(cont.0, loop_region);
         let last_id = self.node_raw(Op::Un(UnOp::LNot), vec![cont], loop_region, header_bb);
         let last = PortSrc::Node(last_id);
@@ -736,57 +752,56 @@ impl CdfgBuilder {
         let bd = self.g.block(parent_bb).branch_depth + 1;
         let loop_id = self.g.block(parent_bb).loop_id;
 
-        let run_side = |builder: &mut Self,
-                            sense: bool,
-                            f: Box<dyn FnOnce(&mut Self) -> Vec<V> + '_>|
-         -> (Vec<PortSrc>, BlockId) {
-            let bb = BlockId(builder.g.blocks.len() as u32);
-            builder.g.blocks.push(BlockInfo {
-                name: format!("{}{}", if sense { "then" } else { "else" }, bb.0),
-                kind: if sense {
-                    BlockKind::BranchThen
-                } else {
-                    BlockKind::BranchElse
-                },
-                loop_id,
-                parent: Some(parent_bb),
-                branch_depth: bd,
-            });
-            builder.g.cfg_edges.push(CfgEdge {
-                from: parent_bb,
-                to: bb,
-                kind: if sense {
-                    CfgEdgeKind::BranchTaken
-                } else {
-                    CfgEdgeKind::BranchUntaken
-                },
-            });
-            builder.g.cfg_edges.push(CfgEdge {
-                from: bb,
-                to: parent_bb,
-                kind: CfgEdgeKind::Join,
-            });
-            let region = RegionId(builder.regions.len());
-            builder.regions.push(Region {
-                kind: RegionKind::Branch { pred: p, sense },
-                parent: Some(parent_region),
-                tick: None,
-                imports: HashMap::new(),
-                bb,
-            });
-            builder.cur_region = region;
-            builder.cur_bb = bb;
-            let vals = f(builder);
-            // Import returned values into the side region so the merge sees
-            // one token per activation even for untouched parent values.
-            let srcs = vals
-                .iter()
-                .map(|v| builder.import_into(v.0, region))
-                .collect();
-            builder.cur_region = parent_region;
-            builder.cur_bb = parent_bb;
-            (srcs, bb)
-        };
+        type SideBody<'b, B> = Box<dyn FnOnce(&mut B) -> Vec<V> + 'b>;
+        let run_side =
+            |builder: &mut Self, sense: bool, f: SideBody<'_, Self>| -> (Vec<PortSrc>, BlockId) {
+                let bb = BlockId(builder.g.blocks.len() as u32);
+                builder.g.blocks.push(BlockInfo {
+                    name: format!("{}{}", if sense { "then" } else { "else" }, bb.0),
+                    kind: if sense {
+                        BlockKind::BranchThen
+                    } else {
+                        BlockKind::BranchElse
+                    },
+                    loop_id,
+                    parent: Some(parent_bb),
+                    branch_depth: bd,
+                });
+                builder.g.cfg_edges.push(CfgEdge {
+                    from: parent_bb,
+                    to: bb,
+                    kind: if sense {
+                        CfgEdgeKind::BranchTaken
+                    } else {
+                        CfgEdgeKind::BranchUntaken
+                    },
+                });
+                builder.g.cfg_edges.push(CfgEdge {
+                    from: bb,
+                    to: parent_bb,
+                    kind: CfgEdgeKind::Join,
+                });
+                let region = RegionId(builder.regions.len());
+                builder.regions.push(Region {
+                    kind: RegionKind::Branch { pred: p, sense },
+                    parent: Some(parent_region),
+                    tick: None,
+                    imports: HashMap::new(),
+                    bb,
+                });
+                builder.cur_region = region;
+                builder.cur_bb = bb;
+                let vals = f(builder);
+                // Import returned values into the side region so the merge sees
+                // one token per activation even for untouched parent values.
+                let srcs = vals
+                    .iter()
+                    .map(|v| builder.import_into(v.0, region))
+                    .collect();
+                builder.cur_region = parent_region;
+                builder.cur_bb = parent_bb;
+                (srcs, bb)
+            };
 
         let (tvals, _tbb) = run_side(self, true, Box::new(then_f));
         let (evals, _ebb) = run_side(self, false, Box::new(else_f));
@@ -966,7 +981,11 @@ mod tests {
         let x = b.param("x", 5);
         let zero = b.imm(0);
         let p = b.gt(x, zero);
-        let outs = b.if_else(p, |b| vec![b.add(x, 1.into())], |b| vec![b.sub(x, 1.into())]);
+        let outs = b.if_else(
+            p,
+            |b| vec![b.add(x, 1.into())],
+            |b| vec![b.sub(x, 1.into())],
+        );
         b.sink("r", outs[0]);
         let g = b.finish();
         assert!(g.blocks.iter().any(|b| b.kind == BlockKind::BranchThen));

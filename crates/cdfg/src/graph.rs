@@ -341,9 +341,7 @@ impl Cdfg {
                         if p.0 as usize >= self.nodes.len() {
                             errs.push(format!("{id}: port {port} references missing node {p}"));
                         } else if !self.node(*p).op.has_output() {
-                            errs.push(format!(
-                                "{id}: port {port} reads from output-less node {p}"
-                            ));
+                            errs.push(format!("{id}: port {port} reads from output-less node {p}"));
                         }
                     }
                     PortSrc::Param(p) => {
@@ -363,10 +361,8 @@ impl Cdfg {
                 }
             }
             match n.op {
-                Op::Load(a) | Op::Store(a) => {
-                    if a.0 as usize >= self.arrays.len() {
-                        errs.push(format!("{id}: references missing array {a}"));
-                    }
+                Op::Load(a) | Op::Store(a) if a.0 as usize >= self.arrays.len() => {
+                    errs.push(format!("{id}: references missing array {a}"));
                 }
                 Op::Start => starts += 1,
                 _ => {}
@@ -376,7 +372,9 @@ impl Cdfg {
             }
         }
         if starts != 1 {
-            errs.push(format!("program must have exactly 1 start node, has {starts}"));
+            errs.push(format!(
+                "program must have exactly 1 start node, has {starts}"
+            ));
         }
         for (i, l) in self.loops.iter().enumerate() {
             if l.header.0 as usize >= self.blocks.len() || l.body.0 as usize >= self.blocks.len() {
@@ -406,7 +404,12 @@ impl Cdfg {
     /// Panics with the list of problems if the graph is malformed.
     pub fn assert_valid(&self) {
         let errs = self.validate();
-        assert!(errs.is_empty(), "invalid CDFG {}:\n  {}", self.name, errs.join("\n  "));
+        assert!(
+            errs.is_empty(),
+            "invalid CDFG {}:\n  {}",
+            self.name,
+            errs.join("\n  ")
+        );
     }
 }
 
@@ -513,10 +516,7 @@ mod tests {
     fn detects_read_from_sink() {
         let mut g = tiny();
         g.nodes[2].inputs[0] = PortSrc::Node(NodeId(3));
-        assert!(g
-            .validate()
-            .iter()
-            .any(|e| e.contains("output-less")));
+        assert!(g.validate().iter().any(|e| e.contains("output-less")));
     }
 
     #[test]

@@ -472,43 +472,36 @@ impl<'g> Engine<'g> {
                     SeqState::Held(_) => unreachable!("carry never holds"),
                 }
             }
-            Op::Inv => {
-                match self.state[n.0 as usize] {
-                    SeqState::Fresh => {
-                        if !self.avail(n, 0) {
-                            return false;
-                        }
-                        let v = self.pop(n, 0);
-                        self.state[n.0 as usize] = SeqState::Held(v);
-                        self.emit(n, v);
-                        true
+            Op::Inv => match self.state[n.0 as usize] {
+                SeqState::Fresh => {
+                    if !self.avail(n, 0) {
+                        return false;
                     }
-                    SeqState::Held(v) => {
-                        if !self.avail(n, 1) {
-                            return false;
-                        }
-                        let last = self.pop(n, 1);
-                        if last.as_bool() == Some(false) {
-                            self.emit(n, v);
-                        } else {
-                            self.state[n.0 as usize] = SeqState::Fresh;
-                        }
-                        true
-                    }
-                    SeqState::Looping => unreachable!("inv never loops"),
+                    let v = self.pop(n, 0);
+                    self.state[n.0 as usize] = SeqState::Held(v);
+                    self.emit(n, v);
+                    true
                 }
-            }
+                SeqState::Held(v) => {
+                    if !self.avail(n, 1) {
+                        return false;
+                    }
+                    let last = self.pop(n, 1);
+                    if last.as_bool() == Some(false) {
+                        self.emit(n, v);
+                    } else {
+                        self.state[n.0 as usize] = SeqState::Fresh;
+                    }
+                    true
+                }
+                SeqState::Looping => unreachable!("inv never loops"),
+            },
             Op::Sink => {
                 if !self.avail(n, 0) {
                     return false;
                 }
                 let v = self.pop(n, 0);
-                let label = self
-                    .g
-                    .node(n)
-                    .label
-                    .clone()
-                    .unwrap_or_default();
+                let label = self.g.node(n).label.clone().unwrap_or_default();
                 self.sinks.entry(label).or_default().push(v);
                 true
             }
@@ -571,7 +564,7 @@ mod tests {
         b.sink("sum", outs[0]);
         let g = b.finish();
         let (d, _) = run_both(&g);
-        assert_eq!(d.scalar("sum"), Value::I32(0 + 3 + 6 + 9));
+        assert_eq!(d.scalar("sum"), Value::I32(3 + 6 + 9));
     }
 
     #[test]

@@ -442,10 +442,7 @@ mod tests {
 
     #[test]
     fn int_arith() {
-        assert_eq!(
-            BinOp::Add.eval(Value::I32(2), Value::I32(3)),
-            Value::I32(5)
-        );
+        assert_eq!(BinOp::Add.eval(Value::I32(2), Value::I32(3)), Value::I32(5));
         assert_eq!(
             BinOp::Sub.eval(Value::I32(2), Value::I32(3)),
             Value::I32(-1)
@@ -465,7 +462,10 @@ mod tests {
             BinOp::AShr.eval(Value::I32(-16), Value::I32(2)),
             Value::I32(-4)
         );
-        assert_eq!(BinOp::Min.eval(Value::I32(3), Value::I32(-2)), Value::I32(-2));
+        assert_eq!(
+            BinOp::Min.eval(Value::I32(3), Value::I32(-2)),
+            Value::I32(-2)
+        );
     }
 
     #[test]
@@ -494,10 +494,7 @@ mod tests {
 
     #[test]
     fn poison_absorbs() {
-        assert_eq!(
-            BinOp::Add.eval(Value::Poison, Value::I32(1)),
-            Value::Poison
-        );
+        assert_eq!(BinOp::Add.eval(Value::Poison, Value::I32(1)), Value::Poison);
         assert_eq!(UnOp::Neg.eval(Value::Poison), Value::Poison);
         assert_eq!(NlOp::Sqrt.eval(Value::Poison), Value::Poison);
     }

@@ -17,8 +17,8 @@
 #![warn(missing_docs)]
 
 pub mod options;
-pub mod place;
 pub mod pipeline;
+pub mod place;
 pub mod route;
 
 pub use options::{CompileOptions, CtrlPlacement, MemPlacement, SplitFabric};

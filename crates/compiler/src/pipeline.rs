@@ -38,7 +38,10 @@ pub struct CompileReport {
 ///
 /// # Errors
 /// Returns [`PlaceError`] when the program cannot fit on the fabric.
-pub fn compile(g: &Cdfg, opts: &CompileOptions) -> Result<(MachineProgram, CompileReport), PlaceError> {
+pub fn compile(
+    g: &Cdfg,
+    opts: &CompileOptions,
+) -> Result<(MachineProgram, CompileReport), PlaceError> {
     let mesh = Mesh::new(opts.rows, opts.cols);
     let pl: PlacementResult = place(g, opts)?;
     let rr = route(g, &pl.places, &mesh);
@@ -51,9 +54,7 @@ pub fn compile(g: &Cdfg, opts: &CompileOptions) -> Result<(MachineProgram, Compi
             .iter()
             .enumerate()
             .map(|(port, s)| match s {
-                PortSrc::Node(_) => {
-                    OperandSrc::Route(rr.port_route[&(i.0, port as u8)])
-                }
+                PortSrc::Node(_) => OperandSrc::Route(rr.port_route[&(i.0, port as u8)]),
                 PortSrc::Imm(v) => OperandSrc::Imm(*v),
                 PortSrc::Param(p) => OperandSrc::Param(p.0 as u16),
                 PortSrc::None => OperandSrc::None,

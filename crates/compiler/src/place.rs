@@ -268,36 +268,32 @@ pub fn place(g: &Cdfg, opts: &CompileOptions) -> Result<PlacementResult, PlaceEr
     let mut ctrl_load: Vec<f64> = vec![0.0; npes];
     let mut mem_unit_rr: u8 = 0;
 
-    let pick_tile = |region: &[u16],
-                     load: &[f64],
-                     places: &[Placement],
-                     g: &Cdfg,
-                     nidx: usize|
-     -> u16 {
-        let mut best = region[0];
-        let mut best_key = (i64::MAX, usize::MAX, u16::MAX);
-        for &pe in region {
-            // Quantize load so producer affinity wins among
-            // comparably-loaded tiles.
-            let lq = (load[pe as usize] * 2.0).round() as i64;
-            let dist: usize = g.nodes[nidx]
-                .inputs
-                .iter()
-                .filter_map(|s| match s {
-                    PortSrc::Node(p) => places[p.0 as usize]
-                        .pe()
-                        .map(|src_pe| mesh.hops(src_pe as usize, pe as usize)),
-                    _ => None,
-                })
-                .sum();
-            let key = (lq, dist, pe);
-            if key < best_key {
-                best_key = key;
-                best = pe;
+    let pick_tile =
+        |region: &[u16], load: &[f64], places: &[Placement], g: &Cdfg, nidx: usize| -> u16 {
+            let mut best = region[0];
+            let mut best_key = (i64::MAX, usize::MAX, u16::MAX);
+            for &pe in region {
+                // Quantize load so producer affinity wins among
+                // comparably-loaded tiles.
+                let lq = (load[pe as usize] * 2.0).round() as i64;
+                let dist: usize = g.nodes[nidx]
+                    .inputs
+                    .iter()
+                    .filter_map(|s| match s {
+                        PortSrc::Node(p) => places[p.0 as usize]
+                            .pe()
+                            .map(|src_pe| mesh.hops(src_pe as usize, pe as usize)),
+                        _ => None,
+                    })
+                    .sum();
+                let key = (lq, dist, pe);
+                if key < best_key {
+                    best_key = key;
+                    best = pe;
+                }
             }
-        }
-        best
-    };
+            best
+        };
 
     for (i, n) in g.nodes.iter().enumerate() {
         let grp = node_group[i] as usize;
@@ -363,7 +359,7 @@ fn reshape_until_free(
             let need = w.div_ceil(ii);
             if need < gi.pes.len() {
                 let waste = (need * ii) as i64 - w as i64;
-                if best.map_or(true, |(_, _, bw)| waste < bw) {
+                if best.is_none_or(|(_, _, bw)| waste < bw) {
                     best = Some((grp, ii, waste));
                 }
                 break;
@@ -394,7 +390,11 @@ mod tests {
 
     fn nest(depth_sizes: &[i32]) -> Cdfg {
         // builds a nest of counted loops with `k` adds per level
-        fn level(b: &mut CdfgBuilder, sizes: &[i32], acc: marionette_cdfg::V) -> marionette_cdfg::V {
+        fn level(
+            b: &mut CdfgBuilder,
+            sizes: &[i32],
+            acc: marionette_cdfg::V,
+        ) -> marionette_cdfg::V {
             if sizes.is_empty() {
                 return acc;
             }

@@ -41,12 +41,9 @@ pub fn entry_steers(g: &Cdfg) -> std::collections::HashSet<u32> {
         if !matches!(n.op, Op::Steer { .. }) {
             continue;
         }
-        let feeds_state = consumers[id.0 as usize].iter().any(|&(c, port)| {
-            matches!(
-                (g.node(c).op, port),
-                (Op::Carry, 1) | (Op::Inv, 0)
-            )
-        });
+        let feeds_state = consumers[id.0 as usize]
+            .iter()
+            .any(|&(c, port)| matches!((g.node(c).op, port), (Op::Carry, 1) | (Op::Inv, 0)));
         if feeds_state {
             out.insert(id.0);
         }
@@ -97,8 +94,7 @@ pub fn route(g: &Cdfg, places: &[Placement], mesh: &Mesh) -> RoutingResult {
             // into an entry steer (new loop configuration/state).
             let activation = entries.contains(&(i as u32)) && g.node(*p).bb != n.bb;
             let dynamic = activation
-                && g
-                    .block(n.bb)
+                && g.block(n.bb)
                     .loop_id
                     .map(|l| g.loop_info(l).dynamic_bounds)
                     .unwrap_or(false);

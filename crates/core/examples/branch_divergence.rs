@@ -28,8 +28,8 @@ fn main() {
         arch::marionette_cn(),
         arch::marionette_full(),
     ] {
-        let r = run_kernel(kernel.as_ref(), &a, Scale::Small, 42, 1_000_000_000)
-            .expect("verified run");
+        let r =
+            run_kernel(kernel.as_ref(), &a, Scale::Small, 42, 1_000_000_000).expect("verified run");
         let baseline = *base.get_or_insert(r.cycles);
         println!(
             "{:<32} {:>10} {:>8.2}x {:>9.1}% {:>10} {:>7.1}%",

@@ -71,7 +71,10 @@ fn main() {
         }
     }
 
-    println!("SPMV ({n} rows, {} nonzeros, empty rows included)\n", cols.len());
+    println!(
+        "SPMV ({n} rows, {} nonzeros, empty rows included)\n",
+        cols.len()
+    );
     for a in [
         arch::von_neumann_pe(),
         arch::softbrain(),

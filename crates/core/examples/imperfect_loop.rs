@@ -15,8 +15,8 @@ fn main() {
     let kernel = marionette::kernels::by_short("GEMM").unwrap();
     println!("kernel: {} (imperfect nested loops)\n", kernel.name());
     for a in [arch::marionette_cn(), arch::marionette_full()] {
-        let r = run_kernel(kernel.as_ref(), &a, Scale::Small, 7, 1_000_000_000)
-            .expect("verified run");
+        let r =
+            run_kernel(kernel.as_ref(), &a, Scale::Small, 7, 1_000_000_000).expect("verified run");
         println!("=== {} ===", a.name);
         println!(
             "cycles {}   switches {}   mean PE utilization {:.1}%",

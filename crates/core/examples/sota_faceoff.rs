@@ -18,12 +18,15 @@ fn main() {
     archs.push(arch::marionette_full());
     let mut rows = Vec::new();
     for a in &archs {
-        let r = run_kernel(kernel.as_ref(), a, Scale::Small, 11, 2_000_000_000)
-            .expect("verified run");
+        let r =
+            run_kernel(kernel.as_ref(), a, Scale::Small, 11, 2_000_000_000).expect("verified run");
         rows.push((a.name, r.cycles, r.stats.mean_pe_utilization()));
     }
     let worst = rows.iter().map(|r| r.1).max().unwrap();
-    println!("{:<14} {:>10} {:>9} {:>8}", "architecture", "cycles", "speedup", "util");
+    println!(
+        "{:<14} {:>10} {:>9} {:>8}",
+        "architecture", "cycles", "speedup", "util"
+    );
     for (name, cycles, util) in rows {
         println!(
             "{name:<14} {cycles:>10} {:>8.2}x {:>7.1}%",

@@ -3,7 +3,8 @@
 //! `repro_*` binaries print in the paper's format and that tests assert
 //! shape properties on.
 
-use crate::runner::{run_kernel, KernelRun, RunnerError, DEFAULT_MAX_CYCLES};
+use crate::parallel::{par_map, sweep_threads};
+use crate::runner::{run_grid, run_kernel, KernelRun, RunnerError, DEFAULT_MAX_CYCLES};
 use marionette_arch as arch;
 use marionette_arch::Architecture;
 use marionette_kernels::traits::Scale;
@@ -48,13 +49,11 @@ fn run_matrix(
         .iter()
         .map(|a| (a.short.to_string(), Vec::new()))
         .collect();
-    let mut runs = Vec::new();
-    for k in kernels {
-        for (ai, a) in archs.iter().enumerate() {
-            let r = run_kernel(k.as_ref(), a, scale, seed, DEFAULT_MAX_CYCLES)?;
-            series[ai].1.push(r.cycles);
-            runs.push(r);
-        }
+    // All points run in parallel; results come back in the same row-major
+    // (kernel, arch) order the old serial loop produced.
+    let runs = run_grid(kernels, archs, scale, seed, DEFAULT_MAX_CYCLES)?;
+    for (i, r) in runs.iter().enumerate() {
+        series[i % archs.len()].1.push(r.cycles);
     }
     Ok((
         CycleMatrix {
@@ -202,16 +201,101 @@ pub fn fig15(scale: Scale, seed: u64) -> Result<Fig15, RunnerError> {
         pipe_util_before: Vec::new(),
         pipe_util_after: Vec::new(),
     };
-    for t in tags {
+    let points: Vec<(&str, &Architecture)> = tags
+        .iter()
+        .flat_map(|t| [(*t, &before), (*t, &after)])
+        .collect();
+    let results = par_map(points, sweep_threads(), |(t, a)| {
         let k = marionette_kernels::by_short(t).expect("kernel tag");
-        let rb = run_kernel(k.as_ref(), &before, scale, seed, DEFAULT_MAX_CYCLES)?;
-        let ra = run_kernel(k.as_ref(), &after, scale, seed, DEFAULT_MAX_CYCLES)?;
+        run_kernel(k.as_ref(), a, scale, seed, DEFAULT_MAX_CYCLES)
+    });
+    let mut it = results.into_iter();
+    while let (Some(rb), Some(ra)) = (it.next(), it.next()) {
+        let (rb, ra) = (rb?, ra?);
         out.outer_util_before.push(outer_bb_utilization(&rb));
         out.outer_util_after.push(outer_bb_utilization(&ra));
         out.pipe_util_before.push(rb.stats.mean_pe_utilization());
         out.pipe_util_after.push(ra.stats.mean_pe_utilization());
     }
     Ok(out)
+}
+
+/// The Marionette feature ladder (M-PE → M-CN → M) evaluated in one
+/// sweep: Figs 12, 14 and 16 all derive from this matrix, so a combined
+/// driver (`repro_all`) simulates each point exactly once instead of
+/// re-running the shared columns per figure.
+#[derive(Clone, Debug)]
+pub struct Ladder {
+    /// Cycle counts (M-PE, M-CN, M) on the intensive kernels.
+    pub cycles: CycleMatrix,
+}
+
+/// Runs the feature-ladder sweep behind Figs 12, 14 and 16.
+///
+/// # Errors
+/// Propagates any compile/simulation/verification failure.
+pub fn ladder(scale: Scale, seed: u64) -> Result<Ladder, RunnerError> {
+    let kernels = intensive();
+    let archs = [
+        arch::marionette_pe(),
+        arch::marionette_cn(),
+        arch::marionette_full(),
+    ];
+    let (cycles, _) = run_matrix(&kernels, &archs, scale, seed)?;
+    Ok(Ladder { cycles })
+}
+
+impl Ladder {
+    fn slice(&self, a: &str, b: &str) -> CycleMatrix {
+        let pick = |tag: &str| {
+            self.cycles
+                .series
+                .iter()
+                .find(|(t, _)| t == tag)
+                .expect("ladder series")
+                .clone()
+        };
+        CycleMatrix {
+            kernels: self.cycles.kernels.clone(),
+            series: vec![pick(a), pick(b)],
+        }
+    }
+
+    /// The Fig 12 view (M-PE vs M-CN): identical to [`fig12`], but
+    /// without re-running the shared points.
+    pub fn fig12(&self) -> Fig12 {
+        let cycles = self.slice("M-PE", "M-CN");
+        let speedup = cycles.speedups("M-CN", "M-PE");
+        Fig12 { cycles, speedup }
+    }
+
+    /// The Fig 14 view (M-CN vs M full).
+    pub fn fig14(&self) -> Fig14 {
+        let cycles = self.slice("M-CN", "M");
+        let speedup = cycles.speedups("M", "M-CN");
+        Fig14 { cycles, speedup }
+    }
+
+    /// The Fig 16 view, combining the two ablation speedups.
+    pub fn fig16(&self) -> Fig16 {
+        let f12 = self.fig12();
+        let f14 = self.fig14();
+        // Paper order: MS ADPCM CRC LDPC NW FFT VI HT SCD GEMM.
+        let order = [
+            "MS", "ADPCM", "CRC", "LDPC", "NW", "FFT", "VI", "HT", "SCD", "GEMM",
+        ];
+        let mut out = Fig16 {
+            kernels: order.iter().map(|s| s.to_string()).collect(),
+            cn_speedup: Vec::new(),
+            agile_speedup: Vec::new(),
+        };
+        for t in order {
+            let i = f12.cycles.kernels.iter().position(|k| k == t).unwrap();
+            out.cn_speedup.push(f12.speedup[i]);
+            out.agile_speedup.push(f14.speedup[i]);
+        }
+        out
+    }
 }
 
 /// Fig 16: the speedup balance between the control network and Agile PE
@@ -231,21 +315,9 @@ pub struct Fig16 {
 /// # Errors
 /// Propagates any compile/simulation/verification failure.
 pub fn fig16(scale: Scale, seed: u64) -> Result<Fig16, RunnerError> {
-    let f12 = fig12(scale, seed)?;
-    let f14 = fig14(scale, seed)?;
-    // Paper order: MS ADPCM CRC LDPC NW FFT VI HT SCD GEMM.
-    let order = ["MS", "ADPCM", "CRC", "LDPC", "NW", "FFT", "VI", "HT", "SCD", "GEMM"];
-    let mut out = Fig16 {
-        kernels: order.iter().map(|s| s.to_string()).collect(),
-        cn_speedup: Vec::new(),
-        agile_speedup: Vec::new(),
-    };
-    for t in order {
-        let i = f12.cycles.kernels.iter().position(|k| k == t).unwrap();
-        out.cn_speedup.push(f12.speedup[i]);
-        out.agile_speedup.push(f14.speedup[i]);
-    }
-    Ok(out)
+    // One ladder sweep covers both ablations: 3 architectures per kernel
+    // instead of the 4 a naive fig12-then-fig14 rerun would simulate.
+    Ok(ladder(scale, seed)?.fig16())
 }
 
 /// Fig 17: Marionette against the state of the art on all 13 kernels.

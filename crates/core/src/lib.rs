@@ -42,6 +42,7 @@
 //! | [`hw`] | 28 nm area/power/delay models (Tables 4 & 6, Fig 13) |
 //! | [`runner`] | end-to-end compile+simulate+verify |
 //! | [`experiments`] | regeneration of every evaluation figure |
+//! | [`parallel`] | scoped-thread fan-out for experiment sweeps |
 
 #![warn(missing_docs)]
 
@@ -55,6 +56,7 @@ pub use marionette_net as net;
 pub use marionette_sim as sim;
 
 pub mod experiments;
+pub mod parallel;
 pub mod runner;
 
 /// Convenience imports for examples and tests.

@@ -1,6 +1,12 @@
 //! End-to-end kernel execution: workload → CDFG → compile → bitstream
 //! round-trip → cycle-level simulation → golden verification.
+//!
+//! Independent kernel × architecture points are embarrassingly parallel;
+//! [`run_grid`] fans a whole sweep out across OS threads (see
+//! [`crate::parallel`]) and is the engine behind every figure's
+//! experiment and the `bench_sim` perf harness.
 
+use crate::parallel::{par_map, sweep_threads};
 use marionette_arch::Architecture;
 use marionette_cdfg::value::Value;
 use marionette_compiler::{compile, CompileReport, PlaceError};
@@ -125,4 +131,33 @@ pub fn run_kernel(
         report,
         verified: true,
     })
+}
+
+/// Runs every kernel × architecture point of a sweep across worker
+/// threads, returning results in row-major order (for each kernel, every
+/// architecture in sequence) — exactly the order a serial nested loop
+/// would produce.
+///
+/// Thread count comes from [`sweep_threads`] (`MARIONETTE_THREADS=1`
+/// forces serial execution). Each point is an independent simulation, so
+/// results are identical to the serial sweep in any case; on error the
+/// first failing point in row-major order is reported.
+///
+/// # Errors
+/// Returns the first [`RunnerError`] in row-major point order.
+pub fn run_grid(
+    kernels: &[Box<dyn Kernel>],
+    archs: &[Architecture],
+    scale: Scale,
+    seed: u64,
+    max_cycles: u64,
+) -> Result<Vec<KernelRun>, RunnerError> {
+    let points: Vec<(&dyn Kernel, &Architecture)> = kernels
+        .iter()
+        .flat_map(|k| archs.iter().map(move |a| (k.as_ref(), a)))
+        .collect();
+    let results = par_map(points, sweep_threads(), |(k, a)| {
+        run_kernel(k, a, scale, seed, max_cycles)
+    });
+    results.into_iter().collect()
 }

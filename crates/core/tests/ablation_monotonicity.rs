@@ -16,7 +16,9 @@ fn cycles(tag: &str, a: &marionette::arch::Architecture, seed: u64) -> u64 {
         .cycles
 }
 
-const INTENSIVE: [&str; 10] = ["MS", "FFT", "VI", "NW", "HT", "CRC", "ADPCM", "SCD", "LDPC", "GEMM"];
+const INTENSIVE: [&str; 10] = [
+    "MS", "FFT", "VI", "NW", "HT", "CRC", "ADPCM", "SCD", "LDPC", "GEMM",
+];
 
 #[test]
 fn control_network_helps_in_geomean() {
@@ -58,11 +60,7 @@ fn full_marionette_beats_every_baseline_in_geomean() {
             .map(|t| cycles(t, &baseline, 3) as f64 / cycles(t, &m, 3) as f64)
             .collect();
         let gm = geomean(&speedups);
-        assert!(
-            gm > 1.0,
-            "Marionette vs {}: geomean {gm:.3}",
-            baseline.name
-        );
+        assert!(gm > 1.0, "Marionette vs {}: geomean {gm:.3}", baseline.name);
     }
 }
 
@@ -94,7 +92,11 @@ fn predication_wastes_fires_on_branchy_code() {
         "vN poison fraction {:.4}",
         vn.stats.poison_fraction()
     );
-    assert_eq!(m.stats.poison_fraction(), 0.0, "Marionette steers, never predicates");
+    assert_eq!(
+        m.stats.poison_fraction(),
+        0.0,
+        "Marionette steers, never predicates"
+    );
 }
 
 #[test]
@@ -102,7 +104,13 @@ fn ccu_switches_only_on_centralized_architectures() {
     let k = marionette::kernels::by_short("GEMM").unwrap();
     let vn = run_kernel(k.as_ref(), &arch::von_neumann_pe(), Scale::Tiny, 9, MAX).unwrap();
     let m = run_kernel(k.as_ref(), &arch::marionette_full(), Scale::Tiny, 9, MAX).unwrap();
-    assert!(vn.stats.group_switches > 0, "vN time-multiplexes loop levels");
+    assert!(
+        vn.stats.group_switches > 0,
+        "vN time-multiplexes loop levels"
+    );
     assert!(vn.stats.switch_stall_cycles > 0, "CCU stalls the array");
-    assert_eq!(m.stats.group_switches, 0, "agile co-residency never switches");
+    assert_eq!(
+        m.stats.group_switches, 0,
+        "agile co-residency never switches"
+    );
 }

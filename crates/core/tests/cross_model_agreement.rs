@@ -65,10 +65,7 @@ fn run_sim(g: &Cdfg, tm: &TimingModel, opts: &CompileOptions) -> (Vec<Value>, Va
         .collect();
     let r = run(&prog, tm, &inputs, &[], 50_000_000).expect("simulates");
     let out_idx = prog.arrays.iter().position(|a| a.name == "out").unwrap();
-    (
-        r.memory[out_idx].clone(),
-        r.sinks.get("total").unwrap()[0],
-    )
+    (r.memory[out_idx].clone(), r.sinks.get("total").unwrap()[0])
 }
 
 proptest! {

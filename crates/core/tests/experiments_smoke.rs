@@ -48,7 +48,10 @@ fn fig14_shape() {
     for (k, s) in f.cycles.kernels.iter().zip(&f.speedup) {
         println!("  {k:6} {s:.3}");
     }
-    assert!(gm > 1.0, "Agile PE Assignment must win overall (got {gm:.3})");
+    assert!(
+        gm > 1.0,
+        "Agile PE Assignment must win overall (got {gm:.3})"
+    );
 }
 
 #[test]
@@ -67,7 +70,10 @@ fn fig15_shape() {
     // Outer-BB PEs must be busier after Agile assignment on average.
     let before: f64 = f.outer_util_before.iter().sum();
     let after: f64 = f.outer_util_after.iter().sum();
-    assert!(after > before, "outer-BB utilization must rise: {before:.3} -> {after:.3}");
+    assert!(
+        after > before,
+        "outer-BB utilization must rise: {before:.3} -> {after:.3}"
+    );
 }
 
 #[test]

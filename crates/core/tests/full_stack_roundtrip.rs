@@ -13,7 +13,12 @@ fn every_kernel_roundtrips_through_the_bitstream() {
         let g = k.build(&wl);
         let (prog, _) = compile(&g, &CompileOptions::marionette_4x4())
             .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
-        assert!(prog.validate().is_empty(), "{}: {:?}", k.name(), prog.validate());
+        assert!(
+            prog.validate().is_empty(),
+            "{}: {:?}",
+            k.name(),
+            prog.validate()
+        );
         let bytes = bitstream::encode(&prog);
         let back = bitstream::decode(&bytes).unwrap();
         assert_eq!(prog, back, "{} bitstream roundtrip", k.name());

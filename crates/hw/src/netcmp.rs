@@ -102,7 +102,10 @@ mod tests {
     #[test]
     fn marionette_has_lowest_network_ratio() {
         let rows = network_comparison();
-        let m = rows.iter().find(|r| r.architecture == "Marionette").unwrap();
+        let m = rows
+            .iter()
+            .find(|r| r.architecture == "Marionette")
+            .unwrap();
         for r in &rows {
             if r.architecture != "Marionette" {
                 assert!(
@@ -127,7 +130,10 @@ mod tests {
         let rows = network_comparison();
         let sb = rows.iter().find(|r| r.architecture == "Softbrain").unwrap();
         assert!((sb.network_ratio() - 0.758).abs() < 0.01);
-        let pl = rows.iter().find(|r| r.architecture == "Plasticine").unwrap();
+        let pl = rows
+            .iter()
+            .find(|r| r.architecture == "Plasticine")
+            .unwrap();
         assert!((pl.network_ratio() - 0.646).abs() < 0.01);
     }
 }

@@ -29,7 +29,7 @@ pub struct DelayPoint {
 /// network radix (stage count is `2·log2(N) − 1`, so `N` is recovered
 /// from it).
 pub fn path_delay_ns(stages: usize) -> f64 {
-    let log2n = (stages + 1) / 2;
+    let log2n = stages.div_ceil(2);
     let wire_scale = 1.0 + log2n as f64 / 8.0;
     stages as f64 * (tech::SWITCH_DELAY_NS + tech::WIRE_DELAY_BASE_NS * wire_scale)
 }

@@ -331,8 +331,8 @@ pub fn decode(bytes: &[u8]) -> Result<MachineProgram, BitstreamError> {
         let nsrc = ((word >> 26) & 0x3) as usize;
         let bb = ((word >> 32) & 0xFFFF) as u16;
         let group = ((word >> 48) & 0xFFFF) as u16;
-        let op = decode_op(opb, aux)
-            .map_err(|e| BitstreamError::Malformed(format!("node {i}: {e}")))?;
+        let op =
+            decode_op(opb, aux).map_err(|e| BitstreamError::Malformed(format!("node {i}: {e}")))?;
         let pk = r.u8()?;
         let pidx = r.u16()?;
         let place = match pk {
@@ -354,9 +354,7 @@ pub fn decode(bytes: &[u8]) -> Result<MachineProgram, BitstreamError> {
             let s = match tag {
                 0 => OperandSrc::None,
                 1 => {
-                    let v = *exts
-                        .get(ei)
-                        .ok_or(BitstreamError::Truncated)?;
+                    let v = *exts.get(ei).ok_or(BitstreamError::Truncated)?;
                     ei += 1;
                     OperandSrc::Route(v)
                 }

@@ -229,10 +229,8 @@ impl MachineProgram {
                             }
                         }
                     },
-                    OperandSrc::Param(p) => {
-                        if *p as usize >= self.params.len() {
-                            errs.push(format!("node {i}: missing param {p}"));
-                        }
+                    OperandSrc::Param(p) if *p as usize >= self.params.len() => {
+                        errs.push(format!("node {i}: missing param {p}"));
                     }
                     _ => {}
                 }
@@ -264,9 +262,7 @@ impl MachineProgram {
                         None => errs.push(format!("pe {p} cfg {ci}: missing node {slot}")),
                         Some(n) => {
                             if n.place.pe() != Some(p as u16) {
-                                errs.push(format!(
-                                    "pe {p} cfg {ci}: node {slot} not placed here"
-                                ));
+                                errs.push(format!("pe {p} cfg {ci}: node {slot} not placed here"));
                             }
                         }
                     }

@@ -29,7 +29,12 @@ pub fn disassemble(p: &MachineProgram) -> String {
         if pe.configs.is_empty() {
             continue;
         }
-        let _ = writeln!(out, "pe {pi} (r{} c{}):", pi / p.cols as usize, pi % p.cols as usize);
+        let _ = writeln!(
+            out,
+            "pe {pi} (r{} c{}):",
+            pi / p.cols as usize,
+            pi % p.cols as usize
+        );
         for (ci, c) in pe.configs.iter().enumerate() {
             let mode = match c.mode {
                 CtrlMode::Dfg => "dfg",

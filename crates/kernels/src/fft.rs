@@ -44,8 +44,8 @@ pub fn fft_reference(re: &mut [f32], im: &mut [f32]) {
     let n = re.len();
     let brt = bitrev_table(n);
     let (wr, wi) = twiddles(n);
-    for i in 0..n {
-        let r = brt[i] as usize;
+    for (i, &rv) in brt.iter().enumerate().take(n) {
+        let r = rv as usize;
         if i < r {
             re.swap(i, r);
             im.swap(i, r);

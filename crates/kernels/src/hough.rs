@@ -46,12 +46,7 @@ fn nrho(h: usize, w: usize) -> usize {
 }
 
 /// Scalar reference accumulator.
-pub fn hough_reference(
-    h: usize,
-    w: usize,
-    ntheta: usize,
-    img: &[i32],
-) -> Vec<i32> {
+pub fn hough_reference(h: usize, w: usize, ntheta: usize, img: &[i32]) -> Vec<i32> {
     let (cos_t, sin_t) = trig_tables(ntheta);
     let nr = nrho(h, w);
     let half = (nr / 2) as i32;
@@ -149,10 +144,7 @@ impl Kernel for Hough {
         let nt = wl.size("nt") as usize;
         let acc = hough_reference(h, w, nt, &wl.array_i32("img"));
         Golden {
-            arrays: vec![(
-                "acc".into(),
-                acc.into_iter().map(Value::I32).collect(),
-            )],
+            arrays: vec![("acc".into(), acc.into_iter().map(Value::I32).collect())],
             sinks: vec![],
         }
     }

@@ -31,7 +31,7 @@ fn dims(scale: Scale) -> (usize, usize) {
 /// `cnbr[m*6]` (variable index per check edge).
 pub fn gen_graph(n: usize, seed: u64) -> Vec<i32> {
     let mut slots: Vec<i32> = (0..n as i32)
-        .flat_map(|v| std::iter::repeat(v).take(VAR_DEG))
+        .flat_map(|v| std::iter::repeat_n(v, VAR_DEG))
         .collect();
     let mut r = workload::rng(seed ^ 0xC0DE);
     slots.shuffle(&mut r);
@@ -46,9 +46,9 @@ pub fn var_edges(n: usize, cnbr: &[i32]) -> Vec<i32> {
     }
     vedge
         .into_iter()
-        .flat_map(|mut es| {
+        .flat_map(|es| {
             debug_assert_eq!(es.len(), VAR_DEG);
-            es.drain(..).collect::<Vec<_>>()
+            es
         })
         .collect()
 }
@@ -127,10 +127,7 @@ impl Kernel for LdpcDecode {
         Workload {
             arrays: vec![
                 ("llr_in".into(), workload::i32_vec(&mut r, n, -31, 32)),
-                (
-                    "cnbr".into(),
-                    cnbr.into_iter().map(Value::I32).collect(),
-                ),
+                ("cnbr".into(), cnbr.into_iter().map(Value::I32).collect()),
             ],
             sizes: vec![("n".into(), n as i64), ("iters".into(), iters as i64)],
         }
@@ -191,6 +188,7 @@ impl Kernel for LdpcDecode {
 /// full-application composite (`crate::ldpc_app`). `fence` orders the
 /// first iteration after `vllr` initialization; returns the fence after
 /// the last iteration.
+#[allow(clippy::too_many_arguments)] // mirrors the decoder's dataflow interface
 pub(crate) fn decoder_core(
     b: &mut CdfgBuilder,
     llr_in: marionette_cdfg::ArrayId,
@@ -205,73 +203,73 @@ pub(crate) fn decoder_core(
     let m = n * VAR_DEG as i32 / CHECK_DEG as i32;
     let big = b.imm(i32::MAX / 2);
     let iter_out = b.for_range(0, iters, &[fence], |b, _it, itv| {
-            let fence_in = itv[0];
-            // ---- check pass ----
-            let checks = b.for_range(0, m, &[fence_in], |b, c, cv| {
-                let cfence = cv[0];
-                let base = b.mul(c, (CHECK_DEG as i32).into());
-                // serial inner loop 1: minimum search
-                let zero = b.imm(0);
-                let mins = b.for_range(0, CHECK_DEG as i32, &[big, big, zero, zero], |b, e, st| {
-                    let (min1, min2, arg, sgn) = (st[0], st[1], st[2], st[3]);
-                    let idx = b.add(base, e);
-                    let vi = b.load(cnbr, idx);
-                    let lv = b.load_dep(vllr, vi, cfence);
-                    let mv = b.load_dep(msg, idx, cfence);
-                    let val = b.sub(lv, mv);
-                    let a = b.abs(val);
-                    let s = b.lt(val, 0.into());
-                    let c1 = b.lt(a, min1);
-                    // nested branch: two-minimum tracking
-                    let r = b.if_else(
-                        c1,
-                        |_| vec![a, min1, e],
-                        |b| {
-                            let c2 = b.lt(a, min2);
-                            let rr = b.if_else(c2, |_| vec![a], |_| vec![min2]);
-                            vec![min1, rr[0], arg]
-                        },
-                    );
-                    let sgn2 = b.xor(sgn, s);
-                    vec![r[0], r[1], r[2], sgn2]
-                });
-                let (min1, min2, arg, sgn) = (mins[0], mins[1], mins[2], mins[3]);
-                // serial inner loop 2: message update
-                let upd = b.for_range(0, CHECK_DEG as i32, &[cfence], |b, e, uv| {
-                    let idx = b.add(base, e);
-                    let vi = b.load(cnbr, idx);
-                    let lv = b.load_dep(vllr, vi, uv[0]);
-                    let mv = b.load_dep(msg, idx, uv[0]);
-                    let val = b.sub(lv, mv);
-                    let se = b.lt(val, 0.into());
-                    let ise = b.eq(e, arg);
-                    let mag = b.mux(ise, min2, min1);
-                    let flip = b.xor(sgn, se);
-                    let nmag = b.neg(mag);
-                    let nm = b.mux(flip, nmag, mag);
-                    let tok = b.store(msg, idx, nm);
-                    vec![tok]
-                });
-                vec![upd[0]]
+        let fence_in = itv[0];
+        // ---- check pass ----
+        let checks = b.for_range(0, m, &[fence_in], |b, c, cv| {
+            let cfence = cv[0];
+            let base = b.mul(c, (CHECK_DEG as i32).into());
+            // serial inner loop 1: minimum search
+            let zero = b.imm(0);
+            let mins = b.for_range(0, CHECK_DEG as i32, &[big, big, zero, zero], |b, e, st| {
+                let (min1, min2, arg, sgn) = (st[0], st[1], st[2], st[3]);
+                let idx = b.add(base, e);
+                let vi = b.load(cnbr, idx);
+                let lv = b.load_dep(vllr, vi, cfence);
+                let mv = b.load_dep(msg, idx, cfence);
+                let val = b.sub(lv, mv);
+                let a = b.abs(val);
+                let s = b.lt(val, 0.into());
+                let c1 = b.lt(a, min1);
+                // nested branch: two-minimum tracking
+                let r = b.if_else(
+                    c1,
+                    |_| vec![a, min1, e],
+                    |b| {
+                        let c2 = b.lt(a, min2);
+                        let rr = b.if_else(c2, |_| vec![a], |_| vec![min2]);
+                        vec![min1, rr[0], arg]
+                    },
+                );
+                let sgn2 = b.xor(sgn, s);
+                vec![r[0], r[1], r[2], sgn2]
             });
-            // ---- var pass ----
-            let vars = b.for_range(0, n, &[checks[0]], |b, v, vv| {
-                let vfence = vv[0];
-                // llr_in may be produced by an upstream phase (the full
-                // LDPC application), so order the read behind the fence.
-                let x0 = b.load_dep(llr_in, v, vfence);
-                let vb = b.mul(v, (VAR_DEG as i32).into());
-                let acc = b.for_range(0, VAR_DEG as i32, &[x0], |b, d, av| {
-                    let ei = b.add(vb, d);
-                    let e = b.load(vedge, ei);
-                    let mv = b.load_dep(msg, e, vfence);
-                    vec![b.add(av[0], mv)]
-                });
-                let tok = b.store_dep(vllr, v, acc[0], vfence);
+            let (min1, min2, arg, sgn) = (mins[0], mins[1], mins[2], mins[3]);
+            // serial inner loop 2: message update
+            let upd = b.for_range(0, CHECK_DEG as i32, &[cfence], |b, e, uv| {
+                let idx = b.add(base, e);
+                let vi = b.load(cnbr, idx);
+                let lv = b.load_dep(vllr, vi, uv[0]);
+                let mv = b.load_dep(msg, idx, uv[0]);
+                let val = b.sub(lv, mv);
+                let se = b.lt(val, 0.into());
+                let ise = b.eq(e, arg);
+                let mag = b.mux(ise, min2, min1);
+                let flip = b.xor(sgn, se);
+                let nmag = b.neg(mag);
+                let nm = b.mux(flip, nmag, mag);
+                let tok = b.store(msg, idx, nm);
                 vec![tok]
             });
-            vec![vars[0]]
+            vec![upd[0]]
         });
+        // ---- var pass ----
+        let vars = b.for_range(0, n, &[checks[0]], |b, v, vv| {
+            let vfence = vv[0];
+            // llr_in may be produced by an upstream phase (the full
+            // LDPC application), so order the read behind the fence.
+            let x0 = b.load_dep(llr_in, v, vfence);
+            let vb = b.mul(v, (VAR_DEG as i32).into());
+            let acc = b.for_range(0, VAR_DEG as i32, &[x0], |b, d, av| {
+                let ei = b.add(vb, d);
+                let e = b.load(vedge, ei);
+                let mv = b.load_dep(msg, e, vfence);
+                vec![b.add(av[0], mv)]
+            });
+            let tok = b.store_dep(vllr, v, acc[0], vfence);
+            vec![tok]
+        });
+        vec![vars[0]]
+    });
     iter_out[0]
 }
 

@@ -153,10 +153,7 @@ impl Kernel for MergeSort {
         let mut data = wl.array_i32("data");
         data.sort();
         Golden {
-            arrays: vec![(
-                "data".into(),
-                data.into_iter().map(Value::I32).collect(),
-            )],
+            arrays: vec![("data".into(), data.into_iter().map(Value::I32).collect())],
             sinks: vec![],
         }
     }

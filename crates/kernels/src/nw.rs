@@ -32,13 +32,17 @@ pub fn nw_reference(a: &[i32], b: &[i32]) -> Vec<i32> {
     let n = a.len();
     let w = n + 1;
     let mut t = vec![0i32; w * w];
-    for j in 0..=n {
-        t[j] = j as i32 * GAP;
+    for (j, slot) in t.iter_mut().enumerate().take(n + 1) {
+        *slot = j as i32 * GAP;
     }
     for i in 1..=n {
         t[i * w] = i as i32 * GAP;
         for j in 1..=n {
-            let m = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let m = if a[i - 1] == b[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             let s1 = t[(i - 1) * w + j - 1] + m;
             let s2 = t[(i - 1) * w + j] + GAP;
             let s3 = t[i * w + j - 1] + GAP;
@@ -155,10 +159,7 @@ impl Kernel for Nw {
     fn golden(&self, wl: &Workload) -> Golden {
         let t = nw_reference(&wl.array_i32("a"), &wl.array_i32("b"));
         Golden {
-            arrays: vec![(
-                "table".into(),
-                t.into_iter().map(Value::I32).collect(),
-            )],
+            arrays: vec![("table".into(), t.into_iter().map(Value::I32).collect())],
             sinks: vec![],
         }
     }

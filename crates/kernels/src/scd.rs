@@ -66,7 +66,6 @@ pub fn schedule(n: usize) -> Vec<Visit> {
         visits: &mut Vec<Visit>,
         off: &[i32],
         level: usize,
-        levels: usize,
         pos: usize, // leaf span start
         size: usize,
     ) {
@@ -91,7 +90,7 @@ pub fn schedule(n: usize) -> Vec<Visit> {
             ba: 0,
             bb: 0,
         });
-        rec(visits, off, level + 1, levels, pos, half);
+        rec(visits, off, level + 1, pos, half);
         // g: right child LLRs use left decisions
         visits.push(Visit {
             op: OP_G,
@@ -101,7 +100,7 @@ pub fn schedule(n: usize) -> Vec<Visit> {
             ba: pos as i32,
             bb: 0,
         });
-        rec(visits, off, level + 1, levels, pos + half, half);
+        rec(visits, off, level + 1, pos + half, half);
         // combine partial sums: u_left ^= u_right
         visits.push(Visit {
             op: OP_COMBINE,
@@ -112,7 +111,7 @@ pub fn schedule(n: usize) -> Vec<Visit> {
             bb: (pos + half) as i32,
         });
     }
-    rec(&mut visits, &off, 0, levels, 0, n);
+    rec(&mut visits, &off, 0, 0, n);
     visits
 }
 

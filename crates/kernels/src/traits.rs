@@ -53,10 +53,7 @@ impl Workload {
 
     /// Integer view of an input array.
     pub fn array_i32(&self, name: &str) -> Vec<i32> {
-        self.array(name)
-            .iter()
-            .map(|v| v.to_i32_lossy())
-            .collect()
+        self.array(name).iter().map(|v| v.to_i32_lossy()).collect()
     }
 
     /// Float view of an input array.

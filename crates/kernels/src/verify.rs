@@ -26,9 +26,12 @@ pub fn interp_check(k: &dyn Kernel, scale: Scale, seed: u64, mode: ExecMode) -> 
             r.memory.oob_events()
         ));
     }
-    let mismatches = check_vs_golden(&g, &golden, |arr| r.memory.array(arr).to_vec(), |name| {
-        r.sinks.get(name).cloned().unwrap_or_default()
-    });
+    let mismatches = check_vs_golden(
+        &g,
+        &golden,
+        |arr| r.memory.array(arr).to_vec(),
+        |name| r.sinks.get(name).cloned().unwrap_or_default(),
+    );
     if mismatches.is_empty() {
         Ok(())
     } else {

@@ -42,9 +42,7 @@ mod tests {
     #[test]
     fn ranges_respected() {
         let v = i32_vec(&mut rng(1), 256, -5, 5);
-        assert!(v
-            .iter()
-            .all(|x| (-5..5).contains(&x.to_i32_lossy())));
+        assert!(v.iter().all(|x| (-5..5).contains(&x.to_i32_lossy())));
         let f = f32_vec(&mut rng(2), 64, 0.5, 1.5);
         assert!(f.iter().all(|x| {
             let v = x.as_f32().unwrap();

@@ -89,11 +89,11 @@ impl CsNetwork {
             if hi > self.n {
                 return Err(CsError::OutOfRange);
             }
-            for line in lo..hi {
-                if owner[line] != usize::MAX {
+            for slot in &mut owner[lo..hi] {
+                if *slot != usize::MAX {
                     return Err(CsError::Overlap);
                 }
-                owner[line] = k;
+                *slot = k;
             }
         }
         let stages = self.stages();
@@ -155,8 +155,8 @@ mod tests {
         }
         let out = net.evaluate(&cfg, &inputs);
         for (k, &(lo, hi)) in intervals.iter().enumerate() {
-            for line in lo..hi {
-                assert_eq!(out[line], Some(k), "line {line} of interval {k}");
+            for (line, o) in out.iter().enumerate().take(hi).skip(lo) {
+                assert_eq!(*o, Some(k), "line {line} of interval {k}");
             }
         }
         // Lines outside every interval must not receive spurious copies of

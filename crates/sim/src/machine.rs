@@ -20,16 +20,29 @@
 //!   interpreter's (`marionette-cdfg::interp`), including predicated
 //!   (poison) execution — integration tests assert cycle-level runs
 //!   produce bit-identical outputs.
+//!
+//! ## Engineering notes (hot loop)
+//!
+//! The simulator is the throughput bottleneck of the whole evaluation
+//! sweep, so the core is event-driven and allocation-lean:
+//!
+//! - tokens in flight live in a single payload-carrying min-heap keyed by
+//!   `(cycle, sequence)` — one pop per delivered token, no side table;
+//! - sink labels are interned at construction; a sink firing is a dense
+//!   `Vec` push, never a `HashMap<String, _>` probe;
+//! - issue work comes from a maintained list of *active units* (units
+//!   holding at least one ready candidate), so a quiescent cycle costs
+//!   O(changed units), not O(all units), and the idle fast-forward path
+//!   inspects only that list.
 
 use crate::stats::{GroupStats, RunStats, UnitStats};
 use crate::timing::{CtrlTransport, TimingModel};
 use marionette_cdfg::op::{Op, SteerRole};
 use marionette_cdfg::value::Value;
 use marionette_isa::{MachineProgram, OperandSrc, Placement, RouteClass};
+use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::cmp::Reverse;
 use std::fmt;
-
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -80,12 +93,12 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    /// Final contents of a named array.
-    pub fn array(&self, prog: &MachineProgram, name: &str) -> Option<Vec<Value>> {
+    /// Final contents of a named array, borrowed from the result.
+    pub fn array(&self, prog: &MachineProgram, name: &str) -> Option<&[Value]> {
         prog.arrays
             .iter()
             .position(|a| a.name == name)
-            .map(|i| self.memory[i].clone())
+            .map(|i| self.memory[i].as_slice())
     }
 }
 
@@ -94,12 +107,6 @@ enum SeqState {
     Fresh,
     Looping,
     Held(Value),
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-struct EvKey {
-    at: u64,
-    seq: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -116,14 +123,66 @@ enum EvKind {
     },
 }
 
+/// A scheduled event carrying its payload. Ordered so that
+/// `BinaryHeap::pop` yields the earliest `(at, seq)` first — a single
+/// min-heap replaces the old key-heap + payload-map pair, halving the
+/// bookkeeping per delivered token.
+#[derive(Clone, Debug)]
+struct Ev {
+    at: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Ev {}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Flit {
     route: u32,
     hop: usize,
     value: Value,
     alive: bool,
+    /// Spawn order; ties between flits are always broken by serial, which
+    /// reproduces the old single-vector iteration order.
+    serial: u64,
     /// Earliest cycle the flit may take its next link (link latency).
     ready_at: u64,
+}
+
+/// A flit that reached its destination tile but found the input queue
+/// full. Parked flits leave the per-cycle traversal loop entirely; their
+/// stall cycles are accounted in bulk on delivery
+/// (`delivery_cycle - first_attempt`), which equals the old
+/// one-increment-per-blocked-cycle bookkeeping exactly.
+#[derive(Clone, Debug)]
+struct ParkedFlit {
+    serial: u64,
+    route: u32,
+    value: Value,
+    /// First cycle a delivery was attempted (last hop cycle + 1).
+    first_attempt: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -144,16 +203,32 @@ struct Machine<'p> {
     cols: usize,
     // topology of units
     node_unit: Vec<UnitId>,
+    // Flat, cache-friendly copies of the per-node metadata the hot loop
+    // reads every firing (NodeConfig is large and heap-indirected).
+    /// Operand selectors, flat-indexed by `port_base[node] + port`.
+    src_of: Vec<OperandSrc>,
+    node_group: Vec<u16>,
+    node_bb: Vec<u16>,
+    node_op: Vec<Op>,
+    node_place: Vec<Placement>,
+    node_is_mem: Vec<bool>,
     /// Loop-header basic blocks: their operators form one *loop unit*
     /// (the paper's Loop operator / stream generators of the baselines)
     /// that evaluates combinationally once per cycle.
     header_bb: Vec<bool>,
-    /// Virtual unit index per header bb (usize::MAX when not a header).
-    header_unit: Vec<usize>,
+    /// First unit index that is a loop unit (loop units occupy the tail
+    /// of the unit index space).
+    first_loop_unit: usize,
     last_fire_cycle: Vec<u64>,
     unit_free_at: Vec<u64>,
     unit_candidates: Vec<VecDeque<u32>>,
     in_candidates: Vec<bool>,
+    /// Units that currently hold at least one candidate, in insertion
+    /// order (sorted on use). `unit_queued` mirrors membership.
+    active_units: Vec<u32>,
+    unit_queued: Vec<bool>,
+    /// Total candidates across all units (== sum of deque lengths).
+    cand_count: usize,
     // queues
     port_base: Vec<usize>,
     queues: Vec<VecDeque<Value>>,
@@ -162,23 +237,48 @@ struct Machine<'p> {
     /// queue and per-edge FIFO order is preserved.
     reserved: Vec<usize>,
     blocked_on_queue: Vec<Vec<u32>>,
-    // routing
-    consumers: Vec<Vec<ConsLink>>,
+    // routing: consumer links in CSR layout (`cons_base[n]..cons_base[n+1]`
+    // indexes `cons_links`), so emission walks a flat slice by index with
+    // no per-firing list take/restore.
+    cons_base: Vec<u32>,
+    cons_links: Vec<ConsLink>,
     route_inflight: Vec<usize>,
     blocked_on_route: Vec<Vec<u32>>,
     route_next_free: Vec<u64>,
     link_used: Vec<u64>,
+    /// In-transit flits only (spawn order); at-destination flits move to
+    /// `parked` until their input queue has space.
     flits: Vec<Flit>,
+    flit_serial: u64,
+    /// Parked flits per input queue, each list in serial order.
+    parked: Vec<Vec<ParkedFlit>>,
+    /// Whether a queue has a non-empty parked list.
+    queue_parked: Vec<bool>,
+    parked_count: usize,
+    /// Scratch for serial-ordered candidate wakeups after deliveries.
+    deliver_buf: Vec<(u64, u32)>,
+    /// Parked queues that regained space since the last delivery scan
+    /// (set by `pop`): only these can accept a parked flit, so the
+    /// delivery pass never rescans queues that stayed full.
+    waked_queues: Vec<u32>,
+    queue_waked: Vec<bool>,
+    /// Reusable scratch for the issue pass (min-heap of unit indices and
+    /// the carried-over registrations), kept to avoid per-cycle allocs.
+    issue_heap: BinaryHeap<Reverse<u32>>,
+    issue_leftover: Vec<u32>,
     // events
-    events: BinaryHeap<Reverse<EvKey>>,
-    event_payload: HashMap<EvKey, EvKind>,
+    events: BinaryHeap<Ev>,
     ev_seq: u64,
     // state
     seq_state: Vec<SeqState>,
     params: Vec<Value>,
     memory: Vec<Vec<Value>>,
     oob: u64,
-    sinks: HashMap<String, Vec<Value>>,
+    /// Interned sink storage: `sink_slot[node]` indexes `sink_data` /
+    /// `sink_labels` (nodes sharing a label share a slot).
+    sink_slot: Vec<u32>,
+    sink_labels: Vec<String>,
+    sink_data: Vec<Vec<Value>>,
     // groups
     active_group: u16,
     switch_until: u64,
@@ -233,7 +333,7 @@ pub fn run(
     Ok(RunResult {
         stats,
         memory: m.memory,
-        sinks: m.sinks,
+        sinks: m.sink_labels.into_iter().zip(m.sink_data).collect(),
         oob_events: m.oob,
     })
 }
@@ -252,7 +352,12 @@ impl<'p> Machine<'p> {
             .unwrap_or(0);
         // Loop headers: blocks containing a Carry operator. Every header
         // block becomes a dedicated loop unit.
-        let max_bb = prog.nodes.iter().map(|n| n.bb as usize + 1).max().unwrap_or(1);
+        let max_bb = prog
+            .nodes
+            .iter()
+            .map(|n| n.bb as usize + 1)
+            .max()
+            .unwrap_or(1);
         let mut header_bb = vec![false; max_bb];
         for n in &prog.nodes {
             if matches!(n.op, Op::Carry) {
@@ -260,7 +365,8 @@ impl<'p> Machine<'p> {
             }
         }
         let mut header_unit = vec![usize::MAX; max_bb];
-        let mut next_unit = 3 * npes + nmem;
+        let first_loop_unit = 3 * npes + nmem;
+        let mut next_unit = first_loop_unit;
         for (bb, is_h) in header_bb.iter().enumerate() {
             if *is_h {
                 header_unit[bb] = next_unit;
@@ -310,6 +416,25 @@ impl<'p> Machine<'p> {
             };
             consumers[r.src as usize].push(link);
         }
+        let mut cons_base = Vec::with_capacity(prog.nodes.len() + 1);
+        let mut cons_links = Vec::with_capacity(prog.routes.len());
+        for c in &consumers {
+            cons_base.push(cons_links.len() as u32);
+            cons_links.extend_from_slice(c);
+        }
+        cons_base.push(cons_links.len() as u32);
+
+        let src_of: Vec<OperandSrc> = prog
+            .nodes
+            .iter()
+            .flat_map(|n| n.srcs.iter().copied())
+            .collect();
+        debug_assert_eq!(src_of.len(), total);
+        let node_group: Vec<u16> = prog.nodes.iter().map(|n| n.group).collect();
+        let node_bb: Vec<u16> = prog.nodes.iter().map(|n| n.bb).collect();
+        let node_op: Vec<Op> = prog.nodes.iter().map(|n| n.op).collect();
+        let node_place: Vec<Placement> = prog.nodes.iter().map(|n| n.place).collect();
+        let node_is_mem: Vec<bool> = prog.nodes.iter().map(|n| n.op.is_memory()).collect();
 
         let memory: Vec<Vec<Value>> = prog
             .arrays
@@ -317,46 +442,87 @@ impl<'p> Machine<'p> {
             .map(|a| vec![a.elem.zero(); a.len as usize])
             .collect();
 
+        // Intern sink labels so a sink firing is a dense Vec push. Nodes
+        // sharing a label share a collection slot, matching the old
+        // by-label HashMap semantics.
+        let mut sink_slot = vec![u32::MAX; prog.nodes.len()];
+        let mut sink_labels: Vec<String> = Vec::new();
+        let mut sink_data: Vec<Vec<Value>> = Vec::new();
+        for (i, n) in prog.nodes.iter().enumerate() {
+            if matches!(n.op, Op::Sink) {
+                let label = n.label.clone().unwrap_or_default();
+                let slot = match sink_labels.iter().position(|l| *l == label) {
+                    Some(s) => s,
+                    None => {
+                        sink_labels.push(label);
+                        sink_data.push(Vec::new());
+                        sink_labels.len() - 1
+                    }
+                };
+                sink_slot[i] = slot as u32;
+            }
+        }
+
         Ok(Machine {
             prog,
             tm,
             npes,
             cols: prog.cols as usize,
             node_unit,
+            src_of,
+            node_group,
+            node_bb,
+            node_op,
+            node_place,
+            node_is_mem,
             header_bb,
-            header_unit,
+            first_loop_unit,
             last_fire_cycle: vec![u64::MAX; prog.nodes.len()],
             unit_free_at: vec![0; nunits],
             unit_candidates: vec![VecDeque::new(); nunits],
             in_candidates: vec![false; prog.nodes.len()],
+            active_units: Vec::with_capacity(nunits),
+            unit_queued: vec![false; nunits],
+            cand_count: 0,
             port_base,
             queues: vec![VecDeque::new(); total],
             reserved: vec![0; total],
             blocked_on_queue: vec![Vec::new(); total],
-            consumers,
+            cons_base,
+            cons_links,
             route_inflight: vec![0; prog.routes.len()],
             blocked_on_route: vec![Vec::new(); prog.routes.len()],
             route_next_free: vec![0; prog.routes.len()],
             link_used: vec![u64::MAX; 4 * npes],
             flits: Vec::new(),
+            flit_serial: 0,
+            parked: vec![Vec::new(); total],
+            queue_parked: vec![false; total],
+            parked_count: 0,
+            deliver_buf: Vec::new(),
+            waked_queues: Vec::new(),
+            queue_waked: vec![false; total],
+            issue_heap: BinaryHeap::new(),
+            issue_leftover: Vec::new(),
             events: BinaryHeap::new(),
-            event_payload: HashMap::new(),
             ev_seq: 0,
             seq_state: vec![SeqState::Fresh; prog.nodes.len()],
             params: prog.params.iter().map(|p| p.default).collect(),
             memory,
             oob: 0,
-            sinks: prog
-                .nodes
-                .iter()
-                .filter(|n| matches!(n.op, Op::Sink))
-                .map(|n| (n.label.clone().unwrap_or_default(), Vec::new()))
-                .collect(),
+            sink_slot,
+            sink_labels,
+            sink_data,
             active_group: 0,
             switch_until: 0,
             last_active_fire: 0,
             group_inflight: {
-                let ngroups = prog.nodes.iter().map(|n| n.group as usize + 1).max().unwrap_or(1);
+                let ngroups = prog
+                    .nodes
+                    .iter()
+                    .map(|n| n.group as usize + 1)
+                    .max()
+                    .unwrap_or(1);
                 vec![0; ngroups]
             },
             stats: RunStats {
@@ -386,21 +552,38 @@ impl<'p> Machine<'p> {
     }
 
     fn schedule(&mut self, at: u64, kind: EvKind) {
-        let key = EvKey {
-            at,
-            seq: self.ev_seq,
-        };
+        let seq = self.ev_seq;
         self.ev_seq += 1;
-        self.events.push(Reverse(key));
-        self.event_payload.insert(key, kind);
+        self.events.push(Ev { at, seq, kind });
     }
 
     fn mark_candidate(&mut self, node: u32) {
         if !self.in_candidates[node as usize] {
             self.in_candidates[node as usize] = true;
-            let u = self.node_unit[node as usize];
-            self.unit_candidates[u.0].push_back(node);
+            self.cand_count += 1;
+            let u = self.node_unit[node as usize].0;
+            self.unit_candidates[u].push_back(node);
+            if !self.unit_queued[u] {
+                self.unit_queued[u] = true;
+                self.active_units.push(u as u32);
+            }
         }
+    }
+
+    /// Removes the front candidate of `unit`, clearing its membership.
+    fn pop_candidate(&mut self, unit: usize) -> Option<u32> {
+        let n = self.unit_candidates[unit].pop_front()?;
+        self.in_candidates[n as usize] = false;
+        self.cand_count -= 1;
+        Some(n)
+    }
+
+    /// Re-enqueues a candidate that must keep waiting (wrong group / per
+    /// cycle fire limit) without losing its slot.
+    fn requeue_candidate(&mut self, unit: usize, node: u32) {
+        self.in_candidates[node as usize] = true;
+        self.cand_count += 1;
+        self.unit_candidates[unit].push_back(node);
     }
 
     /// Latency from fire to result availability.
@@ -413,10 +596,10 @@ impl<'p> Machine<'p> {
 
     /// Emits a value to all consumers of `node`.
     fn emit(&mut self, node: u32, value: Value, lat: u64) {
-        let links = self.consumers[node as usize].clone();
-        let src_bb = self.prog.nodes[node as usize].bb as usize;
+        let src_bb = self.node_bb[node as usize] as usize;
         let in_cluster = self.header_bb[src_bb];
-        for link in links {
+        for li in self.cons_base[node as usize]..self.cons_base[node as usize + 1] {
+            let link = self.cons_links[li as usize];
             // Combinational forwarding inside a loop unit: same-header
             // operators see the value in the same cycle.
             if in_cluster {
@@ -427,8 +610,7 @@ impl<'p> Machine<'p> {
                         (r.dst, r.dst_port)
                     }
                 };
-                if self.prog.nodes[dst as usize].bb as usize == src_bb
-                    && !self.prog.nodes[dst as usize].op.is_memory()
+                if self.node_bb[dst as usize] as usize == src_bb && !self.node_is_mem[dst as usize]
                 {
                     let qi = self.qidx(dst, port);
                     self.queues[qi].push_back(value);
@@ -440,7 +622,7 @@ impl<'p> Machine<'p> {
                 ConsLink::Local { node: dst, port } => {
                     let qi = self.qidx(dst, port);
                     self.reserved[qi] += 1;
-                    self.group_inflight[self.prog.nodes[dst as usize].group as usize] += 1;
+                    self.group_inflight[self.node_group[dst as usize] as usize] += 1;
                     self.schedule(
                         self.cycle + lat,
                         EvKind::Deliver {
@@ -454,8 +636,7 @@ impl<'p> Machine<'p> {
                 ConsLink::Remote { route } => {
                     let r = &self.prog.routes[route as usize];
                     self.route_inflight[route as usize] += 1;
-                    self.group_inflight
-                        [self.prog.nodes[r.dst as usize].group as usize] += 1;
+                    self.group_inflight[self.node_group[r.dst as usize] as usize] += 1;
                     let mut extra = 0u64;
                     if r.activation {
                         extra += u64::from(self.tm.activation_extra);
@@ -501,9 +682,8 @@ impl<'p> Machine<'p> {
     }
 
     fn record_fire(&mut self, node: u32, poisoned: bool) {
-        let n = &self.prog.nodes[node as usize];
         self.stats.fires += 1;
-        let grp = n.group as usize;
+        let grp = self.node_group[node as usize] as usize;
         if self.stats.groups.len() <= grp {
             self.stats.groups.resize(grp + 1, GroupStats::default());
         }
@@ -515,7 +695,7 @@ impl<'p> Machine<'p> {
         }
         gs.last_fire = self.cycle;
         let occ = 1 + u64::from(self.tm.per_fire_overhead);
-        match n.place {
+        match self.node_place[node as usize] {
             Placement::Pe { pe } => {
                 let u = &mut self.stats.pe_data[pe as usize];
                 u.busy += occ;
@@ -536,7 +716,7 @@ impl<'p> Machine<'p> {
             }
             Placement::MemUnit { .. } => {}
         }
-        if n.group == self.active_group {
+        if self.node_group[node as usize] == self.active_group {
             self.last_active_fire = self.cycle;
         }
     }
@@ -544,7 +724,7 @@ impl<'p> Machine<'p> {
     // ---------------- queue helpers -----------------------------------
 
     fn peek(&self, node: u32, port: u8) -> Option<Value> {
-        match self.prog.nodes[node as usize].srcs[port as usize] {
+        match self.src_of[self.qidx(node, port)] {
             OperandSrc::Imm(v) => Some(v),
             OperandSrc::Param(p) => Some(self.params[p as usize]),
             OperandSrc::Route(_) => self.queues[self.qidx(node, port)].front().copied(),
@@ -557,23 +737,27 @@ impl<'p> Machine<'p> {
     }
 
     fn connected(&self, node: u32, port: u8) -> bool {
-        !matches!(
-            self.prog.nodes[node as usize].srcs[port as usize],
-            OperandSrc::None
-        )
+        !matches!(self.src_of[self.qidx(node, port)], OperandSrc::None)
     }
 
     fn pop(&mut self, node: u32, port: u8) -> Value {
-        match self.prog.nodes[node as usize].srcs[port as usize] {
+        match self.src_of[self.qidx(node, port)] {
             OperandSrc::Imm(v) => v,
             OperandSrc::Param(p) => self.params[p as usize],
             OperandSrc::Route(_) => {
                 let qi = self.qidx(node, port);
                 let v = self.queues[qi].pop_front().expect("pop on empty queue");
-                // The queue shrank: unblock producers waiting on it.
-                let blocked = std::mem::take(&mut self.blocked_on_queue[qi]);
-                for b in blocked {
-                    self.mark_candidate(b);
+                // The queue shrank: unblock producers waiting on it and
+                // wake any flits parked on the freed slot.
+                if self.queue_parked[qi] && !self.queue_waked[qi] {
+                    self.queue_waked[qi] = true;
+                    self.waked_queues.push(qi as u32);
+                }
+                if !self.blocked_on_queue[qi].is_empty() {
+                    let blocked = std::mem::take(&mut self.blocked_on_queue[qi]);
+                    for b in blocked {
+                        self.mark_candidate(b);
+                    }
                 }
                 v
             }
@@ -582,64 +766,75 @@ impl<'p> Machine<'p> {
     }
 
     /// Can the node send to every consumer (queue/flight capacity)?
+    /// On the first full consumer, registers the node to be re-marked
+    /// when that queue/route drains and reports not-ready.
     fn output_ready(&mut self, node: u32) -> bool {
-        let links = std::mem::take(&mut self.consumers[node as usize]);
-        let ok = self.output_ready_inner(node, &links);
-        self.consumers[node as usize] = links;
-        ok
-    }
-
-    fn output_ready_inner(&mut self, node: u32, links: &[ConsLink]) -> bool {
-        let src_bb = self.prog.nodes[node as usize].bb as usize;
+        // Read-only scan first; at most one block site is registered, so
+        // the mutable part is a single deferred push (no take/restore of
+        // the consumer list).
+        enum Block {
+            Queue(usize),
+            Route(usize),
+        }
+        let mut block: Option<Block> = None;
+        let src_bb = self.node_bb[node as usize] as usize;
         let in_cluster = self.header_bb[src_bb];
-        for link in links {
+        'links: for li in self.cons_base[node as usize]..self.cons_base[node as usize + 1] {
+            let link = self.cons_links[li as usize];
             if in_cluster {
-                let dst = match *link {
+                let dst = match link {
                     ConsLink::Local { node: dst, .. } => dst,
                     ConsLink::Remote { route } => self.prog.routes[route as usize].dst,
                 };
-                if self.prog.nodes[dst as usize].bb as usize == src_bb
-                    && !self.prog.nodes[dst as usize].op.is_memory()
+                if self.node_bb[dst as usize] as usize == src_bb && !self.node_is_mem[dst as usize]
                 {
                     continue; // loop-unit internal registers
                 }
             }
-            match *link {
+            match link {
                 ConsLink::Local { node: dst, port } => {
                     let qi = self.qidx(dst, port);
                     if self.queues[qi].len() + self.reserved[qi] >= self.tm.queue_capacity {
-                        self.blocked_on_queue[qi].push(node);
-                        return false;
+                        block = Some(Block::Queue(qi));
+                        break 'links;
                     }
                 }
                 ConsLink::Remote { route } => {
                     if self.route_inflight[route as usize] >= self.tm.route_inflight_cap {
-                        self.blocked_on_route[route as usize].push(node);
-                        return false;
+                        block = Some(Block::Route(route as usize));
+                        break 'links;
                     }
                     let r = &self.prog.routes[route as usize];
                     if r.class == RouteClass::Ctrl
                         && matches!(self.tm.ctrl_transport, CtrlTransport::CtrlNetwork { .. })
                     {
                         let qi = self.qidx(r.dst, r.dst_port);
-                        if self.queues[qi].len() + self.reserved[qi]
-                            >= self.tm.queue_capacity
-                        {
-                            self.blocked_on_queue[qi].push(node);
-                            return false;
+                        if self.queues[qi].len() + self.reserved[qi] >= self.tm.queue_capacity {
+                            block = Some(Block::Queue(qi));
+                            break 'links;
                         }
                     }
                 }
             }
         }
-        true
+        match block {
+            None => true,
+            Some(Block::Queue(qi)) => {
+                self.blocked_on_queue[qi].push(node);
+                false
+            }
+            Some(Block::Route(route)) => {
+                self.blocked_on_route[route].push(node);
+                false
+            }
+        }
     }
 
     // ---------------- firing ------------------------------------------
 
     /// Attempts to fire `node`; returns true if it fired.
     fn try_fire(&mut self, node: u32) -> bool {
-        let op = self.prog.nodes[node as usize].op;
+        let op = self.node_op[node as usize];
         let predicated = self.tm.predicated_branches;
         macro_rules! need {
             ($($port:expr),*) => {
@@ -738,10 +933,7 @@ impl<'p> Machine<'p> {
                 true
             }
             Op::Gate => {
-                let val_tok = matches!(
-                    self.prog.nodes[node as usize].srcs[1],
-                    OperandSrc::Route(_)
-                );
+                let val_tok = matches!(self.src_of[self.qidx(node, 1)], OperandSrc::Route(_));
                 if !self.avail(node, 0) || (val_tok && !self.avail(node, 1)) {
                     return false;
                 }
@@ -879,11 +1071,8 @@ impl<'p> Machine<'p> {
             Op::Sink => {
                 need!(0);
                 let v = self.pop(node, 0);
-                let label = self.prog.nodes[node as usize]
-                    .label
-                    .clone()
-                    .unwrap_or_default();
-                self.sinks.entry(label).or_default().push(v);
+                let slot = self.sink_slot[node as usize] as usize;
+                self.sink_data[slot].push(v);
                 self.record_fire(node, false);
                 true
             }
@@ -928,49 +1117,57 @@ impl<'p> Machine<'p> {
 
     // ---------------- cycle loop ---------------------------------------
 
-    fn process_events(&mut self) {
-        while let Some(Reverse(key)) = self.events.peek().copied() {
-            if key.at > self.cycle {
-                break;
-            }
-            self.events.pop();
-            let kind = self.event_payload.remove(&key).expect("payload");
-            self.progressed = true;
-            match kind {
-                EvKind::Deliver {
-                    node,
-                    port,
-                    value,
-                    route,
-                } => {
-                    let qi = self.qidx(node, port);
-                    debug_assert!(
-                        self.queues[qi].len() < self.tm.queue_capacity,
-                        "reservation guarantees space"
-                    );
-                    self.reserved[qi] = self.reserved[qi].saturating_sub(1);
-                    let dg = self.prog.nodes[node as usize].group as usize;
-                    self.group_inflight[dg] = self.group_inflight[dg].saturating_sub(1);
-                    self.queues[qi].push_back(value);
-                    if let Some(r) = route {
-                        self.route_inflight[r as usize] -= 1;
+    fn handle_event(&mut self, kind: EvKind) {
+        self.progressed = true;
+        match kind {
+            EvKind::Deliver {
+                node,
+                port,
+                value,
+                route,
+            } => {
+                let qi = self.qidx(node, port);
+                debug_assert!(
+                    self.queues[qi].len() < self.tm.queue_capacity,
+                    "reservation guarantees space"
+                );
+                self.reserved[qi] = self.reserved[qi].saturating_sub(1);
+                let dg = self.node_group[node as usize] as usize;
+                self.group_inflight[dg] = self.group_inflight[dg].saturating_sub(1);
+                self.queues[qi].push_back(value);
+                if let Some(r) = route {
+                    self.route_inflight[r as usize] -= 1;
+                    if !self.blocked_on_route[r as usize].is_empty() {
                         let blocked = std::mem::take(&mut self.blocked_on_route[r as usize]);
                         for b in blocked {
                             self.mark_candidate(b);
                         }
                     }
-                    self.mark_candidate(node);
                 }
-                EvKind::SpawnFlit { route, value } => {
-                    self.flits.push(Flit {
-                        route,
-                        hop: 0,
-                        value,
-                        alive: true,
-                        ready_at: self.cycle,
-                    });
-                }
+                self.mark_candidate(node);
             }
+            EvKind::SpawnFlit { route, value } => {
+                let serial = self.flit_serial;
+                self.flit_serial += 1;
+                self.flits.push(Flit {
+                    route,
+                    hop: 0,
+                    value,
+                    alive: true,
+                    serial,
+                    ready_at: self.cycle,
+                });
+            }
+        }
+    }
+
+    fn process_events(&mut self) {
+        while let Some(ev) = self.events.peek() {
+            if ev.at > self.cycle {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked event");
+            self.handle_event(ev.kind);
         }
     }
 
@@ -987,42 +1184,105 @@ impl<'p> Machine<'p> {
         from * 4 + dir
     }
 
+    /// Attempts delivery of parked (at-destination) flits. Per queue the
+    /// serial-smallest flits deliver while space lasts; candidate wakeups
+    /// are then applied in global serial order, which is exactly the old
+    /// one-vector iteration order.
+    fn deliver_parked(&mut self) {
+        // A parked flit can only deliver after its queue regained space,
+        // i.e. after a `pop` on that queue (flit-fed queues receive no
+        // other traffic), so only waked queues need a look.
+        if self.waked_queues.is_empty() {
+            return;
+        }
+        self.deliver_buf.clear();
+        let mut waked = std::mem::take(&mut self.waked_queues);
+        for &q in &waked {
+            let qi = q as usize;
+            self.queue_waked[qi] = false;
+            if !self.queue_parked[qi] {
+                continue;
+            }
+            let space = self.tm.queue_capacity.saturating_sub(self.queues[qi].len());
+            if space == 0 {
+                continue; // refilled before the scan; await the next pop
+            }
+            let take_n = self.parked[qi].len().min(space);
+            for k in 0..take_n {
+                let pf = self.parked[qi][k].clone();
+                let r = &self.prog.routes[pf.route as usize];
+                let dg = self.node_group[r.dst as usize] as usize;
+                self.group_inflight[dg] = self.group_inflight[dg].saturating_sub(1);
+                self.queues[qi].push_back(pf.value);
+                self.route_inflight[pf.route as usize] -= 1;
+                // All cycles spent waiting, one stall per blocked cycle.
+                self.stats.link_stall_cycles += self.cycle - pf.first_attempt;
+                self.parked_count -= 1;
+                self.progressed = true;
+                self.deliver_buf.push((pf.serial, pf.route));
+            }
+            self.parked[qi].drain(..take_n);
+            if self.parked[qi].is_empty() {
+                self.queue_parked[qi] = false;
+            }
+        }
+        waked.clear();
+        self.waked_queues = waked;
+        self.deliver_buf.sort_unstable_by_key(|&(s, _)| s);
+        let buf = std::mem::take(&mut self.deliver_buf);
+        for &(_, route) in &buf {
+            let dst = self.prog.routes[route as usize].dst;
+            let blocked = std::mem::take(&mut self.blocked_on_route[route as usize]);
+            for b in blocked {
+                self.mark_candidate(b);
+            }
+            self.mark_candidate(dst);
+        }
+        self.deliver_buf = buf;
+    }
+
+    /// Parks a flit that completed its last hop: it re-enters delivery
+    /// arbitration (serial order per queue) starting next cycle.
+    fn park_flit(&mut self, fi: usize) {
+        let f = &self.flits[fi];
+        let r = &self.prog.routes[f.route as usize];
+        let qi = self.qidx(r.dst, r.dst_port);
+        let pf = ParkedFlit {
+            serial: f.serial,
+            route: f.route,
+            value: f.value,
+            first_attempt: self.cycle + 1,
+        };
+        // Same-queue flits ride the same route, so serials arrive in
+        // order; insertion keeps the list sorted even if they did not.
+        let pos = self.parked[qi]
+            .binary_search_by_key(&pf.serial, |p| p.serial)
+            .unwrap_err();
+        self.parked[qi].insert(pos, pf);
+        self.parked_count += 1;
+        self.queue_parked[qi] = true;
+        // If the queue already has space the first attempt (next cycle)
+        // must run; otherwise the enabling pop will set the wake flag.
+        if self.queues[qi].len() < self.tm.queue_capacity && !self.queue_waked[qi] {
+            self.queue_waked[qi] = true;
+            self.waked_queues.push(qi as u32);
+        }
+        self.flits[fi].alive = false;
+    }
+
     fn advance_flits(&mut self) {
+        self.deliver_parked();
         if self.flits.is_empty() {
             return;
         }
+        let mut any_parked = false;
         for fi in 0..self.flits.len() {
-            if !self.flits[fi].alive {
-                continue;
+            if self.flits[fi].ready_at > self.cycle {
+                continue; // still traversing the previous link
             }
             let route = self.flits[fi].route as usize;
             let hop = self.flits[fi].hop;
             let r = &self.prog.routes[route];
-            if hop + 1 >= r.path.len() {
-                // at destination tile: deliver
-                let qi = self.qidx(r.dst, r.dst_port);
-                if self.queues[qi].len() < self.tm.queue_capacity {
-                    let value = self.flits[fi].value;
-                    let dg = self.prog.nodes[r.dst as usize].group as usize;
-                    self.group_inflight[dg] = self.group_inflight[dg].saturating_sub(1);
-                    self.queues[qi].push_back(value);
-                    self.route_inflight[route] -= 1;
-                    let dst = r.dst;
-                    let blocked = std::mem::take(&mut self.blocked_on_route[route]);
-                    for b in blocked {
-                        self.mark_candidate(b);
-                    }
-                    self.mark_candidate(dst);
-                    self.flits[fi].alive = false;
-                    self.progressed = true;
-                } else {
-                    self.stats.link_stall_cycles += 1;
-                }
-                continue;
-            }
-            if self.flits[fi].ready_at > self.cycle {
-                continue; // still traversing the previous link
-            }
             let from = r.path[hop] as usize;
             let to = r.path[hop + 1] as usize;
             let lid = self.link_id(from, to);
@@ -1032,11 +1292,25 @@ impl<'p> Machine<'p> {
                 self.flits[fi].ready_at = self.cycle + u64::from(self.tm.link_latency);
                 self.stats.mesh_hops += 1;
                 self.progressed = true;
+                if self.flits[fi].hop + 1 >= r.path.len() {
+                    self.park_flit(fi);
+                    any_parked = true;
+                }
             } else {
                 self.stats.link_stall_cycles += 1;
             }
         }
-        self.flits.retain(|f| f.alive);
+        if any_parked {
+            self.flits.retain(|f| f.alive);
+        }
+    }
+
+    /// Active units in ascending unit order (issue priority is by unit
+    /// index, exactly like the old full-array scan).
+    fn sorted_active_units(&self) -> Vec<u32> {
+        let mut units = self.active_units.clone();
+        units.sort_unstable();
+        units
     }
 
     fn group_logic(&mut self) {
@@ -1066,10 +1340,9 @@ impl<'p> Machine<'p> {
         }
         // Active group is idle: find another group with waiting candidates.
         let mut target: Option<u16> = None;
-        'outer: for (ui, cand) in self.unit_candidates.iter().enumerate() {
-            let _ = ui;
-            for &n in cand {
-                let g = self.prog.nodes[n as usize].group;
+        'outer: for &ui in &self.sorted_active_units() {
+            for &n in &self.unit_candidates[ui as usize] {
+                let g = self.node_group[n as usize];
                 if g != self.active_group {
                     target = Some(g);
                     break 'outer;
@@ -1084,86 +1357,125 @@ impl<'p> Machine<'p> {
         }
     }
 
+    /// Issues on one loop unit: evaluate the whole header cluster to
+    /// fixpoint (each member at most once per cycle) — the paper's Loop
+    /// operator sustains one iteration per cycle.
+    fn issue_loop_unit(&mut self, ui: usize) {
+        let mut fired_any = false;
+        let mut guard = 0usize;
+        loop {
+            let mut fired_round = false;
+            let len = self.unit_candidates[ui].len();
+            for _ in 0..len {
+                let Some(n) = self.pop_candidate(ui) else {
+                    break;
+                };
+                if self.last_fire_cycle[n as usize] == self.cycle
+                    || (self.tm.exclusive_groups
+                        && self.node_group[n as usize] != self.active_group)
+                {
+                    self.requeue_candidate(ui, n);
+                    continue;
+                }
+                if self.try_fire(n) {
+                    fired_round = true;
+                    fired_any = true;
+                }
+            }
+            guard += 1;
+            if !fired_round || guard > 64 {
+                break;
+            }
+        }
+        if fired_any {
+            self.progressed = true;
+            self.unit_free_at[ui] = self.cycle + 1 + u64::from(self.tm.per_fire_overhead);
+        }
+    }
+
     fn issue(&mut self) {
         if self.tm.exclusive_groups && self.cycle < self.switch_until {
             return; // the array is stalled while configurations change
         }
-        let loop_units_start = self.unit_candidates.len()
-            - self.header_unit.iter().filter(|&&u| u != usize::MAX).count();
-        for ui in 0..self.unit_candidates.len() {
+        // Visit only units holding candidates, in ascending unit order —
+        // the same priority as the old 0..nunits scan. A unit activated
+        // *during* the pass (e.g. a producer unblocked by a queue pop)
+        // joins this cycle's walk iff its index is still ahead of the
+        // cursor, exactly as the linear scan would have reached it.
+        // Reuse persistent scratch buffers: the issue pass runs every
+        // active cycle and must not allocate.
+        let mut heap = std::mem::take(&mut self.issue_heap);
+        for &u in &self.active_units {
+            heap.push(Reverse(u));
+        }
+        self.active_units.clear();
+        let mut leftover = std::mem::take(&mut self.issue_leftover);
+        let mut last: Option<u32> = None;
+        loop {
+            // Absorb activations that appeared while processing.
+            for i in 0..self.active_units.len() {
+                let u = self.active_units[i];
+                if last.is_none_or(|l| u > l) {
+                    heap.push(Reverse(u));
+                } else {
+                    leftover.push(u);
+                }
+            }
+            self.active_units.clear();
+            let Some(Reverse(u)) = heap.pop() else { break };
+            last = Some(u);
+            let ui = u as usize;
+            // Leaving the active list; firing/requeueing below re-adds.
+            self.unit_queued[ui] = false;
             if self.unit_free_at[ui] > self.cycle {
+                // Busy until a future cycle: stay registered, skip work.
+                self.unit_queued[ui] = true;
+                self.active_units.push(u);
                 continue;
             }
-            let is_loop_unit = ui >= loop_units_start;
-            if is_loop_unit {
-                // Loop unit: evaluate the whole header cluster to fixpoint
-                // (each member at most once per cycle) — the paper's Loop
-                // operator sustains one iteration per cycle.
-                let mut fired_any = false;
-                let mut guard = 0usize;
-                loop {
-                    let mut fired_round = false;
-                    let len = self.unit_candidates[ui].len();
-                    for _ in 0..len {
-                        let Some(n) = self.unit_candidates[ui].pop_front() else {
-                            break;
-                        };
-                        self.in_candidates[n as usize] = false;
-                        if self.last_fire_cycle[n as usize] == self.cycle
-                            || (self.tm.exclusive_groups
-                                && self.prog.nodes[n as usize].group != self.active_group)
-                        {
-                            self.in_candidates[n as usize] = true;
-                            self.unit_candidates[ui].push_back(n);
-                            continue;
-                        }
-                        if self.try_fire(n) {
-                            fired_round = true;
-                            fired_any = true;
-                        }
+            if self.unit_candidates[ui].is_empty() {
+                continue; // drained earlier this cycle (stale entry)
+            }
+            if ui >= self.first_loop_unit {
+                self.issue_loop_unit(ui);
+            } else {
+                // Pop candidates until one fires (or none can).
+                let mut tried = 0usize;
+                let max_tries = self.unit_candidates[ui].len();
+                while tried < max_tries {
+                    let Some(n) = self.pop_candidate(ui) else {
+                        break;
+                    };
+                    if self.tm.exclusive_groups && self.node_group[n as usize] != self.active_group
+                    {
+                        // Wrong group: keep waiting without burning the slot.
+                        self.requeue_candidate(ui, n);
+                        tried += 1;
+                        continue;
                     }
-                    guard += 1;
-                    if !fired_round || guard > 64 {
+                    if self.try_fire(n) {
+                        self.progressed = true;
                         break;
                     }
-                }
-                if fired_any {
-                    self.progressed = true;
-                    self.unit_free_at[ui] =
-                        self.cycle + 1 + u64::from(self.tm.per_fire_overhead);
-                }
-                continue;
-            }
-            // Pop candidates until one fires (or none can).
-            let mut tried = 0usize;
-            let max_tries = self.unit_candidates[ui].len();
-            while tried < max_tries {
-                let Some(n) = self.unit_candidates[ui].pop_front() else {
-                    break;
-                };
-                self.in_candidates[n as usize] = false;
-                if self.tm.exclusive_groups
-                    && self.prog.nodes[n as usize].group != self.active_group
-                {
-                    // Wrong group: keep waiting without burning the slot.
-                    self.in_candidates[n as usize] = true;
-                    self.unit_candidates[ui].push_back(n);
                     tried += 1;
-                    continue;
                 }
-                if self.try_fire(n) {
-                    self.progressed = true;
-                    break;
-                }
-                tried += 1;
+            }
+            if !self.unit_candidates[ui].is_empty() && !self.unit_queued[ui] {
+                self.unit_queued[ui] = true;
+                self.active_units.push(u);
             }
         }
+        leftover.append(&mut self.active_units);
+        std::mem::swap(&mut self.active_units, &mut leftover);
+        self.issue_leftover = leftover; // now empty; buffer reused next cycle
+        self.issue_heap = heap; // drained; buffer reused next cycle
     }
 
     fn pending_work(&self) -> bool {
-        !self.events.is_empty()
+        self.cand_count > 0
+            || !self.events.is_empty()
             || !self.flits.is_empty()
-            || self.unit_candidates.iter().any(|c| !c.is_empty())
+            || self.parked_count > 0
     }
 
     fn run_to_quiescence(&mut self, max_cycles: u64) -> Result<(), SimError> {
@@ -1183,27 +1495,36 @@ impl<'p> Machine<'p> {
                 continue;
             }
             // Nothing happened: fast-forward to the next interesting cycle.
-            let mut next: Option<u64> = self.events.peek().map(|Reverse(k)| k.at);
+            // All scans below touch only the active-unit list, so an idle
+            // machine costs O(active units), not O(all units).
+            let mut next: Option<u64> = self.events.peek().map(|ev| ev.at);
             if !self.flits.is_empty() {
+                // In-transit flits arbitrate for links every cycle.
                 next = Some(next.map_or(self.cycle + 1, |n| n.min(self.cycle + 1)));
             }
+            // Parked flits add no wakeup of their own: their queues only
+            // gain space through a firing, so the next state change is
+            // bounded by the other sources below; bulk stall accounting
+            // (delivery_cycle - first_attempt) is unaffected by skipped
+            // cycles. If nothing else is pending, the machine is provably
+            // wedged and the idle streak below diagnoses the deadlock.
             if self.tm.exclusive_groups {
                 if self.switch_until > self.cycle {
                     next = Some(next.map_or(self.switch_until, |n| n.min(self.switch_until)));
-                } else if self
-                    .unit_candidates
-                    .iter()
-                    .flatten()
-                    .any(|&n| self.prog.nodes[n as usize].group != self.active_group)
-                {
+                } else if self.active_units.iter().any(|&u| {
+                    self.unit_candidates[u as usize]
+                        .iter()
+                        .any(|&n| self.node_group[n as usize] != self.active_group)
+                }) {
                     let t = self.last_active_fire + u64::from(self.tm.idle_switch_threshold) + 1;
                     let t = t.max(self.cycle + 1);
                     next = Some(next.map_or(t, |n| n.min(t)));
                 }
             }
             // Units busy in the future holding candidates.
-            for (ui, cand) in self.unit_candidates.iter().enumerate() {
-                if !cand.is_empty() && self.unit_free_at[ui] > self.cycle {
+            for &u in &self.active_units {
+                let ui = u as usize;
+                if !self.unit_candidates[ui].is_empty() && self.unit_free_at[ui] > self.cycle {
                     let t = self.unit_free_at[ui];
                     next = Some(next.map_or(t, |n| n.min(t)));
                 }
@@ -1227,8 +1548,9 @@ impl<'p> Machine<'p> {
                         return Err(SimError::Deadlock {
                             cycle: self.cycle,
                             detail: format!(
-                                "{} flits, {} events, waiting nodes {:?}",
-                                self.flits.len(),
+                                "{} flits ({} blocked at destination), {} events, waiting nodes {:?}",
+                                self.flits.len() + self.parked_count,
+                                self.parked_count,
                                 self.events.len(),
                                 waiting
                             ),

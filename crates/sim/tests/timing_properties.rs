@@ -38,7 +38,10 @@ fn cycles_with(tm: &TimingModel, opts: &CompileOptions) -> u64 {
         .iter()
         .map(|x| (x.name.clone(), x.init.clone()))
         .collect();
-    run(&prog, tm, &inputs, &[], 50_000_000).unwrap().stats.cycles
+    run(&prog, tm, &inputs, &[], 50_000_000)
+        .unwrap()
+        .stats
+        .cycles
 }
 
 #[test]
@@ -146,12 +149,9 @@ fn every_variant_stays_functionally_correct() {
         .map(|x| (x.name.clone(), x.init.clone()))
         .collect();
     let r = run(&prog, &tm, &inputs, &[], 50_000_000).unwrap();
-    let expected = marionette_cdfg::interp::interpret(
-        &g,
-        marionette_cdfg::interp::ExecMode::Dropping,
-        &[],
-    )
-    .unwrap();
+    let expected =
+        marionette_cdfg::interp::interpret(&g, marionette_cdfg::interp::ExecMode::Dropping, &[])
+            .unwrap();
     let oid = g.array_by_name("o").unwrap();
     assert_eq!(
         r.memory[oid.0 as usize],

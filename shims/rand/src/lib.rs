@@ -1,0 +1,165 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The repository must build with no network access and no registry
+//! cache, so the tiny API surface the workspace uses (`StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen_range` over primitive ranges,
+//! `SliceRandom::shuffle`) is re-implemented here over a splitmix64
+//! generator. Streams are deterministic per seed, which is all the
+//! workload generators require; they make no claim of statistical or
+//! cryptographic quality and the values differ from upstream `rand`.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Seedable generator constructors.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A value samplable from a [`Range`] by [`Rng::gen_range`].
+pub trait SampleRange: Sized {
+    /// Samples uniformly from `range` using `rng`.
+    fn sample(range: Range<Self>, rng: &mut StdRng) -> Self;
+}
+
+/// Uniform sampling helpers over a raw 64-bit source.
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: AsMut<StdRng>,
+    {
+        T::sample(range, self.as_mut())
+    }
+}
+
+/// The standard deterministic generator (splitmix64).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl AsMut<StdRng> for StdRng {
+    fn as_mut(&mut self) -> &mut StdRng {
+        self
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+macro_rules! int_sample {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange for $t {
+            fn sample(range: Range<Self>, rng: &mut StdRng) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as $wide).wrapping_sub(range.start as $wide) as u64;
+                let v = rng.next_u64() % span;
+                ((range.start as $wide).wrapping_add(v as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+int_sample!(i32 => i64, u32 => u64, i64 => i64, u64 => u64, usize => u64, u8 => u64, i8 => i64, u16 => u64, i16 => i64);
+
+impl SampleRange for f32 {
+    fn sample(range: Range<Self>, rng: &mut StdRng) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        // 24 mantissa bits of uniformity in [0, 1).
+        let unit = (rng.next_u64() >> 40) as f32 / (1u32 << 24) as f32;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleRange for f64 {
+    fn sample(range: Range<Self>, rng: &mut StdRng) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Generator type aliases, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Slice utilities, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, StdRng};
+
+    /// Shuffling support for slices.
+    pub trait SliceRandom {
+        /// In-place Fisher-Yates shuffle.
+        fn shuffle(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i32 = r.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+            let f: f32 = r.gen_range(0.5f32..1.5);
+            assert!((0.5..1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<usize> = (0..32).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(3));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, (0..32).collect::<Vec<_>>(), "shuffle should move things");
+    }
+}
