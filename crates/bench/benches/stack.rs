@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let k = marionette::kernels::by_short("CRC").unwrap();
     let wl = k.workload(Scale::Tiny, 0);
     g.bench_function("build_cdfg", |b| b.iter(|| k.build(&wl)));
-    let graph = k.build(&wl);
+    let graph = k.build(&wl).expect("kernel builds");
     g.bench_function("interpret", |b| {
         b.iter(|| interpret(&graph, ExecMode::Dropping, &[]).unwrap().firings)
     });

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("table1_profiles", |b| {
         let graphs: Vec<_> = marionette::kernels::all()
             .iter()
-            .map(|k| k.build(&k.workload(Scale::Tiny, 0)))
+            .map(|k| k.build(&k.workload(Scale::Tiny, 0)).expect("kernel builds"))
             .collect();
         b.iter(|| graphs.iter().map(profile).count())
     });

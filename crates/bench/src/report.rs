@@ -21,7 +21,10 @@ pub fn print_tables() {
     );
     for k in marionette::kernels::all() {
         let wl = k.workload(Scale::Tiny, 0);
-        let p = marionette::cdfg::analysis::profile(&k.build(&wl));
+        let g = k
+            .build(&wl)
+            .expect("suite kernels build from their own workloads");
+        let p = marionette::cdfg::analysis::profile(&g);
         println!(
             "{:<18} {:<22} {:<28} {:<28}",
             k.name(),

@@ -93,13 +93,12 @@ pub fn fig11(scale: Scale, seed: u64) -> Result<Fig11, RunnerError> {
     let (cycles, _) = run_matrix(&kernels, &archs, scale, seed)?;
     let speedup_vs_vn = cycles.speedups("M-PE", "vN");
     let speedup_vs_df = cycles.speedups("M-PE", "DF");
-    let ops_under_branch = kernels
-        .iter()
-        .map(|k| {
-            let wl = k.workload(Scale::Tiny, seed);
-            marionette_cdfg::analysis::ops_under_branch_ratio(&k.build(&wl))
-        })
-        .collect();
+    let mut ops_under_branch = Vec::with_capacity(kernels.len());
+    for k in &kernels {
+        let wl = k.workload(Scale::Tiny, seed);
+        let g = k.build(&wl)?;
+        ops_under_branch.push(marionette_cdfg::analysis::ops_under_branch_ratio(&g));
+    }
     Ok(Fig11 {
         cycles,
         speedup_vs_vn,

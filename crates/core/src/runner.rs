@@ -10,7 +10,7 @@ use crate::parallel::{par_map, sweep_threads};
 use marionette_arch::Architecture;
 use marionette_cdfg::value::Value;
 use marionette_compiler::{compile, CompileReport, PlaceError};
-use marionette_kernels::traits::{Kernel, Scale};
+use marionette_kernels::traits::{Kernel, KernelError, Scale};
 use marionette_kernels::verify::check_vs_golden;
 use marionette_sim::{run, RunStats, SimError};
 use std::fmt;
@@ -38,6 +38,9 @@ pub struct KernelRun {
 /// Runner failure.
 #[derive(Debug)]
 pub enum RunnerError {
+    /// The kernel could not build its program or golden reference from
+    /// the workload (missing size/array/output name).
+    Kernel(KernelError),
     /// Compilation failed.
     Compile(PlaceError),
     /// Simulation failed.
@@ -56,6 +59,7 @@ pub enum RunnerError {
 impl fmt::Display for RunnerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            RunnerError::Kernel(e) => write!(f, "kernel: {e}"),
             RunnerError::Compile(e) => write!(f, "compile: {e}"),
             RunnerError::Sim(e) => write!(f, "simulate: {e}"),
             RunnerError::Verification { what, first, count } => {
@@ -66,6 +70,12 @@ impl fmt::Display for RunnerError {
 }
 
 impl std::error::Error for RunnerError {}
+
+impl From<KernelError> for RunnerError {
+    fn from(e: KernelError) -> Self {
+        RunnerError::Kernel(e)
+    }
+}
 
 impl From<PlaceError> for RunnerError {
     fn from(e: PlaceError) -> Self {
@@ -94,8 +104,8 @@ pub fn run_kernel(
     max_cycles: u64,
 ) -> Result<KernelRun, RunnerError> {
     let wl = kernel.workload(scale, seed);
-    let golden = kernel.golden(&wl);
-    let g = kernel.build(&wl);
+    let golden = kernel.golden(&wl)?;
+    let g = kernel.build(&wl)?;
     let (prog, report) = compile(&g, &arch.opts)?;
     // Full-stack fidelity: serialize to the configuration bitstream and
     // run the decoded program.
@@ -112,7 +122,7 @@ pub fn run_kernel(
         &golden,
         |arr| r.memory[arr.0 as usize].clone(),
         |name| r.sinks.get(name).cloned().unwrap_or_default(),
-    );
+    )?;
     if !mismatches.is_empty() || r.oob_events > 0 {
         return Err(RunnerError::Verification {
             what: format!("{} on {}", kernel.name(), arch.name),

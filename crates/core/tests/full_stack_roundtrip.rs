@@ -10,7 +10,7 @@ use marionette::kernels::traits::Scale;
 fn every_kernel_roundtrips_through_the_bitstream() {
     for k in marionette::kernels::all() {
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).expect("kernel builds");
         let (prog, _) = compile(&g, &CompileOptions::marionette_4x4())
             .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
         assert!(
@@ -29,7 +29,7 @@ fn every_kernel_roundtrips_through_the_bitstream() {
 fn every_kernel_disassembles() {
     for k in marionette::kernels::all() {
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).expect("kernel builds");
         let (prog, _) = compile(&g, &CompileOptions::marionette_4x4()).unwrap();
         let text = marionette::isa::disasm::disassemble(&prog);
         assert!(text.contains("pe "), "{}: disasm has PE sections", k.name());
@@ -50,7 +50,7 @@ fn control_multicasts_fit_the_cs_benes_network() {
     // phases — the compiler must report the overflow rather than hide it.
     for k in marionette::kernels::all() {
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).expect("kernel builds");
         let (_, report) = compile(&g, &CompileOptions::marionette_4x4()).unwrap();
         if k.short() == "SCD" {
             assert!(
@@ -72,7 +72,7 @@ fn control_multicasts_fit_the_cs_benes_network() {
 fn compile_reports_are_consistent() {
     for k in marionette::kernels::all() {
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).expect("kernel builds");
         let (prog, report) = compile(&g, &CompileOptions::marionette_4x4()).unwrap();
         assert_eq!(
             report.routes,
@@ -102,7 +102,7 @@ fn compile_reports_are_consistent() {
 fn loop_waste_is_nonnegative_for_all_kernels() {
     for k in marionette::kernels::all() {
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).expect("kernel builds");
         let (_, report) = compile(&g, &CompileOptions::marionette_4x4()).unwrap();
         for gp in &report.groups {
             assert!(gp.waste >= 0, "{}: PE_waste {}", k.name(), gp.waste);

@@ -28,7 +28,7 @@ fn all_presets() -> Vec<Architecture> {
 fn assert_bit_identical(tag: &str, seed: u64, scale: Scale) {
     let k = marionette::kernels::by_short(tag).expect("kernel tag");
     let wl = k.workload(scale, seed);
-    let g = k.build(&wl);
+    let g = k.build(&wl).expect("kernel builds");
     let reference = interpret(&g, ExecMode::Dropping, &[]).expect("interpreter runs");
     let inputs: Vec<(String, Vec<Value>)> = g
         .arrays

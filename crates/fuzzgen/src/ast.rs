@@ -1,0 +1,797 @@
+//! The fuzzer's program AST: a structured-control-flow program over i32
+//! arrays that is *well-formed by construction* when emitted through the
+//! CDFG builder.
+//!
+//! Design invariants (enforced by [`Program::check`], relied on by
+//! `emit`):
+//!
+//! - operands reference visible values by index **modulo the environment
+//!   size at emission time**, so deleting statements (shrinking) can never
+//!   dangle a reference;
+//! - loops never appear inside `If` sides (the builder only predicates
+//!   loop-free hammocks);
+//! - array traffic is either read-only (input arrays) or token-serialized
+//!   (state arrays), so every program is a deterministic Kahn network and
+//!   the interpreter is a true executable specification for it.
+//!
+//! The textual format produced by [`Program::to_text`] and read back by
+//! [`Program::parse`] is the regression-corpus format under
+//! `crates/fuzzgen/corpus/`.
+
+use marionette_cdfg::op::{BinOp, NlOp, UnOp};
+use std::fmt::Write as _;
+
+/// A declared array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArraySpec {
+    /// Array name (unique).
+    pub name: String,
+    /// Element count (a power of two, so indices can be masked in-bounds).
+    pub len: u32,
+    /// Initial contents (zero-filled to `len`).
+    pub init: Vec<i32>,
+    /// `true`: read-write state array (loads and stores, token-serialized,
+    /// checked as a program output). `false`: read-only input array.
+    pub state: bool,
+}
+
+/// An operand of a statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// A literal.
+    Imm(i32),
+    /// The `k % env.len()`-th visible value at emission time.
+    Ref(u32),
+}
+
+/// One statement. Value-producing statements push onto the environment
+/// in order; see each variant for how many values it pushes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Binary ALU op; pushes 1 value.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Unary op; pushes 1 value.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        a: Operand,
+    },
+    /// Nonlinear-unit op; pushes 1 value.
+    Nl {
+        /// Operator.
+        op: NlOp,
+        /// Operand.
+        a: Operand,
+    },
+    /// Select; pushes 1 value.
+    Mux {
+        /// Predicate.
+        p: Operand,
+        /// Taken value.
+        t: Operand,
+        /// Untaken value.
+        f: Operand,
+    },
+    /// Masked load `arr[idx & (len-1)]`; pushes 1 value.
+    Load {
+        /// Array index into [`Program::arrays`] (resolved modulo count).
+        arr: u32,
+        /// Index operand.
+        idx: Operand,
+    },
+    /// Masked store to a *state* array (resolved modulo the state-array
+    /// count); pushes nothing, advances the array's ordering token.
+    Store {
+        /// State-array selector.
+        arr: u32,
+        /// Index operand.
+        idx: Operand,
+        /// Stored value.
+        val: Operand,
+    },
+    /// Counted loop `for i in lo'..lo'+span step step` where
+    /// `lo' = lo & 7`; carries `inits` (plus all state tokens, added by
+    /// the emitter); pushes `inits.len()` values.
+    For {
+        /// Lower bound operand (masked to 0..=7 at emission).
+        lo: Operand,
+        /// Trip-span selector (masked to 0..=7).
+        span: u32,
+        /// Step (clamped to 1..=3).
+        step: u32,
+        /// Initial values of the loop-carried variables.
+        inits: Vec<Operand>,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// Data-dependent loop: a counter starts at `start & 15` and strictly
+    /// decreases by `dec` (clamped 1..=3) per iteration; continues while
+    /// `counter > 0`. Pushes `1 + inits.len()` values (final counter
+    /// first).
+    While {
+        /// Counter seed operand (masked to 0..=15 at emission).
+        start: Operand,
+        /// Per-iteration decrement (clamped 1..=3).
+        dec: u32,
+        /// Extra loop-carried variables.
+        inits: Vec<Operand>,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// Structured branch on `(p & 3) != 0`; pushes `results` values
+    /// merged from the two sides. Bodies must be loop-free.
+    If {
+        /// Predicate operand.
+        p: Operand,
+        /// Number of merged result values.
+        results: u32,
+        /// Taken side.
+        then_b: Vec<Stmt>,
+        /// Untaken side.
+        else_b: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// How many values this statement pushes onto the environment.
+    pub fn pushes(&self) -> usize {
+        match self {
+            Stmt::Bin { .. } | Stmt::Un { .. } | Stmt::Nl { .. } | Stmt::Mux { .. } => 1,
+            Stmt::Load { .. } => 1,
+            Stmt::Store { .. } => 0,
+            Stmt::For { inits, .. } => inits.len(),
+            Stmt::While { inits, .. } => 1 + inits.len(),
+            Stmt::If { results, .. } => *results as usize,
+        }
+    }
+
+    /// True when this statement or anything nested in it is a loop.
+    pub fn contains_loop(&self) -> bool {
+        match self {
+            Stmt::For { .. } | Stmt::While { .. } => true,
+            Stmt::If { then_b, else_b, .. } => {
+                then_b.iter().any(Stmt::contains_loop) || else_b.iter().any(Stmt::contains_loop)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A whole fuzz program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Program name (also the CDFG name).
+    pub name: String,
+    /// Declared arrays (inputs and state).
+    pub arrays: Vec<ArraySpec>,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+/// Structural violation found by [`Program::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstError(pub String);
+
+impl std::fmt::Display for AstError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed fuzz program: {}", self.0)
+    }
+}
+
+impl std::error::Error for AstError {}
+
+impl Program {
+    /// Number of state (read-write) arrays.
+    pub fn state_count(&self) -> usize {
+        self.arrays.iter().filter(|a| a.state).count()
+    }
+
+    /// Total statement count (recursive), a rough size measure.
+    pub fn stmt_count(&self) -> usize {
+        fn rec(b: &[Stmt]) -> usize {
+            b.iter()
+                .map(|s| match s {
+                    Stmt::For { body, .. } | Stmt::While { body, .. } => 1 + rec(body),
+                    Stmt::If { then_b, else_b, .. } => 1 + rec(then_b) + rec(else_b),
+                    _ => 1,
+                })
+                .sum()
+        }
+        rec(&self.body)
+    }
+
+    /// Validates the invariants the emitter relies on.
+    ///
+    /// # Errors
+    /// Returns [`AstError`] when a structural invariant is violated.
+    pub fn check(&self) -> Result<(), AstError> {
+        if self.arrays.is_empty() {
+            return Err(AstError("no arrays declared".into()));
+        }
+        if self.state_count() == 0 {
+            return Err(AstError("no state array declared".into()));
+        }
+        for a in &self.arrays {
+            if !a.len.is_power_of_two() {
+                return Err(AstError(format!(
+                    "array {}: len not a power of two",
+                    a.name
+                )));
+            }
+            if a.init.len() > a.len as usize {
+                return Err(AstError(format!("array {}: init longer than len", a.name)));
+            }
+        }
+        fn rec(b: &[Stmt], in_branch: bool) -> Result<(), AstError> {
+            for s in b {
+                match s {
+                    Stmt::For { body, inits, .. } => {
+                        if in_branch {
+                            return Err(AstError("loop inside an if side".into()));
+                        }
+                        if inits.is_empty() {
+                            return Err(AstError("for with no carried variables".into()));
+                        }
+                        rec(body, false)?;
+                    }
+                    Stmt::While { body, .. } => {
+                        if in_branch {
+                            return Err(AstError("loop inside an if side".into()));
+                        }
+                        rec(body, false)?;
+                    }
+                    Stmt::If {
+                        then_b,
+                        else_b,
+                        results,
+                        ..
+                    } => {
+                        if *results == 0 {
+                            return Err(AstError("if with zero results".into()));
+                        }
+                        rec(then_b, true)?;
+                        rec(else_b, true)?;
+                    }
+                    _ => {}
+                }
+            }
+            Ok(())
+        }
+        rec(&self.body, false)
+    }
+
+    // -----------------------------------------------------------------
+    // Corpus text format
+    // -----------------------------------------------------------------
+
+    /// Renders the program in the line-based corpus format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# marionette fuzzgen corpus v1");
+        let _ = writeln!(out, "program {}", self.name);
+        for a in &self.arrays {
+            let kind = if a.state { "state" } else { "in" };
+            let init: Vec<String> = a.init.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "array {} {kind} len={} init={}",
+                a.name,
+                a.len,
+                init.join(",")
+            );
+        }
+        fn operand(o: &Operand) -> String {
+            match o {
+                Operand::Imm(v) => format!("i{v}"),
+                Operand::Ref(k) => format!("r{k}"),
+            }
+        }
+        fn block(out: &mut String, b: &[Stmt], depth: usize) {
+            let pad = "  ".repeat(depth);
+            for s in b {
+                match s {
+                    Stmt::Bin { op, a, b: rhs } => {
+                        let _ = writeln!(out, "{pad}bin {op:?} {} {}", operand(a), operand(rhs));
+                    }
+                    Stmt::Un { op, a } => {
+                        let _ = writeln!(out, "{pad}un {op:?} {}", operand(a));
+                    }
+                    Stmt::Nl { op, a } => {
+                        let _ = writeln!(out, "{pad}nl {op:?} {}", operand(a));
+                    }
+                    Stmt::Mux { p, t, f } => {
+                        let _ =
+                            writeln!(out, "{pad}mux {} {} {}", operand(p), operand(t), operand(f));
+                    }
+                    Stmt::Load { arr, idx } => {
+                        let _ = writeln!(out, "{pad}load {arr} {}", operand(idx));
+                    }
+                    Stmt::Store { arr, idx, val } => {
+                        let _ = writeln!(out, "{pad}store {arr} {} {}", operand(idx), operand(val));
+                    }
+                    Stmt::For {
+                        lo,
+                        span,
+                        step,
+                        inits,
+                        body,
+                    } => {
+                        let iv: Vec<String> = inits.iter().map(operand).collect();
+                        let _ = writeln!(
+                            out,
+                            "{pad}for {} span={span} step={step} inits={} {{",
+                            operand(lo),
+                            iv.join(",")
+                        );
+                        block(out, body, depth + 1);
+                        let _ = writeln!(out, "{pad}}}");
+                    }
+                    Stmt::While {
+                        start,
+                        dec,
+                        inits,
+                        body,
+                    } => {
+                        let iv: Vec<String> = inits.iter().map(operand).collect();
+                        let _ = writeln!(
+                            out,
+                            "{pad}while {} dec={dec} inits={} {{",
+                            operand(start),
+                            iv.join(",")
+                        );
+                        block(out, body, depth + 1);
+                        let _ = writeln!(out, "{pad}}}");
+                    }
+                    Stmt::If {
+                        p,
+                        results,
+                        then_b,
+                        else_b,
+                    } => {
+                        let _ = writeln!(out, "{pad}if {} results={results} {{", operand(p));
+                        block(out, then_b, depth + 1);
+                        let _ = writeln!(out, "{pad}}} else {{");
+                        block(out, else_b, depth + 1);
+                        let _ = writeln!(out, "{pad}}}");
+                    }
+                }
+            }
+        }
+        block(&mut out, &self.body, 0);
+        out
+    }
+
+    /// Parses the corpus text format.
+    ///
+    /// # Errors
+    /// Returns [`AstError`] with a line-tagged message on malformed input.
+    pub fn parse(text: &str) -> Result<Program, AstError> {
+        let mut name = String::from("corpus");
+        let mut arrays = Vec::new();
+        let mut stack: Vec<Vec<Stmt>> = vec![Vec::new()];
+        // Pending frames: (kind, header fields, optional then-block).
+        enum Frame {
+            For {
+                lo: Operand,
+                span: u32,
+                step: u32,
+                inits: Vec<Operand>,
+            },
+            While {
+                start: Operand,
+                dec: u32,
+                inits: Vec<Operand>,
+            },
+            If {
+                p: Operand,
+                results: u32,
+                then_b: Option<Vec<Stmt>>,
+            },
+        }
+        let mut frames: Vec<Frame> = Vec::new();
+
+        fn err(ln: usize, m: impl Into<String>) -> AstError {
+            AstError(format!("line {}: {}", ln + 1, m.into()))
+        }
+        fn operand(tok: &str, ln: usize) -> Result<Operand, AstError> {
+            let bad = || err(ln, format!("bad operand {tok}"));
+            if let Some(rest) = tok.strip_prefix('i') {
+                let v = rest.parse::<i64>().map_err(|_| bad())?;
+                Ok(Operand::Imm(v as i32))
+            } else if let Some(rest) = tok.strip_prefix('r') {
+                let v = rest.parse::<u64>().map_err(|_| bad())?;
+                Ok(Operand::Ref(v as u32))
+            } else {
+                Err(bad())
+            }
+        }
+        fn kv<'a>(tok: &'a str, key: &str, ln: usize) -> Result<&'a str, AstError> {
+            tok.strip_prefix(key)
+                .and_then(|t| t.strip_prefix('='))
+                .ok_or_else(|| err(ln, format!("expected {key}=..., got {tok}")))
+        }
+        fn operands(list: &str, ln: usize) -> Result<Vec<Operand>, AstError> {
+            if list.is_empty() {
+                return Ok(Vec::new());
+            }
+            list.split(',').map(|t| operand(t, ln)).collect()
+        }
+
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            match toks[0] {
+                "program" => {
+                    name = toks.get(1).unwrap_or(&"corpus").to_string();
+                }
+                "array" => {
+                    if toks.len() < 5 {
+                        return Err(err(ln, "array needs name kind len= init="));
+                    }
+                    let state = match toks[2] {
+                        "state" => true,
+                        "in" => false,
+                        k => return Err(err(ln, format!("bad array kind {k}"))),
+                    };
+                    let len: u32 = kv(toks[3], "len", ln)?
+                        .parse()
+                        .map_err(|_| err(ln, "bad len"))?;
+                    let init_s = kv(toks[4], "init", ln)?;
+                    let init = if init_s.is_empty() {
+                        Vec::new()
+                    } else {
+                        init_s
+                            .split(',')
+                            .map(|t| t.parse::<i32>().map_err(|_| err(ln, "bad init value")))
+                            .collect::<Result<Vec<_>, _>>()?
+                    };
+                    arrays.push(ArraySpec {
+                        name: toks[1].to_string(),
+                        len,
+                        init,
+                        state,
+                    });
+                }
+                "bin" => {
+                    let op = parse_bin(toks.get(1).copied().unwrap_or(""), ln)?;
+                    let a = operand(
+                        toks.get(2).copied().ok_or_else(|| err(ln, "missing a"))?,
+                        ln,
+                    )?;
+                    let b = operand(
+                        toks.get(3).copied().ok_or_else(|| err(ln, "missing b"))?,
+                        ln,
+                    )?;
+                    stack.last_mut().unwrap().push(Stmt::Bin { op, a, b });
+                }
+                "un" => {
+                    let op = parse_un(toks.get(1).copied().unwrap_or(""), ln)?;
+                    let a = operand(
+                        toks.get(2).copied().ok_or_else(|| err(ln, "missing a"))?,
+                        ln,
+                    )?;
+                    stack.last_mut().unwrap().push(Stmt::Un { op, a });
+                }
+                "nl" => {
+                    let op = parse_nl(toks.get(1).copied().unwrap_or(""), ln)?;
+                    let a = operand(
+                        toks.get(2).copied().ok_or_else(|| err(ln, "missing a"))?,
+                        ln,
+                    )?;
+                    stack.last_mut().unwrap().push(Stmt::Nl { op, a });
+                }
+                "mux" => {
+                    let p = operand(
+                        toks.get(1).copied().ok_or_else(|| err(ln, "missing p"))?,
+                        ln,
+                    )?;
+                    let t = operand(
+                        toks.get(2).copied().ok_or_else(|| err(ln, "missing t"))?,
+                        ln,
+                    )?;
+                    let f = operand(
+                        toks.get(3).copied().ok_or_else(|| err(ln, "missing f"))?,
+                        ln,
+                    )?;
+                    stack.last_mut().unwrap().push(Stmt::Mux { p, t, f });
+                }
+                "load" => {
+                    let arr: u32 = toks
+                        .get(1)
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(ln, "bad array selector"))?;
+                    let idx = operand(
+                        toks.get(2).copied().ok_or_else(|| err(ln, "missing idx"))?,
+                        ln,
+                    )?;
+                    stack.last_mut().unwrap().push(Stmt::Load { arr, idx });
+                }
+                "store" => {
+                    let arr: u32 = toks
+                        .get(1)
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(ln, "bad array selector"))?;
+                    let idx = operand(
+                        toks.get(2).copied().ok_or_else(|| err(ln, "missing idx"))?,
+                        ln,
+                    )?;
+                    let val = operand(
+                        toks.get(3).copied().ok_or_else(|| err(ln, "missing val"))?,
+                        ln,
+                    )?;
+                    stack
+                        .last_mut()
+                        .unwrap()
+                        .push(Stmt::Store { arr, idx, val });
+                }
+                "for" => {
+                    let lo = operand(
+                        toks.get(1).copied().ok_or_else(|| err(ln, "missing lo"))?,
+                        ln,
+                    )?;
+                    let span: u32 = kv(toks.get(2).copied().unwrap_or(""), "span", ln)?
+                        .parse()
+                        .map_err(|_| err(ln, "bad span"))?;
+                    let step: u32 = kv(toks.get(3).copied().unwrap_or(""), "step", ln)?
+                        .parse()
+                        .map_err(|_| err(ln, "bad step"))?;
+                    let inits = operands(kv(toks.get(4).copied().unwrap_or(""), "inits", ln)?, ln)?;
+                    frames.push(Frame::For {
+                        lo,
+                        span,
+                        step,
+                        inits,
+                    });
+                    stack.push(Vec::new());
+                }
+                "while" => {
+                    let start = operand(
+                        toks.get(1)
+                            .copied()
+                            .ok_or_else(|| err(ln, "missing start"))?,
+                        ln,
+                    )?;
+                    let dec: u32 = kv(toks.get(2).copied().unwrap_or(""), "dec", ln)?
+                        .parse()
+                        .map_err(|_| err(ln, "bad dec"))?;
+                    let inits = operands(kv(toks.get(3).copied().unwrap_or(""), "inits", ln)?, ln)?;
+                    frames.push(Frame::While { start, dec, inits });
+                    stack.push(Vec::new());
+                }
+                "if" => {
+                    let p = operand(
+                        toks.get(1).copied().ok_or_else(|| err(ln, "missing p"))?,
+                        ln,
+                    )?;
+                    let results: u32 = kv(toks.get(2).copied().unwrap_or(""), "results", ln)?
+                        .parse()
+                        .map_err(|_| err(ln, "bad results"))?;
+                    frames.push(Frame::If {
+                        p,
+                        results,
+                        then_b: None,
+                    });
+                    stack.push(Vec::new());
+                }
+                "}" => {
+                    let blk = stack.pop().ok_or_else(|| err(ln, "unbalanced }"))?;
+                    let frame = frames.pop().ok_or_else(|| err(ln, "unbalanced }"))?;
+                    match frame {
+                        Frame::For {
+                            lo,
+                            span,
+                            step,
+                            inits,
+                        } => {
+                            if toks.len() > 1 {
+                                return Err(err(ln, "unexpected tokens after }"));
+                            }
+                            stack.last_mut().unwrap().push(Stmt::For {
+                                lo,
+                                span,
+                                step,
+                                inits,
+                                body: blk,
+                            });
+                        }
+                        Frame::While { start, dec, inits } => {
+                            if toks.len() > 1 {
+                                return Err(err(ln, "unexpected tokens after }"));
+                            }
+                            stack.last_mut().unwrap().push(Stmt::While {
+                                start,
+                                dec,
+                                inits,
+                                body: blk,
+                            });
+                        }
+                        Frame::If { p, results, then_b } => match then_b {
+                            None => {
+                                // "} else {" — re-push for the else side.
+                                if toks.len() != 3 || toks[1] != "else" || toks[2] != "{" {
+                                    return Err(err(ln, "if needs `} else {`"));
+                                }
+                                frames.push(Frame::If {
+                                    p,
+                                    results,
+                                    then_b: Some(blk),
+                                });
+                                stack.push(Vec::new());
+                            }
+                            Some(tb) => {
+                                if toks.len() > 1 {
+                                    return Err(err(ln, "unexpected tokens after }"));
+                                }
+                                stack.last_mut().unwrap().push(Stmt::If {
+                                    p,
+                                    results,
+                                    then_b: tb,
+                                    else_b: blk,
+                                });
+                            }
+                        },
+                    }
+                }
+                t => return Err(err(ln, format!("unknown statement {t}"))),
+            }
+        }
+        if stack.len() != 1 || !frames.is_empty() {
+            return Err(AstError("unclosed block at end of input".into()));
+        }
+        let p = Program {
+            name,
+            arrays,
+            body: stack.pop().unwrap(),
+        };
+        p.check()?;
+        Ok(p)
+    }
+}
+
+macro_rules! op_table {
+    ($fname:ident, $ty:ty, [$($v:ident),* $(,)?]) => {
+        fn $fname(tok: &str, ln: usize) -> Result<$ty, AstError> {
+            match tok {
+                $(stringify!($v) => Ok(<$ty>::$v),)*
+                _ => Err(AstError(format!(
+                    "line {}: unknown {} operator {tok}",
+                    ln + 1,
+                    stringify!($ty)
+                ))),
+            }
+        }
+    };
+}
+
+op_table!(
+    parse_bin,
+    BinOp,
+    [
+        Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, AShr, Min, Max, Lt, Le, Gt, Ge, Eq, Ne,
+        FAdd, FSub, FMul, FDiv, FMin, FMax, FLt, FLe, FGt, FGe,
+    ]
+);
+op_table!(parse_un, UnOp, [Not, Neg, Abs, FNeg, FAbs, I2F, F2I, LNot]);
+op_table!(parse_nl, NlOp, [Sigmoid, Log, Exp, Sqrt, Recip, Tanh]);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        Program {
+            name: "t".into(),
+            arrays: vec![
+                ArraySpec {
+                    name: "a0".into(),
+                    len: 8,
+                    init: vec![1, -2, 3, 4, 5, 6, 7, 8],
+                    state: false,
+                },
+                ArraySpec {
+                    name: "s0".into(),
+                    len: 8,
+                    init: vec![],
+                    state: true,
+                },
+            ],
+            body: vec![
+                Stmt::Bin {
+                    op: BinOp::Add,
+                    a: Operand::Imm(3),
+                    b: Operand::Ref(0),
+                },
+                Stmt::For {
+                    lo: Operand::Imm(0),
+                    span: 5,
+                    step: 1,
+                    inits: vec![Operand::Ref(0)],
+                    body: vec![
+                        Stmt::Load {
+                            arr: 0,
+                            idx: Operand::Ref(1),
+                        },
+                        Stmt::If {
+                            p: Operand::Ref(2),
+                            results: 1,
+                            then_b: vec![Stmt::Bin {
+                                op: BinOp::Xor,
+                                a: Operand::Ref(2),
+                                b: Operand::Imm(7),
+                            }],
+                            else_b: vec![],
+                        },
+                        Stmt::Store {
+                            arr: 0,
+                            idx: Operand::Ref(1),
+                            val: Operand::Ref(3),
+                        },
+                    ],
+                },
+                Stmt::While {
+                    start: Operand::Ref(1),
+                    dec: 2,
+                    inits: vec![Operand::Imm(9)],
+                    body: vec![Stmt::Un {
+                        op: UnOp::Neg,
+                        a: Operand::Ref(0),
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let p = sample();
+        p.check().unwrap();
+        let text = p.to_text();
+        let q = Program::parse(&text).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(text, q.to_text());
+    }
+
+    #[test]
+    fn check_rejects_loop_in_branch() {
+        let mut p = sample();
+        p.body.push(Stmt::If {
+            p: Operand::Imm(1),
+            results: 1,
+            then_b: vec![Stmt::For {
+                lo: Operand::Imm(0),
+                span: 2,
+                step: 1,
+                inits: vec![Operand::Imm(0)],
+                body: vec![],
+            }],
+            else_b: vec![],
+        });
+        assert!(p.check().is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Program::parse("frobnicate").is_err());
+        assert!(Program::parse("for i0 span=2 step=1 inits=i0 {").is_err());
+        assert!(Program::parse("bin Bogus i0 i1").is_err());
+        // Multi-byte first characters must be a parse error, not a panic.
+        assert!(Program::parse("bin Add µ3 i1").is_err());
+        assert!(Program::parse("mux µ i1 i2").is_err());
+    }
+
+    #[test]
+    fn stmt_count_recursive() {
+        assert_eq!(sample().stmt_count(), 8);
+    }
+}

@@ -1,0 +1,244 @@
+//! Differential fuzzing driver: sweep a seed range of generated programs
+//! through the full compile→simulate stack on the architecture presets,
+//! in parallel across cores (`marionette::parallel`).
+//!
+//! ```text
+//! fuzz_stack [--start S] [--count N] [--presets M,vN,...] [--depth D]
+//!            [--max-stmts K] [--shrink] [--corpus-dir DIR]
+//!            [--json PATH] [--max-cycles C] [--no-fires] [--serial]
+//! ```
+//!
+//! Exit status is non-zero when any divergence was found. With
+//! `--shrink`, each divergence is reduced while it still reproduces and
+//! written to `--corpus-dir` (default `crates/fuzzgen/corpus/`) in the
+//! corpus text format, ready to commit as a regression.
+//!
+//! `--print-seed S` prints seed S's program in the corpus text format and
+//! exits (handy for seeding the corpus or inspecting a failure).
+
+use marionette::parallel::{par_map, sweep_threads};
+use marionette_fuzzgen::diff::{all_presets, diff_program, presets_by_tags, DEFAULT_MAX_CYCLES};
+use marionette_fuzzgen::gen::{generate, GenConfig};
+use marionette_fuzzgen::shrink::shrink;
+use std::time::Instant;
+
+struct Args {
+    start: u64,
+    count: u64,
+    presets: String,
+    depth: u32,
+    max_stmts: usize,
+    do_shrink: bool,
+    corpus_dir: String,
+    json: Option<String>,
+    max_cycles: u64,
+    check_fires: bool,
+    serial: bool,
+    print_seed: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    let has = |flag: &str| argv.iter().any(|a| a == flag);
+    Args {
+        start: get("--start").and_then(|v| v.parse().ok()).unwrap_or(0),
+        count: get("--count").and_then(|v| v.parse().ok()).unwrap_or(1000),
+        presets: get("--presets").unwrap_or_default(),
+        depth: get("--depth").and_then(|v| v.parse().ok()).unwrap_or(3),
+        max_stmts: get("--max-stmts")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(22),
+        do_shrink: has("--shrink"),
+        corpus_dir: get("--corpus-dir").unwrap_or_else(|| "crates/fuzzgen/corpus".into()),
+        json: get("--json"),
+        max_cycles: get("--max-cycles")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_MAX_CYCLES),
+        check_fires: !has("--no-fires"),
+        serial: has("--serial"),
+        print_seed: has("--print-seed").then(|| {
+            get("--print-seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("fuzz_stack: --print-seed needs a numeric seed");
+                    std::process::exit(2);
+                })
+        }),
+    }
+}
+
+struct SeedOutcome {
+    seed: u64,
+    points: usize,
+    cycles: u64,
+    fires: u64,
+    nodes: usize,
+    failure: Option<String>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let presets = if args.presets.is_empty() {
+        all_presets()
+    } else {
+        match presets_by_tags(&args.presets) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("fuzz_stack: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let cfg = GenConfig {
+        max_depth: args.depth,
+        max_stmts: args.max_stmts,
+        ..GenConfig::default()
+    };
+    if let Some(seed) = args.print_seed {
+        print!("{}", generate(seed, &cfg).to_text());
+        return;
+    }
+    let threads = if args.serial { 1 } else { sweep_threads() };
+    let seeds: Vec<u64> = (args.start..args.start + args.count).collect();
+    let t0 = Instant::now();
+    let outcomes = par_map(seeds, threads, |seed| {
+        let p = generate(seed, &cfg);
+        match diff_program(&p, &presets, args.max_cycles, args.check_fires) {
+            Ok(s) => SeedOutcome {
+                seed,
+                points: s.points,
+                cycles: s.cycles,
+                fires: s.fires,
+                nodes: s.nodes,
+                failure: None,
+            },
+            Err(d) => SeedOutcome {
+                seed,
+                points: 0,
+                cycles: 0,
+                fires: 0,
+                nodes: 0,
+                failure: Some(d.to_string()),
+            },
+        }
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let failures: Vec<&SeedOutcome> = outcomes.iter().filter(|o| o.failure.is_some()).collect();
+    let total_points: usize = outcomes.iter().map(|o| o.points).sum();
+    let total_cycles: u64 = outcomes.iter().map(|o| o.cycles).sum();
+    let total_fires: u64 = outcomes.iter().map(|o| o.fires).sum();
+
+    for f in &failures {
+        eprintln!(
+            "fuzz_stack: seed {} DIVERGED: {}",
+            f.seed,
+            f.failure.as_deref().unwrap_or("")
+        );
+        if args.do_shrink {
+            let full = generate(f.seed, &cfg);
+            let small = shrink(&full, 4000, |q| {
+                diff_program(q, &presets, args.max_cycles, args.check_fires).is_err()
+            });
+            let d = diff_program(&small, &presets, args.max_cycles, args.check_fires)
+                .expect_err("shrunk case still fails");
+            let path = format!("{}/shrunk_seed{}.txt", args.corpus_dir, f.seed);
+            let mut text = small.to_text();
+            text.insert_str(
+                0,
+                &format!(
+                    "# seed {} ({} stmts -> {}): {d}\n",
+                    f.seed,
+                    full.stmt_count(),
+                    small.stmt_count()
+                ),
+            );
+            if let Err(e) = std::fs::create_dir_all(&args.corpus_dir)
+                .and_then(|()| std::fs::write(&path, &text))
+            {
+                eprintln!("fuzz_stack: writing {path}: {e}");
+            } else {
+                eprintln!("fuzz_stack: shrunk reproducer written to {path}");
+            }
+            eprintln!("{text}");
+        }
+    }
+
+    if let Some(path) = &args.json {
+        let mut j = String::new();
+        j.push_str("{\n");
+        j.push_str("  \"schema\": \"marionette.fuzz_stack/v1\",\n");
+        j.push_str(&format!("  \"start\": {},\n", args.start));
+        j.push_str(&format!("  \"count\": {},\n", args.count));
+        j.push_str(&format!(
+            "  \"presets\": [{}],\n",
+            presets
+                .iter()
+                .map(|a| format!("\"{}\"", a.short))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        j.push_str(&format!("  \"threads\": {threads},\n"));
+        j.push_str(&format!("  \"programs\": {},\n", outcomes.len()));
+        j.push_str(&format!("  \"points\": {total_points},\n"));
+        j.push_str(&format!("  \"sim_cycles\": {total_cycles},\n"));
+        j.push_str(&format!("  \"sim_fires\": {total_fires},\n"));
+        j.push_str(&format!("  \"divergences\": {},\n", failures.len()));
+        j.push_str(&format!("  \"wall_ms\": {wall_ms:.3},\n"));
+        j.push_str("  \"failed_seeds\": [\n");
+        for (i, f) in failures.iter().enumerate() {
+            j.push_str(&format!(
+                "    {{\"seed\": {}, \"detail\": \"{}\"}}{}\n",
+                f.seed,
+                json_escape(f.failure.as_deref().unwrap_or("")),
+                if i + 1 == failures.len() { "" } else { "," }
+            ));
+        }
+        j.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(path, &j) {
+            eprintln!("fuzz_stack: writing {path}: {e}");
+        }
+    }
+
+    let mean_nodes = if outcomes.is_empty() {
+        0.0
+    } else {
+        outcomes.iter().map(|o| o.nodes).sum::<usize>() as f64 / outcomes.len() as f64
+    };
+    println!(
+        "fuzz_stack: {} programs x {} presets = {} points, {} sim cycles, ~{:.0} nodes/program, {} divergences, {:.1} ms ({} threads)",
+        outcomes.len(),
+        presets.len(),
+        total_points,
+        total_cycles,
+        mean_nodes,
+        failures.len(),
+        wall_ms,
+        threads
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

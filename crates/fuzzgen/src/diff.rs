@@ -1,0 +1,305 @@
+//! Differential execution: one fuzz program through the full stack
+//! (build → compile → bitstream roundtrip → cycle-level simulation) on
+//! every architecture preset, checked bit-for-bit against the reference
+//! interpreter.
+
+use crate::ast::Program;
+use crate::emit::emit;
+use marionette_arch::Architecture;
+use marionette_cdfg::interp::{interpret_with_budget, ExecMode, InterpResult};
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+use std::fmt;
+
+/// Firing budget for the reference interpreter (fuzz programs are small).
+const INTERP_BUDGET: u64 = 20_000_000;
+
+/// Cycle budget per simulated point.
+pub const DEFAULT_MAX_CYCLES: u64 = 20_000_000;
+
+/// All nine evaluated architecture presets.
+pub fn all_presets() -> Vec<Architecture> {
+    let mut archs = vec![
+        marionette_arch::von_neumann_pe(),
+        marionette_arch::dataflow_pe(),
+        marionette_arch::marionette_pe(),
+        marionette_arch::marionette_cn(),
+        marionette_arch::marionette_full(),
+    ];
+    archs.extend(marionette_arch::all_sota());
+    archs
+}
+
+/// Resolves preset short tags (e.g. `"M,vN"`) to architectures.
+///
+/// # Errors
+/// Returns the unknown tag.
+pub fn presets_by_tags(tags: &str) -> Result<Vec<Architecture>, String> {
+    let all = all_presets();
+    let mut out = Vec::new();
+    for t in tags.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        match all.iter().find(|a| a.short.eq_ignore_ascii_case(t)) {
+            Some(a) => out.push(a.clone()),
+            None => {
+                return Err(format!(
+                    "unknown preset {t} (known: {})",
+                    all.iter().map(|a| a.short).collect::<Vec<_>>().join(", ")
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// What stage of the stack disagreed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// The reference interpreter itself failed (generator-invariant bug).
+    Interp,
+    /// Dropping and predicated interpreter modes disagreed.
+    Modes,
+    /// Placement/routing failed.
+    Compile,
+    /// Bitstream roundtrip was lossy.
+    Bitstream,
+    /// The simulator errored (deadlock/limit).
+    Sim,
+    /// An output array differed from the interpreter.
+    Memory,
+    /// A sink stream differed from the interpreter.
+    Sinks,
+    /// Out-of-bounds counts differed.
+    Oob,
+    /// Total firing counts differed from the matching interpreter mode.
+    Fires,
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DivergenceKind::Interp => "interp",
+            DivergenceKind::Modes => "modes",
+            DivergenceKind::Compile => "compile",
+            DivergenceKind::Bitstream => "bitstream",
+            DivergenceKind::Sim => "sim",
+            DivergenceKind::Memory => "memory",
+            DivergenceKind::Sinks => "sinks",
+            DivergenceKind::Oob => "oob",
+            DivergenceKind::Fires => "fires",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One interp-vs-sim disagreement, precise enough to reproduce.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Preset short tag (empty for preset-independent failures).
+    pub preset: String,
+    /// Failing stage.
+    pub kind: DivergenceKind,
+    /// Human-readable detail (first mismatch, error text, ...).
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.preset.is_empty() {
+            write!(f, "[{}] {}", self.kind, self.detail)
+        } else {
+            write!(f, "[{} on {}] {}", self.kind, self.preset, self.detail)
+        }
+    }
+}
+
+/// Aggregate counters for one fully-checked program.
+#[derive(Clone, Debug, Default)]
+pub struct DiffStats {
+    /// Presets simulated.
+    pub points: usize,
+    /// Total simulated cycles across presets.
+    pub cycles: u64,
+    /// Total simulated firings across presets.
+    pub fires: u64,
+    /// Dataflow nodes in the emitted CDFG.
+    pub nodes: usize,
+}
+
+/// Differentially checks `p` on `presets`.
+///
+/// The dropping-mode interpretation is the specification; each preset's
+/// simulation (on the bitstream-decoded program) must match it bit for
+/// bit in final array memory, every sink stream, and out-of-bounds
+/// counts. Total firing counts must match the interpreter running in the
+/// preset's own steering mode (predicated presets fire both branch
+/// sides).
+///
+/// # Errors
+/// Returns the first [`Divergence`] in preset order.
+pub fn diff_program(
+    p: &Program,
+    presets: &[Architecture],
+    max_cycles: u64,
+    check_fires: bool,
+) -> Result<DiffStats, Divergence> {
+    let g = emit(p);
+    let reference = interp(&g, ExecMode::Dropping)?;
+    let predicated = interp(&g, ExecMode::Predicated)?;
+    // The two steering semantics must agree before we even reach the
+    // machine: this is the cheapest cross-check and localizes bugs to the
+    // operator semantics rather than the timing machinery.
+    compare_results(&g, &reference, &predicated).map_err(|d| Divergence {
+        preset: String::new(),
+        kind: DivergenceKind::Modes,
+        detail: d,
+    })?;
+    let mut stats = DiffStats {
+        nodes: g.nodes.len(),
+        ..DiffStats::default()
+    };
+    let inputs: Vec<(String, Vec<Value>)> = g
+        .arrays
+        .iter()
+        .map(|a| (a.name.clone(), a.init.clone()))
+        .collect();
+    for arch in presets {
+        let fail = |kind: DivergenceKind, detail: String| Divergence {
+            preset: arch.short.to_string(),
+            kind,
+            detail,
+        };
+        let (prog, _) = marionette::compiler::compile(&g, &arch.opts)
+            .map_err(|e| fail(DivergenceKind::Compile, e.to_string()))?;
+        // Full-stack fidelity: simulate the decoded bitstream.
+        let bytes = marionette::isa::bitstream::encode(&prog);
+        let prog = marionette::isa::bitstream::decode(&bytes)
+            .map_err(|e| fail(DivergenceKind::Bitstream, e.to_string()))?;
+        let r = marionette::sim::run(&prog, &arch.tm, &inputs, &[], max_cycles)
+            .map_err(|e| fail(DivergenceKind::Sim, e.to_string()))?;
+        // Arrays: every declared array, bit for bit.
+        for arr in &g.arrays {
+            let id = g.array_by_name(&arr.name).expect("declared");
+            let expect = reference.memory.array(id);
+            let got = r.array(&prog, &arr.name).ok_or_else(|| {
+                fail(
+                    DivergenceKind::Memory,
+                    format!("array {} missing", arr.name),
+                )
+            })?;
+            if let Some(m) = stream_mismatch(expect, got) {
+                return Err(fail(
+                    DivergenceKind::Memory,
+                    format!("array {}{m}", arr.name),
+                ));
+            }
+        }
+        // Sinks: same label set, same streams in arrival order.
+        if let Err(d) = compare_sinks(&reference.sinks, &r.sinks) {
+            return Err(fail(DivergenceKind::Sinks, d));
+        }
+        if r.oob_events != reference.memory.oob_events() {
+            return Err(fail(
+                DivergenceKind::Oob,
+                format!(
+                    "interp {} oob events, sim {}",
+                    reference.memory.oob_events(),
+                    r.oob_events
+                ),
+            ));
+        }
+        if check_fires {
+            let expect = if arch.tm.predicated_branches {
+                predicated.firings
+            } else {
+                reference.firings
+            };
+            if r.stats.fires != expect {
+                return Err(fail(
+                    DivergenceKind::Fires,
+                    format!("interp fired {expect}, sim fired {}", r.stats.fires),
+                ));
+            }
+        }
+        stats.points += 1;
+        stats.cycles += r.stats.cycles;
+        stats.fires += r.stats.fires;
+    }
+    Ok(stats)
+}
+
+fn interp(g: &Cdfg, mode: ExecMode) -> Result<InterpResult, Divergence> {
+    interpret_with_budget(g, mode, &[], INTERP_BUDGET).map_err(|e| Divergence {
+        preset: String::new(),
+        kind: DivergenceKind::Interp,
+        detail: format!("{mode:?}: {e}"),
+    })
+}
+
+/// Describes the first bit-level disagreement between two value streams
+/// (`None` when identical). Length mismatches are reported as such, so a
+/// truncated stream becomes a divergence detail, never a panic.
+fn stream_mismatch(a: &[Value], b: &[Value]) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!(": interp has {} values, sim {}", a.len(), b.len()));
+    }
+    (0..a.len())
+        .find(|&i| !a[i].bit_eq(b[i]))
+        .map(|i| format!("[{i}]: interp {}, sim {}", a[i], b[i]))
+}
+
+fn compare_sinks(
+    expect: &std::collections::HashMap<String, Vec<Value>>,
+    got: &std::collections::HashMap<String, Vec<Value>>,
+) -> Result<(), String> {
+    let mut labels: Vec<&String> = expect.keys().collect();
+    labels.sort();
+    let mut got_labels: Vec<&String> = got.keys().collect();
+    got_labels.sort();
+    if labels != got_labels {
+        return Err(format!("sink sets differ: {labels:?} vs {got_labels:?}"));
+    }
+    for l in labels {
+        if let Some(m) = stream_mismatch(&expect[l], &got[l]) {
+            return Err(format!("sink {l}{m}"));
+        }
+    }
+    Ok(())
+}
+
+/// Interp-mode cross-check: arrays and sinks bit-identical.
+fn compare_results(g: &Cdfg, a: &InterpResult, b: &InterpResult) -> Result<(), String> {
+    for arr in &g.arrays {
+        let id = g.array_by_name(&arr.name).expect("declared");
+        if let Some(m) = stream_mismatch(a.memory.array(id), b.memory.array(id)) {
+            return Err(format!("array {} (dropping vs predicated){m}", arr.name));
+        }
+    }
+    compare_sinks(&a.sinks, &b.sinks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn presets_resolve_by_tag() {
+        assert_eq!(all_presets().len(), 9);
+        let sel = presets_by_tags("M,vN,DF").unwrap();
+        assert_eq!(sel.len(), 3);
+        assert!(presets_by_tags("nope").is_err());
+    }
+
+    #[test]
+    fn a_few_seeds_diff_clean_on_the_ladder() {
+        let cfg = GenConfig::default();
+        let presets = presets_by_tags("M,vN").unwrap();
+        for seed in 0..6 {
+            let p = generate(seed, &cfg);
+            let stats = diff_program(&p, &presets, DEFAULT_MAX_CYCLES, true)
+                .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            assert_eq!(stats.points, 2);
+            assert!(stats.nodes > 0);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Lowers a fuzz [`Program`] into a [`Cdfg`] through the structured
+//! builder API, so every generated program is well-formed by construction.
+//!
+//! ## Determinism discipline
+//!
+//! The reference interpreter is only a specification when the program is
+//! a deterministic Kahn network; shared memory breaks that unless every
+//! potentially-conflicting access pair is ordered by a data dependence.
+//! The emitter therefore threads one *ordering token* per state array
+//! through the whole program:
+//!
+//! - a `load` of a state array consumes the token as its dependence and
+//!   its result becomes the new token (reads ordered);
+//! - a `store` consumes the token and its completion token becomes the
+//!   new token (writes ordered after everything before them);
+//! - loops carry every state token as a loop variable (the RMW idiom of
+//!   the histogram kernels) and branches merge them like any other value.
+//!
+//! Read-only input arrays need no ordering and are loaded without
+//! dependence tokens.
+
+use crate::ast::{Operand, Program, Stmt};
+use marionette_cdfg::builder::{CdfgBuilder, V};
+use marionette_cdfg::op::ArrayId;
+use marionette_cdfg::value::Value;
+use marionette_cdfg::Cdfg;
+
+struct ArrayCtx {
+    id: ArrayId,
+    mask: i32,
+    /// Index into the token vector, for state arrays.
+    token_slot: Option<usize>,
+}
+
+struct Ctx {
+    arrays: Vec<ArrayCtx>,
+    /// Indices (into `arrays`) of the state arrays, for store selectors.
+    state: Vec<usize>,
+}
+
+fn resolve(b: &mut CdfgBuilder, env: &[V], o: &Operand) -> V {
+    match o {
+        Operand::Imm(v) => b.imm(Value::I32(*v)),
+        Operand::Ref(k) => env[*k as usize % env.len()],
+    }
+}
+
+/// Emits a block; pushes each statement's values onto `env` and updates
+/// `tokens` (one slot per state array) in place.
+fn emit_block(b: &mut CdfgBuilder, stmts: &[Stmt], env: &mut Vec<V>, tokens: &mut [V], cx: &Ctx) {
+    for s in stmts {
+        match s {
+            Stmt::Bin { op, a, b: rhs } => {
+                let x = resolve(b, env, a);
+                let y = resolve(b, env, rhs);
+                let v = b.bin(*op, x, y);
+                env.push(v);
+            }
+            Stmt::Un { op, a } => {
+                let x = resolve(b, env, a);
+                let v = b.un(*op, x);
+                env.push(v);
+            }
+            Stmt::Nl { op, a } => {
+                let x = resolve(b, env, a);
+                let v = b.nl(*op, x);
+                env.push(v);
+            }
+            Stmt::Mux { p, t, f } => {
+                let pv = resolve(b, env, p);
+                // Force a 0/1 predicate so no poison can reach steers in
+                // dropping mode (Unit/float operands coerce via != 0).
+                let pred = b.ne(pv, 0.into());
+                let tv = resolve(b, env, t);
+                let fv = resolve(b, env, f);
+                let v = b.mux(pred, tv, fv);
+                env.push(v);
+            }
+            Stmt::Load { arr, idx } => {
+                let a = &cx.arrays[*arr as usize % cx.arrays.len()];
+                let iv = resolve(b, env, idx);
+                let masked = b.and_(iv, a.mask.into());
+                let v = match a.token_slot {
+                    Some(slot) => {
+                        let tok = tokens[slot];
+                        let v = b.load_dep(a.id, masked, tok);
+                        tokens[slot] = v; // the read is the new ordering witness
+                        v
+                    }
+                    None => b.load(a.id, masked),
+                };
+                env.push(v);
+            }
+            Stmt::Store { arr, idx, val } => {
+                let ai = cx.state[*arr as usize % cx.state.len()];
+                let a = &cx.arrays[ai];
+                let slot = a.token_slot.expect("state array has a token");
+                let iv = resolve(b, env, idx);
+                let masked = b.and_(iv, a.mask.into());
+                let vv = resolve(b, env, val);
+                let tok = tokens[slot];
+                let t = b.store_dep(a.id, masked, vv, tok);
+                tokens[slot] = t;
+            }
+            Stmt::For {
+                lo,
+                span,
+                step,
+                inits,
+                body,
+            } => {
+                let lo_raw = resolve(b, env, lo);
+                let lo_v = b.and_(lo_raw, 7.into());
+                let hi_v = b.add(lo_v, ((span % 8) as i32).into());
+                let mut all_inits: Vec<V> = inits.iter().map(|o| resolve(b, env, o)).collect();
+                let ndata = all_inits.len();
+                all_inits.extend(tokens.iter().copied());
+                let step_i = (*step).clamp(1, 3) as i32;
+                let env_snapshot = env.clone();
+                let outs = b.for_range_step(lo_v, hi_v, step_i, &all_inits, |b, i, vars| {
+                    let mut env2 = env_snapshot;
+                    env2.push(i);
+                    env2.extend_from_slice(&vars[..ndata]);
+                    let base = env2.len();
+                    let mut tokens2 = vars[ndata..].to_vec();
+                    emit_block(b, body, &mut env2, &mut tokens2, cx);
+                    let pushed = &env2[base..];
+                    let mut next: Vec<V> = (0..ndata)
+                        .map(|k| {
+                            if pushed.is_empty() {
+                                // Body produced nothing: still advance the
+                                // carried value so rates stay consistent.
+                                b.add(vars[k], ((k as i32) + 1).into())
+                            } else {
+                                pushed[k % pushed.len()]
+                            }
+                        })
+                        .collect();
+                    next.extend(tokens2);
+                    next
+                });
+                env.extend_from_slice(&outs[..ndata]);
+                tokens.copy_from_slice(&outs[ndata..]);
+            }
+            Stmt::While {
+                start,
+                dec,
+                inits,
+                body,
+            } => {
+                let s_raw = resolve(b, env, start);
+                let c0 = b.and_(s_raw, 15.into());
+                let mut all_inits: Vec<V> = vec![c0];
+                all_inits.extend(inits.iter().map(|o| resolve(b, env, o)));
+                let ndata = all_inits.len(); // counter + data vars
+                all_inits.extend(tokens.iter().copied());
+                let dec_i = (*dec).clamp(1, 3) as i32;
+                let env_snapshot = env.clone();
+                let outs = b.loop_while(
+                    &all_inits,
+                    |b, vals| b.gt(vals[0], 0.into()),
+                    |b, vals| {
+                        let mut env2 = env_snapshot;
+                        env2.extend_from_slice(&vals[..ndata]);
+                        let base = env2.len();
+                        let mut tokens2 = vals[ndata..].to_vec();
+                        emit_block(b, body, &mut env2, &mut tokens2, cx);
+                        let pushed = &env2[base..];
+                        // The counter strictly decreases: termination is
+                        // structural, whatever the body computes.
+                        let cnt = b.sub(vals[0], dec_i.into());
+                        let mut next: Vec<V> = vec![cnt];
+                        next.extend((1..ndata).map(|k| {
+                            if pushed.is_empty() {
+                                vals[k]
+                            } else {
+                                pushed[k % pushed.len()]
+                            }
+                        }));
+                        next.extend(tokens2);
+                        next
+                    },
+                );
+                env.extend_from_slice(&outs[..ndata]);
+                tokens.copy_from_slice(&outs[ndata..]);
+            }
+            Stmt::If {
+                p,
+                results,
+                then_b,
+                else_b,
+            } => {
+                let p_raw = resolve(b, env, p);
+                let masked = b.and_(p_raw, 3.into());
+                let pred = b.ne(masked, 0.into());
+                let nres = *results as usize;
+                let env_then = env.clone();
+                let env_else = env.clone();
+                let tok_then = tokens.to_vec();
+                let tok_else = tokens.to_vec();
+                fn side(
+                    b: &mut CdfgBuilder,
+                    body: &[Stmt],
+                    mut env2: Vec<V>,
+                    mut tokens2: Vec<V>,
+                    nres: usize,
+                    cx: &Ctx,
+                ) -> Vec<V> {
+                    let base = env2.len();
+                    emit_block(b, body, &mut env2, &mut tokens2, cx);
+                    let pushed = &env2[base..];
+                    let mut rv: Vec<V> = (0..nres)
+                        .map(|k| {
+                            if pushed.is_empty() {
+                                env2[k % env2.len()]
+                            } else {
+                                pushed[k % pushed.len()]
+                            }
+                        })
+                        .collect();
+                    rv.extend(tokens2);
+                    rv
+                }
+                let outs = b.if_else(
+                    pred,
+                    |b| side(b, then_b, env_then, tok_then, nres, cx),
+                    |b| side(b, else_b, env_else, tok_else, nres, cx),
+                );
+                env.extend_from_slice(&outs[..nres]);
+                tokens.copy_from_slice(&outs[nres..]);
+            }
+        }
+    }
+}
+
+/// Emits the program as a validated CDFG.
+///
+/// # Panics
+/// Panics if the program violates [`Program::check`] invariants (callers
+/// generate or parse programs, both of which enforce them).
+pub fn emit(p: &Program) -> Cdfg {
+    p.check().expect("well-formed fuzz program");
+    let mut b = CdfgBuilder::new(p.name.clone());
+    let mut arrays = Vec::with_capacity(p.arrays.len());
+    let mut state = Vec::new();
+    let mut nstate = 0usize;
+    for (i, a) in p.arrays.iter().enumerate() {
+        let id = b.array_i32(&a.name, a.len as usize, &a.init);
+        let token_slot = if a.state {
+            b.mark_output(id);
+            state.push(i);
+            nstate += 1;
+            Some(nstate - 1)
+        } else {
+            None
+        };
+        arrays.push(ArrayCtx {
+            id,
+            mask: (a.len as i32) - 1,
+            token_slot,
+        });
+    }
+    let cx = Ctx { arrays, state };
+    // Environment seeds: a few immediates so `Ref` operands always have
+    // something to bite on even in an empty program.
+    let mut env: Vec<V> = vec![b.imm(5), b.imm(-3), b.imm(12)];
+    let seed_count = env.len();
+    let mut tokens: Vec<V> = (0..nstate).map(|_| b.start_token()).collect();
+    emit_block(&mut b, &p.body, &mut env, &mut tokens, &cx);
+    // Collect every top-level value and the final state tokens: they are
+    // the program outputs the differential check compares (alongside the
+    // final contents of the state arrays).
+    for (k, v) in env[seed_count..].iter().enumerate() {
+        b.sink(&format!("r{k}"), *v);
+    }
+    for (k, t) in tokens.iter().enumerate() {
+        b.sink(&format!("tok{k}"), *t);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ArraySpec, Operand, Stmt};
+    use marionette_cdfg::interp::{interpret, ExecMode};
+    use marionette_cdfg::op::BinOp;
+
+    fn tiny() -> Program {
+        Program {
+            name: "emit_t".into(),
+            arrays: vec![
+                ArraySpec {
+                    name: "a0".into(),
+                    len: 8,
+                    init: vec![3, 1, 4, 1, 5, 9, 2, 6],
+                    state: false,
+                },
+                ArraySpec {
+                    name: "s0".into(),
+                    len: 8,
+                    init: vec![],
+                    state: true,
+                },
+            ],
+            body: vec![Stmt::For {
+                lo: Operand::Imm(0),
+                span: 6,
+                step: 1,
+                inits: vec![Operand::Imm(0)],
+                body: vec![
+                    Stmt::Load {
+                        arr: 0,
+                        idx: Operand::Ref(3), // the loop index
+                    },
+                    Stmt::Bin {
+                        op: BinOp::Add,
+                        a: Operand::Ref(4),
+                        b: Operand::Ref(5),
+                    },
+                    Stmt::Store {
+                        arr: 0,
+                        idx: Operand::Ref(3),
+                        val: Operand::Ref(6),
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn emits_valid_graph() {
+        let g = emit(&tiny());
+        assert!(g.validate().is_empty(), "{:?}", g.validate());
+        assert_eq!(g.loops.len(), 1);
+        assert!(g.arrays.iter().any(|a| a.is_output));
+    }
+
+    #[test]
+    fn both_interp_modes_agree_and_quiesce() {
+        let g = emit(&tiny());
+        let d = interpret(&g, ExecMode::Dropping, &[]).expect("dropping quiesces");
+        let p = interpret(&g, ExecMode::Predicated, &[]).expect("predicated quiesces");
+        let sid = g.array_by_name("s0").unwrap();
+        assert_eq!(d.memory.array(sid), p.memory.array(sid));
+        assert_eq!(d.memory.oob_events(), 0, "masked indices stay in bounds");
+    }
+
+    #[test]
+    fn empty_program_still_has_sinks() {
+        let p = Program {
+            name: "empty".into(),
+            arrays: vec![ArraySpec {
+                name: "s0".into(),
+                len: 4,
+                init: vec![],
+                state: true,
+            }],
+            body: vec![],
+        };
+        let g = emit(&p);
+        let r = interpret(&g, ExecMode::Dropping, &[]).unwrap();
+        assert_eq!(r.sinks.len(), 1, "state token sinked");
+    }
+}

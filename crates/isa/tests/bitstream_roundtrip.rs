@@ -1,0 +1,100 @@
+//! Bitstream encode→decode roundtrip and disassembler smoke over *every*
+//! kernel configuration: each of the 13 evaluation kernels (plus the
+//! composite LDPC application) compiled under every mapping-policy family
+//! the architecture presets use.
+
+use marionette_arch::Architecture;
+use marionette_compiler::compile;
+use marionette_isa::bitstream::{decode, encode};
+use marionette_isa::disasm::disassemble;
+use marionette_kernels::traits::Scale;
+
+/// One representative of each distinct `CompileOptions` family across the
+/// nine presets (Marionette agile/non-agile, PE-slot control, net-switch
+/// control, stream-unit memory, split fabric).
+fn option_families() -> Vec<Architecture> {
+    vec![
+        marionette_arch::marionette_full(),
+        marionette_arch::marionette_pe(),
+        marionette_arch::von_neumann_pe(),
+        marionette_arch::riptide(),
+        marionette_arch::softbrain(),
+        marionette_arch::revel(),
+    ]
+}
+
+fn kernel_tags() -> Vec<String> {
+    let mut tags: Vec<String> = marionette_kernels::all()
+        .iter()
+        .map(|k| k.short().to_string())
+        .collect();
+    tags.push("LDPC-APP".into());
+    tags
+}
+
+#[test]
+fn encode_decode_roundtrip_on_all_kernel_configs() {
+    for tag in kernel_tags() {
+        let k = marionette_kernels::by_short(&tag).expect("kernel tag");
+        let wl = k.workload(Scale::Tiny, 3);
+        let g = k.build(&wl).expect("kernel builds");
+        for arch in option_families() {
+            let (prog, _) = compile(&g, &arch.opts)
+                .unwrap_or_else(|e| panic!("{tag} on {}: compile: {e}", arch.name));
+            let bytes = encode(&prog);
+            let back =
+                decode(&bytes).unwrap_or_else(|e| panic!("{tag} on {}: decode: {e}", arch.name));
+            assert_eq!(prog, back, "{tag} on {}: lossy roundtrip", arch.name);
+            // A decoded program is as valid as the original.
+            assert_eq!(
+                prog.validate(),
+                back.validate(),
+                "{tag} on {}: validation drift",
+                arch.name
+            );
+            // Re-encoding the decoded program is byte-stable.
+            assert_eq!(
+                bytes,
+                encode(&back),
+                "{tag} on {}: re-encode differs",
+                arch.name
+            );
+        }
+    }
+}
+
+#[test]
+fn disasm_smoke_on_all_kernel_configs() {
+    for tag in kernel_tags() {
+        let k = marionette_kernels::by_short(&tag).expect("kernel tag");
+        let wl = k.workload(Scale::Tiny, 3);
+        let g = k.build(&wl).expect("kernel builds");
+        let arch = marionette_arch::marionette_full();
+        let (prog, _) = compile(&g, &arch.opts).expect("compiles");
+        let text = disassemble(&prog);
+        assert!(text.contains("; program"), "{tag}: missing header");
+        assert!(
+            text.contains("pe ") || text.contains("sw") || text.contains("mem"),
+            "{tag}: no placements listed"
+        );
+        // Every placed node index appears somewhere in the listing.
+        assert!(text.lines().count() > prog.pes.len(), "{tag}: too short");
+        // Disassembly must also survive the bitstream roundtrip.
+        let back = decode(&encode(&prog)).unwrap();
+        assert_eq!(text, disassemble(&back), "{tag}: disasm drift");
+    }
+}
+
+#[test]
+fn truncated_kernel_bitstreams_never_panic() {
+    // Fuzz-ish robustness: every prefix of a real kernel bitstream must
+    // decode to Err, never panic.
+    let k = marionette_kernels::by_short("CRC").unwrap();
+    let wl = k.workload(Scale::Tiny, 3);
+    let g = k.build(&wl).unwrap();
+    let (prog, _) = compile(&g, &marionette_arch::marionette_full().opts).unwrap();
+    let bytes = encode(&prog);
+    for cut in 0..bytes.len() {
+        assert!(decode(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+    }
+}

@@ -4,7 +4,7 @@
 //! path (only partially pipelinable; Fig 16 puts ADPCM on the
 //! control-network side of the speedup balance).
 
-use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::traits::{Golden, Kernel, KernelError, Scale, Workload};
 use crate::workload;
 use marionette_cdfg::builder::CdfgBuilder;
 use marionette_cdfg::value::Value;
@@ -100,10 +100,10 @@ impl Kernel for AdpcmEncode {
         }
     }
 
-    fn build(&self, wl: &Workload) -> Cdfg {
-        let n = wl.size("n") as i32;
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError> {
+        let n = wl.size("n")? as i32;
         let mut b = CdfgBuilder::new("adpcm");
-        let pv = wl.array_i32("pcm");
+        let pv = wl.array_i32("pcm")?;
         let pcm = b.array_i32("pcm", pv.len(), &pv);
         let steps = b.array_i32("steps", STEP_TABLE.len(), &STEP_TABLE);
         let iadj = b.array_i32("iadj", INDEX_ADJ.len(), &INDEX_ADJ);
@@ -190,15 +190,15 @@ impl Kernel for AdpcmEncode {
             b.store(out, i, delta);
             vec![valpred_next, index_next]
         });
-        b.finish()
+        Ok(b.finish())
     }
 
-    fn golden(&self, wl: &Workload) -> Golden {
-        let code = encode_reference(&wl.array_i32("pcm"));
-        Golden {
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError> {
+        let code = encode_reference(&wl.array_i32("pcm")?);
+        Ok(Golden {
             arrays: vec![("code".into(), code.into_iter().map(Value::I32).collect())],
             sinks: vec![],
-        }
+        })
     }
 }
 
@@ -216,7 +216,7 @@ mod tests {
     fn profile_has_serial_branches() {
         let k = AdpcmEncode;
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).unwrap();
         let p = marionette_cdfg::analysis::profile(&g);
         assert!(p.branches.serial);
         assert!(p.branches.innermost);

@@ -1,7 +1,7 @@
 //! Conv-1d (CO): 8-tap 1-D convolution, taps unrolled at build time.
 //! Non-intensive single-loop kernel (Fig 17 control group).
 
-use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::traits::{Golden, Kernel, KernelError, Scale, Workload};
 use crate::workload;
 use marionette_cdfg::builder::CdfgBuilder;
 use marionette_cdfg::value::Value;
@@ -51,11 +51,11 @@ impl Kernel for Conv1d {
         }
     }
 
-    fn build(&self, wl: &Workload) -> Cdfg {
-        let n = wl.size("n") as i32;
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError> {
+        let n = wl.size("n")? as i32;
         let mut b = CdfgBuilder::new("conv1d");
-        let xv = wl.array_i32("x");
-        let wv = wl.array_i32("w");
+        let xv = wl.array_i32("x")?;
+        let wv = wl.array_i32("w")?;
         let xa = b.array_i32("x", xv.len(), &xv);
         let out = b.array_i32("y", n as usize, &[]);
         b.mark_output(out);
@@ -73,13 +73,13 @@ impl Kernel for Conv1d {
             b.store(out, i, acc);
             vec![v[0]]
         });
-        b.finish()
+        Ok(b.finish())
     }
 
-    fn golden(&self, wl: &Workload) -> Golden {
-        let n = wl.size("n") as usize;
-        let x = wl.array_i32("x");
-        let w = wl.array_i32("w");
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError> {
+        let n = wl.size("n")? as usize;
+        let x = wl.array_i32("x")?;
+        let w = wl.array_i32("w")?;
         let y: Vec<Value> = (0..n)
             .map(|i| {
                 let mut acc = 0i32;
@@ -89,10 +89,10 @@ impl Kernel for Conv1d {
                 Value::I32(acc)
             })
             .collect();
-        Golden {
+        Ok(Golden {
             arrays: vec![("y".into(), y)],
             sinks: vec![],
-        }
+        })
     }
 }
 

@@ -2,7 +2,7 @@
 //! nest, plus a serial preprocessing loop (Table 1's MiBench row). The
 //! control-network feature shows its largest win here (Fig 12: 1.36×).
 
-use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::traits::{Golden, Kernel, KernelError, Scale, Workload};
 use crate::workload;
 use marionette_cdfg::builder::CdfgBuilder;
 use marionette_cdfg::value::Value;
@@ -61,10 +61,10 @@ impl Kernel for Crc {
         }
     }
 
-    fn build(&self, wl: &Workload) -> Cdfg {
-        let n = wl.size("n") as i32;
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError> {
+        let n = wl.size("n")? as i32;
         let mut b = CdfgBuilder::new("crc");
-        let mv = wl.array_i32("msg");
+        let mv = wl.array_i32("msg")?;
         let msg = b.array_i32("msg", mv.len(), &mv);
         let work = b.array_i32("work", mv.len(), &[]);
         let start = b.start_token();
@@ -102,15 +102,15 @@ impl Kernel for Crc {
         });
         let inv = b.not_(out[0]);
         b.sink("crc", inv);
-        b.finish()
+        Ok(b.finish())
     }
 
-    fn golden(&self, wl: &Workload) -> Golden {
-        let msg = wl.array_i32("msg");
-        Golden {
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError> {
+        let msg = wl.array_i32("msg")?;
+        Ok(Golden {
             arrays: vec![],
             sinks: vec![("crc".into(), vec![Value::I32(crc32_reference(&msg))])],
-        }
+        })
     }
 }
 
@@ -135,7 +135,7 @@ mod tests {
     fn profile_has_innermost_branch_and_serial_loops() {
         let k = Crc;
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).unwrap();
         let p = marionette_cdfg::analysis::profile(&g);
         assert!(p.branches.innermost);
         assert!(p.loops.serial);

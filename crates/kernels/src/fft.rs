@@ -3,7 +3,7 @@
 //! Table 1's FFT row) and a stage nest whose inner extents depend on the
 //! stage — an imperfect nest with cross-stage memory recurrences.
 
-use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::traits::{Golden, Kernel, KernelError, Scale, Workload};
 use crate::workload;
 use marionette_cdfg::builder::CdfgBuilder;
 use marionette_cdfg::value::Value;
@@ -100,14 +100,14 @@ impl Kernel for Fft {
         }
     }
 
-    fn build(&self, wl: &Workload) -> Cdfg {
-        let n = wl.size("n") as i32;
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError> {
+        let n = wl.size("n")? as i32;
         let stages = (n as u32).trailing_zeros() as i32;
         let rev = bitrev_table(n as usize);
         let (twr, twi) = twiddles(n as usize);
         let mut b = CdfgBuilder::new("fft");
-        let rv = wl.array_f32("re");
-        let iv = wl.array_f32("im");
+        let rv = wl.array_f32("re")?;
+        let iv = wl.array_f32("im")?;
         let re = b.array_f32("re", rv.len(), &rv);
         let im = b.array_f32("im", iv.len(), &iv);
         b.mark_output(re);
@@ -191,20 +191,20 @@ impl Kernel for Fft {
             let joined = b.add(blocks[1], blocks[2]);
             vec![joined]
         });
-        b.finish()
+        Ok(b.finish())
     }
 
-    fn golden(&self, wl: &Workload) -> Golden {
-        let mut re = wl.array_f32("re");
-        let mut im = wl.array_f32("im");
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError> {
+        let mut re = wl.array_f32("re")?;
+        let mut im = wl.array_f32("im")?;
         fft_reference(&mut re, &mut im);
-        Golden {
+        Ok(Golden {
             arrays: vec![
                 ("re".into(), re.into_iter().map(Value::F32).collect()),
                 ("im".into(), im.into_iter().map(Value::F32).collect()),
             ],
             sinks: vec![],
-        }
+        })
     }
 }
 
@@ -235,7 +235,7 @@ mod tests {
     fn profile_shape() {
         let k = Fft;
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).unwrap();
         let p = marionette_cdfg::analysis::profile(&g);
         assert!(p.branches.innermost, "bit-reversal swap guard");
         assert!(p.loops.imperfect);

@@ -2,7 +2,7 @@
 //! showcase for Agile PE Assignment (its outer-BB PE utilization rises
 //! 134× in Fig 15) — with no branch divergence (Table 1).
 
-use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::traits::{Golden, Kernel, KernelError, Scale, Workload};
 use crate::workload;
 use marionette_cdfg::builder::CdfgBuilder;
 use marionette_cdfg::value::Value;
@@ -45,11 +45,11 @@ impl Kernel for Gemm {
         }
     }
 
-    fn build(&self, wl: &Workload) -> Cdfg {
-        let n = wl.size("n") as i32;
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError> {
+        let n = wl.size("n")? as i32;
         let mut b = CdfgBuilder::new("gemm");
-        let av = wl.array_i32("a");
-        let bv = wl.array_i32("b");
+        let av = wl.array_i32("a")?;
+        let bv = wl.array_i32("b")?;
         let aa = b.array_i32("a", av.len(), &av);
         let ba = b.array_i32("b", bv.len(), &bv);
         let ca = b.array_i32("c", (n * n) as usize, &[]);
@@ -77,13 +77,13 @@ impl Kernel for Gemm {
             });
             vec![inner[0]]
         });
-        b.finish()
+        Ok(b.finish())
     }
 
-    fn golden(&self, wl: &Workload) -> Golden {
-        let n = wl.size("n") as usize;
-        let a = wl.array_i32("a");
-        let bm = wl.array_i32("b");
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError> {
+        let n = wl.size("n")? as usize;
+        let a = wl.array_i32("a")?;
+        let bm = wl.array_i32("b")?;
         let mut c = vec![0i32; n * n];
         for i in 0..n {
             for j in 0..n {
@@ -94,10 +94,10 @@ impl Kernel for Gemm {
                 c[i * n + j] = acc;
             }
         }
-        Golden {
+        Ok(Golden {
             arrays: vec![("c".into(), c.into_iter().map(Value::I32).collect())],
             sinks: vec![],
-        }
+        })
     }
 }
 
@@ -115,7 +115,7 @@ mod tests {
     fn profile_is_imperfect_nested_no_branch() {
         let k = Gemm;
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).unwrap();
         let p = marionette_cdfg::analysis::profile(&g);
         assert!(p.loops.imperfect);
         assert_eq!(p.branches.count, 0);

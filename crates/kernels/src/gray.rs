@@ -2,7 +2,7 @@
 //! streaming kernel used by Fig 17 to show Marionette does not degrade
 //! plain data-parallel pipelines.
 
-use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::traits::{Golden, Kernel, KernelError, Scale, Workload};
 use crate::workload;
 use marionette_cdfg::builder::CdfgBuilder;
 use marionette_cdfg::value::Value;
@@ -50,12 +50,12 @@ impl Kernel for GrayProcessing {
         }
     }
 
-    fn build(&self, wl: &Workload) -> Cdfg {
-        let n = wl.size("n") as i32;
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError> {
+        let n = wl.size("n")? as i32;
         let mut b = CdfgBuilder::new("gray");
-        let rv: Vec<i32> = wl.array_i32("r");
-        let gv: Vec<i32> = wl.array_i32("g");
-        let bv: Vec<i32> = wl.array_i32("b");
+        let rv: Vec<i32> = wl.array_i32("r")?;
+        let gv: Vec<i32> = wl.array_i32("g")?;
+        let bv: Vec<i32> = wl.array_i32("b")?;
         let ra = b.array_i32("r", n as usize, &rv);
         let ga = b.array_i32("g", n as usize, &gv);
         let ba = b.array_i32("b", n as usize, &bv);
@@ -75,23 +75,23 @@ impl Kernel for GrayProcessing {
             b.store(out, i, y);
             vec![v[0]]
         });
-        b.finish()
+        Ok(b.finish())
     }
 
-    fn golden(&self, wl: &Workload) -> Golden {
-        let r = wl.array_i32("r");
-        let g = wl.array_i32("g");
-        let b = wl.array_i32("b");
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError> {
+        let r = wl.array_i32("r")?;
+        let g = wl.array_i32("g")?;
+        let b = wl.array_i32("b")?;
         let gray: Vec<Value> = r
             .iter()
             .zip(&g)
             .zip(&b)
             .map(|((&r, &g), &b)| Value::I32((77 * r + 150 * g + 29 * b) >> 8))
             .collect();
-        Golden {
+        Ok(Golden {
             arrays: vec![("gray".into(), gray)],
             sinks: vec![],
-        }
+        })
     }
 }
 

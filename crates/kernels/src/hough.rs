@@ -6,7 +6,7 @@
 //! for. The accumulator read-modify-write chain is a loop-carried memory
 //! recurrence.
 
-use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::traits::{Golden, Kernel, KernelError, Scale, Workload};
 use crate::workload;
 use marionette_cdfg::builder::CdfgBuilder;
 use marionette_cdfg::value::Value;
@@ -91,15 +91,15 @@ impl Kernel for Hough {
         }
     }
 
-    fn build(&self, wl: &Workload) -> Cdfg {
-        let h = wl.size("h") as i32;
-        let w = wl.size("w") as i32;
-        let nt = wl.size("nt") as i32;
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError> {
+        let h = wl.size("h")? as i32;
+        let w = wl.size("w")? as i32;
+        let nt = wl.size("nt")? as i32;
         let nr = nrho(h as usize, w as usize) as i32;
         let half = nr / 2;
         let (cos_v, sin_v) = trig_tables(nt as usize);
         let mut b = CdfgBuilder::new("hough");
-        let iv = wl.array_i32("img");
+        let iv = wl.array_i32("img")?;
         let img = b.array_i32("img", iv.len(), &iv);
         let cos_t = b.array_i32("cos", cos_v.len(), &cos_v);
         let sin_t = b.array_i32("sin", sin_v.len(), &sin_v);
@@ -135,18 +135,18 @@ impl Kernel for Hough {
             });
             vec![xs[0]]
         });
-        b.finish()
+        Ok(b.finish())
     }
 
-    fn golden(&self, wl: &Workload) -> Golden {
-        let h = wl.size("h") as usize;
-        let w = wl.size("w") as usize;
-        let nt = wl.size("nt") as usize;
-        let acc = hough_reference(h, w, nt, &wl.array_i32("img"));
-        Golden {
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError> {
+        let h = wl.size("h")? as usize;
+        let w = wl.size("w")? as usize;
+        let nt = wl.size("nt")? as usize;
+        let acc = hough_reference(h, w, nt, &wl.array_i32("img")?);
+        Ok(Golden {
             arrays: vec![("acc".into(), acc.into_iter().map(Value::I32).collect())],
             sinks: vec![],
-        }
+        })
     }
 }
 
@@ -164,7 +164,7 @@ mod tests {
     fn profile_is_deep_dynamic_nest() {
         let k = Hough;
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).unwrap();
         let p = marionette_cdfg::analysis::profile(&g);
         assert_eq!(p.loops.max_depth, 3);
         assert!(p.loops.dynamic_bounds, "θ bound is data-dependent");

@@ -2,7 +2,7 @@
 //! Nested branches in the check-node minimum search, serial inner loops,
 //! and an imperfect three-deep nest (Table 1's most control-heavy row).
 
-use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::traits::{Golden, Kernel, KernelError, Scale, Workload};
 use crate::workload;
 use marionette_cdfg::builder::CdfgBuilder;
 use marionette_cdfg::value::Value;
@@ -133,13 +133,13 @@ impl Kernel for LdpcDecode {
         }
     }
 
-    fn build(&self, wl: &Workload) -> Cdfg {
-        let n = wl.size("n") as i32;
-        let iters = wl.size("iters") as i32;
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError> {
+        let n = wl.size("n")? as i32;
+        let iters = wl.size("iters")? as i32;
         let m = n * VAR_DEG as i32 / CHECK_DEG as i32;
-        let cnbr_v = wl.array_i32("cnbr");
+        let cnbr_v = wl.array_i32("cnbr")?;
         let vedge_v = var_edges(n as usize, &cnbr_v);
-        let llr_v = wl.array_i32("llr_in");
+        let llr_v = wl.array_i32("llr_in")?;
 
         let mut b = CdfgBuilder::new("ldpc");
         let llr_in = b.array_i32("llr_in", llr_v.len(), &llr_v);
@@ -167,20 +167,21 @@ impl Kernel for LdpcDecode {
             let tok = b.store_dep(hard, v, h, t[0]);
             vec![tok]
         });
-        b.finish()
+        Ok(b.finish())
     }
 
-    fn golden(&self, wl: &Workload) -> Golden {
-        let n = wl.size("n") as usize;
-        let iters = wl.size("iters") as usize;
-        let (vllr, hard) = ldpc_reference(n, iters, &wl.array_i32("cnbr"), &wl.array_i32("llr_in"));
-        Golden {
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError> {
+        let n = wl.size("n")? as usize;
+        let iters = wl.size("iters")? as usize;
+        let (vllr, hard) =
+            ldpc_reference(n, iters, &wl.array_i32("cnbr")?, &wl.array_i32("llr_in")?);
+        Ok(Golden {
             arrays: vec![
                 ("vllr".into(), vllr.into_iter().map(Value::I32).collect()),
                 ("hard".into(), hard.into_iter().map(Value::I32).collect()),
             ],
             sinks: vec![],
-        }
+        })
     }
 }
 
@@ -295,7 +296,7 @@ mod tests {
     fn profile_shape() {
         let k = LdpcDecode;
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).unwrap();
         let p = marionette_cdfg::analysis::profile(&g);
         assert!(p.branches.nested);
         assert!(p.loops.serial);

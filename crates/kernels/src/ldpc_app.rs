@@ -5,7 +5,7 @@
 //! non-intensive control flow kernels".
 
 use crate::ldpc::{decoder_core, gen_graph, var_edges, CHECK_DEG, VAR_DEG};
-use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::traits::{Golden, Kernel, KernelError, Scale, Workload};
 use crate::workload;
 use marionette_cdfg::builder::CdfgBuilder;
 use marionette_cdfg::value::Value;
@@ -69,13 +69,13 @@ impl Kernel for LdpcApp {
         }
     }
 
-    fn build(&self, wl: &Workload) -> Cdfg {
-        let n = wl.size("n") as i32;
-        let iters = wl.size("iters") as i32;
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError> {
+        let n = wl.size("n")? as i32;
+        let iters = wl.size("iters")? as i32;
         let m = n * VAR_DEG as i32 / CHECK_DEG as i32;
-        let cnbr_v = wl.array_i32("cnbr");
+        let cnbr_v = wl.array_i32("cnbr")?;
         let vedge_v = var_edges(n as usize, &cnbr_v);
-        let raw_v = wl.array_i32("raw");
+        let raw_v = wl.array_i32("raw")?;
 
         let mut b = CdfgBuilder::new("ldpc_app");
         let raw = b.array_i32("raw", raw_v.len(), &raw_v);
@@ -116,21 +116,21 @@ impl Kernel for LdpcApp {
             vec![tok, ones]
         });
         b.sink("ones", post[1]);
-        b.finish()
+        Ok(b.finish())
     }
 
-    fn golden(&self, wl: &Workload) -> Golden {
-        let n = wl.size("n") as usize;
-        let iters = wl.size("iters") as usize;
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError> {
+        let n = wl.size("n")? as usize;
+        let iters = wl.size("iters")? as usize;
         let (vllr, hard, ones) =
-            app_reference(n, iters, &wl.array_i32("cnbr"), &wl.array_i32("raw"));
-        Golden {
+            app_reference(n, iters, &wl.array_i32("cnbr")?, &wl.array_i32("raw")?);
+        Ok(Golden {
             arrays: vec![
                 ("vllr".into(), vllr.into_iter().map(Value::I32).collect()),
                 ("hard".into(), hard.into_iter().map(Value::I32).collect()),
             ],
             sinks: vec![("ones".into(), vec![Value::I32(ones)])],
-        }
+        })
     }
 }
 
@@ -155,7 +155,7 @@ mod tests {
     fn mixes_intensive_and_non_intensive_phases() {
         let k = LdpcApp;
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).unwrap();
         let p = marionette_cdfg::analysis::profile(&g);
         assert!(p.branches.nested, "decoder's min-search branches");
         assert!(p.loops.serial, "pre / decode / post phases");

@@ -9,7 +9,7 @@
 //! a scratch buffer with a copy-back loop, mirroring how a CGRA actually
 //! stages the passes.
 
-use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::traits::{Golden, Kernel, KernelError, Scale, Workload};
 use crate::workload;
 use marionette_cdfg::builder::CdfgBuilder;
 use marionette_cdfg::value::Value;
@@ -49,10 +49,10 @@ impl Kernel for MergeSort {
         }
     }
 
-    fn build(&self, wl: &Workload) -> Cdfg {
-        let n = wl.size("n") as i32;
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError> {
+        let n = wl.size("n")? as i32;
         let mut b = CdfgBuilder::new("mergesort");
-        let dv = wl.array_i32("data");
+        let dv = wl.array_i32("data")?;
         let a = b.array_i32("data", dv.len(), &dv);
         let tmp = b.array_i32("tmp", dv.len(), &[]);
         b.mark_output(a);
@@ -146,16 +146,16 @@ impl Kernel for MergeSort {
                 vec![two_w, copy[0]]
             },
         );
-        b.finish()
+        Ok(b.finish())
     }
 
-    fn golden(&self, wl: &Workload) -> Golden {
-        let mut data = wl.array_i32("data");
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError> {
+        let mut data = wl.array_i32("data")?;
         data.sort();
-        Golden {
+        Ok(Golden {
             arrays: vec![("data".into(), data.into_iter().map(Value::I32).collect())],
             sinks: vec![],
-        }
+        })
     }
 }
 
@@ -178,7 +178,7 @@ mod tests {
     fn profile_has_innermost_branch_under_deep_nest() {
         let k = MergeSort;
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).unwrap();
         let p = marionette_cdfg::analysis::profile(&g);
         assert!(p.branches.innermost);
         assert!(p.loops.serial, "merge + drains + copy are serial loops");

@@ -2,7 +2,7 @@
 //! nested branch divergence in the innermost loop and a loop-carried
 //! memory recurrence across rows (Table 1's bioinformatics row).
 
-use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::traits::{Golden, Kernel, KernelError, Scale, Workload};
 use crate::workload;
 use marionette_cdfg::builder::CdfgBuilder;
 use marionette_cdfg::value::Value;
@@ -88,12 +88,12 @@ impl Kernel for Nw {
         }
     }
 
-    fn build(&self, wl: &Workload) -> Cdfg {
-        let n = wl.size("n") as i32;
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError> {
+        let n = wl.size("n")? as i32;
         let w = n + 1;
         let mut b = CdfgBuilder::new("nw");
-        let av = wl.array_i32("a");
-        let bv = wl.array_i32("b");
+        let av = wl.array_i32("a")?;
+        let bv = wl.array_i32("b")?;
         let aa = b.array_i32("a", av.len(), &av);
         let ba = b.array_i32("b", bv.len(), &bv);
         let table = b.array_i32("table", (w * w) as usize, &[]);
@@ -153,15 +153,15 @@ impl Kernel for Nw {
             });
             vec![inner[1]]
         });
-        b.finish()
+        Ok(b.finish())
     }
 
-    fn golden(&self, wl: &Workload) -> Golden {
-        let t = nw_reference(&wl.array_i32("a"), &wl.array_i32("b"));
-        Golden {
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError> {
+        let t = nw_reference(&wl.array_i32("a")?, &wl.array_i32("b")?);
+        Ok(Golden {
             arrays: vec![("table".into(), t.into_iter().map(Value::I32).collect())],
             sinks: vec![],
-        }
+        })
     }
 }
 
@@ -179,7 +179,7 @@ mod tests {
     fn profile_has_nested_branches() {
         let k = Nw;
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).unwrap();
         let p = marionette_cdfg::analysis::profile(&g);
         assert!(p.branches.nested);
         assert!(p.branches.innermost);

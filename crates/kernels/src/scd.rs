@@ -10,7 +10,7 @@
 //! This gives Table 1's SCD shape: innermost branches, an imperfect nest
 //! and serial (phase-alternating) loops.
 
-use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::traits::{Golden, Kernel, KernelError, Scale, Workload};
 use crate::workload;
 use marionette_cdfg::builder::CdfgBuilder;
 use marionette_cdfg::value::Value;
@@ -189,8 +189,8 @@ impl Kernel for ScDecode {
         }
     }
 
-    fn build(&self, wl: &Workload) -> Cdfg {
-        let n = wl.size("n") as i32;
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError> {
+        let n = wl.size("n")? as i32;
         let sched = schedule(n as usize);
         let nv = sched.len() as i32;
         // Flatten the schedule into parallel visit tables.
@@ -201,8 +201,8 @@ impl Kernel for ScDecode {
         let vba: Vec<i32> = sched.iter().map(|v| v.ba).collect();
         let vbb: Vec<i32> = sched.iter().map(|v| v.bb).collect();
 
-        let llr_v = wl.array_i32("llr");
-        let frz_v = wl.array_i32("frozen");
+        let llr_v = wl.array_i32("llr")?;
+        let frz_v = wl.array_i32("frozen")?;
         let mut b = CdfgBuilder::new("scd");
         let llr = b.array_i32("llr", llr_v.len(), &llr_v);
         let frz = b.array_i32("frozen", frz_v.len(), &frz_v);
@@ -306,16 +306,16 @@ impl Kernel for ScDecode {
             });
             vec![elems[0]]
         });
-        b.finish()
+        Ok(b.finish())
     }
 
-    fn golden(&self, wl: &Workload) -> Golden {
-        let n = wl.size("n") as usize;
-        let u = scd_reference(n, &wl.array_i32("llr"), &wl.array_i32("frozen"));
-        Golden {
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError> {
+        let n = wl.size("n")? as usize;
+        let u = scd_reference(n, &wl.array_i32("llr")?, &wl.array_i32("frozen")?);
+        Ok(Golden {
             arrays: vec![("u".into(), u.into_iter().map(Value::I32).collect())],
             sinks: vec![],
-        }
+        })
     }
 }
 
@@ -351,7 +351,7 @@ mod tests {
     fn profile_shape() {
         let k = ScDecode;
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).unwrap();
         let p = marionette_cdfg::analysis::profile(&g);
         assert!(p.branches.nested);
         assert!(p.branches.innermost);

@@ -1,7 +1,7 @@
 //! Sigmoid (SI): elementwise logistic activation on the nonlinear-fitting
 //! PEs. Non-intensive single-loop kernel (Fig 17 control group).
 
-use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::traits::{Golden, Kernel, KernelError, Scale, Workload};
 use crate::workload;
 use marionette_cdfg::builder::CdfgBuilder;
 use marionette_cdfg::op::NlOp;
@@ -46,10 +46,10 @@ impl Kernel for Sigmoid {
         }
     }
 
-    fn build(&self, wl: &Workload) -> Cdfg {
-        let n = wl.size("n") as i32;
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError> {
+        let n = wl.size("n")? as i32;
         let mut b = CdfgBuilder::new("sigmoid");
-        let xv = wl.array_f32("x");
+        let xv = wl.array_f32("x")?;
         let xa = b.array_f32("x", n as usize, &xv);
         let out = b.array_f32("y", n as usize, &[]);
         b.mark_output(out);
@@ -60,20 +60,20 @@ impl Kernel for Sigmoid {
             b.store(out, i, y);
             vec![v[0]]
         });
-        b.finish()
+        Ok(b.finish())
     }
 
-    fn golden(&self, wl: &Workload) -> Golden {
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError> {
         // Uses the exact same nonlinear unit model as the simulator.
         let y: Vec<Value> = wl
-            .array("x")
+            .array("x")?
             .iter()
             .map(|&x| NlOp::Sigmoid.eval(x))
             .collect();
-        Golden {
+        Ok(Golden {
             arrays: vec![("y".into(), y)],
             sinks: vec![],
-        }
+        })
     }
 }
 

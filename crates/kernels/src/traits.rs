@@ -16,6 +16,37 @@ pub enum Scale {
     Tiny,
 }
 
+/// Typed failure of a kernel build/golden/verification step.
+///
+/// Historically these conditions were `panic!`s deep inside `Workload`
+/// accessors and the golden comparison; surfacing them as values lets
+/// fuzzed or externally-supplied workloads fail gracefully (the runner
+/// wraps them in `RunnerError` and reports them like any other stage
+/// failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// The workload does not define the named scalar size.
+    MissingSize(String),
+    /// The workload does not define the named input array.
+    MissingArray(String),
+    /// A golden reference names an output array the CDFG never declared.
+    UndeclaredOutput(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::MissingSize(n) => write!(f, "workload missing size {n}"),
+            KernelError::MissingArray(n) => write!(f, "workload missing array {n}"),
+            KernelError::UndeclaredOutput(n) => {
+                write!(f, "golden output array {n} not declared by the program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
 /// Input data for one kernel run.
 #[derive(Clone, Debug, Default)]
 pub struct Workload {
@@ -28,40 +59,46 @@ pub struct Workload {
 impl Workload {
     /// Looks up a size by name.
     ///
-    /// # Panics
-    /// Panics if the size is missing.
-    pub fn size(&self, name: &str) -> i64 {
+    /// # Errors
+    /// Returns [`KernelError::MissingSize`] if the size is missing.
+    pub fn size(&self, name: &str) -> Result<i64, KernelError> {
         self.sizes
             .iter()
             .find(|(n, _)| n == name)
-            .unwrap_or_else(|| panic!("workload missing size {name}"))
-            .1
+            .map(|(_, v)| *v)
+            .ok_or_else(|| KernelError::MissingSize(name.into()))
     }
 
     /// Looks up an input array by name.
     ///
-    /// # Panics
-    /// Panics if the array is missing.
-    pub fn array(&self, name: &str) -> &[Value] {
-        &self
-            .arrays
+    /// # Errors
+    /// Returns [`KernelError::MissingArray`] if the array is missing.
+    pub fn array(&self, name: &str) -> Result<&[Value], KernelError> {
+        self.arrays
             .iter()
             .find(|(n, _)| n == name)
-            .unwrap_or_else(|| panic!("workload missing array {name}"))
-            .1
+            .map(|(_, v)| v.as_slice())
+            .ok_or_else(|| KernelError::MissingArray(name.into()))
     }
 
     /// Integer view of an input array.
-    pub fn array_i32(&self, name: &str) -> Vec<i32> {
-        self.array(name).iter().map(|v| v.to_i32_lossy()).collect()
+    ///
+    /// # Errors
+    /// Returns [`KernelError::MissingArray`] if the array is missing.
+    pub fn array_i32(&self, name: &str) -> Result<Vec<i32>, KernelError> {
+        Ok(self.array(name)?.iter().map(|v| v.to_i32_lossy()).collect())
     }
 
     /// Float view of an input array.
-    pub fn array_f32(&self, name: &str) -> Vec<f32> {
-        self.array(name)
+    ///
+    /// # Errors
+    /// Returns [`KernelError::MissingArray`] if the array is missing.
+    pub fn array_f32(&self, name: &str) -> Result<Vec<f32>, KernelError> {
+        Ok(self
+            .array(name)?
             .iter()
             .map(|v| v.as_f32().unwrap_or(0.0))
-            .collect()
+            .collect())
     }
 }
 
@@ -178,8 +215,45 @@ pub trait Kernel: Send + Sync {
     fn workload(&self, scale: Scale, seed: u64) -> Workload;
 
     /// Builds the CDFG program for a workload.
-    fn build(&self, wl: &Workload) -> Cdfg;
+    ///
+    /// # Errors
+    /// Returns [`KernelError`] when the workload lacks a size or array the
+    /// kernel needs.
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError>;
 
     /// Computes the expected outputs for a workload.
-    fn golden(&self, wl: &Workload) -> Golden;
+    ///
+    /// # Errors
+    /// Returns [`KernelError`] when the workload lacks a size or array the
+    /// kernel needs.
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_size_is_typed() {
+        let wl = Workload::default();
+        assert_eq!(wl.size("n"), Err(KernelError::MissingSize("n".into())));
+    }
+
+    #[test]
+    fn missing_array_is_typed() {
+        let wl = Workload {
+            arrays: vec![("a".into(), vec![Value::I32(1)])],
+            sizes: vec![("n".into(), 1)],
+        };
+        assert_eq!(wl.size("n"), Ok(1));
+        assert_eq!(wl.array_i32("a"), Ok(vec![1]));
+        assert_eq!(
+            wl.array("b").unwrap_err(),
+            KernelError::MissingArray("b".into())
+        );
+        assert_eq!(
+            wl.array_f32("b").unwrap_err(),
+            KernelError::MissingArray("b".into())
+        );
+    }
 }

@@ -2,7 +2,7 @@
 //! interpreter (both execution modes) and compare against its golden
 //! reference.
 
-use crate::traits::{check_outputs, Golden, Kernel, Scale};
+use crate::traits::{check_outputs, Golden, Kernel, KernelError, Scale};
 use marionette_cdfg::interp::{interpret, ExecMode};
 use marionette_cdfg::value::Value;
 use marionette_cdfg::Cdfg;
@@ -11,12 +11,16 @@ use marionette_cdfg::Cdfg;
 /// and returns an error string describing any mismatch.
 ///
 /// # Errors
-/// Returns a human-readable report when interpretation fails or outputs
-/// diverge from the golden reference.
+/// Returns a human-readable report when the build fails, interpretation
+/// fails, or outputs diverge from the golden reference.
 pub fn interp_check(k: &dyn Kernel, scale: Scale, seed: u64, mode: ExecMode) -> Result<(), String> {
     let wl = k.workload(scale, seed);
-    let golden = k.golden(&wl);
-    let g = k.build(&wl);
+    let golden = k
+        .golden(&wl)
+        .map_err(|e| format!("{}: golden: {e}", k.name()))?;
+    let g = k
+        .build(&wl)
+        .map_err(|e| format!("{}: build: {e}", k.name()))?;
     let r = interpret(&g, mode, &[])
         .map_err(|e| format!("{} ({mode:?}): interpreter error: {e}", k.name()))?;
     if r.memory.oob_events() > 0 {
@@ -31,7 +35,8 @@ pub fn interp_check(k: &dyn Kernel, scale: Scale, seed: u64, mode: ExecMode) -> 
         &golden,
         |arr| r.memory.array(arr).to_vec(),
         |name| r.sinks.get(name).cloned().unwrap_or_default(),
-    );
+    )
+    .map_err(|e| format!("{} ({mode:?}): {e}", k.name()))?;
     if mismatches.is_empty() {
         Ok(())
     } else {
@@ -46,22 +51,31 @@ pub fn interp_check(k: &dyn Kernel, scale: Scale, seed: u64, mode: ExecMode) -> 
 
 /// Compares any executor's outputs against a golden reference, resolving
 /// output array names through the CDFG declarations.
+///
+/// # Errors
+/// Returns [`KernelError::UndeclaredOutput`] when the golden reference
+/// names an array the program never declared.
 pub fn check_vs_golden(
     g: &Cdfg,
     golden: &Golden,
     mut array_contents: impl FnMut(marionette_cdfg::ArrayId) -> Vec<Value>,
     get_sink: impl FnMut(&str) -> Vec<Value>,
-) -> Vec<crate::traits::Mismatch> {
-    check_outputs(
+) -> Result<Vec<crate::traits::Mismatch>, KernelError> {
+    // Resolve every golden array name first so a bad name is a typed
+    // error, not a mid-comparison panic.
+    for (name, _) in &golden.arrays {
+        if g.array_by_name(name).is_none() {
+            return Err(KernelError::UndeclaredOutput(name.clone()));
+        }
+    }
+    Ok(check_outputs(
         golden,
         |name| {
-            let id = g
-                .array_by_name(name)
-                .unwrap_or_else(|| panic!("output array {name} not declared"));
+            let id = g.array_by_name(name).expect("checked above");
             array_contents(id)
         },
         get_sink,
-    )
+    ))
 }
 
 /// Convenience: check both interpreter modes at once.
@@ -71,4 +85,46 @@ pub fn check_vs_golden(
 pub fn interp_check_both(k: &dyn Kernel, scale: Scale, seed: u64) -> Result<(), String> {
     interp_check(k, scale, seed, ExecMode::Dropping)?;
     interp_check(k, scale, seed, ExecMode::Predicated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marionette_cdfg::builder::CdfgBuilder;
+
+    #[test]
+    fn undeclared_output_is_typed_error() {
+        let mut b = CdfgBuilder::new("t");
+        let s = b.add(1.into(), 2.into());
+        b.sink("s", s);
+        let g = b.finish();
+        let golden = Golden {
+            arrays: vec![("ghost".into(), vec![Value::I32(0)])],
+            sinks: vec![],
+        };
+        let err = check_vs_golden(&g, &golden, |_| vec![], |_| vec![]).unwrap_err();
+        assert_eq!(err, KernelError::UndeclaredOutput("ghost".into()));
+    }
+
+    #[test]
+    fn declared_outputs_compare_fine() {
+        let mut b = CdfgBuilder::new("t");
+        let a = b.array_i32("a", 2, &[7, 9]);
+        b.mark_output(a);
+        let s = b.add(1.into(), 2.into());
+        b.sink("s", s);
+        let g = b.finish();
+        let golden = Golden {
+            arrays: vec![("a".into(), vec![Value::I32(7), Value::I32(9)])],
+            sinks: vec![("s".into(), vec![Value::I32(3)])],
+        };
+        let mismatches = check_vs_golden(
+            &g,
+            &golden,
+            |_| vec![Value::I32(7), Value::I32(9)],
+            |_| vec![Value::I32(3)],
+        )
+        .unwrap();
+        assert!(mismatches.is_empty());
+    }
 }

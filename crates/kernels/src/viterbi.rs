@@ -2,7 +2,7 @@
 //! argmax branch in the innermost loop (Table 1: innermost branch,
 //! imperfect nest).
 
-use crate::traits::{Golden, Kernel, Scale, Workload};
+use crate::traits::{Golden, Kernel, KernelError, Scale, Workload};
 use crate::workload;
 use marionette_cdfg::builder::CdfgBuilder;
 use marionette_cdfg::value::Value;
@@ -86,14 +86,14 @@ impl Kernel for Viterbi {
         }
     }
 
-    fn build(&self, wl: &Workload) -> Cdfg {
-        let s = wl.size("s") as i32;
-        let t_len = wl.size("t") as i32;
-        let m = wl.size("m") as i32;
+    fn build(&self, wl: &Workload) -> Result<Cdfg, KernelError> {
+        let s = wl.size("s")? as i32;
+        let t_len = wl.size("t")? as i32;
+        let m = wl.size("m")? as i32;
         let mut b = CdfgBuilder::new("viterbi");
-        let tv = wl.array_i32("trans");
-        let ev = wl.array_i32("emit");
-        let ov = wl.array_i32("obs");
+        let tv = wl.array_i32("trans")?;
+        let ev = wl.array_i32("emit")?;
+        let ov = wl.array_i32("obs")?;
         let trans = b.array_i32("trans", tv.len(), &tv);
         let emit = b.array_i32("emit", ev.len(), &ev);
         let obs = b.array_i32("obs", ov.len(), &ov);
@@ -162,26 +162,26 @@ impl Kernel for Viterbi {
             let tok = b.store_dep(final_s, st, sc, v[0]);
             vec![tok]
         });
-        b.finish()
+        Ok(b.finish())
     }
 
-    fn golden(&self, wl: &Workload) -> Golden {
-        let s = wl.size("s") as usize;
-        let t = wl.size("t") as usize;
+    fn golden(&self, wl: &Workload) -> Result<Golden, KernelError> {
+        let s = wl.size("s")? as usize;
+        let t = wl.size("t")? as usize;
         let (bp, fin) = viterbi_reference(
             s,
             t,
-            &wl.array_i32("trans"),
-            &wl.array_i32("emit"),
-            &wl.array_i32("obs"),
+            &wl.array_i32("trans")?,
+            &wl.array_i32("emit")?,
+            &wl.array_i32("obs")?,
         );
-        Golden {
+        Ok(Golden {
             arrays: vec![
                 ("bp".into(), bp.into_iter().map(Value::I32).collect()),
                 ("final".into(), fin.into_iter().map(Value::I32).collect()),
             ],
             sinks: vec![],
-        }
+        })
     }
 }
 
@@ -199,7 +199,7 @@ mod tests {
     fn profile_shape() {
         let k = Viterbi;
         let wl = k.workload(Scale::Tiny, 0);
-        let g = k.build(&wl);
+        let g = k.build(&wl).unwrap();
         let p = marionette_cdfg::analysis::profile(&g);
         assert!(p.branches.innermost);
         assert!(p.loops.imperfect);

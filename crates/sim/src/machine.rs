@@ -588,10 +588,7 @@ impl<'p> Machine<'p> {
 
     /// Latency from fire to result availability.
     fn result_latency(&self, op: Op) -> u64 {
-        match op {
-            Op::Load(_) => u64::from(self.tm.mem_latency),
-            o => u64::from(o.latency().max(1)),
-        }
+        self.tm.result_latency(op)
     }
 
     /// Emits a value to all consumers of `node`.
@@ -694,7 +691,7 @@ impl<'p> Machine<'p> {
             gs.first_fire = Some(self.cycle);
         }
         gs.last_fire = self.cycle;
-        let occ = 1 + u64::from(self.tm.per_fire_overhead);
+        let occ = self.tm.issue_occupancy();
         match self.node_place[node as usize] {
             Placement::Pe { pe } => {
                 let u = &mut self.stats.pe_data[pe as usize];
@@ -1088,7 +1085,7 @@ impl<'p> Machine<'p> {
         self.record_fire(node, poisoned);
         self.last_fire_cycle[node as usize] = self.cycle;
         let u = self.node_unit[node as usize];
-        self.unit_free_at[u.0] = self.cycle + 1 + u64::from(self.tm.per_fire_overhead);
+        self.unit_free_at[u.0] = self.cycle + self.tm.issue_occupancy();
         if let Some(v) = out {
             let lat = self.result_latency(op);
             self.emit(node, v, lat);
@@ -1389,7 +1386,7 @@ impl<'p> Machine<'p> {
         }
         if fired_any {
             self.progressed = true;
-            self.unit_free_at[ui] = self.cycle + 1 + u64::from(self.tm.per_fire_overhead);
+            self.unit_free_at[ui] = self.cycle + self.tm.issue_occupancy();
         }
     }
 

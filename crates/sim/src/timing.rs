@@ -20,6 +20,8 @@
 //! - the CCU round-trip surcharge on dynamically-bounded loop
 //!   configuration ([`TimingModel::dyn_bound_extra`], Fig 3d).
 
+use marionette_cdfg::op::Op;
+
 /// How control-class routes are transported.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CtrlTransport {
@@ -94,6 +96,26 @@ impl TimingModel {
             route_inflight_cap: 8,
             idle_switch_threshold: 2,
         }
+    }
+
+    /// Cycles from issuing `op` to its result being available — the
+    /// functional-unit pipeline depth under this model. Memory reads take
+    /// [`TimingModel::mem_latency`]; every other operator takes its
+    /// class latency ([`Op::latency`]), clamped to at least one cycle so
+    /// no firing is free (sinks included: collecting a result still
+    /// occupies the cycle it lands in).
+    pub fn result_latency(&self, op: Op) -> u64 {
+        match op {
+            Op::Load(_) => u64::from(self.mem_latency),
+            o => u64::from(o.latency().max(1)),
+        }
+    }
+
+    /// Issue-slot occupancy of one firing: the single issue cycle plus
+    /// the per-firing configure/tag-check overhead of dataflow-style PEs
+    /// ([`TimingModel::per_fire_overhead`]).
+    pub fn issue_occupancy(&self) -> u64 {
+        1 + u64::from(self.per_fire_overhead)
     }
 }
 

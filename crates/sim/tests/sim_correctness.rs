@@ -45,8 +45,8 @@ fn opts_for(tm: &TimingModel) -> CompileOptions {
 
 fn check_kernel(k: &dyn Kernel, tm: &TimingModel, seed: u64) -> u64 {
     let wl = k.workload(Scale::Small, seed);
-    let golden = k.golden(&wl);
-    let g = k.build(&wl);
+    let golden = k.golden(&wl).expect("golden builds");
+    let g = k.build(&wl).expect("kernel builds");
     let opts = opts_for(tm);
     let (prog, _report) = compile(&g, &opts).expect("compiles");
     let inputs: Vec<(String, Vec<marionette_cdfg::Value>)> = g
@@ -62,7 +62,8 @@ fn check_kernel(k: &dyn Kernel, tm: &TimingModel, seed: u64) -> u64 {
         &golden,
         |arr| r.memory[arr.0 as usize].clone(),
         |name| r.sinks.get(name).cloned().unwrap_or_default(),
-    );
+    )
+    .expect("golden arrays declared");
     assert!(
         mismatches.is_empty(),
         "{} under {}: {} mismatches, first: {}",
@@ -137,7 +138,7 @@ fn dataflow_overhead_slows_execution() {
 fn stats_are_sane() {
     let k = marionette_kernels::gemm::Gemm;
     let wl = k.workload(Scale::Tiny, 0);
-    let g = k.build(&wl);
+    let g = k.build(&wl).expect("kernel builds");
     let (prog, _) = compile(&g, &CompileOptions::marionette_4x4()).unwrap();
     let tm = marionette_tm();
     let r = run(&prog, &tm, &[], &[], MAX_CYCLES).unwrap();

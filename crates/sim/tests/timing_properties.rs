@@ -125,6 +125,142 @@ fn queue_capacity_throttles_pipelining() {
     assert!(cycles_with(&shallow, &opts) >= cycles_with(&deep, &opts));
 }
 
+// ---------------------------------------------------------------------
+// Operator-latency invariants of the timing model itself (property-style
+// over the whole operator space and sampled parameter values).
+// ---------------------------------------------------------------------
+
+mod latency_invariants {
+    use marionette_cdfg::op::{BinOp, NlOp, Op, SteerRole, UnOp};
+    use marionette_sim::TimingModel;
+    use proptest::prelude::*;
+
+    /// Every operator the machine can execute, over a representative
+    /// sample of each class.
+    fn all_ops() -> Vec<Op> {
+        use BinOp::*;
+        let bins = [
+            Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, AShr, Min, Max, Lt, Le, Gt, Ge, Eq,
+            Ne, FAdd, FSub, FMul, FDiv, FMin, FMax, FLt, FLe, FGt, FGe,
+        ];
+        let uns = [
+            UnOp::Not,
+            UnOp::Neg,
+            UnOp::Abs,
+            UnOp::FNeg,
+            UnOp::FAbs,
+            UnOp::I2F,
+            UnOp::F2I,
+            UnOp::LNot,
+        ];
+        let nls = [
+            NlOp::Sigmoid,
+            NlOp::Log,
+            NlOp::Exp,
+            NlOp::Sqrt,
+            NlOp::Recip,
+            NlOp::Tanh,
+        ];
+        let mut ops: Vec<Op> = Vec::new();
+        ops.extend(bins.iter().map(|&b| Op::Bin(b)));
+        ops.extend(uns.iter().map(|&u| Op::Un(u)));
+        ops.extend(nls.iter().map(|&n| Op::Nl(n)));
+        ops.push(Op::Mux);
+        ops.push(Op::Load(marionette_cdfg::op::ArrayId(0)));
+        ops.push(Op::Store(marionette_cdfg::op::ArrayId(0)));
+        ops.push(Op::Gate);
+        ops.push(Op::Steer {
+            sense: true,
+            role: SteerRole::Branch,
+        });
+        ops.push(Op::Merge {
+            role: SteerRole::LoopCtl,
+        });
+        ops.push(Op::Carry);
+        ops.push(Op::Inv);
+        ops.push(Op::Sink);
+        ops.push(Op::Start);
+        ops
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// No firing is ever free: every operator's result latency is at
+        /// least one cycle under any parameterization (sinks included).
+        #[test]
+        fn latency_never_zero(mem in 1u32..16, overhead in 0u32..5) {
+            let mut tm = TimingModel::ideal("p");
+            tm.mem_latency = mem;
+            tm.per_fire_overhead = overhead;
+            for op in all_ops() {
+                prop_assert!(tm.result_latency(op) >= 1, "{op} latency zero");
+            }
+            prop_assert!(tm.issue_occupancy() >= 1);
+        }
+
+        /// Load latency tracks the scratchpad parameter monotonically.
+        #[test]
+        fn load_latency_monotone_in_mem_latency(a in 1u32..12, b in 1u32..12) {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let mut slow = TimingModel::ideal("s");
+            slow.mem_latency = hi;
+            let mut fast = TimingModel::ideal("f");
+            fast.mem_latency = lo;
+            let ld = Op::Load(marionette_cdfg::op::ArrayId(0));
+            prop_assert!(fast.result_latency(ld) <= slow.result_latency(ld));
+            prop_assert_eq!(slow.result_latency(ld), u64::from(hi));
+        }
+
+        /// Issue occupancy is monotone in the per-firing configure
+        /// overhead (the dataflow-PE tag-check cost).
+        #[test]
+        fn occupancy_monotone_in_overhead(a in 0u32..6, b in 0u32..6) {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let mut light = TimingModel::ideal("l");
+            light.per_fire_overhead = lo;
+            let mut heavy = TimingModel::ideal("h");
+            heavy.per_fire_overhead = hi;
+            prop_assert!(light.issue_occupancy() <= heavy.issue_occupancy());
+        }
+    }
+
+    /// Within each arithmetic class, adding operands never makes an
+    /// operator faster: every unary op is at most as slow as any binary
+    /// op of the same (int/float) class.
+    #[test]
+    fn latency_monotone_in_operand_count() {
+        let tm = TimingModel::ideal("m");
+        let int_uns = [UnOp::Not, UnOp::Neg, UnOp::Abs, UnOp::LNot];
+        let int_bins = [BinOp::Add, BinOp::Mul, BinOp::Div, BinOp::Rem];
+        for u in int_uns {
+            for b in int_bins {
+                assert!(tm.result_latency(Op::Un(u)) <= tm.result_latency(Op::Bin(b)));
+            }
+        }
+        let f_uns = [UnOp::FNeg, UnOp::FAbs];
+        let f_bins = [BinOp::FAdd, BinOp::FMul, BinOp::FDiv];
+        for u in f_uns {
+            for b in f_bins {
+                assert!(tm.result_latency(Op::Un(u)) <= tm.result_latency(Op::Bin(b)));
+            }
+        }
+    }
+
+    /// The iterative divider is the slowest ALU op; multipliers beat it
+    /// but cost at least an adder.
+    #[test]
+    fn class_latencies_ordered() {
+        let tm = TimingModel::ideal("m");
+        let l = |b: BinOp| tm.result_latency(Op::Bin(b));
+        assert!(l(BinOp::Add) <= l(BinOp::Mul));
+        assert!(l(BinOp::Mul) <= l(BinOp::Div));
+        assert!(l(BinOp::FAdd) <= l(BinOp::FDiv));
+        // Nonlinear fitting units are slower than plain ALU ops.
+        assert!(tm.result_latency(Op::Nl(NlOp::Sigmoid)) >= l(BinOp::Add));
+    }
+}
+
 #[test]
 fn every_variant_stays_functionally_correct() {
     // All of the above knobs must never change results; re-run one
