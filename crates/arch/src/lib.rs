@@ -23,7 +23,7 @@ pub mod presets;
 pub mod taxonomy;
 
 pub use presets::{
-    all_sota, dataflow_pe, marionette_cn, marionette_full, marionette_pe, revel, riptide,
-    softbrain, tia, von_neumann_pe, Architecture,
+    all_presets, all_sota, dataflow_pe, marionette_cn, marionette_full, marionette_pe, revel,
+    riptide, softbrain, tia, von_neumann_pe, Architecture,
 };
 pub use taxonomy::{capability_matrix, sa_taxonomy, Capabilities};

@@ -228,6 +228,21 @@ pub fn all_sota() -> Vec<Architecture> {
     vec![softbrain(), tia(), revel(), riptide()]
 }
 
+/// All nine evaluated presets in canonical order: the vN/DF baselines,
+/// the Marionette ablation ladder, then the SOTA models. The single
+/// source of truth for "every preset" sweeps (bench, fuzzing, tests).
+pub fn all_presets() -> Vec<Architecture> {
+    let mut archs = vec![
+        von_neumann_pe(),
+        dataflow_pe(),
+        marionette_pe(),
+        marionette_cn(),
+        marionette_full(),
+    ];
+    archs.extend(all_sota());
+    archs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,12 +7,20 @@
 //! track simulator speedups and catch cycle-count regressions.
 //!
 //! Flags:
-//! - `--paper`    use the paper's Table 5 data sizes (default: Small);
-//! - `--serial`   run the sweep single-threaded only;
-//! - `--compare`  run the sweep twice (serial then parallel) and record
+//! - `--paper`     use the paper's Table 5 data sizes (default: Small);
+//! - `--serial`    run the sweep single-threaded only;
+//! - `--compare`   run the sweep twice (serial then parallel) and record
 //!   the wall-clock speedup;
-//! - `--out PATH` output path (default `BENCH_sim.json`).
+//! - `--no-search` skip the mapping-search delta sweep;
+//! - `--out PATH`  output path (default `BENCH_sim.json`).
+//!
+//! Unless `--no-search` is given, every point is additionally compiled
+//! with the annealing mapping explorer (`SearchBudget::default_on()`)
+//! and re-simulated; each point records `cycles_search` and the summary
+//! records the geomean cycle speedup of the searched mappings over the
+//! greedy baseline.
 
+use marionette::compiler::SearchBudget;
 use marionette::kernels::traits::Scale;
 use marionette::parallel::{par_map, sweep_threads};
 use marionette::runner::{run_kernel, DEFAULT_MAX_CYCLES};
@@ -31,17 +39,11 @@ struct Measured {
     cycles: u64,
     fires: u64,
     wall_ms: f64,
+    cycles_search: Option<u64>,
 }
 
 fn points() -> Vec<Point> {
-    let mut archs = vec![
-        marionette::arch::von_neumann_pe(),
-        marionette::arch::dataflow_pe(),
-        marionette::arch::marionette_pe(),
-        marionette::arch::marionette_cn(),
-        marionette::arch::marionette_full(),
-    ];
-    archs.extend(marionette::arch::all_sota());
+    let archs = marionette::arch::all_presets();
     let mut tags: Vec<String> = marionette::kernels::all()
         .iter()
         .map(|k| k.short().to_string())
@@ -57,20 +59,32 @@ fn points() -> Vec<Point> {
         .collect()
 }
 
-fn sweep(scale: Scale, threads: usize) -> (Vec<Measured>, f64) {
+fn sweep(scale: Scale, threads: usize, search: bool) -> (Vec<Measured>, f64) {
     let pts = points();
     let t0 = Instant::now();
     let results = par_map(pts, threads, |p| {
         let k = marionette::kernels::by_short(&p.kernel).expect("kernel tag");
+        // `wall_ms` times the greedy compile+simulate only: it is the
+        // cross-PR simulator-throughput metric, and must not absorb the
+        // mapping-search compile time of the delta sweep below.
         let t = Instant::now();
         let r = run_kernel(k.as_ref(), &p.arch, scale, SEED, DEFAULT_MAX_CYCLES)
             .unwrap_or_else(|e| panic!("{} on {}: {e}", p.kernel, p.arch.short));
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let cycles_search = search.then(|| {
+            let mut searched = p.arch.clone();
+            searched.opts.search = SearchBudget::default_on();
+            let rs = run_kernel(k.as_ref(), &searched, scale, SEED, DEFAULT_MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("{} on {} (search): {e}", p.kernel, p.arch.short));
+            rs.cycles
+        });
         Measured {
             kernel: p.kernel.clone(),
             arch: p.arch.short.to_string(),
             cycles: r.cycles,
             fires: r.stats.fires,
-            wall_ms: t.elapsed().as_secs_f64() * 1e3,
+            wall_ms,
+            cycles_search,
         }
     });
     (results, t0.elapsed().as_secs_f64() * 1e3)
@@ -89,6 +103,7 @@ fn main() {
     };
     let serial_only = args.iter().any(|a| a == "--serial");
     let compare = args.iter().any(|a| a == "--compare");
+    let search = !args.iter().any(|a| a == "--no-search");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -99,14 +114,14 @@ fn main() {
 
     let mut serial_wall: Option<f64> = None;
     let (points, wall_ms, mode, used_threads) = if serial_only {
-        let (p, w) = sweep(scale, 1);
+        let (p, w) = sweep(scale, 1, search);
         (p, w, "serial", 1)
     } else {
         if compare {
-            let (_, w) = sweep(scale, 1);
+            let (_, w) = sweep(scale, 1, search);
             serial_wall = Some(w);
         }
-        let (p, w) = sweep(scale, threads);
+        let (p, w) = sweep(scale, threads, search);
         (p, w, "parallel", threads)
     };
 
@@ -129,14 +144,40 @@ fn main() {
         j.push_str(&format!("  \"serial_wall_ms\": {sw:.3},\n"));
         j.push_str(&format!("  \"parallel_speedup\": {:.3},\n", sw / wall_ms));
     }
+    let speedups: Vec<f64> = points
+        .iter()
+        .filter_map(|m| m.cycles_search.map(|cs| m.cycles as f64 / cs as f64))
+        .collect();
+    let search_geomean = marionette::experiments::geomean(&speedups);
+    if search {
+        let improved = speedups.iter().filter(|&&s| s > 1.0).count();
+        let regressed = speedups.iter().filter(|&&s| s < 1.0).count();
+        let greedy_wall: f64 = points.iter().map(|m| m.wall_ms).sum();
+        if let SearchBudget::Anneal {
+            moves, restarts, ..
+        } = SearchBudget::default_on()
+        {
+            j.push_str(&format!(
+                "  \"search\": {{\"moves\": {moves}, \"restarts\": {restarts}, \"geomean_speedup\": {search_geomean:.4}, \"improved\": {improved}, \"regressed\": {regressed}}},\n"
+            ));
+        }
+        // Per-point wall_ms times the greedy run only; this sum is the
+        // comparable simulator-throughput number across snapshots.
+        j.push_str(&format!("  \"greedy_wall_ms\": {greedy_wall:.3},\n"));
+    }
     j.push_str("  \"points\": [\n");
     for (i, m) in points.iter().enumerate() {
+        let search_field = match m.cycles_search {
+            Some(cs) => format!(", \"cycles_search\": {cs}"),
+            None => String::new(),
+        };
         j.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"arch\": \"{}\", \"cycles\": {}, \"fires\": {}, \"wall_ms\": {:.3}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"arch\": \"{}\", \"cycles\": {}, \"fires\": {}{}, \"wall_ms\": {:.3}}}{}\n",
             json_escape(&m.kernel),
             json_escape(&m.arch),
             m.cycles,
             m.fires,
+            search_field,
             m.wall_ms,
             if i + 1 == points.len() { "" } else { "," }
         ));
@@ -149,6 +190,11 @@ fn main() {
         "bench_sim: {} points, {total_cycles} total cycles, {wall_ms:.1} ms wall ({mode}, {used_threads} threads) -> {out_path}",
         points.len()
     );
+    if search {
+        println!(
+            "bench_sim: mapping search geomean cycle speedup {search_geomean:.4} over the greedy baseline"
+        );
+    }
     if let Some(sw) = serial_wall {
         println!(
             "bench_sim: serial {sw:.1} ms vs parallel {wall_ms:.1} ms = {:.2}x speedup",

@@ -1,0 +1,296 @@
+//! Mapping-quality explorer report: greedy vs annealed mapping for every
+//! kernel × architecture point.
+//!
+//! For each point the tool compiles twice — once with the legacy one-shot
+//! pipeline and once with the annealing mapping explorer — simulates
+//! both mappings, and emits a JSON report with the cost-model breakdown,
+//! route statistics, per-route stall attribution and the cycle delta.
+//!
+//! ```text
+//! map_explore [--moves N] [--restarts K] [--seed S] [--kernels A,B]
+//!             [--presets M,vN,...] [--scale tiny|small|paper]
+//!             [--no-sim] [--out PATH]
+//! ```
+//!
+//! `--no-sim` skips the simulations (cost model only), for quick smoke
+//! runs in CI.
+
+use marionette::arch::Architecture;
+use marionette::compiler::explore::greedy_cost;
+use marionette::compiler::{compile, CostModel, SearchBudget, SearchReport};
+use marionette::kernels::traits::Scale;
+use marionette::parallel::{par_map, sweep_threads};
+use marionette::runner::{compile_for_arch, run_kernel, DEFAULT_MAX_CYCLES};
+
+const SEED: u64 = 1;
+
+struct Args {
+    moves: u32,
+    restarts: u32,
+    base_seed: u64,
+    kernels: Option<String>,
+    presets: Option<String>,
+    scale: Scale,
+    simulate: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    let has = |flag: &str| argv.iter().any(|a| a == flag);
+    Args {
+        moves: get("--moves").and_then(|v| v.parse().ok()).unwrap_or(1500),
+        restarts: get("--restarts").and_then(|v| v.parse().ok()).unwrap_or(2),
+        base_seed: get("--seed").and_then(|v| v.parse().ok()).unwrap_or(0xA11E),
+        kernels: get("--kernels"),
+        presets: get("--presets"),
+        scale: match get("--scale").as_deref() {
+            Some("tiny") => Scale::Tiny,
+            Some("paper") => Scale::Paper,
+            _ => Scale::Small,
+        },
+        simulate: !has("--no-sim"),
+        out: get("--out").unwrap_or_else(|| "MAP_explore.json".to_string()),
+    }
+}
+
+struct PointReport {
+    kernel: String,
+    arch: String,
+    nodes: usize,
+    routes: usize,
+    greedy: Side,
+    explored: Side,
+}
+
+#[derive(Default)]
+struct Side {
+    cost_total: f64,
+    latency: f64,
+    congestion: f64,
+    pressure: f64,
+    fanout: f64,
+    mean_data_hops: f64,
+    cycles: Option<u64>,
+    link_stalls: Option<u64>,
+    top_stalled: Vec<(u32, u64)>,
+    accepted: u32,
+    attempted: u32,
+    rerouted: usize,
+    chain_seed: u64,
+}
+
+fn side_of_search(sr: &SearchReport, mean_data_hops: f64) -> Side {
+    Side {
+        cost_total: sr.best_total,
+        latency: sr.best_cost.latency,
+        congestion: sr.best_cost.congestion,
+        pressure: sr.best_cost.pressure,
+        fanout: sr.best_cost.fanout,
+        accepted: sr.accepted,
+        attempted: sr.attempted,
+        rerouted: sr.rerouted,
+        chain_seed: sr.seed,
+        mean_data_hops,
+        ..Side::default()
+    }
+}
+
+fn json_side(s: &Side) -> String {
+    let mut j = format!(
+        "{{\"cost\": {:.3}, \"latency\": {:.3}, \"congestion\": {:.3}, \"pressure\": {:.3}, \"fanout\": {:.1}, \"mean_data_hops\": {:.3}",
+        s.cost_total, s.latency, s.congestion, s.pressure, s.fanout, s.mean_data_hops
+    );
+    if let Some(c) = s.cycles {
+        j.push_str(&format!(", \"cycles\": {c}"));
+    }
+    if let Some(l) = s.link_stalls {
+        j.push_str(&format!(", \"link_stall_cycles\": {l}"));
+        let tops: Vec<String> = s
+            .top_stalled
+            .iter()
+            .map(|(r, c)| format!("[{r}, {c}]"))
+            .collect();
+        j.push_str(&format!(", \"top_stalled_routes\": [{}]", tops.join(", ")));
+    }
+    if s.attempted > 0 {
+        j.push_str(&format!(
+            ", \"accepted\": {}, \"attempted\": {}, \"rerouted\": {}, \"chain_seed\": {}",
+            s.accepted, s.attempted, s.rerouted, s.chain_seed
+        ));
+    }
+    j.push('}');
+    j
+}
+
+fn main() {
+    let args = parse_args();
+    let archs: Vec<Architecture> = match &args.presets {
+        None => marionette::arch::all_presets(),
+        Some(tags) => {
+            let all = marionette::arch::all_presets();
+            tags.split(',')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .map(|t| {
+                    all.iter()
+                        .find(|a| a.short.eq_ignore_ascii_case(t))
+                        .unwrap_or_else(|| {
+                            eprintln!("map_explore: unknown preset {t}");
+                            std::process::exit(2);
+                        })
+                        .clone()
+                })
+                .collect()
+        }
+    };
+    let mut tags: Vec<String> = marionette::kernels::all()
+        .iter()
+        .map(|k| k.short().to_string())
+        .collect();
+    tags.push("LDPC-APP".to_string());
+    if let Some(filter) = &args.kernels {
+        let want: Vec<String> = filter
+            .split(',')
+            .map(|s| s.trim().to_uppercase())
+            .filter(|s| !s.is_empty())
+            .collect();
+        tags.retain(|t| want.iter().any(|w| w == &t.to_uppercase()));
+        if tags.is_empty() {
+            eprintln!("map_explore: no kernels match --kernels {filter}");
+            std::process::exit(2);
+        }
+    }
+    let budget = SearchBudget::Anneal {
+        moves: args.moves,
+        restarts: args.restarts,
+        base_seed: args.base_seed,
+    };
+
+    let points: Vec<(String, Architecture)> = tags
+        .iter()
+        .flat_map(|t| archs.iter().map(move |a| (t.clone(), a.clone())))
+        .collect();
+    let scale = args.scale;
+    let simulate = args.simulate;
+    let reports = par_map(points, sweep_threads(), |(tag, arch)| {
+        let k = marionette::kernels::by_short(&tag).expect("kernel tag");
+        let cm = CostModel::from_timing(&arch.tm);
+        let wl = k.workload(scale, SEED);
+        let g = k.build(&wl).expect("suite kernels build");
+        // The explorer's cost of the greedy mapping, for a like-for-like
+        // cost comparison with the searched side.
+        let gc = greedy_cost(&g, &arch.opts, &cm).expect("greedy cost");
+        let mut g_side = Side {
+            cost_total: gc.total(&cm),
+            latency: gc.latency,
+            congestion: gc.congestion,
+            pressure: gc.pressure,
+            fanout: gc.fanout,
+            ..Side::default()
+        };
+        let mut searched = arch.clone();
+        searched.opts.search = budget;
+        let (routes, e_side) = if simulate {
+            // Greedy side: the preset as shipped (search off).
+            let gr = run_kernel(k.as_ref(), &arch, scale, SEED, DEFAULT_MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("{tag} on {} (greedy): {e}", arch.short));
+            g_side.mean_data_hops = gr.report.mean_data_hops;
+            g_side.cycles = Some(gr.cycles);
+            g_side.link_stalls = Some(gr.stats.link_stall_cycles);
+            g_side.top_stalled = gr.stats.top_stalled_routes(3);
+            let run = run_kernel(k.as_ref(), &searched, scale, SEED, DEFAULT_MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("{tag} on {} (search): {e}", arch.short));
+            assert!(run.verified, "explored mapping must stay bit-correct");
+            let sr = run.report.search.as_ref().expect("searched compile");
+            let mut e = side_of_search(sr, run.report.mean_data_hops);
+            e.cycles = Some(run.cycles);
+            e.link_stalls = Some(run.stats.link_stall_cycles);
+            e.top_stalled = run.stats.top_stalled_routes(3);
+            (run.report.routes, e)
+        } else {
+            // --no-sim: compile both sides only (cost model smoke).
+            let (_, grep) = compile(&g, &arch.opts)
+                .unwrap_or_else(|e| panic!("{tag} on {} (greedy): {e}", arch.short));
+            g_side.mean_data_hops = grep.mean_data_hops;
+            let (_, erep) = compile_for_arch(&g, &searched)
+                .unwrap_or_else(|e| panic!("{tag} on {} (search): {e}", arch.short));
+            let sr = erep.search.as_ref().expect("searched compile");
+            (erep.routes, side_of_search(sr, erep.mean_data_hops))
+        };
+        PointReport {
+            kernel: tag,
+            arch: arch.short.to_string(),
+            nodes: g.nodes.len(),
+            routes,
+            greedy: g_side,
+            explored: e_side,
+        }
+    });
+
+    let mut speedups: Vec<f64> = Vec::new();
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"marionette.map_explore/v1\",\n");
+    j.push_str(&format!(
+        "  \"budget\": {{\"moves\": {}, \"restarts\": {}, \"base_seed\": {}}},\n",
+        args.moves, args.restarts, args.base_seed
+    ));
+    j.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match args.scale {
+            Scale::Tiny => "tiny",
+            Scale::Paper => "paper",
+            _ => "small",
+        }
+    ));
+    j.push_str(&format!("  \"simulated\": {},\n", args.simulate));
+    j.push_str("  \"points\": [\n");
+    for (i, p) in reports.iter().enumerate() {
+        let mut line = format!(
+            "    {{\"kernel\": \"{}\", \"arch\": \"{}\", \"nodes\": {}, \"routes\": {}, \"greedy\": {}, \"explored\": {}",
+            p.kernel,
+            p.arch,
+            p.nodes,
+            p.routes,
+            json_side(&p.greedy),
+            json_side(&p.explored)
+        );
+        if let (Some(gc), Some(ec)) = (p.greedy.cycles, p.explored.cycles) {
+            let sp = gc as f64 / ec as f64;
+            speedups.push(sp);
+            line.push_str(&format!(", \"cycle_speedup\": {sp:.4}"));
+        }
+        line.push('}');
+        line.push_str(if i + 1 == reports.len() { "\n" } else { ",\n" });
+        j.push_str(&line);
+    }
+    j.push_str("  ],\n");
+    let gm = marionette::experiments::geomean(&speedups);
+    j.push_str(&format!("  \"geomean_cycle_speedup\": {gm:.4}\n"));
+    j.push_str("}\n");
+    std::fs::write(&args.out, &j).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+
+    let improved = speedups.iter().filter(|&&s| s > 1.0).count();
+    let regressed = speedups.iter().filter(|&&s| s < 1.0).count();
+    println!(
+        "map_explore: {} points ({} kernels x {} presets), budget {}x{} moves -> {}",
+        reports.len(),
+        tags.len(),
+        archs.len(),
+        args.restarts,
+        args.moves,
+        args.out
+    );
+    if args.simulate {
+        println!(
+            "map_explore: geomean cycle speedup {gm:.4} ({improved} improved, {regressed} regressed)"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Mapping cost model: scores a candidate placement without simulating.
+//!
+//! The mapping explorer (`crate::explore`) needs a cheap, monotonic
+//! proxy for simulated cycles. This module derives one from the same
+//! quantities the cycle-level simulator charges for:
+//!
+//! - **route latency**: every mesh-riding token pays
+//!   `hops × link_latency` ([`marionette_sim::TimingModel::link_latency`]);
+//!   control tokens pay it only when control shares the mesh
+//!   ([`marionette_sim::CtrlTransport::Mesh`]);
+//! - **congestion**: one flit per directed link per cycle — overlapping
+//!   routes stall ([`marionette_sim::RunStats::link_stall_cycles`] in the simulator). The
+//!   model charges a quadratic penalty on expected per-link load, with
+//!   each edge weighted by an estimated firing frequency (deeper loop
+//!   nests fire more);
+//! - **group window pressure**: the densest PE of a mapping group bounds
+//!   the group's initiation interval, so the model penalizes the sum of
+//!   per-group maximum loads (the same `PE_waste` pressure Fig 8
+//!   reshapes against);
+//! - **control fan-out**: distinct destination tiles per control source
+//!   consume CS-Benes broadcast lines (`marionette_net` feasibility), so
+//!   fan-out carries a small penalty when the dedicated network is used.
+//!
+//! Weights come from a [`TimingModel`] via [`CostModel::from_timing`];
+//! [`CostModel::neutral`] gives placement-search defaults when no timing
+//! model is in scope (e.g. the pure-`CompileOptions` entry point).
+
+use marionette_cdfg::graph::Cdfg;
+use marionette_sim::{CtrlTransport, TimingModel};
+
+/// Weight set of the mapping cost function.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Cycles per mesh hop (data tokens; and control tokens when
+    /// [`CostModel::ctrl_on_mesh`]).
+    pub link_latency: f64,
+    /// Whether control-class routes ride the mesh (and therefore pay hop
+    /// latency and congestion) instead of the dedicated network.
+    pub ctrl_on_mesh: bool,
+    /// Weight on the quadratic per-link congestion term.
+    pub congestion_weight: f64,
+    /// Weight on the per-group maximum-PE-load (window pressure) term.
+    pub pressure_weight: f64,
+    /// Weight on control fan-out (distinct destination tiles per control
+    /// source) when the dedicated control network is used.
+    pub fanout_weight: f64,
+    /// Base of the per-loop-depth firing-frequency estimate: an edge at
+    /// loop depth `d` is weighted `depth_base^d` (capped).
+    pub depth_base: f64,
+}
+
+impl CostModel {
+    /// Placement-search defaults when no timing model is available:
+    /// unit-latency mesh shared by control and data (the conservative
+    /// assumption — hops always matter).
+    pub fn neutral() -> Self {
+        CostModel {
+            link_latency: 1.0,
+            ctrl_on_mesh: true,
+            congestion_weight: 0.5,
+            pressure_weight: 2.0,
+            fanout_weight: 0.05,
+            depth_base: 3.0,
+        }
+    }
+
+    /// Derives weights from an architecture's timing model: hop cost from
+    /// `link_latency`, control transport from `ctrl_transport`, and a
+    /// congestion weight scaled by how much in-flight traffic the model
+    /// permits (tight `route_inflight_cap`s stall sooner).
+    pub fn from_timing(tm: &TimingModel) -> Self {
+        let ctrl_on_mesh = matches!(tm.ctrl_transport, CtrlTransport::Mesh);
+        CostModel {
+            link_latency: f64::from(tm.link_latency),
+            ctrl_on_mesh,
+            congestion_weight: 0.5 + 2.0 / tm.route_inflight_cap.max(1) as f64,
+            pressure_weight: 2.0,
+            fanout_weight: if ctrl_on_mesh { 0.0 } else { 0.05 },
+            depth_base: 3.0,
+        }
+    }
+
+    /// Firing-frequency estimate of a node's block at loop depth `depth`
+    /// (`0` = top level), used to weight that node's edges in the
+    /// congestion term.
+    pub fn freq_weight(&self, depth: u32) -> f64 {
+        self.depth_base.powi(depth.min(8) as i32)
+    }
+}
+
+/// Per-block flag: blocks hosting a loop-control cluster (they contain a
+/// `Carry` operator). The simulator folds each such block into one *loop
+/// unit* whose internal edges are combinational — see
+/// [`is_cluster_internal`].
+pub fn header_blocks(g: &Cdfg) -> Vec<bool> {
+    let max_bb = g
+        .nodes
+        .iter()
+        .map(|n| n.bb.0 as usize + 1)
+        .max()
+        .unwrap_or(1);
+    let mut header_bb = vec![false; max_bb];
+    for n in &g.nodes {
+        if matches!(n.op, marionette_cdfg::Op::Carry) {
+            header_bb[n.bb.0 as usize] = true;
+        }
+    }
+    header_bb
+}
+
+/// True when the edge `src -> dst` is internal to a loop-header cluster:
+/// the simulator forwards it combinationally inside one loop unit (no
+/// flit is ever sent), so it carries no mapping cost and must not seed
+/// the congestion-aware router's load map either.
+pub fn is_cluster_internal(g: &Cdfg, header_bb: &[bool], src: usize, dst: usize) -> bool {
+    header_bb[g.nodes[src].bb.0 as usize]
+        && g.nodes[src].bb == g.nodes[dst].bb
+        && !g.nodes[dst].op.is_memory()
+}
+
+/// Loop depth of every node's basic block (`0` = outside any loop).
+pub fn node_depths(g: &Cdfg) -> Vec<u32> {
+    g.nodes
+        .iter()
+        .map(|n| match g.block(n.bb).loop_id {
+            Some(l) => g.loop_info(l).depth,
+            None => 0,
+        })
+        .collect()
+}
+
+/// Decomposed cost of one candidate mapping.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MappingCost {
+    /// Σ route hop latency (frequency-weighted).
+    pub latency: f64,
+    /// Σ per-link quadratic congestion.
+    pub congestion: f64,
+    /// Σ per-group maximum PE load.
+    pub pressure: f64,
+    /// Control fan-out demanded of the CS-Benes network.
+    pub fanout: f64,
+}
+
+impl MappingCost {
+    /// The scalar the annealer minimizes.
+    pub fn total(&self, cm: &CostModel) -> f64 {
+        self.latency
+            + cm.congestion_weight * self.congestion
+            + cm.pressure_weight * self.pressure
+            + cm.fanout_weight * self.fanout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_timing_tracks_transport() {
+        let mut tm = TimingModel::ideal("x");
+        tm.ctrl_transport = CtrlTransport::Mesh;
+        tm.link_latency = 2;
+        let cm = CostModel::from_timing(&tm);
+        assert!(cm.ctrl_on_mesh);
+        assert_eq!(cm.link_latency, 2.0);
+        tm.ctrl_transport = CtrlTransport::CtrlNetwork { latency: 1 };
+        assert!(!CostModel::from_timing(&tm).ctrl_on_mesh);
+    }
+
+    #[test]
+    fn totals_compose() {
+        let cm = CostModel::neutral();
+        let c = MappingCost {
+            latency: 10.0,
+            congestion: 4.0,
+            pressure: 3.0,
+            fanout: 2.0,
+        };
+        let t = c.total(&cm);
+        assert!((t - (10.0 + 0.5 * 4.0 + 2.0 * 3.0 + 0.05 * 2.0)).abs() < 1e-12);
+        assert!(cm.freq_weight(2) > cm.freq_weight(1));
+    }
+}

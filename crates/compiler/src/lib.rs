@@ -1,27 +1,38 @@
 //! # marionette-compiler
 //!
 //! The mapping pipeline of the Marionette stack: a CDFG program becomes a
-//! placed, routed and configured [`MachineProgram`]:
+//! placed, routed and configured [`marionette_isa::MachineProgram`]:
 //!
-//! 1. [`place`]: the Marionette scheduling algorithm (Fig 8) — mapping
+//! 1. [`place()`]: the Marionette scheduling algorithm (Fig 8) — mapping
 //!    groups per loop level, innermost first, with reshape/time-extension
 //!    minimizing `PE_waste` (**Agile PE Assignment**), or whole-array
 //!    time multiplexing for baseline architectures;
-//! 2. [`route`]: dimension-ordered mesh paths for data edges; control
+//! 2. [`route()`]: dimension-ordered mesh paths for data edges; control
 //!    edges classed for the CS-Benes control network, with a static
 //!    feasibility check of the multicast sets;
-//! 3. [`compile`]: operand selector resolution, per-PE instruction buffer
+//! 3. [`compile()`]: operand selector resolution, per-PE instruction buffer
 //!    generation with Control Flow Sender modes (DFG / Branch / Loop,
 //!    Fig 7a), and a [`CompileReport`] the evaluation harness consumes.
+//!
+//! A nonzero [`SearchBudget`] replaces steps 1–2 with the iterative
+//! **mapping explorer**: simulated-annealing placement search under a
+//! timing-derived [`cost::CostModel`] ([`explore`]) plus congestion-aware
+//! rip-up-and-reroute ([`route::route_congestion_aware`]). The default
+//! ([`SearchBudget::Off`]) keeps the one-shot pipeline bit-compatible
+//! with the seed mappings.
 
 #![warn(missing_docs)]
 
+pub mod cost;
+pub mod explore;
 pub mod options;
 pub mod pipeline;
 pub mod place;
 pub mod route;
 
-pub use options::{CompileOptions, CtrlPlacement, MemPlacement, SplitFabric};
-pub use pipeline::{compile, CompileReport};
+pub use cost::{CostModel, MappingCost};
+pub use explore::{explore_chain, select_best, ExploreResult, SearchReport};
+pub use options::{CompileOptions, CtrlPlacement, MemPlacement, SearchBudget, SplitFabric};
+pub use pipeline::{compile, compile_with_timing, finalize_explored, CompileReport};
 pub use place::{place, PlaceError, PlacementResult};
 pub use route::route;

@@ -43,6 +43,65 @@ pub struct SplitFabric {
     pub dataflow_pes: usize,
 }
 
+/// Iteration budget of the annealing mapping explorer.
+///
+/// [`SearchBudget::Off`] selects the legacy one-shot pipeline (greedy
+/// placement + dimension-ordered routing) and is **bit-compatible** with
+/// the seed mappings, so experiments stay reproducible across PRs. Any
+/// nonzero budget replaces the one-shot result with the best of
+/// `restarts` independent simulated-annealing chains of `moves`
+/// perturbations each (see `crate::explore`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchBudget {
+    /// Legacy one-shot greedy placement and XY routing.
+    Off,
+    /// Simulated-annealing search over placements, plus congestion-aware
+    /// rip-up-and-reroute of the winning placement.
+    Anneal {
+        /// Annealing moves per restart chain.
+        moves: u32,
+        /// Independent restart chains (best-of-N selection; chain `i`
+        /// perturbs with RNG seed `base_seed + i`).
+        restarts: u32,
+        /// Base RNG seed: the whole search is a pure function of
+        /// `(program, options)` including this value.
+        base_seed: u64,
+    },
+}
+
+impl SearchBudget {
+    /// A default budget sized for the 4×4 fabric: two restart chains of
+    /// 1500 moves each — enough to close most of the observable mapping
+    /// headroom on the evaluation kernels without dominating compile
+    /// time (a whole kernel×preset sweep re-compiles in ~1 s).
+    pub fn default_on() -> Self {
+        SearchBudget::Anneal {
+            moves: 1500,
+            restarts: 2,
+            base_seed: 0xA11E,
+        }
+    }
+
+    /// True when any search will run.
+    pub fn is_on(&self) -> bool {
+        !matches!(self, SearchBudget::Off)
+    }
+
+    /// The per-chain seeds this budget fans out over (empty when off).
+    pub fn chain_seeds(&self) -> Vec<u64> {
+        match *self {
+            SearchBudget::Off => Vec::new(),
+            SearchBudget::Anneal {
+                restarts,
+                base_seed,
+                ..
+            } => (0..u64::from(restarts.max(1)))
+                .map(|i| base_seed.wrapping_add(i))
+                .collect(),
+        }
+    }
+}
+
 /// Static mapping policy for one architecture.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CompileOptions {
@@ -64,6 +123,9 @@ pub struct CompileOptions {
     /// Instruction buffer depth: maximum resident operators per PE per
     /// configuration.
     pub slots_per_pe: usize,
+    /// Mapping-search budget ([`SearchBudget::Off`] = legacy one-shot
+    /// pipeline, bit-compatible with the seed mappings).
+    pub search: SearchBudget,
 }
 
 impl CompileOptions {
@@ -77,6 +139,7 @@ impl CompileOptions {
             agile: true,
             split: None,
             slots_per_pe: 16,
+            search: SearchBudget::Off,
         }
     }
 
@@ -102,5 +165,20 @@ mod tests {
         assert_eq!(o.pe_count(), 16);
         assert!(o.agile);
         assert_eq!(o.ctrl, CtrlPlacement::CtrlPlane);
+        assert_eq!(o.search, SearchBudget::Off);
+    }
+
+    #[test]
+    fn budget_seeds() {
+        assert!(SearchBudget::Off.chain_seeds().is_empty());
+        assert!(!SearchBudget::Off.is_on());
+        let b = SearchBudget::Anneal {
+            moves: 10,
+            restarts: 3,
+            base_seed: 100,
+        };
+        assert!(b.is_on());
+        assert_eq!(b.chain_seeds(), vec![100, 101, 102]);
+        assert!(SearchBudget::default_on().is_on());
     }
 }

@@ -1,15 +1,30 @@
 //! The compile driver: CDFG → placed, routed, configured
 //! [`MachineProgram`] plus a [`CompileReport`].
+//!
+//! Two pipelines share the configuration-generation tail:
+//!
+//! - **legacy** ([`SearchBudget::Off`]): one-shot greedy placement +
+//!   XY routing — bit-compatible with the seed mappings;
+//! - **explored** (any other budget): the annealing mapping explorer of
+//!   [`crate::explore`] plus the congestion-aware rip-up router, scored
+//!   by a [`CostModel`] (derive one from the architecture's timing model
+//!   with [`compile_with_timing`]).
 
-use crate::options::CompileOptions;
+use crate::cost::CostModel;
+use crate::explore::{explore, ExploreResult, SearchReport};
+use crate::options::{CompileOptions, SearchBudget};
 use crate::place::{place, PlaceError, PlacementResult};
-use crate::route::route;
+use crate::route::{route, route_congestion_aware, RoutingResult};
 use marionette_cdfg::graph::{BlockKind, Cdfg, PortSrc};
 use marionette_isa::{
     ArrayInfo, BbConfig, CtrlMode, MachineProgram, NodeConfig, OperandSrc, ParamInfo, PeConfig,
 };
 use marionette_net::Mesh;
+use marionette_sim::TimingModel;
 use std::collections::BTreeMap;
+
+/// Rip-up passes of the congestion-aware router on explored mappings.
+const REROUTE_PASSES: usize = 2;
 
 /// Compilation statistics, consumed by the evaluation harness.
 #[derive(Clone, Debug, Default)]
@@ -32,9 +47,16 @@ pub struct CompileReport {
     pub ctrl_fanout: usize,
     /// Mean mesh hop count over data routes.
     pub mean_data_hops: f64,
+    /// Mapping-search summary (`None` on the legacy one-shot pipeline).
+    pub search: Option<SearchReport>,
 }
 
 /// Compiles a CDFG for the given options.
+///
+/// With a nonzero [`CompileOptions::search`] budget the mapping explorer
+/// runs under the transport-neutral [`CostModel::neutral`] weights; use
+/// [`compile_with_timing`] to score with an architecture's actual timing
+/// model.
 ///
 /// # Errors
 /// Returns [`PlaceError`] when the program cannot fit on the fabric.
@@ -42,10 +64,74 @@ pub fn compile(
     g: &Cdfg,
     opts: &CompileOptions,
 ) -> Result<(MachineProgram, CompileReport), PlaceError> {
+    match opts.search {
+        SearchBudget::Off => compile_greedy(g, opts),
+        _ => compile_with_cost(g, opts, &CostModel::neutral()),
+    }
+}
+
+/// Compiles with mapping-search weights derived from `tm` (falls back to
+/// the legacy pipeline when the search budget is off).
+///
+/// # Errors
+/// Returns [`PlaceError`] when the program cannot fit on the fabric.
+pub fn compile_with_timing(
+    g: &Cdfg,
+    opts: &CompileOptions,
+    tm: &TimingModel,
+) -> Result<(MachineProgram, CompileReport), PlaceError> {
+    match opts.search {
+        SearchBudget::Off => compile_greedy(g, opts),
+        _ => compile_with_cost(g, opts, &CostModel::from_timing(tm)),
+    }
+}
+
+/// The legacy one-shot pipeline (greedy place + XY route), bit-compatible
+/// with the seed mappings.
+fn compile_greedy(
+    g: &Cdfg,
+    opts: &CompileOptions,
+) -> Result<(MachineProgram, CompileReport), PlaceError> {
     let mesh = Mesh::new(opts.rows, opts.cols);
     let pl: PlacementResult = place(g, opts)?;
     let rr = route(g, &pl.places, &mesh);
+    Ok(build_program(g, opts, pl, rr, None))
+}
 
+/// The explored pipeline under an explicit cost model.
+fn compile_with_cost(
+    g: &Cdfg,
+    opts: &CompileOptions,
+    cm: &CostModel,
+) -> Result<(MachineProgram, CompileReport), PlaceError> {
+    let ex = explore(g, opts, cm)?.expect("nonzero search budget");
+    Ok(finalize_explored(g, opts, cm, ex))
+}
+
+/// Routes an explorer-chosen placement with the congestion-aware router
+/// and generates the configuration. Exposed so the runner can fan the
+/// annealing chains out across threads and finalize the winner itself.
+pub fn finalize_explored(
+    g: &Cdfg,
+    opts: &CompileOptions,
+    cm: &CostModel,
+    ex: ExploreResult,
+) -> (MachineProgram, CompileReport) {
+    let mesh = Mesh::new(opts.rows, opts.cols);
+    let (rr, moved) = route_congestion_aware(g, &ex.placement.places, &mesh, cm, REROUTE_PASSES);
+    let mut sr = ex.report;
+    sr.rerouted = moved;
+    build_program(g, opts, ex.placement, rr, Some(sr))
+}
+
+/// Configuration generation: the shared tail of both pipelines.
+fn build_program(
+    g: &Cdfg,
+    opts: &CompileOptions,
+    pl: PlacementResult,
+    rr: RoutingResult,
+    search: Option<SearchReport>,
+) -> (MachineProgram, CompileReport) {
     // Node configurations with operand selectors.
     let mut nodes = Vec::with_capacity(g.nodes.len());
     for (i, n) in g.iter_nodes() {
@@ -157,8 +243,9 @@ pub fn compile(
                 .sum::<usize>() as f64
                 / data_routes.len() as f64
         },
+        search,
     };
-    Ok((program, report))
+    (program, report)
 }
 
 #[cfg(test)]

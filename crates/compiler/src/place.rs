@@ -107,7 +107,7 @@ fn is_innermost(g: &Cdfg, l: usize) -> bool {
 
 /// True when the node consumes a PE data-plane issue slot under the given
 /// options.
-fn takes_pe_slot(op: Op, opts: &CompileOptions) -> bool {
+pub(crate) fn takes_pe_slot(op: Op, opts: &CompileOptions) -> bool {
     match op {
         Op::Sink | Op::Start => false,
         o if o.is_control() => opts.ctrl == CtrlPlacement::PeSlots,
@@ -118,7 +118,7 @@ fn takes_pe_slot(op: Op, opts: &CompileOptions) -> bool {
 
 /// Fractional issue weight: branch-side operators fire exclusively, so
 /// deeper hammock sides weigh less.
-fn node_weight(g: &Cdfg, nidx: usize) -> f64 {
+pub(crate) fn node_weight(g: &Cdfg, nidx: usize) -> f64 {
     let bd = g.block(g.nodes[nidx].bb).branch_depth;
     1.0 / f64::from(1u32 << bd.min(8))
 }

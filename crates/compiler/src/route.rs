@@ -66,25 +66,20 @@ pub struct RoutingResult {
     pub ctrl_fanout: usize,
 }
 
-/// Tile of a placement (memory stream units live along the top edge).
-fn tile_of(p: Placement, _mesh: &Mesh) -> usize {
-    match p {
-        Placement::Pe { pe } | Placement::CtrlPlane { pe } => pe as usize,
-        Placement::NetSwitch { sw } => sw as usize,
-        Placement::MemUnit { unit } => unit as usize, // top-row tiles
-    }
-}
-
-/// Routes every node-sourced edge of the program.
-pub fn route(g: &Cdfg, places: &[Placement], mesh: &Mesh) -> RoutingResult {
+/// Builds the route table with XY paths (shared by both routers).
+fn build_routes(
+    g: &Cdfg,
+    places: &[Placement],
+    mesh: &Mesh,
+) -> (Vec<Route>, HashMap<(u32, u8), u32>) {
     let mut routes = Vec::new();
     let mut port_route = HashMap::new();
     let entries = entry_steers(g);
     for (i, n) in g.nodes.iter().enumerate() {
         for (port, src) in n.inputs.iter().enumerate() {
             let PortSrc::Node(p) = src else { continue };
-            let src_tile = tile_of(places[p.0 as usize], mesh);
-            let dst_tile = tile_of(places[i], mesh);
+            let src_tile = places[p.0 as usize].tile() as usize;
+            let dst_tile = places[i].tile() as usize;
             let class = if is_ctrl_port(n.op, port) || g.node(*p).op.is_control() {
                 RouteClass::Ctrl
             } else {
@@ -116,11 +111,15 @@ pub fn route(g: &Cdfg, places: &[Placement], mesh: &Mesh) -> RoutingResult {
             port_route.insert((i as u32, port as u8), id);
         }
     }
+    (routes, port_route)
+}
 
-    // Control-network feasibility: group ctrl routes by source tile and
-    // collect distinct destination tiles.
+/// Control-network feasibility: groups ctrl routes by source tile,
+/// collects distinct destination tiles, and checks the multicast sets
+/// against the CS-Benes capacity.
+fn ctrl_feasibility(routes: &[Route], mesh: &Mesh) -> (bool, usize) {
     let mut casts: HashMap<usize, std::collections::BTreeSet<usize>> = HashMap::new();
-    for r in &routes {
+    for r in routes {
         if r.class == RouteClass::Ctrl {
             let s = *r.path.first().unwrap() as usize;
             let d = *r.path.last().unwrap() as usize;
@@ -141,13 +140,152 @@ pub fn route(g: &Cdfg, places: &[Placement], mesh: &Mesh) -> RoutingResult {
         .map(|(&s, d)| (s, d.iter().copied().collect()))
         .collect();
     let ctrl_net_fits = net.route(&cast_vec).is_ok() || ctrl_fanout <= lines;
+    (ctrl_net_fits, ctrl_fanout)
+}
 
+/// Routes every node-sourced edge of the program.
+pub fn route(g: &Cdfg, places: &[Placement], mesh: &Mesh) -> RoutingResult {
+    let (routes, port_route) = build_routes(g, places, mesh);
+    let (ctrl_net_fits, ctrl_fanout) = ctrl_feasibility(&routes, mesh);
     RoutingResult {
         routes,
         port_route,
         ctrl_net_fits,
         ctrl_fanout,
     }
+}
+
+/// Congestion-aware rip-up-and-reroute: starts from the XY route table
+/// and iteratively re-chooses each multi-hop route between its two
+/// dimension orders (XY / YX) to minimize quadratic link load, weighting
+/// each route by the cost model's firing-frequency estimate. The pass
+/// structure is deterministic (route-table order, XY on ties), so the
+/// result is a pure function of the placement.
+///
+/// Returns the routing plus how many routes ended up off the XY default.
+pub fn route_congestion_aware(
+    g: &Cdfg,
+    places: &[Placement],
+    mesh: &Mesh,
+    cm: &crate::cost::CostModel,
+    passes: usize,
+) -> (RoutingResult, usize) {
+    let (mut routes, port_route) = build_routes(g, places, mesh);
+    let depths = crate::cost::node_depths(g);
+    // Loop-unit-internal edges are combinational in the simulator (no
+    // flit is ever sent): they must neither seed the load map nor be
+    // rerouted, exactly as the explorer's cost model excludes them.
+    let header_bb = crate::cost::header_blocks(g);
+    let carries_flits = |r: &Route| -> bool {
+        !crate::cost::is_cluster_internal(g, &header_bb, r.src as usize, r.dst as usize)
+    };
+
+    // Candidates: multi-hop routes that actually ride the mesh, with
+    // both dimension-order paths and a traffic weight.
+    struct Cand {
+        route: usize,
+        w: f64,
+        xy: Vec<u16>,
+        yx: Vec<u16>,
+        use_yx: bool,
+    }
+    let mut cands: Vec<Cand> = Vec::new();
+    for (ri, r) in routes.iter().enumerate() {
+        if r.path.len() <= 2 {
+            continue; // 0/1 hop: both orders identical
+        }
+        if r.class == RouteClass::Ctrl && !cm.ctrl_on_mesh {
+            continue; // rides the dedicated network; path is irrelevant
+        }
+        if !carries_flits(r) {
+            continue; // loop-unit internal register, never on the mesh
+        }
+        let (s, d) = (r.path[0] as usize, *r.path.last().unwrap() as usize);
+        let w = cm.freq_weight(depths[r.src as usize].min(depths[r.dst as usize]));
+        cands.push(Cand {
+            route: ri,
+            w,
+            xy: mesh.path_tiles(s, d),
+            yx: mesh.path_tiles_yx(s, d),
+            use_yx: false,
+        });
+    }
+
+    let mut load = vec![0.0f64; mesh.link_id_space()];
+    let path_links = |mesh: &Mesh, path: &[u16], f: &mut dyn FnMut(usize)| {
+        for w in path.windows(2) {
+            let mut done = false;
+            mesh.for_each_xy_link(w[0] as usize, w[1] as usize, |l| {
+                debug_assert!(!done, "adjacent tiles yield one link");
+                done = true;
+                f(l.0 as usize);
+            });
+        }
+    };
+    // Seed the load map from *every* mesh-riding route: single-hop
+    // routes cannot change dimension order, but they still congest the
+    // links the candidates are scored against — omitting them would let
+    // a rip-up move traffic onto an already-saturated link it cannot
+    // see.
+    let mut is_cand = vec![false; routes.len()];
+    for c in &cands {
+        is_cand[c.route] = true;
+    }
+    for (ri, r) in routes.iter().enumerate() {
+        if is_cand[ri] || r.path.len() < 2 {
+            continue;
+        }
+        if r.class == RouteClass::Ctrl && !cm.ctrl_on_mesh {
+            continue;
+        }
+        if !carries_flits(r) {
+            continue;
+        }
+        let w = cm.freq_weight(depths[r.src as usize].min(depths[r.dst as usize]));
+        path_links(mesh, &r.path, &mut |l| load[l] += w);
+    }
+    for c in &cands {
+        path_links(mesh, &c.xy, &mut |l| load[l] += c.w);
+    }
+    // Rip-up passes: re-choose each candidate against the current loads.
+    let mut moved = 0usize;
+    for _ in 0..passes.max(1) {
+        moved = 0;
+        for c in cands.iter_mut() {
+            let w = c.w;
+            let cur: &[u16] = if c.use_yx { &c.yx } else { &c.xy };
+            path_links(mesh, cur, &mut |l| load[l] -= w);
+            let score = |path: &[u16], load: &[f64]| -> f64 {
+                let mut s = 0.0;
+                path_links(mesh, path, &mut |l| s += (load[l] + w) * (load[l] + w));
+                s
+            };
+            // Ties keep XY, the bit-stable default.
+            let use_yx = score(&c.yx, &load) + 1e-12 < score(&c.xy, &load);
+            c.use_yx = use_yx;
+            let new: &[u16] = if use_yx { &c.yx } else { &c.xy };
+            path_links(mesh, new, &mut |l| load[l] += w);
+            if use_yx {
+                moved += 1;
+            }
+        }
+    }
+    for c in &cands {
+        if c.use_yx {
+            routes[c.route].path = c.yx.clone();
+        }
+    }
+
+    let (ctrl_net_fits, ctrl_fanout) = ctrl_feasibility(&routes, mesh);
+    (
+        RoutingResult {
+            routes,
+            port_route,
+            ctrl_net_fits,
+            ctrl_fanout,
+        },
+        moved,
+    )
 }
 
 #[cfg(test)]

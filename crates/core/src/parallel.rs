@@ -7,8 +7,17 @@
 //! so long-running points (e.g. GEMM on a von Neumann model) do not
 //! serialize behind short ones.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    /// True on a thread that is already executing inside a [`par_map`]
+    /// worker: a nested `par_map` (e.g. the runner fanning annealing
+    /// chains out from within a sweep point) runs inline instead of
+    /// oversubscribing the machine with worker-per-worker threads.
+    static IN_SWEEP_WORKER: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Number of worker threads a sweep should use: the
 /// `MARIONETTE_THREADS` environment variable when set (a value of `1`
@@ -31,7 +40,10 @@ pub fn sweep_threads() -> usize {
 /// Items are claimed dynamically (atomic cursor), so an uneven cost
 /// distribution still load-balances. With `threads <= 1` (or a single
 /// item) the map runs inline on the caller's thread, which keeps
-/// deterministic single-threaded debugging trivial.
+/// deterministic single-threaded debugging trivial. A `par_map` called
+/// from inside another `par_map`'s worker also runs inline: the outer
+/// sweep already owns the machine's cores, and results are
+/// order-preserving either way.
 ///
 /// # Panics
 /// Propagates a panic from `f` (the scope joins all workers first).
@@ -42,7 +54,22 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    if threads <= 1 || n <= 1 {
+    if threads <= 1 {
+        // An explicitly-serial sweep must stay serial all the way down:
+        // mark this thread as a worker for the duration so nested
+        // par_map calls (e.g. the runner's annealing-chain fan-out)
+        // cannot spawn threads behind a `threads = 1` request.
+        let prev = IN_SWEEP_WORKER.with(|w| w.replace(true));
+        struct Reset(bool);
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                IN_SWEEP_WORKER.with(|w| w.set(self.0));
+            }
+        }
+        let _reset = Reset(prev);
+        return items.into_iter().map(f).collect();
+    }
+    if n <= 1 || IN_SWEEP_WORKER.with(Cell::get) {
         return items.into_iter().map(f).collect();
     }
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
@@ -50,14 +77,17 @@ where
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..threads.min(n) {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            s.spawn(|| {
+                IN_SWEEP_WORKER.with(|w| w.set(true));
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().unwrap().take().expect("item claimed once");
+                    let r = f(item);
+                    *results[i].lock().unwrap() = Some(r);
                 }
-                let item = slots[i].lock().unwrap().take().expect("item claimed once");
-                let r = f(item);
-                *results[i].lock().unwrap() = Some(r);
             });
         }
     });
@@ -109,5 +139,20 @@ mod tests {
         // Can't set env safely in parallel tests; just sanity-check the
         // default is at least one.
         assert!(sweep_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline_and_preserves_results() {
+        let xs: Vec<u64> = (0..16).collect();
+        let ys = par_map(xs, 4, |x| {
+            // Inner fan-out from a worker thread must not spawn another
+            // thread layer; results are identical either way.
+            let inner = par_map(vec![x, x + 1], 4, |y| y * 10);
+            inner[0] + inner[1]
+        });
+        assert_eq!(
+            ys,
+            (0..16).map(|x| x * 10 + (x + 1) * 10).collect::<Vec<u64>>()
+        );
     }
 }

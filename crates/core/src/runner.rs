@@ -9,7 +9,12 @@
 use crate::parallel::{par_map, sweep_threads};
 use marionette_arch::Architecture;
 use marionette_cdfg::value::Value;
-use marionette_compiler::{compile, CompileReport, PlaceError};
+use marionette_cdfg::Cdfg;
+use marionette_compiler::{
+    compile_with_timing, explore_chain, finalize_explored, select_best, CompileReport, CostModel,
+    PlaceError,
+};
+use marionette_isa::MachineProgram;
 use marionette_kernels::traits::{Kernel, KernelError, Scale};
 use marionette_kernels::verify::check_vs_golden;
 use marionette_sim::{run, RunStats, SimError};
@@ -89,6 +94,37 @@ impl From<SimError> for RunnerError {
     }
 }
 
+/// Compiles `g` for `arch`.
+///
+/// With [`marionette_compiler::SearchBudget::Off`] (the default on every
+/// preset) this is the legacy one-shot pipeline — bit-compatible with
+/// the seed mappings. With a nonzero budget the annealing restart chains
+/// of the mapping explorer are fanned out across worker threads (see
+/// [`crate::parallel::par_map`]) and combined with the explorer's
+/// deterministic best-of-N selection, so the result is identical to a
+/// serial [`marionette_compiler::compile_with_timing`] call.
+///
+/// # Errors
+/// Returns [`PlaceError`] when the program cannot fit on the fabric.
+pub fn compile_for_arch(
+    g: &Cdfg,
+    arch: &Architecture,
+) -> Result<(MachineProgram, CompileReport), PlaceError> {
+    let seeds = arch.opts.search.chain_seeds();
+    if seeds.len() <= 1 {
+        return compile_with_timing(g, &arch.opts, &arch.tm);
+    }
+    let cm = CostModel::from_timing(&arch.tm);
+    let chains = par_map(seeds, sweep_threads(), |s| {
+        explore_chain(g, &arch.opts, &cm, s)
+    });
+    let mut ok = Vec::with_capacity(chains.len());
+    for c in chains {
+        ok.push(c?);
+    }
+    Ok(finalize_explored(g, &arch.opts, &cm, select_best(ok)))
+}
+
 /// Compiles and simulates `kernel` on `arch`, verifying outputs against
 /// the golden reference. The ISA bitstream round-trip is exercised on
 /// every call: the simulator runs the *decoded* program.
@@ -106,7 +142,7 @@ pub fn run_kernel(
     let wl = kernel.workload(scale, seed);
     let golden = kernel.golden(&wl)?;
     let g = kernel.build(&wl)?;
-    let (prog, report) = compile(&g, &arch.opts)?;
+    let (prog, report) = compile_for_arch(&g, arch)?;
     // Full-stack fidelity: serialize to the configuration bitstream and
     // run the decoded program.
     let bytes = marionette_isa::bitstream::encode(&prog);

@@ -8,17 +8,7 @@ use marionette::runner::run_kernel;
 const MAX: u64 = 500_000_000;
 
 fn all_archs() -> Vec<marionette::arch::Architecture> {
-    vec![
-        arch::von_neumann_pe(),
-        arch::dataflow_pe(),
-        arch::marionette_pe(),
-        arch::marionette_cn(),
-        arch::marionette_full(),
-        arch::softbrain(),
-        arch::tia(),
-        arch::revel(),
-        arch::riptide(),
-    ]
+    arch::all_presets()
 }
 
 fn check_all(tag: &str, scale: Scale, seed: u64) {

@@ -1,0 +1,153 @@
+//! Mapping-explorer integration tests: determinism, legality of explored
+//! placements on every preset, and a regression pin of the legacy greedy
+//! pipeline.
+
+use marionette::arch::{all_presets, Architecture};
+use marionette::compiler::{compile, compile_with_timing, SearchBudget};
+use marionette::kernels::traits::Scale;
+use marionette::net::Mesh;
+use marionette::runner::compile_for_arch;
+
+fn build(tag: &str, scale: Scale) -> marionette::cdfg::Cdfg {
+    let k = marionette::kernels::by_short(tag).expect("kernel tag");
+    let wl = k.workload(scale, 1);
+    k.build(&wl).expect("suite kernels build")
+}
+
+fn searched(mut a: Architecture, moves: u32, restarts: u32) -> Architecture {
+    a.opts.search = SearchBudget::Anneal {
+        moves,
+        restarts,
+        base_seed: 0xA11E,
+    };
+    a
+}
+
+/// FNV-1a over the canonical bitstream serialization: placements, routes
+/// (including every path tile) and configs all land in the hash.
+fn mapping_hash(prog: &marionette::isa::MachineProgram) -> u64 {
+    let bytes = marionette::isa::bitstream::encode(prog);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[test]
+fn same_seed_and_budget_give_identical_placement() {
+    for tag in ["CRC", "FFT"] {
+        let g = build(tag, Scale::Tiny);
+        let arch = searched(marionette::arch::marionette_full(), 400, 2);
+        let (p1, r1) = compile_for_arch(&g, &arch).unwrap();
+        let (p2, r2) = compile_for_arch(&g, &arch).unwrap();
+        assert_eq!(p1, p2, "{tag}: search must be deterministic");
+        let (s1, s2) = (r1.search.unwrap(), r2.search.unwrap());
+        assert_eq!(s1.seed, s2.seed);
+        assert_eq!(s1.best_total, s2.best_total);
+        assert_eq!(s1.accepted, s2.accepted);
+        // The runner's fanned-out chains and the serial pipeline must
+        // pick the same winner.
+        let (p3, _) = compile_with_timing(&g, &arch.opts, &arch.tm).unwrap();
+        assert_eq!(p1, p3, "{tag}: parallel and serial search disagree");
+    }
+}
+
+#[test]
+fn explored_placements_are_legal_on_all_presets() {
+    for arch in all_presets() {
+        let arch = searched(arch, 300, 1);
+        for tag in ["CRC", "MS", "FFT"] {
+            let g = build(tag, Scale::Tiny);
+            let (prog, report) = compile_for_arch(&g, &arch).unwrap();
+            let what = format!("{tag} on {}", arch.short);
+            assert!(prog.validate().is_empty(), "{what}: {:?}", prog.validate());
+            assert!(report.search.is_some(), "{what}: search report missing");
+            // Every route is a legal mesh walk whose endpoints sit on the
+            // producing and consuming tiles.
+            let mesh = Mesh::new(prog.rows as usize, prog.cols as usize);
+            for (ri, r) in prog.routes.iter().enumerate() {
+                assert!(!r.path.is_empty(), "{what}: route {ri} empty path");
+                assert_eq!(
+                    r.path[0],
+                    prog.nodes[r.src as usize].place.tile(),
+                    "{what}: route {ri} src tile"
+                );
+                assert_eq!(
+                    *r.path.last().unwrap(),
+                    prog.nodes[r.dst as usize].place.tile(),
+                    "{what}: route {ri} dst tile"
+                );
+                assert!(
+                    mesh.links_of_path(&r.path).is_some(),
+                    "{what}: route {ri} path {:?} is not a legal mesh walk",
+                    r.path
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn searched_mappings_stay_bit_equivalent_to_golden() {
+    // The acceptance bar of the explorer: searched placements and
+    // rerouted paths change timing only — kernel outputs must still
+    // verify bit-for-bit against the golden reference on every preset.
+    use marionette::runner::run_kernel;
+    for arch in all_presets() {
+        let arch = searched(arch, 400, 1);
+        for tag in ["CRC", "FFT", "MS"] {
+            let k = marionette::kernels::by_short(tag).unwrap();
+            let r = run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 100_000_000)
+                .unwrap_or_else(|e| panic!("{tag} on {}: {e}", arch.short));
+            assert!(r.verified, "{tag} on {}", arch.short);
+            assert!(r.report.search.is_some());
+        }
+    }
+}
+
+#[test]
+fn greedy_path_is_pinned_bit_identical() {
+    // The legacy pipeline (search off) must reproduce the seed mappings
+    // bit for bit: these hashes pin the full bitstream (placements,
+    // route paths, configs). If a change to place/route is intentional,
+    // regenerate with `cargo test -p marionette greedy_path -- --nocapture`
+    // after inspecting the diff.
+    let pins: &[(&str, &str, u64)] = &[
+        ("CRC", "M", PIN_CRC_M),
+        ("CRC", "vN", PIN_CRC_VN),
+        ("MS", "M", PIN_MS_M),
+        ("MS", "DF", PIN_MS_DF),
+        ("GEMM", "M", PIN_GEMM_M),
+        ("FFT", "M", PIN_FFT_M),
+        ("LDPC", "RT", PIN_LDPC_RT),
+        ("ADPCM", "SB", PIN_ADPCM_SB),
+    ];
+    for &(tag, arch_tag, want) in pins {
+        let arch = all_presets()
+            .into_iter()
+            .find(|a| a.short == arch_tag)
+            .unwrap();
+        let g = build(tag, Scale::Tiny);
+        assert_eq!(
+            arch.opts.search,
+            SearchBudget::Off,
+            "presets must default to the legacy pipeline"
+        );
+        let (prog, report) = compile(&g, &arch.opts).unwrap();
+        assert!(report.search.is_none());
+        let h = mapping_hash(&prog);
+        println!("pin {tag} {arch_tag}: {h:#018x}");
+        assert_eq!(h, want, "{tag} on {arch_tag}: greedy mapping drifted");
+    }
+}
+
+const PIN_CRC_M: u64 = 0x06979dad232abb5e;
+const PIN_CRC_VN: u64 = 0x5cb12b061672aff2;
+const PIN_MS_M: u64 = 0xa2234e3ca5494e8f;
+const PIN_MS_DF: u64 = 0x282ab479afba381e;
+const PIN_GEMM_M: u64 = 0x0b19d9e4158c3fc1;
+const PIN_FFT_M: u64 = 0x57121eb24e70a3e8;
+const PIN_LDPC_RT: u64 = 0x0bd38adf00ba9bf1;
+const PIN_ADPCM_SB: u64 = 0xf5cddd6a1d917c45;

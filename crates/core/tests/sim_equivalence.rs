@@ -4,7 +4,6 @@
 //! array memory and every sink stream. This is the contract the
 //! event-driven core refactor is held to.
 
-use marionette::arch::Architecture;
 use marionette::cdfg::interp::{interpret, ExecMode};
 use marionette::cdfg::value::Value;
 use marionette::compiler::compile;
@@ -12,18 +11,6 @@ use marionette::kernels::traits::Scale;
 use marionette::sim::run;
 
 const MAX_CYCLES: u64 = 500_000_000;
-
-fn all_presets() -> Vec<Architecture> {
-    let mut archs = vec![
-        marionette::arch::von_neumann_pe(),
-        marionette::arch::dataflow_pe(),
-        marionette::arch::marionette_pe(),
-        marionette::arch::marionette_cn(),
-        marionette::arch::marionette_full(),
-    ];
-    archs.extend(marionette::arch::all_sota());
-    archs
-}
 
 fn assert_bit_identical(tag: &str, seed: u64, scale: Scale) {
     let k = marionette::kernels::by_short(tag).expect("kernel tag");
@@ -35,7 +22,7 @@ fn assert_bit_identical(tag: &str, seed: u64, scale: Scale) {
         .iter()
         .map(|a| (a.name.clone(), a.init.clone()))
         .collect();
-    for arch in all_presets() {
+    for arch in marionette::arch::all_presets() {
         let (prog, _) = compile(&g, &arch.opts)
             .unwrap_or_else(|e| panic!("{tag} on {}: compile: {e}", arch.name));
         // Exercise the bitstream round trip like the runner does.

@@ -6,7 +6,13 @@
 //! fuzz_stack [--start S] [--count N] [--presets M,vN,...] [--depth D]
 //!            [--max-stmts K] [--shrink] [--corpus-dir DIR]
 //!            [--json PATH] [--max-cycles C] [--no-fires] [--serial]
+//!            [--search MOVES[,RESTARTS]]
 //! ```
+//!
+//! `--search` turns the compiler's annealing mapping explorer on for
+//! every selected preset (MOVES annealing moves, RESTARTS chains),
+//! fuzzing the searched placements and rip-up routes instead of the
+//! legacy one-shot pipeline.
 //!
 //! Exit status is non-zero when any divergence was found. With
 //! `--shrink`, each divergence is reduced while it still reproduces and
@@ -35,6 +41,7 @@ struct Args {
     check_fires: bool,
     serial: bool,
     print_seed: Option<u64>,
+    search: Option<(u32, u32)>,
 }
 
 fn parse_args() -> Args {
@@ -70,6 +77,22 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 })
         }),
+        search: has("--search").then(|| {
+            let spec = get("--search").unwrap_or_default();
+            let mut it = spec.split(',').map(str::trim);
+            let moves = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("fuzz_stack: --search needs MOVES[,RESTARTS]");
+                std::process::exit(2);
+            });
+            let restarts = match it.next() {
+                None => 1,
+                Some(v) => v.parse().unwrap_or_else(|_| {
+                    eprintln!("fuzz_stack: --search RESTARTS must be numeric, got {v:?}");
+                    std::process::exit(2);
+                }),
+            };
+            (moves, restarts)
+        }),
     }
 }
 
@@ -100,7 +123,7 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     let args = parse_args();
-    let presets = if args.presets.is_empty() {
+    let mut presets = if args.presets.is_empty() {
         all_presets()
     } else {
         match presets_by_tags(&args.presets) {
@@ -111,6 +134,15 @@ fn main() {
             }
         }
     };
+    if let Some((moves, restarts)) = args.search {
+        for a in &mut presets {
+            a.opts.search = marionette::compiler::SearchBudget::Anneal {
+                moves,
+                restarts,
+                base_seed: 0xF022,
+            };
+        }
+    }
     let cfg = GenConfig {
         max_depth: args.depth,
         max_stmts: args.max_stmts,
@@ -201,6 +233,12 @@ fn main() {
                 .join(", ")
         ));
         j.push_str(&format!("  \"threads\": {threads},\n"));
+        match args.search {
+            Some((m, r)) => j.push_str(&format!(
+                "  \"search\": {{\"moves\": {m}, \"restarts\": {r}}},\n"
+            )),
+            None => j.push_str("  \"search\": null,\n"),
+        }
         j.push_str(&format!("  \"programs\": {},\n", outcomes.len()));
         j.push_str(&format!("  \"points\": {total_points},\n"));
         j.push_str(&format!("  \"sim_cycles\": {total_cycles},\n"));

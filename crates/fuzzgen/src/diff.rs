@@ -17,17 +17,10 @@ const INTERP_BUDGET: u64 = 20_000_000;
 /// Cycle budget per simulated point.
 pub const DEFAULT_MAX_CYCLES: u64 = 20_000_000;
 
-/// All nine evaluated architecture presets.
+/// All nine evaluated architecture presets (re-exported from
+/// [`marionette_arch::all_presets`], the single source of truth).
 pub fn all_presets() -> Vec<Architecture> {
-    let mut archs = vec![
-        marionette_arch::von_neumann_pe(),
-        marionette_arch::dataflow_pe(),
-        marionette_arch::marionette_pe(),
-        marionette_arch::marionette_cn(),
-        marionette_arch::marionette_full(),
-    ];
-    archs.extend(marionette_arch::all_sota());
-    archs
+    marionette_arch::all_presets()
 }
 
 /// Resolves preset short tags (e.g. `"M,vN"`) to architectures.
@@ -168,7 +161,11 @@ pub fn diff_program(
             kind,
             detail,
         };
-        let (prog, _) = marionette::compiler::compile(&g, &arch.opts)
+        // `compile_with_timing`: identical to `compile` when the preset's
+        // search budget is off, and the timing-derived cost model (the
+        // same one `runner::run_kernel` uses) when fuzzing with the
+        // mapping explorer enabled.
+        let (prog, _) = marionette::compiler::compile_with_timing(&g, &arch.opts, &arch.tm)
             .map_err(|e| fail(DivergenceKind::Compile, e.to_string()))?;
         // Full-stack fidelity: simulate the decoded bitstream.
         let bytes = marionette::isa::bitstream::encode(&prog);

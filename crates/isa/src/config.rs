@@ -39,6 +39,19 @@ pub enum Placement {
 }
 
 impl Placement {
+    /// The linear fabric tile hosting this placement: PEs and network
+    /// switches index the grid directly; memory stream engines sit on
+    /// the top-row tiles. This is the single source of truth for route
+    /// endpoints — the router, the mapping explorer's cost model and the
+    /// legality tests all tile through here.
+    pub fn tile(self) -> u16 {
+        match self {
+            Placement::Pe { pe } | Placement::CtrlPlane { pe } => pe,
+            Placement::NetSwitch { sw } => sw,
+            Placement::MemUnit { unit } => u16::from(unit),
+        }
+    }
+
     /// The PE index, when placed on a PE (either plane).
     pub fn pe(self) -> Option<u16> {
         match self {

@@ -125,14 +125,22 @@ impl Kernel for Fft {
             let ai = b.load_dep(im, i, v[0]);
             let br = b.load_dep(re, r, v[0]);
             let bi = b.load_dep(im, r, v[0]);
+            // Each store carries an anti-dependence token covering the
+            // load that reads the address it overwrites: `re[i] = br`
+            // has no *data* dependence on `ar = re[i]`, so without the
+            // token the swap is a WAR race that any timing change (a
+            // different placement, a rerouted path) can flip. `t3`/`t4`
+            // inherit their anti-dependences through `t1`/`t2`, whose
+            // data inputs are exactly the loads of the addresses they
+            // overwrite.
             let res = b.if_else(
                 swap,
                 |b| {
-                    let t1 = b.store(re, i, br);
-                    let t2 = b.store_dep(im, i, bi, t1);
-                    let t3 = b.store_dep(re, r, ar, t2);
-                    let t4 = b.store_dep(im, r, ai, t3);
-                    vec![t4]
+                    let t1 = b.store_dep(re, i, br, ar);
+                    let t2 = b.store_dep(im, i, bi, ai);
+                    let t3 = b.store_dep(re, r, ar, t1);
+                    let t4 = b.store_dep(im, r, ai, t2);
+                    vec![b.add(t3, t4)]
                 },
                 |_| vec![v[0]],
             );

@@ -127,6 +127,115 @@ impl Mesh {
         links
     }
 
+    /// Dimension-ordered route, Y first then X — the alternative
+    /// dimension order a congestion-aware router can fall back to when
+    /// the XY path crosses a hot link.
+    pub fn yx_route(&self, src: usize, dst: usize) -> Vec<LinkId> {
+        assert!(src < self.pe_count() && dst < self.pe_count());
+        let mut links = Vec::with_capacity(self.hops(src, dst));
+        self.for_each_yx_link(src, dst, |l| links.push(l));
+        links
+    }
+
+    /// Calls `f` for every directed link of the XY route from `src` to
+    /// `dst`, without allocating. This is the hot-path query of the
+    /// mapping explorer's cost model: per-candidate-placement link loads
+    /// are accumulated by walking millions of these routes.
+    pub fn for_each_xy_link(&self, src: usize, dst: usize, mut f: impl FnMut(LinkId)) {
+        let (mut r, mut c) = (src / self.cols, src % self.cols);
+        let (r1, c1) = (dst / self.cols, dst % self.cols);
+        while c != c1 {
+            let dir = if c < c1 { Dir::East } else { Dir::West };
+            f(self.link(r * self.cols + c, dir));
+            if c < c1 {
+                c += 1;
+            } else {
+                c -= 1;
+            }
+        }
+        while r != r1 {
+            let dir = if r < r1 { Dir::South } else { Dir::North };
+            f(self.link(r * self.cols + c, dir));
+            if r < r1 {
+                r += 1;
+            } else {
+                r -= 1;
+            }
+        }
+    }
+
+    /// Calls `f` for every directed link of the YX route (Y first).
+    pub fn for_each_yx_link(&self, src: usize, dst: usize, mut f: impl FnMut(LinkId)) {
+        let (mut r, mut c) = (src / self.cols, src % self.cols);
+        let (r1, c1) = (dst / self.cols, dst % self.cols);
+        while r != r1 {
+            let dir = if r < r1 { Dir::South } else { Dir::North };
+            f(self.link(r * self.cols + c, dir));
+            if r < r1 {
+                r += 1;
+            } else {
+                r -= 1;
+            }
+        }
+        while c != c1 {
+            let dir = if c < c1 { Dir::East } else { Dir::West };
+            f(self.link(r * self.cols + c, dir));
+            if c < c1 {
+                c += 1;
+            } else {
+                c -= 1;
+            }
+        }
+    }
+
+    /// Tiles visited by the YX route, inclusive of both endpoints.
+    pub fn path_tiles_yx(&self, src: usize, dst: usize) -> Vec<u16> {
+        let mut tiles = vec![src as u16];
+        let (mut r, mut c) = (src / self.cols, src % self.cols);
+        let (r1, c1) = (dst / self.cols, dst % self.cols);
+        while r != r1 {
+            if r < r1 {
+                r += 1;
+            } else {
+                r -= 1;
+            }
+            tiles.push((r * self.cols + c) as u16);
+        }
+        while c != c1 {
+            if c < c1 {
+                c += 1;
+            } else {
+                c -= 1;
+            }
+            tiles.push((r * self.cols + c) as u16);
+        }
+        tiles
+    }
+
+    /// The directed links of an arbitrary tile walk, or `None` when a
+    /// step is not between mesh neighbours (route-legality query used by
+    /// the compiler's placement tests and the explored-mapping checks).
+    pub fn links_of_path(&self, path: &[u16]) -> Option<Vec<LinkId>> {
+        let mut links = Vec::with_capacity(path.len().saturating_sub(1));
+        for w in path.windows(2) {
+            let (from, to) = (w[0] as usize, w[1] as usize);
+            if from >= self.pe_count() || to >= self.pe_count() {
+                return None;
+            }
+            let (r0, c0) = (from / self.cols, from % self.cols);
+            let (r1, c1) = (to / self.cols, to % self.cols);
+            let dir = match (r1 as i64 - r0 as i64, c1 as i64 - c0 as i64) {
+                (0, 1) => Dir::East,
+                (0, -1) => Dir::West,
+                (1, 0) => Dir::South,
+                (-1, 0) => Dir::North,
+                _ => return None,
+            };
+            links.push(self.link(from, dir));
+        }
+        Some(links)
+    }
+
     /// Tiles visited by the XY route, inclusive of both endpoints.
     pub fn path_tiles(&self, src: usize, dst: usize) -> Vec<u16> {
         let mut tiles = vec![src as u16];
@@ -213,5 +322,41 @@ mod tests {
             let set: std::collections::HashSet<_> = route.iter().collect();
             prop_assert_eq!(set.len(), route.len());
         }
+
+        #[test]
+        fn yx_matches_xy_length_and_endpoints(src in 0usize..36, dst in 0usize..36) {
+            let m = Mesh::new(6, 6);
+            prop_assert_eq!(m.yx_route(src, dst).len(), m.hops(src, dst));
+            let p = m.path_tiles_yx(src, dst);
+            prop_assert_eq!(p.len(), m.hops(src, dst) + 1);
+            prop_assert_eq!(p[0] as usize, src);
+            prop_assert_eq!(*p.last().unwrap() as usize, dst);
+            // Both dimension orders are legal walks.
+            prop_assert_eq!(m.links_of_path(&p).unwrap(), m.yx_route(src, dst));
+            prop_assert_eq!(
+                m.links_of_path(&m.path_tiles(src, dst)).unwrap(),
+                m.xy_route(src, dst)
+            );
+        }
+
+        #[test]
+        fn link_walkers_match_routes(src in 0usize..16, dst in 0usize..16) {
+            let m = Mesh::new(4, 4);
+            let mut xy = Vec::new();
+            m.for_each_xy_link(src, dst, |l| xy.push(l));
+            prop_assert_eq!(xy, m.xy_route(src, dst));
+            let mut yx = Vec::new();
+            m.for_each_yx_link(src, dst, |l| yx.push(l));
+            prop_assert_eq!(yx, m.yx_route(src, dst));
+        }
+    }
+
+    #[test]
+    fn illegal_paths_rejected() {
+        let m = Mesh::new(4, 4);
+        assert!(m.links_of_path(&[0, 5]).is_none(), "diagonal step");
+        assert!(m.links_of_path(&[0, 2]).is_none(), "two-tile jump");
+        assert!(m.links_of_path(&[0, 99]).is_none(), "off-grid tile");
+        assert_eq!(m.links_of_path(&[7]).unwrap(), vec![]);
     }
 }

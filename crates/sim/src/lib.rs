@@ -3,7 +3,7 @@
 //! Cycle-level simulator for the Marionette spatial architecture and the
 //! baseline PE execution models it is evaluated against.
 //!
-//! The simulator executes a placed-and-routed [`MachineProgram`] (produced
+//! The simulator executes a placed-and-routed [`marionette_isa::MachineProgram`] (produced
 //! by `marionette-compiler`, loadable from an ISA bitstream) with real
 //! 32-bit values — every kernel's outputs are checked against golden
 //! references — while accounting cycles for:

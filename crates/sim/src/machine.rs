@@ -529,6 +529,7 @@ impl<'p> Machine<'p> {
                 pe_data: vec![UnitStats::default(); npes],
                 pe_ctrl: vec![UnitStats::default(); npes],
                 groups: Vec::new(),
+                link_stall_by_route: vec![0; prog.routes.len()],
                 ..Default::default()
             },
             cycle: 0,
@@ -1214,6 +1215,7 @@ impl<'p> Machine<'p> {
                 self.route_inflight[pf.route as usize] -= 1;
                 // All cycles spent waiting, one stall per blocked cycle.
                 self.stats.link_stall_cycles += self.cycle - pf.first_attempt;
+                self.stats.link_stall_by_route[pf.route as usize] += self.cycle - pf.first_attempt;
                 self.parked_count -= 1;
                 self.progressed = true;
                 self.deliver_buf.push((pf.serial, pf.route));
@@ -1295,6 +1297,7 @@ impl<'p> Machine<'p> {
                 }
             } else {
                 self.stats.link_stall_cycles += 1;
+                self.stats.link_stall_by_route[route] += 1;
             }
         }
         if any_parked {

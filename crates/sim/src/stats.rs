@@ -49,6 +49,13 @@ pub struct RunStats {
     pub mesh_hops: u64,
     /// Cycles flits spent blocked on busy links (contention measure).
     pub link_stall_cycles: u64,
+    /// Per-route share of [`RunStats::link_stall_cycles`], indexed by the
+    /// program's route table. This is the attribution signal the mapping
+    /// explorer's cost model is calibrated against: a route with a large
+    /// share rode an over-subscribed link or fed a saturated input queue,
+    /// exactly what the quadratic congestion term penalizes at
+    /// placement time (see `marionette-compiler::cost`).
+    pub link_stall_by_route: Vec<u64>,
 }
 
 impl RunStats {
@@ -63,6 +70,12 @@ impl RunStats {
 
     /// Utilization of one group over its active window, normalized by the
     /// PE count assigned to it.
+    ///
+    /// Degenerate groups are defined to have zero utilization rather than
+    /// a NaN/∞ quotient: a group index past the recorded set, a group
+    /// that never fired, or a `pes` of zero (a mapping group with no PEs
+    /// assigned — the static PE count must not be used as a stand-in for
+    /// such groups) all return `0.0`.
     pub fn group_window_utilization(&self, group: usize, pes: usize) -> f64 {
         let Some(gs) = self.groups.get(group) else {
             return 0.0;
@@ -70,11 +83,27 @@ impl RunStats {
         let Some(first) = gs.first_fire else {
             return 0.0;
         };
-        let window = gs.last_fire.saturating_sub(first) + 1;
-        if window == 0 || pes == 0 {
+        if pes == 0 || gs.busy == 0 {
             return 0.0;
         }
+        let window = gs.last_fire.saturating_sub(first) + 1;
         gs.busy as f64 / (window as f64 * pes as f64)
+    }
+
+    /// The `k` routes with the largest link-stall attribution, as
+    /// `(route id, stall cycles)` pairs sorted descending (stable by
+    /// route id on ties). Routes with zero stalls are omitted.
+    pub fn top_stalled_routes(&self, k: usize) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self
+            .link_stall_by_route
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s > 0)
+            .map(|(i, &s)| (i as u32, s))
+            .collect();
+        v.sort_by_key(|&(i, s)| (std::cmp::Reverse(s), i));
+        v.truncate(k);
+        v
     }
 
     /// Fraction of firings wasted on predicated-off (poison) work.
@@ -121,5 +150,45 @@ mod tests {
         });
         assert!((s.group_window_utilization(0, 1) - 0.5).abs() < 1e-12);
         assert_eq!(s.group_window_utilization(9, 1), 0.0);
+    }
+
+    #[test]
+    fn zero_pe_group_utilization_is_zero_not_nan() {
+        let mut s = RunStats {
+            cycles: 100,
+            ..Default::default()
+        };
+        s.groups.push(GroupStats {
+            first_fire: Some(5),
+            last_fire: 20,
+            fires: 4,
+            busy: 8,
+        });
+        // A group with zero mapped PEs must not divide by the static PE
+        // count (or by zero): the defined value is 0.0.
+        let u = s.group_window_utilization(0, 0);
+        assert_eq!(u, 0.0);
+        assert!(u.is_finite());
+        // Never-fired group, any PE count.
+        s.groups.push(GroupStats::default());
+        assert_eq!(s.group_window_utilization(1, 16), 0.0);
+        // Fired-but-zero-busy group is zero too.
+        s.groups.push(GroupStats {
+            first_fire: Some(1),
+            last_fire: 1,
+            fires: 0,
+            busy: 0,
+        });
+        assert_eq!(s.group_window_utilization(2, 16), 0.0);
+    }
+
+    #[test]
+    fn top_stalled_routes_sorted() {
+        let s = RunStats {
+            link_stall_by_route: vec![0, 7, 3, 7, 0, 1],
+            ..Default::default()
+        };
+        assert_eq!(s.top_stalled_routes(3), vec![(1, 7), (3, 7), (2, 3)]);
+        assert_eq!(s.top_stalled_routes(10).len(), 4);
     }
 }
