@@ -59,69 +59,126 @@ fn points() -> Vec<Point> {
         .collect()
 }
 
-fn sweep(scale: Scale, threads: usize, search: bool) -> (Vec<Measured>, f64) {
+fn sweep(scale: Scale, threads: usize, search: bool) -> Result<(Vec<Measured>, f64), String> {
     let pts = points();
     let t0 = Instant::now();
-    let results = par_map(pts, threads, |p| {
-        let k = marionette::kernels::by_short(&p.kernel).expect("kernel tag");
+    let results = par_map(pts, threads, |p| -> Result<Measured, String> {
+        let k = marionette::kernels::by_short(&p.kernel)
+            .ok_or_else(|| format!("{}: unknown kernel tag", p.kernel))?;
         // `wall_ms` times the greedy compile+simulate only: it is the
         // cross-PR simulator-throughput metric, and must not absorb the
         // mapping-search compile time of the delta sweep below.
         let t = Instant::now();
         let r = run_kernel(k.as_ref(), &p.arch, scale, SEED, DEFAULT_MAX_CYCLES)
-            .unwrap_or_else(|e| panic!("{} on {}: {e}", p.kernel, p.arch.short));
+            .map_err(|e| format!("{} on {}: {e}", p.kernel, p.arch.short))?;
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-        let cycles_search = search.then(|| {
-            let mut searched = p.arch.clone();
-            searched.opts.search = SearchBudget::default_on();
-            let rs = run_kernel(k.as_ref(), &searched, scale, SEED, DEFAULT_MAX_CYCLES)
-                .unwrap_or_else(|e| panic!("{} on {} (search): {e}", p.kernel, p.arch.short));
-            rs.cycles
-        });
-        Measured {
+        let cycles_search = match search {
+            false => None,
+            true => {
+                let mut searched = p.arch.clone();
+                searched.opts.search = SearchBudget::default_on();
+                let rs = run_kernel(k.as_ref(), &searched, scale, SEED, DEFAULT_MAX_CYCLES)
+                    .map_err(|e| format!("{} on {} (search): {e}", p.kernel, p.arch.short))?;
+                Some(rs.cycles)
+            }
+        };
+        Ok(Measured {
             kernel: p.kernel.clone(),
             arch: p.arch.short.to_string(),
             cycles: r.cycles,
             fires: r.stats.fires,
             wall_ms,
             cycles_search,
-        }
+        })
     });
-    (results, t0.elapsed().as_secs_f64() * 1e3)
+    let mut measured = Vec::with_capacity(results.len());
+    for r in results {
+        measured.push(r?);
+    }
+    Ok((measured, t0.elapsed().as_secs_f64() * 1e3))
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
+use marionette::report::json_escape;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--paper") {
-        Scale::Paper
-    } else {
-        Scale::Small
+    match parse_flags(&args) {
+        Err(e) => {
+            eprintln!("bench_sim: {e}");
+            std::process::exit(2);
+        }
+        Ok(flags) => {
+            if let Err(e) = run(flags) {
+                eprintln!("bench_sim: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+struct Flags {
+    scale: Scale,
+    serial_only: bool,
+    compare: bool,
+    search: bool,
+    out_path: String,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        scale: Scale::Small,
+        serial_only: false,
+        compare: false,
+        search: true,
+        out_path: "BENCH_sim.json".to_string(),
     };
-    let serial_only = args.iter().any(|a| a == "--serial");
-    let compare = args.iter().any(|a| a == "--compare");
-    let search = !args.iter().any(|a| a == "--no-search");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    // Single pass: a value consumed by `--out` can never double as a flag.
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--paper" => flags.scale = Scale::Paper,
+            "--serial" => flags.serial_only = true,
+            "--compare" => flags.compare = true,
+            "--no-search" => flags.search = false,
+            "--out" => {
+                i += 1;
+                flags.out_path = match args.get(i) {
+                    Some(p) if !p.starts_with("--") => p.clone(),
+                    _ => return Err("--out needs a path".to_string()),
+                };
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (flags: --paper --serial --compare \
+                     --no-search --out PATH)"
+                ))
+            }
+        }
+        i += 1;
+    }
+    Ok(flags)
+}
+
+fn run(flags: Flags) -> Result<(), String> {
+    let Flags {
+        scale,
+        serial_only,
+        compare,
+        search,
+        out_path,
+    } = flags;
     let threads = sweep_threads();
 
     let mut serial_wall: Option<f64> = None;
     let (points, wall_ms, mode, used_threads) = if serial_only {
-        let (p, w) = sweep(scale, 1, search);
+        let (p, w) = sweep(scale, 1, search)?;
         (p, w, "serial", 1)
     } else {
         if compare {
-            let (_, w) = sweep(scale, 1, search);
+            let (_, w) = sweep(scale, 1, search)?;
             serial_wall = Some(w);
         }
-        let (p, w) = sweep(scale, threads, search);
+        let (p, w) = sweep(scale, threads, search)?;
         (p, w, "parallel", threads)
     };
 
@@ -183,7 +240,7 @@ fn main() {
         ));
     }
     j.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &j).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    std::fs::write(&out_path, &j).map_err(|e| format!("writing {out_path}: {e}"))?;
 
     let total_cycles: u64 = points.iter().map(|m| m.cycles).sum();
     println!(
@@ -201,4 +258,5 @@ fn main() {
             sw / wall_ms
         );
     }
+    Ok(())
 }

@@ -35,29 +35,53 @@ struct Args {
     out: String,
 }
 
-fn parse_args() -> Args {
+/// Parses a flag's value strictly: an absent flag yields the default, a
+/// present flag with a missing or malformed value is a usage error.
+fn numeric<T: std::str::FromStr>(argv: &[String], flag: &str, default: T) -> Result<T, String> {
+    match argv.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => {
+            let v = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a value"))?;
+            v.parse()
+                .map_err(|_| format!("{flag}: `{v}` is not a valid value"))
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().collect();
-    let get = |flag: &str| -> Option<String> {
-        argv.iter()
-            .position(|a| a == flag)
-            .and_then(|i| argv.get(i + 1))
-            .cloned()
+    let get = |flag: &str| -> Result<Option<String>, String> {
+        match argv.iter().position(|a| a == flag) {
+            None => Ok(None),
+            Some(i) => match argv.get(i + 1) {
+                // A flag-like token is a forgotten value, not a value.
+                Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+                _ => Err(format!("{flag} needs a value")),
+            },
+        }
     };
     let has = |flag: &str| argv.iter().any(|a| a == flag);
-    Args {
-        moves: get("--moves").and_then(|v| v.parse().ok()).unwrap_or(1500),
-        restarts: get("--restarts").and_then(|v| v.parse().ok()).unwrap_or(2),
-        base_seed: get("--seed").and_then(|v| v.parse().ok()).unwrap_or(0xA11E),
-        kernels: get("--kernels"),
-        presets: get("--presets"),
-        scale: match get("--scale").as_deref() {
+    Ok(Args {
+        moves: numeric(&argv, "--moves", 1500)?,
+        restarts: numeric(&argv, "--restarts", 2)?,
+        base_seed: numeric(&argv, "--seed", 0xA11E)?,
+        kernels: get("--kernels")?,
+        presets: get("--presets")?,
+        scale: match get("--scale")?.as_deref() {
+            None | Some("small") => Scale::Small,
             Some("tiny") => Scale::Tiny,
             Some("paper") => Scale::Paper,
-            _ => Scale::Small,
+            Some(other) => {
+                return Err(format!(
+                    "--scale: `{other}` is not one of tiny, small, paper"
+                ))
+            }
         },
         simulate: !has("--no-sim"),
-        out: get("--out").unwrap_or_else(|| "MAP_explore.json".to_string()),
-    }
+        out: get("--out")?.unwrap_or_else(|| "MAP_explore.json".to_string()),
+    })
 }
 
 struct PointReport {
@@ -130,7 +154,29 @@ fn json_side(s: &Side) -> String {
 }
 
 fn main() {
-    let args = parse_args();
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("map_explore: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Selection problems (unknown preset/kernel tags) are usage errors.
+    let (archs, tags) = match select(&args) {
+        Ok(sel) => sel,
+        Err(e) => {
+            eprintln!("map_explore: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(args, archs, tags) {
+        eprintln!("map_explore: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Resolves the preset and kernel selections.
+fn select(args: &Args) -> Result<(Vec<Architecture>, Vec<String>), String> {
     let archs: Vec<Architecture> = match &args.presets {
         None => marionette::arch::all_presets(),
         Some(tags) => {
@@ -141,13 +187,10 @@ fn main() {
                 .map(|t| {
                     all.iter()
                         .find(|a| a.short.eq_ignore_ascii_case(t))
-                        .unwrap_or_else(|| {
-                            eprintln!("map_explore: unknown preset {t}");
-                            std::process::exit(2);
-                        })
-                        .clone()
+                        .cloned()
+                        .ok_or_else(|| format!("unknown preset {t}"))
                 })
-                .collect()
+                .collect::<Result<Vec<_>, _>>()?
         }
     };
     let mut tags: Vec<String> = marionette::kernels::all()
@@ -163,10 +206,83 @@ fn main() {
             .collect();
         tags.retain(|t| want.iter().any(|w| w == &t.to_uppercase()));
         if tags.is_empty() {
-            eprintln!("map_explore: no kernels match --kernels {filter}");
-            std::process::exit(2);
+            return Err(format!("no kernels match --kernels {filter}"));
         }
     }
+    Ok((archs, tags))
+}
+
+/// One kernel × architecture measurement; every stage failure becomes a
+/// tagged error instead of a panic.
+fn point_report(
+    tag: &str,
+    arch: &Architecture,
+    scale: Scale,
+    simulate: bool,
+    budget: SearchBudget,
+) -> Result<PointReport, String> {
+    let k = marionette::kernels::by_short(tag).ok_or("unknown kernel tag")?;
+    let cm = CostModel::from_timing(&arch.tm);
+    let wl = k.workload(scale, SEED);
+    let g = k.build(&wl).map_err(|e| format!("build: {e}"))?;
+    // The explorer's cost of the greedy mapping, for a like-for-like
+    // cost comparison with the searched side.
+    let gc = greedy_cost(&g, &arch.opts, &cm).map_err(|e| format!("greedy cost: {e}"))?;
+    let mut g_side = Side {
+        cost_total: gc.total(&cm),
+        latency: gc.latency,
+        congestion: gc.congestion,
+        pressure: gc.pressure,
+        fanout: gc.fanout,
+        ..Side::default()
+    };
+    let mut searched = arch.clone();
+    searched.opts.search = budget;
+    let (routes, e_side) = if simulate {
+        // Greedy side: the preset as shipped (search off).
+        let gr = run_kernel(k.as_ref(), arch, scale, SEED, DEFAULT_MAX_CYCLES)
+            .map_err(|e| format!("greedy: {e}"))?;
+        g_side.mean_data_hops = gr.report.mean_data_hops;
+        g_side.cycles = Some(gr.cycles);
+        g_side.link_stalls = Some(gr.stats.link_stall_cycles);
+        g_side.top_stalled = gr.stats.top_stalled_routes(3);
+        let run = run_kernel(k.as_ref(), &searched, scale, SEED, DEFAULT_MAX_CYCLES)
+            .map_err(|e| format!("search: {e}"))?;
+        if !run.verified {
+            return Err("explored mapping diverged from the golden reference".into());
+        }
+        let sr = run
+            .report
+            .search
+            .as_ref()
+            .ok_or("searched compile produced no search report")?;
+        let mut e = side_of_search(sr, run.report.mean_data_hops);
+        e.cycles = Some(run.cycles);
+        e.link_stalls = Some(run.stats.link_stall_cycles);
+        e.top_stalled = run.stats.top_stalled_routes(3);
+        (run.report.routes, e)
+    } else {
+        // --no-sim: compile both sides only (cost model smoke).
+        let (_, grep) = compile(&g, &arch.opts).map_err(|e| format!("greedy: {e}"))?;
+        g_side.mean_data_hops = grep.mean_data_hops;
+        let (_, erep) = compile_for_arch(&g, &searched).map_err(|e| format!("search: {e}"))?;
+        let sr = erep
+            .search
+            .as_ref()
+            .ok_or("searched compile produced no search report")?;
+        (erep.routes, side_of_search(sr, erep.mean_data_hops))
+    };
+    Ok(PointReport {
+        kernel: tag.to_string(),
+        arch: arch.short.to_string(),
+        nodes: g.nodes.len(),
+        routes,
+        greedy: g_side,
+        explored: e_side,
+    })
+}
+
+fn run(args: Args, archs: Vec<Architecture>, tags: Vec<String>) -> Result<(), String> {
     let budget = SearchBudget::Anneal {
         moves: args.moves,
         restarts: args.restarts,
@@ -179,60 +295,15 @@ fn main() {
         .collect();
     let scale = args.scale;
     let simulate = args.simulate;
-    let reports = par_map(points, sweep_threads(), |(tag, arch)| {
-        let k = marionette::kernels::by_short(&tag).expect("kernel tag");
-        let cm = CostModel::from_timing(&arch.tm);
-        let wl = k.workload(scale, SEED);
-        let g = k.build(&wl).expect("suite kernels build");
-        // The explorer's cost of the greedy mapping, for a like-for-like
-        // cost comparison with the searched side.
-        let gc = greedy_cost(&g, &arch.opts, &cm).expect("greedy cost");
-        let mut g_side = Side {
-            cost_total: gc.total(&cm),
-            latency: gc.latency,
-            congestion: gc.congestion,
-            pressure: gc.pressure,
-            fanout: gc.fanout,
-            ..Side::default()
-        };
-        let mut searched = arch.clone();
-        searched.opts.search = budget;
-        let (routes, e_side) = if simulate {
-            // Greedy side: the preset as shipped (search off).
-            let gr = run_kernel(k.as_ref(), &arch, scale, SEED, DEFAULT_MAX_CYCLES)
-                .unwrap_or_else(|e| panic!("{tag} on {} (greedy): {e}", arch.short));
-            g_side.mean_data_hops = gr.report.mean_data_hops;
-            g_side.cycles = Some(gr.cycles);
-            g_side.link_stalls = Some(gr.stats.link_stall_cycles);
-            g_side.top_stalled = gr.stats.top_stalled_routes(3);
-            let run = run_kernel(k.as_ref(), &searched, scale, SEED, DEFAULT_MAX_CYCLES)
-                .unwrap_or_else(|e| panic!("{tag} on {} (search): {e}", arch.short));
-            assert!(run.verified, "explored mapping must stay bit-correct");
-            let sr = run.report.search.as_ref().expect("searched compile");
-            let mut e = side_of_search(sr, run.report.mean_data_hops);
-            e.cycles = Some(run.cycles);
-            e.link_stalls = Some(run.stats.link_stall_cycles);
-            e.top_stalled = run.stats.top_stalled_routes(3);
-            (run.report.routes, e)
-        } else {
-            // --no-sim: compile both sides only (cost model smoke).
-            let (_, grep) = compile(&g, &arch.opts)
-                .unwrap_or_else(|e| panic!("{tag} on {} (greedy): {e}", arch.short));
-            g_side.mean_data_hops = grep.mean_data_hops;
-            let (_, erep) = compile_for_arch(&g, &searched)
-                .unwrap_or_else(|e| panic!("{tag} on {} (search): {e}", arch.short));
-            let sr = erep.search.as_ref().expect("searched compile");
-            (erep.routes, side_of_search(sr, erep.mean_data_hops))
-        };
-        PointReport {
-            kernel: tag,
-            arch: arch.short.to_string(),
-            nodes: g.nodes.len(),
-            routes,
-            greedy: g_side,
-            explored: e_side,
-        }
+    let outcomes = par_map(points, sweep_threads(), |(tag, arch)| {
+        point_report(&tag, &arch, scale, simulate, budget)
+            .map_err(|e| format!("{tag} on {}: {e}", arch.short))
     });
+    // Report the first failing point in row-major order.
+    let mut reports = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        reports.push(o?);
+    }
 
     let mut speedups: Vec<f64> = Vec::new();
     let mut j = String::new();
@@ -275,7 +346,7 @@ fn main() {
     let gm = marionette::experiments::geomean(&speedups);
     j.push_str(&format!("  \"geomean_cycle_speedup\": {gm:.4}\n"));
     j.push_str("}\n");
-    std::fs::write(&args.out, &j).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    std::fs::write(&args.out, &j).map_err(|e| format!("writing {}: {e}", args.out))?;
 
     let improved = speedups.iter().filter(|&&s| s > 1.0).count();
     let regressed = speedups.iter().filter(|&&s| s < 1.0).count();
@@ -293,4 +364,5 @@ fn main() {
             "map_explore: geomean cycle speedup {gm:.4} ({improved} improved, {regressed} regressed)"
         );
     }
+    Ok(())
 }

@@ -1,0 +1,339 @@
+//! `marc` — the Marionette source compiler driver.
+//!
+//! Takes a `.mar` program and drives the full stack: parse → semantic
+//! checks → CDFG lowering → compile (greedy, or the annealing mapping
+//! explorer with `--search`) → configuration-bitstream round-trip →
+//! cycle-level simulation on every selected architecture preset — and
+//! verifies each simulation bit-for-bit against the reference
+//! interpreter before reporting it.
+//!
+//! ```text
+//! marc FILE.mar [--presets M,vN,...] [--search MOVES[,RESTARTS]]
+//!               [--param NAME=VALUE]... [--max-cycles N]
+//!               [--disasm] [--json PATH]
+//! ```
+//!
+//! Parse and semantic errors are rendered with their source line and a
+//! caret. Exit codes: `0` verified on every preset, `1` any pipeline or
+//! verification failure, `2` usage errors.
+
+use marionette::arch::Architecture;
+use marionette::cdfg::value::Value;
+use marionette::compiler::SearchBudget;
+use marionette_lang::driver::{
+    frontend, reference, run_preset, DriverError, PresetRun, DEFAULT_MAX_CYCLES, INTERP_BUDGET,
+};
+
+struct Args {
+    file: String,
+    presets: Option<String>,
+    search: Option<(u32, u32)>,
+    params: Vec<(String, String)>,
+    max_cycles: u64,
+    disasm: bool,
+    json: Option<String>,
+}
+
+fn usage() -> String {
+    "usage: marc FILE.mar [--presets M,vN,...] [--search MOVES[,RESTARTS]] \
+     [--param NAME=VALUE]... [--max-cycles N] [--disasm] [--json PATH]"
+        .to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        file: String::new(),
+        presets: None,
+        search: None,
+        params: Vec::new(),
+        max_cycles: DEFAULT_MAX_CYCLES,
+        disasm: false,
+        json: None,
+    };
+    let rest: Vec<&String> = argv.iter().skip(1).collect();
+    let mut i = 0usize;
+    let value_of = |flag: &str, i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        match rest.get(*i) {
+            // A flag-like token is a forgotten value, not a value.
+            Some(s) if !s.starts_with("--") => Ok(s.to_string()),
+            _ => Err(format!("{flag} needs a value\n{}", usage())),
+        }
+    };
+    while i < rest.len() {
+        let a = rest[i];
+        match a.as_str() {
+            "--presets" => args.presets = Some(value_of("--presets", &mut i)?),
+            "--search" => {
+                let spec = value_of("--search", &mut i)?;
+                let mut parts = spec.split(',').map(str::trim);
+                let moves: u32 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("--search needs MOVES[,RESTARTS], got `{spec}`"))?;
+                let restarts: u32 = match parts.next() {
+                    None => 1,
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| format!("--search RESTARTS must be numeric, got `{v}`"))?,
+                };
+                args.search = Some((moves, restarts));
+            }
+            "--param" => {
+                let spec = value_of("--param", &mut i)?;
+                let (name, val) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--param needs NAME=VALUE, got `{spec}`"))?;
+                args.params.push((name.to_string(), val.to_string()));
+            }
+            "--max-cycles" => {
+                let v = value_of("--max-cycles", &mut i)?;
+                args.max_cycles = v
+                    .parse()
+                    .map_err(|_| format!("--max-cycles must be numeric, got `{v}`"))?;
+            }
+            "--disasm" => args.disasm = true,
+            "--json" => args.json = Some(value_of("--json", &mut i)?),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`\n{}", usage()))
+            }
+            file => {
+                if !args.file.is_empty() {
+                    return Err(format!("more than one input file\n{}", usage()));
+                }
+                args.file = file.to_string();
+            }
+        }
+        i += 1;
+    }
+    if args.file.is_empty() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn select_presets(filter: Option<&str>) -> Result<Vec<Architecture>, String> {
+    let all = marionette::arch::all_presets();
+    let Some(tags) = filter else { return Ok(all) };
+    let mut out = Vec::new();
+    for t in tags.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        match all.iter().find(|a| a.short.eq_ignore_ascii_case(t)) {
+            Some(a) => out.push(a.clone()),
+            None => {
+                return Err(format!(
+                    "unknown preset `{t}` (known: {})",
+                    all.iter().map(|a| a.short).collect::<Vec<_>>().join(", ")
+                ))
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err("empty preset selection".to_string());
+    }
+    Ok(out)
+}
+
+/// Types each `--param` override from the program's declarations; names
+/// that resolve to no declaration are passed through so the reference
+/// interpreter reports them as a typed `UnknownParam` error.
+fn typed_overrides(
+    ast: &marionette_lang::ast::Program,
+    raw: &[(String, String)],
+) -> Result<Vec<(String, Value)>, String> {
+    let mut out = Vec::new();
+    for (name, val) in raw {
+        let decl = ast.params.iter().find(|p| &p.name.name == name);
+        let v = match decl.map(|d| d.ty) {
+            Some(marionette_lang::ast::Ty::F32) => Value::F32(
+                val.parse::<f32>()
+                    .map_err(|_| format!("--param {name}: `{val}` is not an f32"))?,
+            ),
+            Some(marionette_lang::ast::Ty::I32) => Value::I32(
+                val.parse::<i32>()
+                    .map_err(|_| format!("--param {name}: `{val}` is not an i32"))?,
+            ),
+            // Undeclared name: parse by value shape so the reference
+            // interpreter gets to report the typed UnknownParam error.
+            None => match (val.parse::<i32>(), val.parse::<f32>()) {
+                (Ok(v), _) => Value::I32(v),
+                (_, Ok(v)) => Value::F32(v),
+                _ => return Err(format!("--param {name}: `{val}` is not a number")),
+            },
+        };
+        out.push((name.clone(), v));
+    }
+    Ok(out)
+}
+
+use marionette::report::json_escape;
+
+fn json_value(v: &Value) -> String {
+    match v {
+        Value::I32(x) => x.to_string(),
+        Value::F32(x) if x.is_finite() => format!("{x:?}"),
+        Value::F32(x) => format!("\"{x}\""),
+        Value::Unit => "\"unit\"".to_string(),
+        Value::Poison => "\"poison\"".to_string(),
+    }
+}
+
+fn json_report(
+    file: &str,
+    prog_name: &str,
+    nodes: usize,
+    loops: usize,
+    sinks: &std::collections::HashMap<String, Vec<Value>>,
+    search: Option<(u32, u32)>,
+    runs: &[PresetRun],
+) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"marionette.marc/v1\",\n");
+    j.push_str(&format!("  \"file\": \"{}\",\n", json_escape(file)));
+    j.push_str(&format!("  \"program\": \"{}\",\n", json_escape(prog_name)));
+    j.push_str(&format!("  \"nodes\": {nodes},\n"));
+    j.push_str(&format!("  \"loops\": {loops},\n"));
+    match search {
+        Some((m, r)) => j.push_str(&format!(
+            "  \"search\": {{\"moves\": {m}, \"restarts\": {r}}},\n"
+        )),
+        None => j.push_str("  \"search\": null,\n"),
+    }
+    let mut labels: Vec<&String> = sinks.keys().collect();
+    labels.sort();
+    j.push_str("  \"sinks\": {");
+    for (i, l) in labels.iter().enumerate() {
+        let vals: Vec<String> = sinks[*l].iter().map(json_value).collect();
+        j.push_str(&format!(
+            "{}\"{}\": [{}]",
+            if i == 0 { "" } else { ", " },
+            json_escape(l),
+            vals.join(", ")
+        ));
+    }
+    j.push_str("},\n");
+    j.push_str("  \"presets\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let mut line = format!(
+            "    {{\"preset\": \"{}\", \"cycles\": {}, \"fires\": {}, \
+             \"link_stall_cycles\": {}, \"switch_stall_cycles\": {}, \"group_switches\": {}, \
+             \"routes\": {}, \"mean_data_hops\": {:.3}, \"verified\": true",
+            json_escape(&r.preset),
+            r.cycles,
+            r.fires,
+            r.link_stall_cycles,
+            r.switch_stall_cycles,
+            r.group_switches,
+            r.routes,
+            r.mean_data_hops
+        );
+        if let Some(sr) = &r.search {
+            line.push_str(&format!(
+                ", \"search\": {{\"cost\": {:.3}, \"accepted\": {}, \"attempted\": {}, \"chain_seed\": {}}}",
+                sr.best_total, sr.accepted, sr.attempted, sr.seed
+            ));
+        }
+        if let Some(d) = &r.disasm {
+            line.push_str(&format!(", \"disasm\": \"{}\"", json_escape(d)));
+        }
+        line.push('}');
+        line.push_str(if i + 1 == runs.len() { "\n" } else { ",\n" });
+        j.push_str(&line);
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+fn run() -> Result<(), i32> {
+    let argv: Vec<String> = std::env::args().collect();
+    let args = parse_args(&argv).map_err(|e| {
+        eprintln!("marc: {e}");
+        2
+    })?;
+    let fail2 = |e: String| {
+        eprintln!("marc: {e}");
+        2
+    };
+    let presets = select_presets(args.presets.as_deref()).map_err(fail2)?;
+    let src = std::fs::read_to_string(&args.file).map_err(|e| {
+        eprintln!("marc: reading {}: {e}", args.file);
+        1
+    })?;
+
+    // Front end, with rendered diagnostics.
+    let (ast, g) = frontend(&src).map_err(|e| {
+        match e {
+            DriverError::Parse(d) => eprintln!("{}", d.render(&args.file, &src)),
+            DriverError::Sema(ds) => {
+                for d in &ds {
+                    eprintln!("{}", d.render(&args.file, &src));
+                }
+                eprintln!("marc: {} error(s)", ds.len());
+            }
+            other => eprintln!("marc: {other}"),
+        }
+        1
+    })?;
+    let overrides = typed_overrides(&ast, &args.params).map_err(fail2)?;
+
+    // Reference semantics (both interpreter modes, cross-checked).
+    let r = reference(&g, &overrides, INTERP_BUDGET).map_err(|e| {
+        eprintln!("marc: {e}");
+        1
+    })?;
+    println!(
+        "marc: {} ({} nodes, {} loops, {} sinks) on {} preset(s)",
+        ast.name.name,
+        g.nodes.len(),
+        g.loops.len(),
+        r.dropping.sinks.len(),
+        presets.len()
+    );
+
+    let mut runs = Vec::new();
+    for arch in &presets {
+        let mut arch = arch.clone();
+        if let Some((moves, restarts)) = args.search {
+            arch.opts.search = SearchBudget::Anneal {
+                moves,
+                restarts,
+                base_seed: 0xA11E,
+            };
+        }
+        let run =
+            run_preset(&g, &r, &arch, &overrides, args.max_cycles, args.disasm).map_err(|e| {
+                eprintln!("marc: {e}");
+                1
+            })?;
+        println!(
+            "marc: {:>5}  {:>10} cycles  {:>9} fires  {:>7} link-stall  {:>5} switch-stall  verified",
+            run.preset, run.cycles, run.fires, run.link_stall_cycles, run.switch_stall_cycles
+        );
+        runs.push(run);
+    }
+
+    let report = json_report(
+        &args.file,
+        &ast.name.name,
+        g.nodes.len(),
+        g.loops.len(),
+        &r.dropping.sinks,
+        args.search,
+        &runs,
+    );
+    match &args.json {
+        Some(path) if path != "-" => std::fs::write(path, &report).map_err(|e| {
+            eprintln!("marc: writing {path}: {e}");
+            1
+        })?,
+        Some(_) => print!("{report}"),
+        None => {}
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(code) = run() {
+        std::process::exit(code);
+    }
+}

@@ -1,0 +1,107 @@
+//! Golden end-to-end tests for the committed `examples/*.mar` programs:
+//! each example is pushed through the full `marc` pipeline (parse →
+//! check → lower → compile → bitstream round-trip → simulate) on **all
+//! nine architecture presets**, the simulation is verified bit-for-bit
+//! against the reference interpreter, and the program's *meaning* is
+//! pinned against an independent golden model (the kernel crate's CRC
+//! reference, `sort()`, and a direct convolution).
+
+use marionette::cdfg::value::Value;
+use marionette::kernels::crc::crc32_reference;
+use marionette_lang::driver::{frontend, reference, run_preset, Reference, INTERP_BUDGET};
+use marionette_lang::Diagnostic;
+
+const MAX_CYCLES: u64 = 100_000_000;
+
+fn example(name: &str) -> String {
+    let path = format!("{}/../../examples/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+fn render_all(src: &str, ds: &[Diagnostic]) -> String {
+    ds.iter()
+        .map(|d| d.render("example", src))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Front end + reference + all nine presets, bit-verified.
+fn run_everywhere(name: &str) -> (marionette::cdfg::Cdfg, Reference) {
+    let src = example(name);
+    let (_, g) = frontend(&src).unwrap_or_else(|e| match e {
+        marionette_lang::DriverError::Sema(ds) => {
+            panic!("{name}: {}", render_all(&src, &ds))
+        }
+        other => panic!("{name}: {other}"),
+    });
+    let r = reference(&g, &[], INTERP_BUDGET).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let presets = marionette::arch::all_presets();
+    assert_eq!(presets.len(), 9);
+    for arch in &presets {
+        let run = run_preset(&g, &r, arch, &[], MAX_CYCLES, false)
+            .unwrap_or_else(|e| panic!("{name} on {}: {e}", arch.short));
+        assert!(run.cycles > 0, "{name} on {}: empty run", arch.short);
+    }
+    (g, r)
+}
+
+fn i32_array(g: &marionette::cdfg::Cdfg, r: &Reference, name: &str) -> Vec<i32> {
+    let id = g
+        .array_by_name(name)
+        .unwrap_or_else(|| panic!("array {name}"));
+    r.dropping
+        .memory
+        .array(id)
+        .iter()
+        .map(|v| v.as_i32().unwrap_or_else(|| panic!("{name}: non-i32 {v}")))
+        .collect()
+}
+
+#[test]
+fn crc_example_matches_the_kernel_reference_on_all_presets() {
+    let (_, r) = run_everywhere("crc.mar");
+    // The message committed in the example: bytes of "12345678".
+    let msg: Vec<i32> = b"12345678".iter().map(|&b| b as i32).collect();
+    assert_eq!(
+        r.dropping.sinks["crc"],
+        vec![Value::I32(crc32_reference(&msg))],
+        "crc.mar disagrees with kernels::crc::crc32_reference"
+    );
+}
+
+#[test]
+fn mergesort_example_sorts_on_all_presets() {
+    let (g, r) = run_everywhere("mergesort.mar");
+    let got = i32_array(&g, &r, "data");
+    let mut expect = vec![42, -7, 19, 3, -25, 88, 0, 11];
+    expect.sort_unstable();
+    assert_eq!(got, expect, "mergesort.mar left data unsorted");
+}
+
+#[test]
+fn conv1d_example_matches_a_direct_convolution_on_all_presets() {
+    let (g, r) = run_everywhere("conv1d.mar");
+    let x: [i32; 12] = [3, -1, 4, 1, -5, 9, 2, -6, 5, 3, -5, 8];
+    let w: [i32; 4] = [2, -3, 1, 4];
+    let expect: Vec<i32> = (0..8)
+        .map(|i| (0..4).map(|t| x[i + t].wrapping_mul(w[t])).sum())
+        .collect();
+    assert_eq!(i32_array(&g, &r, "y"), expect, "conv1d.mar wrong output");
+}
+
+#[test]
+fn examples_survive_the_mapping_explorer() {
+    // A small annealing budget on the full Marionette preset: searched
+    // placements must stay bit-correct too.
+    let src = example("crc.mar");
+    let (_, g) = frontend(&src).unwrap();
+    let r = reference(&g, &[], INTERP_BUDGET).unwrap();
+    let mut arch = marionette::arch::marionette_full();
+    arch.opts.search = marionette::compiler::SearchBudget::Anneal {
+        moves: 150,
+        restarts: 1,
+        base_seed: 7,
+    };
+    let run = run_preset(&g, &r, &arch, &[], MAX_CYCLES, false).unwrap();
+    assert!(run.search.is_some(), "search report missing");
+}

@@ -420,8 +420,12 @@ impl CdfgBuilder {
     }
 
     /// Collects `v` under the result label `name`.
+    ///
+    /// Immediates and parameters are gated off the region's activation
+    /// tick (like any all-immediate computation), so `sink("x", b.imm(5))`
+    /// collects one value per region activation instead of never firing.
     pub fn sink(&mut self, name: &str, v: V) {
-        let v = self.import_into(v.0, self.cur_region);
+        let v = self.tokenize(v.0);
         let id = self.node_raw(Op::Sink, vec![v], self.cur_region, self.cur_bb);
         self.g.nodes[id.0 as usize].label = Some(name.into());
     }

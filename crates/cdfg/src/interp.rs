@@ -50,6 +50,23 @@ pub enum InterpError {
         /// Offending `(node, port, count)` triples (truncated to 8).
         leftovers: Vec<(NodeId, usize, usize)>,
     },
+    /// A parameter override named no declared parameter.
+    UnknownParam {
+        /// The unresolved parameter name.
+        name: String,
+    },
+    /// A sink lookup named no sink label.
+    UnknownSink {
+        /// The unresolved sink label.
+        name: String,
+    },
+    /// A scalar sink lookup found a stream of more or fewer than one value.
+    SinkArity {
+        /// The sink label.
+        name: String,
+        /// How many values the sink collected.
+        count: usize,
+    },
 }
 
 impl fmt::Display for InterpError {
@@ -60,6 +77,14 @@ impl fmt::Display for InterpError {
             }
             InterpError::ResidualTokens { leftovers } => {
                 write!(f, "residual tokens at quiescence: {leftovers:?}")
+            }
+            InterpError::UnknownParam { name } => write!(f, "no parameter named {name}"),
+            InterpError::UnknownSink { name } => write!(f, "no sink named {name}"),
+            InterpError::SinkArity { name, count } => {
+                write!(
+                    f,
+                    "sink {name} collected {count} values, expected exactly 1"
+                )
             }
         }
     }
@@ -83,15 +108,24 @@ pub struct InterpResult {
 impl InterpResult {
     /// The single value of a scalar sink.
     ///
-    /// # Panics
-    /// Panics if the sink is missing or did not collect exactly one value.
-    pub fn scalar(&self, name: &str) -> Value {
+    /// # Errors
+    /// Returns [`InterpError::UnknownSink`] when no sink has this label
+    /// and [`InterpError::SinkArity`] when the sink collected more or
+    /// fewer than one value.
+    pub fn scalar(&self, name: &str) -> Result<Value, InterpError> {
         let vs = self
             .sinks
             .get(name)
-            .unwrap_or_else(|| panic!("no sink named {name}"));
-        assert_eq!(vs.len(), 1, "sink {name} collected {} values", vs.len());
-        vs[0]
+            .ok_or_else(|| InterpError::UnknownSink {
+                name: name.to_string(),
+            })?;
+        if vs.len() != 1 {
+            return Err(InterpError::SinkArity {
+                name: name.to_string(),
+                count: vs.len(),
+            });
+        }
+        Ok(vs[0])
     }
 }
 
@@ -152,7 +186,9 @@ pub fn interpret_with_budget(
     for (name, v) in overrides {
         let id = g
             .param_by_name(name)
-            .unwrap_or_else(|| panic!("no parameter named {name}"));
+            .ok_or_else(|| InterpError::UnknownParam {
+                name: (*name).to_string(),
+            })?;
         params[id.0 as usize] = *v;
     }
     let mut port_base = Vec::with_capacity(g.nodes.len() + 1);
@@ -529,8 +565,8 @@ mod tests {
         b.sink("s", s);
         let g = b.finish();
         let (d, p) = run_both(&g);
-        assert_eq!(d.scalar("s"), Value::I32(42));
-        assert_eq!(p.scalar("s"), Value::I32(42));
+        assert_eq!(d.scalar("s").unwrap(), Value::I32(42));
+        assert_eq!(p.scalar("s").unwrap(), Value::I32(42));
     }
 
     #[test]
@@ -541,8 +577,8 @@ mod tests {
         b.sink("sum", outs[0]);
         let g = b.finish();
         let (d, p) = run_both(&g);
-        assert_eq!(d.scalar("sum"), Value::I32(45));
-        assert_eq!(p.scalar("sum"), Value::I32(45));
+        assert_eq!(d.scalar("sum").unwrap(), Value::I32(45));
+        assert_eq!(p.scalar("sum").unwrap(), Value::I32(45));
     }
 
     #[test]
@@ -553,7 +589,7 @@ mod tests {
         b.sink("r", outs[0]);
         let g = b.finish();
         let (d, _) = run_both(&g);
-        assert_eq!(d.scalar("r"), Value::I32(7));
+        assert_eq!(d.scalar("r").unwrap(), Value::I32(7));
     }
 
     #[test]
@@ -564,7 +600,7 @@ mod tests {
         b.sink("sum", outs[0]);
         let g = b.finish();
         let (d, _) = run_both(&g);
-        assert_eq!(d.scalar("sum"), Value::I32(3 + 6 + 9));
+        assert_eq!(d.scalar("sum").unwrap(), Value::I32(3 + 6 + 9));
     }
 
     #[test]
@@ -585,8 +621,8 @@ mod tests {
         let (d, p) = run_both(&g);
         // i=0: nothing; i=1: j=0 -> 10; i=2: 10+11; i=3: 10+11+12
         let expect = 10 + (10 + 11) + (10 + 11 + 12);
-        assert_eq!(d.scalar("s"), Value::I32(expect));
-        assert_eq!(p.scalar("s"), Value::I32(expect));
+        assert_eq!(d.scalar("s").unwrap(), Value::I32(expect));
+        assert_eq!(p.scalar("s").unwrap(), Value::I32(expect));
     }
 
     #[test]
@@ -618,8 +654,8 @@ mod tests {
                 s -= i;
             }
         }
-        assert_eq!(d.scalar("s"), Value::I32(s));
-        assert_eq!(p.scalar("s"), Value::I32(s));
+        assert_eq!(d.scalar("s").unwrap(), Value::I32(s));
+        assert_eq!(p.scalar("s").unwrap(), Value::I32(s));
     }
 
     #[test]
@@ -647,8 +683,8 @@ mod tests {
         let g = b.finish();
         let (d, p) = run_both(&g);
         // i 0..=4: +1 (5), i 5..=7: +10 (30), i 8,9: +100 (200) => 235
-        assert_eq!(d.scalar("s"), Value::I32(235));
-        assert_eq!(p.scalar("s"), Value::I32(235));
+        assert_eq!(d.scalar("s").unwrap(), Value::I32(235));
+        assert_eq!(p.scalar("s").unwrap(), Value::I32(235));
     }
 
     #[test]
@@ -734,8 +770,8 @@ mod tests {
             n = if n % 2 == 1 { 3 * n + 1 } else { n / 2 };
             c += 1;
         }
-        assert_eq!(d.scalar("steps"), Value::I32(c));
-        assert_eq!(p.scalar("steps"), Value::I32(c));
+        assert_eq!(d.scalar("steps").unwrap(), Value::I32(c));
+        assert_eq!(p.scalar("steps").unwrap(), Value::I32(c));
     }
 
     #[test]
@@ -772,7 +808,7 @@ mod tests {
         b.sink("s", outs[0]);
         let g = b.finish();
         let r = interpret(&g, ExecMode::Dropping, &[("n", Value::I32(5))]).unwrap();
-        assert_eq!(r.scalar("s"), Value::I32(10));
+        assert_eq!(r.scalar("s").unwrap(), Value::I32(10));
     }
 
     #[test]
@@ -784,6 +820,50 @@ mod tests {
         let g = b.finish();
         let err = interpret_with_budget(&g, ExecMode::Dropping, &[], 100).unwrap_err();
         assert!(matches!(err, InterpError::FiringBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn unknown_param_override_is_a_typed_error() {
+        let mut b = CdfgBuilder::new("t");
+        let n = b.param("n", 4);
+        b.sink("n", n);
+        let g = b.finish();
+        let err = interpret(&g, ExecMode::Dropping, &[("bogus", Value::I32(1))]).unwrap_err();
+        assert_eq!(
+            err,
+            InterpError::UnknownParam {
+                name: "bogus".into()
+            }
+        );
+        assert_eq!(err.to_string(), "no parameter named bogus");
+    }
+
+    #[test]
+    fn unknown_and_nonscalar_sinks_are_typed_errors() {
+        let mut b = CdfgBuilder::new("t");
+        let zero = b.imm(0);
+        let outs = b.for_range(0, 3, &[zero], |b, i, v| {
+            let x = b.add(i, 1.into());
+            b.sink("stream", x);
+            vec![b.add(v[0], i)]
+        });
+        b.sink("s", outs[0]);
+        let g = b.finish();
+        let r = interpret(&g, ExecMode::Dropping, &[]).unwrap();
+        assert_eq!(
+            r.scalar("nope").unwrap_err(),
+            InterpError::UnknownSink {
+                name: "nope".into()
+            }
+        );
+        assert_eq!(
+            r.scalar("stream").unwrap_err(),
+            InterpError::SinkArity {
+                name: "stream".into(),
+                count: 3
+            }
+        );
+        assert_eq!(r.scalar("s").unwrap(), Value::I32(3));
     }
 
     #[test]

@@ -36,7 +36,7 @@
 //! let g = b.finish();
 //!
 //! let r = interpret(&g, ExecMode::Dropping, &[])?;
-//! assert_eq!(r.scalar("sum"), Value::I32(285));
+//! assert_eq!(r.scalar("sum")?, Value::I32(285));
 //! # Ok::<(), marionette_cdfg::interp::InterpError>(())
 //! ```
 

@@ -170,6 +170,44 @@ impl fmt::Display for Value {
     }
 }
 
+/// Describes the first bit-level disagreement between two value streams
+/// (`None` when identical). Length mismatches are reported as such, so a
+/// truncated stream becomes a comparison detail, never a panic. This is
+/// the shared divergence-detection primitive of every differential check
+/// (fuzz differentials, the `marc` driver, equivalence tests).
+pub fn stream_mismatch(a: &[Value], b: &[Value]) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!(": interp has {} values, sim {}", a.len(), b.len()));
+    }
+    (0..a.len())
+        .find(|&i| !a[i].bit_eq(b[i]))
+        .map(|i| format!("[{i}]: interp {}, sim {}", a[i], b[i]))
+}
+
+/// Bit-compares two labeled sink-stream maps: the label sets must match
+/// and every stream must be bit-identical in arrival order.
+///
+/// # Errors
+/// Returns a description of the first disagreement.
+pub fn compare_sink_maps(
+    expect: &std::collections::HashMap<String, Vec<Value>>,
+    got: &std::collections::HashMap<String, Vec<Value>>,
+) -> Result<(), String> {
+    let mut labels: Vec<&String> = expect.keys().collect();
+    labels.sort();
+    let mut got_labels: Vec<&String> = got.keys().collect();
+    got_labels.sort();
+    if labels != got_labels {
+        return Err(format!("sink sets differ: {labels:?} vs {got_labels:?}"));
+    }
+    for l in labels {
+        if let Some(m) = stream_mismatch(&expect[l], &got[l]) {
+            return Err(format!("sink {l}{m}"));
+        }
+    }
+    Ok(())
+}
+
 /// Element type of a memory array declaration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ElemTy {

@@ -43,6 +43,7 @@
 //! | [`runner`] | end-to-end compile+simulate+verify |
 //! | [`experiments`] | regeneration of every evaluation figure |
 //! | [`parallel`] | scoped-thread fan-out for experiment sweeps |
+//! | [`report`] | shared helpers for the JSON-report binaries |
 
 #![warn(missing_docs)]
 
@@ -57,6 +58,7 @@ pub use marionette_sim as sim;
 
 pub mod experiments;
 pub mod parallel;
+pub mod report;
 pub mod runner;
 
 /// Convenience imports for examples and tests.

@@ -1,0 +1,33 @@
+//! Small helpers shared by the JSON-report-emitting binaries
+//! (`bench_sim`, `map_explore`, `marc`, `fuzz_stack`), so every report
+//! agrees on escaping rules.
+
+/// Escapes a string for embedding in a JSON string literal: backslash,
+/// quote, and all control characters.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials_and_controls() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny\t\u{1}"), "x\\ny\\t\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

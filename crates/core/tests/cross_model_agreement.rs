@@ -77,13 +77,13 @@ proptest! {
         let pi = interpret(&g, ExecMode::Predicated, &[]).expect("predicated");
         let out_id = g.array_by_name("out").unwrap();
         prop_assert_eq!(di.memory.array(out_id), pi.memory.array(out_id));
-        prop_assert_eq!(di.scalar("total"), pi.scalar("total"));
+        prop_assert_eq!(di.scalar("total").unwrap(), pi.scalar("total").unwrap());
 
         // Marionette timing model (dropping semantics).
         let tm = TimingModel::ideal("m");
         let (mem_m, total_m) = run_sim(&g, &tm, &CompileOptions::marionette_4x4());
         prop_assert_eq!(&mem_m[..], di.memory.array(out_id));
-        prop_assert!(total_m.bit_eq(di.scalar("total")));
+        prop_assert!(total_m.bit_eq(di.scalar("total").unwrap()));
 
         // Predicated, exclusive von-Neumann-style model.
         let mut tv = TimingModel::ideal("vn");
@@ -96,7 +96,7 @@ proptest! {
         opts.agile = false;
         let (mem_v, total_v) = run_sim(&g, &tv, &opts);
         prop_assert_eq!(&mem_v[..], di.memory.array(out_id));
-        prop_assert!(total_v.bit_eq(di.scalar("total")));
+        prop_assert!(total_v.bit_eq(di.scalar("total").unwrap()));
     }
 }
 
@@ -113,6 +113,10 @@ fn zero_trip_and_single_trip_edges() {
         let tm = TimingModel::ideal("m");
         let (prog, _) = compile(&g, &CompileOptions::marionette_4x4()).unwrap();
         let r = run(&prog, &tm, &[], &[], 1_000_000).unwrap();
-        assert_eq!(r.sinks.get("s").unwrap()[0], di.scalar("s"), "n={n}");
+        assert_eq!(
+            r.sinks.get("s").unwrap()[0],
+            di.scalar("s").unwrap(),
+            "n={n}"
+        );
     }
 }

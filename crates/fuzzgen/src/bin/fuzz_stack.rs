@@ -6,13 +6,19 @@
 //! fuzz_stack [--start S] [--count N] [--presets M,vN,...] [--depth D]
 //!            [--max-stmts K] [--shrink] [--corpus-dir DIR]
 //!            [--json PATH] [--max-cycles C] [--no-fires] [--serial]
-//!            [--search MOVES[,RESTARTS]]
+//!            [--search MOVES[,RESTARTS]] [--source]
 //! ```
 //!
 //! `--search` turns the compiler's annealing mapping explorer on for
 //! every selected preset (MOVES annealing moves, RESTARTS chains),
 //! fuzzing the searched placements and rip-up routes instead of the
 //! legacy one-shot pipeline.
+//!
+//! `--source` additionally exercises the `.mar` source axis: each
+//! program is emitted as `marionette-lang` source, re-lowered through
+//! the lexer/parser/sema front end, value-compared against the direct
+//! builder path, and the source-lowered graph is driven through the
+//! full stack on the same presets.
 //!
 //! Exit status is non-zero when any divergence was found. With
 //! `--shrink`, each divergence is reduced while it still reproduces and
@@ -26,6 +32,7 @@ use marionette::parallel::{par_map, sweep_threads};
 use marionette_fuzzgen::diff::{all_presets, diff_program, presets_by_tags, DEFAULT_MAX_CYCLES};
 use marionette_fuzzgen::gen::{generate, GenConfig};
 use marionette_fuzzgen::shrink::shrink;
+use marionette_fuzzgen::source::diff_both;
 use std::time::Instant;
 
 struct Args {
@@ -42,6 +49,7 @@ struct Args {
     serial: bool,
     print_seed: Option<u64>,
     search: Option<(u32, u32)>,
+    source: bool,
 }
 
 fn parse_args() -> Args {
@@ -93,6 +101,7 @@ fn parse_args() -> Args {
             };
             (moves, restarts)
         }),
+        source: has("--source"),
     }
 }
 
@@ -105,21 +114,7 @@ struct SeedOutcome {
     failure: Option<String>,
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '"' => out.push_str("\\\""),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+use marionette::report::json_escape;
 
 fn main() {
     let args = parse_args();
@@ -157,7 +152,14 @@ fn main() {
     let t0 = Instant::now();
     let outcomes = par_map(seeds, threads, |seed| {
         let p = generate(seed, &cfg);
-        match diff_program(&p, &presets, args.max_cycles, args.check_fires) {
+        // With --source, each seed runs both axes sharing one reference
+        // interpretation of the builder graph.
+        let result = if args.source {
+            diff_both(&p, &presets, args.max_cycles, args.check_fires)
+        } else {
+            diff_program(&p, &presets, args.max_cycles, args.check_fires)
+        };
+        match result {
             Ok(s) => SeedOutcome {
                 seed,
                 points: s.points,
@@ -190,12 +192,16 @@ fn main() {
             f.failure.as_deref().unwrap_or("")
         );
         if args.do_shrink {
+            let still_fails = |q: &marionette_fuzzgen::Program| {
+                if args.source {
+                    diff_both(q, &presets, args.max_cycles, args.check_fires).err()
+                } else {
+                    diff_program(q, &presets, args.max_cycles, args.check_fires).err()
+                }
+            };
             let full = generate(f.seed, &cfg);
-            let small = shrink(&full, 4000, |q| {
-                diff_program(q, &presets, args.max_cycles, args.check_fires).is_err()
-            });
-            let d = diff_program(&small, &presets, args.max_cycles, args.check_fires)
-                .expect_err("shrunk case still fails");
+            let small = shrink(&full, 4000, |q| still_fails(q).is_some());
+            let d = still_fails(&small).expect("shrunk case still fails");
             let path = format!("{}/shrunk_seed{}.txt", args.corpus_dir, f.seed);
             let mut text = small.to_text();
             text.insert_str(
@@ -239,6 +245,7 @@ fn main() {
             )),
             None => j.push_str("  \"search\": null,\n"),
         }
+        j.push_str(&format!("  \"source_axis\": {},\n", args.source));
         j.push_str(&format!("  \"programs\": {},\n", outcomes.len()));
         j.push_str(&format!("  \"points\": {total_points},\n"));
         j.push_str(&format!("  \"sim_cycles\": {total_cycles},\n"));

@@ -65,6 +65,10 @@ pub enum DivergenceKind {
     Oob,
     /// Total firing counts differed from the matching interpreter mode.
     Fires,
+    /// The `.mar` source round-trip diverged: the emitted source was
+    /// rejected by the front end, or the source-lowered graph computed
+    /// different values than the direct builder path.
+    Source,
 }
 
 impl fmt::Display for DivergenceKind {
@@ -79,6 +83,7 @@ impl fmt::Display for DivergenceKind {
             DivergenceKind::Sinks => "sinks",
             DivergenceKind::Oob => "oob",
             DivergenceKind::Fires => "fires",
+            DivergenceKind::Source => "source",
         };
         f.write_str(s)
     }
@@ -136,20 +141,53 @@ pub fn diff_program(
     check_fires: bool,
 ) -> Result<DiffStats, Divergence> {
     let g = emit(p);
-    let reference = interp(&g, ExecMode::Dropping)?;
-    let predicated = interp(&g, ExecMode::Predicated)?;
-    // The two steering semantics must agree before we even reach the
-    // machine: this is the cheapest cross-check and localizes bugs to the
-    // operator semantics rather than the timing machinery.
-    compare_results(&g, &reference, &predicated).map_err(|d| Divergence {
-        preset: String::new(),
-        kind: DivergenceKind::Modes,
-        detail: d,
-    })?;
+    let reference = interp_pair(&g)?;
     let mut stats = DiffStats {
         nodes: g.nodes.len(),
         ..DiffStats::default()
     };
+    check_presets(&g, &reference, presets, max_cycles, check_fires, &mut stats)?;
+    Ok(stats)
+}
+
+/// Both interpreter steering modes of one graph, cross-checked.
+pub(crate) struct RefPair {
+    /// Dropping-mode interpretation (the specification).
+    pub dropping: InterpResult,
+    /// Predicated-mode interpretation (for firing-count checks).
+    pub predicated: InterpResult,
+}
+
+/// Interprets `g` in both modes and cross-checks them ([`DivergenceKind::Modes`]).
+pub(crate) fn interp_pair(g: &Cdfg) -> Result<RefPair, Divergence> {
+    let dropping = interp(g, ExecMode::Dropping)?;
+    let predicated = interp(g, ExecMode::Predicated)?;
+    // The two steering semantics must agree before we even reach the
+    // machine: this is the cheapest cross-check and localizes bugs to the
+    // operator semantics rather than the timing machinery.
+    compare_results(g, &dropping, &predicated).map_err(|d| Divergence {
+        preset: String::new(),
+        kind: DivergenceKind::Modes,
+        detail: d,
+    })?;
+    Ok(RefPair {
+        dropping,
+        predicated,
+    })
+}
+
+/// Runs `g` through compile → bitstream → simulate on each preset and
+/// bit-compares against the reference pair, accumulating into `stats`.
+pub(crate) fn check_presets(
+    g: &Cdfg,
+    pair: &RefPair,
+    presets: &[Architecture],
+    max_cycles: u64,
+    check_fires: bool,
+    stats: &mut DiffStats,
+) -> Result<(), Divergence> {
+    let reference = &pair.dropping;
+    let predicated = &pair.predicated;
     let inputs: Vec<(String, Vec<Value>)> = g
         .arrays
         .iter()
@@ -165,7 +203,7 @@ pub fn diff_program(
         // search budget is off, and the timing-derived cost model (the
         // same one `runner::run_kernel` uses) when fuzzing with the
         // mapping explorer enabled.
-        let (prog, _) = marionette::compiler::compile_with_timing(&g, &arch.opts, &arch.tm)
+        let (prog, _) = marionette::compiler::compile_with_timing(g, &arch.opts, &arch.tm)
             .map_err(|e| fail(DivergenceKind::Compile, e.to_string()))?;
         // Full-stack fidelity: simulate the decoded bitstream.
         let bytes = marionette::isa::bitstream::encode(&prog);
@@ -221,7 +259,7 @@ pub fn diff_program(
         stats.cycles += r.stats.cycles;
         stats.fires += r.stats.fires;
     }
-    Ok(stats)
+    Ok(())
 }
 
 fn interp(g: &Cdfg, mode: ExecMode) -> Result<InterpResult, Divergence> {
@@ -232,36 +270,8 @@ fn interp(g: &Cdfg, mode: ExecMode) -> Result<InterpResult, Divergence> {
     })
 }
 
-/// Describes the first bit-level disagreement between two value streams
-/// (`None` when identical). Length mismatches are reported as such, so a
-/// truncated stream becomes a divergence detail, never a panic.
-fn stream_mismatch(a: &[Value], b: &[Value]) -> Option<String> {
-    if a.len() != b.len() {
-        return Some(format!(": interp has {} values, sim {}", a.len(), b.len()));
-    }
-    (0..a.len())
-        .find(|&i| !a[i].bit_eq(b[i]))
-        .map(|i| format!("[{i}]: interp {}, sim {}", a[i], b[i]))
-}
-
-fn compare_sinks(
-    expect: &std::collections::HashMap<String, Vec<Value>>,
-    got: &std::collections::HashMap<String, Vec<Value>>,
-) -> Result<(), String> {
-    let mut labels: Vec<&String> = expect.keys().collect();
-    labels.sort();
-    let mut got_labels: Vec<&String> = got.keys().collect();
-    got_labels.sort();
-    if labels != got_labels {
-        return Err(format!("sink sets differ: {labels:?} vs {got_labels:?}"));
-    }
-    for l in labels {
-        if let Some(m) = stream_mismatch(&expect[l], &got[l]) {
-            return Err(format!("sink {l}{m}"));
-        }
-    }
-    Ok(())
-}
+// The shared bit-comparison primitives live next to `Value` itself.
+pub(crate) use marionette_cdfg::value::{compare_sink_maps as compare_sinks, stream_mismatch};
 
 /// Interp-mode cross-check: arrays and sinks bit-identical.
 fn compare_results(g: &Cdfg, a: &InterpResult, b: &InterpResult) -> Result<(), String> {

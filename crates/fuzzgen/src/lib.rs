@@ -17,6 +17,11 @@
 //! - [`emit::emit`] — lowering through `cdfg::builder` (well-formed by
 //!   construction, Kahn-deterministic memory via ordering tokens);
 //! - [`diff::diff_program`] — interp-vs-sim differential check;
+//! - [`source::to_mar`] / [`source::diff_source`] — the second
+//!   differential axis: every fuzz program is also emitted as `.mar`
+//!   source, re-lowered through the `marionette-lang` front end
+//!   (lexer → parser → sema → lowering), and must compute bit-identical
+//!   results to the direct builder path;
 //! - [`shrink::shrink`] — greedy reducer for failing cases;
 //! - `corpus/` — committed regression programs replayed by `cargo test`;
 //! - the `fuzz_stack` binary — seed-range sweeps across cores.
@@ -28,9 +33,11 @@ pub mod diff;
 pub mod emit;
 pub mod gen;
 pub mod shrink;
+pub mod source;
 
 pub use ast::Program;
 pub use diff::{all_presets, diff_program, DiffStats, Divergence, DivergenceKind};
 pub use emit::emit;
 pub use gen::{generate, GenConfig};
 pub use shrink::shrink;
+pub use source::{diff_both, diff_source, to_mar};

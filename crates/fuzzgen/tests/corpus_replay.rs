@@ -3,6 +3,7 @@
 
 use marionette_fuzzgen::diff::{all_presets, diff_program, presets_by_tags, DEFAULT_MAX_CYCLES};
 use marionette_fuzzgen::gen::{generate, GenConfig};
+use marionette_fuzzgen::source::diff_both;
 use marionette_fuzzgen::Program;
 use std::path::PathBuf;
 
@@ -55,11 +56,14 @@ fn corpus_is_nonempty_and_parses() {
 
 #[test]
 fn corpus_replays_divergence_free_on_all_presets() {
+    // `diff_both` replays each regression on the builder axis *and* the
+    // `.mar` source axis, so corpus entries shrunk from a
+    // `fuzz_stack --source` failure keep pinning their failing axis.
     let presets = all_presets();
     for (name, p) in corpus_entries() {
-        let stats = diff_program(&p, &presets, DEFAULT_MAX_CYCLES, true)
+        let stats = diff_both(&p, &presets, DEFAULT_MAX_CYCLES, true)
             .unwrap_or_else(|d| panic!("{name}: {d}"));
-        assert_eq!(stats.points, presets.len(), "{name}: preset skipped");
+        assert_eq!(stats.points, 2 * presets.len(), "{name}: preset skipped");
     }
 }
 

@@ -1,0 +1,102 @@
+//! Source spans and located diagnostics.
+//!
+//! Every lexer token and AST node carries a byte-offset [`Span`] into the
+//! original source text; parse and semantic errors are reported as
+//! [`Diagnostic`]s that [`Diagnostic::render`] turns into a `file:line:col`
+//! message with the offending source line and a caret underline.
+
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` into the source text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub lo: u32,
+    /// Byte offset one past the last character.
+    pub hi: u32,
+}
+
+impl Span {
+    /// Builds a span from byte offsets.
+    pub fn new(lo: usize, hi: usize) -> Self {
+        Span {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+/// One located error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based `(line, column)` of the span start within `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let lo = (self.span.lo as usize).min(src.len());
+        let before = &src[..lo];
+        let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = before.rfind('\n').map_or(lo, |p| lo - p - 1) + 1;
+        (line, col)
+    }
+
+    /// Renders the diagnostic with the source line and a caret underline.
+    pub fn render(&self, file: &str, src: &str) -> String {
+        let (line, col) = self.line_col(src);
+        let text = src.lines().nth(line - 1).unwrap_or("");
+        let width = ((self.span.hi - self.span.lo) as usize).max(1);
+        let width = width.min(text.len().saturating_sub(col - 1).max(1));
+        format!(
+            "{file}:{line}:{col}: error: {}\n  | {text}\n  | {}{}",
+            self.message,
+            " ".repeat(col - 1),
+            "^".repeat(width)
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_and_render() {
+        let src = "program t;\nlet x = y;\n";
+        let pos = src.find('y').unwrap();
+        let d = Diagnostic::new(Span::new(pos, pos + 1), "unknown name `y`");
+        assert_eq!(d.line_col(src), (2, 9));
+        let r = d.render("t.mar", src);
+        assert!(r.contains("t.mar:2:9"), "{r}");
+        assert!(r.contains("let x = y;"), "{r}");
+        assert!(r.lines().nth(2).unwrap().trim_end().ends_with('^'), "{r}");
+    }
+}

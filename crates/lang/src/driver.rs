@@ -1,0 +1,299 @@
+//! Full-stack execution of a `.mar` program: parse → check → lower →
+//! compile → bitstream round-trip → cycle-level simulation, with every
+//! preset's simulation checked bit-for-bit against the reference
+//! interpreter. This is the engine behind the `marc` CLI and the golden
+//! example tests.
+
+use crate::ast;
+use crate::diag::Diagnostic;
+use crate::lower::lower;
+use crate::parser::parse;
+use crate::sema::check;
+use marionette::runner::compile_for_arch;
+use marionette_arch::Architecture;
+use marionette_cdfg::interp::{interpret_with_budget, ExecMode, InterpError, InterpResult};
+use marionette_cdfg::value::{compare_sink_maps as compare_sinks, stream_mismatch, Value};
+use marionette_cdfg::Cdfg;
+use std::fmt;
+
+/// Firing budget for the reference interpretations.
+pub const INTERP_BUDGET: u64 = 200_000_000;
+
+/// Default cycle budget per simulated preset.
+pub const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
+
+/// A failure anywhere in the source-to-silicon pipeline.
+#[derive(Debug)]
+pub enum DriverError {
+    /// Lexing or parsing failed.
+    Parse(Diagnostic),
+    /// Semantic checks failed.
+    Sema(Vec<Diagnostic>),
+    /// The reference interpreter failed (or its two steering modes
+    /// disagreed, which indicates an operator-semantics bug).
+    Interp(InterpError),
+    /// The two interpreter modes disagreed.
+    Modes(String),
+    /// Placement/routing failed on a preset.
+    Compile {
+        /// Preset short tag.
+        preset: String,
+        /// Compiler error.
+        e: marionette::compiler::PlaceError,
+    },
+    /// The configuration bitstream did not round-trip.
+    Bitstream {
+        /// Preset short tag.
+        preset: String,
+        /// Decoder error text.
+        detail: String,
+    },
+    /// Simulation failed on a preset.
+    Sim {
+        /// Preset short tag.
+        preset: String,
+        /// Simulator error.
+        e: marionette::sim::SimError,
+    },
+    /// Simulated results diverged from the reference interpreter.
+    Mismatch {
+        /// Preset short tag.
+        preset: String,
+        /// First mismatch description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Parse(d) => write!(f, "parse: {}", d.message),
+            DriverError::Sema(ds) => {
+                write!(
+                    f,
+                    "{} semantic error(s); first: {}",
+                    ds.len(),
+                    ds[0].message
+                )
+            }
+            DriverError::Interp(e) => write!(f, "reference interpreter: {e}"),
+            DriverError::Modes(d) => write!(f, "interpreter steering modes disagree: {d}"),
+            DriverError::Compile { preset, e } => write!(f, "compile on {preset}: {e}"),
+            DriverError::Bitstream { preset, detail } => {
+                write!(f, "bitstream round-trip on {preset}: {detail}")
+            }
+            DriverError::Sim { preset, e } => write!(f, "simulate on {preset}: {e}"),
+            DriverError::Mismatch { preset, detail } => {
+                write!(f, "sim diverges from the reference on {preset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Parses, checks and lowers source text.
+///
+/// # Errors
+/// Returns [`DriverError::Parse`] or [`DriverError::Sema`].
+pub fn frontend(src: &str) -> Result<(ast::Program, Cdfg), DriverError> {
+    let p = parse(src).map_err(DriverError::Parse)?;
+    check(&p).map_err(DriverError::Sema)?;
+    let g = lower(&p);
+    Ok((p, g))
+}
+
+/// The program's reference semantics: both interpreter steering modes,
+/// cross-checked against each other.
+#[derive(Debug)]
+pub struct Reference {
+    /// Dropping-mode interpretation (the specification).
+    pub dropping: InterpResult,
+    /// Predicated-mode interpretation (fires both branch sides).
+    pub predicated: InterpResult,
+}
+
+/// Interprets `g` in both modes with `overrides` and cross-checks them.
+///
+/// # Errors
+/// Returns [`DriverError::Interp`] (including unknown parameter
+/// overrides, surfaced as [`InterpError::UnknownParam`]) or
+/// [`DriverError::Modes`].
+pub fn reference(
+    g: &Cdfg,
+    overrides: &[(String, Value)],
+    budget: u64,
+) -> Result<Reference, DriverError> {
+    let ovr: Vec<(&str, Value)> = overrides.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let dropping =
+        interpret_with_budget(g, ExecMode::Dropping, &ovr, budget).map_err(DriverError::Interp)?;
+    let predicated = interpret_with_budget(g, ExecMode::Predicated, &ovr, budget)
+        .map_err(DriverError::Interp)?;
+    for arr in &g.arrays {
+        let id = g.array_by_name(&arr.name).expect("declared");
+        if let Some(m) = stream_mismatch(dropping.memory.array(id), predicated.memory.array(id)) {
+            return Err(DriverError::Modes(format!("array {}{m}", arr.name)));
+        }
+    }
+    compare_sinks(&dropping.sinks, &predicated.sinks).map_err(DriverError::Modes)?;
+    Ok(Reference {
+        dropping,
+        predicated,
+    })
+}
+
+/// One preset's measured, verified run.
+#[derive(Clone, Debug)]
+pub struct PresetRun {
+    /// Preset short tag.
+    pub preset: String,
+    /// Total cycles to quiescence.
+    pub cycles: u64,
+    /// Total node firings.
+    pub fires: u64,
+    /// Cycles flits spent blocked on busy links.
+    pub link_stall_cycles: u64,
+    /// Cycles stalled on group configuration switches.
+    pub switch_stall_cycles: u64,
+    /// Number of group switches.
+    pub group_switches: u64,
+    /// Routed point-to-point connections.
+    pub routes: usize,
+    /// Mean mesh hops per data route.
+    pub mean_data_hops: f64,
+    /// Annealing search report, when the mapping explorer ran.
+    pub search: Option<marionette::compiler::SearchReport>,
+    /// Disassembly of the (decoded) configuration, when requested.
+    pub disasm: Option<String>,
+}
+
+/// Compiles `g` for `arch`, round-trips the bitstream, simulates the
+/// decoded program and verifies it bit-for-bit against `reference`.
+///
+/// # Errors
+/// Returns the first [`DriverError`] along the pipeline.
+pub fn run_preset(
+    g: &Cdfg,
+    reference: &Reference,
+    arch: &Architecture,
+    overrides: &[(String, Value)],
+    max_cycles: u64,
+    want_disasm: bool,
+) -> Result<PresetRun, DriverError> {
+    let preset = arch.short.to_string();
+    let (prog, report) = compile_for_arch(g, arch).map_err(|e| DriverError::Compile {
+        preset: preset.clone(),
+        e,
+    })?;
+    let bytes = marionette::isa::bitstream::encode(&prog);
+    let prog = marionette::isa::bitstream::decode(&bytes).map_err(|e| DriverError::Bitstream {
+        preset: preset.clone(),
+        detail: e.to_string(),
+    })?;
+    let inputs: Vec<(String, Vec<Value>)> = g
+        .arrays
+        .iter()
+        .map(|a| (a.name.clone(), a.init.clone()))
+        .collect();
+    let r = marionette::sim::run(&prog, &arch.tm, &inputs, overrides, max_cycles).map_err(|e| {
+        DriverError::Sim {
+            preset: preset.clone(),
+            e,
+        }
+    })?;
+    let fail = |detail: String| DriverError::Mismatch {
+        preset: preset.clone(),
+        detail,
+    };
+    for arr in &g.arrays {
+        let id = g.array_by_name(&arr.name).expect("declared");
+        let expect = reference.dropping.memory.array(id);
+        let got = r
+            .array(&prog, &arr.name)
+            .ok_or_else(|| fail(format!("array {} missing from the simulation", arr.name)))?;
+        if let Some(m) = stream_mismatch(expect, got) {
+            return Err(fail(format!("array {}{m}", arr.name)));
+        }
+    }
+    compare_sinks(&reference.dropping.sinks, &r.sinks).map_err(fail)?;
+    if r.oob_events != reference.dropping.memory.oob_events() {
+        return Err(fail(format!(
+            "interp saw {} out-of-bounds events, sim {}",
+            reference.dropping.memory.oob_events(),
+            r.oob_events
+        )));
+    }
+    let expect_fires = if arch.tm.predicated_branches {
+        reference.predicated.firings
+    } else {
+        reference.dropping.firings
+    };
+    if r.stats.fires != expect_fires {
+        return Err(fail(format!(
+            "interp fired {expect_fires} times, sim fired {}",
+            r.stats.fires
+        )));
+    }
+    Ok(PresetRun {
+        preset,
+        cycles: r.stats.cycles,
+        fires: r.stats.fires,
+        link_stall_cycles: r.stats.link_stall_cycles,
+        switch_stall_cycles: r.stats.switch_stall_cycles,
+        group_switches: r.stats.group_switches,
+        routes: report.routes,
+        mean_data_hops: report.mean_data_hops,
+        search: report.search,
+        disasm: want_disasm.then(|| marionette::isa::disasm::disassemble(&prog)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+program smoke;
+param n: i32 = 6;
+input a: i32[8] = [3, 1, 4, 1, 5, 9, 2, 6];
+state s: i32[8];
+
+let sum = for i in 0..n with acc = 0 {
+  let x = a[i];
+  let (y,) = if x & 1 { yield x * 3; } else { yield x; };
+  s[i] = y;
+  yield acc + y;
+};
+sink sum = sum;
+";
+
+    #[test]
+    fn full_stack_on_the_ladder() {
+        let (_, g) = frontend(SRC).unwrap();
+        let r = reference(&g, &[], INTERP_BUDGET).unwrap();
+        for arch in marionette_arch::all_presets() {
+            let run = run_preset(&g, &r, &arch, &[], DEFAULT_MAX_CYCLES, false)
+                .unwrap_or_else(|e| panic!("{}: {e}", arch.short));
+            assert!(run.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn unknown_param_override_is_typed() {
+        let (_, g) = frontend(SRC).unwrap();
+        let e = reference(&g, &[("zz".to_string(), Value::I32(1))], INTERP_BUDGET).unwrap_err();
+        match e {
+            DriverError::Interp(InterpError::UnknownParam { name }) => assert_eq!(name, "zz"),
+            other => panic!("expected UnknownParam, got {other}"),
+        }
+    }
+
+    #[test]
+    fn sema_errors_surface_with_spans() {
+        let e = frontend("program t; state s: i32[4]; let x = nope + 1;").unwrap_err();
+        match e {
+            DriverError::Sema(ds) => assert!(ds[0].message.contains("unknown name")),
+            other => panic!("expected Sema, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Hand-written lexer for `.mar` source text.
+//!
+//! Produces a flat vector of spanned tokens. Notable choices:
+//!
+//! - float operators are spelled with a trailing dot (`+.`, `<=.`, ...),
+//!   OCaml style, so operator selection is syntactic and never depends on
+//!   inferred types;
+//! - `0..8` lexes as `0` `..` `8`: a `.` directly followed by a second `.`
+//!   never extends a number literal;
+//! - float literals require a digit on both sides of the decimal point
+//!   (`1.0`, not `1.`), plus optional exponent (`2.5e-3`), which is exactly
+//!   the shape Rust's shortest round-trip formatter emits;
+//! - `//` starts a line comment.
+
+use crate::diag::{Diagnostic, Span};
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// Integer literal; `hex` records the `0x` spelling (hex literals wrap
+    /// as 32-bit patterns, decimal literals must fit `i32`).
+    Int {
+        /// Magnitude as written.
+        value: u64,
+        /// Written with a `0x` prefix.
+        hex: bool,
+    },
+    /// Float literal.
+    Float(f32),
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `=`
+    Assign,
+    /// `..`
+    DotDot,
+    /// `:`
+    Colon,
+    /// An operator symbol (`+`, `+.`, `>>>`, `<=.`, ...), kept as text.
+    Op(&'static str),
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl Tok {
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int { value, .. } => format!("integer `{value}`"),
+            Tok::Float(v) => format!("float `{v:?}`"),
+            Tok::Semi => "`;`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::Assign => "`=`".into(),
+            Tok::DotDot => "`..`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::Op(s) => format!("`{s}`"),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+/// Returns a located [`Diagnostic`] on the first unrecognizable character
+/// or malformed literal.
+pub fn lex(src: &str) -> Result<Vec<(Tok, Span)>, Diagnostic> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace and comments.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push((Tok::Ident(src[start..i].to_string()), Span::new(start, i)));
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            if c == b'0' && matches!(b.get(i + 1), Some(b'x') | Some(b'X')) {
+                i += 2;
+                let ds = i;
+                while i < b.len() && b[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+                if i == ds {
+                    return Err(Diagnostic::new(
+                        Span::new(start, i),
+                        "hex literal needs at least one digit",
+                    ));
+                }
+                let value = u64::from_str_radix(&src[ds..i], 16).map_err(|_| {
+                    Diagnostic::new(Span::new(start, i), "hex literal out of range")
+                })?;
+                out.push((Tok::Int { value, hex: true }, Span::new(start, i)));
+                continue;
+            }
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            let mut float = false;
+            // A fractional part: `.` followed by a digit (so `0..8` stays
+            // an integer plus a range token).
+            if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                float = true;
+                i += 1;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            // An exponent.
+            if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                let mut j = i + 1;
+                if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                    j += 1;
+                }
+                if j < b.len() && b[j].is_ascii_digit() {
+                    float = true;
+                    i = j;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text = &src[start..i];
+            if float {
+                let v: f32 = text
+                    .parse()
+                    .map_err(|_| Diagnostic::new(Span::new(start, i), "malformed float literal"))?;
+                if !v.is_finite() {
+                    return Err(Diagnostic::new(
+                        Span::new(start, i),
+                        "float literal overflows f32",
+                    ));
+                }
+                out.push((Tok::Float(v), Span::new(start, i)));
+            } else {
+                let value: u64 = text.parse().map_err(|_| {
+                    Diagnostic::new(Span::new(start, i), "integer literal out of range")
+                })?;
+                out.push((Tok::Int { value, hex: false }, Span::new(start, i)));
+            }
+            continue;
+        }
+        // Punctuation and operators, longest match first.
+        let rest = &src[i..];
+        const TABLE: &[(&str, Option<&'static str>)] = &[
+            (">>>", Some(">>>")),
+            ("<=.", Some("<=.")),
+            (">=.", Some(">=.")),
+            ("<<", Some("<<")),
+            (">>", Some(">>")),
+            ("<=", Some("<=")),
+            (">=", Some(">=")),
+            ("==", Some("==")),
+            ("!=", Some("!=")),
+            ("+.", Some("+.")),
+            ("-.", Some("-.")),
+            ("*.", Some("*.")),
+            ("/.", Some("/.")),
+            ("<.", Some("<.")),
+            (">.", Some(">.")),
+            ("..", None),
+            ("+", Some("+")),
+            ("-", Some("-")),
+            ("*", Some("*")),
+            ("/", Some("/")),
+            ("%", Some("%")),
+            ("&", Some("&")),
+            ("|", Some("|")),
+            ("^", Some("^")),
+            ("<", Some("<")),
+            (">", Some(">")),
+            ("~", Some("~")),
+            ("!", Some("!")),
+        ];
+        let mut matched = false;
+        for (pat, op) in TABLE {
+            if rest.starts_with(pat) {
+                i += pat.len();
+                let t = match op {
+                    Some(o) => Tok::Op(o),
+                    None => Tok::DotDot,
+                };
+                out.push((t, Span::new(start, i)));
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        let simple = match c {
+            b';' => Some(Tok::Semi),
+            b',' => Some(Tok::Comma),
+            b'(' => Some(Tok::LParen),
+            b')' => Some(Tok::RParen),
+            b'{' => Some(Tok::LBrace),
+            b'}' => Some(Tok::RBrace),
+            b'[' => Some(Tok::LBracket),
+            b']' => Some(Tok::RBracket),
+            b'=' => Some(Tok::Assign),
+            b':' => Some(Tok::Colon),
+            _ => None,
+        };
+        match simple {
+            Some(t) => {
+                i += 1;
+                out.push((t, Span::new(start, i)));
+            }
+            None => {
+                let ch = src[i..].chars().next().unwrap_or('?');
+                return Err(Diagnostic::new(
+                    Span::new(i, i + ch.len_utf8()),
+                    format!("unexpected character `{ch}`"),
+                ));
+            }
+        }
+    }
+    out.push((Tok::Eof, Span::new(src.len(), src.len())));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn ranges_do_not_eat_floats() {
+        assert_eq!(
+            kinds("0..8"),
+            vec![
+                Tok::Int {
+                    value: 0,
+                    hex: false
+                },
+                Tok::DotDot,
+                Tok::Int {
+                    value: 8,
+                    hex: false
+                },
+                Tok::Eof
+            ]
+        );
+        assert_eq!(kinds("1.5e-3"), vec![Tok::Float(1.5e-3), Tok::Eof]);
+    }
+
+    #[test]
+    fn float_ops_lex_greedily() {
+        assert_eq!(
+            kinds("a <=. b +. 1.0"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Op("<=."),
+                Tok::Ident("b".into()),
+                Tok::Op("+."),
+                Tok::Float(1.0),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(kinds("x >>> 1")[1], Tok::Op(">>>"));
+    }
+
+    #[test]
+    fn hex_and_comments() {
+        assert_eq!(
+            kinds("0xEDB88320 // trailing\n"),
+            vec![
+                Tok::Int {
+                    value: 0xEDB8_8320,
+                    hex: true
+                },
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("let µ = 3;").is_err());
+        assert!(lex("0x").is_err());
+    }
+}

@@ -1,0 +1,472 @@
+//! Lowering of a checked `.mar` program onto the structured CDFG builder.
+//!
+//! The lowering mirrors the discipline of `marionette-fuzzgen`'s emitter,
+//! so every accepted program is well-formed by construction:
+//!
+//! - one *ordering token* per `state` array is threaded through the whole
+//!   program: loads of a state array are ordered behind the token (the
+//!   loaded value becomes the new witness), stores consume it and produce
+//!   the next one, every loop implicitly carries all state tokens as
+//!   extra loop variables, and `if` merges them like any other value;
+//! - `input` arrays are read-only and load without dependence tokens;
+//! - `while` conditions are lowered twice through the builder's guard /
+//!   continuation closures — once over the carry initial values (the
+//!   zero-trip guard, in the enclosing region) and once per iteration
+//!   over the yielded values — which is why they must be pure;
+//! - lexical scoping guarantees no value is referenced outside its
+//!   region, so the builder's import machinery (loop-invariant `Inv`
+//!   replay, branch steers) is exercised only in its supported direction.
+//!
+//! [`lower`] must only be called on a program accepted by
+//! [`crate::sema::check`]; it panics on unchecked input.
+
+use crate::ast::{Carry, Expr, ExprKind, Program, Stmt, StmtKind, Ty};
+use marionette_cdfg::builder::{CdfgBuilder, V};
+use marionette_cdfg::value::{ElemTy, Value};
+use marionette_cdfg::Cdfg;
+use std::collections::HashMap;
+
+struct ArrInfo {
+    id: marionette_cdfg::op::ArrayId,
+    /// Index into the token vector for `state` arrays.
+    token_slot: Option<usize>,
+}
+
+/// Immutable lowering context (array table).
+struct Cx {
+    arrays: HashMap<String, ArrInfo>,
+}
+
+type Scope = Vec<HashMap<String, V>>;
+
+fn bind(scopes: &mut Scope, name: &str, v: V) {
+    scopes
+        .last_mut()
+        .expect("scope stack")
+        .insert(name.to_string(), v);
+}
+
+fn lookup(scopes: &Scope, name: &str) -> V {
+    scopes
+        .iter()
+        .rev()
+        .find_map(|s| s.get(name))
+        .copied()
+        .unwrap_or_else(|| panic!("lower: unknown name `{name}` (run sema::check first)"))
+}
+
+/// Lowers a checked program to a validated CDFG.
+///
+/// # Panics
+/// Panics if the program violates invariants enforced by
+/// [`crate::sema::check`] — always check before lowering.
+pub fn lower(p: &Program) -> Cdfg {
+    let mut b = CdfgBuilder::new(p.name.name.clone());
+    let mut scopes: Scope = vec![HashMap::new()];
+    for d in &p.params {
+        let v = b.param(&d.name.name, lit_value(&d.default, d.ty));
+        bind(&mut scopes, &d.name.name, v);
+    }
+    let mut arrays = HashMap::new();
+    let mut nstate = 0usize;
+    for a in &p.arrays {
+        let elem = match a.ty {
+            Ty::I32 => ElemTy::I32,
+            Ty::F32 => ElemTy::F32,
+        };
+        let init: Vec<Value> = a.init.iter().map(|l| lit_value(l, a.ty)).collect();
+        let id = b.array(&a.name.name, a.len as usize, elem, init);
+        let token_slot = if a.state {
+            b.mark_output(id);
+            nstate += 1;
+            Some(nstate - 1)
+        } else {
+            None
+        };
+        arrays.insert(a.name.name.clone(), ArrInfo { id, token_slot });
+    }
+    let cx = Cx { arrays };
+    let mut tokens: Vec<V> = (0..nstate).map(|_| b.start_token()).collect();
+    let _ = lower_block(&mut b, &cx, &mut scopes, &mut tokens, &p.body);
+    b.finish()
+}
+
+/// Declaration literals are already type-matched by sema.
+fn lit_value(l: &crate::ast::Lit, _ty: Ty) -> Value {
+    match l.kind {
+        crate::ast::LitKind::Int(v) => Value::I32(v),
+        crate::ast::LitKind::Float(v) => Value::F32(v),
+    }
+}
+
+/// Number of values the trailing `yield` of a block produces.
+fn yield_arity(stmts: &[Stmt]) -> usize {
+    match stmts.last() {
+        Some(Stmt {
+            kind: StmtKind::Yield(vals),
+            ..
+        }) => vals.len(),
+        _ => 0,
+    }
+}
+
+/// Lowers one block; returns its yield values (empty without a yield).
+/// `tokens` is updated in place to the block's final state tokens.
+fn lower_block(
+    b: &mut CdfgBuilder,
+    cx: &Cx,
+    scopes: &mut Scope,
+    tokens: &mut Vec<V>,
+    stmts: &[Stmt],
+) -> Vec<V> {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Let { names, value } => {
+                let vals = lower_expr(b, cx, scopes, tokens, value);
+                assert_eq!(vals.len(), names.len(), "checked let arity");
+                for (n, v) in names.iter().zip(vals) {
+                    bind(scopes, &n.name, v);
+                }
+            }
+            StmtKind::Store { arr, idx, value } => {
+                let iv = scalar(b, cx, scopes, tokens, idx);
+                let vv = scalar(b, cx, scopes, tokens, value);
+                let info = &cx.arrays[&arr.name];
+                let slot = info.token_slot.expect("checked: store targets state");
+                let t = b.store_dep(info.id, iv, vv, tokens[slot]);
+                tokens[slot] = t;
+            }
+            StmtKind::Sink { name, value } => {
+                let v = scalar(b, cx, scopes, tokens, value);
+                b.sink(&name.name, v);
+            }
+            StmtKind::Expr(e) => {
+                let _ = lower_expr(b, cx, scopes, tokens, e);
+            }
+            StmtKind::Yield(vals) => {
+                return vals
+                    .iter()
+                    .map(|v| scalar(b, cx, scopes, tokens, v))
+                    .collect();
+            }
+        }
+    }
+    Vec::new()
+}
+
+fn scalar(b: &mut CdfgBuilder, cx: &Cx, scopes: &mut Scope, tokens: &mut Vec<V>, e: &Expr) -> V {
+    let vals = lower_expr(b, cx, scopes, tokens, e);
+    assert_eq!(vals.len(), 1, "checked scalar context");
+    vals[0]
+}
+
+fn lower_expr(
+    b: &mut CdfgBuilder,
+    cx: &Cx,
+    scopes: &mut Scope,
+    tokens: &mut Vec<V>,
+    e: &Expr,
+) -> Vec<V> {
+    match &e.kind {
+        ExprKind::Int(v) => vec![b.imm(Value::I32(*v))],
+        ExprKind::Float(v) => vec![b.imm(Value::F32(*v))],
+        ExprKind::Var(id) => vec![lookup(scopes, &id.name)],
+        ExprKind::Load { arr, idx } => {
+            let iv = scalar(b, cx, scopes, tokens, idx);
+            let info = &cx.arrays[&arr.name];
+            let v = match info.token_slot {
+                Some(slot) => {
+                    let v = b.load_dep(info.id, iv, tokens[slot]);
+                    tokens[slot] = v; // the read is the new ordering witness
+                    v
+                }
+                None => b.load(info.id, iv),
+            };
+            vec![v]
+        }
+        ExprKind::Bin { op, a, b: rhs } => {
+            let x = scalar(b, cx, scopes, tokens, a);
+            let y = scalar(b, cx, scopes, tokens, rhs);
+            vec![b.bin(*op, x, y)]
+        }
+        ExprKind::Un { op, a } => {
+            let x = scalar(b, cx, scopes, tokens, a);
+            vec![b.un(*op, x)]
+        }
+        ExprKind::Nl { op, a } => {
+            let x = scalar(b, cx, scopes, tokens, a);
+            vec![b.nl(*op, x)]
+        }
+        ExprKind::Mux { p, t, f } => {
+            let pv = scalar(b, cx, scopes, tokens, p);
+            let tv = scalar(b, cx, scopes, tokens, t);
+            let fv = scalar(b, cx, scopes, tokens, f);
+            vec![b.mux(pv, tv, fv)]
+        }
+        ExprKind::For {
+            var,
+            lo,
+            hi,
+            step,
+            carries,
+            body,
+        } => {
+            let lo_v = scalar(b, cx, scopes, tokens, lo);
+            let hi_v = scalar(b, cx, scopes, tokens, hi);
+            let mut inits: Vec<V> = carries
+                .iter()
+                .map(|c| scalar(b, cx, scopes, tokens, &c.init))
+                .collect();
+            let ndata = inits.len();
+            inits.extend(tokens.iter().copied());
+            let outs = b.for_range_step(lo_v, hi_v, *step, &inits, |b, i, vars| {
+                scopes.push(HashMap::new());
+                bind(scopes, &var.name, i);
+                for (c, v) in carries.iter().zip(&vars[..ndata]) {
+                    bind(scopes, &c.name.name, *v);
+                }
+                let mut tokens2: Vec<V> = vars[ndata..].to_vec();
+                let mut next = lower_block(b, cx, scopes, &mut tokens2, body);
+                scopes.pop();
+                assert_eq!(next.len(), ndata, "checked yield arity");
+                next.extend(tokens2);
+                next
+            });
+            tokens.copy_from_slice(&outs[ndata..]);
+            outs[..ndata].to_vec()
+        }
+        ExprKind::While {
+            cond,
+            carries,
+            body,
+        } => {
+            let mut inits: Vec<V> = carries
+                .iter()
+                .map(|c| scalar(b, cx, scopes, tokens, &c.init))
+                .collect();
+            let ndata = inits.len();
+            inits.extend(tokens.iter().copied());
+            // The condition closure runs twice (guard + per-iteration), so
+            // its free names are resolved up front: carries positionally,
+            // everything else to the value visible here.
+            let condmap = cond_bindings(cond, carries, scopes);
+            let outs = b.loop_while(
+                &inits,
+                |b, vals| lower_cond(b, &condmap, &vals[..ndata], cond),
+                |b, vals| {
+                    scopes.push(HashMap::new());
+                    for (c, v) in carries.iter().zip(&vals[..ndata]) {
+                        bind(scopes, &c.name.name, *v);
+                    }
+                    let mut tokens2: Vec<V> = vals[ndata..].to_vec();
+                    let mut next = lower_block(b, cx, scopes, &mut tokens2, body);
+                    scopes.pop();
+                    assert_eq!(next.len(), ndata, "checked yield arity");
+                    next.extend(tokens2);
+                    next
+                },
+            );
+            tokens.copy_from_slice(&outs[ndata..]);
+            outs[..ndata].to_vec()
+        }
+        ExprKind::If {
+            cond,
+            then_b,
+            else_b,
+        } => {
+            let pred = scalar(b, cx, scopes, tokens, cond);
+            let nres = yield_arity(then_b);
+            let scopes_t = scopes.clone();
+            let scopes_e = scopes.clone();
+            let tok_t = tokens.clone();
+            let tok_e = tokens.clone();
+            let side =
+                |b: &mut CdfgBuilder, mut s: Scope, mut t: Vec<V>, body: &[Stmt]| -> Vec<V> {
+                    s.push(HashMap::new());
+                    let mut vals = lower_block(b, cx, &mut s, &mut t, body);
+                    vals.extend(t);
+                    vals
+                };
+            let outs = b.if_else(
+                pred,
+                |b| side(b, scopes_t, tok_t, then_b),
+                |b| side(b, scopes_e, tok_e, else_b),
+            );
+            tokens.copy_from_slice(&outs[nres..]);
+            outs[..nres].to_vec()
+        }
+    }
+}
+
+/// How a name inside a `while` condition resolves.
+#[derive(Clone, Copy)]
+enum CondBind {
+    /// The k-th carried variable (positional into the loop values).
+    Slot(usize),
+    /// A value from the enclosing scope.
+    Val(V),
+}
+
+fn cond_bindings(cond: &Expr, carries: &[Carry], scopes: &Scope) -> HashMap<String, CondBind> {
+    let mut map = HashMap::new();
+    collect_vars(cond, &mut |name| {
+        if map.contains_key(name) {
+            return;
+        }
+        let bind = carries
+            .iter()
+            .position(|c| c.name.name == name)
+            .map(CondBind::Slot)
+            .unwrap_or_else(|| CondBind::Val(lookup(scopes, name)));
+        map.insert(name.to_string(), bind);
+    });
+    map
+}
+
+fn collect_vars(e: &Expr, f: &mut impl FnMut(&str)) {
+    match &e.kind {
+        ExprKind::Var(id) => f(&id.name),
+        ExprKind::Bin { a, b, .. } => {
+            collect_vars(a, f);
+            collect_vars(b, f);
+        }
+        ExprKind::Un { a, .. } | ExprKind::Nl { a, .. } => collect_vars(a, f),
+        ExprKind::Mux { p, t, f: fe } => {
+            collect_vars(p, f);
+            collect_vars(t, f);
+            collect_vars(fe, f);
+        }
+        ExprKind::Int(_) | ExprKind::Float(_) => {}
+        _ => unreachable!("checked: while conditions are pure scalars"),
+    }
+}
+
+fn lower_cond(b: &mut CdfgBuilder, map: &HashMap<String, CondBind>, vals: &[V], e: &Expr) -> V {
+    match &e.kind {
+        ExprKind::Int(v) => b.imm(Value::I32(*v)),
+        ExprKind::Float(v) => b.imm(Value::F32(*v)),
+        ExprKind::Var(id) => match map[&id.name] {
+            CondBind::Slot(k) => vals[k],
+            CondBind::Val(v) => v,
+        },
+        ExprKind::Bin { op, a, b: rhs } => {
+            let x = lower_cond(b, map, vals, a);
+            let y = lower_cond(b, map, vals, rhs);
+            b.bin(*op, x, y)
+        }
+        ExprKind::Un { op, a } => {
+            let x = lower_cond(b, map, vals, a);
+            b.un(*op, x)
+        }
+        ExprKind::Nl { op, a } => {
+            let x = lower_cond(b, map, vals, a);
+            b.nl(*op, x)
+        }
+        ExprKind::Mux { p, t, f } => {
+            let pv = lower_cond(b, map, vals, p);
+            let tv = lower_cond(b, map, vals, t);
+            let fv = lower_cond(b, map, vals, f);
+            b.mux(pv, tv, fv)
+        }
+        _ => unreachable!("checked: while conditions are pure scalars"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::check;
+    use marionette_cdfg::interp::{interpret, ExecMode};
+
+    fn build(src: &str) -> Cdfg {
+        let p = parse(src).unwrap();
+        check(&p).unwrap_or_else(|ds| panic!("{ds:?}"));
+        lower(&p)
+    }
+
+    #[test]
+    fn straight_line_program() {
+        let g = build("program t; state s: i32[4]; s[0] = 41 + 1; sink done = 7;");
+        assert!(g.validate().is_empty());
+        let r = interpret(&g, ExecMode::Dropping, &[]).unwrap();
+        let sid = g.array_by_name("s").unwrap();
+        assert_eq!(r.memory.array(sid)[0], Value::I32(42));
+    }
+
+    #[test]
+    fn counted_loop_with_carry_and_param() {
+        let g = build(
+            "program t; param n: i32 = 10; state s: i32[4]; \
+             let sum = for i in 0..n with acc = 0 { yield acc + i; }; \
+             sink sum = sum;",
+        );
+        let r = interpret(&g, ExecMode::Dropping, &[]).unwrap();
+        assert_eq!(r.scalar("sum").unwrap(), Value::I32(45));
+        let r2 = interpret(&g, ExecMode::Dropping, &[("n", Value::I32(4))]).unwrap();
+        assert_eq!(r2.scalar("sum").unwrap(), Value::I32(6));
+    }
+
+    #[test]
+    fn while_loop_and_hammock() {
+        // Collatz-ish bounded walk with a branch hammock inside a loop.
+        let g = build(
+            "program t; state s: i32[4]; \
+             let (c, steps) = while c > 0 with (c = 12, steps = 0) { \
+               let (n,) = if c & 1 { yield c * 3 + 1; } else { yield c >> 1; }; \
+               let capped = mux(n < 20, n, 0); \
+               yield (capped - 1, steps + 1); \
+             }; \
+             sink c = c; sink steps = steps;",
+        );
+        let r = interpret(&g, ExecMode::Dropping, &[]).unwrap();
+        let p = interpret(&g, ExecMode::Predicated, &[]).unwrap();
+        assert_eq!(r.scalar("steps").unwrap(), p.scalar("steps").unwrap());
+        assert_eq!(r.scalar("c").unwrap(), p.scalar("c").unwrap());
+    }
+
+    #[test]
+    fn state_tokens_serialize_memory() {
+        // Read-modify-write through a loop: tokens order the accesses, so
+        // the interpreted result is exact.
+        let g = build(
+            "program t; state h: i32[8]; input k: i32[8] = [1, 1, 2, 3, 1, 2, 3, 3]; \
+             for i in 0..8 { let b = k[i]; h[b] = h[b] + 1; };",
+        );
+        let r = interpret(&g, ExecMode::Dropping, &[]).unwrap();
+        let hid = g.array_by_name("h").unwrap();
+        let h: Vec<i32> = r
+            .memory
+            .array(hid)
+            .iter()
+            .map(|v| v.as_i32().unwrap())
+            .collect();
+        assert_eq!(h, vec![0, 3, 2, 3, 0, 0, 0, 0]);
+        assert_eq!(r.memory.oob_events(), 0);
+    }
+
+    #[test]
+    fn zero_trip_loops_bypass() {
+        let g = build(
+            "program t; state s: i32[4]; \
+             let x = for i in 4..4 with a = 7 { yield a + 1; }; \
+             let y = while c > 0 with c = 0 { yield c - 1; }; \
+             sink x = x; sink y = y;",
+        );
+        let r = interpret(&g, ExecMode::Dropping, &[]).unwrap();
+        assert_eq!(r.scalar("x").unwrap(), Value::I32(7));
+        assert_eq!(r.scalar("y").unwrap(), Value::I32(0));
+    }
+
+    #[test]
+    fn float_pipeline() {
+        let g = build(
+            "program t; state s: f32[4]; input w: f32[4] = [0.5, 1.5, -2.0, 4.0]; \
+             let acc = for i in 0..4 with a = 0.0 { yield a +. w[i] *. 2.0; }; \
+             s[0] = acc; sink done = 1;",
+        );
+        let r = interpret(&g, ExecMode::Dropping, &[]).unwrap();
+        let sid = g.array_by_name("s").unwrap();
+        assert_eq!(r.memory.array(sid)[0], Value::F32(8.0));
+    }
+}

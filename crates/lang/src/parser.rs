@@ -1,0 +1,766 @@
+//! Recursive-descent parser for `.mar` source.
+//!
+//! Fails fast: the first syntax error is returned as a located
+//! [`Diagnostic`]. Structural rules that need name or type information
+//! (unknown identifiers, operand types, yield placement, ...) are left to
+//! [`crate::sema`]; the parser only enforces shape:
+//!
+//! - block expressions (`for`, `while`, `if`) appear only as a `let`
+//!   right-hand side or as an expression statement;
+//! - call-form builtins are resolved (and arity-checked) here, since the
+//!   builtin table is part of the grammar;
+//! - unary minus on a literal folds into the literal, so `-3` and `-1.5`
+//!   are immediates, not negation nodes.
+
+use crate::ast::{
+    bin_of_symbol, bin_prec, builtin, ArrayDecl, Builtin, Carry, Expr, ExprKind, Ident, Lit,
+    LitKind, ParamDecl, Program, Stmt, StmtKind, Ty, KEYWORDS,
+};
+use crate::diag::{Diagnostic, Span};
+use crate::lexer::{lex, Tok};
+use marionette_cdfg::op::UnOp;
+
+/// Parses a whole `.mar` program.
+///
+/// # Errors
+/// Returns the first lexical or syntax error as a located [`Diagnostic`].
+pub fn parse(src: &str) -> Result<Program, Diagnostic> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let prog = p.program()?;
+    Ok(prog)
+}
+
+struct Parser {
+    toks: Vec<(Tok, Span)>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, Diagnostic>;
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].0
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> (Tok, Span) {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(self.span(), msg.into())
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> PResult<Span> {
+        if self.peek() == want {
+            Ok(self.bump().1)
+        } else {
+            Err(self.err_here(format!("expected {what}, found {}", self.peek().describe())))
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> PResult<Span> {
+        if self.is_kw(kw) {
+            Ok(self.bump().1)
+        } else {
+            Err(self.err_here(format!("expected `{kw}`, found {}", self.peek().describe())))
+        }
+    }
+
+    /// A non-keyword identifier.
+    fn name(&mut self, what: &str) -> PResult<Ident> {
+        match self.peek().clone() {
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
+                let span = self.bump().1;
+                Ok(Ident { name: s, span })
+            }
+            Tok::Ident(s) => {
+                Err(self.err_here(format!("`{s}` is a keyword and cannot be used as {what}")))
+            }
+            t => Err(self.err_here(format!("expected {what}, found {}", t.describe()))),
+        }
+    }
+
+    fn ty(&mut self) -> PResult<Ty> {
+        if self.eat_kw("i32") {
+            Ok(Ty::I32)
+        } else if self.eat_kw("f32") {
+            Ok(Ty::F32)
+        } else {
+            Err(self.err_here(format!(
+                "expected a type (`i32` or `f32`), found {}",
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn int_to_i32(&self, value: u64, hex: bool, neg: bool, span: Span) -> PResult<i32> {
+        if hex {
+            if value > u32::MAX as u64 {
+                return Err(Diagnostic::new(span, "hex literal wider than 32 bits"));
+            }
+            let v = value as u32 as i32;
+            Ok(if neg { v.wrapping_neg() } else { v })
+        } else if neg {
+            if value > 1 << 31 {
+                return Err(Diagnostic::new(span, "integer literal below i32::MIN"));
+            }
+            Ok((-(value as i64)) as i32)
+        } else {
+            if value > i32::MAX as u64 {
+                return Err(Diagnostic::new(
+                    span,
+                    "integer literal above i32::MAX (use a 0x literal for bit patterns)",
+                ));
+            }
+            Ok(value as i32)
+        }
+    }
+
+    /// A literal with optional leading minus (declaration initializers).
+    fn lit(&mut self) -> PResult<Lit> {
+        let neg = matches!(self.peek(), Tok::Op("-"));
+        let lo = self.span();
+        if neg {
+            self.bump();
+        }
+        match self.bump() {
+            (Tok::Int { value, hex }, sp) => Ok(Lit {
+                kind: LitKind::Int(self.int_to_i32(value, hex, neg, sp)?),
+                span: lo.to(sp),
+            }),
+            (Tok::Float(v), sp) => Ok(Lit {
+                kind: LitKind::Float(if neg { -v } else { v }),
+                span: lo.to(sp),
+            }),
+            (t, sp) => Err(Diagnostic::new(
+                sp,
+                format!("expected a literal, found {}", t.describe()),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Program structure
+    // ------------------------------------------------------------------
+
+    fn program(&mut self) -> PResult<Program> {
+        self.expect_kw("program")?;
+        let name = self.name("the program name")?;
+        self.expect(&Tok::Semi, "`;` after the program name")?;
+        let mut params = Vec::new();
+        let mut arrays = Vec::new();
+        loop {
+            if self.is_kw("param") {
+                let lo = self.bump().1;
+                let name = self.name("a parameter name")?;
+                self.expect(&Tok::Colon, "`:` in the parameter declaration")?;
+                let ty = self.ty()?;
+                self.expect(&Tok::Assign, "`=` before the parameter default")?;
+                let default = self.lit()?;
+                let hi = self.expect(&Tok::Semi, "`;` after the parameter declaration")?;
+                params.push(ParamDecl {
+                    name,
+                    ty,
+                    default,
+                    span: lo.to(hi),
+                });
+            } else if self.is_kw("input") || self.is_kw("state") {
+                let state = self.is_kw("state");
+                let lo = self.bump().1;
+                let name = self.name("an array name")?;
+                self.expect(&Tok::Colon, "`:` in the array declaration")?;
+                let ty = self.ty()?;
+                self.expect(&Tok::LBracket, "`[` before the array length")?;
+                let len = match self.bump() {
+                    (Tok::Int { value, hex: false }, _) => value,
+                    (t, sp) => {
+                        return Err(Diagnostic::new(
+                            sp,
+                            format!("expected the array length, found {}", t.describe()),
+                        ))
+                    }
+                };
+                self.expect(&Tok::RBracket, "`]` after the array length")?;
+                let mut init = Vec::new();
+                if self.peek() == &Tok::Assign {
+                    self.bump();
+                    self.expect(&Tok::LBracket, "`[` starting the initializer")?;
+                    if self.peek() != &Tok::RBracket {
+                        loop {
+                            init.push(self.lit()?);
+                            if self.peek() == &Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RBracket, "`]` closing the initializer")?;
+                }
+                let hi = self.expect(&Tok::Semi, "`;` after the array declaration")?;
+                arrays.push(ArrayDecl {
+                    name,
+                    ty,
+                    len,
+                    init,
+                    state,
+                    span: lo.to(hi),
+                });
+            } else {
+                break;
+            }
+        }
+        let body = self.stmts_until(&Tok::Eof)?;
+        Ok(Program {
+            name,
+            params,
+            arrays,
+            body,
+        })
+    }
+
+    fn stmts_until(&mut self, end: &Tok) -> PResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        while self.peek() != end {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let body = self.stmts_until(&Tok::RBrace)?;
+        self.expect(&Tok::RBrace, "`}`")?;
+        Ok(body)
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let lo = self.span();
+        if self.eat_kw("let") {
+            let mut names = Vec::new();
+            if self.peek() == &Tok::LParen {
+                self.bump();
+                loop {
+                    names.push(self.name("a variable name")?);
+                    if self.peek() == &Tok::Comma {
+                        self.bump();
+                        if self.peek() == &Tok::RParen {
+                            break; // trailing comma
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen, "`)` closing the binding list")?;
+            } else {
+                names.push(self.name("a variable name")?);
+            }
+            self.expect(&Tok::Assign, "`=` in the let binding")?;
+            let value = self.rhs_expr()?;
+            let hi = self.expect(&Tok::Semi, "`;` after the let binding")?;
+            return Ok(Stmt {
+                kind: StmtKind::Let { names, value },
+                span: lo.to(hi),
+            });
+        }
+        if self.eat_kw("sink") {
+            let name = self.name("a sink label")?;
+            self.expect(&Tok::Assign, "`=` in the sink statement")?;
+            let value = self.expr()?;
+            let hi = self.expect(&Tok::Semi, "`;` after the sink statement")?;
+            return Ok(Stmt {
+                kind: StmtKind::Sink { name, value },
+                span: lo.to(hi),
+            });
+        }
+        if self.eat_kw("yield") {
+            let mut values = Vec::new();
+            if self.peek() == &Tok::LParen {
+                self.bump();
+                if self.peek() != &Tok::RParen {
+                    loop {
+                        values.push(self.expr()?);
+                        if self.peek() == &Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen, "`)` closing the yield list")?;
+            } else {
+                values.push(self.expr()?);
+            }
+            let hi = self.expect(&Tok::Semi, "`;` after yield")?;
+            return Ok(Stmt {
+                kind: StmtKind::Yield(values),
+                span: lo.to(hi),
+            });
+        }
+        if self.is_kw("for") || self.is_kw("while") || self.is_kw("if") {
+            let value = self.block_expr()?;
+            let hi = self.expect(&Tok::Semi, "`;` after the statement")?;
+            return Ok(Stmt {
+                kind: StmtKind::Expr(value),
+                span: lo.to(hi),
+            });
+        }
+        if matches!(self.peek(), Tok::Ident(s) if matches!(s.as_str(), "param" | "input" | "state"))
+        {
+            return Err(self.err_here(
+                "declarations must precede all statements (move this above the first statement)",
+            ));
+        }
+        // Store: IDENT `[` idx `]` `=` value `;`
+        if matches!(self.peek(), Tok::Ident(_)) && self.peek2() == &Tok::LBracket {
+            let arr = self.name("an array name")?;
+            self.expect(&Tok::LBracket, "`[`")?;
+            let idx = self.expr()?;
+            self.expect(&Tok::RBracket, "`]` after the store index")?;
+            self.expect(&Tok::Assign, "`=` in the store statement")?;
+            let value = self.expr()?;
+            let hi = self.expect(&Tok::Semi, "`;` after the store")?;
+            return Ok(Stmt {
+                kind: StmtKind::Store { arr, idx, value },
+                span: lo.to(hi),
+            });
+        }
+        Err(self.err_here(format!(
+            "expected a statement (`let`, `sink`, `yield`, a store, `for`, `while` or `if`), \
+             found {}",
+            self.peek().describe()
+        )))
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /// A `let` right-hand side: a block expression or a plain expression.
+    fn rhs_expr(&mut self) -> PResult<Expr> {
+        if self.is_kw("for") || self.is_kw("while") || self.is_kw("if") {
+            self.block_expr()
+        } else {
+            self.expr()
+        }
+    }
+
+    fn carries(&mut self) -> PResult<Vec<Carry>> {
+        if !self.eat_kw("with") {
+            return Ok(Vec::new());
+        }
+        let parens = self.peek() == &Tok::LParen;
+        if parens {
+            self.bump();
+        }
+        let mut out = Vec::new();
+        loop {
+            let name = self.name("a carry variable name")?;
+            self.expect(&Tok::Assign, "`=` after the carry name")?;
+            let init = self.expr()?;
+            out.push(Carry { name, init });
+            if parens && self.peek() == &Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if parens {
+            self.expect(&Tok::RParen, "`)` closing the carry list")?;
+        }
+        Ok(out)
+    }
+
+    fn block_expr(&mut self) -> PResult<Expr> {
+        let lo = self.span();
+        if self.eat_kw("for") {
+            let var = self.name("the loop index name")?;
+            self.expect_kw("in")?;
+            let lo_e = self.expr()?;
+            self.expect(&Tok::DotDot, "`..` between the loop bounds")?;
+            let hi_e = self.expr()?;
+            let mut step = 1i32;
+            if self.eat_kw("step") {
+                let sp = self.span();
+                match self.bump() {
+                    (Tok::Int { value, hex: false }, _)
+                        if (1..=i32::MAX as u64).contains(&value) =>
+                    {
+                        step = value as i32;
+                    }
+                    _ => {
+                        return Err(Diagnostic::new(
+                            sp,
+                            "`step` takes a positive integer literal",
+                        ))
+                    }
+                }
+            }
+            let carries = self.carries()?;
+            let body = self.block()?;
+            let hi = self.toks[self.pos - 1].1;
+            return Ok(Expr {
+                kind: ExprKind::For {
+                    var,
+                    lo: Box::new(lo_e),
+                    hi: Box::new(hi_e),
+                    step,
+                    carries,
+                    body,
+                },
+                span: lo.to(hi),
+            });
+        }
+        if self.eat_kw("while") {
+            let cond = self.expr()?;
+            let carries = self.carries()?;
+            let body = self.block()?;
+            let hi = self.toks[self.pos - 1].1;
+            return Ok(Expr {
+                kind: ExprKind::While {
+                    cond: Box::new(cond),
+                    carries,
+                    body,
+                },
+                span: lo.to(hi),
+            });
+        }
+        self.expect_kw("if")?;
+        let cond = self.expr()?;
+        let then_b = self.block()?;
+        self.expect_kw("else")?;
+        let else_b = self.block()?;
+        let hi = self.toks[self.pos - 1].1;
+        Ok(Expr {
+            kind: ExprKind::If {
+                cond: Box::new(cond),
+                then_b,
+                else_b,
+            },
+            span: lo.to(hi),
+        })
+    }
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.bin_expr(0)
+    }
+
+    /// Precedence climbing; all binary operators are left-associative.
+    fn bin_expr(&mut self, min_prec: u8) -> PResult<Expr> {
+        let mut lhs = self.unary()?;
+        while let Tok::Op(sym) = self.peek() {
+            let Some(op) = bin_of_symbol(sym) else { break };
+            let prec = bin_prec(op);
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.bin_expr(prec + 1)?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Bin {
+                    op,
+                    a: Box::new(lhs),
+                    b: Box::new(rhs),
+                },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        let lo = self.span();
+        let op = match self.peek() {
+            Tok::Op("-") => Some(UnOp::Neg),
+            Tok::Op("~") => Some(UnOp::Not),
+            Tok::Op("!") => Some(UnOp::LNot),
+            _ => None,
+        };
+        let Some(op) = op else {
+            return self.primary();
+        };
+        self.bump();
+        // `-LITERAL` folds before range checking, so `-2147483648` is valid.
+        if op == UnOp::Neg {
+            if let Tok::Int { value, hex } = *self.peek() {
+                let sp = self.bump().1;
+                return Ok(Expr {
+                    kind: ExprKind::Int(self.int_to_i32(value, hex, true, sp)?),
+                    span: lo.to(sp),
+                });
+            }
+        }
+        let a = self.unary()?;
+        let span = lo.to(a.span);
+        // Fold unary minus on literals so `-3` is an immediate.
+        if op == UnOp::Neg {
+            match a.kind {
+                ExprKind::Int(v) => {
+                    return Ok(Expr {
+                        kind: ExprKind::Int(v.wrapping_neg()),
+                        span,
+                    })
+                }
+                ExprKind::Float(v) => {
+                    return Ok(Expr {
+                        kind: ExprKind::Float(-v),
+                        span,
+                    })
+                }
+                _ => {}
+            }
+        }
+        Ok(Expr {
+            kind: ExprKind::Un { op, a: Box::new(a) },
+            span,
+        })
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        let lo = self.span();
+        match self.peek().clone() {
+            Tok::Int { value, hex } => {
+                let sp = self.bump().1;
+                Ok(Expr {
+                    kind: ExprKind::Int(self.int_to_i32(value, hex, false, sp)?),
+                    span: sp,
+                })
+            }
+            Tok::Float(v) => {
+                let sp = self.bump().1;
+                Ok(Expr {
+                    kind: ExprKind::Float(v),
+                    span: sp,
+                })
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(s) => {
+                if KEYWORDS.contains(&s.as_str()) {
+                    if matches!(s.as_str(), "for" | "while" | "if") {
+                        return Err(self.err_here(format!(
+                            "`{s}` expressions are only allowed as a `let` right-hand side \
+                             or as a statement, not inside an operator"
+                        )));
+                    }
+                    return Err(self.err_here(format!("unexpected keyword `{s}`")));
+                }
+                let name = self.name("a name")?;
+                if self.peek() == &Tok::LBracket {
+                    self.bump();
+                    let idx = self.expr()?;
+                    let hi = self.expect(&Tok::RBracket, "`]` after the load index")?;
+                    return Ok(Expr {
+                        kind: ExprKind::Load {
+                            arr: name,
+                            idx: Box::new(idx),
+                        },
+                        span: lo.to(hi),
+                    });
+                }
+                if self.peek() == &Tok::LParen {
+                    return self.call(name);
+                }
+                Ok(Expr {
+                    span: name.span,
+                    kind: ExprKind::Var(name),
+                })
+            }
+            t => Err(self.err_here(format!("expected an expression, found {}", t.describe()))),
+        }
+    }
+
+    fn call(&mut self, name: Ident) -> PResult<Expr> {
+        let Some(b) = builtin(&name.name) else {
+            return Err(Diagnostic::new(
+                name.span,
+                format!(
+                    "unknown function `{}` (builtins: abs, fneg, fabs, i2f, f2i, min, max, \
+                     fmin, fmax, mux, sigmoid, log, exp, sqrt, recip, tanh)",
+                    name.name
+                ),
+            ));
+        };
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                args.push(self.expr()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let hi = self.expect(&Tok::RParen, "`)` closing the call")?;
+        let span = name.span.to(hi);
+        let want = match b {
+            Builtin::Un(_) | Builtin::Nl(_) => 1,
+            Builtin::Bin(_) => 2,
+            Builtin::Mux => 3,
+        };
+        if args.len() != want {
+            return Err(Diagnostic::new(
+                span,
+                format!(
+                    "`{}` takes {want} argument{}, got {}",
+                    name.name,
+                    if want == 1 { "" } else { "s" },
+                    args.len()
+                ),
+            ));
+        }
+        let mut it = args.into_iter();
+        let kind = match b {
+            Builtin::Un(op) => ExprKind::Un {
+                op,
+                a: Box::new(it.next().unwrap()),
+            },
+            Builtin::Nl(op) => ExprKind::Nl {
+                op,
+                a: Box::new(it.next().unwrap()),
+            },
+            Builtin::Bin(op) => ExprKind::Bin {
+                op,
+                a: Box::new(it.next().unwrap()),
+                b: Box::new(it.next().unwrap()),
+            },
+            Builtin::Mux => ExprKind::Mux {
+                p: Box::new(it.next().unwrap()),
+                t: Box::new(it.next().unwrap()),
+                f: Box::new(it.next().unwrap()),
+            },
+        };
+        Ok(Expr { kind, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_small_program() {
+        let src = "
+program t;
+param n: i32 = 4;
+input a: i32[8] = [1, -2, 3];
+state s: i32[8];
+let x = a[0] & 255;
+let y = for i in 0..n step 2 with acc = 0 {
+  s[i] = x + i;
+  yield acc + 1;
+};
+sink out = y;
+";
+        let p = parse(src).unwrap();
+        assert_eq!(p.name.name, "t");
+        assert_eq!(p.params.len(), 1);
+        assert_eq!(p.arrays.len(), 2);
+        assert!(p.arrays[1].state);
+        assert_eq!(p.body.len(), 3);
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let p = parse("program t; let x = 1 + 2 * 3 & 4;").unwrap();
+        // (1 + (2 * 3)) & 4
+        let StmtKind::Let { value, .. } = &p.body[0].kind else {
+            panic!()
+        };
+        let ExprKind::Bin { op, a, .. } = &value.kind else {
+            panic!()
+        };
+        assert_eq!(*op, marionette_cdfg::op::BinOp::And);
+        assert!(matches!(
+            a.kind,
+            ExprKind::Bin {
+                op: marionette_cdfg::op::BinOp::Add,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn folds_negative_literals() {
+        let p = parse("program t; let x = -3; let y = -1.5; let z = 0xEDB88320;").unwrap();
+        let vals: Vec<_> = p
+            .body
+            .iter()
+            .map(|s| match &s.kind {
+                StmtKind::Let { value, .. } => value.kind.clone(),
+                _ => panic!(),
+            })
+            .collect();
+        assert!(matches!(vals[0], ExprKind::Int(-3)));
+        assert!(matches!(vals[1], ExprKind::Float(v) if v == -1.5));
+        assert!(matches!(vals[2], ExprKind::Int(v) if v as u32 == 0xEDB8_8320));
+    }
+
+    #[test]
+    fn rejects_block_exprs_inside_operators() {
+        let e = parse("program t; let x = 1 + if 1 { yield 2; } else { yield 3; };").unwrap_err();
+        assert!(e.message.contains("only allowed"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_function_and_bad_arity() {
+        assert!(parse("program t; let x = frob(1);")
+            .unwrap_err()
+            .message
+            .contains("unknown function"));
+        assert!(parse("program t; let x = min(1);")
+            .unwrap_err()
+            .message
+            .contains("takes 2"));
+    }
+
+    #[test]
+    fn rejects_decl_after_statement() {
+        let e = parse("program t; let x = 1; input a: i32[4];").unwrap_err();
+        assert!(e.message.contains("precede"), "{e}");
+    }
+
+    #[test]
+    fn decimal_range_checks() {
+        assert!(parse("program t; let x = 2147483648;").is_err());
+        assert!(parse("program t; let x = -2147483648;").is_ok());
+        assert!(parse("program t; let x = 0x1FFFFFFFF;").is_err());
+    }
+}

@@ -1,0 +1,301 @@
+//! Canonical pretty-printer for `.mar` programs.
+//!
+//! [`print()`] emits the canonical textual form: two-space indentation,
+//! minimal parentheses (inserted exactly where operator precedence
+//! requires them), `with (...)` parentheses only for multiple carries,
+//! and floats in Rust's shortest round-trip notation. Re-parsing the
+//! output and printing again yields the same text — the parse→print→parse
+//! fixed point the property tests pin.
+
+use crate::ast::{
+    bin_call_name, bin_prec, bin_symbol, nl_call_name, un_call_name, Expr, ExprKind, Lit, LitKind,
+    Program, Stmt, StmtKind,
+};
+use marionette_cdfg::op::UnOp;
+use std::fmt::Write as _;
+
+/// Precedence of a unary application (atoms are effectively 11 and never
+/// parenthesized).
+const UNARY: u8 = 10;
+
+/// Renders the canonical source text of `p`.
+pub fn print(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {};", p.name.name);
+    if !p.params.is_empty() || !p.arrays.is_empty() {
+        out.push('\n');
+    }
+    for d in &p.params {
+        let _ = writeln!(
+            out,
+            "param {}: {} = {};",
+            d.name.name,
+            d.ty.kw(),
+            lit(&d.default)
+        );
+    }
+    for a in &p.arrays {
+        let kind = if a.state { "state" } else { "input" };
+        let mut line = format!("{kind} {}: {}[{}]", a.name.name, a.ty.kw(), a.len);
+        if !a.init.is_empty() {
+            let vals: Vec<String> = a.init.iter().map(lit).collect();
+            let _ = write!(line, " = [{}]", vals.join(", "));
+        }
+        let _ = writeln!(out, "{line};");
+    }
+    if !p.body.is_empty() {
+        out.push('\n');
+    }
+    for s in &p.body {
+        stmt(&mut out, s, 0);
+    }
+    out
+}
+
+fn lit(l: &Lit) -> String {
+    match l.kind {
+        LitKind::Int(v) => v.to_string(),
+        LitKind::Float(v) => format!("{v:?}"),
+    }
+}
+
+fn pad(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, depth: usize) {
+    pad(out, depth);
+    match &s.kind {
+        StmtKind::Let { names, value } => {
+            if names.len() == 1 {
+                let _ = write!(out, "let {} = ", names[0].name);
+            } else {
+                let ns: Vec<&str> = names.iter().map(|n| n.name.as_str()).collect();
+                let _ = write!(out, "let ({}) = ", ns.join(", "));
+            }
+            expr(out, value, 0, depth);
+            out.push_str(";\n");
+        }
+        StmtKind::Store { arr, idx, value } => {
+            let _ = write!(out, "{}[", arr.name);
+            expr(out, idx, 0, depth);
+            out.push_str("] = ");
+            expr(out, value, 0, depth);
+            out.push_str(";\n");
+        }
+        StmtKind::Sink { name, value } => {
+            let _ = write!(out, "sink {} = ", name.name);
+            expr(out, value, 0, depth);
+            out.push_str(";\n");
+        }
+        StmtKind::Expr(e) => {
+            expr(out, e, 0, depth);
+            out.push_str(";\n");
+        }
+        StmtKind::Yield(vals) => {
+            if vals.len() == 1 {
+                out.push_str("yield ");
+                expr(out, &vals[0], 0, depth);
+            } else {
+                out.push_str("yield (");
+                for (i, v) in vals.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    expr(out, v, 0, depth);
+                }
+                out.push(')');
+            }
+            out.push_str(";\n");
+        }
+    }
+}
+
+fn carries_block(out: &mut String, carries: &[crate::ast::Carry], depth: usize) {
+    if carries.is_empty() {
+        return;
+    }
+    out.push_str(" with ");
+    if carries.len() > 1 {
+        out.push('(');
+    }
+    for (i, c) in carries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} = ", c.name.name);
+        expr(out, &c.init, 0, depth);
+    }
+    if carries.len() > 1 {
+        out.push(')');
+    }
+}
+
+fn body_block(out: &mut String, body: &[Stmt], depth: usize) {
+    out.push_str(" {\n");
+    for s in body {
+        stmt(out, s, depth + 1);
+    }
+    pad(out, depth);
+    out.push('}');
+}
+
+/// Prints `e`; wraps in parentheses when its binding power is below
+/// `min_prec` (the context's requirement).
+fn expr(out: &mut String, e: &Expr, min_prec: u8, depth: usize) {
+    match &e.kind {
+        ExprKind::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::Float(v) => {
+            let _ = write!(out, "{v:?}");
+        }
+        ExprKind::Var(id) => out.push_str(&id.name),
+        ExprKind::Load { arr, idx } => {
+            let _ = write!(out, "{}[", arr.name);
+            expr(out, idx, 0, depth);
+            out.push(']');
+        }
+        ExprKind::Bin { op, a, b } => match bin_symbol(*op) {
+            Some(sym) => {
+                let prec = bin_prec(*op);
+                let parens = prec < min_prec;
+                if parens {
+                    out.push('(');
+                }
+                expr(out, a, prec, depth);
+                let _ = write!(out, " {sym} ");
+                // Left-associative: the right operand needs one more.
+                expr(out, b, prec + 1, depth);
+                if parens {
+                    out.push(')');
+                }
+            }
+            None => {
+                let _ = write!(out, "{}(", bin_call_name(*op).expect("call-form op"));
+                expr(out, a, 0, depth);
+                out.push_str(", ");
+                expr(out, b, 0, depth);
+                out.push(')');
+            }
+        },
+        ExprKind::Un { op, a } => match un_call_name(*op) {
+            Some(name) => {
+                let _ = write!(out, "{name}(");
+                expr(out, a, 0, depth);
+                out.push(')');
+            }
+            None => {
+                let sym = match op {
+                    UnOp::Neg => "-",
+                    UnOp::Not => "~",
+                    UnOp::LNot => "!",
+                    _ => unreachable!("call-form unary"),
+                };
+                let parens = UNARY < min_prec;
+                if parens {
+                    out.push('(');
+                }
+                out.push_str(sym);
+                expr(out, a, UNARY, depth);
+                if parens {
+                    out.push(')');
+                }
+            }
+        },
+        ExprKind::Nl { op, a } => {
+            let _ = write!(out, "{}(", nl_call_name(*op));
+            expr(out, a, 0, depth);
+            out.push(')');
+        }
+        ExprKind::Mux { p, t, f } => {
+            out.push_str("mux(");
+            expr(out, p, 0, depth);
+            out.push_str(", ");
+            expr(out, t, 0, depth);
+            out.push_str(", ");
+            expr(out, f, 0, depth);
+            out.push(')');
+        }
+        ExprKind::For {
+            var,
+            lo,
+            hi,
+            step,
+            carries,
+            body,
+        } => {
+            let _ = write!(out, "for {} in ", var.name);
+            expr(out, lo, 0, depth);
+            out.push_str("..");
+            expr(out, hi, 0, depth);
+            if *step != 1 {
+                let _ = write!(out, " step {step}");
+            }
+            carries_block(out, carries, depth);
+            body_block(out, body, depth);
+        }
+        ExprKind::While {
+            cond,
+            carries,
+            body,
+        } => {
+            out.push_str("while ");
+            expr(out, cond, 0, depth);
+            carries_block(out, carries, depth);
+            body_block(out, body, depth);
+        }
+        ExprKind::If {
+            cond,
+            then_b,
+            else_b,
+        } => {
+            out.push_str("if ");
+            expr(out, cond, 0, depth);
+            body_block(out, then_b, depth);
+            out.push_str(" else");
+            body_block(out, else_b, depth);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn fixed_point(src: &str) {
+        let a1 = parse(src).unwrap();
+        let t1 = print(&a1);
+        let a2 = parse(&t1).unwrap_or_else(|e| panic!("reparse failed: {e}\n{t1}"));
+        let t2 = print(&a2);
+        assert_eq!(t1, t2, "printer not a fixed point for:\n{src}");
+    }
+
+    #[test]
+    fn canonical_form_is_stable() {
+        fixed_point(
+            "program t;\nparam n: i32 = 4;\ninput a: f32[4] = [1.5, -2.0];\nstate s: i32[8];\n\
+             let x = ((1 + 2)) * 3 - -4;\nlet y = 1 + (2 & 3);\n\
+             let (p, q) = if x != 0 { yield (x, 1); } else { yield (0, x); };\n\
+             let z = while p > 0 with (p = p, acc = 0.0) { yield (p - 1, acc +. 1.5e-3); };\n\
+             for i in 0..n step 2 { s[i & 7] = x >>> 1; };\nsink r = q;",
+        );
+    }
+
+    #[test]
+    fn parens_only_where_needed() {
+        let p = parse("program t; let x = (1 + 2) * 3; let y = 1 - (2 - 3);").unwrap();
+        let t = print(&p);
+        assert!(t.contains("let x = (1 + 2) * 3;"), "{t}");
+        assert!(t.contains("let y = 1 - (2 - 3);"), "{t}");
+    }
+
+    #[test]
+    fn left_assoc_reprints_without_parens() {
+        let p = parse("program t; let x = 1 - 2 - 3;").unwrap();
+        assert!(print(&p).contains("let x = 1 - 2 - 3;"));
+    }
+}

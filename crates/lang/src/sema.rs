@@ -1,0 +1,744 @@
+//! Semantic checks with source-located diagnostics.
+//!
+//! The checker enforces everything the lowering relies on, so
+//! [`crate::lower::lower`] can assume a well-formed program:
+//!
+//! - **names**: every variable/array/parameter reference resolves; arrays
+//!   are not used as scalars; stores only target `state` arrays; sink
+//!   labels are unique and appear only at top level;
+//! - **shape**: `yield` is the last statement of a loop or `if` body and
+//!   its arity matches the carry count (loops) or the other side (`if`);
+//!   `let` bindings match the result count of their right-hand side;
+//!   loops never appear inside `if` sides (only loop-free hammocks are
+//!   predicable — the same restriction the CDFG builder enforces);
+//!   `while` needs at least one carry and a pure (load-free) condition;
+//! - **types**: a small three-point lattice `i32 ⊑ word ⊒ f32` mirrors
+//!   the machine's value model. Operators are selected syntactically
+//!   (`+` vs `+.`), and the checker rejects *certainly wrong* operands —
+//!   an integer operator applied to a known-`f32` value or vice versa —
+//!   while `word` values (state-array loads, type-mixing carries and
+//!   merges) are accepted everywhere and coerced by the hardware exactly
+//!   as the reference interpreter specifies.
+
+use crate::ast::{bin_symbol, Carry, Expr, ExprKind, Ident, LitKind, Program, Stmt, StmtKind, Ty};
+use crate::diag::{Diagnostic, Span};
+use marionette_cdfg::op::{BinOp, UnOp};
+use std::collections::{HashMap, HashSet};
+
+/// Static value type: the machine carries 32-bit words; `Word` is the
+/// join of the two numeric views.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum STy {
+    /// Certainly a 32-bit integer.
+    I32,
+    /// Certainly a 32-bit float.
+    F32,
+    /// Either, depending on runtime control flow (raw machine word).
+    Word,
+}
+
+impl STy {
+    /// Least upper bound.
+    pub fn join(self, other: STy) -> STy {
+        if self == other {
+            self
+        } else {
+            STy::Word
+        }
+    }
+
+    fn of(ty: Ty) -> STy {
+        match ty {
+            Ty::I32 => STy::I32,
+            Ty::F32 => STy::F32,
+        }
+    }
+}
+
+/// Checks `p`, returning every diagnostic found.
+///
+/// # Errors
+/// Returns all located diagnostics (the program must not be lowered when
+/// this fails).
+pub fn check(p: &Program) -> Result<(), Vec<Diagnostic>> {
+    let mut cx = Cx {
+        diags: Vec::new(),
+        arrays: HashMap::new(),
+        scopes: vec![HashMap::new()],
+        in_branch: false,
+        sinks: HashSet::new(),
+    };
+    let mut names: HashSet<&str> = HashSet::new();
+    for d in &p.params {
+        if !names.insert(&d.name.name) {
+            cx.err(d.name.span, format!("duplicate name `{}`", d.name.name));
+        }
+        match (d.ty, d.default.kind) {
+            (Ty::I32, LitKind::Float(_)) | (Ty::F32, LitKind::Int(_)) => cx.err(
+                d.default.span,
+                format!(
+                    "default of `{}: {}` must be an {} literal",
+                    d.name.name,
+                    d.ty.kw(),
+                    d.ty.kw()
+                ),
+            ),
+            _ => {}
+        }
+        cx.scopes[0].insert(d.name.name.clone(), STy::of(d.ty));
+    }
+    for a in &p.arrays {
+        if !names.insert(&a.name.name) {
+            cx.err(a.name.span, format!("duplicate name `{}`", a.name.name));
+        }
+        if a.len == 0 || a.len > 1 << 20 {
+            cx.err(
+                a.span,
+                format!("array `{}` length must be in 1..=2^20", a.name.name),
+            );
+        }
+        if a.init.len() as u64 > a.len {
+            cx.err(
+                a.span,
+                format!(
+                    "array `{}` initializer has {} values for length {}",
+                    a.name.name,
+                    a.init.len(),
+                    a.len
+                ),
+            );
+        }
+        for l in &a.init {
+            match (a.ty, l.kind) {
+                (Ty::I32, LitKind::Float(_)) => cx.err(
+                    l.span,
+                    format!(
+                        "i32 array `{}` initialized with a float literal",
+                        a.name.name
+                    ),
+                ),
+                (Ty::F32, LitKind::Int(_)) => cx.err(
+                    l.span,
+                    format!(
+                        "f32 array `{}` initialized with an integer literal (write `1.0`)",
+                        a.name.name
+                    ),
+                ),
+                _ => {}
+            }
+        }
+        cx.arrays
+            .insert(a.name.name.clone(), (STy::of(a.ty), a.state));
+    }
+    cx.check_block(&p.body, YieldCtx::TopLevel);
+    if cx.diags.is_empty() {
+        Ok(())
+    } else {
+        Err(cx.diags)
+    }
+}
+
+/// What a `yield` may do in the current block.
+#[derive(Clone, Copy, PartialEq)]
+enum YieldCtx {
+    /// Top level: yields (and only here: sinks) — yields are forbidden.
+    TopLevel,
+    /// Loop body: the yield arity must equal the carry count.
+    Loop(usize),
+    /// `if` side: any arity; the caller compares the two sides.
+    IfSide,
+}
+
+struct Cx {
+    diags: Vec<Diagnostic>,
+    /// Array name → (element type, is-state).
+    arrays: HashMap<String, (STy, bool)>,
+    scopes: Vec<HashMap<String, STy>>,
+    in_branch: bool,
+    sinks: HashSet<String>,
+}
+
+impl Cx {
+    fn err(&mut self, span: Span, msg: impl Into<String>) {
+        self.diags.push(Diagnostic::new(span, msg));
+    }
+
+    fn lookup(&self, name: &str) -> Option<STy> {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+
+    fn bind(&mut self, name: &Ident, ty: STy) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack")
+            .insert(name.name.clone(), ty);
+    }
+
+    /// Requires an operand the integer operator family can take: anything
+    /// but a certain `f32`.
+    fn want_int(&mut self, ty: STy, span: Span, what: &str) {
+        if ty == STy::F32 {
+            self.err(
+                span,
+                format!(
+                    "{what} requires an integer operand, but this value is f32; \
+                     use the float operator (e.g. `+.`) or convert with `f2i(...)`"
+                ),
+            );
+        }
+    }
+
+    fn want_float(&mut self, ty: STy, span: Span, what: &str) {
+        if ty == STy::I32 {
+            self.err(
+                span,
+                format!(
+                    "{what} requires a float operand, but this value is i32; \
+                     use the integer operator or convert with `i2f(...)`"
+                ),
+            );
+        }
+    }
+
+    /// A single-valued expression (operands can never be block
+    /// expressions — the parser guarantees it).
+    fn scalar(&mut self, e: &Expr) -> STy {
+        let tys = self.expr(e);
+        debug_assert_eq!(tys.len(), 1, "operands are single-valued");
+        tys[0]
+    }
+
+    fn expr(&mut self, e: &Expr) -> Vec<STy> {
+        match &e.kind {
+            ExprKind::Int(_) => vec![STy::I32],
+            ExprKind::Float(_) => vec![STy::F32],
+            ExprKind::Var(id) => {
+                if let Some(ty) = self.lookup(&id.name) {
+                    return vec![ty];
+                }
+                if self.arrays.contains_key(&id.name) {
+                    self.err(
+                        id.span,
+                        format!(
+                            "array `{}` used as a scalar value (index it: `{}[...]`)",
+                            id.name, id.name
+                        ),
+                    );
+                } else {
+                    self.err(id.span, format!("unknown name `{}`", id.name));
+                }
+                vec![STy::Word]
+            }
+            ExprKind::Load { arr, idx } => {
+                let ity = self.scalar(idx);
+                self.want_int(ity, idx.span, "an array index");
+                match self.arrays.get(&arr.name).copied() {
+                    Some((ty, state)) => {
+                        // State arrays hold raw words at runtime (stores do
+                        // not convert), so only input loads have a certain
+                        // type.
+                        vec![if state { STy::Word } else { ty }]
+                    }
+                    None => {
+                        let msg = if self.lookup(&arr.name).is_some() {
+                            format!("`{}` is a scalar, not an array", arr.name)
+                        } else {
+                            format!("unknown array `{}`", arr.name)
+                        };
+                        self.err(arr.span, msg);
+                        vec![STy::Word]
+                    }
+                }
+            }
+            ExprKind::Bin { op, a, b } => {
+                let ta = self.scalar(a);
+                let tb = self.scalar(b);
+                let what = match bin_symbol(*op) {
+                    Some(sym) => format!("the `{sym}` operator"),
+                    None => format!("`{}`", crate::ast::bin_call_name(*op).unwrap_or("?")),
+                };
+                if is_float_bin(*op) {
+                    self.want_float(ta, a.span, &what);
+                    self.want_float(tb, b.span, &what);
+                    vec![if op.is_cmp() { STy::I32 } else { STy::F32 }]
+                } else {
+                    self.want_int(ta, a.span, &what);
+                    self.want_int(tb, b.span, &what);
+                    vec![STy::I32]
+                }
+            }
+            ExprKind::Un { op, a } => {
+                let ta = self.scalar(a);
+                match op {
+                    UnOp::Neg => {
+                        self.want_int(ta, a.span, "unary `-` (use `fneg(...)` for floats)");
+                        vec![STy::I32]
+                    }
+                    UnOp::Not => {
+                        self.want_int(ta, a.span, "the `~` operator");
+                        vec![STy::I32]
+                    }
+                    UnOp::Abs => {
+                        self.want_int(ta, a.span, "`abs` (use `fabs(...)` for floats)");
+                        vec![STy::I32]
+                    }
+                    UnOp::LNot => vec![STy::I32], // predicate semantics: any word
+                    UnOp::FNeg => {
+                        self.want_float(ta, a.span, "`fneg`");
+                        vec![STy::F32]
+                    }
+                    UnOp::FAbs => {
+                        self.want_float(ta, a.span, "`fabs`");
+                        vec![STy::F32]
+                    }
+                    UnOp::I2F => {
+                        if ta == STy::F32 {
+                            self.err(a.span, "`i2f` applied to a value that is already f32");
+                        }
+                        vec![STy::F32]
+                    }
+                    UnOp::F2I => {
+                        if ta == STy::I32 {
+                            self.err(a.span, "`f2i` applied to a value that is already i32");
+                        }
+                        vec![STy::I32]
+                    }
+                }
+            }
+            ExprKind::Nl { op, a } => {
+                let ta = self.scalar(a);
+                self.want_float(ta, a.span, &format!("`{}`", crate::ast::nl_call_name(*op)));
+                vec![STy::F32]
+            }
+            ExprKind::Mux { p, t, f } => {
+                let _ = self.scalar(p); // predicates accept any word
+                let tt = self.scalar(t);
+                let tf = self.scalar(f);
+                vec![tt.join(tf)]
+            }
+            ExprKind::For {
+                var,
+                lo,
+                hi,
+                carries,
+                body,
+                ..
+            } => {
+                self.no_loop_in_branch(e.span, "a `for` loop");
+                let tlo = self.scalar(lo);
+                self.want_int(tlo, lo.span, "a loop bound");
+                let thi = self.scalar(hi);
+                self.want_int(thi, hi.span, "a loop bound");
+                let inits = self.carry_inits(carries);
+                self.loop_body(Some(var), carries, inits, body)
+            }
+            ExprKind::While {
+                cond,
+                carries,
+                body,
+            } => {
+                self.no_loop_in_branch(e.span, "a `while` loop");
+                if carries.is_empty() {
+                    self.err(
+                        e.span,
+                        "`while` needs at least one carry: `while c > 0 with (c = start) { ... }`",
+                    );
+                }
+                let inits = self.carry_inits(carries);
+                // The condition sees the carries (and outer names), not
+                // body-locals: it is evaluated on the initial values as the
+                // zero-trip guard and on each iteration's yields.
+                self.scopes.push(HashMap::new());
+                for (c, ty) in carries.iter().zip(&inits) {
+                    self.bind(&c.name, *ty);
+                }
+                self.pure_cond(cond);
+                let _ = self.scalar(cond);
+                self.scopes.pop();
+                self.loop_body(None, carries, inits, body)
+            }
+            ExprKind::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let _ = self.scalar(cond); // predicates accept any word
+                let saved = self.in_branch;
+                self.in_branch = true;
+                let t_tys = self.side(then_b);
+                let e_tys = self.side(else_b);
+                self.in_branch = saved;
+                if t_tys.len() != e_tys.len() {
+                    self.err(
+                        e.span,
+                        format!(
+                            "`if` sides yield different result counts ({} vs {})",
+                            t_tys.len(),
+                            e_tys.len()
+                        ),
+                    );
+                    return vec![STy::Word; t_tys.len().max(e_tys.len())];
+                }
+                t_tys
+                    .into_iter()
+                    .zip(e_tys)
+                    .map(|(a, b)| a.join(b))
+                    .collect()
+            }
+        }
+    }
+
+    fn carry_inits(&mut self, carries: &[Carry]) -> Vec<STy> {
+        let mut seen: HashSet<&str> = HashSet::new();
+        for c in carries {
+            if !seen.insert(&c.name.name) {
+                self.err(c.name.span, format!("duplicate carry `{}`", c.name.name));
+            }
+        }
+        carries.iter().map(|c| self.scalar(&c.init)).collect()
+    }
+
+    /// Walks a loop body to a type fixpoint: carries start at their init
+    /// type and widen to `word` when a yield disagrees (a carried slot
+    /// holds raw words, the machine-true semantics). Diagnostics are kept
+    /// from the final pass only.
+    fn loop_body(
+        &mut self,
+        index: Option<&Ident>,
+        carries: &[Carry],
+        inits: Vec<STy>,
+        body: &[Stmt],
+    ) -> Vec<STy> {
+        let mut tys = inits;
+        loop {
+            let mark = self.diags.len();
+            let sinks_mark = self.sinks.clone();
+            self.scopes.push(HashMap::new());
+            if let Some(iv) = index {
+                self.bind(iv, STy::I32);
+            }
+            for (c, ty) in carries.iter().zip(&tys) {
+                self.bind(&c.name, *ty);
+            }
+            let yields = self.check_block(body, YieldCtx::Loop(carries.len()));
+            self.scopes.pop();
+            let mut widened = false;
+            for (k, t) in tys.iter_mut().enumerate() {
+                let y = yields.get(k).copied().unwrap_or(*t);
+                let j = t.join(y);
+                if j != *t {
+                    *t = j;
+                    widened = true;
+                }
+            }
+            if !widened {
+                return tys;
+            }
+            // Re-walk with widened carries: drop this pass's diagnostics
+            // and side effects (a sink seen twice is not a duplicate).
+            self.diags.truncate(mark);
+            self.sinks = sinks_mark;
+        }
+    }
+
+    fn side(&mut self, body: &[Stmt]) -> Vec<STy> {
+        self.scopes.push(HashMap::new());
+        let tys = self.check_block(body, YieldCtx::IfSide);
+        self.scopes.pop();
+        tys
+    }
+
+    fn no_loop_in_branch(&mut self, span: Span, what: &str) {
+        if self.in_branch {
+            self.err(
+                span,
+                format!(
+                    "{what} is not allowed inside an `if` side: only loop-free hammocks \
+                     are predicable (restructure so the loop surrounds the branch)"
+                ),
+            );
+        }
+    }
+
+    /// `while` conditions may not touch memory: they are evaluated twice
+    /// (zero-trip guard and per-iteration test), so a load would double
+    /// the memory traffic and break token serialization.
+    fn pure_cond(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Load { .. } => self.err(
+                e.span,
+                "`while` conditions may not load from arrays (load into a carry instead)",
+            ),
+            ExprKind::Bin { a, b, .. } => {
+                self.pure_cond(a);
+                self.pure_cond(b);
+            }
+            ExprKind::Un { a, .. } | ExprKind::Nl { a, .. } => self.pure_cond(a),
+            ExprKind::Mux { p, t, f } => {
+                self.pure_cond(p);
+                self.pure_cond(t);
+                self.pure_cond(f);
+            }
+            _ => {}
+        }
+    }
+
+    /// Checks the statements of one block; returns the yield types (empty
+    /// when the block has no yield).
+    fn check_block(&mut self, stmts: &[Stmt], ctx: YieldCtx) -> Vec<STy> {
+        let mut yields = Vec::new();
+        for (i, s) in stmts.iter().enumerate() {
+            match &s.kind {
+                StmtKind::Let { names, value } => {
+                    let tys = self.expr(value);
+                    if tys.len() != names.len() {
+                        self.err(
+                            s.span,
+                            format!(
+                                "`let` binds {} name{} but the right-hand side produces {} value{}",
+                                names.len(),
+                                if names.len() == 1 { "" } else { "s" },
+                                tys.len(),
+                                if tys.len() == 1 { "" } else { "s" },
+                            ),
+                        );
+                    }
+                    for (k, n) in names.iter().enumerate() {
+                        self.bind(n, tys.get(k).copied().unwrap_or(STy::Word));
+                    }
+                }
+                StmtKind::Store { arr, idx, value } => {
+                    let ity = self.scalar(idx);
+                    self.want_int(ity, idx.span, "a store index");
+                    let _ = self.scalar(value); // raw word store
+                    match self.arrays.get(&arr.name).copied() {
+                        Some((_, true)) => {}
+                        Some((_, false)) => self.err(
+                            arr.span,
+                            format!(
+                                "cannot store to read-only input array `{}` (declare it `state`)",
+                                arr.name
+                            ),
+                        ),
+                        None => self.err(arr.span, format!("unknown array `{}`", arr.name)),
+                    }
+                }
+                StmtKind::Sink { name, value } => {
+                    if ctx != YieldCtx::TopLevel {
+                        self.err(
+                            s.span,
+                            "`sink` is only allowed at the top level of the program",
+                        );
+                    }
+                    if !self.sinks.insert(name.name.clone()) {
+                        self.err(name.span, format!("duplicate sink label `{}`", name.name));
+                    }
+                    let _ = self.scalar(value);
+                }
+                StmtKind::Expr(e) => {
+                    let _ = self.expr(e);
+                }
+                StmtKind::Yield(vals) => {
+                    match ctx {
+                        YieldCtx::TopLevel => {
+                            self.err(s.span, "`yield` outside a loop or `if` body");
+                        }
+                        YieldCtx::Loop(n) => {
+                            if vals.len() != n {
+                                self.err(
+                                    s.span,
+                                    format!(
+                                        "this loop carries {n} variable{} but `yield` gives {}",
+                                        if n == 1 { "" } else { "s" },
+                                        vals.len()
+                                    ),
+                                );
+                            }
+                        }
+                        YieldCtx::IfSide => {}
+                    }
+                    if i + 1 != stmts.len() {
+                        self.err(s.span, "`yield` must be the last statement of its block");
+                    }
+                    yields = vals.iter().map(|v| self.scalar(v)).collect();
+                }
+            }
+        }
+        if yields.is_empty() {
+            if let YieldCtx::Loop(n) = ctx {
+                if n > 0 {
+                    // A loop with carries but no yield: report at no
+                    // particular statement; use the last stmt span if any.
+                    let span = stmts.last().map_or(Span::default(), |s| s.span);
+                    self.err(
+                        span,
+                        format!(
+                            "loop body must end with `yield` giving the next value of \
+                             {n} carried variable{}",
+                            if n == 1 { "" } else { "s" }
+                        ),
+                    );
+                    return vec![STy::Word; n];
+                }
+            }
+        }
+        yields
+    }
+}
+
+fn is_float_bin(op: BinOp) -> bool {
+    use BinOp::*;
+    matches!(
+        op,
+        FAdd | FSub | FMul | FDiv | FMin | FMax | FLt | FLe | FGt | FGe
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn errs(src: &str) -> Vec<String> {
+        let p = parse(src).unwrap();
+        match check(&p) {
+            Ok(()) => Vec::new(),
+            Err(ds) => ds.into_iter().map(|d| d.message).collect(),
+        }
+    }
+
+    #[test]
+    fn accepts_the_good_program() {
+        let src = "
+program t;
+param n: i32 = 4;
+input a: i32[8] = [1, 2, 3];
+state s: i32[8];
+let x = a[0] & 255;
+let w = s[0];
+let y = x +. 1.0;          // hmm: x is i32 -> this must error
+";
+        let es = errs(src);
+        assert_eq!(es.len(), 1, "{es:?}");
+        assert!(es[0].contains("float operand"), "{es:?}");
+    }
+
+    #[test]
+    fn word_values_flow_everywhere() {
+        // A state load is a raw word: both operator families accept it.
+        let es = errs(
+            "program t; state s: i32[4]; let w = s[0]; let a = w + 1; let b = w +. 1.0; \
+             let m = mux(w, a, b); sink r = m;",
+        );
+        assert!(es.is_empty(), "{es:?}");
+    }
+
+    #[test]
+    fn unknown_names_and_arrays() {
+        let es = errs("program t; state s: i32[4]; let x = yq + 1; let z = q[0]; s[x] = s;");
+        assert!(es.iter().any(|m| m.contains("unknown name `yq`")), "{es:?}");
+        assert!(es.iter().any(|m| m.contains("unknown array `q`")), "{es:?}");
+        assert!(es.iter().any(|m| m.contains("used as a scalar")), "{es:?}");
+    }
+
+    #[test]
+    fn store_to_input_rejected() {
+        let es = errs("program t; input a: i32[4]; state s: i32[4]; a[0] = 1;");
+        assert!(
+            es.iter().any(|m| m.contains("read-only input array")),
+            "{es:?}"
+        );
+    }
+
+    #[test]
+    fn yield_shape_checks() {
+        let es = errs(
+            "program t; state s: i32[4]; \
+             let x = for i in 0..4 with a = 0 { yield (a, a); }; \
+             let y = for i in 0..4 with b = 0 { yield b; let q = 1; };",
+        );
+        assert!(
+            es.iter()
+                .any(|m| m.contains("carries 1 variable but `yield` gives 2")),
+            "{es:?}"
+        );
+        assert!(es.iter().any(|m| m.contains("last statement")), "{es:?}");
+    }
+
+    #[test]
+    fn loop_in_branch_rejected() {
+        let es = errs(
+            "program t; state s: i32[4]; \
+             let x = if 1 { let z = for i in 0..2 with a = 0 { yield a; }; yield z; } \
+             else { yield 0; };",
+        );
+        assert!(
+            es.iter()
+                .any(|m| m.contains("not allowed inside an `if` side")),
+            "{es:?}"
+        );
+    }
+
+    #[test]
+    fn carry_type_widens_instead_of_erroring() {
+        // The carry starts i32 and a yield makes it f32: it widens to a
+        // word, and both uses stay legal.
+        let es = errs(
+            "program t; state s: i32[4]; \
+             let x = for i in 0..4 with a = 0 { let f = i2f(i) +. 1.0; yield mux(i, f, a); }; \
+             sink r = x;",
+        );
+        assert!(es.is_empty(), "{es:?}");
+    }
+
+    #[test]
+    fn while_checks() {
+        let es = errs(
+            "program t; state s: i32[4]; \
+             let x = while s[0] > 0 with c = 4 { yield c - 1; }; \
+             let y = while 1 { yield 0; };",
+        );
+        assert!(es.iter().any(|m| m.contains("may not load")), "{es:?}");
+        assert!(
+            es.iter().any(|m| m.contains("at least one carry")),
+            "{es:?}"
+        );
+    }
+
+    #[test]
+    fn sink_rules() {
+        let es = errs(
+            "program t; state s: i32[4]; sink r = 1; sink r = 2; \
+             for i in 0..2 { sink q = i; };",
+        );
+        assert!(
+            es.iter().any(|m| m.contains("duplicate sink label")),
+            "{es:?}"
+        );
+        assert!(
+            es.iter()
+                .any(|m| m.contains("only allowed at the top level")),
+            "{es:?}"
+        );
+    }
+
+    #[test]
+    fn fixpoint_rewalk_does_not_duplicate_sink_diagnostics() {
+        // The carry widens (i32 -> word), so the body is walked twice;
+        // the misplaced sink must be reported exactly once, with no
+        // spurious "duplicate sink label".
+        let es = errs(
+            "program t; state s: i32[4]; \
+             for i in 0..4 with a = 0 { sink q = i; let f = i2f(i) +. 1.0; \
+             yield mux(i, f, a); };",
+        );
+        assert_eq!(es.len(), 1, "{es:?}");
+        assert!(es[0].contains("only allowed at the top level"), "{es:?}");
+    }
+
+    #[test]
+    fn conversion_noops_flagged() {
+        let es = errs("program t; state s: i32[4]; let a = i2f(1.0); let b = f2i(1);");
+        assert_eq!(es.len(), 2, "{es:?}");
+    }
+}
