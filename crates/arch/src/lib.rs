@@ -2,10 +2,13 @@
 //!
 //! Architecture presets: each evaluated machine is a pair of a mapping
 //! policy (`marionette-compiler::CompileOptions`) and a timing model
-//! (`marionette-sim::TimingModel`), normalized to the same 4×4 computing
+//! (`marionette-sim::TimingModel`), normalized to the same computing
 //! fabric exactly as the paper does ("we built the performance models of
 //! Softbrain, TIA, REVEL, RipTide and Marionette with the simulator and
-//! normalized the computing fabric to the same size").
+//! normalized the computing fabric to the same size"). The no-argument
+//! constructors give the paper's 4×4 normalization; every preset also
+//! has an `_on(FabricDims)` variant whose centralized-control timing is
+//! derived from the mesh corner distance (see `presets`).
 //!
 //! - [`von_neumann_pe`] / [`dataflow_pe`] — the two generic PE execution
 //!   models of §2.3 (Fig 2), used by Fig 11;
@@ -22,8 +25,12 @@
 pub mod presets;
 pub mod taxonomy;
 
+pub use marionette_compiler::FabricDims;
 pub use presets::{
-    all_presets, all_sota, dataflow_pe, marionette_cn, marionette_full, marionette_pe, revel,
-    riptide, softbrain, tia, von_neumann_pe, Architecture,
+    activation_detour_cycles, all_presets, all_presets_on, all_sota, all_sota_on, ccu_dyn_cycles,
+    ccu_switch_cycles, dataflow_pe, dataflow_pe_on, marionette_cn, marionette_cn_on,
+    marionette_full, marionette_full_on, marionette_pe, marionette_pe_on, presets_by_tags_on,
+    revel, revel_on, riptide, riptide_on, softbrain, softbrain_on, tia, tia_on, tia_switch_cycles,
+    von_neumann_pe, von_neumann_pe_on, Architecture,
 };
 pub use taxonomy::{capability_matrix, sa_taxonomy, Capabilities};

@@ -12,7 +12,19 @@
 //! - `--compare`   run the sweep twice (serial then parallel) and record
 //!   the wall-clock speedup;
 //! - `--no-search` skip the mapping-search delta sweep;
-//! - `--out PATH`  output path (default `BENCH_sim.json`).
+//! - `--fabric RxC` instantiate the presets on an R×C fabric
+//!   (default 4x4);
+//! - `--out PATH`  output path (default `BENCH_sim.json`);
+//! - `--check BASELINE`  perf-regression gate: run the greedy sweep only
+//!   (search implied off) and exit 1 if any per-point `cycles` differs
+//!   from the committed BASELINE snapshot, or if the greedy wall clock
+//!   regresses more than 25% over it;
+//! - `--replay FRESH`  with `--check`: compare an already-written FRESH
+//!   snapshot against BASELINE without re-running the sweep (used by CI
+//!   to demonstrate the gate on a tampered baseline);
+//! - `--wall-tolerance PCT`  wall-regression threshold of the gate
+//!   (default 25; the cycle compare is exact regardless — widen this
+//!   when baseline and runner are not comparable machines).
 //!
 //! Unless `--no-search` is given, every point is additionally compiled
 //! with the annealing mapping explorer (`SearchBudget::default_on()`)
@@ -20,13 +32,21 @@
 //! records the geomean cycle speedup of the searched mappings over the
 //! greedy baseline.
 
+use marionette::arch::FabricDims;
 use marionette::compiler::SearchBudget;
 use marionette::kernels::traits::Scale;
 use marionette::parallel::{par_map, sweep_threads};
 use marionette::runner::{run_kernel, DEFAULT_MAX_CYCLES};
+use marionette_bench::snapshot;
 use std::time::Instant;
 
 const SEED: u64 = 1;
+
+/// Default wall-clock regression threshold of the `--check` gate
+/// (override with `--wall-tolerance PCT`). The per-point cycle compare
+/// is exact; the wall gate assumes baseline and run come from
+/// comparable machines — widen the tolerance when they don't.
+const WALL_TOLERANCE: f64 = 0.25;
 
 struct Point {
     kernel: String,
@@ -42,8 +62,8 @@ struct Measured {
     cycles_search: Option<u64>,
 }
 
-fn points() -> Vec<Point> {
-    let archs = marionette::arch::all_presets();
+fn points(fabric: FabricDims) -> Vec<Point> {
+    let archs = marionette::arch::all_presets_on(fabric);
     let mut tags: Vec<String> = marionette::kernels::all()
         .iter()
         .map(|k| k.short().to_string())
@@ -59,8 +79,13 @@ fn points() -> Vec<Point> {
         .collect()
 }
 
-fn sweep(scale: Scale, threads: usize, search: bool) -> Result<(Vec<Measured>, f64), String> {
-    let pts = points();
+fn sweep(
+    scale: Scale,
+    threads: usize,
+    search: bool,
+    fabric: FabricDims,
+) -> Result<(Vec<Measured>, f64), String> {
+    let pts = points(fabric);
     let t0 = Instant::now();
     let results = par_map(pts, threads, |p| -> Result<Measured, String> {
         let k = marionette::kernels::by_short(&p.kernel)
@@ -122,6 +147,10 @@ struct Flags {
     compare: bool,
     search: bool,
     out_path: String,
+    fabric: FabricDims,
+    check: Option<String>,
+    replay: Option<String>,
+    wall_tolerance: f64,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -131,32 +160,145 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         compare: false,
         search: true,
         out_path: "BENCH_sim.json".to_string(),
+        fabric: FabricDims::paper(),
+        check: None,
+        replay: None,
+        wall_tolerance: WALL_TOLERANCE,
     };
-    // Single pass: a value consumed by `--out` can never double as a flag.
+    // Single pass: a value consumed by a flag can never double as a flag.
     let mut i = 1;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        match args.get(*i) {
+            Some(p) if !p.starts_with("--") => Ok(p.clone()),
+            _ => Err(format!("{flag} needs a value")),
+        }
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--paper" => flags.scale = Scale::Paper,
             "--serial" => flags.serial_only = true,
             "--compare" => flags.compare = true,
             "--no-search" => flags.search = false,
-            "--out" => {
-                i += 1;
-                flags.out_path = match args.get(i) {
-                    Some(p) if !p.starts_with("--") => p.clone(),
-                    _ => return Err("--out needs a path".to_string()),
-                };
+            "--out" => flags.out_path = value(args, &mut i, "--out")?,
+            "--fabric" => {
+                flags.fabric = value(args, &mut i, "--fabric")?
+                    .parse()
+                    .map_err(|e| format!("--fabric: {e}"))?
+            }
+            "--check" => flags.check = Some(value(args, &mut i, "--check")?),
+            "--replay" => flags.replay = Some(value(args, &mut i, "--replay")?),
+            "--wall-tolerance" => {
+                let v = value(args, &mut i, "--wall-tolerance")?;
+                let pct: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--wall-tolerance: `{v}` is not a percentage"))?;
+                if pct < 0.0 || pct.is_nan() {
+                    return Err(format!("--wall-tolerance: `{v}` must be >= 0"));
+                }
+                flags.wall_tolerance = pct / 100.0;
             }
             other => {
                 return Err(format!(
                     "unknown argument `{other}` (flags: --paper --serial --compare \
-                     --no-search --out PATH)"
+                     --no-search --fabric RxC --out PATH --check BASELINE --replay FRESH \
+                     --wall-tolerance PCT)"
                 ))
             }
         }
         i += 1;
     }
+    if flags.replay.is_some() && flags.check.is_none() {
+        return Err("--replay only makes sense with --check BASELINE".to_string());
+    }
+    if let Some(base) = &flags.check {
+        // The gate compares greedy cycle counts: the search delta sweep
+        // would only add wall time without entering the comparison.
+        flags.search = false;
+        // Writing the fresh snapshot over the baseline would make the
+        // gate compare the run against itself (and destroy the committed
+        // reference) — the baseline is loaded before the sweep runs
+        // regardless, but an identical path is always a mistake.
+        if flags.replay.is_none() && *base == flags.out_path {
+            return Err(format!(
+                "--check {base} would be overwritten by --out {}; pass a different --out",
+                flags.out_path
+            ));
+        }
+    }
     Ok(flags)
+}
+
+/// A parsed baseline (or replay) snapshot with its sweep metadata.
+struct Snapshot {
+    points: Vec<snapshot::BenchPoint>,
+    wall_ms: f64,
+    scale: String,
+    fabric: String,
+}
+
+/// Loads a `bench_sim` snapshot file up front — before anything is
+/// written — so the gate always compares against the pre-run contents.
+fn load_snapshot(path: &str) -> Result<Snapshot, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let points = snapshot::parse_points(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    let wall_ms = snapshot::greedy_wall_ms(&json, &points);
+    let meta = |key: &str, default: &str| {
+        json.lines()
+            .find_map(|l| snapshot::field_str(l, key))
+            .unwrap_or_else(|| default.to_string())
+    };
+    Ok(Snapshot {
+        points,
+        wall_ms,
+        scale: meta("scale", "small"),
+        // Snapshots written before the fabric axis existed are 4×4.
+        fabric: meta("fabric", "4x4"),
+    })
+}
+
+/// The `--check` gate: compares fresh greedy points against the
+/// pre-loaded baseline snapshot. Refuses incomparable runs (different
+/// scale or fabric) with a single clear error instead of 126 bogus
+/// per-point violations.
+fn run_gate(
+    baseline_path: &str,
+    base: &Snapshot,
+    fresh: &[snapshot::BenchPoint],
+    fresh_wall_ms: f64,
+    fresh_scale: &str,
+    fresh_fabric: &str,
+    wall_tolerance: f64,
+) -> Result<(), String> {
+    if (base.scale.as_str(), base.fabric.as_str()) != (fresh_scale, fresh_fabric) {
+        return Err(format!(
+            "baseline {baseline_path} is scale={} fabric={}, this run is scale={fresh_scale} fabric={fresh_fabric} — not comparable",
+            base.scale, base.fabric
+        ));
+    }
+    let violations = snapshot::check_against_baseline(
+        &base.points,
+        base.wall_ms,
+        fresh,
+        fresh_wall_ms,
+        wall_tolerance,
+    );
+    if violations.is_empty() {
+        println!(
+            "bench_check: {} points match {baseline_path} bit for bit, greedy wall {fresh_wall_ms:.1} ms vs baseline {:.1} ms (gate <= +{:.0}%)",
+            fresh.len(),
+            base.wall_ms,
+            wall_tolerance * 100.0
+        );
+        return Ok(());
+    }
+    for v in &violations {
+        eprintln!("bench_check: {v}");
+    }
+    Err(format!(
+        "{} regression(s) against {baseline_path}",
+        violations.len()
+    ))
 }
 
 fn run(flags: Flags) -> Result<(), String> {
@@ -166,34 +308,72 @@ fn run(flags: Flags) -> Result<(), String> {
         compare,
         search,
         out_path,
+        fabric,
+        check,
+        replay,
+        wall_tolerance,
     } = flags;
+
+    // The baseline is loaded before the sweep runs (and before anything
+    // is written), so the gate always compares against the pre-run file.
+    let baseline = match &check {
+        Some(path) => Some(load_snapshot(path)?),
+        None => None,
+    };
+
+    // --check --replay: compare two already-written snapshots without
+    // re-running the sweep (CI uses this to demonstrate the gate).
+    if let (Some(base_path), Some(fresh_path)) = (&check, &replay) {
+        let base = baseline.as_ref().expect("loaded above");
+        let fresh = load_snapshot(fresh_path)?;
+        return run_gate(
+            base_path,
+            base,
+            &fresh.points,
+            fresh.wall_ms,
+            &fresh.scale,
+            &fresh.fabric,
+            wall_tolerance,
+        );
+    }
+
+    // Refuse an incomparable gate run before spending a sweep on it.
+    let scale_name = if matches!(scale, Scale::Paper) {
+        "paper"
+    } else {
+        "small"
+    };
+    if let (Some(path), Some(base)) = (&check, &baseline) {
+        if (base.scale.as_str(), base.fabric.as_str()) != (scale_name, fabric.to_string().as_str())
+        {
+            return Err(format!(
+                "baseline {path} is scale={} fabric={}, this run is scale={scale_name} fabric={fabric} — not comparable",
+                base.scale, base.fabric
+            ));
+        }
+    }
+
     let threads = sweep_threads();
 
     let mut serial_wall: Option<f64> = None;
     let (points, wall_ms, mode, used_threads) = if serial_only {
-        let (p, w) = sweep(scale, 1, search)?;
+        let (p, w) = sweep(scale, 1, search, fabric)?;
         (p, w, "serial", 1)
     } else {
         if compare {
-            let (_, w) = sweep(scale, 1, search)?;
+            let (_, w) = sweep(scale, 1, search, fabric)?;
             serial_wall = Some(w);
         }
-        let (p, w) = sweep(scale, threads, search)?;
+        let (p, w) = sweep(scale, threads, search, fabric)?;
         (p, w, "parallel", threads)
     };
 
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str("  \"schema\": \"marionette.bench_sim/v1\",\n");
-    j.push_str(&format!(
-        "  \"scale\": \"{}\",\n",
-        if matches!(scale, Scale::Paper) {
-            "paper"
-        } else {
-            "small"
-        }
-    ));
+    j.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
     j.push_str(&format!("  \"seed\": {SEED},\n"));
+    j.push_str(&format!("  \"fabric\": \"{fabric}\",\n"));
     j.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     j.push_str(&format!("  \"threads\": {used_threads},\n"));
     j.push_str(&format!("  \"total_wall_ms\": {wall_ms:.3},\n"));
@@ -257,6 +437,28 @@ fn run(flags: Flags) -> Result<(), String> {
             "bench_sim: serial {sw:.1} ms vs parallel {wall_ms:.1} ms = {:.2}x speedup",
             sw / wall_ms
         );
+    }
+
+    if let Some(base_path) = &check {
+        let fresh: Vec<snapshot::BenchPoint> = points
+            .iter()
+            .map(|m| snapshot::BenchPoint {
+                kernel: m.kernel.clone(),
+                arch: m.arch.clone(),
+                cycles: m.cycles,
+                wall_ms: m.wall_ms,
+            })
+            .collect();
+        let fresh_wall: f64 = points.iter().map(|m| m.wall_ms).sum();
+        run_gate(
+            base_path,
+            baseline.as_ref().expect("loaded above"),
+            &fresh,
+            fresh_wall,
+            scale_name,
+            &fabric.to_string(),
+            wall_tolerance,
+        )?;
     }
     Ok(())
 }

@@ -9,13 +9,13 @@
 //! ```text
 //! map_explore [--moves N] [--restarts K] [--seed S] [--kernels A,B]
 //!             [--presets M,vN,...] [--scale tiny|small|paper]
-//!             [--no-sim] [--out PATH]
+//!             [--fabric RxC] [--no-sim] [--out PATH]
 //! ```
 //!
 //! `--no-sim` skips the simulations (cost model only), for quick smoke
 //! runs in CI.
 
-use marionette::arch::Architecture;
+use marionette::arch::{Architecture, FabricDims};
 use marionette::compiler::explore::greedy_cost;
 use marionette::compiler::{compile, CostModel, SearchBudget, SearchReport};
 use marionette::kernels::traits::Scale;
@@ -31,6 +31,7 @@ struct Args {
     kernels: Option<String>,
     presets: Option<String>,
     scale: Scale,
+    fabric: FabricDims,
     simulate: bool,
     out: String,
 }
@@ -78,6 +79,10 @@ fn parse_args() -> Result<Args, String> {
                     "--scale: `{other}` is not one of tiny, small, paper"
                 ))
             }
+        },
+        fabric: match get("--fabric")? {
+            None => FabricDims::paper(),
+            Some(spec) => spec.parse().map_err(|e| format!("--fabric: {e}"))?,
         },
         simulate: !has("--no-sim"),
         out: get("--out")?.unwrap_or_else(|| "MAP_explore.json".to_string()),
@@ -178,20 +183,8 @@ fn main() {
 /// Resolves the preset and kernel selections.
 fn select(args: &Args) -> Result<(Vec<Architecture>, Vec<String>), String> {
     let archs: Vec<Architecture> = match &args.presets {
-        None => marionette::arch::all_presets(),
-        Some(tags) => {
-            let all = marionette::arch::all_presets();
-            tags.split(',')
-                .map(str::trim)
-                .filter(|t| !t.is_empty())
-                .map(|t| {
-                    all.iter()
-                        .find(|a| a.short.eq_ignore_ascii_case(t))
-                        .cloned()
-                        .ok_or_else(|| format!("unknown preset {t}"))
-                })
-                .collect::<Result<Vec<_>, _>>()?
-        }
+        None => marionette::arch::all_presets_on(args.fabric),
+        Some(tags) => marionette::arch::presets_by_tags_on(args.fabric, tags)?,
     };
     let mut tags: Vec<String> = marionette::kernels::all()
         .iter()
@@ -321,6 +314,7 @@ fn run(args: Args, archs: Vec<Architecture>, tags: Vec<String>) -> Result<(), St
             _ => "small",
         }
     ));
+    j.push_str(&format!("  \"fabric\": \"{}\",\n", args.fabric));
     j.push_str(&format!("  \"simulated\": {},\n", args.simulate));
     j.push_str("  \"points\": [\n");
     for (i, p) in reports.iter().enumerate() {

@@ -8,7 +8,8 @@
 //! interpreter before reporting it.
 //!
 //! ```text
-//! marc FILE.mar [--presets M,vN,...] [--search MOVES[,RESTARTS]]
+//! marc FILE.mar [--presets M,vN,...] [--fabric RxC]
+//!               [--search MOVES[,RESTARTS]]
 //!               [--param NAME=VALUE]... [--max-cycles N]
 //!               [--disasm] [--json PATH]
 //! ```
@@ -17,7 +18,7 @@
 //! caret. Exit codes: `0` verified on every preset, `1` any pipeline or
 //! verification failure, `2` usage errors.
 
-use marionette::arch::Architecture;
+use marionette::arch::{Architecture, FabricDims};
 use marionette::cdfg::value::Value;
 use marionette::compiler::SearchBudget;
 use marionette_lang::driver::{
@@ -27,6 +28,7 @@ use marionette_lang::driver::{
 struct Args {
     file: String,
     presets: Option<String>,
+    fabric: FabricDims,
     search: Option<(u32, u32)>,
     params: Vec<(String, String)>,
     max_cycles: u64,
@@ -35,7 +37,8 @@ struct Args {
 }
 
 fn usage() -> String {
-    "usage: marc FILE.mar [--presets M,vN,...] [--search MOVES[,RESTARTS]] \
+    "usage: marc FILE.mar [--presets M,vN,...] [--fabric RxC] \
+     [--search MOVES[,RESTARTS]] \
      [--param NAME=VALUE]... [--max-cycles N] [--disasm] [--json PATH]"
         .to_string()
 }
@@ -44,6 +47,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         file: String::new(),
         presets: None,
+        fabric: FabricDims::paper(),
         search: None,
         params: Vec::new(),
         max_cycles: DEFAULT_MAX_CYCLES,
@@ -64,6 +68,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         let a = rest[i];
         match a.as_str() {
             "--presets" => args.presets = Some(value_of("--presets", &mut i)?),
+            "--fabric" => {
+                args.fabric = value_of("--fabric", &mut i)?
+                    .parse()
+                    .map_err(|e| format!("--fabric: {e}\n{}", usage()))?
+            }
             "--search" => {
                 let spec = value_of("--search", &mut i)?;
                 let mut parts = spec.split(',').map(str::trim);
@@ -112,21 +121,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn select_presets(filter: Option<&str>) -> Result<Vec<Architecture>, String> {
-    let all = marionette::arch::all_presets();
-    let Some(tags) = filter else { return Ok(all) };
-    let mut out = Vec::new();
-    for t in tags.split(',').map(str::trim).filter(|t| !t.is_empty()) {
-        match all.iter().find(|a| a.short.eq_ignore_ascii_case(t)) {
-            Some(a) => out.push(a.clone()),
-            None => {
-                return Err(format!(
-                    "unknown preset `{t}` (known: {})",
-                    all.iter().map(|a| a.short).collect::<Vec<_>>().join(", ")
-                ))
-            }
-        }
-    }
+fn select_presets(fabric: FabricDims, filter: Option<&str>) -> Result<Vec<Architecture>, String> {
+    let Some(tags) = filter else {
+        return Ok(marionette::arch::all_presets_on(fabric));
+    };
+    let out = marionette::arch::presets_by_tags_on(fabric, tags)?;
     if out.is_empty() {
         return Err("empty preset selection".to_string());
     }
@@ -177,6 +176,7 @@ fn json_value(v: &Value) -> String {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn json_report(
     file: &str,
     prog_name: &str,
@@ -184,6 +184,7 @@ fn json_report(
     loops: usize,
     sinks: &std::collections::HashMap<String, Vec<Value>>,
     search: Option<(u32, u32)>,
+    fabric: FabricDims,
     runs: &[PresetRun],
 ) -> String {
     let mut j = String::new();
@@ -191,6 +192,7 @@ fn json_report(
     j.push_str("  \"schema\": \"marionette.marc/v1\",\n");
     j.push_str(&format!("  \"file\": \"{}\",\n", json_escape(file)));
     j.push_str(&format!("  \"program\": \"{}\",\n", json_escape(prog_name)));
+    j.push_str(&format!("  \"fabric\": \"{fabric}\",\n"));
     j.push_str(&format!("  \"nodes\": {nodes},\n"));
     j.push_str(&format!("  \"loops\": {loops},\n"));
     match search {
@@ -254,7 +256,7 @@ fn run() -> Result<(), i32> {
         eprintln!("marc: {e}");
         2
     };
-    let presets = select_presets(args.presets.as_deref()).map_err(fail2)?;
+    let presets = select_presets(args.fabric, args.presets.as_deref()).map_err(fail2)?;
     let src = std::fs::read_to_string(&args.file).map_err(|e| {
         eprintln!("marc: reading {}: {e}", args.file);
         1
@@ -319,6 +321,7 @@ fn run() -> Result<(), i32> {
         g.loops.len(),
         &r.dropping.sinks,
         args.search,
+        args.fabric,
         &runs,
     );
     match &args.json {

@@ -2,6 +2,7 @@
 //! the paper's tables and figures.
 
 pub mod report;
+pub mod snapshot;
 
 use marionette::kernels::traits::Scale;
 

@@ -1,0 +1,207 @@
+//! Reading committed benchmark snapshots back in, and the perf-regression
+//! gate built on them.
+//!
+//! The repo commits `BENCH_sim.json` (written by `bench_sim`) so the
+//! perf/cycle trajectory is tracked across PRs. `bench_sim --check`
+//! re-runs the greedy sweep and fails when any per-point cycle count
+//! differs from the committed snapshot (a simulator/compiler semantics
+//! change slipped through) or when the greedy sweep's wall clock
+//! regresses beyond a threshold. The snapshots are written by our own
+//! emitter, so a small line-oriented field scanner is all the parsing
+//! this needs — no JSON dependency exists in the container.
+
+use std::collections::BTreeMap;
+
+/// One measured point parsed back out of a `bench_sim` snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchPoint {
+    /// Kernel short tag.
+    pub kernel: String,
+    /// Architecture short tag.
+    pub arch: String,
+    /// Greedy-pipeline cycle count.
+    pub cycles: u64,
+    /// Greedy compile+simulate wall clock for this point, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Extracts the string value of `"key": "..."` from `line`, if present.
+pub fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// Extracts the numeric value of `"key": N` from `line`, if present
+/// (stops at the first non-numeric character).
+pub fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-' && c != 'e')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the per-point records of a `bench_sim` snapshot.
+///
+/// # Errors
+/// Returns a message when no point records are found or a record is
+/// missing a field.
+pub fn parse_points(json: &str) -> Result<Vec<BenchPoint>, String> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(kernel) = field_str(line, "kernel") else {
+            continue;
+        };
+        let arch =
+            field_str(line, "arch").ok_or_else(|| format!("point record without arch: {line}"))?;
+        let cycles = field_num(line, "cycles")
+            .ok_or_else(|| format!("point record without cycles: {line}"))?
+            as u64;
+        let wall_ms = field_num(line, "wall_ms").unwrap_or(0.0);
+        out.push(BenchPoint {
+            kernel,
+            arch,
+            cycles,
+            wall_ms,
+        });
+    }
+    if out.is_empty() {
+        return Err("no point records found (not a bench_sim snapshot?)".to_string());
+    }
+    Ok(out)
+}
+
+/// The comparable greedy wall clock of a snapshot: the recorded
+/// `greedy_wall_ms` (sum of per-point greedy walls, independent of the
+/// sweep's thread count) when present, otherwise the sum of per-point
+/// `wall_ms`.
+pub fn greedy_wall_ms(json: &str, points: &[BenchPoint]) -> f64 {
+    json.lines()
+        .find_map(|l| field_num(l, "greedy_wall_ms"))
+        .unwrap_or_else(|| points.iter().map(|p| p.wall_ms).sum())
+}
+
+/// Compares a fresh greedy sweep against a committed baseline snapshot:
+/// every `(kernel, arch)` point must exist on both sides with an
+/// identical cycle count, and the fresh greedy wall clock must not
+/// exceed `baseline × (1 + wall_tolerance)`.
+///
+/// Returns the list of violations (empty = gate passes).
+pub fn check_against_baseline(
+    baseline: &[BenchPoint],
+    baseline_wall_ms: f64,
+    fresh: &[BenchPoint],
+    fresh_wall_ms: f64,
+    wall_tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let key = |p: &BenchPoint| (p.kernel.clone(), p.arch.clone());
+    let base: BTreeMap<_, u64> = baseline.iter().map(|p| (key(p), p.cycles)).collect();
+    let mut seen = BTreeMap::new();
+    for p in fresh {
+        seen.insert(key(p), p.cycles);
+        match base.get(&key(p)) {
+            None => violations.push(format!(
+                "{} on {}: point missing from the baseline",
+                p.kernel, p.arch
+            )),
+            Some(&want) if want != p.cycles => violations.push(format!(
+                "{} on {}: cycles {} != baseline {} ({:+})",
+                p.kernel,
+                p.arch,
+                p.cycles,
+                want,
+                p.cycles as i64 - want as i64
+            )),
+            Some(_) => {}
+        }
+    }
+    for (k, _) in base {
+        if !seen.contains_key(&k) {
+            violations.push(format!("{} on {}: point missing from this run", k.0, k.1));
+        }
+    }
+    if baseline_wall_ms > 0.0 && fresh_wall_ms > baseline_wall_ms * (1.0 + wall_tolerance) {
+        violations.push(format!(
+            "greedy wall {fresh_wall_ms:.1} ms regresses >{:.0}% over baseline {baseline_wall_ms:.1} ms",
+            wall_tolerance * 100.0
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAP: &str = r#"{
+  "schema": "marionette.bench_sim/v1",
+  "total_wall_ms": 100.000,
+  "greedy_wall_ms": 80.000,
+  "points": [
+    {"kernel": "CRC", "arch": "M", "cycles": 123, "fires": 9, "cycles_search": 110, "wall_ms": 40.000},
+    {"kernel": "MS", "arch": "vN", "cycles": 456, "fires": 8, "wall_ms": 40.000}
+  ]
+}"#;
+
+    #[test]
+    fn parses_points_and_wall() {
+        let pts = parse_points(SNAP).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].kernel, "CRC");
+        assert_eq!(pts[0].arch, "M");
+        assert_eq!(pts[0].cycles, 123);
+        assert_eq!(pts[1].cycles, 456);
+        assert_eq!(greedy_wall_ms(SNAP, &pts), 80.0);
+        let no_greedy = SNAP.replace("greedy_wall_ms", "x_wall_ms");
+        assert_eq!(
+            greedy_wall_ms(&no_greedy, &pts),
+            80.0,
+            "falls back to point sum"
+        );
+        assert!(parse_points("{}").is_err());
+    }
+
+    #[test]
+    fn gate_passes_on_identical_runs() {
+        let pts = parse_points(SNAP).unwrap();
+        assert!(check_against_baseline(&pts, 80.0, &pts, 80.0, 0.25).is_empty());
+        // Faster is fine; slower within tolerance is fine.
+        assert!(check_against_baseline(&pts, 80.0, &pts, 60.0, 0.25).is_empty());
+        assert!(check_against_baseline(&pts, 80.0, &pts, 99.0, 0.25).is_empty());
+    }
+
+    #[test]
+    fn gate_catches_cycle_drift() {
+        let base = parse_points(SNAP).unwrap();
+        let mut fresh = base.clone();
+        fresh[0].cycles += 1;
+        let v = check_against_baseline(&base, 80.0, &fresh, 80.0, 0.25);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("CRC on M"), "{v:?}");
+        assert!(v[0].contains("124 != baseline 123"), "{v:?}");
+    }
+
+    #[test]
+    fn gate_catches_missing_points_both_ways() {
+        let base = parse_points(SNAP).unwrap();
+        let fresh = vec![base[0].clone()];
+        let v = check_against_baseline(&base, 0.0, &fresh, 0.0, 0.25);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing from this run"));
+        let v = check_against_baseline(&fresh, 0.0, &base, 0.0, 0.25);
+        assert!(v[0].contains("missing from the baseline"));
+    }
+
+    #[test]
+    fn gate_catches_wall_regression() {
+        let pts = parse_points(SNAP).unwrap();
+        let v = check_against_baseline(&pts, 80.0, &pts, 101.0, 0.25);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("regresses"));
+    }
+}

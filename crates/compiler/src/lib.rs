@@ -32,7 +32,9 @@ pub mod route;
 
 pub use cost::{CostModel, MappingCost};
 pub use explore::{explore_chain, select_best, ExploreResult, SearchReport};
-pub use options::{CompileOptions, CtrlPlacement, MemPlacement, SearchBudget, SplitFabric};
+pub use options::{
+    CompileOptions, CtrlPlacement, FabricDims, MemPlacement, SearchBudget, SplitFabric,
+};
 pub use pipeline::{compile, compile_with_timing, finalize_explored, CompileReport};
 pub use place::{place, PlaceError, PlacementResult};
 pub use route::route;

@@ -8,6 +8,72 @@
 //! concurrently-live loop levels (Agile PE Assignment), and split
 //! fabrics (REVEL).
 
+/// Fabric geometry: an R×C mesh of PEs.
+///
+/// Every layer of the stack that depends on the array's shape — mapping
+/// policy, mesh routing, CS-Benes sizing, and the geometry-derived
+/// timing parameters of `marionette-arch` (CCU round trips scale with
+/// the corner-to-corner distance) — takes its dimensions from here. The
+/// paper's evaluation fabric is [`FabricDims::paper`] (4×4); the
+/// `fabric_sweep` experiment scales the same presets to 6×6 and 8×8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FabricDims {
+    /// Fabric rows.
+    pub rows: usize,
+    /// Fabric columns.
+    pub cols: usize,
+}
+
+impl FabricDims {
+    /// Creates an R×C fabric geometry.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "fabric dimensions must be positive");
+        FabricDims { rows, cols }
+    }
+
+    /// The paper's 4×4 evaluation fabric.
+    pub fn paper() -> Self {
+        FabricDims::new(4, 4)
+    }
+
+    /// Number of PEs.
+    pub fn pe_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// One-way corner-to-corner mesh distance in hops: `(rows − 1) +
+    /// (cols − 1)`. This is the distance the paper's centralized-control
+    /// cost model is built on (6 hops on the 4×4 fabric).
+    pub fn corner_hops(&self) -> u32 {
+        (self.rows - 1 + self.cols - 1) as u32
+    }
+}
+
+impl std::fmt::Display for FabricDims {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+impl std::str::FromStr for FabricDims {
+    type Err = String;
+
+    /// Parses `"RxC"` (e.g. `6x6`, `4X6`).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let err = || format!("`{s}` is not a fabric spec RxC (e.g. 6x6)");
+        let (r, c) = s.split_once(['x', 'X', '×']).ok_or_else(err)?;
+        let rows: usize = r.trim().parse().map_err(|_| err())?;
+        let cols: usize = c.trim().parse().map_err(|_| err())?;
+        if rows == 0 || cols == 0 {
+            return Err(err());
+        }
+        Ok(FabricDims { rows, cols })
+    }
+}
+
 /// Where control operators (steer/carry/inv/merge/gate) execute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CtrlPlacement {
@@ -129,11 +195,18 @@ pub struct CompileOptions {
 }
 
 impl CompileOptions {
-    /// The paper's 4×4 fabric with Marionette defaults.
-    pub fn marionette_4x4() -> Self {
+    /// An R×C fabric with Marionette defaults. `marionette_rxc(4, 4)` is
+    /// bit-identical to the legacy [`CompileOptions::marionette_4x4`]
+    /// (which is now a thin alias of this constructor).
+    pub fn marionette_rxc(rows: usize, cols: usize) -> Self {
+        CompileOptions::for_fabric(FabricDims::new(rows, cols))
+    }
+
+    /// Marionette defaults on an explicit [`FabricDims`].
+    pub fn for_fabric(dims: FabricDims) -> Self {
         CompileOptions {
-            rows: 4,
-            cols: 4,
+            rows: dims.rows,
+            cols: dims.cols,
             ctrl: CtrlPlacement::CtrlPlane,
             mem: MemPlacement::PeSlots,
             agile: true,
@@ -143,9 +216,19 @@ impl CompileOptions {
         }
     }
 
+    /// The paper's 4×4 fabric with Marionette defaults.
+    pub fn marionette_4x4() -> Self {
+        CompileOptions::marionette_rxc(4, 4)
+    }
+
     /// Number of PEs.
     pub fn pe_count(&self) -> usize {
         self.rows * self.cols
+    }
+
+    /// The fabric geometry of this mapping policy.
+    pub fn dims(&self) -> FabricDims {
+        FabricDims::new(self.rows, self.cols)
     }
 }
 
@@ -166,6 +249,33 @@ mod tests {
         assert!(o.agile);
         assert_eq!(o.ctrl, CtrlPlacement::CtrlPlane);
         assert_eq!(o.search, SearchBudget::Off);
+    }
+
+    #[test]
+    fn fabric_dims() {
+        let d = FabricDims::new(4, 4);
+        assert_eq!(d, FabricDims::paper());
+        assert_eq!(d.pe_count(), 16);
+        assert_eq!(d.corner_hops(), 6, "the paper's corner distance");
+        assert_eq!(FabricDims::new(6, 6).corner_hops(), 10);
+        assert_eq!(FabricDims::new(4, 6).corner_hops(), 8);
+        assert_eq!(d.to_string(), "4x4");
+        assert_eq!("6x6".parse::<FabricDims>().unwrap(), FabricDims::new(6, 6));
+        assert_eq!("4X6".parse::<FabricDims>().unwrap(), FabricDims::new(4, 6));
+        assert!("6".parse::<FabricDims>().is_err());
+        assert!("0x4".parse::<FabricDims>().is_err());
+        assert!("axb".parse::<FabricDims>().is_err());
+    }
+
+    #[test]
+    fn rxc_4x4_matches_legacy() {
+        assert_eq!(
+            CompileOptions::marionette_rxc(4, 4),
+            CompileOptions::marionette_4x4()
+        );
+        let o = CompileOptions::marionette_rxc(6, 8);
+        assert_eq!(o.pe_count(), 48);
+        assert_eq!(o.dims(), FabricDims::new(6, 8));
     }
 
     #[test]

@@ -129,9 +129,10 @@ fn ctrl_feasibility(routes: &[Route], mesh: &Mesh) -> (bool, usize) {
         }
     }
     let ctrl_fanout: usize = casts.values().map(|d| d.len()).sum();
-    let ports = mesh.pe_count();
-    let lines = (4 * ports).next_power_of_two();
-    let net = CsBenesNetwork::new(ports, lines);
+    // Control-network sizing is derived from the fabric width: four
+    // internal lines per PE endpoint (64 lines on the paper's 4×4).
+    let net = CsBenesNetwork::for_fabric(mesh.pe_count());
+    let lines = net.lines();
     // Destinations may be shared between sources over time; the static
     // check below conservatively requires single-driver outputs, so fall
     // back to fan-out capacity when that fails (time-shared inputs).

@@ -1,0 +1,148 @@
+//! Fabric-geometry generalization tests: the R×C stack at 4×4 must be
+//! bit-identical to the legacy 4×4-pinned path, the geometry-derived
+//! timing must reproduce the paper's constants, and kernel mappings must
+//! stay legal and verified on fabrics larger than the paper's.
+
+use marionette::arch::{self, FabricDims};
+use marionette::compiler::{compile, CompileOptions};
+use marionette::kernels::traits::Scale;
+use marionette::runner::run_kernel;
+
+fn build(tag: &str, scale: Scale) -> marionette::cdfg::Cdfg {
+    let k = marionette::kernels::by_short(tag).expect("kernel tag");
+    let wl = k.workload(scale, 1);
+    k.build(&wl).expect("suite kernels build")
+}
+
+#[test]
+fn rxc_4x4_compiles_bit_identically_to_legacy_on_all_presets() {
+    // The regression bar of the generalization: `marionette_rxc(4, 4)`
+    // presets must produce byte-identical bitstreams to the legacy
+    // `marionette_4x4` constructors on every preset.
+    assert_eq!(
+        CompileOptions::marionette_rxc(4, 4),
+        CompileOptions::marionette_4x4()
+    );
+    let legacy = arch::all_presets();
+    let rxc = arch::all_presets_on(FabricDims::new(4, 4));
+    assert_eq!(legacy.len(), 9);
+    let g = build("CRC", Scale::Tiny);
+    for (a, b) in legacy.iter().zip(&rxc) {
+        assert_eq!(a.short, b.short);
+        assert_eq!(a.opts, b.opts, "{}: mapping policy drifted", a.short);
+        assert_eq!(a.tm, b.tm, "{}: timing model drifted", a.short);
+        let (pa, _) = compile(&g, &a.opts).unwrap();
+        let (pb, _) = compile(&g, &b.opts).unwrap();
+        assert_eq!(
+            marionette::isa::bitstream::encode(&pa),
+            marionette::isa::bitstream::encode(&pb),
+            "{}: bitstream drifted between legacy and rxc(4,4)",
+            a.short
+        );
+    }
+}
+
+#[test]
+fn derived_timing_reproduces_the_paper_at_4x4_and_scales_beyond() {
+    let d4 = FabricDims::paper();
+    assert_eq!(arch::ccu_switch_cycles(d4), 12, "the historical CCU_SWITCH");
+    assert_eq!(arch::ccu_dyn_cycles(d4), 10, "the historical CCU_DYN");
+    assert_eq!(arch::activation_detour_cycles(d4), 6);
+    // Centralized round trips scale with the corner distance; Marionette's
+    // proactive switch and the host round trip do not.
+    for (dims, switch) in [
+        (FabricDims::new(6, 6), 20),
+        (FabricDims::new(8, 8), 28),
+        (FabricDims::new(4, 6), 16),
+    ] {
+        assert_eq!(arch::ccu_switch_cycles(dims), switch, "{dims}");
+        assert_eq!(
+            arch::von_neumann_pe_on(dims).tm.group_switch_cost,
+            switch,
+            "{dims}"
+        );
+        assert_eq!(arch::marionette_pe_on(dims).tm.group_switch_cost, 1);
+        assert_eq!(arch::softbrain_on(dims).tm.group_switch_cost, 30);
+    }
+}
+
+#[test]
+fn kernel_mappings_verify_on_larger_and_nonsquare_fabrics() {
+    // Kernels are written against no particular fabric: any geometry at
+    // least as large as the paper's 4×4 must place, route, simulate and
+    // bit-verify against the golden reference.
+    for dims in [
+        FabricDims::new(6, 6),
+        FabricDims::new(4, 6),
+        FabricDims::new(8, 8),
+    ] {
+        for arch in [
+            arch::marionette_full_on(dims),
+            arch::von_neumann_pe_on(dims),
+        ] {
+            for tag in ["CRC", "MS"] {
+                let k = marionette::kernels::by_short(tag).unwrap();
+                let r = run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 100_000_000)
+                    .unwrap_or_else(|e| panic!("{tag} on {} at {dims}: {e}", arch.short));
+                assert!(r.verified, "{tag} on {} at {dims}", arch.short);
+            }
+        }
+    }
+}
+
+#[test]
+fn routes_stay_inside_the_declared_fabric_on_nonsquare_meshes() {
+    // Placement and routing must respect non-square bounds: every route
+    // of a 4×6-compiled program is a legal walk of the 4×6 mesh (indices
+    // that would be legal on 6×4 but not 4×6 get caught here).
+    let g = build("GEMM", Scale::Tiny);
+    for dims in [FabricDims::new(4, 6), FabricDims::new(6, 4)] {
+        let arch = arch::marionette_full_on(dims);
+        let (prog, _) = compile(&g, &arch.opts).unwrap();
+        assert_eq!(
+            (prog.rows as usize, prog.cols as usize),
+            (dims.rows, dims.cols)
+        );
+        let mesh = marionette::net::Mesh::new(dims.rows, dims.cols);
+        for (ri, r) in prog.routes.iter().enumerate() {
+            assert!(
+                mesh.links_of_path(&r.path).is_some(),
+                "{dims}: route {ri} path {:?} is not a legal walk",
+                r.path
+            );
+            for &t in &r.path {
+                assert!((t as usize) < dims.pe_count(), "{dims}: tile {t} off-grid");
+            }
+        }
+    }
+}
+
+#[test]
+fn revel_split_and_ctrl_net_scale_with_the_fabric() {
+    let r = arch::revel_on(FabricDims::new(6, 6));
+    let s = r.opts.split.unwrap();
+    assert_eq!((s.systolic_pes, s.dataflow_pes), (35, 1));
+    // CS-Benes sizing derives from the fabric width: 4 lines per PE
+    // endpoint, next power of two.
+    let net4 = marionette::net::CsBenesNetwork::for_fabric(16);
+    assert_eq!(net4.lines(), 64, "the paper's 4x4 instance");
+    let net6 = marionette::net::CsBenesNetwork::for_fabric(36);
+    assert_eq!(net6.lines(), 256);
+    assert!(net6.switch_count() > net4.switch_count());
+}
+
+#[test]
+fn searched_mappings_verify_on_a_larger_fabric() {
+    // The annealing explorer must stay legal off the 4×4 fabric too.
+    use marionette::compiler::SearchBudget;
+    let mut arch = arch::marionette_full_on(FabricDims::new(6, 6));
+    arch.opts.search = SearchBudget::Anneal {
+        moves: 200,
+        restarts: 1,
+        base_seed: 0xA11E,
+    };
+    let k = marionette::kernels::by_short("CRC").unwrap();
+    let r = run_kernel(k.as_ref(), &arch, Scale::Tiny, 1, 100_000_000).unwrap();
+    assert!(r.verified);
+    assert!(r.report.search.is_some());
+}

@@ -6,8 +6,12 @@
 //! fuzz_stack [--start S] [--count N] [--presets M,vN,...] [--depth D]
 //!            [--max-stmts K] [--shrink] [--corpus-dir DIR]
 //!            [--json PATH] [--max-cycles C] [--no-fires] [--serial]
-//!            [--search MOVES[,RESTARTS]] [--source]
+//!            [--search MOVES[,RESTARTS]] [--source] [--fabric RxC]
 //! ```
+//!
+//! `--fabric RxC` instantiates the selected presets on an R×C fabric
+//! (default 4x4): larger meshes exercise longer routes, bigger agile
+//! regions and the geometry-derived centralized-control timing.
 //!
 //! `--search` turns the compiler's annealing mapping explorer on for
 //! every selected preset (MOVES annealing moves, RESTARTS chains),
@@ -28,8 +32,9 @@
 //! `--print-seed S` prints seed S's program in the corpus text format and
 //! exits (handy for seeding the corpus or inspecting a failure).
 
+use marionette::arch::FabricDims;
 use marionette::parallel::{par_map, sweep_threads};
-use marionette_fuzzgen::diff::{all_presets, diff_program, presets_by_tags, DEFAULT_MAX_CYCLES};
+use marionette_fuzzgen::diff::{all_presets_on, diff_program, DEFAULT_MAX_CYCLES};
 use marionette_fuzzgen::gen::{generate, GenConfig};
 use marionette_fuzzgen::shrink::shrink;
 use marionette_fuzzgen::source::diff_both;
@@ -50,6 +55,7 @@ struct Args {
     print_seed: Option<u64>,
     search: Option<(u32, u32)>,
     source: bool,
+    fabric: FabricDims,
 }
 
 fn parse_args() -> Args {
@@ -102,6 +108,13 @@ fn parse_args() -> Args {
             (moves, restarts)
         }),
         source: has("--source"),
+        fabric: match get("--fabric") {
+            None => FabricDims::paper(),
+            Some(spec) => spec.parse().unwrap_or_else(|e| {
+                eprintln!("fuzz_stack: --fabric: {e}");
+                std::process::exit(2);
+            }),
+        },
     }
 }
 
@@ -119,9 +132,9 @@ use marionette::report::json_escape;
 fn main() {
     let args = parse_args();
     let mut presets = if args.presets.is_empty() {
-        all_presets()
+        all_presets_on(args.fabric)
     } else {
-        match presets_by_tags(&args.presets) {
+        match marionette::arch::presets_by_tags_on(args.fabric, &args.presets) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("fuzz_stack: {e}");
@@ -238,6 +251,7 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(", ")
         ));
+        j.push_str(&format!("  \"fabric\": \"{}\",\n", args.fabric));
         j.push_str(&format!("  \"threads\": {threads},\n"));
         match args.search {
             Some((m, r)) => j.push_str(&format!(
@@ -273,9 +287,10 @@ fn main() {
         outcomes.iter().map(|o| o.nodes).sum::<usize>() as f64 / outcomes.len() as f64
     };
     println!(
-        "fuzz_stack: {} programs x {} presets = {} points, {} sim cycles, ~{:.0} nodes/program, {} divergences, {:.1} ms ({} threads)",
+        "fuzz_stack: {} programs x {} presets on {} = {} points, {} sim cycles, ~{:.0} nodes/program, {} divergences, {:.1} ms ({} threads)",
         outcomes.len(),
         presets.len(),
+        args.fabric,
         total_points,
         total_cycles,
         mean_nodes,

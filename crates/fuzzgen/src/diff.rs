@@ -17,31 +17,25 @@ const INTERP_BUDGET: u64 = 20_000_000;
 /// Cycle budget per simulated point.
 pub const DEFAULT_MAX_CYCLES: u64 = 20_000_000;
 
-/// All nine evaluated architecture presets (re-exported from
-/// [`marionette_arch::all_presets`], the single source of truth).
+/// All nine evaluated architecture presets on the paper's 4×4 fabric
+/// (re-exported from [`marionette_arch::all_presets`], the single source
+/// of truth).
 pub fn all_presets() -> Vec<Architecture> {
     marionette_arch::all_presets()
 }
 
-/// Resolves preset short tags (e.g. `"M,vN"`) to architectures.
+/// All nine presets instantiated on an explicit fabric geometry, for
+/// fuzzing the stack at non-paper array sizes (`fuzz_stack --fabric`).
+pub fn all_presets_on(dims: marionette_arch::FabricDims) -> Vec<Architecture> {
+    marionette_arch::all_presets_on(dims)
+}
+
+/// Resolves preset short tags (e.g. `"M,vN"`) to 4×4 architectures.
 ///
 /// # Errors
 /// Returns the unknown tag.
 pub fn presets_by_tags(tags: &str) -> Result<Vec<Architecture>, String> {
-    let all = all_presets();
-    let mut out = Vec::new();
-    for t in tags.split(',').map(str::trim).filter(|t| !t.is_empty()) {
-        match all.iter().find(|a| a.short.eq_ignore_ascii_case(t)) {
-            Some(a) => out.push(a.clone()),
-            None => {
-                return Err(format!(
-                    "unknown preset {t} (known: {})",
-                    all.iter().map(|a| a.short).collect::<Vec<_>>().join(", ")
-                ))
-            }
-        }
-    }
-    Ok(out)
+    marionette_arch::presets_by_tags_on(marionette_arch::FabricDims::paper(), tags)
 }
 
 /// What stage of the stack disagreed.

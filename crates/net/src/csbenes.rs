@@ -88,10 +88,19 @@ impl CsBenesNetwork {
         CsBenesNetwork { ports, lines }
     }
 
+    /// The control network sized for a fabric with `ports` PE-array
+    /// control endpoints: four internal lines per endpoint (the paper's
+    /// fan-out provisioning), rounded up to the Benes power-of-two line
+    /// count. `for_fabric(16)` reproduces the paper's 64-line 4×4
+    /// instance; a 6×6 fabric gets 36 ports over 256 lines.
+    pub fn for_fabric(ports: usize) -> Self {
+        CsBenesNetwork::new(ports, (4 * ports).next_power_of_two())
+    }
+
     /// The paper's configuration: 16 endpoints over a 64×64 Benes with
     /// 16×16 CS stages.
     pub fn paper_4x4() -> Self {
-        CsBenesNetwork::new(16, 64)
+        CsBenesNetwork::for_fabric(16)
     }
 
     /// Endpoint count.
@@ -277,6 +286,23 @@ mod tests {
         let net = CsBenesNetwork::paper_4x4();
         let err = net.route(&[(0, vec![3]), (1, vec![3])]).unwrap_err();
         assert_eq!(err, CtrlNetError::BadDestination(3));
+    }
+
+    #[test]
+    fn fabric_sizing() {
+        let n4 = CsBenesNetwork::for_fabric(16);
+        assert_eq!(
+            (n4.ports(), n4.lines()),
+            (16, 64),
+            "the paper's 4x4 instance"
+        );
+        assert_eq!(n4, CsBenesNetwork::paper_4x4());
+        let n6 = CsBenesNetwork::for_fabric(36);
+        assert_eq!((n6.ports(), n6.lines()), (36, 256));
+        let n8 = CsBenesNetwork::for_fabric(64);
+        assert_eq!((n8.ports(), n8.lines()), (64, 256));
+        // A broadcast from every source still routes on the bigger nets.
+        check(n6, vec![(0, (0..36).collect())]);
     }
 
     #[test]

@@ -352,6 +352,61 @@ mod tests {
     }
 
     #[test]
+    fn nonsquare_routes_are_legal_walks_with_correct_endpoints() {
+        // Exhaustive all-pairs legality on non-square and larger
+        // fabrics: both dimension orders must produce Manhattan-length
+        // legal mesh walks whose links match the allocation-free
+        // walkers.
+        for (rows, cols) in [(4, 6), (6, 4), (8, 8)] {
+            let m = Mesh::new(rows, cols);
+            assert_eq!(m.link_count(), 2 * (rows * (cols - 1) + cols * (rows - 1)));
+            for src in 0..m.pe_count() {
+                for dst in 0..m.pe_count() {
+                    let what = format!("{rows}x{cols} {src}->{dst}");
+                    let xy = m.xy_route(src, dst);
+                    let yx = m.yx_route(src, dst);
+                    assert_eq!(xy.len(), m.hops(src, dst), "{what}: xy length");
+                    assert_eq!(yx.len(), m.hops(src, dst), "{what}: yx length");
+                    for (tag, tiles) in [
+                        ("xy", m.path_tiles(src, dst)),
+                        ("yx", m.path_tiles_yx(src, dst)),
+                    ] {
+                        assert_eq!(tiles[0] as usize, src, "{what}: {tag} start");
+                        assert_eq!(*tiles.last().unwrap() as usize, dst, "{what}: {tag} end");
+                        assert!(
+                            m.links_of_path(&tiles).is_some(),
+                            "{what}: {tag} path is not a legal mesh walk"
+                        );
+                    }
+                    assert_eq!(
+                        m.links_of_path(&m.path_tiles(src, dst)).unwrap(),
+                        xy,
+                        "{what}"
+                    );
+                    assert_eq!(
+                        m.links_of_path(&m.path_tiles_yx(src, dst)).unwrap(),
+                        yx,
+                        "{what}"
+                    );
+                    let mut walked = Vec::new();
+                    m.for_each_xy_link(src, dst, |l| walked.push(l));
+                    assert_eq!(walked, xy, "{what}: xy walker");
+                    walked.clear();
+                    m.for_each_yx_link(src, dst, |l| walked.push(l));
+                    assert_eq!(walked, yx, "{what}: yx walker");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonsquare_corner_distances() {
+        assert_eq!(Mesh::new(4, 6).hops(0, 23), 8);
+        assert_eq!(Mesh::new(6, 4).hops(0, 23), 8);
+        assert_eq!(Mesh::new(8, 8).hops(0, 63), 14);
+    }
+
+    #[test]
     fn illegal_paths_rejected() {
         let m = Mesh::new(4, 4);
         assert!(m.links_of_path(&[0, 5]).is_none(), "diagonal step");

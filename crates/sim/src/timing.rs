@@ -36,7 +36,7 @@ pub enum CtrlTransport {
 }
 
 /// Complete timing model of one architecture.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TimingModel {
     /// Display name.
     pub name: String,
