@@ -24,7 +24,13 @@
 //!   to demonstrate the gate on a tampered baseline);
 //! - `--wall-tolerance PCT`  wall-regression threshold of the gate
 //!   (default 25; the cycle compare is exact regardless — widen this
-//!   when baseline and runner are not comparable machines).
+//!   when baseline and runner are not comparable machines);
+//! - `--fault SPEC` (repeatable: `pe:R,C`, `link:R,C-R,C`,
+//!   `flaky:R,C-R,C@MULT`) and `--faults N` (seeded-random damage,
+//!   `--fault-seed S` to vary it)  inject faults into every simulation;
+//!   wedged bitstreams are re-mapped around the damage and bit-verified.
+//!   Fault runs imply `--no-search` and refuse `--check` (a damaged
+//!   fabric is not comparable to the healthy baseline).
 //!
 //! Unless `--no-search` is given, every point is additionally compiled
 //! with the annealing mapping explorer (`SearchBudget::default_on()`)
@@ -36,7 +42,8 @@ use marionette::arch::FabricDims;
 use marionette::compiler::SearchBudget;
 use marionette::kernels::traits::Scale;
 use marionette::parallel::{par_map, sweep_threads};
-use marionette::runner::{run_kernel, DEFAULT_MAX_CYCLES};
+use marionette::runner::{run_kernel, run_kernel_faulted, DEFAULT_MAX_CYCLES};
+use marionette::sim::FaultSet;
 use marionette_bench::snapshot;
 use std::time::Instant;
 
@@ -60,6 +67,7 @@ struct Measured {
     fires: u64,
     wall_ms: f64,
     cycles_search: Option<u64>,
+    remapped: bool,
 }
 
 fn points(fabric: FabricDims) -> Vec<Point> {
@@ -84,18 +92,38 @@ fn sweep(
     threads: usize,
     search: bool,
     fabric: FabricDims,
-) -> Result<(Vec<Measured>, f64), String> {
+    faults: &FaultSet,
+) -> Result<(Vec<Measured>, usize, f64), String> {
     let pts = points(fabric);
     let t0 = Instant::now();
-    let results = par_map(pts, threads, |p| -> Result<Measured, String> {
+    let results = par_map(pts, threads, |p| -> Result<Option<Measured>, String> {
         let k = marionette::kernels::by_short(&p.kernel)
             .ok_or_else(|| format!("{}: unknown kernel tag", p.kernel))?;
         // `wall_ms` times the greedy compile+simulate only: it is the
         // cross-PR simulator-throughput metric, and must not absorb the
         // mapping-search compile time of the delta sweep below.
         let t = Instant::now();
-        let r = run_kernel(k.as_ref(), &p.arch, scale, SEED, DEFAULT_MAX_CYCLES)
-            .map_err(|e| format!("{} on {}: {e}", p.kernel, p.arch.short))?;
+        // The empty fault set keeps the legacy path (bit-identical
+        // anyway, but the throughput metric stays honest).
+        let (r, remapped) = if faults.is_empty() {
+            let r = run_kernel(k.as_ref(), &p.arch, scale, SEED, DEFAULT_MAX_CYCLES)
+                .map_err(|e| format!("{} on {}: {e}", p.kernel, p.arch.short))?;
+            (r, false)
+        } else {
+            match run_kernel_faulted(k.as_ref(), &p.arch, scale, SEED, DEFAULT_MAX_CYCLES, faults) {
+                Ok(fr) => (fr.run, fr.remapped),
+                // The healthy compile of every shipped point succeeds,
+                // so a compile error is the typed remap-infeasible
+                // outcome: the point is skipped, not a sweep failure.
+                Err(marionette::runner::RunnerError::Compile(_)) => return Ok(None),
+                Err(e) => {
+                    return Err(format!(
+                        "{} on {} with [{faults}]: {e}",
+                        p.kernel, p.arch.short
+                    ))
+                }
+            }
+        };
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
         let cycles_search = match search {
             false => None,
@@ -107,20 +135,25 @@ fn sweep(
                 Some(rs.cycles)
             }
         };
-        Ok(Measured {
+        Ok(Some(Measured {
             kernel: p.kernel.clone(),
             arch: p.arch.short.to_string(),
             cycles: r.cycles,
             fires: r.stats.fires,
             wall_ms,
             cycles_search,
-        })
+            remapped,
+        }))
     });
     let mut measured = Vec::with_capacity(results.len());
+    let mut infeasible = 0usize;
     for r in results {
-        measured.push(r?);
+        match r? {
+            Some(m) => measured.push(m),
+            None => infeasible += 1,
+        }
     }
-    Ok((measured, t0.elapsed().as_secs_f64() * 1e3))
+    Ok((measured, infeasible, t0.elapsed().as_secs_f64() * 1e3))
 }
 
 use marionette::report::json_escape;
@@ -151,6 +184,9 @@ struct Flags {
     check: Option<String>,
     replay: Option<String>,
     wall_tolerance: f64,
+    fault_specs: Vec<String>,
+    faults: usize,
+    fault_seed: u64,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -164,6 +200,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         check: None,
         replay: None,
         wall_tolerance: WALL_TOLERANCE,
+        fault_specs: Vec::new(),
+        faults: 0,
+        fault_seed: 1,
     };
     // Single pass: a value consumed by a flag can never double as a flag.
     let mut i = 1;
@@ -198,11 +237,24 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 }
                 flags.wall_tolerance = pct / 100.0;
             }
+            "--fault" => flags.fault_specs.push(value(args, &mut i, "--fault")?),
+            "--faults" => {
+                let v = value(args, &mut i, "--faults")?;
+                flags.faults = v
+                    .parse()
+                    .map_err(|_| format!("--faults needs a numeric count, got `{v}`"))?;
+            }
+            "--fault-seed" => {
+                let v = value(args, &mut i, "--fault-seed")?;
+                flags.fault_seed = v
+                    .parse()
+                    .map_err(|_| format!("--fault-seed must be numeric, got `{v}`"))?;
+            }
             other => {
                 return Err(format!(
                     "unknown argument `{other}` (flags: --paper --serial --compare \
                      --no-search --fabric RxC --out PATH --check BASELINE --replay FRESH \
-                     --wall-tolerance PCT)"
+                     --wall-tolerance PCT --fault SPEC --faults N --fault-seed S)"
                 ))
             }
         }
@@ -210,6 +262,25 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     }
     if flags.replay.is_some() && flags.check.is_none() {
         return Err("--replay only makes sense with --check BASELINE".to_string());
+    }
+    // Fault specs are validated against the selected fabric here so a
+    // malformed or off-fabric `--fault` is a usage error (exit 2).
+    FaultSet::from_cli(
+        flags.fabric.rows,
+        flags.fabric.cols,
+        &flags.fault_specs,
+        flags.faults,
+        flags.fault_seed,
+    )?;
+    if flags.faults > 0 || !flags.fault_specs.is_empty() {
+        if flags.check.is_some() {
+            return Err(
+                "--check compares against a healthy baseline; drop the fault flags".to_string(),
+            );
+        }
+        // The search delta sweep measures healthy mappings; on a damaged
+        // fabric only the (self-healing) greedy sweep is meaningful.
+        flags.search = false;
     }
     if let Some(base) = &flags.check {
         // The gate compares greedy cycle counts: the search delta sweep
@@ -312,7 +383,12 @@ fn run(flags: Flags) -> Result<(), String> {
         check,
         replay,
         wall_tolerance,
+        fault_specs,
+        faults,
+        fault_seed,
     } = flags;
+    let faults = FaultSet::from_cli(fabric.rows, fabric.cols, &fault_specs, faults, fault_seed)
+        .expect("validated by parse_flags");
 
     // The baseline is loaded before the sweep runs (and before anything
     // is written), so the gate always compares against the pre-run file.
@@ -356,16 +432,16 @@ fn run(flags: Flags) -> Result<(), String> {
     let threads = sweep_threads();
 
     let mut serial_wall: Option<f64> = None;
-    let (points, wall_ms, mode, used_threads) = if serial_only {
-        let (p, w) = sweep(scale, 1, search, fabric)?;
-        (p, w, "serial", 1)
+    let (points, infeasible, wall_ms, mode, used_threads) = if serial_only {
+        let (p, inf, w) = sweep(scale, 1, search, fabric, &faults)?;
+        (p, inf, w, "serial", 1)
     } else {
         if compare {
-            let (_, w) = sweep(scale, 1, search, fabric)?;
+            let (_, _, w) = sweep(scale, 1, search, fabric, &faults)?;
             serial_wall = Some(w);
         }
-        let (p, w) = sweep(scale, threads, search, fabric)?;
-        (p, w, "parallel", threads)
+        let (p, inf, w) = sweep(scale, threads, search, fabric, &faults)?;
+        (p, inf, w, "parallel", threads)
     };
 
     let mut j = String::new();
@@ -374,6 +450,18 @@ fn run(flags: Flags) -> Result<(), String> {
     j.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
     j.push_str(&format!("  \"seed\": {SEED},\n"));
     j.push_str(&format!("  \"fabric\": \"{fabric}\",\n"));
+    if !faults.is_empty() {
+        j.push_str(&format!(
+            "  \"faults\": [{}],\n",
+            faults
+                .specs()
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(&s.to_string())))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        j.push_str(&format!("  \"remap_infeasible\": {infeasible},\n"));
+    }
     j.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     j.push_str(&format!("  \"threads\": {used_threads},\n"));
     j.push_str(&format!("  \"total_wall_ms\": {wall_ms:.3},\n"));
@@ -408,13 +496,19 @@ fn run(flags: Flags) -> Result<(), String> {
             Some(cs) => format!(", \"cycles_search\": {cs}"),
             None => String::new(),
         };
+        let remap_field = if faults.is_empty() {
+            String::new()
+        } else {
+            format!(", \"remapped\": {}", m.remapped)
+        };
         j.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"arch\": \"{}\", \"cycles\": {}, \"fires\": {}{}, \"wall_ms\": {:.3}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"arch\": \"{}\", \"cycles\": {}, \"fires\": {}{}{}, \"wall_ms\": {:.3}}}{}\n",
             json_escape(&m.kernel),
             json_escape(&m.arch),
             m.cycles,
             m.fires,
             search_field,
+            remap_field,
             m.wall_ms,
             if i + 1 == points.len() { "" } else { "," }
         ));
@@ -427,6 +521,13 @@ fn run(flags: Flags) -> Result<(), String> {
         "bench_sim: {} points, {total_cycles} total cycles, {wall_ms:.1} ms wall ({mode}, {used_threads} threads) -> {out_path}",
         points.len()
     );
+    if !faults.is_empty() {
+        println!(
+            "bench_sim: injected {faults}; {} of {} points healed by remap, {infeasible} remap-infeasible (skipped)",
+            points.iter().filter(|m| m.remapped).count(),
+            points.len()
+        );
+    }
     if search {
         println!(
             "bench_sim: mapping search geomean cycle speedup {search_geomean:.4} over the greedy baseline"

@@ -11,8 +11,15 @@
 //! marc FILE.mar [--presets M,vN,...] [--fabric RxC]
 //!               [--search MOVES[,RESTARTS]]
 //!               [--param NAME=VALUE]... [--max-cycles N]
+//!               [--fault SPEC]... [--faults N] [--fault-seed S]
 //!               [--disasm] [--json PATH]
 //! ```
+//!
+//! `--fault SPEC` (repeatable: `pe:R,C`, `link:R,C-R,C`,
+//! `flaky:R,C-R,C@MULT`) and `--faults N` (seeded-random damage,
+//! `--fault-seed` to vary it) inject faults into every simulation; a
+//! bitstream wedged on a dead resource is re-mapped around the damage
+//! and the remap is bit-verified like any other run.
 //!
 //! Parse and semantic errors are rendered with their source line and a
 //! caret. Exit codes: `0` verified on every preset, `1` any pipeline or
@@ -21,8 +28,10 @@
 use marionette::arch::{Architecture, FabricDims};
 use marionette::cdfg::value::Value;
 use marionette::compiler::SearchBudget;
+use marionette::sim::FaultSet;
 use marionette_lang::driver::{
-    frontend, reference, run_preset, DriverError, PresetRun, DEFAULT_MAX_CYCLES, INTERP_BUDGET,
+    frontend, reference, run_preset, run_preset_faulted, DriverError, PresetRun,
+    DEFAULT_MAX_CYCLES, INTERP_BUDGET,
 };
 
 struct Args {
@@ -32,6 +41,9 @@ struct Args {
     search: Option<(u32, u32)>,
     params: Vec<(String, String)>,
     max_cycles: u64,
+    fault_specs: Vec<String>,
+    faults: usize,
+    fault_seed: u64,
     disasm: bool,
     json: Option<String>,
 }
@@ -39,7 +51,8 @@ struct Args {
 fn usage() -> String {
     "usage: marc FILE.mar [--presets M,vN,...] [--fabric RxC] \
      [--search MOVES[,RESTARTS]] \
-     [--param NAME=VALUE]... [--max-cycles N] [--disasm] [--json PATH]"
+     [--param NAME=VALUE]... [--max-cycles N] \
+     [--fault SPEC]... [--faults N] [--fault-seed S] [--disasm] [--json PATH]"
         .to_string()
 }
 
@@ -51,6 +64,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         search: None,
         params: Vec::new(),
         max_cycles: DEFAULT_MAX_CYCLES,
+        fault_specs: Vec::new(),
+        faults: 0,
+        fault_seed: 1,
         disasm: false,
         json: None,
     };
@@ -100,6 +116,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.max_cycles = v
                     .parse()
                     .map_err(|_| format!("--max-cycles must be numeric, got `{v}`"))?;
+            }
+            "--fault" => args.fault_specs.push(value_of("--fault", &mut i)?),
+            "--faults" => {
+                let v = value_of("--faults", &mut i)?;
+                args.faults = v
+                    .parse()
+                    .map_err(|_| format!("--faults must be numeric, got `{v}`"))?;
+            }
+            "--fault-seed" => {
+                let v = value_of("--fault-seed", &mut i)?;
+                args.fault_seed = v
+                    .parse()
+                    .map_err(|_| format!("--fault-seed must be numeric, got `{v}`"))?;
             }
             "--disasm" => args.disasm = true,
             "--json" => args.json = Some(value_of("--json", &mut i)?),
@@ -185,6 +214,8 @@ fn json_report(
     sinks: &std::collections::HashMap<String, Vec<Value>>,
     search: Option<(u32, u32)>,
     fabric: FabricDims,
+    faults: &FaultSet,
+    fault_info: &[(Option<String>, bool)],
     runs: &[PresetRun],
 ) -> String {
     let mut j = String::new();
@@ -193,6 +224,15 @@ fn json_report(
     j.push_str(&format!("  \"file\": \"{}\",\n", json_escape(file)));
     j.push_str(&format!("  \"program\": \"{}\",\n", json_escape(prog_name)));
     j.push_str(&format!("  \"fabric\": \"{fabric}\",\n"));
+    j.push_str(&format!(
+        "  \"faults\": [{}],\n",
+        faults
+            .specs()
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(&s.to_string())))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     j.push_str(&format!("  \"nodes\": {nodes},\n"));
     j.push_str(&format!("  \"loops\": {loops},\n"));
     match search {
@@ -229,6 +269,13 @@ fn json_report(
             r.routes,
             r.mean_data_hops
         );
+        if let Some((wedged, remapped)) = fault_info.get(i) {
+            match wedged {
+                Some(w) => line.push_str(&format!(", \"wedged\": \"{}\"", json_escape(w))),
+                None => line.push_str(", \"wedged\": null"),
+            }
+            line.push_str(&format!(", \"remapped\": {remapped}"));
+        }
         if let Some(sr) = &r.search {
             line.push_str(&format!(
                 ", \"search\": {{\"cost\": {:.3}, \"accepted\": {}, \"attempted\": {}, \"chain_seed\": {}}}",
@@ -257,6 +304,19 @@ fn run() -> Result<(), i32> {
         2
     };
     let presets = select_presets(args.fabric, args.presets.as_deref()).map_err(fail2)?;
+    let faults = FaultSet::from_cli(
+        args.fabric.rows,
+        args.fabric.cols,
+        &args.fault_specs,
+        args.faults,
+        args.fault_seed,
+    )
+    .map_err(fail2)?;
+    if !faults.is_empty() && args.disasm {
+        return Err(fail2(
+            "--disasm needs a healthy fabric (drop the fault flags)".to_string(),
+        ));
+    }
     let src = std::fs::read_to_string(&args.file).map_err(|e| {
         eprintln!("marc: reading {}: {e}", args.file);
         1
@@ -292,7 +352,11 @@ fn run() -> Result<(), i32> {
         presets.len()
     );
 
+    if !faults.is_empty() {
+        println!("marc: injecting {faults}");
+    }
     let mut runs = Vec::new();
+    let mut fault_info: Vec<(Option<String>, bool)> = Vec::new();
     for arch in &presets {
         let mut arch = arch.clone();
         if let Some((moves, restarts)) = args.search {
@@ -302,13 +366,26 @@ fn run() -> Result<(), i32> {
                 base_seed: 0xA11E,
             };
         }
-        let run =
-            run_preset(&g, &r, &arch, &overrides, args.max_cycles, args.disasm).map_err(|e| {
-                eprintln!("marc: {e}");
-                1
-            })?;
+        let fail1 = |e: DriverError| {
+            eprintln!("marc: {e}");
+            1
+        };
+        let (run, note) = if faults.is_empty() {
+            let run = run_preset(&g, &r, &arch, &overrides, args.max_cycles, args.disasm)
+                .map_err(fail1)?;
+            (run, String::new())
+        } else {
+            let fr = run_preset_faulted(&g, &r, &arch, &overrides, args.max_cycles, &faults)
+                .map_err(fail1)?;
+            let note = match &fr.wedged {
+                Some(w) => format!("  (wedged by {w}, remapped)"),
+                None => String::new(),
+            };
+            fault_info.push((fr.wedged.clone(), fr.remapped));
+            (fr.run, note)
+        };
         println!(
-            "marc: {:>5}  {:>10} cycles  {:>9} fires  {:>7} link-stall  {:>5} switch-stall  verified",
+            "marc: {:>5}  {:>10} cycles  {:>9} fires  {:>7} link-stall  {:>5} switch-stall  verified{note}",
             run.preset, run.cycles, run.fires, run.link_stall_cycles, run.switch_stall_cycles
         );
         runs.push(run);
@@ -322,6 +399,8 @@ fn run() -> Result<(), i32> {
         &r.dropping.sinks,
         args.search,
         args.fabric,
+        &faults,
+        &fault_info,
         &runs,
     );
     match &args.json {

@@ -118,6 +118,14 @@ pub fn is_cluster_internal(g: &Cdfg, header_bb: &[bool], src: usize, dst: usize)
         && !g.nodes[dst].op.is_memory()
 }
 
+/// Extra stall cycles one flit pays crossing a flaky link with stall
+/// multiplier `mult` — mirrors the simulator's charge of
+/// `link_latency.max(1) × (mult − 1)` so the router and explorer
+/// penalize flaky links by exactly the cycles they will cost.
+pub fn flaky_extra(link_latency: f64, mult: u32) -> f64 {
+    link_latency.max(1.0) * f64::from(mult.saturating_sub(1))
+}
+
 /// Loop depth of every node's basic block (`0` = outside any loop).
 pub fn node_depths(g: &Cdfg) -> Vec<u32> {
     g.nodes

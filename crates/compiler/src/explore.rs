@@ -33,12 +33,21 @@
 
 use crate::cost::{node_depths, CostModel, MappingCost};
 use crate::options::{CompileOptions, SearchBudget};
-use crate::place::{node_weight, place, takes_pe_slot, PlaceError, PlacementResult};
+use crate::place::{
+    node_weight, place, place_with_faults, takes_pe_slot, PlaceError, PlacementResult,
+};
 use marionette_cdfg::graph::{Cdfg, PortSrc};
 use marionette_cdfg::Op;
 use marionette_isa::Placement;
 use marionette_net::Mesh;
+use marionette_sim::FaultSet;
 use rand::{Rng, SeedableRng, StdRng};
+
+/// Cost surcharge for an edge whose endpoints have *no* fault-free
+/// dimension-ordered route (neither XY nor YX) — large enough that the
+/// annealer always prefers any routable alternative, small enough not to
+/// overflow the cost arithmetic.
+const UNROUTABLE_PENALTY: f64 = 1e6;
 
 /// Which issue lane a movable operator occupies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -140,16 +149,34 @@ pub fn explore(
     opts: &CompileOptions,
     cm: &CostModel,
 ) -> Result<Option<ExploreResult>, PlaceError> {
+    explore_with_faults(g, opts, cm, &FaultSet::none())
+}
+
+/// Fault-aware variant of [`explore`]: the greedy seed avoids dead PEs
+/// ([`place_with_faults`]) and every chain's cost function penalizes
+/// edges that must cross flaky links (by the simulator's extra stall
+/// cycles) or have no fault-free dimension-ordered route at all. An
+/// empty fault set is bit-identical to [`explore`].
+///
+/// # Errors
+/// Returns [`PlaceError`] when the greedy seed placement cannot fit on
+/// the live tiles.
+pub fn explore_with_faults(
+    g: &Cdfg,
+    opts: &CompileOptions,
+    cm: &CostModel,
+    faults: &FaultSet,
+) -> Result<Option<ExploreResult>, PlaceError> {
     let seeds = opts.search.chain_seeds();
     if seeds.is_empty() {
         return Ok(None);
     }
     // The greedy seed placement is deterministic: compute it once and
     // share it across the restart chains.
-    let pl = place(g, opts)?;
+    let pl = place_with_faults(g, opts, faults)?;
     let mut results = Vec::with_capacity(seeds.len());
     for s in seeds {
-        results.push(explore_chain_from(g, opts, cm, s, pl.clone()));
+        results.push(explore_chain_from(g, opts, cm, s, pl.clone(), faults));
     }
     Ok(Some(select_best(results)))
 }
@@ -165,7 +192,8 @@ pub fn greedy_cost(
     cm: &CostModel,
 ) -> Result<MappingCost, PlaceError> {
     let pl = place(g, opts)?;
-    let ev = Evaluator::new(g, opts, cm, &pl);
+    let none = FaultSet::none();
+    let ev = Evaluator::new(g, opts, cm, &pl, &none);
     Ok(ev.cost())
 }
 
@@ -179,7 +207,25 @@ pub fn explore_chain(
     cm: &CostModel,
     seed: u64,
 ) -> Result<ExploreResult, PlaceError> {
-    Ok(explore_chain_from(g, opts, cm, seed, place(g, opts)?))
+    explore_chain_with_faults(g, opts, cm, seed, &FaultSet::none())
+}
+
+/// Fault-aware variant of [`explore_chain`] (see [`explore_with_faults`]
+/// for the fault semantics). An empty fault set is bit-identical to
+/// [`explore_chain`].
+///
+/// # Errors
+/// Returns [`PlaceError`] when the greedy seed placement cannot fit on
+/// the live tiles.
+pub fn explore_chain_with_faults(
+    g: &Cdfg,
+    opts: &CompileOptions,
+    cm: &CostModel,
+    seed: u64,
+    faults: &FaultSet,
+) -> Result<ExploreResult, PlaceError> {
+    let pl = place_with_faults(g, opts, faults)?;
+    Ok(explore_chain_from(g, opts, cm, seed, pl, faults))
 }
 
 /// One annealing chain starting from a precomputed greedy placement.
@@ -189,12 +235,13 @@ fn explore_chain_from(
     cm: &CostModel,
     seed: u64,
     pl: PlacementResult,
+    faults: &FaultSet,
 ) -> ExploreResult {
     let moves = match opts.search {
         SearchBudget::Off => 0,
         SearchBudget::Anneal { moves, .. } => moves,
     };
-    let mut ev = Evaluator::new(g, opts, cm, &pl);
+    let mut ev = Evaluator::new(g, opts, cm, &pl, faults);
     let greedy_total = ev.total();
     let mut report = SearchReport {
         seed,
@@ -287,6 +334,10 @@ enum Undo {
 /// Incremental cost evaluator over a candidate placement.
 struct Evaluator<'a> {
     cm: &'a CostModel,
+    /// Injected fabric faults; empty set adds no penalty terms.
+    faults: &'a FaultSet,
+    /// Fast-path gate: the fault-free evaluator never touches `faults`.
+    have_faults: bool,
     mesh: Mesh,
     /// Current tile per node (for fixed nodes: their fixed tile).
     tiles: Vec<u16>,
@@ -325,7 +376,13 @@ struct Evaluator<'a> {
 }
 
 impl<'a> Evaluator<'a> {
-    fn new(g: &'a Cdfg, opts: &CompileOptions, cm: &'a CostModel, pl: &PlacementResult) -> Self {
+    fn new(
+        g: &'a Cdfg,
+        opts: &CompileOptions,
+        cm: &'a CostModel,
+        pl: &PlacementResult,
+        faults: &'a FaultSet,
+    ) -> Self {
         let mesh = Mesh::new(opts.rows, opts.cols);
         let npes = opts.pe_count();
         let ngroups = pl.groups.len();
@@ -361,10 +418,12 @@ impl<'a> Evaluator<'a> {
         }
 
         // Regions: a group's assigned PEs, falling back to the whole
-        // fabric exactly like greedy node assignment does.
+        // fabric exactly like greedy node assignment does — minus any
+        // dead tiles, so moves never relocate onto one.
+        let live = |pe: &u16| -> bool { !faults.pe_dead(*pe as usize) };
         let fallback: Vec<u16> = match opts.split {
-            Some(s) => (0..s.systolic_pes as u16).collect(),
-            None => (0..npes as u16).collect(),
+            Some(s) => (0..s.systolic_pes as u16).filter(live).collect(),
+            None => (0..npes as u16).filter(live).collect(),
         };
         let regions: Vec<Vec<u16>> = pl
             .groups
@@ -465,6 +524,8 @@ impl<'a> Evaluator<'a> {
 
         let mut ev = Evaluator {
             cm,
+            faults,
+            have_faults: !faults.is_empty(),
             mesh,
             tiles,
             movables,
@@ -540,6 +601,9 @@ impl<'a> Evaluator<'a> {
         }
         let mesh = self.mesh;
         self.lat_sum += e.w_lat * mesh.hops(ta, tb) as f64;
+        if self.have_faults {
+            self.lat_sum += self.fault_penalty(ta, tb, &e);
+        }
         let w = e.w_cong;
         if w > 0.0 {
             let (loads, sumsq) = (&mut self.link_load, &mut self.cong_sumsq);
@@ -549,6 +613,40 @@ impl<'a> Evaluator<'a> {
                 *v += w;
             });
         }
+    }
+
+    /// Deterministic fault surcharge for an edge between tiles `ta` and
+    /// `tb`: the simulator's extra flaky-link stall cycles along the XY
+    /// path, plus [`UNROUTABLE_PENALTY`] when *neither* dimension order
+    /// avoids the dead links (the rip-up router would fail outright).
+    fn fault_penalty(&self, ta: usize, tb: usize, e: &XEdge) -> f64 {
+        let mesh = self.mesh;
+        let faults = self.faults;
+        let mut pen = 0.0;
+        let mut xy_dead = false;
+        mesh.for_each_xy_link(ta, tb, |l| {
+            let lid = l.0 as usize;
+            if faults.link_dead(lid) {
+                xy_dead = true;
+            } else {
+                let m = faults.link_mult(lid);
+                if m > 1 {
+                    pen += e.w_cong * crate::cost::flaky_extra(self.cm.link_latency, m);
+                }
+            }
+        });
+        if xy_dead {
+            let mut yx_dead = false;
+            mesh.for_each_yx_link(ta, tb, |l| {
+                if faults.link_dead(l.0 as usize) {
+                    yx_dead = true;
+                }
+            });
+            if yx_dead {
+                pen += UNROUTABLE_PENALTY;
+            }
+        }
+        pen
     }
 
     fn remove_edge(&mut self, ei: u32) {
@@ -568,6 +666,9 @@ impl<'a> Evaluator<'a> {
         }
         let mesh = self.mesh;
         self.lat_sum -= e.w_lat * mesh.hops(ta, tb) as f64;
+        if self.have_faults {
+            self.lat_sum -= self.fault_penalty(ta, tb, &e);
+        }
         let w = e.w_cong;
         if w > 0.0 {
             let (loads, sumsq) = (&mut self.link_load, &mut self.cong_sumsq);

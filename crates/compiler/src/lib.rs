@@ -31,10 +31,15 @@ pub mod place;
 pub mod route;
 
 pub use cost::{CostModel, MappingCost};
-pub use explore::{explore_chain, select_best, ExploreResult, SearchReport};
+pub use explore::{
+    explore_chain, explore_chain_with_faults, select_best, ExploreResult, SearchReport,
+};
 pub use options::{
     CompileOptions, CtrlPlacement, FabricDims, MemPlacement, SearchBudget, SplitFabric,
 };
-pub use pipeline::{compile, compile_with_timing, finalize_explored, CompileReport};
-pub use place::{place, PlaceError, PlacementResult};
+pub use pipeline::{
+    compile, compile_with_faults, compile_with_timing, compile_with_timing_and_faults,
+    finalize_explored, finalize_explored_with_faults, CompileReport,
+};
+pub use place::{place, place_with_faults, PlaceError, PlacementResult};
 pub use route::route;

@@ -11,16 +11,16 @@
 //!   with [`compile_with_timing`]).
 
 use crate::cost::CostModel;
-use crate::explore::{explore, ExploreResult, SearchReport};
+use crate::explore::{explore_with_faults, ExploreResult, SearchReport};
 use crate::options::{CompileOptions, SearchBudget};
-use crate::place::{place, PlaceError, PlacementResult};
-use crate::route::{route, route_congestion_aware, RoutingResult};
+use crate::place::{place_with_faults, PlaceError, PlacementResult};
+use crate::route::{route_congestion_aware_with_faults, route_with_faults, RoutingResult};
 use marionette_cdfg::graph::{BlockKind, Cdfg, PortSrc};
 use marionette_isa::{
     ArrayInfo, BbConfig, CtrlMode, MachineProgram, NodeConfig, OperandSrc, ParamInfo, PeConfig,
 };
 use marionette_net::Mesh;
-use marionette_sim::TimingModel;
+use marionette_sim::{FaultSet, TimingModel};
 use std::collections::BTreeMap;
 
 /// Rip-up passes of the congestion-aware router on explored mappings.
@@ -64,9 +64,26 @@ pub fn compile(
     g: &Cdfg,
     opts: &CompileOptions,
 ) -> Result<(MachineProgram, CompileReport), PlaceError> {
+    compile_with_faults(g, opts, &FaultSet::none())
+}
+
+/// Fault-aware variant of [`compile`]: placement avoids dead PEs,
+/// routing detours around dead links (failing with
+/// [`PlaceError::Unroutable`] when no dimension order works), and the
+/// explorer's cost penalizes flaky links. An empty fault set is
+/// bit-identical to [`compile`].
+///
+/// # Errors
+/// Returns [`PlaceError`] when the program cannot fit on, or be routed
+/// across, the live fabric.
+pub fn compile_with_faults(
+    g: &Cdfg,
+    opts: &CompileOptions,
+    faults: &FaultSet,
+) -> Result<(MachineProgram, CompileReport), PlaceError> {
     match opts.search {
-        SearchBudget::Off => compile_greedy(g, opts),
-        _ => compile_with_cost(g, opts, &CostModel::neutral()),
+        SearchBudget::Off => compile_greedy(g, opts, faults),
+        _ => compile_with_cost(g, opts, &CostModel::neutral(), faults),
     }
 }
 
@@ -80,9 +97,25 @@ pub fn compile_with_timing(
     opts: &CompileOptions,
     tm: &TimingModel,
 ) -> Result<(MachineProgram, CompileReport), PlaceError> {
+    compile_with_timing_and_faults(g, opts, tm, &FaultSet::none())
+}
+
+/// Fault-aware variant of [`compile_with_timing`] (see
+/// [`compile_with_faults`] for the fault semantics). An empty fault set
+/// is bit-identical to [`compile_with_timing`].
+///
+/// # Errors
+/// Returns [`PlaceError`] when the program cannot fit on, or be routed
+/// across, the live fabric.
+pub fn compile_with_timing_and_faults(
+    g: &Cdfg,
+    opts: &CompileOptions,
+    tm: &TimingModel,
+    faults: &FaultSet,
+) -> Result<(MachineProgram, CompileReport), PlaceError> {
     match opts.search {
-        SearchBudget::Off => compile_greedy(g, opts),
-        _ => compile_with_cost(g, opts, &CostModel::from_timing(tm)),
+        SearchBudget::Off => compile_greedy(g, opts, faults),
+        _ => compile_with_cost(g, opts, &CostModel::from_timing(tm), faults),
     }
 }
 
@@ -91,10 +124,11 @@ pub fn compile_with_timing(
 fn compile_greedy(
     g: &Cdfg,
     opts: &CompileOptions,
+    faults: &FaultSet,
 ) -> Result<(MachineProgram, CompileReport), PlaceError> {
     let mesh = Mesh::new(opts.rows, opts.cols);
-    let pl: PlacementResult = place(g, opts)?;
-    let rr = route(g, &pl.places, &mesh);
+    let pl: PlacementResult = place_with_faults(g, opts, faults)?;
+    let rr = route_with_faults(g, &pl.places, &mesh, faults)?;
     Ok(build_program(g, opts, pl, rr, None))
 }
 
@@ -103,9 +137,10 @@ fn compile_with_cost(
     g: &Cdfg,
     opts: &CompileOptions,
     cm: &CostModel,
+    faults: &FaultSet,
 ) -> Result<(MachineProgram, CompileReport), PlaceError> {
-    let ex = explore(g, opts, cm)?.expect("nonzero search budget");
-    Ok(finalize_explored(g, opts, cm, ex))
+    let ex = explore_with_faults(g, opts, cm, faults)?.expect("nonzero search budget");
+    finalize_explored_with_faults(g, opts, cm, ex, faults)
 }
 
 /// Routes an explorer-chosen placement with the congestion-aware router
@@ -117,11 +152,36 @@ pub fn finalize_explored(
     cm: &CostModel,
     ex: ExploreResult,
 ) -> (MachineProgram, CompileReport) {
+    finalize_explored_with_faults(g, opts, cm, ex, &FaultSet::none())
+        .expect("routing is infallible without faults")
+}
+
+/// Fault-aware variant of [`finalize_explored`]: the rip-up router
+/// refuses dead links and penalizes flaky ones. An empty fault set is
+/// bit-identical to [`finalize_explored`].
+///
+/// # Errors
+/// Returns [`PlaceError::Unroutable`] when some placed edge has no
+/// fault-free dimension-ordered route.
+pub fn finalize_explored_with_faults(
+    g: &Cdfg,
+    opts: &CompileOptions,
+    cm: &CostModel,
+    ex: ExploreResult,
+    faults: &FaultSet,
+) -> Result<(MachineProgram, CompileReport), PlaceError> {
     let mesh = Mesh::new(opts.rows, opts.cols);
-    let (rr, moved) = route_congestion_aware(g, &ex.placement.places, &mesh, cm, REROUTE_PASSES);
+    let (rr, moved) = route_congestion_aware_with_faults(
+        g,
+        &ex.placement.places,
+        &mesh,
+        cm,
+        REROUTE_PASSES,
+        faults,
+    )?;
     let mut sr = ex.report;
     sr.rerouted = moved;
-    build_program(g, opts, ex.placement, rr, Some(sr))
+    Ok(build_program(g, opts, ex.placement, rr, Some(sr)))
 }
 
 /// Configuration generation: the shared tail of both pipelines.

@@ -24,6 +24,7 @@ use marionette_cdfg::graph::{Cdfg, PortSrc};
 use marionette_cdfg::Op;
 use marionette_isa::Placement;
 use marionette_net::Mesh;
+use marionette_sim::FaultSet;
 use std::fmt;
 
 /// Placement failure.
@@ -38,6 +39,14 @@ pub enum PlaceError {
         /// Total slot capacity available.
         capacity: usize,
     },
+    /// No dimension-ordered path (XY or YX) between two tiles avoids the
+    /// dead links of the injected [`FaultSet`].
+    Unroutable {
+        /// Source tile (linear index).
+        src_tile: u16,
+        /// Destination tile (linear index).
+        dst_tile: u16,
+    },
 }
 
 impl fmt::Display for PlaceError {
@@ -50,6 +59,10 @@ impl fmt::Display for PlaceError {
             } => write!(
                 f,
                 "group {group} has {ops} operators but only {capacity} slots exist"
+            ),
+            PlaceError::Unroutable { src_tile, dst_tile } => write!(
+                f,
+                "no fault-free XY/YX route from tile {src_tile} to tile {dst_tile}"
             ),
         }
     }
@@ -128,6 +141,20 @@ pub(crate) fn node_weight(g: &Cdfg, nidx: usize) -> f64 {
 /// # Errors
 /// Returns [`PlaceError`] when the program cannot fit on the fabric.
 pub fn place(g: &Cdfg, opts: &CompileOptions) -> Result<PlacementResult, PlaceError> {
+    place_with_faults(g, opts, &FaultSet::none())
+}
+
+/// Runs placement on a faulted fabric: dead PEs are excluded from every
+/// region (so no operator — data-plane, control-plane or anchor — lands
+/// on a dead tile). An empty fault set is bit-identical to [`place`].
+///
+/// # Errors
+/// Returns [`PlaceError`] when the program cannot fit on the live tiles.
+pub fn place_with_faults(
+    g: &Cdfg,
+    opts: &CompileOptions,
+    faults: &FaultSet,
+) -> Result<PlacementResult, PlaceError> {
     let npes = opts.pe_count();
     let mesh = Mesh::new(opts.rows, opts.cols);
     let node_group = node_groups(g);
@@ -145,14 +172,29 @@ pub fn place(g: &Cdfg, opts: &CompileOptions) -> Result<PlacementResult, PlaceEr
     }
 
     // ---- region allocation -------------------------------------------
-    // Partition the fabric (REVEL splits it; otherwise one region).
+    // Partition the fabric (REVEL splits it; otherwise one region). Dead
+    // PEs are removed up front so every region — and every capacity
+    // computation below — only sees live tiles.
+    let live = |pe: &u16| -> bool { !faults.pe_dead(*pe as usize) };
     let (inner_region, outer_region): (Vec<u16>, Vec<u16>) = match opts.split {
         Some(s) => (
-            (0..s.systolic_pes as u16).collect(),
-            (s.systolic_pes as u16..(s.systolic_pes + s.dataflow_pes) as u16).collect(),
+            (0..s.systolic_pes as u16).filter(live).collect(),
+            (s.systolic_pes as u16..(s.systolic_pes + s.dataflow_pes) as u16)
+                .filter(live)
+                .collect(),
         ),
-        None => ((0..npes as u16).collect(), Vec::new()),
+        None => ((0..npes as u16).filter(live).collect(), Vec::new()),
     };
+    if inner_region.is_empty() {
+        return Err(PlaceError::GroupTooLarge {
+            group: 0,
+            ops: g.nodes.len(),
+            capacity: 0,
+        });
+    }
+    let live_pes = inner_region.len() + outer_region.len();
+    // First live PE: the anchor for Start/Sink control-plane residency.
+    let anchor = inner_region[0];
 
     // Group processing order: innermost (deepest) first, as in Fig 8.
     let mut order: Vec<usize> = (0..ngroups).collect();
@@ -204,7 +246,7 @@ pub fn place(g: &Cdfg, opts: &CompileOptions) -> Result<PlacementResult, PlaceEr
                         .ok_or(PlaceError::GroupTooLarge {
                             group: grp as u16,
                             ops: w,
-                            capacity: npes * opts.slots_per_pe,
+                            capacity: live_pes * opts.slots_per_pe,
                         })?;
                     let pes = groups[victim].pes.clone();
                     let ii = w.div_ceil(pes.len().max(1)).max(1);
@@ -252,8 +294,9 @@ pub fn place(g: &Cdfg, opts: &CompileOptions) -> Result<PlacementResult, PlaceEr
             }
             groups[grp].pes = inner_region.clone();
             let w = group_weight[grp].ceil() as usize;
-            groups[grp].ii = w.div_ceil(npes).max(1);
-            groups[grp].waste = (npes * groups[grp].ii) as i64 - w as i64;
+            let n = inner_region.len();
+            groups[grp].ii = w.div_ceil(n).max(1);
+            groups[grp].waste = (n * groups[grp].ii) as i64 - w as i64;
         }
     }
 
@@ -263,7 +306,7 @@ pub fn place(g: &Cdfg, opts: &CompileOptions) -> Result<PlacementResult, PlaceEr
     // same producer-affinity heuristic. Control parts track their own
     // load: a Marionette PE issues one control operator per cycle in
     // parallel with its FU.
-    let mut places: Vec<Placement> = vec![Placement::CtrlPlane { pe: 0 }; g.nodes.len()];
+    let mut places: Vec<Placement> = vec![Placement::CtrlPlane { pe: anchor }; g.nodes.len()];
     let mut pe_load: Vec<f64> = vec![0.0; npes];
     let mut ctrl_load: Vec<f64> = vec![0.0; npes];
     let mut mem_unit_rr: u8 = 0;
@@ -310,7 +353,7 @@ pub fn place(g: &Cdfg, opts: &CompileOptions) -> Result<PlacementResult, PlaceEr
         }
         match n.op {
             Op::Start | Op::Sink => {
-                places[i] = Placement::CtrlPlane { pe: 0 };
+                places[i] = Placement::CtrlPlane { pe: anchor };
             }
             o if o.is_memory() => {
                 if let MemPlacement::StreamUnits { count } = opts.mem {
@@ -482,6 +525,53 @@ mod tests {
         opts.slots_per_pe = 64;
         let r = place(&g, &opts).unwrap();
         assert!(r.groups.iter().any(|gp| gp.ii > 1), "somebody reshaped");
+    }
+
+    #[test]
+    fn dead_pes_are_excluded_from_every_region() {
+        let g = nest(&[4, 4]);
+        let opts = CompileOptions::marionette_4x4();
+        let mut faults = FaultSet::new(4, 4);
+        faults.add("pe:0,0".parse().unwrap()).unwrap();
+        faults.add("pe:1,2".parse().unwrap()).unwrap();
+        let r = place_with_faults(&g, &opts, &faults).unwrap();
+        for (i, p) in r.places.iter().enumerate() {
+            if let Some(pe) = p.pe() {
+                assert!(
+                    !faults.pe_dead(pe as usize),
+                    "node {i} placed on dead pe {pe}"
+                );
+            }
+            if let Placement::CtrlPlane { pe } = p {
+                assert!(!faults.pe_dead(*pe as usize), "ctrl node {i} on dead pe");
+            }
+        }
+        for gp in &r.groups {
+            assert!(gp.pes.iter().all(|&pe| !faults.pe_dead(pe as usize)));
+        }
+    }
+
+    #[test]
+    fn empty_fault_set_is_bit_identical() {
+        let g = nest(&[4, 4, 4]);
+        let opts = CompileOptions::marionette_4x4();
+        let a = place(&g, &opts).unwrap();
+        let b = place_with_faults(&g, &opts, &FaultSet::none()).unwrap();
+        assert_eq!(a.places, b.places);
+        assert_eq!(a.node_group, b.node_group);
+    }
+
+    #[test]
+    fn all_dead_fabric_is_a_typed_error() {
+        let g = nest(&[4]);
+        let mut opts = CompileOptions::marionette_4x4();
+        opts.rows = 1;
+        opts.cols = 2;
+        let mut faults = FaultSet::new(1, 2);
+        faults.add("pe:0,0".parse().unwrap()).unwrap();
+        faults.add("pe:0,1".parse().unwrap()).unwrap();
+        let err = place_with_faults(&g, &opts, &faults).unwrap_err();
+        assert!(matches!(err, PlaceError::GroupTooLarge { capacity: 0, .. }));
     }
 
     #[test]

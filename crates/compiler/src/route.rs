@@ -9,11 +9,25 @@
 //! checked against the CS-Benes capacity here, reproducing the static
 //! no-arbitration configuration of Fig 6.
 
+use crate::place::PlaceError;
 use marionette_cdfg::graph::{Cdfg, PortSrc};
 use marionette_cdfg::Op;
 use marionette_isa::{Placement, Route, RouteClass};
 use marionette_net::{CsBenesNetwork, Mesh};
+use marionette_sim::FaultSet;
 use std::collections::HashMap;
+
+/// Congestion score surcharge that makes a dead link strictly worse than
+/// any congested-but-alive alternative during rip-up.
+const DEAD_LINK_PENALTY: f64 = 1e18;
+
+/// True when every mesh link of `path` survives the fault set.
+fn path_is_clean(mesh: &Mesh, path: &[u16], faults: &FaultSet) -> bool {
+    match mesh.links_of_path(path) {
+        Some(links) => links.iter().all(|l| !faults.link_dead(l.0 as usize)),
+        None => false,
+    }
+}
 
 /// True when a destination port carries control information rather than
 /// an operand value.
@@ -51,6 +65,9 @@ pub fn entry_steers(g: &Cdfg) -> std::collections::HashSet<u32> {
     out
 }
 
+/// Operand-port → route-table-index map keyed by (node id, port).
+type PortRouteMap = HashMap<(u32, u8), u32>;
+
 /// Result of routing.
 #[derive(Clone, Debug)]
 pub struct RoutingResult {
@@ -66,15 +83,25 @@ pub struct RoutingResult {
     pub ctrl_fanout: usize,
 }
 
-/// Builds the route table with XY paths (shared by both routers).
+/// Builds the route table with XY paths (shared by both routers). With a
+/// non-empty fault set, a route whose XY path crosses a dead link falls
+/// back to YX; if both dimension orders are blocked the edge is
+/// unroutable (cluster-internal edges keep their path regardless — they
+/// never send flits, so a dead link on them is harmless).
 fn build_routes(
     g: &Cdfg,
     places: &[Placement],
     mesh: &Mesh,
-) -> (Vec<Route>, HashMap<(u32, u8), u32>) {
+    faults: &FaultSet,
+) -> Result<(Vec<Route>, PortRouteMap), PlaceError> {
     let mut routes = Vec::new();
     let mut port_route = HashMap::new();
     let entries = entry_steers(g);
+    let header_bb = if faults.is_empty() {
+        Vec::new()
+    } else {
+        crate::cost::header_blocks(g)
+    };
     for (i, n) in g.nodes.iter().enumerate() {
         for (port, src) in n.inputs.iter().enumerate() {
             let PortSrc::Node(p) = src else { continue };
@@ -95,8 +122,25 @@ fn build_routes(
                     .unwrap_or(false);
             let path = if src_tile == dst_tile {
                 vec![src_tile as u16]
-            } else {
+            } else if faults.is_empty() {
                 mesh.path_tiles(src_tile, dst_tile)
+            } else {
+                let xy = mesh.path_tiles(src_tile, dst_tile);
+                if path_is_clean(mesh, &xy, faults)
+                    || crate::cost::is_cluster_internal(g, &header_bb, p.0 as usize, i)
+                {
+                    xy
+                } else {
+                    let yx = mesh.path_tiles_yx(src_tile, dst_tile);
+                    if path_is_clean(mesh, &yx, faults) {
+                        yx
+                    } else {
+                        return Err(PlaceError::Unroutable {
+                            src_tile: src_tile as u16,
+                            dst_tile: dst_tile as u16,
+                        });
+                    }
+                }
             };
             let id = routes.len() as u32;
             routes.push(Route {
@@ -111,7 +155,7 @@ fn build_routes(
             port_route.insert((i as u32, port as u8), id);
         }
     }
-    (routes, port_route)
+    Ok((routes, port_route))
 }
 
 /// Control-network feasibility: groups ctrl routes by source tile,
@@ -146,14 +190,31 @@ fn ctrl_feasibility(routes: &[Route], mesh: &Mesh) -> (bool, usize) {
 
 /// Routes every node-sourced edge of the program.
 pub fn route(g: &Cdfg, places: &[Placement], mesh: &Mesh) -> RoutingResult {
-    let (routes, port_route) = build_routes(g, places, mesh);
+    route_with_faults(g, places, mesh, &FaultSet::none())
+        .expect("routing is infallible without faults")
+}
+
+/// Routes every node-sourced edge, detouring flit-carrying routes around
+/// the fault set's dead links (XY first, YX fallback). An empty fault
+/// set is bit-identical to [`route`].
+///
+/// # Errors
+/// Returns [`PlaceError::Unroutable`] when neither dimension order
+/// between a producer/consumer tile pair avoids the dead links.
+pub fn route_with_faults(
+    g: &Cdfg,
+    places: &[Placement],
+    mesh: &Mesh,
+    faults: &FaultSet,
+) -> Result<RoutingResult, PlaceError> {
+    let (routes, port_route) = build_routes(g, places, mesh, faults)?;
     let (ctrl_net_fits, ctrl_fanout) = ctrl_feasibility(&routes, mesh);
-    RoutingResult {
+    Ok(RoutingResult {
         routes,
         port_route,
         ctrl_net_fits,
         ctrl_fanout,
-    }
+    })
 }
 
 /// Congestion-aware rip-up-and-reroute: starts from the XY route table
@@ -171,7 +232,30 @@ pub fn route_congestion_aware(
     cm: &crate::cost::CostModel,
     passes: usize,
 ) -> (RoutingResult, usize) {
-    let (mut routes, port_route) = build_routes(g, places, mesh);
+    route_congestion_aware_with_faults(g, places, mesh, cm, passes, &FaultSet::none())
+        .expect("routing is infallible without faults")
+}
+
+/// Fault-aware rip-up router: like [`route_congestion_aware`], but dead
+/// links carry a prohibitive score surcharge and flaky links are
+/// penalized by the extra stall cycles the simulator will charge
+/// (`weight × link_latency × (mult − 1)`), steering traffic away from
+/// degraded links when a clean alternative exists. An empty fault set is
+/// bit-identical to [`route_congestion_aware`].
+///
+/// # Errors
+/// Returns [`PlaceError::Unroutable`] when neither dimension order
+/// between a producer/consumer tile pair avoids the dead links.
+pub fn route_congestion_aware_with_faults(
+    g: &Cdfg,
+    places: &[Placement],
+    mesh: &Mesh,
+    cm: &crate::cost::CostModel,
+    passes: usize,
+    faults: &FaultSet,
+) -> Result<(RoutingResult, usize), PlaceError> {
+    let have_faults = !faults.is_empty();
+    let (mut routes, port_route) = build_routes(g, places, mesh, faults)?;
     let depths = crate::cost::node_depths(g);
     // Loop-unit-internal edges are combinational in the simulator (no
     // flit is ever sent): they must neither seed the load map nor be
@@ -203,12 +287,16 @@ pub fn route_congestion_aware(
         }
         let (s, d) = (r.path[0] as usize, *r.path.last().unwrap() as usize);
         let w = cm.freq_weight(depths[r.src as usize].min(depths[r.dst as usize]));
+        let xy = mesh.path_tiles(s, d);
+        // The builder already fell back to YX when XY crossed a dead
+        // link; start the rip-up from that same choice.
+        let use_yx = have_faults && !path_is_clean(mesh, &xy, faults);
         cands.push(Cand {
             route: ri,
             w,
-            xy: mesh.path_tiles(s, d),
+            xy,
             yx: mesh.path_tiles_yx(s, d),
-            use_yx: false,
+            use_yx,
         });
     }
 
@@ -246,7 +334,8 @@ pub fn route_congestion_aware(
         path_links(mesh, &r.path, &mut |l| load[l] += w);
     }
     for c in &cands {
-        path_links(mesh, &c.xy, &mut |l| load[l] += c.w);
+        let seed: &[u16] = if c.use_yx { &c.yx } else { &c.xy };
+        path_links(mesh, seed, &mut |l| load[l] += c.w);
     }
     // Rip-up passes: re-choose each candidate against the current loads.
     let mut moved = 0usize;
@@ -258,7 +347,20 @@ pub fn route_congestion_aware(
             path_links(mesh, cur, &mut |l| load[l] -= w);
             let score = |path: &[u16], load: &[f64]| -> f64 {
                 let mut s = 0.0;
-                path_links(mesh, path, &mut |l| s += (load[l] + w) * (load[l] + w));
+                path_links(mesh, path, &mut |l| {
+                    let mut term = (load[l] + w) * (load[l] + w);
+                    if have_faults {
+                        if faults.link_dead(l) {
+                            term += DEAD_LINK_PENALTY;
+                        } else {
+                            let m = faults.link_mult(l);
+                            if m > 1 {
+                                term += w * crate::cost::flaky_extra(cm.link_latency, m);
+                            }
+                        }
+                    }
+                    s += term;
+                });
                 s
             };
             // Ties keep XY, the bit-stable default.
@@ -272,13 +374,14 @@ pub fn route_congestion_aware(
         }
     }
     for c in &cands {
-        if c.use_yx {
-            routes[c.route].path = c.yx.clone();
+        let chosen: &[u16] = if c.use_yx { &c.yx } else { &c.xy };
+        if routes[c.route].path != *chosen {
+            routes[c.route].path = chosen.to_vec();
         }
     }
 
     let (ctrl_net_fits, ctrl_fanout) = ctrl_feasibility(&routes, mesh);
-    (
+    Ok((
         RoutingResult {
             routes,
             port_route,
@@ -286,7 +389,7 @@ pub fn route_congestion_aware(
             ctrl_fanout,
         },
         moved,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -360,5 +463,78 @@ mod tests {
         let mesh = Mesh::new(4, 4);
         let r = route(&g, &pl.places, &mesh);
         assert!(r.routes.iter().any(|x| x.activation), "carry init edges");
+    }
+
+    /// A graph with a single mesh route, pinned to a diagonal tile pair
+    /// so its XY and YX paths start over different links.
+    fn pinned_diagonal() -> (Cdfg, Vec<Placement>) {
+        let mut b = CdfgBuilder::new("d");
+        let x = b.imm(1);
+        let y = b.add(x, x);
+        b.sink("r", y);
+        let g = b.finish();
+        let opts = CompileOptions::marionette_4x4();
+        let pl = place(&g, &opts).unwrap();
+        let mut places = pl.places;
+        for (i, n) in g.nodes.iter().enumerate() {
+            if matches!(n.op, Op::Bin(_)) {
+                // Diagonal from the tile-0 Sink anchor: XY goes west
+                // first (5 -> 4 -> 0), YX goes north first (5 -> 1 -> 0).
+                places[i] = Placement::Pe { pe: 5 };
+            }
+        }
+        (g, places)
+    }
+
+    #[test]
+    fn dead_link_forces_detour() {
+        let (g, places) = pinned_diagonal();
+        let mesh = Mesh::new(4, 4);
+        let mut faults = FaultSet::new(4, 4);
+        faults
+            .add(marionette_sim::FaultSpec::DeadLink {
+                from: (1, 1),
+                to: (1, 0),
+            })
+            .unwrap();
+        let rr = route_with_faults(&g, &places, &mesh, &faults).unwrap();
+        for q in &rr.routes {
+            assert!(
+                path_is_clean(&mesh, &q.path, &faults),
+                "route {} -> {} crosses the dead link",
+                q.src,
+                q.dst
+            );
+        }
+        // The add -> sink route must have taken the YX detour.
+        let detoured = rr
+            .routes
+            .iter()
+            .find(|q| q.path.first() == Some(&5))
+            .unwrap();
+        assert_eq!(detoured.path, vec![5, 1, 0]);
+    }
+
+    #[test]
+    fn fully_blocked_pair_is_unroutable() {
+        let (g, places) = pinned_diagonal();
+        let mesh = Mesh::new(4, 4);
+        let mut faults = FaultSet::new(4, 4);
+        for to in [(1, 0), (0, 1)] {
+            faults
+                .add(marionette_sim::FaultSpec::DeadLink { from: (1, 1), to })
+                .unwrap();
+        }
+        let err = route_with_faults(&g, &places, &mesh, &faults).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PlaceError::Unroutable {
+                    src_tile: 5,
+                    dst_tile: 0
+                }
+            ),
+            "{err}"
+        );
     }
 }

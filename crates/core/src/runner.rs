@@ -11,13 +11,13 @@ use marionette_arch::Architecture;
 use marionette_cdfg::value::Value;
 use marionette_cdfg::Cdfg;
 use marionette_compiler::{
-    compile_with_timing, explore_chain, finalize_explored, select_best, CompileReport, CostModel,
-    PlaceError,
+    compile_with_timing_and_faults, explore_chain_with_faults, finalize_explored_with_faults,
+    select_best, CompileReport, CostModel, PlaceError, SearchBudget,
 };
 use marionette_isa::MachineProgram;
-use marionette_kernels::traits::{Kernel, KernelError, Scale};
+use marionette_kernels::traits::{Golden, Kernel, KernelError, Scale};
 use marionette_kernels::verify::check_vs_golden;
-use marionette_sim::{run, RunStats, SimError};
+use marionette_sim::{run, run_with_faults, FaultSet, RunResult, RunStats, SimError};
 use std::fmt;
 
 /// Default cycle budget per run.
@@ -110,19 +110,35 @@ pub fn compile_for_arch(
     g: &Cdfg,
     arch: &Architecture,
 ) -> Result<(MachineProgram, CompileReport), PlaceError> {
+    compile_for_arch_with_faults(g, arch, &FaultSet::none())
+}
+
+/// Fault-aware variant of [`compile_for_arch`]: dead PEs are masked out
+/// of placement, dead links out of routing, and flaky links are
+/// cost-penalized by the explorer and the rip-up router. An empty fault
+/// set is bit-identical to [`compile_for_arch`].
+///
+/// # Errors
+/// Returns [`PlaceError`] when the program cannot fit on, or be routed
+/// across, the live fabric.
+pub fn compile_for_arch_with_faults(
+    g: &Cdfg,
+    arch: &Architecture,
+    faults: &FaultSet,
+) -> Result<(MachineProgram, CompileReport), PlaceError> {
     let seeds = arch.opts.search.chain_seeds();
     if seeds.len() <= 1 {
-        return compile_with_timing(g, &arch.opts, &arch.tm);
+        return compile_with_timing_and_faults(g, &arch.opts, &arch.tm, faults);
     }
     let cm = CostModel::from_timing(&arch.tm);
     let chains = par_map(seeds, sweep_threads(), |s| {
-        explore_chain(g, &arch.opts, &cm, s)
+        explore_chain_with_faults(g, &arch.opts, &cm, s, faults)
     });
     let mut ok = Vec::with_capacity(chains.len());
     for c in chains {
         ok.push(c?);
     }
-    Ok(finalize_explored(g, &arch.opts, &cm, select_best(ok)))
+    finalize_explored_with_faults(g, &arch.opts, &cm, select_best(ok), faults)
 }
 
 /// Compiles and simulates `kernel` on `arch`, verifying outputs against
@@ -153,9 +169,29 @@ pub fn run_kernel(
         .map(|a| (a.name.clone(), a.init.clone()))
         .collect();
     let r = run(&prog, &arch.tm, &inputs, &[], max_cycles)?;
+    verify_golden(kernel, arch, &g, &golden, &r)?;
+    Ok(KernelRun {
+        arch: arch.short.to_string(),
+        kernel: kernel.short().to_string(),
+        cycles: r.stats.cycles,
+        stats: r.stats,
+        report,
+        verified: true,
+    })
+}
+
+/// Bit-compares one run against the kernel's golden reference (arrays,
+/// sink streams, and the out-of-bounds event count).
+fn verify_golden(
+    kernel: &dyn Kernel,
+    arch: &Architecture,
+    g: &Cdfg,
+    golden: &Golden,
+    r: &RunResult,
+) -> Result<(), RunnerError> {
     let mismatches = check_vs_golden(
-        &g,
-        &golden,
+        g,
+        golden,
         |arr| r.memory[arr.0 as usize].clone(),
         |name| r.sinks.get(name).cloned().unwrap_or_default(),
     )?;
@@ -169,13 +205,102 @@ pub fn run_kernel(
             count: mismatches.len(),
         });
     }
-    Ok(KernelRun {
-        arch: arch.short.to_string(),
-        kernel: kernel.short().to_string(),
-        cycles: r.stats.cycles,
-        stats: r.stats,
-        report,
-        verified: true,
+    Ok(())
+}
+
+/// One kernel × architecture measurement on a faulted fabric.
+#[derive(Clone, Debug)]
+pub struct FaultKernelRun {
+    /// The faulted resource (fault-spec syntax, e.g. `pe:1,2`) that
+    /// wedged the fault-oblivious bitstream, when one did.
+    pub wedged: Option<String>,
+    /// Whether the measurement comes from a fault-aware remap rather
+    /// than the original mapping.
+    pub remapped: bool,
+    /// The verified measurement.
+    pub run: KernelRun,
+}
+
+/// Runs `kernel` on `arch` with `faults` injected, self-healing by remap
+/// when the fault-oblivious bitstream touches a dead resource:
+///
+/// 1. compile normally and simulate with the faults injected;
+/// 2. on a typed [`SimError::Fault`], recompile with the faulty
+///    resources masked (forcing the annealing explorer on, so operators
+///    can move off dead tiles) and simulate the remap;
+/// 3. either way, bit-verify the surviving run against the golden
+///    reference — the same oracle [`run_kernel`] applies.
+///
+/// With an empty `faults` this is bit-identical to [`run_kernel`]. A
+/// remap that still cannot fit surfaces as [`RunnerError::Compile`] —
+/// the typed "remap infeasible" outcome degradation sweeps count as a
+/// failure (the healthy compile of every shipped kernel × preset
+/// succeeds, so a compile error here always means the remap).
+///
+/// # Errors
+/// Returns [`RunnerError`] on compile/simulation failure (of whichever
+/// pipeline survives fault screening) or output mismatch.
+pub fn run_kernel_faulted(
+    kernel: &dyn Kernel,
+    arch: &Architecture,
+    scale: Scale,
+    seed: u64,
+    max_cycles: u64,
+    faults: &FaultSet,
+) -> Result<FaultKernelRun, RunnerError> {
+    let wl = kernel.workload(scale, seed);
+    let golden = kernel.golden(&wl)?;
+    let g = kernel.build(&wl)?;
+    let (prog, report) = compile_for_arch(&g, arch)?;
+    let bytes = marionette_isa::bitstream::encode(&prog);
+    let prog = marionette_isa::bitstream::decode(&bytes).expect("bitstream roundtrip");
+    let inputs: Vec<(String, Vec<Value>)> = g
+        .arrays
+        .iter()
+        .map(|a| (a.name.clone(), a.init.clone()))
+        .collect();
+    let wedged = match run_with_faults(&prog, &arch.tm, faults, &inputs, &[], max_cycles) {
+        Ok(r) => {
+            verify_golden(kernel, arch, &g, &golden, &r)?;
+            return Ok(FaultKernelRun {
+                wedged: None,
+                remapped: false,
+                run: KernelRun {
+                    arch: arch.short.to_string(),
+                    kernel: kernel.short().to_string(),
+                    cycles: r.stats.cycles,
+                    stats: r.stats,
+                    report,
+                    verified: true,
+                },
+            });
+        }
+        Err(SimError::Fault { what, .. }) => what,
+        Err(e) => return Err(RunnerError::Sim(e)),
+    };
+    // Self-heal: recompile with the faulty resources masked. Presets
+    // that compile one-shot get the default annealing budget — the
+    // greedy placer alone cannot rebalance around arbitrary dead tiles.
+    let mut healed = arch.clone();
+    if !healed.opts.search.is_on() {
+        healed.opts.search = SearchBudget::default_on();
+    }
+    let (prog, report) = compile_for_arch_with_faults(&g, &healed, faults)?;
+    let bytes = marionette_isa::bitstream::encode(&prog);
+    let prog = marionette_isa::bitstream::decode(&bytes).expect("bitstream roundtrip");
+    let r = run_with_faults(&prog, &arch.tm, faults, &inputs, &[], max_cycles)?;
+    verify_golden(kernel, arch, &g, &golden, &r)?;
+    Ok(FaultKernelRun {
+        wedged: Some(wedged),
+        remapped: true,
+        run: KernelRun {
+            arch: arch.short.to_string(),
+            kernel: kernel.short().to_string(),
+            cycles: r.stats.cycles,
+            stats: r.stats,
+            report,
+            verified: true,
+        },
     })
 }
 

@@ -7,7 +7,17 @@
 //!            [--max-stmts K] [--shrink] [--corpus-dir DIR]
 //!            [--json PATH] [--max-cycles C] [--no-fires] [--serial]
 //!            [--search MOVES[,RESTARTS]] [--source] [--fabric RxC]
+//!            [--faults N] [--fault SPEC]...
 //! ```
+//!
+//! `--faults N` injects N seeded-random faults (dead PEs, dead links,
+//! flaky links — a fresh set per program seed) into every simulation and
+//! differentially fuzzes the self-healing remap loop: wedged bitstreams
+//! are re-mapped around the faults and the remap must still match the
+//! reference interpreter bit for bit. `--fault SPEC` (repeatable) pins
+//! explicit faults (`pe:R,C`, `link:R,C-R,C`, `flaky:R,C-R,C@MULT`)
+//! under every seed. A remap that cannot fit on the surviving fabric is
+//! a typed, accepted outcome — not a divergence.
 //!
 //! `--fabric RxC` instantiates the selected presets on an R×C fabric
 //! (default 4x4): larger meshes exercise longer routes, bigger agile
@@ -34,7 +44,10 @@
 
 use marionette::arch::FabricDims;
 use marionette::parallel::{par_map, sweep_threads};
-use marionette_fuzzgen::diff::{all_presets_on, diff_program, DEFAULT_MAX_CYCLES};
+use marionette::sim::FaultSet;
+use marionette_fuzzgen::diff::{
+    all_presets_on, diff_program, diff_program_faulted, DEFAULT_MAX_CYCLES,
+};
 use marionette_fuzzgen::gen::{generate, GenConfig};
 use marionette_fuzzgen::shrink::shrink;
 use marionette_fuzzgen::source::diff_both;
@@ -56,6 +69,8 @@ struct Args {
     search: Option<(u32, u32)>,
     source: bool,
     fabric: FabricDims,
+    faults: usize,
+    fault_specs: Vec<String>,
 }
 
 fn parse_args() -> Args {
@@ -67,6 +82,21 @@ fn parse_args() -> Args {
             .cloned()
     };
     let has = |flag: &str| argv.iter().any(|a| a == flag);
+    // `--fault` repeats; collect every occurrence.
+    let fault_specs: Vec<String> = argv
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--fault")
+        .map(|(i, _)| match argv.get(i + 1) {
+            Some(v) if !v.starts_with("--") => v.clone(),
+            _ => {
+                eprintln!(
+                    "fuzz_stack: --fault needs a spec (pe:R,C | link:R,C-R,C | flaky:R,C-R,C@MULT)"
+                );
+                std::process::exit(2);
+            }
+        })
+        .collect();
     Args {
         start: get("--start").and_then(|v| v.parse().ok()).unwrap_or(0),
         count: get("--count").and_then(|v| v.parse().ok()).unwrap_or(1000),
@@ -115,6 +145,14 @@ fn parse_args() -> Args {
                 std::process::exit(2);
             }),
         },
+        faults: match get("--faults") {
+            None => 0,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("fuzz_stack: --faults needs a numeric count, got `{v}`");
+                std::process::exit(2);
+            }),
+        },
+        fault_specs,
     }
 }
 
@@ -124,6 +162,8 @@ struct SeedOutcome {
     cycles: u64,
     fires: u64,
     nodes: usize,
+    remaps: usize,
+    infeasible: usize,
     failure: Option<String>,
 }
 
@@ -151,6 +191,21 @@ fn main() {
             };
         }
     }
+    // The shared fault CLI surface: explicit `--fault` specs pinned
+    // under every seed, plus `--faults N` fresh random faults per seed.
+    let base_faults =
+        match FaultSet::from_cli(args.fabric.rows, args.fabric.cols, &args.fault_specs, 0, 0) {
+            Ok(fs) => fs,
+            Err(e) => {
+                eprintln!("fuzz_stack: {e}");
+                std::process::exit(2);
+            }
+        };
+    let have_faults = args.faults > 0 || !base_faults.is_empty();
+    if have_faults && args.source {
+        eprintln!("fuzz_stack: --source and fault injection cannot be combined");
+        std::process::exit(2);
+    }
     let cfg = GenConfig {
         max_depth: args.depth,
         max_stmts: args.max_stmts,
@@ -163,11 +218,18 @@ fn main() {
     let threads = if args.serial { 1 } else { sweep_threads() };
     let seeds: Vec<u64> = (args.start..args.start + args.count).collect();
     let t0 = Instant::now();
+    let base_faults_ref = &base_faults;
     let outcomes = par_map(seeds, threads, |seed| {
         let p = generate(seed, &cfg);
         // With --source, each seed runs both axes sharing one reference
-        // interpretation of the builder graph.
-        let result = if args.source {
+        // interpretation of the builder graph. With faults, each seed
+        // gets its own seeded-random damage on top of the pinned specs
+        // and exercises the self-healing remap loop.
+        let result = if have_faults {
+            let mut faults = base_faults_ref.clone();
+            faults.add_random(args.faults, seed);
+            diff_program_faulted(&p, &presets, args.max_cycles, args.check_fires, &faults)
+        } else if args.source {
             diff_both(&p, &presets, args.max_cycles, args.check_fires)
         } else {
             diff_program(&p, &presets, args.max_cycles, args.check_fires)
@@ -179,6 +241,8 @@ fn main() {
                 cycles: s.cycles,
                 fires: s.fires,
                 nodes: s.nodes,
+                remaps: s.remaps,
+                infeasible: s.infeasible,
                 failure: None,
             },
             Err(d) => SeedOutcome {
@@ -187,6 +251,8 @@ fn main() {
                 cycles: 0,
                 fires: 0,
                 nodes: 0,
+                remaps: 0,
+                infeasible: 0,
                 failure: Some(d.to_string()),
             },
         }
@@ -205,8 +271,20 @@ fn main() {
             f.failure.as_deref().unwrap_or("")
         );
         if args.do_shrink {
+            // Reproduce under the same damage the seed originally saw.
+            let mut seed_faults = base_faults.clone();
+            seed_faults.add_random(args.faults, f.seed);
             let still_fails = |q: &marionette_fuzzgen::Program| {
-                if args.source {
+                if have_faults {
+                    diff_program_faulted(
+                        q,
+                        &presets,
+                        args.max_cycles,
+                        args.check_fires,
+                        &seed_faults,
+                    )
+                    .err()
+                } else if args.source {
                     diff_both(q, &presets, args.max_cycles, args.check_fires).err()
                 } else {
                     diff_program(q, &presets, args.max_cycles, args.check_fires).err()
@@ -260,6 +338,23 @@ fn main() {
             None => j.push_str("  \"search\": null,\n"),
         }
         j.push_str(&format!("  \"source_axis\": {},\n", args.source));
+        j.push_str(&format!("  \"faults\": {},\n", args.faults));
+        j.push_str(&format!(
+            "  \"pinned_faults\": [{}],\n",
+            args.fault_specs
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        j.push_str(&format!(
+            "  \"remaps\": {},\n",
+            outcomes.iter().map(|o| o.remaps).sum::<usize>()
+        ));
+        j.push_str(&format!(
+            "  \"remap_infeasible\": {},\n",
+            outcomes.iter().map(|o| o.infeasible).sum::<usize>()
+        ));
         j.push_str(&format!("  \"programs\": {},\n", outcomes.len()));
         j.push_str(&format!("  \"points\": {total_points},\n"));
         j.push_str(&format!("  \"sim_cycles\": {total_cycles},\n"));
@@ -286,8 +381,17 @@ fn main() {
     } else {
         outcomes.iter().map(|o| o.nodes).sum::<usize>() as f64 / outcomes.len() as f64
     };
+    let fault_note = if have_faults {
+        format!(
+            ", {} remaps, {} remap-infeasible",
+            outcomes.iter().map(|o| o.remaps).sum::<usize>(),
+            outcomes.iter().map(|o| o.infeasible).sum::<usize>()
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "fuzz_stack: {} programs x {} presets on {} = {} points, {} sim cycles, ~{:.0} nodes/program, {} divergences, {:.1} ms ({} threads)",
+        "fuzz_stack: {} programs x {} presets on {} = {} points, {} sim cycles, ~{:.0} nodes/program, {} divergences{}, {:.1} ms ({} threads)",
         outcomes.len(),
         presets.len(),
         args.fabric,
@@ -295,6 +399,7 @@ fn main() {
         total_cycles,
         mean_nodes,
         failures.len(),
+        fault_note,
         wall_ms,
         threads
     );

@@ -115,6 +115,11 @@ pub struct DiffStats {
     pub fires: u64,
     /// Dataflow nodes in the emitted CDFG.
     pub nodes: usize,
+    /// Fault-wedged points healed by a fault-aware remap.
+    pub remaps: usize,
+    /// Fault-wedged points whose remap could not fit on the surviving
+    /// fabric (a typed, accepted outcome — not a divergence).
+    pub infeasible: usize,
 }
 
 /// Differentially checks `p` on `presets`.
@@ -180,8 +185,6 @@ pub(crate) fn check_presets(
     check_fires: bool,
     stats: &mut DiffStats,
 ) -> Result<(), Divergence> {
-    let reference = &pair.dropping;
-    let predicated = &pair.predicated;
     let inputs: Vec<(String, Vec<Value>)> = g
         .arrays
         .iter()
@@ -205,55 +208,172 @@ pub(crate) fn check_presets(
             .map_err(|e| fail(DivergenceKind::Bitstream, e.to_string()))?;
         let r = marionette::sim::run(&prog, &arch.tm, &inputs, &[], max_cycles)
             .map_err(|e| fail(DivergenceKind::Sim, e.to_string()))?;
-        // Arrays: every declared array, bit for bit.
-        for arr in &g.arrays {
-            let id = g.array_by_name(&arr.name).expect("declared");
-            let expect = reference.memory.array(id);
-            let got = r.array(&prog, &arr.name).ok_or_else(|| {
-                fail(
-                    DivergenceKind::Memory,
-                    format!("array {} missing", arr.name),
-                )
-            })?;
-            if let Some(m) = stream_mismatch(expect, got) {
-                return Err(fail(
-                    DivergenceKind::Memory,
-                    format!("array {}{m}", arr.name),
-                ));
-            }
-        }
-        // Sinks: same label set, same streams in arrival order.
-        if let Err(d) = compare_sinks(&reference.sinks, &r.sinks) {
-            return Err(fail(DivergenceKind::Sinks, d));
-        }
-        if r.oob_events != reference.memory.oob_events() {
-            return Err(fail(
-                DivergenceKind::Oob,
-                format!(
-                    "interp {} oob events, sim {}",
-                    reference.memory.oob_events(),
-                    r.oob_events
-                ),
-            ));
-        }
-        if check_fires {
-            let expect = if arch.tm.predicated_branches {
-                predicated.firings
-            } else {
-                reference.firings
-            };
-            if r.stats.fires != expect {
-                return Err(fail(
-                    DivergenceKind::Fires,
-                    format!("interp fired {expect}, sim fired {}", r.stats.fires),
-                ));
-            }
-        }
+        verify_point(g, pair, arch, &prog, &r, check_fires)?;
         stats.points += 1;
         stats.cycles += r.stats.cycles;
         stats.fires += r.stats.fires;
     }
     Ok(())
+}
+
+/// Bit-compares one preset's simulation against the reference pair:
+/// every array, every sink stream, out-of-bounds counts and (optionally)
+/// total firings in the preset's own steering mode.
+fn verify_point(
+    g: &Cdfg,
+    pair: &RefPair,
+    arch: &Architecture,
+    prog: &marionette::isa::MachineProgram,
+    r: &marionette::sim::RunResult,
+    check_fires: bool,
+) -> Result<(), Divergence> {
+    let reference = &pair.dropping;
+    let fail = |kind: DivergenceKind, detail: String| Divergence {
+        preset: arch.short.to_string(),
+        kind,
+        detail,
+    };
+    // Arrays: every declared array, bit for bit.
+    for arr in &g.arrays {
+        let id = g.array_by_name(&arr.name).expect("declared");
+        let expect = reference.memory.array(id);
+        let got = r.array(prog, &arr.name).ok_or_else(|| {
+            fail(
+                DivergenceKind::Memory,
+                format!("array {} missing", arr.name),
+            )
+        })?;
+        if let Some(m) = stream_mismatch(expect, got) {
+            return Err(fail(
+                DivergenceKind::Memory,
+                format!("array {}{m}", arr.name),
+            ));
+        }
+    }
+    // Sinks: same label set, same streams in arrival order.
+    if let Err(d) = compare_sinks(&reference.sinks, &r.sinks) {
+        return Err(fail(DivergenceKind::Sinks, d));
+    }
+    if r.oob_events != reference.memory.oob_events() {
+        return Err(fail(
+            DivergenceKind::Oob,
+            format!(
+                "interp {} oob events, sim {}",
+                reference.memory.oob_events(),
+                r.oob_events
+            ),
+        ));
+    }
+    if check_fires {
+        let expect = if arch.tm.predicated_branches {
+            pair.predicated.firings
+        } else {
+            reference.firings
+        };
+        if r.stats.fires != expect {
+            return Err(fail(
+                DivergenceKind::Fires,
+                format!("interp fired {expect}, sim fired {}", r.stats.fires),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Differentially checks `p` on `presets` with `faults` injected into
+/// every simulation, exercising the self-healing remap loop: a
+/// fault-oblivious bitstream that touches a dead resource is recompiled
+/// with the faulty resources masked (annealing explorer forced on) and
+/// the remap must still match the reference interpreter bit for bit.
+/// Flaky links may stretch cycles but never change values.
+///
+/// A remap that cannot fit on the surviving fabric is the typed,
+/// accepted outcome counted in [`DiffStats::infeasible`] — only the
+/// original healthy compile failing is a [`DivergenceKind::Compile`].
+///
+/// # Errors
+/// Returns the first [`Divergence`] in preset order.
+pub fn diff_program_faulted(
+    p: &Program,
+    presets: &[Architecture],
+    max_cycles: u64,
+    check_fires: bool,
+    faults: &marionette::sim::FaultSet,
+) -> Result<DiffStats, Divergence> {
+    let g = emit(p);
+    let pair = interp_pair(&g)?;
+    let mut stats = DiffStats {
+        nodes: g.nodes.len(),
+        ..DiffStats::default()
+    };
+    let inputs: Vec<(String, Vec<Value>)> = g
+        .arrays
+        .iter()
+        .map(|a| (a.name.clone(), a.init.clone()))
+        .collect();
+    for arch in presets {
+        let fail = |kind: DivergenceKind, detail: String| Divergence {
+            preset: arch.short.to_string(),
+            kind,
+            detail,
+        };
+        let (prog, _) = marionette::compiler::compile_with_timing(&g, &arch.opts, &arch.tm)
+            .map_err(|e| fail(DivergenceKind::Compile, e.to_string()))?;
+        let bytes = marionette::isa::bitstream::encode(&prog);
+        let prog = marionette::isa::bitstream::decode(&bytes)
+            .map_err(|e| fail(DivergenceKind::Bitstream, e.to_string()))?;
+        let r = match marionette::sim::run_with_faults(
+            &prog,
+            &arch.tm,
+            faults,
+            &inputs,
+            &[],
+            max_cycles,
+        ) {
+            Ok(r) => r,
+            Err(marionette::sim::SimError::Fault { .. }) => {
+                // Wedged: re-map around the faults, explorer forced on.
+                let mut opts = arch.opts;
+                if !opts.search.is_on() {
+                    opts.search = marionette::compiler::SearchBudget::default_on();
+                }
+                let prog2 = match marionette::compiler::compile_with_timing_and_faults(
+                    &g, &opts, &arch.tm, faults,
+                ) {
+                    Ok((p2, _)) => p2,
+                    Err(_) => {
+                        // Typed remap-infeasible: accepted, not a divergence.
+                        stats.infeasible += 1;
+                        continue;
+                    }
+                };
+                let bytes = marionette::isa::bitstream::encode(&prog2);
+                let prog2 = marionette::isa::bitstream::decode(&bytes)
+                    .map_err(|e| fail(DivergenceKind::Bitstream, e.to_string()))?;
+                let r2 = marionette::sim::run_with_faults(
+                    &prog2,
+                    &arch.tm,
+                    faults,
+                    &inputs,
+                    &[],
+                    max_cycles,
+                )
+                .map_err(|e| fail(DivergenceKind::Sim, format!("after remap: {e}")))?;
+                verify_point(&g, &pair, arch, &prog2, &r2, check_fires)?;
+                stats.remaps += 1;
+                stats.points += 1;
+                stats.cycles += r2.stats.cycles;
+                stats.fires += r2.stats.fires;
+                continue;
+            }
+            Err(e) => return Err(fail(DivergenceKind::Sim, e.to_string())),
+        };
+        verify_point(&g, &pair, arch, &prog, &r, check_fires)?;
+        stats.points += 1;
+        stats.cycles += r.stats.cycles;
+        stats.fires += r.stats.fires;
+    }
+    Ok(stats)
 }
 
 fn interp(g: &Cdfg, mode: ExecMode) -> Result<InterpResult, Divergence> {

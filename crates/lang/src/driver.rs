@@ -9,7 +9,7 @@ use crate::diag::Diagnostic;
 use crate::lower::lower;
 use crate::parser::parse;
 use crate::sema::check;
-use marionette::runner::compile_for_arch;
+use marionette::runner::{compile_for_arch, compile_for_arch_with_faults};
 use marionette_arch::Architecture;
 use marionette_cdfg::interp::{interpret_with_budget, ExecMode, InterpError, InterpResult};
 use marionette_cdfg::value::{compare_sink_maps as compare_sinks, stream_mismatch, Value};
@@ -185,31 +185,62 @@ pub fn run_preset(
         preset: preset.clone(),
         e,
     })?;
-    let bytes = marionette::isa::bitstream::encode(&prog);
-    let prog = marionette::isa::bitstream::decode(&bytes).map_err(|e| DriverError::Bitstream {
-        preset: preset.clone(),
-        detail: e.to_string(),
-    })?;
-    let inputs: Vec<(String, Vec<Value>)> = g
-        .arrays
-        .iter()
-        .map(|a| (a.name.clone(), a.init.clone()))
-        .collect();
+    let prog = roundtrip_bitstream(&prog, &preset)?;
+    let inputs = array_inputs(g);
     let r = marionette::sim::run(&prog, &arch.tm, &inputs, overrides, max_cycles).map_err(|e| {
         DriverError::Sim {
             preset: preset.clone(),
             e,
         }
     })?;
+    verify_vs_reference(g, reference, arch, &preset, &prog, &r)?;
+    let mut run = summarize(preset, &r, &report);
+    if want_disasm {
+        run.disasm = Some(marionette::isa::disasm::disassemble(&prog));
+    }
+    Ok(run)
+}
+
+/// Serializes `prog` to the configuration bitstream and decodes it back
+/// — the same full-stack fidelity check every pipeline run exercises.
+fn roundtrip_bitstream(
+    prog: &marionette::isa::MachineProgram,
+    preset: &str,
+) -> Result<marionette::isa::MachineProgram, DriverError> {
+    let bytes = marionette::isa::bitstream::encode(prog);
+    marionette::isa::bitstream::decode(&bytes).map_err(|e| DriverError::Bitstream {
+        preset: preset.to_string(),
+        detail: e.to_string(),
+    })
+}
+
+fn array_inputs(g: &Cdfg) -> Vec<(String, Vec<Value>)> {
+    g.arrays
+        .iter()
+        .map(|a| (a.name.clone(), a.init.clone()))
+        .collect()
+}
+
+/// Bit-verifies a simulation against the reference interpreter: every
+/// array stream, every sink stream, the out-of-bounds event count and
+/// the firing count (predicated or dropping, per the timing model).
+fn verify_vs_reference(
+    g: &Cdfg,
+    reference: &Reference,
+    arch: &Architecture,
+    preset: &str,
+    prog: &marionette::isa::MachineProgram,
+    r: &marionette::sim::RunResult,
+) -> Result<(), DriverError> {
     let fail = |detail: String| DriverError::Mismatch {
-        preset: preset.clone(),
+        preset: preset.to_string(),
         detail,
     };
     for arr in &g.arrays {
         let id = g.array_by_name(&arr.name).expect("declared");
         let expect = reference.dropping.memory.array(id);
         let got = r
-            .array(&prog, &arr.name)
+            .array(prog, &arr.name)
             .ok_or_else(|| fail(format!("array {} missing from the simulation", arr.name)))?;
         if let Some(m) = stream_mismatch(expect, got) {
             return Err(fail(format!("array {}{m}", arr.name)));
@@ -234,7 +265,15 @@ pub fn run_preset(
             r.stats.fires
         )));
     }
-    Ok(PresetRun {
+    Ok(())
+}
+
+fn summarize(
+    preset: String,
+    r: &marionette::sim::RunResult,
+    report: &marionette::compiler::CompileReport,
+) -> PresetRun {
+    PresetRun {
         preset,
         cycles: r.stats.cycles,
         fires: r.stats.fires,
@@ -243,8 +282,95 @@ pub fn run_preset(
         group_switches: r.stats.group_switches,
         routes: report.routes,
         mean_data_hops: report.mean_data_hops,
-        search: report.search,
-        disasm: want_disasm.then(|| marionette::isa::disasm::disassemble(&prog)),
+        search: report.search.clone(),
+        disasm: None,
+    }
+}
+
+/// One preset's run on a faulted fabric.
+#[derive(Clone, Debug)]
+pub struct FaultRun {
+    /// The faulted resource (fault-spec syntax, e.g. `pe:1,2`) that
+    /// wedged the fault-oblivious bitstream, when one did.
+    pub wedged: Option<String>,
+    /// Whether the measurement comes from a fault-aware remap rather
+    /// than the original mapping.
+    pub remapped: bool,
+    /// The verified measurement.
+    pub run: PresetRun,
+}
+
+/// Runs `g` on `arch` with `faults` injected, self-healing by remap when
+/// the fault-oblivious bitstream touches a dead resource:
+///
+/// 1. compile normally and simulate with the faults injected;
+/// 2. if the simulator rejects the bitstream with a typed
+///    [`marionette::sim::SimError::Fault`], re-run the compile with the
+///    faulty resources masked (forcing the annealing explorer on so
+///    operators can move off dead tiles) and simulate the remap;
+/// 3. either way, bit-verify the surviving run against the reference
+///    interpreter — the same arrays/sinks/oob/fires oracle
+///    [`run_preset`] applies.
+///
+/// A remap that still cannot fit ([`DriverError::Compile`]) is the typed
+/// "remap infeasible" outcome callers count as a degradation failure.
+///
+/// # Errors
+/// Returns the first [`DriverError`] along whichever pipeline (original
+/// or remapped) survives fault screening.
+pub fn run_preset_faulted(
+    g: &Cdfg,
+    reference: &Reference,
+    arch: &Architecture,
+    overrides: &[(String, Value)],
+    max_cycles: u64,
+    faults: &marionette::sim::FaultSet,
+) -> Result<FaultRun, DriverError> {
+    let preset = arch.short.to_string();
+    let (prog, report) = compile_for_arch(g, arch).map_err(|e| DriverError::Compile {
+        preset: preset.clone(),
+        e,
+    })?;
+    let prog = roundtrip_bitstream(&prog, &preset)?;
+    let inputs = array_inputs(g);
+    let wedged = match marionette::sim::run_with_faults(
+        &prog, &arch.tm, faults, &inputs, overrides, max_cycles,
+    ) {
+        Ok(r) => {
+            verify_vs_reference(g, reference, arch, &preset, &prog, &r)?;
+            return Ok(FaultRun {
+                wedged: None,
+                remapped: false,
+                run: summarize(preset, &r, &report),
+            });
+        }
+        Err(marionette::sim::SimError::Fault { what, .. }) => what,
+        Err(e) => return Err(DriverError::Sim { preset, e }),
+    };
+    // Self-heal: recompile with the faulty resources masked. Presets that
+    // compile one-shot get the default annealing budget — the greedy
+    // placer alone cannot rebalance around arbitrary dead tiles.
+    let mut healed = arch.clone();
+    if !healed.opts.search.is_on() {
+        healed.opts.search = marionette::compiler::SearchBudget::default_on();
+    }
+    let (prog, report) =
+        compile_for_arch_with_faults(g, &healed, faults).map_err(|e| DriverError::Compile {
+            preset: preset.clone(),
+            e,
+        })?;
+    let prog = roundtrip_bitstream(&prog, &preset)?;
+    let r =
+        marionette::sim::run_with_faults(&prog, &arch.tm, faults, &inputs, overrides, max_cycles)
+            .map_err(|e| DriverError::Sim {
+            preset: preset.clone(),
+            e,
+        })?;
+    verify_vs_reference(g, reference, arch, &preset, &prog, &r)?;
+    Ok(FaultRun {
+        wedged: Some(wedged),
+        remapped: true,
+        run: summarize(preset, &r, &report),
     })
 }
 
@@ -276,6 +402,95 @@ sink sum = sum;
                 .unwrap_or_else(|e| panic!("{}: {e}", arch.short));
             assert!(run.cycles > 0);
         }
+    }
+
+    #[test]
+    fn dead_resource_is_a_typed_fault_not_a_deadlock() {
+        let (_, g) = frontend(SRC).unwrap();
+        let arch = marionette_arch::marionette_full();
+        let (prog, _) = compile_for_arch(&g, &arch).unwrap();
+        let mut faults = marionette::sim::FaultSet::new(arch.opts.rows, arch.opts.cols);
+        faults.add("pe:0,0".parse().unwrap()).unwrap();
+        let inputs = array_inputs(&g);
+        let err = marionette::sim::run_with_faults(
+            &prog,
+            &arch.tm,
+            &faults,
+            &inputs,
+            &[],
+            DEFAULT_MAX_CYCLES,
+        )
+        .unwrap_err();
+        match err {
+            marionette::sim::SimError::Fault { what, .. } => assert_eq!(what, "pe:0,0"),
+            other => panic!("expected a typed fault, got {other}"),
+        }
+    }
+
+    #[test]
+    fn heal_loop_remaps_around_a_dead_pe() {
+        let (_, g) = frontend(SRC).unwrap();
+        let r = reference(&g, &[], INTERP_BUDGET).unwrap();
+        let arch = marionette_arch::marionette_full();
+        let mut faults = marionette::sim::FaultSet::new(arch.opts.rows, arch.opts.cols);
+        faults.add("pe:0,0".parse().unwrap()).unwrap();
+        let fr = run_preset_faulted(&g, &r, &arch, &[], DEFAULT_MAX_CYCLES, &faults).unwrap();
+        assert_eq!(fr.wedged.as_deref(), Some("pe:0,0"));
+        assert!(fr.remapped, "a dead anchor tile must force a remap");
+        assert!(fr.run.cycles > 0);
+    }
+
+    #[test]
+    fn flaky_links_stretch_cycles_but_never_values() {
+        let (_, g) = frontend(SRC).unwrap();
+        let r = reference(&g, &[], INTERP_BUDGET).unwrap();
+        let arch = marionette_arch::marionette_full();
+        let clean = run_preset(&g, &r, &arch, &[], DEFAULT_MAX_CYCLES, false).unwrap();
+        let (rows, cols) = (arch.opts.rows, arch.opts.cols);
+        let mut prev = clean.cycles;
+        let mut grew = false;
+        for mult in [2u32, 8] {
+            // Degrade every mesh link in both directions: any program
+            // with at least one cross-tile flit route must slow down.
+            let mut faults = marionette::sim::FaultSet::new(rows, cols);
+            for row in 0..rows {
+                for col in 0..cols {
+                    if col + 1 < cols {
+                        for (a, b) in [((row, col), (row, col + 1)), ((row, col + 1), (row, col))] {
+                            faults
+                                .add(marionette::sim::FaultSpec::FlakyLink {
+                                    from: a,
+                                    to: b,
+                                    mult,
+                                })
+                                .unwrap();
+                        }
+                    }
+                    if row + 1 < rows {
+                        for (a, b) in [((row, col), (row + 1, col)), ((row + 1, col), (row, col))] {
+                            faults
+                                .add(marionette::sim::FaultSpec::FlakyLink {
+                                    from: a,
+                                    to: b,
+                                    mult,
+                                })
+                                .unwrap();
+                        }
+                    }
+                }
+            }
+            // run_preset_faulted bit-verifies against the interpreter, so
+            // a value changed by a flaky link would fail here.
+            let fr = run_preset_faulted(&g, &r, &arch, &[], DEFAULT_MAX_CYCLES, &faults).unwrap();
+            assert!(!fr.remapped, "flaky links must not wedge the bitstream");
+            assert!(
+                fr.run.cycles >= prev,
+                "cycles must grow monotonically with the stall multiplier"
+            );
+            prev = fr.run.cycles;
+            grew = grew || fr.run.cycles > clean.cycles;
+        }
+        assert!(grew, "uniformly flaky mesh must cost cycles");
     }
 
     #[test]

@@ -23,10 +23,12 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod machine;
 pub mod stats;
 pub mod timing;
 
-pub use machine::{run, RunResult, SimError};
+pub use fault::{FaultSet, FaultSpec};
+pub use machine::{run, run_with_faults, RunResult, SimError};
 pub use stats::{GroupStats, RunStats, UnitStats};
 pub use timing::{CtrlTransport, TimingModel};

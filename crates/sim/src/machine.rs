@@ -35,6 +35,7 @@
 //!   O(changed units), not O(all units), and the idle fast-forward path
 //!   inspects only that list.
 
+use crate::fault::FaultSet;
 use crate::stats::{GroupStats, RunStats, UnitStats};
 use crate::timing::{CtrlTransport, TimingModel};
 use marionette_cdfg::op::{Op, SteerRole};
@@ -62,6 +63,15 @@ pub enum SimError {
     UnknownArray(String),
     /// A parameter override does not exist in the program.
     UnknownParam(String),
+    /// The bitstream touches a dead fabric resource from the injected
+    /// [`FaultSet`] — diagnosed at machine construction, before any cycle
+    /// runs, and distinguishable from a generic [`SimError::Deadlock`].
+    Fault {
+        /// The faulted resource, in fault-spec syntax (e.g. `pe:1,2`).
+        what: String,
+        /// Which part of the program touches it.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -73,6 +83,9 @@ impl fmt::Display for SimError {
             SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
             SimError::UnknownArray(a) => write!(f, "unknown workload array {a}"),
             SimError::UnknownParam(p) => write!(f, "unknown parameter {p}"),
+            SimError::Fault { what, detail } => {
+                write!(f, "faulted resource {what}: {detail}")
+            }
         }
     }
 }
@@ -246,6 +259,11 @@ struct Machine<'p> {
     blocked_on_route: Vec<Vec<u32>>,
     route_next_free: Vec<u64>,
     link_used: Vec<u64>,
+    /// Per-directed-link flaky multiplier (1 = nominal), indexed like
+    /// `link_used`; empty unless `has_flaky`.
+    flaky_mult: Vec<u64>,
+    /// Fast-path gate: the healthy flit loop never reads `flaky_mult`.
+    has_flaky: bool,
     /// In-transit flits only (spawn order); at-destination flits move to
     /// `parked` until their input queue has space.
     flits: Vec<Flit>,
@@ -308,7 +326,30 @@ pub fn run(
     params: &[(String, Value)],
     max_cycles: u64,
 ) -> Result<RunResult, SimError> {
-    let mut m = Machine::new(prog, tm)?;
+    run_with_faults(prog, tm, &FaultSet::none(), inputs, params, max_cycles)
+}
+
+/// Runs a program to quiescence on a faulted fabric.
+///
+/// A dead resource the bitstream touches (a dead tile holding a node, a
+/// dead link crossed by a flit-carrying route) surfaces as
+/// [`SimError::Fault`] naming the resource, before any cycle executes.
+/// Flaky links only stretch traversal time — the extra cycles are charged
+/// to the link-stall counters and values are never altered. An empty
+/// fault set is bit-identical to [`run`].
+///
+/// # Errors
+/// Returns [`SimError`] on a touched fault, deadlock, cycle-budget
+/// exhaustion or unknown workload names.
+pub fn run_with_faults(
+    prog: &MachineProgram,
+    tm: &TimingModel,
+    faults: &FaultSet,
+    inputs: &[(String, Vec<Value>)],
+    params: &[(String, Value)],
+    max_cycles: u64,
+) -> Result<RunResult, SimError> {
+    let mut m = Machine::new(prog, tm, faults)?;
     for (name, data) in inputs {
         let idx = prog
             .arrays
@@ -338,8 +379,28 @@ pub fn run(
     })
 }
 
+/// Dense directed-link id (`from * 4 + dir`, east/west/south/north =
+/// 0/1/2/3) — the encoding shared with `marionette_net::Mesh` and
+/// [`FaultSet::link_dead`].
+fn link_id_for(cols: usize, from: usize, to: usize) -> usize {
+    let dir = if to == from + 1 {
+        0 // east
+    } else if to + 1 == from {
+        1 // west
+    } else if to == from + cols {
+        2 // south
+    } else {
+        3 // north
+    };
+    from * 4 + dir
+}
+
 impl<'p> Machine<'p> {
-    fn new(prog: &'p MachineProgram, tm: &'p TimingModel) -> Result<Self, SimError> {
+    fn new(
+        prog: &'p MachineProgram,
+        tm: &'p TimingModel,
+        faults: &FaultSet,
+    ) -> Result<Self, SimError> {
         let npes = prog.pe_count();
         let nmem = prog
             .nodes
@@ -463,11 +524,87 @@ impl<'p> Machine<'p> {
             }
         }
 
+        let cols = prog.cols as usize;
+        if !faults.is_empty() {
+            if faults.cols() != cols || faults.rows() * faults.cols() != npes {
+                return Err(SimError::Fault {
+                    what: format!("fabric:{}x{}", faults.rows(), faults.cols()),
+                    detail: format!(
+                        "fault set geometry does not match the {}x{} program fabric",
+                        npes / cols.max(1),
+                        cols
+                    ),
+                });
+            }
+            // Dead tiles: nothing may execute on their data or control
+            // plane. The tile's mesh router survives, so pass-through
+            // flits and NetSwitch/MemUnit placements are unaffected.
+            for (i, n) in prog.nodes.iter().enumerate() {
+                let pe = match n.place {
+                    Placement::Pe { pe } | Placement::CtrlPlane { pe } => pe as usize,
+                    _ => continue,
+                };
+                if faults.pe_dead(pe) {
+                    return Err(SimError::Fault {
+                        what: format!("pe:{},{}", pe / cols, pe % cols),
+                        detail: format!("node {i} ({:?}) is placed on the dead tile", n.op),
+                    });
+                }
+            }
+            // Dead links: fault exactly the routes that would put flits
+            // on the mesh — control-network transfers and combinational
+            // loop-unit internals never touch mesh links.
+            for (ri, r) in prog.routes.iter().enumerate() {
+                if r.path.len() <= 1 {
+                    continue;
+                }
+                if r.class == RouteClass::Ctrl
+                    && matches!(tm.ctrl_transport, CtrlTransport::CtrlNetwork { .. })
+                {
+                    continue;
+                }
+                let src_bb = prog.nodes[r.src as usize].bb as usize;
+                if header_bb[src_bb]
+                    && prog.nodes[r.dst as usize].bb as usize == src_bb
+                    && !prog.nodes[r.dst as usize].op.is_memory()
+                {
+                    continue;
+                }
+                for w in r.path.windows(2) {
+                    let (from, to) = (w[0] as usize, w[1] as usize);
+                    let lid = link_id_for(cols, from, to);
+                    if faults.link_dead(lid) {
+                        return Err(SimError::Fault {
+                            what: format!(
+                                "link:{},{}-{},{}",
+                                from / cols,
+                                from % cols,
+                                to / cols,
+                                to % cols
+                            ),
+                            detail: format!(
+                                "route {ri} ({} -> {}) crosses the dead link",
+                                r.src, r.dst
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        let has_flaky = faults.has_flaky();
+        let flaky_mult: Vec<u64> = if has_flaky {
+            (0..4 * npes)
+                .map(|l| u64::from(faults.link_mult(l)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         Ok(Machine {
             prog,
             tm,
             npes,
-            cols: prog.cols as usize,
+            cols,
             node_unit,
             src_of,
             node_group,
@@ -494,6 +631,8 @@ impl<'p> Machine<'p> {
             blocked_on_route: vec![Vec::new(); prog.routes.len()],
             route_next_free: vec![0; prog.routes.len()],
             link_used: vec![u64::MAX; 4 * npes],
+            flaky_mult,
+            has_flaky,
             flits: Vec::new(),
             flit_serial: 0,
             parked: vec![Vec::new(); total],
@@ -1170,16 +1309,7 @@ impl<'p> Machine<'p> {
     }
 
     fn link_id(&self, from: usize, to: usize) -> usize {
-        let dir = if to == from + 1 {
-            0 // east
-        } else if to + 1 == from {
-            1 // west
-        } else if to == from + self.cols {
-            2 // south
-        } else {
-            3 // north
-        };
-        from * 4 + dir
+        link_id_for(self.cols, from, to)
     }
 
     /// Attempts delivery of parked (at-destination) flits. Per queue the
@@ -1282,16 +1412,42 @@ impl<'p> Machine<'p> {
             let route = self.flits[fi].route as usize;
             let hop = self.flits[fi].hop;
             let r = &self.prog.routes[route];
+            if hop + 1 >= r.path.len() {
+                // The final hop finished a stretched (flaky-link)
+                // traversal: deliver now that `ready_at` has arrived.
+                self.park_flit(fi);
+                any_parked = true;
+                self.progressed = true;
+                continue;
+            }
             let from = r.path[hop] as usize;
             let to = r.path[hop + 1] as usize;
             let lid = self.link_id(from, to);
             if self.link_used[lid] != self.cycle {
                 self.link_used[lid] = self.cycle;
                 self.flits[fi].hop += 1;
-                self.flits[fi].ready_at = self.cycle + u64::from(self.tm.link_latency);
+                let base = u64::from(self.tm.link_latency);
+                let mut lat = base;
+                if self.has_flaky {
+                    let mult = self.flaky_mult[lid];
+                    if mult > 1 {
+                        // A flaky link only stretches time: the extra
+                        // traversal cycles are charged as link stalls
+                        // (mirrored by the compiler's cost penalty) and
+                        // the value is untouched.
+                        let extra = base.max(1) * (mult - 1);
+                        self.stats.link_stall_cycles += extra;
+                        self.stats.link_stall_by_route[route] += extra;
+                        lat += extra;
+                    }
+                }
+                self.flits[fi].ready_at = self.cycle + lat;
                 self.stats.mesh_hops += 1;
                 self.progressed = true;
-                if self.flits[fi].hop + 1 >= r.path.len() {
+                if self.flits[fi].hop + 1 >= r.path.len() && lat == base {
+                    // Nominal links deliver at grant time (the healthy
+                    // fast path); a stretched final hop stays in flight
+                    // until `ready_at` and is delivered above.
                     self.park_flit(fi);
                     any_parked = true;
                 }
