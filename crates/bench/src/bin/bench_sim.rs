@@ -30,7 +30,16 @@
 //!   `--fault-seed S` to vary it)  inject faults into every simulation;
 //!   wedged bitstreams are re-mapped around the damage and bit-verified.
 //!   Fault runs imply `--no-search` and refuse `--check` (a damaged
-//!   fabric is not comparable to the healthy baseline).
+//!   fabric is not comparable to the healthy baseline);
+//! - `--engine wheel|heap`  pin the simulator's event-queue core. The
+//!   default (and what every committed snapshot records and gates
+//!   against) is the event wheel; `--engine heap` measures the reference
+//!   core. The gate refuses to compare snapshots from different engines;
+//! - `--lanes N`  run each point as N batched lanes (seeds S..S+N) of
+//!   one compiled bitstream (`runner::run_kernel_lanes`), recording lane
+//!   0's cycles and the whole batch's wall time — the amortized-sweep
+//!   mode. Implies `--no-search` and refuses `--check` (an N-lane wall
+//!   is not comparable to the single-lane baseline).
 //!
 //! Unless `--no-search` is given, every point is additionally compiled
 //! with the annealing mapping explorer (`SearchBudget::default_on()`)
@@ -42,8 +51,11 @@ use marionette::arch::FabricDims;
 use marionette::compiler::SearchBudget;
 use marionette::kernels::traits::Scale;
 use marionette::parallel::{par_map, sweep_threads};
-use marionette::runner::{run_kernel, run_kernel_faulted, DEFAULT_MAX_CYCLES};
-use marionette::sim::FaultSet;
+use marionette::runner::{
+    run_kernel, run_kernel_faulted, run_kernel_lanes_with_engine, run_kernel_with_engine,
+    DEFAULT_MAX_CYCLES,
+};
+use marionette::sim::{EngineKind, FaultSet};
 use marionette_bench::snapshot;
 use std::time::Instant;
 
@@ -93,6 +105,8 @@ fn sweep(
     search: bool,
     fabric: FabricDims,
     faults: &FaultSet,
+    engine: EngineKind,
+    lanes: usize,
 ) -> Result<(Vec<Measured>, usize, f64), String> {
     let pts = points(fabric);
     let t0 = Instant::now();
@@ -105,9 +119,43 @@ fn sweep(
         let t = Instant::now();
         // The empty fault set keeps the legacy path (bit-identical
         // anyway, but the throughput metric stays honest).
-        let (r, remapped) = if faults.is_empty() {
-            let r = run_kernel(k.as_ref(), &p.arch, scale, SEED, DEFAULT_MAX_CYCLES)
-                .map_err(|e| format!("{} on {}: {e}", p.kernel, p.arch.short))?;
+        let (r, remapped) = if faults.is_empty() && lanes > 1 {
+            // Amortized mode: one compile, N verified lanes; the point
+            // records lane 0 (seed SEED, same numbers as a 1-lane run)
+            // and the batch wall time. Every lane replays the same seed:
+            // kernels that bake workload values into immediates (e.g.
+            // Conv-1d) are not batchable across seeds, and identical
+            // lanes still pin machine-reset isolation — any cross-lane
+            // state leak shows up as a lane-i verification mismatch.
+            let seeds: Vec<u64> = vec![SEED; lanes];
+            let runs = run_kernel_lanes_with_engine(
+                k.as_ref(),
+                &p.arch,
+                scale,
+                &seeds,
+                DEFAULT_MAX_CYCLES,
+                engine,
+            )
+            .map_err(|e| format!("{} on {}: {e}", p.kernel, p.arch.short))?;
+            let mut first = None;
+            for (li, r) in runs.into_iter().enumerate() {
+                let r =
+                    r.map_err(|e| format!("{} on {} lane {li}: {e}", p.kernel, p.arch.short))?;
+                if li == 0 {
+                    first = Some(r);
+                }
+            }
+            (first.expect("lanes >= 1"), false)
+        } else if faults.is_empty() {
+            let r = run_kernel_with_engine(
+                k.as_ref(),
+                &p.arch,
+                scale,
+                SEED,
+                DEFAULT_MAX_CYCLES,
+                engine,
+            )
+            .map_err(|e| format!("{} on {}: {e}", p.kernel, p.arch.short))?;
             (r, false)
         } else {
             match run_kernel_faulted(k.as_ref(), &p.arch, scale, SEED, DEFAULT_MAX_CYCLES, faults) {
@@ -187,6 +235,8 @@ struct Flags {
     fault_specs: Vec<String>,
     faults: usize,
     fault_seed: u64,
+    engine: EngineKind,
+    lanes: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -203,6 +253,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         fault_specs: Vec::new(),
         faults: 0,
         fault_seed: 1,
+        engine: EngineKind::default(),
+        lanes: 1,
     };
     // Single pass: a value consumed by a flag can never double as a flag.
     let mut i = 1;
@@ -250,11 +302,23 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|_| format!("--fault-seed must be numeric, got `{v}`"))?;
             }
+            "--engine" => {
+                let v = value(args, &mut i, "--engine")?;
+                flags.engine = v.parse().map_err(|e| format!("--engine: {e}"))?;
+            }
+            "--lanes" => {
+                let v = value(args, &mut i, "--lanes")?;
+                flags.lanes = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(format!("--lanes needs a count >= 1, got `{v}`")),
+                };
+            }
             other => {
                 return Err(format!(
                     "unknown argument `{other}` (flags: --paper --serial --compare \
                      --no-search --fabric RxC --out PATH --check BASELINE --replay FRESH \
-                     --wall-tolerance PCT --fault SPEC --faults N --fault-seed S)"
+                     --wall-tolerance PCT --fault SPEC --faults N --fault-seed S \
+                     --engine wheel|heap --lanes N)"
                 ))
             }
         }
@@ -278,8 +342,31 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 "--check compares against a healthy baseline; drop the fault flags".to_string(),
             );
         }
+        if flags.engine != EngineKind::default() {
+            // The self-healing fault path runs the production engine;
+            // cross-engine fault equivalence is pinned by the test suite
+            // (`engine_equivalence.rs`), not this harness.
+            return Err(
+                "--engine combines with healthy sweeps only; drop the fault flags".to_string(),
+            );
+        }
+        if flags.lanes > 1 {
+            return Err(
+                "--lanes combines with healthy sweeps only; drop the fault flags".to_string(),
+            );
+        }
         // The search delta sweep measures healthy mappings; on a damaged
         // fabric only the (self-healing) greedy sweep is meaningful.
+        flags.search = false;
+    }
+    if flags.lanes > 1 {
+        if flags.check.is_some() {
+            return Err(
+                "--check compares single-lane wall times; drop --lanes for gate runs".to_string(),
+            );
+        }
+        // Lane batching amortizes the greedy sweep; the search delta
+        // re-compiles per point and would dominate the measurement.
         flags.search = false;
     }
     if let Some(base) = &flags.check {
@@ -306,6 +393,7 @@ struct Snapshot {
     wall_ms: f64,
     scale: String,
     fabric: String,
+    engine: String,
 }
 
 /// Loads a `bench_sim` snapshot file up front — before anything is
@@ -325,6 +413,11 @@ fn load_snapshot(path: &str) -> Result<Snapshot, String> {
         scale: meta("scale", "small"),
         // Snapshots written before the fabric axis existed are 4×4.
         fabric: meta("fabric", "4x4"),
+        // Snapshots written before the engine selector existed were
+        // measured on the pre-wheel heap core — but their cycle counts
+        // are engine-independent, and the wheel has been the default
+        // since it landed, so missing means "wheel" for gate purposes.
+        engine: meta("engine", "wheel"),
     })
 }
 
@@ -332,6 +425,7 @@ fn load_snapshot(path: &str) -> Result<Snapshot, String> {
 /// pre-loaded baseline snapshot. Refuses incomparable runs (different
 /// scale or fabric) with a single clear error instead of 126 bogus
 /// per-point violations.
+#[allow(clippy::too_many_arguments)]
 fn run_gate(
     baseline_path: &str,
     base: &Snapshot,
@@ -339,12 +433,19 @@ fn run_gate(
     fresh_wall_ms: f64,
     fresh_scale: &str,
     fresh_fabric: &str,
+    fresh_engine: &str,
     wall_tolerance: f64,
 ) -> Result<(), String> {
     if (base.scale.as_str(), base.fabric.as_str()) != (fresh_scale, fresh_fabric) {
         return Err(format!(
             "baseline {baseline_path} is scale={} fabric={}, this run is scale={fresh_scale} fabric={fresh_fabric} — not comparable",
             base.scale, base.fabric
+        ));
+    }
+    if base.engine != fresh_engine {
+        return Err(format!(
+            "baseline {baseline_path} was measured on the {} engine, this run on {fresh_engine} — wall times are not comparable",
+            base.engine
         ));
     }
     let violations = snapshot::check_against_baseline(
@@ -386,6 +487,8 @@ fn run(flags: Flags) -> Result<(), String> {
         fault_specs,
         faults,
         fault_seed,
+        engine,
+        lanes,
     } = flags;
     let faults = FaultSet::from_cli(fabric.rows, fabric.cols, &fault_specs, faults, fault_seed)
         .expect("validated by parse_flags");
@@ -409,6 +512,7 @@ fn run(flags: Flags) -> Result<(), String> {
             fresh.wall_ms,
             &fresh.scale,
             &fresh.fabric,
+            &fresh.engine,
             wall_tolerance,
         );
     }
@@ -427,20 +531,26 @@ fn run(flags: Flags) -> Result<(), String> {
                 base.scale, base.fabric
             ));
         }
+        if base.engine != engine.to_string() {
+            return Err(format!(
+                "baseline {path} was measured on the {} engine, this run on {engine} — wall times are not comparable",
+                base.engine
+            ));
+        }
     }
 
     let threads = sweep_threads();
 
     let mut serial_wall: Option<f64> = None;
     let (points, infeasible, wall_ms, mode, used_threads) = if serial_only {
-        let (p, inf, w) = sweep(scale, 1, search, fabric, &faults)?;
+        let (p, inf, w) = sweep(scale, 1, search, fabric, &faults, engine, lanes)?;
         (p, inf, w, "serial", 1)
     } else {
         if compare {
-            let (_, _, w) = sweep(scale, 1, search, fabric, &faults)?;
+            let (_, _, w) = sweep(scale, 1, search, fabric, &faults, engine, lanes)?;
             serial_wall = Some(w);
         }
-        let (p, inf, w) = sweep(scale, threads, search, fabric, &faults)?;
+        let (p, inf, w) = sweep(scale, threads, search, fabric, &faults, engine, lanes)?;
         (p, inf, w, "parallel", threads)
     };
 
@@ -450,6 +560,10 @@ fn run(flags: Flags) -> Result<(), String> {
     j.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
     j.push_str(&format!("  \"seed\": {SEED},\n"));
     j.push_str(&format!("  \"fabric\": \"{fabric}\",\n"));
+    j.push_str(&format!("  \"engine\": \"{engine}\",\n"));
+    if lanes > 1 {
+        j.push_str(&format!("  \"lanes\": {lanes},\n"));
+    }
     if !faults.is_empty() {
         j.push_str(&format!(
             "  \"faults\": [{}],\n",
@@ -558,6 +672,7 @@ fn run(flags: Flags) -> Result<(), String> {
             fresh_wall,
             scale_name,
             &fabric.to_string(),
+            &engine.to_string(),
             wall_tolerance,
         )?;
     }

@@ -16,7 +16,13 @@
 //!             [--fault-counts 0,1,2,4] [--fault-seeds N]
 //!             [--fault SPEC]... [--max-cycles N]
 //!             [--out BENCH_fault.json] [--check BENCH_sim.json]
+//!             [--engine wheel|heap]
 //! ```
+//!
+//! `--engine wheel|heap` pins the simulator's event-queue core for every
+//! point (default wheel); fault delivery is engine-independent, so the
+//! degradation curves and the 0-fault identity gate must come out the
+//! same either way.
 //!
 //! `--fault SPEC` pins explicit faults (`pe:R,C`, `link:R,C-R,C`,
 //! `flaky:R,C-R,C@MULT`) under every point on top of the seeded-random
@@ -37,8 +43,8 @@ use marionette::experiments::geomean;
 use marionette::kernels::traits::Scale;
 use marionette::parallel::{par_map, sweep_threads};
 use marionette::report::json_escape;
-use marionette::runner::{run_kernel_faulted, RunnerError, DEFAULT_MAX_CYCLES};
-use marionette::sim::FaultSet;
+use marionette::runner::{run_kernel_faulted_with_engine, RunnerError, DEFAULT_MAX_CYCLES};
+use marionette::sim::{EngineKind, FaultSet};
 use marionette_bench::snapshot;
 use std::time::Instant;
 
@@ -55,13 +61,14 @@ struct Args {
     max_cycles: u64,
     out: String,
     check: Option<String>,
+    engine: EngineKind,
 }
 
 fn usage() -> String {
     "usage: fault_sweep [--presets vN,DF,M-PE,M-CN,M] [--kernels A,B] \
      [--scale tiny|small|paper] [--fabric RxC] [--fault-counts 0,1,2,4] \
      [--fault-seeds N] [--fault SPEC]... [--max-cycles N] [--out PATH] \
-     [--check BENCH_sim.json]"
+     [--check BENCH_sim.json] [--engine wheel|heap]"
         .to_string()
 }
 
@@ -76,6 +83,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--max-cycles",
     "--out",
     "--check",
+    "--engine",
 ];
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -162,6 +170,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         },
         out: get("--out")?.unwrap_or_else(|| "BENCH_fault.json".to_string()),
         check: get("--check")?,
+        engine: match get("--engine")? {
+            None => EngineKind::default(),
+            Some(v) => v.parse().map_err(|e| format!("--engine: {e}"))?,
+        },
     })
 }
 
@@ -273,13 +285,14 @@ fn run(args: &Args, tags: Vec<String>, archs: Vec<Architecture>) -> Result<(), S
                 .map(|s| s.to_string())
                 .collect::<Vec<_>>()
                 .join("+");
-            match run_kernel_faulted(
+            match run_kernel_faulted_with_engine(
                 k.as_ref(),
                 &arch,
                 args.scale,
                 SEED,
                 args.max_cycles,
                 &faults,
+                args.engine,
             ) {
                 Ok(fr) => Ok(Measured {
                     kernel: tag,
@@ -400,6 +413,7 @@ fn run(args: &Args, tags: Vec<String>, archs: Vec<Architecture>) -> Result<(), S
     ));
     j.push_str(&format!("  \"seed\": {SEED},\n"));
     j.push_str(&format!("  \"fabric\": \"{}\",\n", args.fabric));
+    j.push_str(&format!("  \"engine\": \"{}\",\n", args.engine));
     j.push_str(&format!(
         "  \"presets\": [{}],\n",
         preset_order

@@ -12,7 +12,7 @@
 //!               [--search MOVES[,RESTARTS]]
 //!               [--param NAME=VALUE]... [--max-cycles N]
 //!               [--fault SPEC]... [--faults N] [--fault-seed S]
-//!               [--disasm] [--json PATH]
+//!               [--engine wheel|heap] [--disasm] [--json PATH]
 //! ```
 //!
 //! `--fault SPEC` (repeatable: `pe:R,C`, `link:R,C-R,C`,
@@ -21,6 +21,10 @@
 //! bitstream wedged on a dead resource is re-mapped around the damage
 //! and the remap is bit-verified like any other run.
 //!
+//! `--engine` selects the simulator's event-scheduling core (the
+//! calendar-wheel default or the reference binary heap); both produce
+//! bit-identical results, so the flag exists to cross-check them.
+//!
 //! Parse and semantic errors are rendered with their source line and a
 //! caret. Exit codes: `0` verified on every preset, `1` any pipeline or
 //! verification failure, `2` usage errors.
@@ -28,9 +32,9 @@
 use marionette::arch::{Architecture, FabricDims};
 use marionette::cdfg::value::Value;
 use marionette::compiler::SearchBudget;
-use marionette::sim::FaultSet;
+use marionette::sim::{EngineKind, FaultSet};
 use marionette_lang::driver::{
-    frontend, reference, run_preset, run_preset_faulted, DriverError, PresetRun,
+    frontend, reference, run_preset_engine, run_preset_faulted_engine, DriverError, PresetRun,
     DEFAULT_MAX_CYCLES, INTERP_BUDGET,
 };
 
@@ -44,6 +48,7 @@ struct Args {
     fault_specs: Vec<String>,
     faults: usize,
     fault_seed: u64,
+    engine: EngineKind,
     disasm: bool,
     json: Option<String>,
 }
@@ -52,7 +57,8 @@ fn usage() -> String {
     "usage: marc FILE.mar [--presets M,vN,...] [--fabric RxC] \
      [--search MOVES[,RESTARTS]] \
      [--param NAME=VALUE]... [--max-cycles N] \
-     [--fault SPEC]... [--faults N] [--fault-seed S] [--disasm] [--json PATH]"
+     [--fault SPEC]... [--faults N] [--fault-seed S] \
+     [--engine wheel|heap] [--disasm] [--json PATH]"
         .to_string()
 }
 
@@ -67,6 +73,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         fault_specs: Vec::new(),
         faults: 0,
         fault_seed: 1,
+        engine: EngineKind::default(),
         disasm: false,
         json: None,
     };
@@ -129,6 +136,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.fault_seed = v
                     .parse()
                     .map_err(|_| format!("--fault-seed must be numeric, got `{v}`"))?;
+            }
+            "--engine" => {
+                let v = value_of("--engine", &mut i)?;
+                args.engine = v.parse().map_err(|e| format!("--engine: {e}"))?;
             }
             "--disasm" => args.disasm = true,
             "--json" => args.json = Some(value_of("--json", &mut i)?),
@@ -371,12 +382,28 @@ fn run() -> Result<(), i32> {
             1
         };
         let (run, note) = if faults.is_empty() {
-            let run = run_preset(&g, &r, &arch, &overrides, args.max_cycles, args.disasm)
-                .map_err(fail1)?;
+            let run = run_preset_engine(
+                &g,
+                &r,
+                &arch,
+                &overrides,
+                args.max_cycles,
+                args.disasm,
+                args.engine,
+            )
+            .map_err(fail1)?;
             (run, String::new())
         } else {
-            let fr = run_preset_faulted(&g, &r, &arch, &overrides, args.max_cycles, &faults)
-                .map_err(fail1)?;
+            let fr = run_preset_faulted_engine(
+                &g,
+                &r,
+                &arch,
+                &overrides,
+                args.max_cycles,
+                &faults,
+                args.engine,
+            )
+            .map_err(fail1)?;
             let note = match &fr.wedged {
                 Some(w) => format!("  (wedged by {w}, remapped)"),
                 None => String::new(),

@@ -17,7 +17,10 @@ use marionette_compiler::{
 use marionette_isa::MachineProgram;
 use marionette_kernels::traits::{Golden, Kernel, KernelError, Scale};
 use marionette_kernels::verify::check_vs_golden;
-use marionette_sim::{run, run_with_faults, FaultSet, RunResult, RunStats, SimError};
+use marionette_sim::{
+    run_full, run_lanes_full, run_with_engine, EngineKind, FaultSet, LaneSpec, RunResult, RunStats,
+    SimError,
+};
 use std::fmt;
 
 /// Default cycle budget per run.
@@ -59,6 +62,15 @@ pub enum RunnerError {
         /// Mismatch count (capped).
         count: usize,
     },
+    /// A lane's workload compiles to a different program than lane 0's,
+    /// so the lanes cannot share one configuration bitstream (the kernel
+    /// bakes workload-dependent constants into the fabric).
+    NotBatchable {
+        /// Which kernel/architecture refused batching.
+        what: String,
+        /// First lane whose program diverged from lane 0's.
+        lane: usize,
+    },
 }
 
 impl fmt::Display for RunnerError {
@@ -69,6 +81,13 @@ impl fmt::Display for RunnerError {
             RunnerError::Sim(e) => write!(f, "simulate: {e}"),
             RunnerError::Verification { what, first, count } => {
                 write!(f, "{what}: {count} mismatches, first: {first}")
+            }
+            RunnerError::NotBatchable { what, lane } => {
+                write!(
+                    f,
+                    "{what}: lane {lane} compiles to a different program than \
+                     lane 0 (workload-dependent constants); not lane-batchable"
+                )
             }
         }
     }
@@ -155,6 +174,26 @@ pub fn run_kernel(
     seed: u64,
     max_cycles: u64,
 ) -> Result<KernelRun, RunnerError> {
+    run_kernel_with_engine(kernel, arch, scale, seed, max_cycles, EngineKind::default())
+}
+
+/// [`run_kernel`] with an explicit simulator [`EngineKind`]. Both
+/// engines are bit-identical (pinned by
+/// `crates/core/tests/engine_equivalence.rs`); the selector exists so
+/// differential harnesses and the `--engine` CLI axes can pin either
+/// core explicitly.
+///
+/// # Errors
+/// Returns [`RunnerError`] on compile/simulation failure or output
+/// mismatch.
+pub fn run_kernel_with_engine(
+    kernel: &dyn Kernel,
+    arch: &Architecture,
+    scale: Scale,
+    seed: u64,
+    max_cycles: u64,
+    engine: EngineKind,
+) -> Result<KernelRun, RunnerError> {
     let wl = kernel.workload(scale, seed);
     let golden = kernel.golden(&wl)?;
     let g = kernel.build(&wl)?;
@@ -168,7 +207,7 @@ pub fn run_kernel(
         .iter()
         .map(|a| (a.name.clone(), a.init.clone()))
         .collect();
-    let r = run(&prog, &arch.tm, &inputs, &[], max_cycles)?;
+    let r = run_with_engine(&prog, &arch.tm, engine, &inputs, &[], max_cycles)?;
     verify_golden(kernel, arch, &g, &golden, &r)?;
     Ok(KernelRun {
         arch: arch.short.to_string(),
@@ -178,6 +217,117 @@ pub fn run_kernel(
         report,
         verified: true,
     })
+}
+
+/// Compiles `kernel` **once** and simulates one lane per seed in a
+/// single batched pass ([`marionette_sim::run_lanes`]): the machine
+/// skeleton and the mapping are shared, only each lane's workload
+/// (arrays seeded per lane) differs. Every lane is verified against its
+/// own golden reference, so the result vector is bit-identical to
+/// calling [`run_kernel`] once per seed — the per-seed graphs of every
+/// shipped kernel differ only in array contents at a fixed scale, which
+/// is exactly what a lane carries. A lane that deadlocks or exhausts the
+/// budget reports its own `Err` without poisoning its neighbours.
+///
+/// # Errors
+/// The outer `Err` covers the shared stages (workload/golden
+/// construction, the one compile, the bitstream round-trip); per-lane
+/// simulation/verification failures come back in the inner results.
+pub fn run_kernel_lanes(
+    kernel: &dyn Kernel,
+    arch: &Architecture,
+    scale: Scale,
+    seeds: &[u64],
+    max_cycles: u64,
+) -> Result<Vec<Result<KernelRun, RunnerError>>, RunnerError> {
+    run_kernel_lanes_with_engine(
+        kernel,
+        arch,
+        scale,
+        seeds,
+        max_cycles,
+        EngineKind::default(),
+    )
+}
+
+/// [`run_kernel_lanes`] with an explicit simulator [`EngineKind`].
+///
+/// # Errors
+/// As [`run_kernel_lanes`]: outer `Err` for the shared stages, inner
+/// per-lane errors otherwise.
+pub fn run_kernel_lanes_with_engine(
+    kernel: &dyn Kernel,
+    arch: &Architecture,
+    scale: Scale,
+    seeds: &[u64],
+    max_cycles: u64,
+    engine: EngineKind,
+) -> Result<Vec<Result<KernelRun, RunnerError>>, RunnerError> {
+    if seeds.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut per_seed = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let wl = kernel.workload(scale, seed);
+        let golden = kernel.golden(&wl)?;
+        let g = kernel.build(&wl)?;
+        per_seed.push((g, golden));
+    }
+    let (prog, report) = compile_for_arch(&per_seed[0].0, arch)?;
+    let bytes = marionette_isa::bitstream::encode(&prog);
+    // All lanes execute lane 0's bitstream, so every other lane's graph
+    // must compile to the very same bytes. Kernels that unroll workload
+    // values into immediates (e.g. Conv-1d's filter taps) fail this for
+    // differing seeds and are rejected up front rather than silently
+    // running lane 0's constants against lane i's golden.
+    for (lane, (g, _)) in per_seed.iter().enumerate().skip(1) {
+        if seeds[lane] == seeds[0] {
+            continue; // identical workload, identical program
+        }
+        let (pi, _) = compile_for_arch(g, arch)?;
+        if marionette_isa::bitstream::encode(&pi) != bytes {
+            return Err(RunnerError::NotBatchable {
+                what: format!("{} on {}", kernel.name(), arch.name),
+                lane,
+            });
+        }
+    }
+    let prog = marionette_isa::bitstream::decode(&bytes).expect("bitstream roundtrip");
+    let lanes: Vec<LaneSpec> = per_seed
+        .iter()
+        .map(|(g, _)| LaneSpec {
+            inputs: g
+                .arrays
+                .iter()
+                .map(|a| (a.name.clone(), a.init.clone()))
+                .collect(),
+            params: Vec::new(),
+        })
+        .collect();
+    let results = run_lanes_full(
+        &prog,
+        &arch.tm,
+        &FaultSet::none(),
+        engine,
+        &lanes,
+        max_cycles,
+    )?;
+    Ok(results
+        .into_iter()
+        .zip(&per_seed)
+        .map(|(r, (g, golden))| {
+            let r = r?;
+            verify_golden(kernel, arch, g, golden, &r)?;
+            Ok(KernelRun {
+                arch: arch.short.to_string(),
+                kernel: kernel.short().to_string(),
+                cycles: r.stats.cycles,
+                stats: r.stats,
+                report: report.clone(),
+                verified: true,
+            })
+        })
+        .collect())
 }
 
 /// Bit-compares one run against the kernel's golden reference (arrays,
@@ -248,6 +398,33 @@ pub fn run_kernel_faulted(
     max_cycles: u64,
     faults: &FaultSet,
 ) -> Result<FaultKernelRun, RunnerError> {
+    run_kernel_faulted_with_engine(
+        kernel,
+        arch,
+        scale,
+        seed,
+        max_cycles,
+        faults,
+        EngineKind::default(),
+    )
+}
+
+/// [`run_kernel_faulted`] with an explicit simulator [`EngineKind`] —
+/// fault delivery (dead-resource screening, flaky-link stretches, the
+/// self-healing remap) is engine-independent, and this selector lets the
+/// fault harnesses pin either core.
+///
+/// # Errors
+/// As [`run_kernel_faulted`].
+pub fn run_kernel_faulted_with_engine(
+    kernel: &dyn Kernel,
+    arch: &Architecture,
+    scale: Scale,
+    seed: u64,
+    max_cycles: u64,
+    faults: &FaultSet,
+    engine: EngineKind,
+) -> Result<FaultKernelRun, RunnerError> {
     let wl = kernel.workload(scale, seed);
     let golden = kernel.golden(&wl)?;
     let g = kernel.build(&wl)?;
@@ -259,7 +436,7 @@ pub fn run_kernel_faulted(
         .iter()
         .map(|a| (a.name.clone(), a.init.clone()))
         .collect();
-    let wedged = match run_with_faults(&prog, &arch.tm, faults, &inputs, &[], max_cycles) {
+    let wedged = match run_full(&prog, &arch.tm, faults, engine, &inputs, &[], max_cycles) {
         Ok(r) => {
             verify_golden(kernel, arch, &g, &golden, &r)?;
             return Ok(FaultKernelRun {
@@ -288,7 +465,7 @@ pub fn run_kernel_faulted(
     let (prog, report) = compile_for_arch_with_faults(&g, &healed, faults)?;
     let bytes = marionette_isa::bitstream::encode(&prog);
     let prog = marionette_isa::bitstream::decode(&bytes).expect("bitstream roundtrip");
-    let r = run_with_faults(&prog, &arch.tm, faults, &inputs, &[], max_cycles)?;
+    let r = run_full(&prog, &arch.tm, faults, engine, &inputs, &[], max_cycles)?;
     verify_golden(kernel, arch, &g, &golden, &r)?;
     Ok(FaultKernelRun {
         wedged: Some(wedged),

@@ -7,8 +7,17 @@
 //!            [--max-stmts K] [--shrink] [--corpus-dir DIR]
 //!            [--json PATH] [--max-cycles C] [--no-fires] [--serial]
 //!            [--search MOVES[,RESTARTS]] [--source] [--fabric RxC]
-//!            [--faults N] [--fault SPEC]...
+//!            [--faults N] [--fault SPEC]... [--engine wheel|heap]
+//!            [--lanes N]
 //! ```
+//!
+//! `--engine wheel|heap` pins the simulator's event-queue core (default
+//! wheel, the production engine); fuzzing under `--engine heap` is the
+//! cross-engine differential axis. `--lanes N` runs every program as N
+//! batched lanes of one machine ([`marionette::sim::run_lanes`]) and
+//! requires each lane to match the reference interpreter bit for bit —
+//! the axis that fuzzes machine reuse/reset across lanes. Both combine
+//! with neither `--source` nor fault injection.
 //!
 //! `--faults N` injects N seeded-random faults (dead PEs, dead links,
 //! flaky links — a fresh set per program seed) into every simulation and
@@ -44,9 +53,10 @@
 
 use marionette::arch::FabricDims;
 use marionette::parallel::{par_map, sweep_threads};
-use marionette::sim::FaultSet;
+use marionette::sim::{EngineKind, FaultSet};
 use marionette_fuzzgen::diff::{
-    all_presets_on, diff_program, diff_program_faulted, DEFAULT_MAX_CYCLES,
+    all_presets_on, diff_program_engine, diff_program_faulted_engine, diff_program_lanes,
+    DEFAULT_MAX_CYCLES,
 };
 use marionette_fuzzgen::gen::{generate, GenConfig};
 use marionette_fuzzgen::shrink::shrink;
@@ -71,6 +81,8 @@ struct Args {
     fabric: FabricDims,
     faults: usize,
     fault_specs: Vec<String>,
+    engine: EngineKind,
+    lanes: usize,
 }
 
 fn parse_args() -> Args {
@@ -153,6 +165,23 @@ fn parse_args() -> Args {
             }),
         },
         fault_specs,
+        engine: match get("--engine") {
+            None => EngineKind::default(),
+            Some(v) => v.parse().unwrap_or_else(|e| {
+                eprintln!("fuzz_stack: --engine: {e}");
+                std::process::exit(2);
+            }),
+        },
+        lanes: match get("--lanes") {
+            None => 1,
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("fuzz_stack: --lanes needs a count >= 1, got `{v}`");
+                    std::process::exit(2);
+                }
+            },
+        },
     }
 }
 
@@ -206,6 +235,14 @@ fn main() {
         eprintln!("fuzz_stack: --source and fault injection cannot be combined");
         std::process::exit(2);
     }
+    if args.lanes > 1 && (args.source || have_faults) {
+        eprintln!("fuzz_stack: --lanes combines with neither --source nor fault injection");
+        std::process::exit(2);
+    }
+    if args.source && args.engine != EngineKind::default() {
+        eprintln!("fuzz_stack: --source runs on the default engine only");
+        std::process::exit(2);
+    }
     let cfg = GenConfig {
         max_depth: args.depth,
         max_stmts: args.max_stmts,
@@ -228,11 +265,27 @@ fn main() {
         let result = if have_faults {
             let mut faults = base_faults_ref.clone();
             faults.add_random(args.faults, seed);
-            diff_program_faulted(&p, &presets, args.max_cycles, args.check_fires, &faults)
+            diff_program_faulted_engine(
+                &p,
+                &presets,
+                args.max_cycles,
+                args.check_fires,
+                &faults,
+                args.engine,
+            )
         } else if args.source {
             diff_both(&p, &presets, args.max_cycles, args.check_fires)
+        } else if args.lanes > 1 {
+            diff_program_lanes(
+                &p,
+                &presets,
+                args.max_cycles,
+                args.check_fires,
+                args.engine,
+                args.lanes,
+            )
         } else {
-            diff_program(&p, &presets, args.max_cycles, args.check_fires)
+            diff_program_engine(&p, &presets, args.max_cycles, args.check_fires, args.engine)
         };
         match result {
             Ok(s) => SeedOutcome {
@@ -276,18 +329,30 @@ fn main() {
             seed_faults.add_random(args.faults, f.seed);
             let still_fails = |q: &marionette_fuzzgen::Program| {
                 if have_faults {
-                    diff_program_faulted(
+                    diff_program_faulted_engine(
                         q,
                         &presets,
                         args.max_cycles,
                         args.check_fires,
                         &seed_faults,
+                        args.engine,
                     )
                     .err()
                 } else if args.source {
                     diff_both(q, &presets, args.max_cycles, args.check_fires).err()
+                } else if args.lanes > 1 {
+                    diff_program_lanes(
+                        q,
+                        &presets,
+                        args.max_cycles,
+                        args.check_fires,
+                        args.engine,
+                        args.lanes,
+                    )
+                    .err()
                 } else {
-                    diff_program(q, &presets, args.max_cycles, args.check_fires).err()
+                    diff_program_engine(q, &presets, args.max_cycles, args.check_fires, args.engine)
+                        .err()
                 }
             };
             let full = generate(f.seed, &cfg);
@@ -338,6 +403,8 @@ fn main() {
             None => j.push_str("  \"search\": null,\n"),
         }
         j.push_str(&format!("  \"source_axis\": {},\n", args.source));
+        j.push_str(&format!("  \"engine\": \"{}\",\n", args.engine));
+        j.push_str(&format!("  \"lanes\": {},\n", args.lanes));
         j.push_str(&format!("  \"faults\": {},\n", args.faults));
         j.push_str(&format!(
             "  \"pinned_faults\": [{}],\n",
@@ -390,11 +457,18 @@ fn main() {
     } else {
         String::new()
     };
+    let lane_note = if args.lanes > 1 {
+        format!(" x {} lanes", args.lanes)
+    } else {
+        String::new()
+    };
     println!(
-        "fuzz_stack: {} programs x {} presets on {} = {} points, {} sim cycles, ~{:.0} nodes/program, {} divergences{}, {:.1} ms ({} threads)",
+        "fuzz_stack: {} programs x {} presets on {} ({} engine{}) = {} points, {} sim cycles, ~{:.0} nodes/program, {} divergences{}, {:.1} ms ({} threads)",
         outcomes.len(),
         presets.len(),
         args.fabric,
+        args.engine,
+        lane_note,
         total_points,
         total_cycles,
         mean_nodes,

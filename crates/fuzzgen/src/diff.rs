@@ -5,6 +5,7 @@
 
 use crate::ast::Program;
 use crate::emit::emit;
+use marionette::sim::{run_lanes_full, EngineKind, FaultSet, LaneSpec};
 use marionette_arch::Architecture;
 use marionette_cdfg::interp::{interpret_with_budget, ExecMode, InterpResult};
 use marionette_cdfg::value::Value;
@@ -139,13 +140,119 @@ pub fn diff_program(
     max_cycles: u64,
     check_fires: bool,
 ) -> Result<DiffStats, Divergence> {
+    diff_program_engine(p, presets, max_cycles, check_fires, EngineKind::default())
+}
+
+/// [`diff_program`] with an explicit simulator [`EngineKind`] — the
+/// `fuzz_stack --engine` axis. Both engines must match the interpreter
+/// (and therefore each other) bit for bit.
+///
+/// # Errors
+/// Returns the first [`Divergence`] in preset order.
+pub fn diff_program_engine(
+    p: &Program,
+    presets: &[Architecture],
+    max_cycles: u64,
+    check_fires: bool,
+    engine: EngineKind,
+) -> Result<DiffStats, Divergence> {
     let g = emit(p);
     let reference = interp_pair(&g)?;
     let mut stats = DiffStats {
         nodes: g.nodes.len(),
         ..DiffStats::default()
     };
-    check_presets(&g, &reference, presets, max_cycles, check_fires, &mut stats)?;
+    check_presets_engine(
+        &g,
+        &reference,
+        presets,
+        max_cycles,
+        check_fires,
+        engine,
+        &mut stats,
+    )?;
+    Ok(stats)
+}
+
+/// Lane-batched differential check — the `fuzz_stack --lanes` axis.
+///
+/// Each preset compiles once and simulates `lanes` identical workloads
+/// of the bitstream in one batched [`marionette::sim::run_lanes`] pass;
+/// **every** lane must match the reference interpretation bit for bit
+/// and report the same cycle count, pinning that machine reuse across
+/// lanes (reset instead of rebuild) leaks no state between them.
+///
+/// # Errors
+/// Returns the first [`Divergence`] in preset order; lane-specific
+/// failures name the lane in the detail.
+pub fn diff_program_lanes(
+    p: &Program,
+    presets: &[Architecture],
+    max_cycles: u64,
+    check_fires: bool,
+    engine: EngineKind,
+    lanes: usize,
+) -> Result<DiffStats, Divergence> {
+    let g = emit(p);
+    let pair = interp_pair(&g)?;
+    let mut stats = DiffStats {
+        nodes: g.nodes.len(),
+        ..DiffStats::default()
+    };
+    let inputs: Vec<(String, Vec<Value>)> = g
+        .arrays
+        .iter()
+        .map(|a| (a.name.clone(), a.init.clone()))
+        .collect();
+    let specs = vec![
+        LaneSpec {
+            inputs: inputs.clone(),
+            params: Vec::new(),
+        };
+        lanes.max(1)
+    ];
+    for arch in presets {
+        let fail = |kind: DivergenceKind, detail: String| Divergence {
+            preset: arch.short.to_string(),
+            kind,
+            detail,
+        };
+        let (prog, _) = marionette::compiler::compile_with_timing(&g, &arch.opts, &arch.tm)
+            .map_err(|e| fail(DivergenceKind::Compile, e.to_string()))?;
+        let bytes = marionette::isa::bitstream::encode(&prog);
+        let prog = marionette::isa::bitstream::decode(&bytes)
+            .map_err(|e| fail(DivergenceKind::Bitstream, e.to_string()))?;
+        let results = run_lanes_full(
+            &prog,
+            &arch.tm,
+            &FaultSet::none(),
+            engine,
+            &specs,
+            max_cycles,
+        )
+        .map_err(|e| fail(DivergenceKind::Sim, e.to_string()))?;
+        let mut lane0_cycles = None;
+        for (li, r) in results.into_iter().enumerate() {
+            let r = r.map_err(|e| fail(DivergenceKind::Sim, format!("lane {li}: {e}")))?;
+            verify_point(&g, &pair, arch, &prog, &r, check_fires).map_err(|mut d| {
+                d.detail = format!("lane {li}: {}", d.detail);
+                d
+            })?;
+            match lane0_cycles {
+                None => lane0_cycles = Some(r.stats.cycles),
+                Some(c) if c != r.stats.cycles => {
+                    return Err(fail(
+                        DivergenceKind::Sim,
+                        format!("lane {li} took {} cycles, lane 0 took {c}", r.stats.cycles),
+                    ));
+                }
+                Some(_) => {}
+            }
+            stats.cycles += r.stats.cycles;
+            stats.fires += r.stats.fires;
+        }
+        stats.points += 1;
+    }
     Ok(stats)
 }
 
@@ -185,6 +292,27 @@ pub(crate) fn check_presets(
     check_fires: bool,
     stats: &mut DiffStats,
 ) -> Result<(), Divergence> {
+    check_presets_engine(
+        g,
+        pair,
+        presets,
+        max_cycles,
+        check_fires,
+        EngineKind::default(),
+        stats,
+    )
+}
+
+/// [`check_presets`] on an explicit simulator engine.
+pub(crate) fn check_presets_engine(
+    g: &Cdfg,
+    pair: &RefPair,
+    presets: &[Architecture],
+    max_cycles: u64,
+    check_fires: bool,
+    engine: EngineKind,
+    stats: &mut DiffStats,
+) -> Result<(), Divergence> {
     let inputs: Vec<(String, Vec<Value>)> = g
         .arrays
         .iter()
@@ -206,7 +334,7 @@ pub(crate) fn check_presets(
         let bytes = marionette::isa::bitstream::encode(&prog);
         let prog = marionette::isa::bitstream::decode(&bytes)
             .map_err(|e| fail(DivergenceKind::Bitstream, e.to_string()))?;
-        let r = marionette::sim::run(&prog, &arch.tm, &inputs, &[], max_cycles)
+        let r = marionette::sim::run_with_engine(&prog, &arch.tm, engine, &inputs, &[], max_cycles)
             .map_err(|e| fail(DivergenceKind::Sim, e.to_string()))?;
         verify_point(g, pair, arch, &prog, &r, check_fires)?;
         stats.points += 1;
@@ -300,6 +428,30 @@ pub fn diff_program_faulted(
     check_fires: bool,
     faults: &marionette::sim::FaultSet,
 ) -> Result<DiffStats, Divergence> {
+    diff_program_faulted_engine(
+        p,
+        presets,
+        max_cycles,
+        check_fires,
+        faults,
+        EngineKind::default(),
+    )
+}
+
+/// [`diff_program_faulted`] with an explicit simulator [`EngineKind`] —
+/// faulted runs (including the far-future events flaky links schedule)
+/// must be engine-independent too.
+///
+/// # Errors
+/// Returns the first [`Divergence`] in preset order.
+pub fn diff_program_faulted_engine(
+    p: &Program,
+    presets: &[Architecture],
+    max_cycles: u64,
+    check_fires: bool,
+    faults: &marionette::sim::FaultSet,
+    engine: EngineKind,
+) -> Result<DiffStats, Divergence> {
     let g = emit(p);
     let pair = interp_pair(&g)?;
     let mut stats = DiffStats {
@@ -322,10 +474,11 @@ pub fn diff_program_faulted(
         let bytes = marionette::isa::bitstream::encode(&prog);
         let prog = marionette::isa::bitstream::decode(&bytes)
             .map_err(|e| fail(DivergenceKind::Bitstream, e.to_string()))?;
-        let r = match marionette::sim::run_with_faults(
+        let r = match marionette::sim::run_full(
             &prog,
             &arch.tm,
             faults,
+            engine,
             &inputs,
             &[],
             max_cycles,
@@ -350,10 +503,11 @@ pub fn diff_program_faulted(
                 let bytes = marionette::isa::bitstream::encode(&prog2);
                 let prog2 = marionette::isa::bitstream::decode(&bytes)
                     .map_err(|e| fail(DivergenceKind::Bitstream, e.to_string()))?;
-                let r2 = marionette::sim::run_with_faults(
+                let r2 = marionette::sim::run_full(
                     &prog2,
                     &arch.tm,
                     faults,
+                    engine,
                     &inputs,
                     &[],
                     max_cycles,

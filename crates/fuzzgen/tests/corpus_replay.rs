@@ -1,7 +1,11 @@
 //! Regression-corpus replay and a fixed-seed differential smoke sweep,
 //! both part of the ordinary `cargo test` run.
 
-use marionette_fuzzgen::diff::{all_presets, diff_program, presets_by_tags, DEFAULT_MAX_CYCLES};
+use marionette::sim::EngineKind;
+use marionette_fuzzgen::diff::{
+    all_presets, diff_program, diff_program_engine, diff_program_lanes, presets_by_tags,
+    DEFAULT_MAX_CYCLES,
+};
 use marionette_fuzzgen::gen::{generate, GenConfig};
 use marionette_fuzzgen::source::diff_both;
 use marionette_fuzzgen::Program;
@@ -64,6 +68,40 @@ fn corpus_replays_divergence_free_on_all_presets() {
         let stats = diff_both(&p, &presets, DEFAULT_MAX_CYCLES, true)
             .unwrap_or_else(|d| panic!("{name}: {d}"));
         assert_eq!(stats.points, 2 * presets.len(), "{name}: preset skipped");
+    }
+}
+
+#[test]
+fn corpus_replays_divergence_free_on_both_engines() {
+    // Every committed regression, replayed under the wheel (default)
+    // and the reference heap core: a corpus entry that ever exposes an
+    // engine-dependent result is exactly the regression this suite
+    // exists to catch.
+    let presets = all_presets();
+    for engine in [EngineKind::Wheel, EngineKind::Heap] {
+        for (name, p) in corpus_entries() {
+            diff_program_engine(&p, &presets, DEFAULT_MAX_CYCLES, true, engine)
+                .unwrap_or_else(|d| panic!("{name} ({engine}): {d}"));
+        }
+    }
+}
+
+#[test]
+fn corpus_replays_divergence_free_lane_batched() {
+    // The same regressions, three lanes per preset on one machine:
+    // every lane must match the interpreter bit for bit and take
+    // exactly lane 0's cycle count.
+    let presets = all_presets();
+    for (name, p) in corpus_entries() {
+        diff_program_lanes(
+            &p,
+            &presets,
+            DEFAULT_MAX_CYCLES,
+            true,
+            EngineKind::default(),
+            3,
+        )
+        .unwrap_or_else(|d| panic!("{name}: {d}"));
     }
 }
 

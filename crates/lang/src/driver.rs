@@ -180,6 +180,33 @@ pub fn run_preset(
     max_cycles: u64,
     want_disasm: bool,
 ) -> Result<PresetRun, DriverError> {
+    run_preset_engine(
+        g,
+        reference,
+        arch,
+        overrides,
+        max_cycles,
+        want_disasm,
+        marionette::sim::EngineKind::default(),
+    )
+}
+
+/// [`run_preset`] with an explicit simulator engine — the `marc
+/// --engine` axis. Both engines verify against the same reference
+/// bit for bit.
+///
+/// # Errors
+/// Returns the first [`DriverError`] along the pipeline.
+#[allow(clippy::too_many_arguments)]
+pub fn run_preset_engine(
+    g: &Cdfg,
+    reference: &Reference,
+    arch: &Architecture,
+    overrides: &[(String, Value)],
+    max_cycles: u64,
+    want_disasm: bool,
+    engine: marionette::sim::EngineKind,
+) -> Result<PresetRun, DriverError> {
     let preset = arch.short.to_string();
     let (prog, report) = compile_for_arch(g, arch).map_err(|e| DriverError::Compile {
         preset: preset.clone(),
@@ -187,12 +214,12 @@ pub fn run_preset(
     })?;
     let prog = roundtrip_bitstream(&prog, &preset)?;
     let inputs = array_inputs(g);
-    let r = marionette::sim::run(&prog, &arch.tm, &inputs, overrides, max_cycles).map_err(|e| {
-        DriverError::Sim {
+    let r =
+        marionette::sim::run_with_engine(&prog, &arch.tm, engine, &inputs, overrides, max_cycles)
+            .map_err(|e| DriverError::Sim {
             preset: preset.clone(),
             e,
-        }
-    })?;
+        })?;
     verify_vs_reference(g, reference, arch, &preset, &prog, &r)?;
     let mut run = summarize(preset, &r, &report);
     if want_disasm {
@@ -326,6 +353,32 @@ pub fn run_preset_faulted(
     max_cycles: u64,
     faults: &marionette::sim::FaultSet,
 ) -> Result<FaultRun, DriverError> {
+    run_preset_faulted_engine(
+        g,
+        reference,
+        arch,
+        overrides,
+        max_cycles,
+        faults,
+        marionette::sim::EngineKind::default(),
+    )
+}
+
+/// [`run_preset_faulted`] with an explicit simulator engine.
+///
+/// # Errors
+/// Returns the first [`DriverError`] along whichever pipeline (original
+/// or remapped) survives fault screening.
+#[allow(clippy::too_many_arguments)]
+pub fn run_preset_faulted_engine(
+    g: &Cdfg,
+    reference: &Reference,
+    arch: &Architecture,
+    overrides: &[(String, Value)],
+    max_cycles: u64,
+    faults: &marionette::sim::FaultSet,
+    engine: marionette::sim::EngineKind,
+) -> Result<FaultRun, DriverError> {
     let preset = arch.short.to_string();
     let (prog, report) = compile_for_arch(g, arch).map_err(|e| DriverError::Compile {
         preset: preset.clone(),
@@ -333,8 +386,8 @@ pub fn run_preset_faulted(
     })?;
     let prog = roundtrip_bitstream(&prog, &preset)?;
     let inputs = array_inputs(g);
-    let wedged = match marionette::sim::run_with_faults(
-        &prog, &arch.tm, faults, &inputs, overrides, max_cycles,
+    let wedged = match marionette::sim::run_full(
+        &prog, &arch.tm, faults, engine, &inputs, overrides, max_cycles,
     ) {
         Ok(r) => {
             verify_vs_reference(g, reference, arch, &preset, &prog, &r)?;
@@ -360,12 +413,13 @@ pub fn run_preset_faulted(
             e,
         })?;
     let prog = roundtrip_bitstream(&prog, &preset)?;
-    let r =
-        marionette::sim::run_with_faults(&prog, &arch.tm, faults, &inputs, overrides, max_cycles)
-            .map_err(|e| DriverError::Sim {
-            preset: preset.clone(),
-            e,
-        })?;
+    let r = marionette::sim::run_full(
+        &prog, &arch.tm, faults, engine, &inputs, overrides, max_cycles,
+    )
+    .map_err(|e| DriverError::Sim {
+        preset: preset.clone(),
+        e,
+    })?;
     verify_vs_reference(g, reference, arch, &preset, &prog, &r)?;
     Ok(FaultRun {
         wedged: Some(wedged),

@@ -27,8 +27,12 @@ pub mod fault;
 pub mod machine;
 pub mod stats;
 pub mod timing;
+pub mod wheel;
 
 pub use fault::{FaultSet, FaultSpec};
-pub use machine::{run, run_with_faults, RunResult, SimError};
+pub use machine::{
+    run, run_full, run_lanes, run_lanes_full, run_with_engine, run_with_faults, EngineKind,
+    LaneSpec, RunResult, SimError,
+};
 pub use stats::{GroupStats, RunStats, UnitStats};
 pub use timing::{CtrlTransport, TimingModel};

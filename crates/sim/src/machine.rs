@@ -26,24 +26,75 @@
 //! The simulator is the throughput bottleneck of the whole evaluation
 //! sweep, so the core is event-driven and allocation-lean:
 //!
-//! - tokens in flight live in a single payload-carrying min-heap keyed by
-//!   `(cycle, sequence)` — one pop per delivered token, no side table;
+//! - scheduled tokens live in a calendar-queue [`EventWheel`] (O(1) push
+//!   and pop over a dense horizon, arena payloads, overflow bucket for
+//!   the rare far-future booking) — the pre-wheel payload-carrying
+//!   min-heap survives behind [`EngineKind::Heap`] as the differential
+//!   reference engine;
+//! - token queues are fixed-stride rings in one dense slab (`TokenQueues`),
+//!   not per-port `VecDeque` allocations, and per-route hot metadata
+//!   (hop link ids, destination queue/group) is flattened at
+//!   construction so the flit and emit paths never chase `Route` heap
+//!   pointers;
 //! - sink labels are interned at construction; a sink firing is a dense
 //!   `Vec` push, never a `HashMap<String, _>` probe;
 //! - issue work comes from a maintained list of *active units* (units
-//!   holding at least one ready candidate), so a quiescent cycle costs
-//!   O(changed units), not O(all units), and the idle fast-forward path
-//!   inspects only that list.
+//!   holding at least one ready candidate), walked in sorted order with a
+//!   per-unit count of active-group candidates so exclusive models skip
+//!   units whose whole backlog belongs to a parked group;
+//! - batched lanes ([`run_lanes`]) reuse one machine skeleton across N
+//!   workloads of the same bitstream: static tables are built once and
+//!   dynamic state is `reset()` between lanes, bit-identical to N fresh
+//!   runs.
 
 use crate::fault::FaultSet;
 use crate::stats::{GroupStats, RunStats, UnitStats};
 use crate::timing::{CtrlTransport, TimingModel};
+use crate::wheel::EventWheel;
 use marionette_cdfg::op::{Op, SteerRole};
 use marionette_cdfg::value::Value;
 use marionette_isa::{MachineProgram, OperandSrc, Placement, RouteClass};
-use std::cmp::{Ordering, Reverse};
+use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
+use std::str::FromStr;
+
+/// Selects the event-queue implementation driving the simulator core.
+///
+/// Both engines execute the identical machine model and produce
+/// bit-identical [`RunResult`]s — `crates/core/tests/engine_equivalence.rs`
+/// pins this on every kernel × preset, healthy and faulted. The heap is
+/// kept as the differential reference; the wheel is the default and what
+/// all committed benchmark snapshots gate against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Binary-heap event queue (the pre-wheel reference core).
+    Heap,
+    /// Calendar-queue event wheel (see [`crate::wheel`]).
+    #[default]
+    Wheel,
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineKind::Heap => write!(f, "heap"),
+            EngineKind::Wheel => write!(f, "wheel"),
+        }
+    }
+}
+
+impl FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "heap" => Ok(EngineKind::Heap),
+            "wheel" => Ok(EngineKind::Wheel),
+            other => Err(format!("unknown engine {other:?} (expected heap|wheel)")),
+        }
+    }
+}
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -171,6 +222,180 @@ impl Ord for Ev {
     }
 }
 
+/// The machine's event queue, behind the [`EngineKind`] selector. Both
+/// variants yield events in identical `(at, insertion order)` total
+/// order; only the data structure differs.
+enum EventQueue {
+    Heap { heap: BinaryHeap<Ev>, seq: u64 },
+    Wheel(EventWheel<EvKind>),
+}
+
+impl EventQueue {
+    fn new(kind: EngineKind) -> Self {
+        match kind {
+            EngineKind::Heap => EventQueue::Heap {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            },
+            EngineKind::Wheel => EventQueue::Wheel(EventWheel::new()),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, at: u64, kind: EvKind) {
+        match self {
+            EventQueue::Heap { heap, seq } => {
+                let s = *seq;
+                *seq += 1;
+                heap.push(Ev { at, seq: s, kind });
+            }
+            EventQueue::Wheel(w) => w.push(at, kind),
+        }
+    }
+
+    #[inline]
+    fn pop_due(&mut self, now: u64) -> Option<EvKind> {
+        match self {
+            EventQueue::Heap { heap, .. } => {
+                if heap.peek()?.at > now {
+                    return None;
+                }
+                Some(heap.pop().expect("peeked event").kind)
+            }
+            EventQueue::Wheel(w) => w.pop_due(now),
+        }
+    }
+
+    fn next_at(&self) -> Option<u64> {
+        match self {
+            EventQueue::Heap { heap, .. } => heap.peek().map(|ev| ev.at),
+            EventQueue::Wheel(w) => w.next_at(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap { heap, .. } => heap.len(),
+            EventQueue::Wheel(w) => w.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn clear(&mut self) {
+        match self {
+            EventQueue::Heap { heap, seq } => {
+                heap.clear();
+                *seq = 0;
+            }
+            EventQueue::Wheel(w) => w.clear(),
+        }
+    }
+}
+
+/// Dense token storage: every capacity-bounded input queue is a
+/// fixed-stride ring (`queue_capacity` slots) in one slab, so the hot
+/// peek/pop/push paths touch two dense arrays instead of chasing a
+/// per-port `VecDeque` allocation. The few loop-unit-internal register
+/// queues (combinational same-cycle forwarding, *not* capacity-checked
+/// by `output_ready`) keep growable `VecDeque` storage on the side.
+struct TokenQueues {
+    cap: usize,
+    data: Vec<Value>,
+    qhead: Vec<u32>,
+    qlen: Vec<u32>,
+    /// `spill[spill_idx[qi]]` replaces the slab ring when != `u32::MAX`.
+    spill_idx: Vec<u32>,
+    spill: Vec<VecDeque<Value>>,
+}
+
+impl TokenQueues {
+    fn new(n: usize, cap: usize, is_spill: &[bool]) -> Self {
+        let mut spill_idx = vec![u32::MAX; n];
+        let mut spill = Vec::new();
+        for (qi, &s) in is_spill.iter().enumerate() {
+            if s {
+                spill_idx[qi] = spill.len() as u32;
+                spill.push(VecDeque::new());
+            }
+        }
+        TokenQueues {
+            cap,
+            data: vec![Value::Unit; n * cap],
+            qhead: vec![0; n],
+            qlen: vec![0; n],
+            spill_idx,
+            spill,
+        }
+    }
+
+    #[inline]
+    fn len(&self, qi: usize) -> usize {
+        let si = self.spill_idx[qi];
+        if si != u32::MAX {
+            return self.spill[si as usize].len();
+        }
+        self.qlen[qi] as usize
+    }
+
+    #[inline]
+    fn front(&self, qi: usize) -> Option<Value> {
+        let si = self.spill_idx[qi];
+        if si != u32::MAX {
+            return self.spill[si as usize].front().copied();
+        }
+        if self.qlen[qi] == 0 {
+            return None;
+        }
+        Some(self.data[qi * self.cap + self.qhead[qi] as usize])
+    }
+
+    #[inline]
+    fn push_back(&mut self, qi: usize, v: Value) {
+        let si = self.spill_idx[qi];
+        if si != u32::MAX {
+            self.spill[si as usize].push_back(v);
+            return;
+        }
+        let l = self.qlen[qi] as usize;
+        debug_assert!(l < self.cap, "bounded queue overfilled");
+        let mut pos = self.qhead[qi] as usize + l;
+        if pos >= self.cap {
+            pos -= self.cap;
+        }
+        self.data[qi * self.cap + pos] = v;
+        self.qlen[qi] = (l + 1) as u32;
+    }
+
+    #[inline]
+    fn pop_front(&mut self, qi: usize) -> Value {
+        let si = self.spill_idx[qi];
+        if si != u32::MAX {
+            return self.spill[si as usize]
+                .pop_front()
+                .expect("pop on empty queue");
+        }
+        debug_assert!(self.qlen[qi] > 0, "pop on empty queue");
+        let h = self.qhead[qi] as usize;
+        let v = self.data[qi * self.cap + h];
+        self.qhead[qi] = if h + 1 == self.cap { 0 } else { (h + 1) as u32 };
+        self.qlen[qi] -= 1;
+        v
+    }
+
+    /// Empties every queue (slab contents need no scrubbing: reads are
+    /// gated by `qlen`).
+    fn reset(&mut self) {
+        self.qhead.fill(0);
+        self.qlen.fill(0);
+        for s in &mut self.spill {
+            s.clear();
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Flit {
     route: u32,
@@ -182,6 +407,21 @@ struct Flit {
     serial: u64,
     /// Earliest cycle the flit may take its next link (link latency).
     ready_at: u64,
+}
+
+/// A flit that lost link arbitration. It leaves the per-cycle traversal
+/// scan entirely and waits in its link's serial-sorted queue; one waiter
+/// is granted per link per cycle, and the stall cycles are accounted in
+/// bulk at grant time (`grant_cycle - first_attempt`), exactly matching
+/// the old one-stall-per-blocked-cycle accumulation.
+#[derive(Clone, Debug)]
+struct LinkWaiter {
+    serial: u64,
+    route: u32,
+    hop: usize,
+    value: Value,
+    /// First cycle the flit contended for the link (the cycle it lost).
+    first_attempt: u64,
 }
 
 /// A flit that reached its destination tile but found the input queue
@@ -198,12 +438,6 @@ struct ParkedFlit {
     first_attempt: u64,
 }
 
-#[derive(Clone, Copy, Debug)]
-enum ConsLink {
-    Local { node: u32, port: u8 },
-    Remote { route: u32 },
-}
-
 /// Unit index space: data PEs, then control parts, then net switches,
 /// then memory stream units.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -213,7 +447,6 @@ struct Machine<'p> {
     prog: &'p MachineProgram,
     tm: &'p TimingModel,
     npes: usize,
-    cols: usize,
     // topology of units
     node_unit: Vec<UnitId>,
     // Flat, cache-friendly copies of the per-node metadata the hot loop
@@ -221,14 +454,8 @@ struct Machine<'p> {
     /// Operand selectors, flat-indexed by `port_base[node] + port`.
     src_of: Vec<OperandSrc>,
     node_group: Vec<u16>,
-    node_bb: Vec<u16>,
     node_op: Vec<Op>,
     node_place: Vec<Placement>,
-    node_is_mem: Vec<bool>,
-    /// Loop-header basic blocks: their operators form one *loop unit*
-    /// (the paper's Loop operator / stream generators of the baselines)
-    /// that evaluates combinationally once per cycle.
-    header_bb: Vec<bool>,
     /// First unit index that is a loop unit (loop units occupy the tail
     /// of the unit index space).
     first_loop_unit: usize,
@@ -242,19 +469,72 @@ struct Machine<'p> {
     unit_queued: Vec<bool>,
     /// Total candidates across all units (== sum of deque lengths).
     cand_count: usize,
+    /// Per-unit count of candidates whose group is the active group, plus
+    /// the global total — maintained only on exclusive-group models
+    /// (`track_groups`), recomputed on the rare group switch. Lets the
+    /// issue pass skip units whose whole backlog is parked (a full
+    /// wrong-group pass rotates the deque back to its start: a state
+    /// no-op) and makes the fast-forward "any waiter outside the active
+    /// group?" test O(1) (`cand_count > grp_cand_total`).
+    unit_grp_cands: Vec<u32>,
+    grp_cand_total: usize,
+    track_groups: bool,
+    /// Units holding at least one candidate of *any* group, with a
+    /// membership flag (exclusive-group models only). Unlike
+    /// `active_units` this keeps parked-backlog units reachable: the
+    /// issue pass deregisters a unit whose whole backlog belongs to a
+    /// parked group (so idle cycles stop re-walking it), and the group
+    /// switch re-registers the new group's units from this list.
+    /// Entries whose deque drained are compacted lazily on the rare
+    /// switch scan, keeping mark/pop O(1).
+    cand_units: Vec<u32>,
+    in_cand_units: Vec<bool>,
     // queues
     port_base: Vec<usize>,
-    queues: Vec<VecDeque<Value>>,
+    queues: TokenQueues,
     /// Tokens emitted but not yet delivered (local/control-network), per
     /// queue: capacity checks count them so deliveries never find a full
     /// queue and per-edge FIFO order is preserved.
     reserved: Vec<usize>,
     blocked_on_queue: Vec<Vec<u32>>,
+    /// Scratch buffer circulated through the blocked-list drains so the
+    /// per-queue/per-route vecs keep their capacity across block/unblock
+    /// cycles (a plain `mem::take` would re-allocate on every re-block).
+    unblock_scratch: Vec<u32>,
     // routing: consumer links in CSR layout (`cons_base[n]..cons_base[n+1]`
-    // indexes `cons_links`), so emission walks a flat slice by index with
-    // no per-firing list take/restore.
+    // indexes the flat `cons_*` arrays), so emission and the output
+    // capacity check walk plain parallel arrays — no enum dispatch, no
+    // recomputed queue indices.
     cons_base: Vec<u32>,
-    cons_links: Vec<ConsLink>,
+    /// Destination node per consumer link.
+    cons_dst: Vec<u32>,
+    /// Destination port per consumer link.
+    cons_port: Vec<u8>,
+    /// Destination input-queue index per consumer link.
+    cons_qi: Vec<u32>,
+    /// Route id per consumer link (`u32::MAX` = same-tile local edge).
+    cons_route: Vec<u32>,
+    /// Loop-unit-internal register edge: combinational same-cycle
+    /// forwarding, exempt from capacity checks.
+    cons_internal: Vec<bool>,
+    // Flat per-route hot metadata (the flit/emit paths never touch
+    // `prog.routes` — `Route.path` is heap-indirected and cold).
+    /// Destination node per route.
+    route_dst: Vec<u32>,
+    /// Destination input-queue index per route (`qidx(dst, dst_port)`).
+    route_dst_qi: Vec<u32>,
+    /// Destination node's group per route.
+    route_dst_group: Vec<u16>,
+    /// Mesh path length (tile count) per route.
+    route_hops: Vec<u32>,
+    /// CSR base into `route_hop_link` per route.
+    route_hop_base: Vec<u32>,
+    /// Precomputed directed-link id for every hop of every route.
+    route_hop_link: Vec<u32>,
+    /// Activation/dynamic-bound latency surcharge per route.
+    route_extra: Vec<u64>,
+    /// Whether the route carries control tokens.
+    route_is_ctrl: Vec<bool>,
     route_inflight: Vec<usize>,
     blocked_on_route: Vec<Vec<u32>>,
     route_next_free: Vec<u64>,
@@ -264,10 +544,21 @@ struct Machine<'p> {
     flaky_mult: Vec<u64>,
     /// Fast-path gate: the healthy flit loop never reads `flaky_mult`.
     has_flaky: bool,
-    /// In-transit flits only (spawn order); at-destination flits move to
-    /// `parked` until their input queue has space.
+    /// In-transit flits only, always serial-sorted (spawn appends in
+    /// serial order; waiters re-enter by sorted insert); at-destination
+    /// flits move to `parked` until their input queue has space, and
+    /// flits that lost link arbitration move to `link_waiters`.
     flits: Vec<Flit>,
     flit_serial: u64,
+    /// Per-directed-link waiter queue (serial-sorted), indexed like
+    /// `link_used`. The head is the arbitration winner once the link is
+    /// free: among all flits wanting a link, the smallest serial wins —
+    /// identical to the old serial-ordered full-vector scan.
+    link_waiters: Vec<VecDeque<LinkWaiter>>,
+    /// Links with a non-empty waiter queue.
+    waiting_links: Vec<u32>,
+    /// Total waiters across all links.
+    link_wait_count: usize,
     /// Parked flits per input queue, each list in serial order.
     parked: Vec<Vec<ParkedFlit>>,
     /// Whether a queue has a non-empty parked list.
@@ -280,13 +571,22 @@ struct Machine<'p> {
     /// delivery pass never rescans queues that stayed full.
     waked_queues: Vec<u32>,
     queue_waked: Vec<bool>,
-    /// Reusable scratch for the issue pass (min-heap of unit indices and
+    /// Reusable scratch for the issue pass (the sorted unit worklist and
     /// the carried-over registrations), kept to avoid per-cycle allocs.
-    issue_heap: BinaryHeap<Reverse<u32>>,
+    issue_work: Vec<u32>,
     issue_leftover: Vec<u32>,
     // events
-    events: BinaryHeap<Ev>,
-    ev_seq: u64,
+    events: EventQueue,
+    // Hot timing-model scalars, hoisted out of the `&TimingModel` so the
+    // per-fire paths read plain fields.
+    /// `tm.issue_occupancy()`.
+    fire_occ: u64,
+    /// `tm.queue_capacity`.
+    qcap: usize,
+    /// `tm.route_inflight_cap`.
+    route_cap: usize,
+    /// Per-node fire-to-result latency (`tm.result_latency(op)`).
+    node_lat: Vec<u64>,
     // state
     seq_state: Vec<SeqState>,
     params: Vec<Value>,
@@ -326,7 +626,39 @@ pub fn run(
     params: &[(String, Value)],
     max_cycles: u64,
 ) -> Result<RunResult, SimError> {
-    run_with_faults(prog, tm, &FaultSet::none(), inputs, params, max_cycles)
+    run_full(
+        prog,
+        tm,
+        &FaultSet::none(),
+        EngineKind::default(),
+        inputs,
+        params,
+        max_cycles,
+    )
+}
+
+/// [`run`] with an explicit [`EngineKind`] (same fault-free semantics).
+///
+/// # Errors
+/// Returns [`SimError`] on deadlock, cycle-budget exhaustion or unknown
+/// workload names.
+pub fn run_with_engine(
+    prog: &MachineProgram,
+    tm: &TimingModel,
+    engine: EngineKind,
+    inputs: &[(String, Vec<Value>)],
+    params: &[(String, Value)],
+    max_cycles: u64,
+) -> Result<RunResult, SimError> {
+    run_full(
+        prog,
+        tm,
+        &FaultSet::none(),
+        engine,
+        inputs,
+        params,
+        max_cycles,
+    )
 }
 
 /// Runs a program to quiescence on a faulted fabric.
@@ -349,34 +681,117 @@ pub fn run_with_faults(
     params: &[(String, Value)],
     max_cycles: u64,
 ) -> Result<RunResult, SimError> {
-    let mut m = Machine::new(prog, tm, faults)?;
-    for (name, data) in inputs {
-        let idx = prog
-            .arrays
-            .iter()
-            .position(|a| &a.name == name)
-            .ok_or_else(|| SimError::UnknownArray(name.clone()))?;
-        let arr = &mut m.memory[idx];
-        for (i, v) in data.iter().enumerate().take(arr.len()) {
-            arr[i] = *v;
-        }
-    }
-    for (name, v) in params {
-        let idx = prog
-            .param_by_name(name)
-            .ok_or_else(|| SimError::UnknownParam(name.clone()))?;
-        m.params[idx as usize] = *v;
-    }
+    run_full(
+        prog,
+        tm,
+        faults,
+        EngineKind::default(),
+        inputs,
+        params,
+        max_cycles,
+    )
+}
+
+/// The full-control entry point: faults **and** engine selection.
+///
+/// Every other `run*` function delegates here; see [`run_with_faults`]
+/// for the fault semantics.
+///
+/// # Errors
+/// Returns [`SimError`] on a touched fault, deadlock, cycle-budget
+/// exhaustion or unknown workload names.
+pub fn run_full(
+    prog: &MachineProgram,
+    tm: &TimingModel,
+    faults: &FaultSet,
+    engine: EngineKind,
+    inputs: &[(String, Vec<Value>)],
+    params: &[(String, Value)],
+    max_cycles: u64,
+) -> Result<RunResult, SimError> {
+    let mut m = Machine::new(prog, tm, faults, engine)?;
+    m.apply_workload(inputs, params)?;
     m.boot();
     m.run_to_quiescence(max_cycles)?;
-    let mut stats = m.stats;
-    stats.cycles = m.cycle;
-    Ok(RunResult {
-        stats,
-        memory: m.memory,
-        sinks: m.sink_labels.into_iter().zip(m.sink_data).collect(),
-        oob_events: m.oob,
-    })
+    Ok(m.finish())
+}
+
+/// One lane of a batched [`run_lanes`] call: a workload (array contents
+/// and parameter overrides) for the shared bitstream.
+#[derive(Clone, Debug, Default)]
+pub struct LaneSpec {
+    /// Array contents by name (missing arrays zero-fill), as in [`run`].
+    pub inputs: Vec<(String, Vec<Value>)>,
+    /// Scalar parameter overrides by name, as in [`run`].
+    pub params: Vec<(String, Value)>,
+}
+
+/// Runs N workloads ("lanes") of the same bitstream in one pass.
+///
+/// The machine skeleton — every static table derived from the program
+/// (unit topology, flattened route/operand metadata, consumer CSR, sink
+/// interning) plus all dynamic-state allocations — is built **once** and
+/// reused across lanes; only the dynamic state is reset in between. Each
+/// lane is bit-identical to an independent [`run`] with the same
+/// workload: values, cycles, stats, and per-lane errors (a lane that
+/// deadlocks or exhausts the budget reports its own `Err` without
+/// poisoning its neighbours).
+///
+/// # Errors
+/// The outer `Err` is construction-time only (fault screening of the
+/// bitstream, as in [`run_with_faults`]); per-lane failures — deadlock,
+/// cycle budget, unknown workload names — come back in the inner
+/// results.
+pub fn run_lanes(
+    prog: &MachineProgram,
+    tm: &TimingModel,
+    lanes: &[LaneSpec],
+    max_cycles: u64,
+) -> Result<Vec<Result<RunResult, SimError>>, SimError> {
+    run_lanes_full(
+        prog,
+        tm,
+        &FaultSet::none(),
+        EngineKind::default(),
+        lanes,
+        max_cycles,
+    )
+}
+
+/// [`run_lanes`] with explicit faults and engine.
+///
+/// # Errors
+/// As [`run_lanes`]: outer `Err` for construction/fault screening,
+/// inner per-lane errors otherwise.
+pub fn run_lanes_full(
+    prog: &MachineProgram,
+    tm: &TimingModel,
+    faults: &FaultSet,
+    engine: EngineKind,
+    lanes: &[LaneSpec],
+    max_cycles: u64,
+) -> Result<Vec<Result<RunResult, SimError>>, SimError> {
+    let mut m = Machine::new(prog, tm, faults, engine)?;
+    let mut out = Vec::with_capacity(lanes.len());
+    for (li, lane) in lanes.iter().enumerate() {
+        if li > 0 {
+            m.reset();
+        }
+        let r = run_one_lane(&mut m, lane, max_cycles);
+        out.push(r);
+    }
+    Ok(out)
+}
+
+fn run_one_lane(
+    m: &mut Machine<'_>,
+    lane: &LaneSpec,
+    max_cycles: u64,
+) -> Result<RunResult, SimError> {
+    m.apply_workload(&lane.inputs, &lane.params)?;
+    m.boot();
+    m.run_to_quiescence(max_cycles)?;
+    Ok(m.finish())
 }
 
 /// Dense directed-link id (`from * 4 + dir`, east/west/south/north =
@@ -400,6 +815,7 @@ impl<'p> Machine<'p> {
         prog: &'p MachineProgram,
         tm: &'p TimingModel,
         faults: &FaultSet,
+        engine: EngineKind,
     ) -> Result<Self, SimError> {
         let npes = prog.pe_count();
         let nmem = prog
@@ -465,25 +881,87 @@ impl<'p> Machine<'p> {
             })
             .collect();
 
-        let mut consumers: Vec<Vec<ConsLink>> = vec![Vec::new(); prog.nodes.len()];
+        let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); prog.nodes.len()];
         for (ri, r) in prog.routes.iter().enumerate() {
-            let link = if r.path.len() <= 1 {
-                ConsLink::Local {
-                    node: r.dst,
-                    port: r.dst_port,
-                }
-            } else {
-                ConsLink::Remote { route: ri as u32 }
-            };
-            consumers[r.src as usize].push(link);
+            consumers[r.src as usize].push(ri as u32);
         }
         let mut cons_base = Vec::with_capacity(prog.nodes.len() + 1);
-        let mut cons_links = Vec::with_capacity(prog.routes.len());
-        for c in &consumers {
-            cons_base.push(cons_links.len() as u32);
-            cons_links.extend_from_slice(c);
+        let mut cons_dst = Vec::with_capacity(prog.routes.len());
+        let mut cons_port = Vec::with_capacity(prog.routes.len());
+        let mut cons_qi = Vec::with_capacity(prog.routes.len());
+        let mut cons_route = Vec::with_capacity(prog.routes.len());
+        let mut cons_internal = Vec::with_capacity(prog.routes.len());
+        for (src, c) in consumers.iter().enumerate() {
+            cons_base.push(cons_dst.len() as u32);
+            let src_bb = prog.nodes[src].bb as usize;
+            for &ri in c {
+                let r = &prog.routes[ri as usize];
+                cons_dst.push(r.dst);
+                cons_port.push(r.dst_port);
+                cons_qi.push((port_base[r.dst as usize] + r.dst_port as usize) as u32);
+                cons_route.push(if r.path.len() <= 1 { u32::MAX } else { ri });
+                cons_internal.push(
+                    header_bb[src_bb]
+                        && prog.nodes[r.dst as usize].bb as usize == src_bb
+                        && !prog.nodes[r.dst as usize].op.is_memory(),
+                );
+            }
         }
-        cons_base.push(cons_links.len() as u32);
+        cons_base.push(cons_dst.len() as u32);
+
+        let cols = prog.cols as usize;
+        // Flatten the per-route metadata the flit/emit hot paths read
+        // (destination queue, per-hop link ids, latency surcharges) so
+        // the cycle loop never dereferences a `Route`.
+        let nroutes = prog.routes.len();
+        let mut route_dst = Vec::with_capacity(nroutes);
+        let mut route_dst_port = Vec::with_capacity(nroutes);
+        let mut route_dst_group = Vec::with_capacity(nroutes);
+        let mut route_hops = Vec::with_capacity(nroutes);
+        let mut route_hop_base = Vec::with_capacity(nroutes + 1);
+        let mut route_hop_link: Vec<u32> = Vec::new();
+        let mut route_extra = Vec::with_capacity(nroutes);
+        let mut route_is_ctrl = Vec::with_capacity(nroutes);
+        for r in &prog.routes {
+            route_dst.push(r.dst);
+            route_dst_port.push(r.dst_port);
+            route_dst_group.push(prog.nodes[r.dst as usize].group);
+            route_hops.push(r.path.len() as u32);
+            route_hop_base.push(route_hop_link.len() as u32);
+            for w in r.path.windows(2) {
+                route_hop_link.push(link_id_for(cols, w[0] as usize, w[1] as usize) as u32);
+            }
+            let mut extra = 0u64;
+            if r.activation {
+                extra += u64::from(tm.activation_extra);
+                if r.dynamic {
+                    extra += u64::from(tm.dyn_bound_extra);
+                }
+            }
+            route_extra.push(extra);
+            route_is_ctrl.push(r.class == RouteClass::Ctrl);
+        }
+        route_hop_base.push(route_hop_link.len() as u32);
+        let route_dst_qi: Vec<u32> = prog
+            .routes
+            .iter()
+            .map(|r| (port_base[r.dst as usize] + r.dst_port as usize) as u32)
+            .collect();
+
+        // Loop-unit-internal register queues (combinational same-cycle
+        // forwarding in `emit`, exempt from `output_ready` capacity
+        // checks) may exceed `queue_capacity`: give exactly those
+        // growable spill storage instead of a fixed-stride slab ring.
+        let mut is_spill = vec![false; total];
+        for r in &prog.routes {
+            let sb = prog.nodes[r.src as usize].bb as usize;
+            if header_bb[sb]
+                && prog.nodes[r.dst as usize].bb as usize == sb
+                && !prog.nodes[r.dst as usize].op.is_memory()
+            {
+                is_spill[port_base[r.dst as usize] + r.dst_port as usize] = true;
+            }
+        }
 
         let src_of: Vec<OperandSrc> = prog
             .nodes
@@ -492,10 +970,8 @@ impl<'p> Machine<'p> {
             .collect();
         debug_assert_eq!(src_of.len(), total);
         let node_group: Vec<u16> = prog.nodes.iter().map(|n| n.group).collect();
-        let node_bb: Vec<u16> = prog.nodes.iter().map(|n| n.bb).collect();
         let node_op: Vec<Op> = prog.nodes.iter().map(|n| n.op).collect();
         let node_place: Vec<Placement> = prog.nodes.iter().map(|n| n.place).collect();
-        let node_is_mem: Vec<bool> = prog.nodes.iter().map(|n| n.op.is_memory()).collect();
 
         let memory: Vec<Vec<Value>> = prog
             .arrays
@@ -524,7 +1000,6 @@ impl<'p> Machine<'p> {
             }
         }
 
-        let cols = prog.cols as usize;
         if !faults.is_empty() {
             if faults.cols() != cols || faults.rows() * faults.cols() != npes {
                 return Err(SimError::Fault {
@@ -604,15 +1079,11 @@ impl<'p> Machine<'p> {
             prog,
             tm,
             npes,
-            cols,
             node_unit,
             src_of,
             node_group,
-            node_bb,
             node_op,
             node_place,
-            node_is_mem,
-            header_bb,
             first_loop_unit,
             last_fire_cycle: vec![u64::MAX; prog.nodes.len()],
             unit_free_at: vec![0; nunits],
@@ -621,12 +1092,30 @@ impl<'p> Machine<'p> {
             active_units: Vec::with_capacity(nunits),
             unit_queued: vec![false; nunits],
             cand_count: 0,
+            unit_grp_cands: vec![0; nunits],
+            grp_cand_total: 0,
+            track_groups: tm.exclusive_groups,
+            cand_units: Vec::new(),
+            in_cand_units: vec![false; nunits],
             port_base,
-            queues: vec![VecDeque::new(); total],
+            queues: TokenQueues::new(total, tm.queue_capacity, &is_spill),
             reserved: vec![0; total],
             blocked_on_queue: vec![Vec::new(); total],
+            unblock_scratch: Vec::new(),
             cons_base,
-            cons_links,
+            cons_dst,
+            cons_port,
+            cons_qi,
+            cons_route,
+            cons_internal,
+            route_dst,
+            route_dst_qi,
+            route_dst_group,
+            route_hops,
+            route_hop_base,
+            route_hop_link,
+            route_extra,
+            route_is_ctrl,
             route_inflight: vec![0; prog.routes.len()],
             blocked_on_route: vec![Vec::new(); prog.routes.len()],
             route_next_free: vec![0; prog.routes.len()],
@@ -635,16 +1124,22 @@ impl<'p> Machine<'p> {
             has_flaky,
             flits: Vec::new(),
             flit_serial: 0,
+            link_waiters: vec![VecDeque::new(); 4 * npes],
+            waiting_links: Vec::new(),
+            link_wait_count: 0,
             parked: vec![Vec::new(); total],
             queue_parked: vec![false; total],
             parked_count: 0,
             deliver_buf: Vec::new(),
             waked_queues: Vec::new(),
             queue_waked: vec![false; total],
-            issue_heap: BinaryHeap::new(),
+            issue_work: Vec::new(),
             issue_leftover: Vec::new(),
-            events: BinaryHeap::new(),
-            ev_seq: 0,
+            events: EventQueue::new(engine),
+            fire_occ: tm.issue_occupancy(),
+            qcap: tm.queue_capacity,
+            route_cap: tm.route_inflight_cap,
+            node_lat: prog.nodes.iter().map(|n| tm.result_latency(n.op)).collect(),
             seq_state: vec![SeqState::Fresh; prog.nodes.len()],
             params: prog.params.iter().map(|p| p.default).collect(),
             memory,
@@ -676,6 +1171,126 @@ impl<'p> Machine<'p> {
         })
     }
 
+    /// Overwrites array contents / parameter defaults with a workload.
+    fn apply_workload(
+        &mut self,
+        inputs: &[(String, Vec<Value>)],
+        params: &[(String, Value)],
+    ) -> Result<(), SimError> {
+        for (name, data) in inputs {
+            let idx = self
+                .prog
+                .arrays
+                .iter()
+                .position(|a| &a.name == name)
+                .ok_or_else(|| SimError::UnknownArray(name.clone()))?;
+            let arr = &mut self.memory[idx];
+            for (i, v) in data.iter().enumerate().take(arr.len()) {
+                arr[i] = *v;
+            }
+        }
+        for (name, v) in params {
+            let idx = self
+                .prog
+                .param_by_name(name)
+                .ok_or_else(|| SimError::UnknownParam(name.clone()))?;
+            self.params[idx as usize] = *v;
+        }
+        Ok(())
+    }
+
+    /// Rewinds every piece of dynamic state to the fresh-construction
+    /// value, reusing allocations. A `reset()` machine is bit-identical
+    /// to a newly built one — the batched-lane equivalence tests pin
+    /// this against independent serial runs.
+    fn reset(&mut self) {
+        self.last_fire_cycle.fill(u64::MAX);
+        self.unit_free_at.fill(0);
+        for q in &mut self.unit_candidates {
+            q.clear();
+        }
+        self.in_candidates.fill(false);
+        self.active_units.clear();
+        self.unit_queued.fill(false);
+        self.cand_count = 0;
+        self.unit_grp_cands.fill(0);
+        self.grp_cand_total = 0;
+        self.cand_units.clear();
+        self.in_cand_units.fill(false);
+        self.queues.reset();
+        self.reserved.fill(0);
+        for b in &mut self.blocked_on_queue {
+            b.clear();
+        }
+        self.route_inflight.fill(0);
+        for b in &mut self.blocked_on_route {
+            b.clear();
+        }
+        self.route_next_free.fill(0);
+        self.link_used.fill(u64::MAX);
+        self.flits.clear();
+        for q in &mut self.link_waiters {
+            q.clear();
+        }
+        self.waiting_links.clear();
+        self.link_wait_count = 0;
+        self.flit_serial = 0;
+        for p in &mut self.parked {
+            p.clear();
+        }
+        self.queue_parked.fill(false);
+        self.parked_count = 0;
+        self.deliver_buf.clear();
+        self.waked_queues.clear();
+        self.queue_waked.fill(false);
+        self.issue_work.clear();
+        self.issue_leftover.clear();
+        self.events.clear();
+        self.seq_state.fill(SeqState::Fresh);
+        self.params.clear();
+        self.params
+            .extend(self.prog.params.iter().map(|p| p.default));
+        self.memory = self
+            .prog
+            .arrays
+            .iter()
+            .map(|a| vec![a.elem.zero(); a.len as usize])
+            .collect();
+        self.oob = 0;
+        self.sink_data = vec![Vec::new(); self.sink_labels.len()];
+        self.active_group = 0;
+        self.switch_until = 0;
+        self.last_active_fire = 0;
+        self.group_inflight.fill(0);
+        self.stats = RunStats {
+            pe_data: vec![UnitStats::default(); self.npes],
+            pe_ctrl: vec![UnitStats::default(); self.npes],
+            groups: Vec::new(),
+            link_stall_by_route: vec![0; self.prog.routes.len()],
+            ..Default::default()
+        };
+        self.cycle = 0;
+        self.progressed = false;
+    }
+
+    /// Moves the run outputs out of the machine (leaving it in need of a
+    /// [`Machine::reset`] before the next lane).
+    fn finish(&mut self) -> RunResult {
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.cycles = self.cycle;
+        RunResult {
+            stats,
+            memory: std::mem::take(&mut self.memory),
+            sinks: self
+                .sink_labels
+                .iter()
+                .cloned()
+                .zip(std::mem::take(&mut self.sink_data))
+                .collect(),
+            oob_events: self.oob,
+        }
+    }
+
     fn boot(&mut self) {
         // Fire every Start node at cycle 0.
         for (i, n) in self.prog.nodes.iter().enumerate() {
@@ -685,6 +1300,9 @@ impl<'p> Machine<'p> {
                 self.emit(i as u32, Value::Unit, 1);
             }
         }
+        // `emit` above may have marked candidates before the final Start
+        // settled `active_group`: rebuild the per-group counts.
+        self.recompute_group_counts();
     }
 
     fn qidx(&self, node: u32, port: u8) -> usize {
@@ -692,9 +1310,7 @@ impl<'p> Machine<'p> {
     }
 
     fn schedule(&mut self, at: u64, kind: EvKind) {
-        let seq = self.ev_seq;
-        self.ev_seq += 1;
-        self.events.push(Ev { at, seq, kind });
+        self.events.push(at, kind);
     }
 
     fn mark_candidate(&mut self, node: u32) {
@@ -702,6 +1318,16 @@ impl<'p> Machine<'p> {
             self.in_candidates[node as usize] = true;
             self.cand_count += 1;
             let u = self.node_unit[node as usize].0;
+            if self.track_groups {
+                if self.node_group[node as usize] == self.active_group {
+                    self.unit_grp_cands[u] += 1;
+                    self.grp_cand_total += 1;
+                }
+                if !self.in_cand_units[u] {
+                    self.in_cand_units[u] = true;
+                    self.cand_units.push(u as u32);
+                }
+            }
             self.unit_candidates[u].push_back(node);
             if !self.unit_queued[u] {
                 self.unit_queued[u] = true;
@@ -715,103 +1341,106 @@ impl<'p> Machine<'p> {
         let n = self.unit_candidates[unit].pop_front()?;
         self.in_candidates[n as usize] = false;
         self.cand_count -= 1;
+        if self.track_groups && self.node_group[n as usize] == self.active_group {
+            self.unit_grp_cands[unit] -= 1;
+            self.grp_cand_total -= 1;
+        }
         Some(n)
     }
 
-    /// Re-enqueues a candidate that must keep waiting (wrong group / per
-    /// cycle fire limit) without losing its slot.
-    fn requeue_candidate(&mut self, unit: usize, node: u32) {
-        self.in_candidates[node as usize] = true;
-        self.cand_count += 1;
-        self.unit_candidates[unit].push_back(node);
-    }
-
-    /// Latency from fire to result availability.
-    fn result_latency(&self, op: Op) -> u64 {
-        self.tm.result_latency(op)
+    /// Rebuilds `unit_grp_cands` / `grp_cand_total` after the active
+    /// group changed. Outside the issue pass every unit holding a
+    /// candidate is registered in `active_units`, so the scan covers all
+    /// candidates; switches are rare, so the O(candidates) cost is cold.
+    fn recompute_group_counts(&mut self) {
+        if !self.track_groups {
+            return;
+        }
+        self.unit_grp_cands.fill(0);
+        self.grp_cand_total = 0;
+        let g = self.active_group;
+        let mut cand_units = std::mem::take(&mut self.cand_units);
+        cand_units.retain(|&uu| {
+            let u = uu as usize;
+            if self.unit_candidates[u].is_empty() {
+                self.in_cand_units[u] = false;
+                return false; // drained since registration: compact
+            }
+            let c = self.unit_candidates[u]
+                .iter()
+                .filter(|&&n| self.node_group[n as usize] == g)
+                .count() as u32;
+            self.unit_grp_cands[u] = c;
+            self.grp_cand_total += c as usize;
+            // Units parked until now hold backlog for the incoming group:
+            // put them back on the walk.
+            if c > 0 && !self.unit_queued[u] {
+                self.unit_queued[u] = true;
+                self.active_units.push(uu);
+            }
+            true
+        });
+        self.cand_units = cand_units;
     }
 
     /// Emits a value to all consumers of `node`.
     fn emit(&mut self, node: u32, value: Value, lat: u64) {
-        let src_bb = self.node_bb[node as usize] as usize;
-        let in_cluster = self.header_bb[src_bb];
-        for li in self.cons_base[node as usize]..self.cons_base[node as usize + 1] {
-            let link = self.cons_links[li as usize];
+        for li in self.cons_base[node as usize] as usize..self.cons_base[node as usize + 1] as usize
+        {
             // Combinational forwarding inside a loop unit: same-header
             // operators see the value in the same cycle.
-            if in_cluster {
-                let (dst, port) = match link {
-                    ConsLink::Local { node: dst, port } => (dst, port),
-                    ConsLink::Remote { route } => {
-                        let r = &self.prog.routes[route as usize];
-                        (r.dst, r.dst_port)
-                    }
-                };
-                if self.node_bb[dst as usize] as usize == src_bb && !self.node_is_mem[dst as usize]
-                {
-                    let qi = self.qidx(dst, port);
-                    self.queues[qi].push_back(value);
-                    self.mark_candidate(dst);
-                    continue;
-                }
+            if self.cons_internal[li] {
+                self.queues.push_back(self.cons_qi[li] as usize, value);
+                self.mark_candidate(self.cons_dst[li]);
+                continue;
             }
-            match link {
-                ConsLink::Local { node: dst, port } => {
-                    let qi = self.qidx(dst, port);
-                    self.reserved[qi] += 1;
-                    self.group_inflight[self.node_group[dst as usize] as usize] += 1;
-                    self.schedule(
-                        self.cycle + lat,
-                        EvKind::Deliver {
-                            node: dst,
-                            port,
-                            value,
-                            route: None,
-                        },
-                    );
+            let route = self.cons_route[li];
+            if route == u32::MAX {
+                let dst = self.cons_dst[li];
+                let qi = self.cons_qi[li] as usize;
+                self.reserved[qi] += 1;
+                self.group_inflight[self.node_group[dst as usize] as usize] += 1;
+                self.schedule(
+                    self.cycle + lat,
+                    EvKind::Deliver {
+                        node: dst,
+                        port: self.cons_port[li],
+                        value,
+                        route: None,
+                    },
+                );
+            } else {
+                let ri = route as usize;
+                self.route_inflight[ri] += 1;
+                self.group_inflight[self.route_dst_group[ri] as usize] += 1;
+                let extra = self.route_extra[ri];
+                let is_ctrl = self.route_is_ctrl[ri];
+                if is_ctrl {
+                    self.stats.ctrl_tokens += 1;
+                } else {
+                    self.stats.data_tokens += 1;
                 }
-                ConsLink::Remote { route } => {
-                    let r = &self.prog.routes[route as usize];
-                    self.route_inflight[route as usize] += 1;
-                    self.group_inflight[self.node_group[r.dst as usize] as usize] += 1;
-                    let mut extra = 0u64;
-                    if r.activation {
-                        extra += u64::from(self.tm.activation_extra);
-                        if r.dynamic {
-                            extra += u64::from(self.tm.dyn_bound_extra);
-                        }
+                match (is_ctrl, self.tm.ctrl_transport) {
+                    (true, CtrlTransport::CtrlNetwork { latency }) => {
+                        // Fixed-path network: one transfer per route per
+                        // cycle, single-cycle traversal.
+                        let qi = self.cons_qi[li] as usize;
+                        self.reserved[qi] += 1;
+                        let ready = self.cycle + lat + extra;
+                        let slot = ready.max(self.route_next_free[ri]);
+                        self.route_next_free[ri] = slot + 1;
+                        self.schedule(
+                            slot + u64::from(latency),
+                            EvKind::Deliver {
+                                node: self.cons_dst[li],
+                                port: self.cons_port[li],
+                                value,
+                                route: Some(route),
+                            },
+                        );
                     }
-                    let is_ctrl = r.class == RouteClass::Ctrl;
-                    if is_ctrl {
-                        self.stats.ctrl_tokens += 1;
-                    } else {
-                        self.stats.data_tokens += 1;
-                    }
-                    match (is_ctrl, self.tm.ctrl_transport) {
-                        (true, CtrlTransport::CtrlNetwork { latency }) => {
-                            // Fixed-path network: one transfer per route per
-                            // cycle, single-cycle traversal.
-                            let qi = self.qidx(r.dst, r.dst_port);
-                            self.reserved[qi] += 1;
-                            let ready = self.cycle + lat + extra;
-                            let slot = ready.max(self.route_next_free[route as usize]);
-                            self.route_next_free[route as usize] = slot + 1;
-                            self.schedule(
-                                slot + u64::from(latency),
-                                EvKind::Deliver {
-                                    node: r.dst,
-                                    port: r.dst_port,
-                                    value,
-                                    route: Some(route),
-                                },
-                            );
-                        }
-                        _ => {
-                            self.schedule(
-                                self.cycle + lat + extra,
-                                EvKind::SpawnFlit { route, value },
-                            );
-                        }
+                    _ => {
+                        self.schedule(self.cycle + lat + extra, EvKind::SpawnFlit { route, value });
                     }
                 }
             }
@@ -831,7 +1460,7 @@ impl<'p> Machine<'p> {
             gs.first_fire = Some(self.cycle);
         }
         gs.last_fire = self.cycle;
-        let occ = self.tm.issue_occupancy();
+        let occ = self.fire_occ;
         match self.node_place[node as usize] {
             Placement::Pe { pe } => {
                 let u = &mut self.stats.pe_data[pe as usize];
@@ -860,45 +1489,42 @@ impl<'p> Machine<'p> {
 
     // ---------------- queue helpers -----------------------------------
 
-    fn peek(&self, node: u32, port: u8) -> Option<Value> {
-        match self.src_of[self.qidx(node, port)] {
+    /// Peeks the operand at flat queue slot `qi` without consuming it.
+    #[inline]
+    fn peek_qi(&self, qi: usize) -> Option<Value> {
+        match self.src_of[qi] {
             OperandSrc::Imm(v) => Some(v),
             OperandSrc::Param(p) => Some(self.params[p as usize]),
-            OperandSrc::Route(_) => self.queues[self.qidx(node, port)].front().copied(),
+            OperandSrc::Route(_) => self.queues.front(qi),
             OperandSrc::None => None,
         }
     }
 
-    fn avail(&self, node: u32, port: u8) -> bool {
-        self.peek(node, port).is_some()
-    }
-
-    fn connected(&self, node: u32, port: u8) -> bool {
-        !matches!(self.src_of[self.qidx(node, port)], OperandSrc::None)
-    }
-
-    fn pop(&mut self, node: u32, port: u8) -> Value {
-        match self.src_of[self.qidx(node, port)] {
-            OperandSrc::Imm(v) => v,
-            OperandSrc::Param(p) => self.params[p as usize],
-            OperandSrc::Route(_) => {
-                let qi = self.qidx(node, port);
-                let v = self.queues[qi].pop_front().expect("pop on empty queue");
-                // The queue shrank: unblock producers waiting on it and
-                // wake any flits parked on the freed slot.
-                if self.queue_parked[qi] && !self.queue_waked[qi] {
-                    self.queue_waked[qi] = true;
-                    self.waked_queues.push(qi as u32);
-                }
-                if !self.blocked_on_queue[qi].is_empty() {
-                    let blocked = std::mem::take(&mut self.blocked_on_queue[qi]);
-                    for b in blocked {
-                        self.mark_candidate(b);
-                    }
-                }
-                v
+    /// Consumes the operand previously peeked at `qi`: token queues pop
+    /// (waking parked flits and queue-blocked producers); immediates and
+    /// params are inexhaustible so consuming them is free. The firing
+    /// arms peek every operand, check output capacity, then consume —
+    /// one `src_of` dispatch per port instead of the peek/pop double.
+    fn consume_qi(&mut self, qi: usize) {
+        if matches!(self.src_of[qi], OperandSrc::Route(_)) {
+            self.queues.pop_front(qi);
+            // The queue shrank: unblock producers waiting on it and
+            // wake any flits parked on the freed slot.
+            if self.queue_parked[qi] && !self.queue_waked[qi] {
+                self.queue_waked[qi] = true;
+                self.waked_queues.push(qi as u32);
             }
-            OperandSrc::None => panic!("pop on unconnected port"),
+            if !self.blocked_on_queue[qi].is_empty() {
+                let mut blocked = std::mem::replace(
+                    &mut self.blocked_on_queue[qi],
+                    std::mem::take(&mut self.unblock_scratch),
+                );
+                for &b in &blocked {
+                    self.mark_candidate(b);
+                }
+                blocked.clear();
+                self.unblock_scratch = blocked;
+            }
         }
     }
 
@@ -914,42 +1540,32 @@ impl<'p> Machine<'p> {
             Route(usize),
         }
         let mut block: Option<Block> = None;
-        let src_bb = self.node_bb[node as usize] as usize;
-        let in_cluster = self.header_bb[src_bb];
-        'links: for li in self.cons_base[node as usize]..self.cons_base[node as usize + 1] {
-            let link = self.cons_links[li as usize];
-            if in_cluster {
-                let dst = match link {
-                    ConsLink::Local { node: dst, .. } => dst,
-                    ConsLink::Remote { route } => self.prog.routes[route as usize].dst,
-                };
-                if self.node_bb[dst as usize] as usize == src_bb && !self.node_is_mem[dst as usize]
-                {
-                    continue; // loop-unit internal registers
-                }
+        'links: for li in
+            self.cons_base[node as usize] as usize..self.cons_base[node as usize + 1] as usize
+        {
+            if self.cons_internal[li] {
+                continue; // loop-unit internal registers
             }
-            match link {
-                ConsLink::Local { node: dst, port } => {
-                    let qi = self.qidx(dst, port);
-                    if self.queues[qi].len() + self.reserved[qi] >= self.tm.queue_capacity {
+            let route = self.cons_route[li];
+            if route == u32::MAX {
+                let qi = self.cons_qi[li] as usize;
+                if self.queues.len(qi) + self.reserved[qi] >= self.qcap {
+                    block = Some(Block::Queue(qi));
+                    break 'links;
+                }
+            } else {
+                let ri = route as usize;
+                if self.route_inflight[ri] >= self.route_cap {
+                    block = Some(Block::Route(ri));
+                    break 'links;
+                }
+                if self.route_is_ctrl[ri]
+                    && matches!(self.tm.ctrl_transport, CtrlTransport::CtrlNetwork { .. })
+                {
+                    let qi = self.cons_qi[li] as usize;
+                    if self.queues.len(qi) + self.reserved[qi] >= self.qcap {
                         block = Some(Block::Queue(qi));
                         break 'links;
-                    }
-                }
-                ConsLink::Remote { route } => {
-                    if self.route_inflight[route as usize] >= self.tm.route_inflight_cap {
-                        block = Some(Block::Route(route as usize));
-                        break 'links;
-                    }
-                    let r = &self.prog.routes[route as usize];
-                    if r.class == RouteClass::Ctrl
-                        && matches!(self.tm.ctrl_transport, CtrlTransport::CtrlNetwork { .. })
-                    {
-                        let qi = self.qidx(r.dst, r.dst_port);
-                        if self.queues[qi].len() + self.reserved[qi] >= self.tm.queue_capacity {
-                            block = Some(Block::Queue(qi));
-                            break 'links;
-                        }
                     }
                 }
             }
@@ -970,126 +1586,158 @@ impl<'p> Machine<'p> {
     // ---------------- firing ------------------------------------------
 
     /// Attempts to fire `node`; returns true if it fired.
+    ///
+    /// Each arm peeks its operands (side-effect free), checks output
+    /// capacity, then consumes — so every port is dispatched on
+    /// `src_of` exactly once per attempt and failed attempts touch no
+    /// state beyond the `output_ready` block registration.
     fn try_fire(&mut self, node: u32) -> bool {
         let op = self.node_op[node as usize];
         let predicated = self.tm.predicated_branches;
-        macro_rules! need {
-            ($($port:expr),*) => {
-                if $( !self.avail(node, $port) )||* { return false; }
-            };
-        }
+        let pb = self.port_base[node as usize];
         match op {
             Op::Start => false,
             Op::Bin(b) => {
-                need!(0, 1);
+                let Some(x) = self.peek_qi(pb) else {
+                    return false;
+                };
+                let Some(y) = self.peek_qi(pb + 1) else {
+                    return false;
+                };
                 if !self.output_ready(node) {
                     return false;
                 }
-                let x = self.pop(node, 0);
-                let y = self.pop(node, 1);
+                self.consume_qi(pb);
+                self.consume_qi(pb + 1);
                 let out = b.eval(x, y);
-                self.finish_fire(node, Some(out), op);
+                self.finish_fire(node, Some(out));
                 true
             }
             Op::Un(u) => {
-                need!(0);
+                let Some(x) = self.peek_qi(pb) else {
+                    return false;
+                };
                 if !self.output_ready(node) {
                     return false;
                 }
-                let x = self.pop(node, 0);
+                self.consume_qi(pb);
                 let out = u.eval(x);
-                self.finish_fire(node, Some(out), op);
+                self.finish_fire(node, Some(out));
                 true
             }
             Op::Nl(u) => {
-                need!(0);
+                let Some(x) = self.peek_qi(pb) else {
+                    return false;
+                };
                 if !self.output_ready(node) {
                     return false;
                 }
-                let x = self.pop(node, 0);
+                self.consume_qi(pb);
                 let out = u.eval(x);
-                self.finish_fire(node, Some(out), op);
+                self.finish_fire(node, Some(out));
                 true
             }
             Op::Mux => {
-                need!(0, 1, 2);
+                let Some(p) = self.peek_qi(pb) else {
+                    return false;
+                };
+                let Some(t) = self.peek_qi(pb + 1) else {
+                    return false;
+                };
+                let Some(f) = self.peek_qi(pb + 2) else {
+                    return false;
+                };
                 if !self.output_ready(node) {
                     return false;
                 }
-                let p = self.pop(node, 0);
-                let t = self.pop(node, 1);
-                let f = self.pop(node, 2);
+                self.consume_qi(pb);
+                self.consume_qi(pb + 1);
+                self.consume_qi(pb + 2);
                 let out = match p.as_bool() {
                     None => Value::Poison,
                     Some(true) => t,
                     Some(false) => f,
                 };
-                self.finish_fire(node, Some(out), op);
+                self.finish_fire(node, Some(out));
                 true
             }
             Op::Load(arr) => {
-                let need_dep = self.connected(node, 1);
-                if !self.avail(node, 0) || (need_dep && !self.avail(node, 1)) {
+                let need_dep = !matches!(self.src_of[pb + 1], OperandSrc::None);
+                let Some(idx) = self.peek_qi(pb) else {
+                    return false;
+                };
+                if need_dep && self.peek_qi(pb + 1).is_none() {
                     return false;
                 }
                 if !self.output_ready(node) {
                     return false;
                 }
-                let idx = self.pop(node, 0);
+                self.consume_qi(pb);
                 if need_dep {
-                    self.pop(node, 1);
+                    self.consume_qi(pb + 1);
                 }
                 let out = if idx.is_poison() {
                     Value::Poison
                 } else {
                     self.mem_load(arr.0 as usize, idx.to_i32_lossy())
                 };
-                self.finish_fire(node, Some(out), op);
+                self.finish_fire(node, Some(out));
                 true
             }
             Op::Store(arr) => {
-                let need_dep = self.connected(node, 2);
-                if !(self.avail(node, 0) && self.avail(node, 1))
-                    || (need_dep && !self.avail(node, 2))
-                {
+                let need_dep = !matches!(self.src_of[pb + 2], OperandSrc::None);
+                let Some(idx) = self.peek_qi(pb) else {
+                    return false;
+                };
+                let Some(val) = self.peek_qi(pb + 1) else {
+                    return false;
+                };
+                if need_dep && self.peek_qi(pb + 2).is_none() {
                     return false;
                 }
                 if !self.output_ready(node) {
                     return false;
                 }
-                let idx = self.pop(node, 0);
-                let val = self.pop(node, 1);
+                self.consume_qi(pb);
+                self.consume_qi(pb + 1);
                 if need_dep {
-                    self.pop(node, 2);
+                    self.consume_qi(pb + 2);
                 }
                 let poisoned = idx.is_poison() || val.is_poison();
                 if !poisoned {
                     self.mem_store(arr.0 as usize, idx.to_i32_lossy(), val);
                 }
-                self.finish_fire_poison(node, Some(Value::Unit), op, poisoned);
+                self.finish_fire_poison(node, Some(Value::Unit), poisoned);
                 true
             }
             Op::Gate => {
-                let val_tok = matches!(self.src_of[self.qidx(node, 1)], OperandSrc::Route(_));
-                if !self.avail(node, 0) || (val_tok && !self.avail(node, 1)) {
+                let Some(trig) = self.peek_qi(pb) else {
                     return false;
-                }
+                };
+                let Some(v) = self.peek_qi(pb + 1) else {
+                    return false;
+                };
                 if !self.output_ready(node) {
                     return false;
                 }
-                let trig = self.pop(node, 0);
-                let v = self.pop(node, 1);
+                self.consume_qi(pb);
+                self.consume_qi(pb + 1);
                 let out = if trig.is_poison() { Value::Poison } else { v };
-                self.finish_fire(node, Some(out), op);
+                self.finish_fire(node, Some(out));
                 true
             }
             Op::Steer { sense, role } => {
-                need!(0, 1);
+                let Some(p) = self.peek_qi(pb) else {
+                    return false;
+                };
+                let Some(v) = self.peek_qi(pb + 1) else {
+                    return false;
+                };
                 if !self.output_ready(node) {
                     return false;
                 }
-                let p = self.pop(node, 0);
-                let v = self.pop(node, 1);
+                self.consume_qi(pb);
+                self.consume_qi(pb + 1);
                 let pred_mode = predicated && role == SteerRole::Branch;
                 if pred_mode {
                     let out = match p.as_bool() {
@@ -1097,78 +1745,86 @@ impl<'p> Machine<'p> {
                         _ => Value::Poison,
                     };
                     let poisoned = out.is_poison();
-                    self.finish_fire_poison(node, Some(out), op, poisoned);
+                    self.finish_fire_poison(node, Some(out), poisoned);
                 } else if p.as_bool() == Some(sense) {
-                    self.finish_fire(node, Some(v), op);
+                    self.finish_fire(node, Some(v));
                 } else {
-                    self.finish_fire(node, None, op);
+                    self.finish_fire(node, None);
                 }
                 true
             }
             Op::Merge { role } => {
                 let pred_mode = predicated && role == SteerRole::Branch;
                 if pred_mode {
-                    need!(0, 1, 2);
+                    let Some(p) = self.peek_qi(pb) else {
+                        return false;
+                    };
+                    let Some(t) = self.peek_qi(pb + 1) else {
+                        return false;
+                    };
+                    let Some(f) = self.peek_qi(pb + 2) else {
+                        return false;
+                    };
                     if !self.output_ready(node) {
                         return false;
                     }
-                    let p = self.pop(node, 0);
-                    let t = self.pop(node, 1);
-                    let f = self.pop(node, 2);
+                    self.consume_qi(pb);
+                    self.consume_qi(pb + 1);
+                    self.consume_qi(pb + 2);
                     let out = match p.as_bool() {
                         None => Value::Poison,
                         Some(true) => t,
                         Some(false) => f,
                     };
-                    self.finish_fire(node, Some(out), op);
+                    self.finish_fire(node, Some(out));
                     true
                 } else {
-                    let Some(p) = self.peek(node, 0) else {
+                    let Some(p) = self.peek_qi(pb) else {
                         return false;
                     };
                     let side = if p.as_bool() == Some(true) { 1 } else { 2 };
-                    if !self.avail(node, side) {
+                    let Some(v) = self.peek_qi(pb + side) else {
                         return false;
-                    }
+                    };
                     if !self.output_ready(node) {
                         return false;
                     }
-                    self.pop(node, 0);
-                    let v = self.pop(node, side);
-                    self.finish_fire(node, Some(v), op);
+                    self.consume_qi(pb);
+                    self.consume_qi(pb + side);
+                    self.finish_fire(node, Some(v));
                     true
                 }
             }
             Op::Carry => match self.seq_state[node as usize] {
                 SeqState::Fresh => {
-                    if !self.avail(node, 1) {
+                    let Some(init) = self.peek_qi(pb + 1) else {
                         return false;
-                    }
+                    };
                     if !self.output_ready(node) {
                         return false;
                     }
-                    let init = self.pop(node, 1);
+                    self.consume_qi(pb + 1);
                     self.seq_state[node as usize] = SeqState::Looping;
-                    self.finish_fire(node, Some(init), op);
+                    self.finish_fire(node, Some(init));
                     true
                 }
                 SeqState::Looping => {
-                    let Some(last) = self.peek(node, 0) else {
+                    let Some(last) = self.peek_qi(pb) else {
                         return false;
                     };
-                    if !self.avail(node, 2) {
+                    let Some(next) = self.peek_qi(pb + 2) else {
                         return false;
-                    }
+                    };
                     if !self.output_ready(node) {
                         return false;
                     }
-                    self.pop(node, 0);
-                    let next = self.pop(node, 2);
+                    self.consume_qi(pb);
+                    self.consume_qi(pb + 2);
                     if last.as_bool() == Some(false) {
-                        self.finish_fire(node, Some(next), op);
+                        self.finish_fire(node, Some(next));
                     } else {
                         self.seq_state[node as usize] = SeqState::Fresh;
-                        self.finish_fire(node, None, op);
+                        self.finish_fire(node, None);
                     }
                     true
                 }
@@ -1176,38 +1832,40 @@ impl<'p> Machine<'p> {
             },
             Op::Inv => match self.seq_state[node as usize] {
                 SeqState::Fresh => {
-                    if !self.avail(node, 0) {
+                    let Some(v) = self.peek_qi(pb) else {
                         return false;
-                    }
+                    };
                     if !self.output_ready(node) {
                         return false;
                     }
-                    let v = self.pop(node, 0);
+                    self.consume_qi(pb);
                     self.seq_state[node as usize] = SeqState::Held(v);
-                    self.finish_fire(node, Some(v), op);
+                    self.finish_fire(node, Some(v));
                     true
                 }
                 SeqState::Held(v) => {
-                    if !self.avail(node, 1) {
+                    let Some(last) = self.peek_qi(pb + 1) else {
                         return false;
-                    }
+                    };
                     if !self.output_ready(node) {
                         return false;
                     }
-                    let last = self.pop(node, 1);
+                    self.consume_qi(pb + 1);
                     if last.as_bool() == Some(false) {
-                        self.finish_fire(node, Some(v), op);
+                        self.finish_fire(node, Some(v));
                     } else {
                         self.seq_state[node as usize] = SeqState::Fresh;
-                        self.finish_fire(node, None, op);
+                        self.finish_fire(node, None);
                     }
                     true
                 }
                 SeqState::Looping => unreachable!("inv never loops"),
             },
             Op::Sink => {
-                need!(0);
-                let v = self.pop(node, 0);
+                let Some(v) = self.peek_qi(pb) else {
+                    return false;
+                };
+                self.consume_qi(pb);
                 let slot = self.sink_slot[node as usize] as usize;
                 self.sink_data[slot].push(v);
                 self.record_fire(node, false);
@@ -1216,18 +1874,18 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn finish_fire(&mut self, node: u32, out: Option<Value>, op: Op) {
+    fn finish_fire(&mut self, node: u32, out: Option<Value>) {
         let poisoned = matches!(out, Some(Value::Poison));
-        self.finish_fire_poison(node, out, op, poisoned);
+        self.finish_fire_poison(node, out, poisoned);
     }
 
-    fn finish_fire_poison(&mut self, node: u32, out: Option<Value>, op: Op, poisoned: bool) {
+    fn finish_fire_poison(&mut self, node: u32, out: Option<Value>, poisoned: bool) {
         self.record_fire(node, poisoned);
         self.last_fire_cycle[node as usize] = self.cycle;
         let u = self.node_unit[node as usize];
-        self.unit_free_at[u.0] = self.cycle + self.tm.issue_occupancy();
+        self.unit_free_at[u.0] = self.cycle + self.fire_occ;
         if let Some(v) = out {
-            let lat = self.result_latency(op);
+            let lat = self.node_lat[node as usize];
             self.emit(node, v, lat);
         }
         // The node may be immediately ready again.
@@ -1265,20 +1923,25 @@ impl<'p> Machine<'p> {
             } => {
                 let qi = self.qidx(node, port);
                 debug_assert!(
-                    self.queues[qi].len() < self.tm.queue_capacity,
+                    self.queues.len(qi) < self.tm.queue_capacity,
                     "reservation guarantees space"
                 );
                 self.reserved[qi] = self.reserved[qi].saturating_sub(1);
                 let dg = self.node_group[node as usize] as usize;
                 self.group_inflight[dg] = self.group_inflight[dg].saturating_sub(1);
-                self.queues[qi].push_back(value);
+                self.queues.push_back(qi, value);
                 if let Some(r) = route {
                     self.route_inflight[r as usize] -= 1;
                     if !self.blocked_on_route[r as usize].is_empty() {
-                        let blocked = std::mem::take(&mut self.blocked_on_route[r as usize]);
-                        for b in blocked {
+                        let mut blocked = std::mem::replace(
+                            &mut self.blocked_on_route[r as usize],
+                            std::mem::take(&mut self.unblock_scratch),
+                        );
+                        for &b in &blocked {
                             self.mark_candidate(b);
                         }
+                        blocked.clear();
+                        self.unblock_scratch = blocked;
                     }
                 }
                 self.mark_candidate(node);
@@ -1299,17 +1962,9 @@ impl<'p> Machine<'p> {
     }
 
     fn process_events(&mut self) {
-        while let Some(ev) = self.events.peek() {
-            if ev.at > self.cycle {
-                break;
-            }
-            let ev = self.events.pop().expect("peeked event");
-            self.handle_event(ev.kind);
+        while let Some(kind) = self.events.pop_due(self.cycle) {
+            self.handle_event(kind);
         }
-    }
-
-    fn link_id(&self, from: usize, to: usize) -> usize {
-        link_id_for(self.cols, from, to)
     }
 
     /// Attempts delivery of parked (at-destination) flits. Per queue the
@@ -1331,17 +1986,16 @@ impl<'p> Machine<'p> {
             if !self.queue_parked[qi] {
                 continue;
             }
-            let space = self.tm.queue_capacity.saturating_sub(self.queues[qi].len());
+            let space = self.tm.queue_capacity.saturating_sub(self.queues.len(qi));
             if space == 0 {
                 continue; // refilled before the scan; await the next pop
             }
             let take_n = self.parked[qi].len().min(space);
             for k in 0..take_n {
                 let pf = self.parked[qi][k].clone();
-                let r = &self.prog.routes[pf.route as usize];
-                let dg = self.node_group[r.dst as usize] as usize;
+                let dg = self.route_dst_group[pf.route as usize] as usize;
                 self.group_inflight[dg] = self.group_inflight[dg].saturating_sub(1);
-                self.queues[qi].push_back(pf.value);
+                self.queues.push_back(qi, pf.value);
                 self.route_inflight[pf.route as usize] -= 1;
                 // All cycles spent waiting, one stall per blocked cycle.
                 self.stats.link_stall_cycles += self.cycle - pf.first_attempt;
@@ -1360,26 +2014,32 @@ impl<'p> Machine<'p> {
         self.deliver_buf.sort_unstable_by_key(|&(s, _)| s);
         let buf = std::mem::take(&mut self.deliver_buf);
         for &(_, route) in &buf {
-            let dst = self.prog.routes[route as usize].dst;
-            let blocked = std::mem::take(&mut self.blocked_on_route[route as usize]);
-            for b in blocked {
-                self.mark_candidate(b);
+            let dst = self.route_dst[route as usize];
+            if !self.blocked_on_route[route as usize].is_empty() {
+                let mut blocked = std::mem::replace(
+                    &mut self.blocked_on_route[route as usize],
+                    std::mem::take(&mut self.unblock_scratch),
+                );
+                for &b in &blocked {
+                    self.mark_candidate(b);
+                }
+                blocked.clear();
+                self.unblock_scratch = blocked;
             }
             self.mark_candidate(dst);
         }
         self.deliver_buf = buf;
     }
 
-    /// Parks a flit that completed its last hop: it re-enters delivery
-    /// arbitration (serial order per queue) starting next cycle.
-    fn park_flit(&mut self, fi: usize) {
-        let f = &self.flits[fi];
-        let r = &self.prog.routes[f.route as usize];
-        let qi = self.qidx(r.dst, r.dst_port);
+    /// Parks a delivered token (flit that completed its last hop): it
+    /// re-enters delivery arbitration (serial order per queue) starting
+    /// next cycle.
+    fn park_token(&mut self, serial: u64, route: u32, value: Value) {
+        let qi = self.route_dst_qi[route as usize] as usize;
         let pf = ParkedFlit {
-            serial: f.serial,
-            route: f.route,
-            value: f.value,
+            serial,
+            route,
+            value,
             first_attempt: self.cycle + 1,
         };
         // Same-queue flits ride the same route, so serials arrive in
@@ -1392,79 +2052,167 @@ impl<'p> Machine<'p> {
         self.queue_parked[qi] = true;
         // If the queue already has space the first attempt (next cycle)
         // must run; otherwise the enabling pop will set the wake flag.
-        if self.queues[qi].len() < self.tm.queue_capacity && !self.queue_waked[qi] {
+        if self.queues.len(qi) < self.tm.queue_capacity && !self.queue_waked[qi] {
             self.queue_waked[qi] = true;
             self.waked_queues.push(qi as u32);
         }
+    }
+
+    fn park_flit(&mut self, fi: usize) {
+        let f = &self.flits[fi];
+        let (serial, route, value) = (f.serial, f.route, f.value);
+        self.park_token(serial, route, value);
         self.flits[fi].alive = false;
     }
 
+    /// Per-grant traversal latency: the nominal link latency, stretched
+    /// by a flaky multiplier with the extra cycles charged as link
+    /// stalls (mirrored by the compiler's cost penalty); the value is
+    /// untouched.
+    fn grant_latency(&mut self, lid: usize, route: usize) -> (u64, u64) {
+        let base = u64::from(self.tm.link_latency);
+        let mut lat = base;
+        if self.has_flaky {
+            let mult = self.flaky_mult[lid];
+            if mult > 1 {
+                let extra = base.max(1) * (mult - 1);
+                self.stats.link_stall_cycles += extra;
+                self.stats.link_stall_by_route[route] += extra;
+                lat += extra;
+            }
+        }
+        (lat, base)
+    }
+
+    /// Advances the mesh by one cycle.
+    ///
+    /// Arbitration invariant: among all flits wanting a link this cycle,
+    /// the smallest serial wins — exactly the old serial-ordered
+    /// full-vector scan. Losers leave the scan for their link's waiter
+    /// queue ([`LinkWaiter`]), so a congested link costs one grant per
+    /// cycle instead of one scan per blocked flit per cycle.
     fn advance_flits(&mut self) {
         self.deliver_parked();
-        if self.flits.is_empty() {
+        if self.flits.is_empty() && self.link_wait_count == 0 {
             return;
         }
-        let mut any_parked = false;
+        let mut any_removed = false;
+        // In-flight flits, in serial order (the vec is kept sorted).
         for fi in 0..self.flits.len() {
             if self.flits[fi].ready_at > self.cycle {
                 continue; // still traversing the previous link
             }
             let route = self.flits[fi].route as usize;
             let hop = self.flits[fi].hop;
-            let r = &self.prog.routes[route];
-            if hop + 1 >= r.path.len() {
+            let nhops = self.route_hops[route] as usize;
+            if hop + 1 >= nhops {
                 // The final hop finished a stretched (flaky-link)
                 // traversal: deliver now that `ready_at` has arrived.
                 self.park_flit(fi);
-                any_parked = true;
+                any_removed = true;
                 self.progressed = true;
                 continue;
             }
-            let from = r.path[hop] as usize;
-            let to = r.path[hop + 1] as usize;
-            let lid = self.link_id(from, to);
-            if self.link_used[lid] != self.cycle {
+            let lid = self.route_hop_link[self.route_hop_base[route] as usize + hop] as usize;
+            // The link is taken if a smaller-serial flit already grabbed
+            // it this cycle, or an earlier-arrived smaller-serial waiter
+            // is owed it (granted in the waiter sweep below).
+            let lost = self.link_used[lid] == self.cycle
+                || self.link_waiters[lid]
+                    .front()
+                    .is_some_and(|w| w.serial < self.flits[fi].serial);
+            if lost {
+                let f = &mut self.flits[fi];
+                let w = LinkWaiter {
+                    serial: f.serial,
+                    route: f.route,
+                    hop: f.hop,
+                    value: f.value,
+                    first_attempt: self.cycle,
+                };
+                f.alive = false;
+                any_removed = true;
+                let q = &mut self.link_waiters[lid];
+                if q.is_empty() {
+                    self.waiting_links.push(lid as u32);
+                }
+                let pos = match q.binary_search_by_key(&w.serial, |p| p.serial) {
+                    Ok(_) => unreachable!("flit serials are unique"),
+                    Err(p) => p,
+                };
+                q.insert(pos, w);
+                self.link_wait_count += 1;
+            } else {
                 self.link_used[lid] = self.cycle;
                 self.flits[fi].hop += 1;
-                let base = u64::from(self.tm.link_latency);
-                let mut lat = base;
-                if self.has_flaky {
-                    let mult = self.flaky_mult[lid];
-                    if mult > 1 {
-                        // A flaky link only stretches time: the extra
-                        // traversal cycles are charged as link stalls
-                        // (mirrored by the compiler's cost penalty) and
-                        // the value is untouched.
-                        let extra = base.max(1) * (mult - 1);
-                        self.stats.link_stall_cycles += extra;
-                        self.stats.link_stall_by_route[route] += extra;
-                        lat += extra;
-                    }
-                }
+                let (lat, base) = self.grant_latency(lid, route);
                 self.flits[fi].ready_at = self.cycle + lat;
                 self.stats.mesh_hops += 1;
                 self.progressed = true;
-                if self.flits[fi].hop + 1 >= r.path.len() && lat == base {
+                if self.flits[fi].hop + 1 >= nhops && lat == base {
                     // Nominal links deliver at grant time (the healthy
                     // fast path); a stretched final hop stays in flight
                     // until `ready_at` and is delivered above.
                     self.park_flit(fi);
-                    any_parked = true;
+                    any_removed = true;
                 }
-            } else {
-                self.stats.link_stall_cycles += 1;
-                self.stats.link_stall_by_route[route] += 1;
             }
         }
-        if any_parked {
+        // One grant per contended link: the head waiter (smallest
+        // serial) takes any link no in-flight flit claimed this cycle.
+        // Links are independent, so sweep order is immaterial.
+        if self.link_wait_count > 0 {
+            let mut wl = std::mem::take(&mut self.waiting_links);
+            wl.retain(|&l| {
+                let lid = l as usize;
+                if self.link_used[lid] == self.cycle {
+                    return true; // lost to a smaller-serial in-flight flit
+                }
+                let w = self.link_waiters[lid]
+                    .pop_front()
+                    .expect("waiting_links tracks non-empty queues");
+                self.link_wait_count -= 1;
+                let route = w.route as usize;
+                // All cycles spent waiting, one stall per blocked cycle.
+                let stall = self.cycle - w.first_attempt;
+                self.stats.link_stall_cycles += stall;
+                self.stats.link_stall_by_route[route] += stall;
+                self.link_used[lid] = self.cycle;
+                let (lat, base) = self.grant_latency(lid, route);
+                let hop = w.hop + 1;
+                self.stats.mesh_hops += 1;
+                self.progressed = true;
+                if hop + 1 >= self.route_hops[route] as usize && lat == base {
+                    self.park_token(w.serial, w.route, w.value);
+                } else {
+                    // Re-enters the in-flight scan (a stretched final hop
+                    // parks there once `ready_at` arrives).
+                    let f = Flit {
+                        route: w.route,
+                        hop,
+                        value: w.value,
+                        alive: true,
+                        serial: w.serial,
+                        ready_at: self.cycle + lat,
+                    };
+                    let pos = self.flits.partition_point(|x| x.serial < f.serial);
+                    self.flits.insert(pos, f);
+                }
+                !self.link_waiters[lid].is_empty()
+            });
+            self.waiting_links = wl;
+        }
+        if any_removed {
             self.flits.retain(|f| f.alive);
         }
     }
 
-    /// Active units in ascending unit order (issue priority is by unit
-    /// index, exactly like the old full-array scan).
-    fn sorted_active_units(&self) -> Vec<u32> {
-        let mut units = self.active_units.clone();
+    /// Units holding candidates, in ascending unit order (issue priority
+    /// is by unit index, exactly like the old full-array scan). Source is
+    /// `cand_units`, which — unlike `active_units` — still contains the
+    /// parked-backlog units the issue pass deregistered.
+    fn sorted_cand_units(&self) -> Vec<u32> {
+        let mut units = self.cand_units.clone();
         units.sort_unstable();
         units
     }
@@ -1495,8 +2243,14 @@ impl<'p> Machine<'p> {
             return;
         }
         // Active group is idle: find another group with waiting candidates.
+        // The group-candidate counters make the common no-switch case O(1):
+        // a candidate outside the active group exists iff the total exceeds
+        // the active group's share.
+        if self.cand_count <= self.grp_cand_total {
+            return;
+        }
         let mut target: Option<u16> = None;
-        'outer: for &ui in &self.sorted_active_units() {
+        'outer: for &ui in &self.sorted_cand_units() {
             for &n in &self.unit_candidates[ui as usize] {
                 let g = self.node_group[n as usize];
                 if g != self.active_group {
@@ -1510,6 +2264,7 @@ impl<'p> Machine<'p> {
             self.switch_until = self.cycle + u64::from(self.tm.group_switch_cost);
             self.last_active_fire = self.switch_until;
             self.stats.group_switches += 1;
+            self.recompute_group_counts();
         }
     }
 
@@ -1523,16 +2278,19 @@ impl<'p> Machine<'p> {
             let mut fired_round = false;
             let len = self.unit_candidates[ui].len();
             for _ in 0..len {
-                let Some(n) = self.pop_candidate(ui) else {
+                let Some(&n) = self.unit_candidates[ui].front() else {
                     break;
                 };
                 if self.last_fire_cycle[n as usize] == self.cycle
-                    || (self.tm.exclusive_groups
-                        && self.node_group[n as usize] != self.active_group)
+                    || (self.track_groups && self.node_group[n as usize] != self.active_group)
                 {
-                    self.requeue_candidate(ui, n);
+                    // Keep waiting without losing the slot: a front-to-back
+                    // rotation is pop+requeue minus the membership/counter
+                    // churn (which cancels exactly).
+                    self.unit_candidates[ui].rotate_left(1);
                     continue;
                 }
+                self.pop_candidate(ui);
                 if self.try_fire(n) {
                     fired_round = true;
                     fired_any = true;
@@ -1545,7 +2303,7 @@ impl<'p> Machine<'p> {
         }
         if fired_any {
             self.progressed = true;
-            self.unit_free_at[ui] = self.cycle + self.tm.issue_occupancy();
+            self.unit_free_at[ui] = self.cycle + self.fire_occ;
         }
     }
 
@@ -1558,27 +2316,38 @@ impl<'p> Machine<'p> {
         // *during* the pass (e.g. a producer unblocked by a queue pop)
         // joins this cycle's walk iff its index is still ahead of the
         // cursor, exactly as the linear scan would have reached it.
-        // Reuse persistent scratch buffers: the issue pass runs every
-        // active cycle and must not allocate.
-        let mut heap = std::mem::take(&mut self.issue_heap);
-        for &u in &self.active_units {
-            heap.push(Reverse(u));
-        }
-        self.active_units.clear();
+        // The worklist is a sorted scratch vec walked by cursor:
+        // mid-pass activations are inserted at their sorted position past
+        // the cursor, so `work[i]` is always the minimum of the remaining
+        // set — the same total order a min-heap would yield, without the
+        // per-pop sift (active-unit counts are tiny). Scratch buffers
+        // persist: the pass runs every active cycle and must not allocate.
+        let mut work = std::mem::take(&mut self.issue_work);
+        debug_assert!(work.is_empty());
+        std::mem::swap(&mut work, &mut self.active_units);
+        work.sort_unstable();
         let mut leftover = std::mem::take(&mut self.issue_leftover);
+        let mut i = 0usize;
         let mut last: Option<u32> = None;
         loop {
             // Absorb activations that appeared while processing.
-            for i in 0..self.active_units.len() {
-                let u = self.active_units[i];
-                if last.is_none_or(|l| u > l) {
-                    heap.push(Reverse(u));
-                } else {
-                    leftover.push(u);
+            if !self.active_units.is_empty() {
+                for k in 0..self.active_units.len() {
+                    let u = self.active_units[k];
+                    if last.is_none_or(|l| u > l) {
+                        let pos = i + work[i..].partition_point(|&w| w < u);
+                        work.insert(pos, u);
+                    } else {
+                        leftover.push(u);
+                    }
                 }
+                self.active_units.clear();
             }
-            self.active_units.clear();
-            let Some(Reverse(u)) = heap.pop() else { break };
+            if i >= work.len() {
+                break;
+            }
+            let u = work[i];
+            i += 1;
             last = Some(u);
             let ui = u as usize;
             // Leaving the active list; firing/requeueing below re-adds.
@@ -1592,6 +2361,14 @@ impl<'p> Machine<'p> {
             if self.unit_candidates[ui].is_empty() {
                 continue; // drained earlier this cycle (stale entry)
             }
+            if self.track_groups && self.unit_grp_cands[ui] == 0 {
+                // Every candidate belongs to a parked group: a full pass
+                // would rotate the deque back to its start and fire
+                // nothing. Deregister — idle cycles must not re-walk the
+                // unit; `cand_units` keeps it reachable and the group
+                // switch (or an active-group arrival) re-registers it.
+                continue;
+            }
             if ui >= self.first_loop_unit {
                 self.issue_loop_unit(ui);
             } else {
@@ -1599,16 +2376,17 @@ impl<'p> Machine<'p> {
                 let mut tried = 0usize;
                 let max_tries = self.unit_candidates[ui].len();
                 while tried < max_tries {
-                    let Some(n) = self.pop_candidate(ui) else {
+                    let Some(&n) = self.unit_candidates[ui].front() else {
                         break;
                     };
-                    if self.tm.exclusive_groups && self.node_group[n as usize] != self.active_group
-                    {
-                        // Wrong group: keep waiting without burning the slot.
-                        self.requeue_candidate(ui, n);
+                    if self.track_groups && self.node_group[n as usize] != self.active_group {
+                        // Wrong group: keep waiting without burning the
+                        // slot (rotation == pop+requeue, counters cancel).
+                        self.unit_candidates[ui].rotate_left(1);
                         tried += 1;
                         continue;
                     }
+                    self.pop_candidate(ui);
                     if self.try_fire(n) {
                         self.progressed = true;
                         break;
@@ -1621,16 +2399,17 @@ impl<'p> Machine<'p> {
                 self.active_units.push(u);
             }
         }
-        leftover.append(&mut self.active_units);
+        work.clear();
+        self.issue_work = work; // empty; buffer reused next cycle
         std::mem::swap(&mut self.active_units, &mut leftover);
         self.issue_leftover = leftover; // now empty; buffer reused next cycle
-        self.issue_heap = heap; // drained; buffer reused next cycle
     }
 
     fn pending_work(&self) -> bool {
         self.cand_count > 0
             || !self.events.is_empty()
             || !self.flits.is_empty()
+            || self.link_wait_count > 0
             || self.parked_count > 0
     }
 
@@ -1653,9 +2432,9 @@ impl<'p> Machine<'p> {
             // Nothing happened: fast-forward to the next interesting cycle.
             // All scans below touch only the active-unit list, so an idle
             // machine costs O(active units), not O(all units).
-            let mut next: Option<u64> = self.events.peek().map(|ev| ev.at);
-            if !self.flits.is_empty() {
-                // In-transit flits arbitrate for links every cycle.
+            let mut next: Option<u64> = self.events.next_at();
+            if !self.flits.is_empty() || self.link_wait_count > 0 {
+                // In-transit and link-blocked flits arbitrate every cycle.
                 next = Some(next.map_or(self.cycle + 1, |n| n.min(self.cycle + 1)));
             }
             // Parked flits add no wakeup of their own: their queues only
@@ -1667,11 +2446,10 @@ impl<'p> Machine<'p> {
             if self.tm.exclusive_groups {
                 if self.switch_until > self.cycle {
                     next = Some(next.map_or(self.switch_until, |n| n.min(self.switch_until)));
-                } else if self.active_units.iter().any(|&u| {
-                    self.unit_candidates[u as usize]
-                        .iter()
-                        .any(|&n| self.node_group[n as usize] != self.active_group)
-                }) {
+                } else if self.cand_count > self.grp_cand_total {
+                    // O(1) "any waiter outside the active group?" — the
+                    // group-candidate counters make the old active-unit
+                    // scan unnecessary.
                     let t = self.last_active_fire + u64::from(self.tm.idle_switch_threshold) + 1;
                     let t = t.max(self.cycle + 1);
                     next = Some(next.map_or(t, |n| n.min(t)));
@@ -1705,7 +2483,7 @@ impl<'p> Machine<'p> {
                             cycle: self.cycle,
                             detail: format!(
                                 "{} flits ({} blocked at destination), {} events, waiting nodes {:?}",
-                                self.flits.len() + self.parked_count,
+                                self.flits.len() + self.link_wait_count + self.parked_count,
                                 self.parked_count,
                                 self.events.len(),
                                 waiting

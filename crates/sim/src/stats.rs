@@ -1,7 +1,7 @@
 //! Run statistics: PE utilization, group activity, firing profiles.
 
 /// Per-execution-unit counters.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct UnitStats {
     /// Cycles the unit was occupied.
     pub busy: u64,
@@ -12,7 +12,7 @@ pub struct UnitStats {
 }
 
 /// Per-mapping-group activity.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct GroupStats {
     /// First cycle any operator of the group fired.
     pub first_fire: Option<u64>,
@@ -25,7 +25,7 @@ pub struct GroupStats {
 }
 
 /// Statistics of one simulation run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Total cycles.
     pub cycles: u64,
