@@ -257,6 +257,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         lanes: 1,
     };
     // Single pass: a value consumed by a flag can never double as a flag.
+    // Each flag may appear once (`--fault` excepted: it accumulates) —
+    // a repeated flag is a typo'd command line, and silently letting the
+    // last occurrence win hides it.
+    let mut seen = std::collections::HashSet::new();
     let mut i = 1;
     let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
@@ -266,6 +270,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         }
     };
     while i < args.len() {
+        if args[i] != "--fault" && !seen.insert(args[i].clone()) {
+            return Err(format!("duplicate flag `{}`", args[i]));
+        }
         match args[i].as_str() {
             "--paper" => flags.scale = Scale::Paper,
             "--serial" => flags.serial_only = true,

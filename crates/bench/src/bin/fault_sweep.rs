@@ -91,11 +91,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     // value of the preceding one (a typo'd `--fault-count` must error,
     // not silently run the default sweep).
     let mut i = 1;
+    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
     while i < argv.len() {
         if !KNOWN_FLAGS.contains(&argv[i].as_str()) {
             return Err(format!("unknown argument `{}`\n{}", argv[i], usage()));
         }
+        *counts.entry(argv[i].as_str()).or_insert(0) += 1;
         i += 2; // the flag's value (validated by the per-flag parser)
+    }
+    // `--fault` accumulates; every other flag may appear once. The
+    // position-based `get` below takes the *first* occurrence, so a
+    // silently-accepted duplicate would not even last-win — reject it.
+    for (flag, n) in &counts {
+        if *flag != "--fault" && *n > 1 {
+            return Err(format!("duplicate flag `{flag}`\n{}", usage()));
+        }
     }
     let get = |flag: &str| -> Result<Option<String>, String> {
         match argv.iter().position(|a| a == flag) {

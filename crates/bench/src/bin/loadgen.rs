@@ -1,0 +1,378 @@
+//! `loadgen` — replay fuzz-corpus traffic against `mard` and measure it.
+//!
+//! Spins up an in-process server (or targets an external one via
+//! `--addr`), generates a corpus of fuzz programs, and replays them at a
+//! target concurrency in two phases:
+//!
+//! - **cold**: every distinct (program, preset) pair once — all misses;
+//! - **repeat**: the remaining requests cycle the same corpus, a third
+//!   of them with whitespace/comment mutations that must still hit the
+//!   canonical-keyed cache.
+//!
+//! Emits a `BENCH_serve.json` report with p50/p99 latency, throughput,
+//! per-phase cache-hit rates and the error count (which must be 0: the
+//! corpus is generated to be servable, and every 200 is bit-verified by
+//! the server itself).
+//!
+//! ```text
+//! loadgen [--requests N] [--concurrency C] [--programs P] [--seed S]
+//!         [--addr HOST:PORT] [--out FILE]
+//! ```
+
+use marionette_serve::{ServeConfig, Server};
+use std::collections::HashSet;
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+loadgen: replay fuzz-corpus traffic against mard
+
+USAGE:
+  loadgen [OPTIONS]
+
+OPTIONS:
+  --requests N      total requests to send     [default: 500]
+  --concurrency C   client threads             [default: 4]
+  --programs P      distinct corpus programs   [default: 16]
+  --seed S          corpus generation seed     [default: 1]
+  --addr HOST:PORT  target an external mard (default: in-process server)
+  --out FILE        write the JSON report here (default: stdout)
+  --help            print this help
+";
+
+/// Preset rotation for the corpus: a spread of control-flow planes so
+/// the cache holds heterogeneous artifacts.
+const PRESETS: &[&str] = &["M", "DF", "RT"];
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("loadgen: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+struct Flags {
+    requests: usize,
+    concurrency: usize,
+    programs: usize,
+    seed: u64,
+    addr: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        requests: 500,
+        concurrency: 4,
+        programs: 16,
+        seed: 1,
+        addr: None,
+        out: None,
+    };
+    let mut seen: HashSet<&'static str> = HashSet::new();
+    let mut i = 0;
+    while i < args.len() {
+        let canon: &'static str = match args[i].as_str() {
+            "--requests" => "--requests",
+            "--concurrency" => "--concurrency",
+            "--programs" => "--programs",
+            "--seed" => "--seed",
+            "--addr" => "--addr",
+            "--out" => "--out",
+            other => return Err(format!("unknown flag `{other}`")),
+        };
+        if !seen.insert(canon) {
+            return Err(format!("duplicate flag `{canon}`"));
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("`{canon}` needs a value"))?;
+        let num = |what: &str| {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("`{what}`: `{value}` is not a number"))
+        };
+        match canon {
+            "--requests" => f.requests = num(canon)?.max(1) as usize,
+            "--concurrency" => f.concurrency = num(canon)?.max(1) as usize,
+            "--programs" => f.programs = num(canon)?.max(1) as usize,
+            "--seed" => f.seed = num(canon)?,
+            "--addr" => f.addr = Some(value.clone()),
+            "--out" => f.out = Some(value.clone()),
+            _ => unreachable!(),
+        }
+        i += 2;
+    }
+    Ok(f)
+}
+
+/// One scheduled request: source body + query string.
+#[derive(Clone)]
+struct Shot {
+    query: String,
+    body: Arc<String>,
+}
+
+/// Whitespace/comment mutation: semantically identical source that must
+/// hit the same canonical cache entry.
+fn restyle(src: &str, salt: usize) -> String {
+    let mut out = format!("// loadgen restyle #{salt}: formatting only\n");
+    for line in src.lines() {
+        out.push_str(line);
+        out.push('\n');
+        if salt.is_multiple_of(2) {
+            out.push('\n'); // extra blank line between statements
+        }
+    }
+    out
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn send(addr: SocketAddr, shot: &Shot) -> Result<(u16, String), String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let timeout = Some(Duration::from_secs(120));
+    s.set_read_timeout(timeout).ok();
+    s.set_write_timeout(timeout).ok();
+    let head = format!(
+        "POST /run?{} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n",
+        shot.query,
+        shot.body.len()
+    );
+    s.write_all(head.as_bytes()).map_err(|e| e.to_string())?;
+    s.write_all(shot.body.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).map_err(|e| e.to_string())?;
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let (h, body) = text.split_once("\r\n\r\n").ok_or("truncated response")?;
+    let status: u16 = h
+        .split(' ')
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or("bad status line")?;
+    Ok((status, body.to_string()))
+}
+
+/// Replays `shots` from `threads` client threads; returns per-request
+/// latencies (µs) and the error count.
+fn replay(addr: SocketAddr, shots: &[Shot], threads: usize) -> (Vec<u64>, u64) {
+    let next = AtomicUsize::new(0);
+    let errors = AtomicU64::new(0);
+    let mut latencies: Vec<u64> = Vec::with_capacity(shots.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= shots.len() {
+                            break;
+                        }
+                        let start = Instant::now();
+                        match send(addr, &shots[i]) {
+                            Ok((200, body)) if body.contains("\"verified\": true") => {
+                                mine.push(start.elapsed().as_micros() as u64);
+                            }
+                            Ok((status, body)) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                let head: String = body.chars().take(200).collect();
+                                eprintln!("loadgen: status {status}: {head}");
+                            }
+                            Err(e) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                eprintln!("loadgen: transport: {e}");
+                            }
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread"));
+        }
+    });
+    (latencies, errors.load(Ordering::Relaxed))
+}
+
+fn cache_stats(addr: SocketAddr) -> (u64, u64) {
+    let mut s = TcpStream::connect(addr).expect("connect for stats");
+    s.write_all(b"GET /stats HTTP/1.1\r\nHost: loadgen\r\n\r\n")
+        .expect("stats request");
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).expect("stats response");
+    let text = String::from_utf8_lossy(&buf);
+    let grab = |key: &str| -> u64 {
+        text.split(&format!("\"{key}\": "))
+            .nth(1)
+            .and_then(|rest| {
+                rest.split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .and_then(|d| d.parse().ok())
+            })
+            .unwrap_or(0)
+    };
+    (grab("hits"), grab("misses"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+
+    // In-process server unless an external one was named.
+    let (addr, server) = match &flags.addr {
+        Some(a) => match a.parse::<SocketAddr>() {
+            Ok(addr) => (addr, None),
+            Err(e) => return usage_error(&format!("`--addr`: {e}")),
+        },
+        None => {
+            let server = match Server::start(ServeConfig {
+                workers: flags.concurrency.max(2),
+                queue_cap: flags.concurrency * 4,
+                ..ServeConfig::default()
+            }) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("loadgen: in-process server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (server.addr(), Some(server))
+        }
+    };
+
+    // Corpus: P fuzz programs, rendered to .mar source.
+    let corpus: Vec<Arc<String>> = (0..flags.programs)
+        .map(|i| {
+            let p = marionette_fuzzgen::gen::generate(
+                flags.seed.wrapping_add(i as u64),
+                &marionette_fuzzgen::gen::GenConfig::default(),
+            );
+            Arc::new(marionette_fuzzgen::source::to_mar(&p))
+        })
+        .collect();
+
+    // Cold phase: every (program, preset) pair once.
+    let mut cold: Vec<Shot> = Vec::new();
+    for body in &corpus {
+        for preset in PRESETS {
+            cold.push(Shot {
+                query: format!("preset={preset}"),
+                body: Arc::clone(body),
+            });
+        }
+    }
+    if cold.len() > flags.requests {
+        cold.truncate(flags.requests);
+    }
+
+    // Repeat phase: cycle the corpus for the remaining budget; every
+    // third request is a restyled (whitespace/comment-mutated) copy
+    // that must still hit.
+    let mut repeat: Vec<Shot> = Vec::new();
+    let mut i = 0usize;
+    while cold.len() + repeat.len() < flags.requests {
+        let body = &corpus[i % corpus.len()];
+        let preset = PRESETS[(i / corpus.len()) % PRESETS.len()];
+        let body = if i.is_multiple_of(3) {
+            Arc::new(restyle(body, i))
+        } else {
+            Arc::clone(body)
+        };
+        repeat.push(Shot {
+            query: format!("preset={preset}"),
+            body,
+        });
+        i += 1;
+    }
+
+    let started = Instant::now();
+    let (hits0, misses0) = cache_stats(addr);
+    let (cold_lat, cold_errors) = replay(addr, &cold, flags.concurrency);
+    let (hits1, misses1) = cache_stats(addr);
+    let (repeat_lat, repeat_errors) = replay(addr, &repeat, flags.concurrency);
+    let (hits2, misses2) = cache_stats(addr);
+    let wall = started.elapsed();
+
+    let errors = cold_errors + repeat_errors;
+    let mut all: Vec<u64> = cold_lat.iter().chain(repeat_lat.iter()).copied().collect();
+    all.sort_unstable();
+    let repeat_hits = hits2 - hits1;
+    let repeat_total = (hits2 + misses2) - (hits1 + misses1);
+    let repeat_hit_rate = if repeat_total == 0 {
+        0.0
+    } else {
+        repeat_hits as f64 / repeat_total as f64
+    };
+    let total = cold.len() + repeat.len();
+    let mean = if all.is_empty() {
+        0
+    } else {
+        all.iter().sum::<u64>() / all.len() as u64
+    };
+
+    let report = format!(
+        "{{\n  \"schema\": \"marionette.loadgen/v1\",\n  \"requests\": {},\n  \"concurrency\": {},\n  \"programs\": {},\n  \"presets\": {},\n  \"seed\": {},\n  \"errors\": {},\n  \"phases\": {{\n    \"cold\": {{\"requests\": {}, \"hits\": {}, \"misses\": {}}},\n    \"repeat\": {{\"requests\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}}\n  }},\n  \"latency_us\": {{\"p50\": {}, \"p99\": {}, \"mean\": {}, \"max\": {}}},\n  \"wall_seconds\": {:.3},\n  \"throughput_rps\": {:.1}\n}}\n",
+        total,
+        flags.concurrency,
+        flags.programs,
+        PRESETS.len(),
+        flags.seed,
+        errors,
+        cold.len(),
+        hits1 - hits0,
+        misses1 - misses0,
+        repeat.len(),
+        repeat_hits,
+        repeat_total - repeat_hits,
+        repeat_hit_rate,
+        percentile(&all, 0.50),
+        percentile(&all, 0.99),
+        mean,
+        all.last().copied().unwrap_or(0),
+        wall.as_secs_f64(),
+        total as f64 / wall.as_secs_f64().max(1e-9),
+    );
+
+    match &flags.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("loadgen: write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "loadgen: {total} requests, {errors} errors, repeat hit rate {:.0}%, p50 {}us p99 {}us -> {path}",
+                repeat_hit_rate * 100.0,
+                percentile(&all, 0.50),
+                percentile(&all, 0.99),
+            );
+        }
+        None => print!("{report}"),
+    }
+
+    if let Some(s) = server {
+        s.stop();
+    }
+    if errors > 0 {
+        eprintln!("loadgen: {errors} request(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -87,8 +87,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             _ => Err(format!("{flag} needs a value\n{}", usage())),
         }
     };
+    // Each flag may appear once; `--fault` and `--param` accumulate by
+    // design. A repeated single flag is a typo'd command line — silently
+    // letting the last occurrence win hides it.
+    let mut seen = std::collections::HashSet::new();
     while i < rest.len() {
         let a = rest[i];
+        if a.starts_with("--") && a != "--fault" && a != "--param" && !seen.insert(a.clone()) {
+            return Err(format!("duplicate flag `{a}`\n{}", usage()));
+        }
         match a.as_str() {
             "--presets" => args.presets = Some(value_of("--presets", &mut i)?),
             "--fabric" => {

@@ -8,8 +8,9 @@
 //! serialize behind short ones.
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 thread_local! {
     /// True on a thread that is already executing inside a [`par_map`]
@@ -97,6 +98,140 @@ where
         .collect()
 }
 
+// ---- persistent worker pool ----------------------------------------------
+
+/// Why a job was not accepted by [`WorkerPool::try_submit`].
+///
+/// The rejected job rides back to the caller so nothing is silently
+/// dropped — a server turns this into an admission-control response
+/// (HTTP 429) instead of queueing unboundedly.
+#[derive(Debug)]
+pub enum SubmitError<J> {
+    /// The bounded queue is at capacity; the job is returned.
+    QueueFull(J),
+    /// The pool is shutting down; the job is returned.
+    ShuttingDown(J),
+}
+
+struct PoolState<J> {
+    queue: VecDeque<J>,
+    shutdown: bool,
+}
+
+struct PoolShared<J> {
+    state: Mutex<PoolState<J>>,
+    capacity: usize,
+    wake: Condvar,
+}
+
+/// A persistent worker pool over a **bounded** job queue.
+///
+/// Unlike [`par_map`] — which fans a known batch out and joins — this
+/// pool serves an open-ended stream of jobs (a daemon's request
+/// traffic). Backpressure is explicit: [`WorkerPool::try_submit`] never
+/// blocks and returns [`SubmitError::QueueFull`] once `capacity` jobs
+/// are waiting, so the caller decides what rejection means (the `mard`
+/// server answers HTTP 429). Workers park on a condvar between jobs and
+/// exit once [`WorkerPool::shutdown`] drained the queue.
+pub struct WorkerPool<J: Send + 'static> {
+    shared: Arc<PoolShared<J>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<J: Send + 'static> WorkerPool<J> {
+    /// Spawns `workers` threads running `handler` on submitted jobs.
+    /// `capacity` bounds the number of *waiting* jobs (in-flight jobs do
+    /// not count); both are clamped to at least 1.
+    ///
+    /// # Panics
+    /// Panics if a worker thread cannot be spawned.
+    pub fn new<F>(workers: usize, capacity: usize, handler: F) -> Self
+    where
+        F: Fn(J) + Send + Sync + 'static,
+    {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            capacity: capacity.max(1),
+            wake: Condvar::new(),
+        });
+        let handler = Arc::new(handler);
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut st = shared.state.lock().unwrap();
+                        loop {
+                            if let Some(j) = st.queue.pop_front() {
+                                break j;
+                            }
+                            if st.shutdown {
+                                return;
+                            }
+                            st = shared.wake.wait(st).unwrap();
+                        }
+                    };
+                    handler(job);
+                })
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Enqueues `job` without blocking.
+    ///
+    /// # Errors
+    /// Returns the job inside [`SubmitError::QueueFull`] when `capacity`
+    /// jobs are already waiting, or [`SubmitError::ShuttingDown`] after
+    /// [`WorkerPool::shutdown`] began.
+    pub fn try_submit(&self, job: J) -> Result<(), SubmitError<J>> {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.shutdown {
+            return Err(SubmitError::ShuttingDown(job));
+        }
+        if st.queue.len() >= self.shared.capacity {
+            return Err(SubmitError::QueueFull(job));
+        }
+        st.queue.push_back(job);
+        drop(st);
+        self.shared.wake.notify_one();
+        Ok(())
+    }
+
+    /// Number of jobs waiting in the queue (excludes jobs already being
+    /// executed by a worker).
+    pub fn depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Drains the queue, then joins every worker. Jobs already submitted
+    /// are still executed.
+    ///
+    /// # Panics
+    /// Propagates a worker panic on join.
+    pub fn shutdown(mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.wake.notify_all();
+        for w in self.workers.drain(..) {
+            w.join().unwrap();
+        }
+    }
+}
+
+impl<J: Send + 'static> Drop for WorkerPool<J> {
+    fn drop(&mut self) {
+        // Best-effort shutdown for the non-explicit path: mark and wake,
+        // but do not join (the explicit `shutdown` already joined, and a
+        // panicking test must not deadlock in drop).
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.wake.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +274,77 @@ mod tests {
         // Can't set env safely in parallel tests; just sanity-check the
         // default is at least one.
         assert!(sweep_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_executes_every_submitted_job() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        let pool = WorkerPool::new(3, 64, move |x: usize| {
+            d.fetch_add(x, Ordering::SeqCst);
+        });
+        for i in 1..=10 {
+            pool.try_submit(i).unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 55);
+    }
+
+    #[test]
+    fn pool_rejects_above_capacity_and_returns_the_job() {
+        // A single worker blocked on a gate keeps the queue full, so
+        // admission is deterministic: 1 in flight + 2 waiting, then full.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let started = Arc::new((Mutex::new(false), Condvar::new()));
+        let s = Arc::clone(&started);
+        let pool = WorkerPool::new(1, 2, move |_x: u32| {
+            let (lk, cv) = &*s;
+            *lk.lock().unwrap() = true;
+            cv.notify_all();
+            let (lk, cv) = &*g;
+            let mut open = lk.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        pool.try_submit(0).unwrap();
+        // Wait until the worker holds job 0 so the queue is empty.
+        {
+            let (lk, cv) = &*started;
+            let mut st = lk.lock().unwrap();
+            while !*st {
+                st = cv.wait(st).unwrap();
+            }
+        }
+        pool.try_submit(1).unwrap();
+        pool.try_submit(2).unwrap();
+        assert_eq!(pool.depth(), 2);
+        match pool.try_submit(7) {
+            Err(SubmitError::QueueFull(j)) => assert_eq!(j, 7),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        // Open the gate so shutdown can drain.
+        {
+            let (lk, cv) = &*gate;
+            *lk.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_shutdown_drains_then_rejects() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        let pool = WorkerPool::new(2, 16, move |_: ()| {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        for _ in 0..8 {
+            pool.try_submit(()).unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 8);
     }
 
     #[test]

@@ -167,6 +167,179 @@ pub struct PresetRun {
     pub disasm: Option<String>,
 }
 
+/// A compiled, bitstream-round-tripped preset artifact: the unit the
+/// `mard` content-addressed cache stores and replays. The program held
+/// here is the *decoded* form of `bitstream`, so a consumer simulating
+/// `prog` exercises exactly what a cold full-stack run would.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// Decoded machine program (what the simulator runs).
+    pub prog: marionette::isa::MachineProgram,
+    /// Encoded configuration bitstream (what a cache persists; decoding
+    /// these bytes yields `prog`).
+    pub bitstream: Vec<u8>,
+    /// Compilation report (route stats, search report).
+    pub report: marionette::compiler::CompileReport,
+}
+
+/// Compiles `g` for `arch` and round-trips the configuration bitstream,
+/// without simulating: the compile half of [`run_preset`], split out so
+/// a server can cache the artifact and reuse it across requests.
+///
+/// # Errors
+/// Returns [`DriverError::Compile`] or [`DriverError::Bitstream`].
+pub fn compile_preset(g: &Cdfg, arch: &Architecture) -> Result<Compiled, DriverError> {
+    let preset = arch.short.to_string();
+    let (prog, report) = compile_for_arch(g, arch).map_err(|e| DriverError::Compile {
+        preset: preset.clone(),
+        e,
+    })?;
+    let bitstream = marionette::isa::bitstream::encode(&prog);
+    let prog = roundtrip_bitstream(&prog, &preset)?;
+    Ok(Compiled {
+        prog,
+        bitstream,
+        report,
+    })
+}
+
+/// Fault-aware variant of [`compile_preset`]: dead resources are masked
+/// out of placement/routing, and the annealing explorer is forced on if
+/// the preset compiles one-shot (greedy alone cannot rebalance around
+/// arbitrary dead tiles). This is the remap half of the self-healing
+/// loop in [`run_preset_faulted`].
+///
+/// # Errors
+/// Returns [`DriverError::Compile`] (the typed "remap infeasible"
+/// outcome) or [`DriverError::Bitstream`].
+pub fn compile_preset_faulted(
+    g: &Cdfg,
+    arch: &Architecture,
+    faults: &marionette::sim::FaultSet,
+) -> Result<Compiled, DriverError> {
+    let preset = arch.short.to_string();
+    let mut healed = arch.clone();
+    if !healed.opts.search.is_on() {
+        healed.opts.search = marionette::compiler::SearchBudget::default_on();
+    }
+    let (prog, report) =
+        compile_for_arch_with_faults(g, &healed, faults).map_err(|e| DriverError::Compile {
+            preset: preset.clone(),
+            e,
+        })?;
+    let bitstream = marionette::isa::bitstream::encode(&prog);
+    let prog = roundtrip_bitstream(&prog, &preset)?;
+    Ok(Compiled {
+        prog,
+        bitstream,
+        report,
+    })
+}
+
+/// Simulates a pre-compiled preset artifact with `faults` injected and
+/// bit-verifies it against `reference` — the simulate half of
+/// [`run_preset`], usable with a [`Compiled`] pulled from a cache
+/// instead of a fresh compile. Pass [`marionette::sim::FaultSet::none`]
+/// for a healthy fabric.
+///
+/// # Errors
+/// Returns [`DriverError::Sim`] (including the typed
+/// [`marionette::sim::SimError::Fault`] screen when the artifact touches
+/// a dead resource) or [`DriverError::Mismatch`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_compiled(
+    g: &Cdfg,
+    reference: &Reference,
+    arch: &Architecture,
+    compiled: &Compiled,
+    overrides: &[(String, Value)],
+    max_cycles: u64,
+    faults: &marionette::sim::FaultSet,
+    engine: marionette::sim::EngineKind,
+) -> Result<PresetRun, DriverError> {
+    let preset = arch.short.to_string();
+    let inputs = array_inputs(g);
+    let r = marionette::sim::run_full(
+        &compiled.prog,
+        &arch.tm,
+        faults,
+        engine,
+        &inputs,
+        overrides,
+        max_cycles,
+    )
+    .map_err(|e| DriverError::Sim {
+        preset: preset.clone(),
+        e,
+    })?;
+    verify_vs_reference(g, reference, arch, &preset, &compiled.prog, &r)?;
+    Ok(summarize(preset, &r, &compiled.report))
+}
+
+/// Simulates N parameter lanes of one pre-compiled artifact in a single
+/// batched pass ([`marionette::sim::run_lanes_full`]): the machine is
+/// built once and reset between lanes, which is how the `mard` batch
+/// endpoint folds same-bitstream requests into one run. Lane `i` is
+/// verified against `references[i]` (its own parameter set's reference
+/// interpretation); a lane that wedges reports its own error without
+/// poisoning its neighbours.
+///
+/// # Errors
+/// The outer `Err` is a [`DriverError::Sim`] from machine construction;
+/// per-lane simulation/verification failures come back in the inner
+/// results.
+///
+/// # Panics
+/// Panics if `references` and `lane_overrides` lengths differ.
+pub fn simulate_compiled_lanes(
+    g: &Cdfg,
+    references: &[Reference],
+    arch: &Architecture,
+    compiled: &Compiled,
+    lane_overrides: &[Vec<(String, Value)>],
+    max_cycles: u64,
+    engine: marionette::sim::EngineKind,
+) -> Result<Vec<Result<PresetRun, DriverError>>, DriverError> {
+    assert_eq!(
+        references.len(),
+        lane_overrides.len(),
+        "one reference per lane"
+    );
+    let preset = arch.short.to_string();
+    let inputs = array_inputs(g);
+    let lanes: Vec<marionette::sim::LaneSpec> = lane_overrides
+        .iter()
+        .map(|ovr| marionette::sim::LaneSpec {
+            inputs: inputs.clone(),
+            params: ovr.clone(),
+        })
+        .collect();
+    let results = marionette::sim::run_lanes_full(
+        &compiled.prog,
+        &arch.tm,
+        &marionette::sim::FaultSet::none(),
+        engine,
+        &lanes,
+        max_cycles,
+    )
+    .map_err(|e| DriverError::Sim {
+        preset: preset.clone(),
+        e,
+    })?;
+    Ok(results
+        .into_iter()
+        .zip(references)
+        .map(|(r, reference)| {
+            let r = r.map_err(|e| DriverError::Sim {
+                preset: preset.clone(),
+                e,
+            })?;
+            verify_vs_reference(g, reference, arch, &preset, &compiled.prog, &r)?;
+            Ok(summarize(preset.clone(), &r, &compiled.report))
+        })
+        .collect())
+}
+
 /// Compiles `g` for `arch`, round-trips the bitstream, simulates the
 /// decoded program and verifies it bit-for-bit against `reference`.
 ///
@@ -207,23 +380,19 @@ pub fn run_preset_engine(
     want_disasm: bool,
     engine: marionette::sim::EngineKind,
 ) -> Result<PresetRun, DriverError> {
-    let preset = arch.short.to_string();
-    let (prog, report) = compile_for_arch(g, arch).map_err(|e| DriverError::Compile {
-        preset: preset.clone(),
-        e,
-    })?;
-    let prog = roundtrip_bitstream(&prog, &preset)?;
-    let inputs = array_inputs(g);
-    let r =
-        marionette::sim::run_with_engine(&prog, &arch.tm, engine, &inputs, overrides, max_cycles)
-            .map_err(|e| DriverError::Sim {
-            preset: preset.clone(),
-            e,
-        })?;
-    verify_vs_reference(g, reference, arch, &preset, &prog, &r)?;
-    let mut run = summarize(preset, &r, &report);
+    let compiled = compile_preset(g, arch)?;
+    let mut run = simulate_compiled(
+        g,
+        reference,
+        arch,
+        &compiled,
+        overrides,
+        max_cycles,
+        &marionette::sim::FaultSet::none(),
+        engine,
+    )?;
     if want_disasm {
-        run.disasm = Some(marionette::isa::disasm::disassemble(&prog));
+        run.disasm = Some(marionette::isa::disasm::disassemble(&compiled.prog));
     }
     Ok(run)
 }
@@ -379,52 +548,34 @@ pub fn run_preset_faulted_engine(
     faults: &marionette::sim::FaultSet,
     engine: marionette::sim::EngineKind,
 ) -> Result<FaultRun, DriverError> {
-    let preset = arch.short.to_string();
-    let (prog, report) = compile_for_arch(g, arch).map_err(|e| DriverError::Compile {
-        preset: preset.clone(),
-        e,
-    })?;
-    let prog = roundtrip_bitstream(&prog, &preset)?;
-    let inputs = array_inputs(g);
-    let wedged = match marionette::sim::run_full(
-        &prog, &arch.tm, faults, engine, &inputs, overrides, max_cycles,
+    let compiled = compile_preset(g, arch)?;
+    let wedged = match simulate_compiled(
+        g, reference, arch, &compiled, overrides, max_cycles, faults, engine,
     ) {
-        Ok(r) => {
-            verify_vs_reference(g, reference, arch, &preset, &prog, &r)?;
+        Ok(run) => {
             return Ok(FaultRun {
                 wedged: None,
                 remapped: false,
-                run: summarize(preset, &r, &report),
-            });
+                run,
+            })
         }
-        Err(marionette::sim::SimError::Fault { what, .. }) => what,
-        Err(e) => return Err(DriverError::Sim { preset, e }),
+        Err(DriverError::Sim {
+            e: marionette::sim::SimError::Fault { what, .. },
+            ..
+        }) => what,
+        Err(e) => return Err(e),
     };
     // Self-heal: recompile with the faulty resources masked. Presets that
     // compile one-shot get the default annealing budget — the greedy
     // placer alone cannot rebalance around arbitrary dead tiles.
-    let mut healed = arch.clone();
-    if !healed.opts.search.is_on() {
-        healed.opts.search = marionette::compiler::SearchBudget::default_on();
-    }
-    let (prog, report) =
-        compile_for_arch_with_faults(g, &healed, faults).map_err(|e| DriverError::Compile {
-            preset: preset.clone(),
-            e,
-        })?;
-    let prog = roundtrip_bitstream(&prog, &preset)?;
-    let r = marionette::sim::run_full(
-        &prog, &arch.tm, faults, engine, &inputs, overrides, max_cycles,
-    )
-    .map_err(|e| DriverError::Sim {
-        preset: preset.clone(),
-        e,
-    })?;
-    verify_vs_reference(g, reference, arch, &preset, &prog, &r)?;
+    let compiled = compile_preset_faulted(g, arch, faults)?;
+    let run = simulate_compiled(
+        g, reference, arch, &compiled, overrides, max_cycles, faults, engine,
+    )?;
     Ok(FaultRun {
         wedged: Some(wedged),
         remapped: true,
-        run: summarize(preset, &r, &report),
+        run,
     })
 }
 

@@ -1,0 +1,72 @@
+//! Shared HTTP test client for the `mard` integration suites: a
+//! deliberately independent implementation (raw `TcpStream` writes), so
+//! the tests exercise the server's wire behaviour rather than its own
+//! parser.
+
+// Each test binary compiles this module afresh; not all of them use
+// every helper.
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Response read deadline: generous (debug-mode compiles are slow), but
+/// finite so a hang fails the test instead of wedging CI.
+pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Sends one request, returns `(status, body)`.
+pub fn http(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(CLIENT_TIMEOUT)).unwrap();
+    s.set_write_timeout(Some(CLIENT_TIMEOUT)).unwrap();
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes()).expect("write head");
+    s.write_all(body).expect("write body");
+    read_response(&mut s)
+}
+
+/// Sends raw bytes (for malformed-request tests), returns `(status, body)`.
+pub fn raw(addr: SocketAddr, bytes: &[u8]) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(CLIENT_TIMEOUT)).unwrap();
+    s.write_all(bytes).expect("write raw");
+    read_response(&mut s)
+}
+
+/// Reads to EOF (the server always closes) and splits the response.
+pub fn read_response(s: &mut TcpStream) -> (u16, String) {
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).expect("read response");
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in `{text}`"));
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in `{head}`"));
+    (status, body.to_string())
+}
+
+/// POSTs `src` to `/run` with the given query string.
+pub fn run(addr: SocketAddr, query: &str, src: &str) -> (u16, String) {
+    let target = if query.is_empty() {
+        "/run".to_string()
+    } else {
+        format!("/run?{query}")
+    };
+    http(addr, "POST", &target, src.as_bytes())
+}
+
+/// Extracts the `"result": {...}` line of a 200 `/run` body — the
+/// payload that must be bit-identical between a cold and a cached serve.
+pub fn result_line(body: &str) -> &str {
+    body.lines()
+        .find(|l| l.trim_start().starts_with("\"result\":"))
+        .unwrap_or_else(|| panic!("no result line in `{body}`"))
+}

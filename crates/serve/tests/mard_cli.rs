@@ -1,0 +1,56 @@
+//! Usage-error conformance for the `mard` binary itself: bad command
+//! lines exit 2 with the usage text, `--help` exits 0.
+
+use std::process::Command;
+
+const MARD: &str = env!("CARGO_BIN_EXE_mard");
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(MARD).args(args).output().expect("spawn mard")
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("POST /run"), "{stdout}");
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = run(&["--nope"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag `--nope`"));
+}
+
+#[test]
+fn duplicate_flag_exits_two() {
+    let out = run(&["--workers", "2", "--workers", "4"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("duplicate flag `--workers`"));
+}
+
+#[test]
+fn zero_workers_and_zero_queue_exit_two() {
+    let out = run(&["--workers", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workers"));
+    let out = run(&["--queue", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--queue"));
+}
+
+#[test]
+fn non_numeric_value_exits_two() {
+    let out = run(&["--max-cycles", "lots"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not a number"));
+}
+
+#[test]
+fn missing_value_exits_two() {
+    let out = run(&["--addr"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+}

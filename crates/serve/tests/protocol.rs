@@ -1,0 +1,207 @@
+//! Protocol conformance: an in-process `mard` on an ephemeral port,
+//! with the status codes, JSON shapes, and error bodies pinned for
+//! every request class a client can produce.
+
+mod common;
+
+use common::{http, raw, run};
+use marionette_serve::{ServeConfig, Server};
+
+/// A small program with a computable sink: `s = Σ_{i<8} i·n = 28n`.
+const GOOD: &str = "\
+program acc;
+param n: i32 = 6;
+let s = for i in 0..8 with a = 0 {
+  yield a + i * n;
+};
+sink s = s;
+";
+
+fn server() -> Server {
+    Server::start(ServeConfig::default()).expect("bind ephemeral")
+}
+
+#[test]
+fn healthz_and_stats_respond() {
+    let s = server();
+    let (status, body) = http(s.addr(), "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\": true"), "{body}");
+    let (status, body) = http(s.addr(), "GET", "/stats", b"");
+    assert_eq!(status, 200);
+    for key in ["\"requests\":", "\"cache\":", "\"queue\":", "\"limits\":"] {
+        assert!(body.contains(key), "missing {key} in {body}");
+    }
+    s.stop();
+}
+
+#[test]
+fn good_source_serves_a_verified_result() {
+    let s = server();
+    let (status, body) = run(s.addr(), "preset=M", GOOD);
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("\"schema\": \"marionette.mard/v1\""),
+        "{body}"
+    );
+    assert!(body.contains("\"endpoint\": \"run\""), "{body}");
+    assert!(body.contains("\"program\": \"acc\""), "{body}");
+    assert!(body.contains("\"preset\": \"M\""), "{body}");
+    assert!(body.contains("\"cache\": {\"outcome\": \"miss\""), "{body}");
+    assert!(body.contains("\"verified\": true"), "{body}");
+    // 28 · 6 = 168: the sink value is the semantics, pinned.
+    assert!(body.contains("\"sinks\": {\"s\": [168]}"), "{body}");
+    s.stop();
+}
+
+#[test]
+fn parse_error_is_400_with_caret_diagnostics_verbatim() {
+    let s = server();
+    let src = "program broken;\nthis is not mar\n";
+    let (status, body) = run(s.addr(), "", src);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\": \"parse_error\""), "{body}");
+    // The diagnostics field carries the same render the offline driver
+    // prints: file:line:col, the offending line, and the caret.
+    let expected = marionette_lang::parse(src)
+        .expect_err("source must not parse")
+        .render("<request>", src);
+    let escaped = marionette::report::json_escape(&expected);
+    assert!(
+        body.contains(&escaped),
+        "diagnostics not verbatim:\nwant {escaped}\nin {body}"
+    );
+    s.stop();
+}
+
+#[test]
+fn sema_error_is_400_with_diagnostics() {
+    let s = server();
+    let src = "program bad;\nsink x = undeclared_name;\n";
+    let (status, body) = run(s.addr(), "", src);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\": \"sema_error\""), "{body}");
+    assert!(body.contains("\"diagnostics\":"), "{body}");
+    assert!(body.contains("<request>"), "{body}");
+    s.stop();
+}
+
+#[test]
+fn unknown_preset_and_fabric_and_engine_are_400() {
+    let s = server();
+    let (status, body) = run(s.addr(), "preset=NOPE", GOOD);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\": \"unknown_preset\""), "{body}");
+    // The detail lists the valid tags so the client can self-correct.
+    assert!(body.contains("M"), "{body}");
+
+    let (status, body) = run(s.addr(), "fabric=potato", GOOD);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\": \"bad_fabric\""), "{body}");
+
+    let (status, body) = run(s.addr(), "engine=quantum", GOOD);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\": \"bad_engine\""), "{body}");
+    s.stop();
+}
+
+#[test]
+fn unknown_param_is_400() {
+    let s = server();
+    let (status, body) = run(s.addr(), "param=zz%3D4", GOOD);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\": \"unknown_param\""), "{body}");
+    s.stop();
+}
+
+#[test]
+fn oversized_body_is_413_before_reading() {
+    let s = Server::start(ServeConfig {
+        max_body: 64,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let (status, body) = run(s.addr(), "", GOOD);
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("\"kind\": \"body_too_large\""), "{body}");
+    s.stop();
+}
+
+#[test]
+fn malformed_http_is_400_not_a_hang() {
+    let s = server();
+    let (status, body) = raw(s.addr(), b"GARBAGE\r\n\r\n");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\": \"malformed_request\""), "{body}");
+    let (status, _) = raw(s.addr(), b"GET /x SPDY/9\r\nHost: h\r\n\r\n");
+    assert_eq!(status, 400);
+    s.stop();
+}
+
+#[test]
+fn post_without_content_length_is_411() {
+    let s = server();
+    let (status, body) = raw(s.addr(), b"POST /run HTTP/1.1\r\nHost: h\r\n\r\n");
+    assert_eq!(status, 411, "{body}");
+    assert!(body.contains("\"kind\": \"length_required\""), "{body}");
+    s.stop();
+}
+
+#[test]
+fn unknown_path_is_404_and_wrong_method_is_405() {
+    let s = server();
+    let (status, body) = http(s.addr(), "GET", "/nonsense", b"");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("\"kind\": \"not_found\""), "{body}");
+    let (status, body) = http(s.addr(), "GET", "/run", b"");
+    assert_eq!(status, 405, "{body}");
+    assert!(body.contains("\"kind\": \"method_not_allowed\""), "{body}");
+    let (status, _) = http(s.addr(), "DELETE", "/healthz", b"");
+    assert_eq!(status, 405);
+    s.stop();
+}
+
+#[test]
+fn batch_runs_lanes_and_isolates_lane_errors() {
+    let s = server();
+    let query = "preset=M&lane=n%3D1&lane=n%3Dbroken&lane=n%3D10";
+    let (status, body) = http(
+        s.addr(),
+        "POST",
+        &format!("/batch?{query}"),
+        GOOD.as_bytes(),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"endpoint\": \"batch\""), "{body}");
+    assert!(body.contains("\"lane_errors\": 1"), "{body}");
+    // Lane 0 (n=1 → 28) and lane 2 (n=10 → 280) complete around the
+    // broken middle lane.
+    assert!(body.contains("\"sinks\": {\"s\": [28]}"), "{body}");
+    assert!(body.contains("\"sinks\": {\"s\": [280]}"), "{body}");
+    assert!(body.contains("\"ok\": false"), "{body}");
+    assert!(body.contains("\"kind\": \"bad_param\""), "{body}");
+    s.stop();
+}
+
+#[test]
+fn batch_without_lanes_and_run_with_lanes_are_400() {
+    let s = server();
+    let (status, body) = http(s.addr(), "POST", "/batch?preset=M", GOOD.as_bytes());
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\": \"bad_lane\""), "{body}");
+    let (status, body) = run(s.addr(), "lane=n%3D4", GOOD);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\": \"bad_lane\""), "{body}");
+    s.stop();
+}
+
+#[test]
+fn counters_track_response_classes() {
+    let s = server();
+    let _ = run(s.addr(), "preset=M", GOOD); // 200
+    let _ = run(s.addr(), "preset=NOPE", GOOD); // 400
+    let (_, stats) = http(s.addr(), "GET", "/stats", b"");
+    assert!(stats.contains("\"ok\": 1"), "{stats}");
+    assert!(stats.contains("\"client_errors\": 1"), "{stats}");
+    s.stop();
+}
