@@ -39,7 +39,14 @@
 //!   one compiled bitstream (`runner::run_kernel_lanes`), recording lane
 //!   0's cycles and the whole batch's wall time — the amortized-sweep
 //!   mode. Implies `--no-search` and refuses `--check` (an N-lane wall
-//!   is not comparable to the single-lane baseline).
+//!   is not comparable to the single-lane baseline);
+//! - `--trace FILE --trace-point KERNEL:PRESET`  skip the sweep and run
+//!   the one named point with the cycle tracer attached, writing a
+//!   Chrome trace-event JSON (Perfetto-viewable) to FILE. Combines with
+//!   `--engine` (heap-vs-wheel trace diffing) and the fault flags
+//!   (healthy-vs-remapped); refuses `--check`/`--replay`/`--compare`/
+//!   `--serial`/`--lanes`, whose wall-clock semantics a traced run
+//!   would distort.
 //!
 //! Unless `--no-search` is given, every point is additionally compiled
 //! with the annealing mapping explorer (`SearchBudget::default_on()`)
@@ -52,10 +59,10 @@ use marionette::compiler::SearchBudget;
 use marionette::kernels::traits::Scale;
 use marionette::parallel::{par_map, sweep_threads};
 use marionette::runner::{
-    run_kernel, run_kernel_faulted, run_kernel_lanes_with_engine, run_kernel_with_engine,
-    DEFAULT_MAX_CYCLES,
+    run_kernel, run_kernel_faulted, run_kernel_faulted_traced, run_kernel_lanes_with_engine,
+    run_kernel_traced, run_kernel_with_engine, DEFAULT_MAX_CYCLES,
 };
-use marionette::sim::{EngineKind, FaultSet};
+use marionette::sim::{EngineKind, FaultSet, Tracer};
 use marionette_bench::snapshot;
 use std::time::Instant;
 
@@ -237,6 +244,8 @@ struct Flags {
     fault_seed: u64,
     engine: EngineKind,
     lanes: usize,
+    trace: Option<String>,
+    trace_point: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -255,6 +264,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         fault_seed: 1,
         engine: EngineKind::default(),
         lanes: 1,
+        trace: None,
+        trace_point: None,
     };
     // Single pass: a value consumed by a flag can never double as a flag.
     // Each flag may appear once (`--fault` excepted: it accumulates) —
@@ -320,12 +331,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     _ => return Err(format!("--lanes needs a count >= 1, got `{v}`")),
                 };
             }
+            "--trace" => flags.trace = Some(value(args, &mut i, "--trace")?),
+            "--trace-point" => flags.trace_point = Some(value(args, &mut i, "--trace-point")?),
             other => {
                 return Err(format!(
                     "unknown argument `{other}` (flags: --paper --serial --compare \
                      --no-search --fabric RxC --out PATH --check BASELINE --replay FRESH \
                      --wall-tolerance PCT --fault SPEC --faults N --fault-seed S \
-                     --engine wheel|heap --lanes N)"
+                     --engine wheel|heap --lanes N --trace FILE --trace-point KERNEL:PRESET)"
                 ))
             }
         }
@@ -376,6 +389,32 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         // re-compiles per point and would dominate the measurement.
         flags.search = false;
     }
+    match (&flags.trace, &flags.trace_point) {
+        (Some(_), None) => {
+            return Err("--trace needs --trace-point KERNEL:PRESET to name the run".to_string())
+        }
+        (None, Some(_)) => {
+            return Err("--trace-point only makes sense with --trace FILE".to_string())
+        }
+        (Some(path), Some(point)) => {
+            if flags.check.is_some() || flags.replay.is_some() || flags.compare || flags.serial_only
+            {
+                return Err(
+                    "--trace records a single run; drop --check/--replay/--compare/--serial"
+                        .to_string(),
+                );
+            }
+            if flags.lanes > 1 {
+                return Err("--trace records a single-lane run; drop --lanes".to_string());
+            }
+            // Resolve the point and open the file now so a typo'd
+            // selector or an unwritable path is a usage error (exit 2),
+            // not a mid-run failure.
+            resolve_trace_point(point, flags.fabric)?;
+            std::fs::File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
+        }
+        (None, None) => {}
+    }
     if let Some(base) = &flags.check {
         // The gate compares greedy cycle counts: the search delta sweep
         // would only add wall time without entering the comparison.
@@ -392,6 +431,37 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         }
     }
     Ok(flags)
+}
+
+/// Resolves a `--trace-point KERNEL:PRESET` selector (kernel tags are
+/// matched case-insensitively, like `fault_sweep --kernels`) to the
+/// canonical kernel tag and the one architecture it names.
+fn resolve_trace_point(
+    point: &str,
+    fabric: FabricDims,
+) -> Result<(String, marionette::arch::Architecture), String> {
+    let (ktag, ptag) = point
+        .split_once(':')
+        .ok_or_else(|| format!("--trace-point wants KERNEL:PRESET (e.g. CRC:M), got `{point}`"))?;
+    let mut tags: Vec<String> = marionette::kernels::all()
+        .iter()
+        .map(|k| k.short().to_string())
+        .collect();
+    tags.push("LDPC-APP".to_string());
+    let tag = tags
+        .iter()
+        .find(|t| t.eq_ignore_ascii_case(ktag))
+        .ok_or_else(|| format!("--trace-point: `{ktag}` is not a kernel tag"))?
+        .clone();
+    let mut archs = marionette::arch::presets_by_tags_on(fabric, ptag)
+        .map_err(|e| format!("--trace-point: {e}"))?;
+    if archs.len() != 1 {
+        return Err(format!(
+            "--trace-point: `{ptag}` selects {} presets; name exactly one",
+            archs.len()
+        ));
+    }
+    Ok((tag, archs.remove(0)))
 }
 
 /// A parsed baseline (or replay) snapshot with its sweep metadata.
@@ -496,9 +566,58 @@ fn run(flags: Flags) -> Result<(), String> {
         fault_seed,
         engine,
         lanes,
+        trace,
+        trace_point,
     } = flags;
     let faults = FaultSet::from_cli(fabric.rows, fabric.cols, &fault_specs, faults, fault_seed)
         .expect("validated by parse_flags");
+
+    // Trace mode: one named point with the cycle recorder attached, no
+    // sweep (tracing perturbs the wall times the snapshot tracks).
+    if let (Some(path), Some(point)) = (&trace, &trace_point) {
+        let (tag, arch) = resolve_trace_point(point, fabric).expect("validated by parse_flags");
+        let k = marionette::kernels::by_short(&tag).expect("tag from the registry");
+        let mut tracer = Tracer::new();
+        let t = Instant::now();
+        let (r, remapped) = if faults.is_empty() {
+            let r = run_kernel_traced(
+                k.as_ref(),
+                &arch,
+                scale,
+                SEED,
+                DEFAULT_MAX_CYCLES,
+                engine,
+                &mut tracer,
+            )
+            .map_err(|e| format!("{tag} on {}: {e}", arch.short))?;
+            (r, false)
+        } else {
+            let fr = run_kernel_faulted_traced(
+                k.as_ref(),
+                &arch,
+                scale,
+                SEED,
+                DEFAULT_MAX_CYCLES,
+                &faults,
+                engine,
+                &mut tracer,
+            )
+            .map_err(|e| format!("{tag} on {} with [{faults}]: {e}", arch.short))?;
+            (fr.run, fr.remapped)
+        };
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        std::fs::write(path, tracer.to_chrome_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "bench_sim: traced {tag} on {}: {} cycles, {} fires{}, {wall_ms:.1} ms -> {} trace events in {path}",
+            arch.short,
+            r.cycles,
+            r.stats.fires,
+            if remapped { " (remapped)" } else { "" },
+            tracer.len()
+        );
+        return Ok(());
+    }
 
     // The baseline is loaded before the sweep runs (and before anything
     // is written), so the gate always compares against the pre-run file.

@@ -16,8 +16,13 @@
 //!             [--fault-counts 0,1,2,4] [--fault-seeds N]
 //!             [--fault SPEC]... [--max-cycles N]
 //!             [--out BENCH_fault.json] [--check BENCH_sim.json]
-//!             [--engine wheel|heap]
+//!             [--engine wheel|heap] [--trace FILE]
 //! ```
+//!
+//! `--trace FILE` attaches the cycle tracer and writes a Chrome
+//! trace-event JSON (Perfetto-viewable, with a `remap after …` marker
+//! on healed points) — the sweep must be narrowed to exactly one point
+//! with `--kernels`, `--presets`, `--fault-counts` and `--fault-seeds`.
 //!
 //! `--engine wheel|heap` pins the simulator's event-queue core for every
 //! point (default wheel); fault delivery is engine-independent, so the
@@ -43,8 +48,10 @@ use marionette::experiments::geomean;
 use marionette::kernels::traits::Scale;
 use marionette::parallel::{par_map, sweep_threads};
 use marionette::report::json_escape;
-use marionette::runner::{run_kernel_faulted_with_engine, RunnerError, DEFAULT_MAX_CYCLES};
-use marionette::sim::{EngineKind, FaultSet};
+use marionette::runner::{
+    run_kernel_faulted_traced, run_kernel_faulted_with_engine, RunnerError, DEFAULT_MAX_CYCLES,
+};
+use marionette::sim::{EngineKind, FaultSet, Tracer};
 use marionette_bench::snapshot;
 use std::time::Instant;
 
@@ -62,13 +69,14 @@ struct Args {
     out: String,
     check: Option<String>,
     engine: EngineKind,
+    trace: Option<String>,
 }
 
 fn usage() -> String {
     "usage: fault_sweep [--presets vN,DF,M-PE,M-CN,M] [--kernels A,B] \
      [--scale tiny|small|paper] [--fabric RxC] [--fault-counts 0,1,2,4] \
      [--fault-seeds N] [--fault SPEC]... [--max-cycles N] [--out PATH] \
-     [--check BENCH_sim.json] [--engine wheel|heap]"
+     [--check BENCH_sim.json] [--engine wheel|heap] [--trace FILE]"
         .to_string()
 }
 
@@ -84,6 +92,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--out",
     "--check",
     "--engine",
+    "--trace",
 ];
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -184,6 +193,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             None => EngineKind::default(),
             Some(v) => v.parse().map_err(|e| format!("--engine: {e}"))?,
         },
+        trace: get("--trace")?,
     })
 }
 
@@ -242,6 +252,30 @@ fn main() {
         }
         // Validate the pinned `--fault` specs once, up front.
         FaultSet::from_cli(args.fabric.rows, args.fabric.cols, &args.fault_specs, 0, 0)?;
+        if let Some(path) = &args.trace {
+            // A trace interleaves every traced point's events into one
+            // timeline, so it only makes sense for a single point.
+            let seed_axis: usize = args
+                .fault_counts
+                .iter()
+                .map(|&n| {
+                    if n == 0 && args.fault_specs.is_empty() {
+                        1
+                    } else {
+                        args.fault_seeds as usize
+                    }
+                })
+                .sum();
+            let total = tags.len() * archs.len() * seed_axis;
+            if total != 1 {
+                return Err(format!(
+                    "--trace records one point's run; narrow the {total} selected points \
+                     with --kernels, --presets, --fault-counts and --fault-seeds"
+                ));
+            }
+            // Open the file now so an unwritable path is a usage error.
+            std::fs::File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
+        }
         Ok((tags, archs))
     })();
     let (tags, archs) = match selection {
@@ -254,6 +288,81 @@ fn main() {
     if let Err(e) = run(&args, tags, archs) {
         eprintln!("fault_sweep: {e}");
         std::process::exit(1);
+    }
+}
+
+/// Compiles, (re)maps and simulates one sweep point, optionally with
+/// the cycle tracer attached.
+fn measure(
+    args: &Args,
+    tag: String,
+    arch: &Architecture,
+    n: usize,
+    fseed: u64,
+    tracer: Option<&mut Tracer>,
+) -> Result<Measured, String> {
+    let k =
+        marionette::kernels::by_short(&tag).ok_or_else(|| format!("{tag}: unknown kernel tag"))?;
+    let faults = FaultSet::from_cli(
+        args.fabric.rows,
+        args.fabric.cols,
+        &args.fault_specs,
+        n,
+        fseed,
+    )
+    .map_err(|e| format!("{tag} on {}: {e}", arch.short))?;
+    let specs = faults
+        .specs()
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join("+");
+    let outcome = match tracer {
+        None => run_kernel_faulted_with_engine(
+            k.as_ref(),
+            arch,
+            args.scale,
+            SEED,
+            args.max_cycles,
+            &faults,
+            args.engine,
+        ),
+        Some(t) => run_kernel_faulted_traced(
+            k.as_ref(),
+            arch,
+            args.scale,
+            SEED,
+            args.max_cycles,
+            &faults,
+            args.engine,
+            t,
+        ),
+    };
+    match outcome {
+        Ok(fr) => Ok(Measured {
+            kernel: tag,
+            arch: arch.short.to_string(),
+            faults: n,
+            fault_seed: fseed,
+            specs,
+            wedged: fr.wedged,
+            remapped: fr.remapped,
+            cycles: Some(fr.run.cycles),
+        }),
+        // The healthy compile of every shipped kernel × preset
+        // succeeds (the 0-fault sweep proves it), so a compile
+        // error here is the typed remap-infeasible outcome.
+        Err(RunnerError::Compile(e)) => Ok(Measured {
+            kernel: tag,
+            arch: arch.short.to_string(),
+            faults: n,
+            fault_seed: fseed,
+            specs,
+            wedged: Some(e.to_string()),
+            remapped: false,
+            cycles: None,
+        }),
+        Err(e) => Err(format!("{tag} on {} with [{specs}]: {e}", arch.short)),
     }
 }
 
@@ -279,58 +388,18 @@ fn run(args: &Args, tags: Vec<String>, archs: Vec<Architecture>) -> Result<(), S
         }
     }
     let npoints = points.len();
-    let specs_ref = &args.fault_specs;
-    let outcomes = par_map(
-        points,
-        threads,
-        |(tag, arch, n, fseed)| -> Result<Measured, String> {
-            let k = marionette::kernels::by_short(&tag)
-                .ok_or_else(|| format!("{tag}: unknown kernel tag"))?;
-            let faults =
-                FaultSet::from_cli(args.fabric.rows, args.fabric.cols, specs_ref, n, fseed)
-                    .map_err(|e| format!("{tag} on {}: {e}", arch.short))?;
-            let specs = faults
-                .specs()
-                .iter()
-                .map(|s| s.to_string())
-                .collect::<Vec<_>>()
-                .join("+");
-            match run_kernel_faulted_with_engine(
-                k.as_ref(),
-                &arch,
-                args.scale,
-                SEED,
-                args.max_cycles,
-                &faults,
-                args.engine,
-            ) {
-                Ok(fr) => Ok(Measured {
-                    kernel: tag,
-                    arch: arch.short.to_string(),
-                    faults: n,
-                    fault_seed: fseed,
-                    specs,
-                    wedged: fr.wedged,
-                    remapped: fr.remapped,
-                    cycles: Some(fr.run.cycles),
-                }),
-                // The healthy compile of every shipped kernel × preset
-                // succeeds (the 0-fault sweep proves it), so a compile
-                // error here is the typed remap-infeasible outcome.
-                Err(RunnerError::Compile(e)) => Ok(Measured {
-                    kernel: tag,
-                    arch: arch.short.to_string(),
-                    faults: n,
-                    fault_seed: fseed,
-                    specs,
-                    wedged: Some(e.to_string()),
-                    remapped: false,
-                    cycles: None,
-                }),
-                Err(e) => Err(format!("{tag} on {} with [{specs}]: {e}", arch.short)),
-            }
-        },
-    );
+    let mut tracer = args.trace.as_ref().map(|_| Tracer::new());
+    let outcomes = match tracer.as_mut() {
+        // Trace mode is pre-validated to a single point: run it on this
+        // thread so the recorder needs no cross-thread plumbing.
+        Some(t) => {
+            let (tag, arch, n, fseed) = points.into_iter().next().expect("one point");
+            vec![measure(args, tag, &arch, n, fseed, Some(t))]
+        }
+        None => par_map(points, threads, |(tag, arch, n, fseed)| {
+            measure(args, tag, &arch, n, fseed, None)
+        }),
+    };
     let mut measured = Vec::with_capacity(outcomes.len());
     for o in outcomes {
         measured.push(o?);
@@ -503,6 +572,11 @@ fn run(args: &Args, tags: Vec<String>, archs: Vec<Architecture>) -> Result<(), S
     }
     j.push_str("  ]\n}\n");
     std::fs::write(&args.out, &j).map_err(|e| format!("writing {}: {e}", args.out))?;
+
+    if let (Some(path), Some(t)) = (&args.trace, &tracer) {
+        std::fs::write(path, t.to_chrome_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("fault_sweep: wrote {} trace events to {path}", t.len());
+    }
 
     let wedged: usize = measured.iter().filter(|m| m.wedged.is_some()).count();
     let remapped: usize = measured.iter().filter(|m| m.remapped).count();

@@ -9,16 +9,18 @@
 //!   of them with whitespace/comment mutations that must still hit the
 //!   canonical-keyed cache.
 //!
-//! Emits a `BENCH_serve.json` report with p50/p99 latency, throughput,
-//! per-phase cache-hit rates and the error count (which must be 0: the
-//! corpus is generated to be servable, and every 200 is bit-verified by
-//! the server itself).
+//! Emits a `BENCH_serve.json` report with a full latency histogram
+//! (p50/p90/p95/p99/max plus per-bucket counts, bucketed identically to
+//! the server's `/metrics` histogram), throughput, per-phase cache-hit
+//! rates and the error count (which must be 0: the corpus is generated
+//! to be servable, and every 200 is bit-verified by the server itself).
 //!
 //! ```text
 //! loadgen [--requests N] [--concurrency C] [--programs P] [--seed S]
 //!         [--addr HOST:PORT] [--out FILE]
 //! ```
 
+use marionette_serve::metrics::{Histogram, BUCKET_BOUNDS_US};
 use marionette_serve::{ServeConfig, Server};
 use std::collections::HashSet;
 use std::io::{Read, Write as _};
@@ -129,12 +131,10 @@ fn restyle(src: &str, salt: usize) -> String {
     out
 }
 
-fn percentile(sorted_us: &[u64], p: f64) -> u64 {
-    if sorted_us.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
-    sorted_us[rank.min(sorted_us.len() - 1)]
+/// Renders a JSON array of u64s on one line.
+fn json_u64s(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(", "))
 }
 
 fn send(addr: SocketAddr, shot: &Shot) -> Result<(u16, String), String> {
@@ -312,8 +312,13 @@ fn main() -> ExitCode {
     let wall = started.elapsed();
 
     let errors = cold_errors + repeat_errors;
-    let mut all: Vec<u64> = cold_lat.iter().chain(repeat_lat.iter()).copied().collect();
-    all.sort_unstable();
+    // The same fixed-bucket histogram type that backs the server's
+    // /metrics endpoint, so client- and server-side latency bucket
+    // identically and the two views can be compared directly.
+    let hist = Histogram::new();
+    for &us in cold_lat.iter().chain(repeat_lat.iter()) {
+        hist.observe(us);
+    }
     let repeat_hits = hits2 - hits1;
     let repeat_total = (hits2 + misses2) - (hits1 + misses1);
     let repeat_hit_rate = if repeat_total == 0 {
@@ -322,14 +327,24 @@ fn main() -> ExitCode {
         repeat_hits as f64 / repeat_total as f64
     };
     let total = cold.len() + repeat.len();
-    let mean = if all.is_empty() {
+    let mean = if hist.count() == 0 {
         0
     } else {
-        all.iter().sum::<u64>() / all.len() as u64
+        hist.sum_us() / hist.count()
     };
+    // Non-cumulative per-bucket counts (one per bound, plus +Inf).
+    let cum = hist.cumulative();
+    let bucket_counts: Vec<u64> = cum
+        .iter()
+        .scan(0u64, |prev, &c| {
+            let n = c - *prev;
+            *prev = c;
+            Some(n)
+        })
+        .collect();
 
     let report = format!(
-        "{{\n  \"schema\": \"marionette.loadgen/v1\",\n  \"requests\": {},\n  \"concurrency\": {},\n  \"programs\": {},\n  \"presets\": {},\n  \"seed\": {},\n  \"errors\": {},\n  \"phases\": {{\n    \"cold\": {{\"requests\": {}, \"hits\": {}, \"misses\": {}}},\n    \"repeat\": {{\"requests\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}}\n  }},\n  \"latency_us\": {{\"p50\": {}, \"p99\": {}, \"mean\": {}, \"max\": {}}},\n  \"wall_seconds\": {:.3},\n  \"throughput_rps\": {:.1}\n}}\n",
+        "{{\n  \"schema\": \"marionette.loadgen/v1\",\n  \"requests\": {},\n  \"concurrency\": {},\n  \"programs\": {},\n  \"presets\": {},\n  \"seed\": {},\n  \"errors\": {},\n  \"phases\": {{\n    \"cold\": {{\"requests\": {}, \"hits\": {}, \"misses\": {}}},\n    \"repeat\": {{\"requests\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}}\n  }},\n  \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {}, \"max\": {}}},\n  \"latency_histogram\": {{\n    \"bounds_us\": {},\n    \"counts\": {},\n    \"count\": {},\n    \"sum_us\": {}\n  }},\n  \"wall_seconds\": {:.3},\n  \"throughput_rps\": {:.1}\n}}\n",
         total,
         flags.concurrency,
         flags.programs,
@@ -343,10 +358,16 @@ fn main() -> ExitCode {
         repeat_hits,
         repeat_total - repeat_hits,
         repeat_hit_rate,
-        percentile(&all, 0.50),
-        percentile(&all, 0.99),
+        hist.quantile_us(0.50),
+        hist.quantile_us(0.90),
+        hist.quantile_us(0.95),
+        hist.quantile_us(0.99),
         mean,
-        all.last().copied().unwrap_or(0),
+        hist.max_us(),
+        json_u64s(BUCKET_BOUNDS_US),
+        json_u64s(&bucket_counts),
+        hist.count(),
+        hist.sum_us(),
         wall.as_secs_f64(),
         total as f64 / wall.as_secs_f64().max(1e-9),
     );
@@ -358,10 +379,11 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!(
-                "loadgen: {total} requests, {errors} errors, repeat hit rate {:.0}%, p50 {}us p99 {}us -> {path}",
+                "loadgen: {total} requests, {errors} errors, repeat hit rate {:.0}%, p50 {}us p99 {}us max {}us -> {path}",
                 repeat_hit_rate * 100.0,
-                percentile(&all, 0.50),
-                percentile(&all, 0.99),
+                hist.quantile_us(0.50),
+                hist.quantile_us(0.99),
+                hist.max_us(),
             );
         }
         None => print!("{report}"),

@@ -34,8 +34,8 @@ use marionette::cdfg::value::Value;
 use marionette::compiler::SearchBudget;
 use marionette::sim::{EngineKind, FaultSet};
 use marionette_lang::driver::{
-    frontend, reference, run_preset_engine, run_preset_faulted_engine, DriverError, PresetRun,
-    DEFAULT_MAX_CYCLES, INTERP_BUDGET,
+    frontend, reference, run_preset_engine, run_preset_engine_traced, run_preset_faulted_engine,
+    run_preset_faulted_engine_traced, DriverError, PresetRun, DEFAULT_MAX_CYCLES, INTERP_BUDGET,
 };
 
 struct Args {
@@ -51,6 +51,7 @@ struct Args {
     engine: EngineKind,
     disasm: bool,
     json: Option<String>,
+    trace: Option<String>,
 }
 
 fn usage() -> String {
@@ -58,7 +59,7 @@ fn usage() -> String {
      [--search MOVES[,RESTARTS]] \
      [--param NAME=VALUE]... [--max-cycles N] \
      [--fault SPEC]... [--faults N] [--fault-seed S] \
-     [--engine wheel|heap] [--disasm] [--json PATH]"
+     [--engine wheel|heap] [--disasm] [--json PATH] [--trace PATH]"
         .to_string()
 }
 
@@ -76,6 +77,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         engine: EngineKind::default(),
         disasm: false,
         json: None,
+        trace: None,
     };
     let rest: Vec<&String> = argv.iter().skip(1).collect();
     let mut i = 0usize;
@@ -150,6 +152,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--disasm" => args.disasm = true,
             "--json" => args.json = Some(value_of("--json", &mut i)?),
+            "--trace" => args.trace = Some(value_of("--trace", &mut i)?),
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`\n{}", usage()))
             }
@@ -322,6 +325,17 @@ fn run() -> Result<(), i32> {
         2
     };
     let presets = select_presets(args.fabric, args.presets.as_deref()).map_err(fail2)?;
+    if args.trace.is_some() && presets.len() != 1 {
+        return Err(fail2(format!(
+            "--trace records one preset's run; narrow the {} selected presets \
+             with --presets TAG",
+            presets.len()
+        )));
+    }
+    // Surface an unwritable trace path before spending cycles simulating.
+    if let Some(path) = &args.trace {
+        std::fs::File::create(path).map_err(|e| fail2(format!("--trace {path}: {e}")))?;
+    }
     let faults = FaultSet::from_cli(
         args.fabric.rows,
         args.fabric.cols,
@@ -375,6 +389,7 @@ fn run() -> Result<(), i32> {
     }
     let mut runs = Vec::new();
     let mut fault_info: Vec<(Option<String>, bool)> = Vec::new();
+    let mut tracer = args.trace.as_ref().map(|_| marionette::sim::Tracer::new());
     for arch in &presets {
         let mut arch = arch.clone();
         if let Some((moves, restarts)) = args.search {
@@ -389,28 +404,54 @@ fn run() -> Result<(), i32> {
             1
         };
         let (run, note) = if faults.is_empty() {
-            let run = run_preset_engine(
-                &g,
-                &r,
-                &arch,
-                &overrides,
-                args.max_cycles,
-                args.disasm,
-                args.engine,
-            )
-            .map_err(fail1)?;
+            let run = match tracer.as_mut() {
+                None => run_preset_engine(
+                    &g,
+                    &r,
+                    &arch,
+                    &overrides,
+                    args.max_cycles,
+                    args.disasm,
+                    args.engine,
+                )
+                .map_err(fail1)?,
+                Some(t) => run_preset_engine_traced(
+                    &g,
+                    &r,
+                    &arch,
+                    &overrides,
+                    args.max_cycles,
+                    args.disasm,
+                    args.engine,
+                    t,
+                )
+                .map_err(fail1)?,
+            };
             (run, String::new())
         } else {
-            let fr = run_preset_faulted_engine(
-                &g,
-                &r,
-                &arch,
-                &overrides,
-                args.max_cycles,
-                &faults,
-                args.engine,
-            )
-            .map_err(fail1)?;
+            let fr = match tracer.as_mut() {
+                None => run_preset_faulted_engine(
+                    &g,
+                    &r,
+                    &arch,
+                    &overrides,
+                    args.max_cycles,
+                    &faults,
+                    args.engine,
+                )
+                .map_err(fail1)?,
+                Some(t) => run_preset_faulted_engine_traced(
+                    &g,
+                    &r,
+                    &arch,
+                    &overrides,
+                    args.max_cycles,
+                    &faults,
+                    args.engine,
+                    t,
+                )
+                .map_err(fail1)?,
+            };
             let note = match &fr.wedged {
                 Some(w) => format!("  (wedged by {w}, remapped)"),
                 None => String::new(),
@@ -444,6 +485,13 @@ fn run() -> Result<(), i32> {
         })?,
         Some(_) => print!("{report}"),
         None => {}
+    }
+    if let (Some(path), Some(t)) = (&args.trace, &tracer) {
+        std::fs::write(path, t.to_chrome_json()).map_err(|e| {
+            eprintln!("marc: writing {path}: {e}");
+            1
+        })?;
+        println!("marc: wrote {} trace events to {path}", t.len());
     }
     Ok(())
 }

@@ -30,6 +30,7 @@ const BENCH_SIM: &str = env!("CARGO_BIN_EXE_bench_sim");
 const MARC: &str = env!("CARGO_BIN_EXE_marc");
 const FAULT_SWEEP: &str = env!("CARGO_BIN_EXE_fault_sweep");
 const LOADGEN: &str = env!("CARGO_BIN_EXE_loadgen");
+const TRACE_DIFF: &str = env!("CARGO_BIN_EXE_trace_diff");
 
 #[test]
 fn bench_sim_rejects_duplicate_engine() {
@@ -91,6 +92,143 @@ fn fault_sweep_rejects_duplicate_fabric() {
 fn fault_sweep_rejects_unknown_argument() {
     let out = run(FAULT_SWEEP, &["--fault-count", "3"]);
     assert_usage_error(&out, "unknown argument", "fault_sweep typo'd flag");
+}
+
+#[test]
+fn bench_sim_trace_flags_are_audited() {
+    let out = run(
+        BENCH_SIM,
+        &[
+            "--trace",
+            "a.json",
+            "--trace",
+            "b.json",
+            "--trace-point",
+            "CRC:M",
+        ],
+    );
+    assert_usage_error(&out, "duplicate flag `--trace`", "bench_sim dup trace");
+    let out = run(BENCH_SIM, &["--trace", "a.json"]);
+    assert_usage_error(&out, "--trace needs --trace-point", "bench_sim trace alone");
+    let out = run(BENCH_SIM, &["--trace-point", "CRC:M"]);
+    assert_usage_error(
+        &out,
+        "--trace-point only makes sense with --trace",
+        "bench_sim point alone",
+    );
+    let out = run(BENCH_SIM, &["--trace", "a.json", "--trace-point", "CRC"]);
+    assert_usage_error(&out, "wants KERNEL:PRESET", "bench_sim point no colon");
+    let out = run(BENCH_SIM, &["--trace", "a.json", "--trace-point", "NOPE:M"]);
+    assert_usage_error(&out, "not a kernel tag", "bench_sim point bad kernel");
+    let out = run(
+        BENCH_SIM,
+        &[
+            "--trace",
+            "/nonexistent-dir/t.json",
+            "--trace-point",
+            "CRC:M",
+        ],
+    );
+    assert_usage_error(
+        &out,
+        "--trace /nonexistent-dir/t.json",
+        "bench_sim bad path",
+    );
+    let out = run(
+        BENCH_SIM,
+        &[
+            "--trace",
+            "a.json",
+            "--trace-point",
+            "CRC:M",
+            "--check",
+            "b.json",
+        ],
+    );
+    assert_usage_error(
+        &out,
+        "--trace records a single run",
+        "bench_sim trace+check",
+    );
+}
+
+#[test]
+fn fault_sweep_trace_flags_are_audited() {
+    let out = run(FAULT_SWEEP, &["--trace", "a.json", "--trace", "b.json"]);
+    assert_usage_error(&out, "duplicate flag `--trace`", "fault_sweep dup trace");
+    // An unnarrowed sweep has hundreds of points; --trace refuses it.
+    let out = run(FAULT_SWEEP, &["--trace", "a.json"]);
+    assert_usage_error(
+        &out,
+        "--trace records one point's run",
+        "fault_sweep trace unnarrowed",
+    );
+    let out = run(
+        FAULT_SWEEP,
+        &[
+            "--trace",
+            "/nonexistent-dir/t.json",
+            "--kernels",
+            "CRC",
+            "--presets",
+            "M",
+            "--fault-counts",
+            "0",
+        ],
+    );
+    assert_usage_error(
+        &out,
+        "--trace /nonexistent-dir/t.json",
+        "fault_sweep bad trace path",
+    );
+}
+
+#[test]
+fn marc_rejects_duplicate_trace_and_bad_trace_path() {
+    let out = run(MARC, &["--trace", "a.json", "--trace", "b.json", "x.mar"]);
+    assert_usage_error(&out, "duplicate flag `--trace`", "marc dup trace");
+    let out = run(
+        MARC,
+        &[
+            "--trace",
+            "/nonexistent-dir/t.json",
+            "--presets",
+            "M",
+            "x.mar",
+        ],
+    );
+    assert_usage_error(&out, "--trace /nonexistent-dir/t.json", "marc bad path");
+}
+
+#[test]
+fn trace_diff_rejects_bad_argv_and_unreadable_files() {
+    let out = run(TRACE_DIFF, &["a.json"]);
+    assert_usage_error(
+        &out,
+        "expected exactly two trace files",
+        "trace_diff one file",
+    );
+    let out = run(TRACE_DIFF, &["a.json", "b.json", "c.json"]);
+    assert_usage_error(
+        &out,
+        "expected exactly two trace files",
+        "trace_diff three files",
+    );
+    let out = run(
+        TRACE_DIFF,
+        &["a.json", "b.json", "--limit", "1", "--limit", "2"],
+    );
+    assert_usage_error(&out, "duplicate flag `--limit`", "trace_diff dup limit");
+    let out = run(TRACE_DIFF, &["a.json", "b.json", "--limit", "many"]);
+    assert_usage_error(&out, "--limit needs a count", "trace_diff bad limit");
+    let out = run(TRACE_DIFF, &["a.json", "b.json", "--nope"]);
+    assert_usage_error(&out, "unknown argument `--nope`", "trace_diff unknown flag");
+    let out = run(TRACE_DIFF, &["/nonexistent-a.json", "/nonexistent-b.json"]);
+    assert_usage_error(
+        &out,
+        "reading /nonexistent-a.json",
+        "trace_diff missing input",
+    );
 }
 
 #[test]

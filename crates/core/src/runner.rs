@@ -18,8 +18,8 @@ use marionette_isa::MachineProgram;
 use marionette_kernels::traits::{Golden, Kernel, KernelError, Scale};
 use marionette_kernels::verify::check_vs_golden;
 use marionette_sim::{
-    run_full, run_lanes_full, run_with_engine, EngineKind, FaultSet, LaneSpec, RunResult, RunStats,
-    SimError,
+    run_full, run_full_traced, run_lanes_full, run_with_engine, EngineKind, FaultSet, LaneSpec,
+    RunResult, RunStats, SimError, Tracer,
 };
 use std::fmt;
 
@@ -208,6 +208,56 @@ pub fn run_kernel_with_engine(
         .map(|a| (a.name.clone(), a.init.clone()))
         .collect();
     let r = run_with_engine(&prog, &arch.tm, engine, &inputs, &[], max_cycles)?;
+    verify_golden(kernel, arch, &g, &golden, &r)?;
+    Ok(KernelRun {
+        arch: arch.short.to_string(),
+        kernel: kernel.short().to_string(),
+        cycles: r.stats.cycles,
+        stats: r.stats,
+        report,
+        verified: true,
+    })
+}
+
+/// [`run_kernel_with_engine`] with a [`Tracer`] recording the
+/// cycle-accurate event stream ([`marionette_sim::trace`]). The traced
+/// run is bit-identical to the untraced one — same cycles, same stats,
+/// same outputs — which `crates/core/tests/trace_plane.rs` pins.
+///
+/// # Errors
+/// Returns [`RunnerError`] on compile/simulation failure or output
+/// mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn run_kernel_traced(
+    kernel: &dyn Kernel,
+    arch: &Architecture,
+    scale: Scale,
+    seed: u64,
+    max_cycles: u64,
+    engine: EngineKind,
+    tracer: &mut Tracer,
+) -> Result<KernelRun, RunnerError> {
+    let wl = kernel.workload(scale, seed);
+    let golden = kernel.golden(&wl)?;
+    let g = kernel.build(&wl)?;
+    let (prog, report) = compile_for_arch(&g, arch)?;
+    let bytes = marionette_isa::bitstream::encode(&prog);
+    let prog = marionette_isa::bitstream::decode(&bytes).expect("bitstream roundtrip");
+    let inputs: Vec<(String, Vec<Value>)> = g
+        .arrays
+        .iter()
+        .map(|a| (a.name.clone(), a.init.clone()))
+        .collect();
+    let r = run_full_traced(
+        &prog,
+        &arch.tm,
+        &FaultSet::none(),
+        engine,
+        &inputs,
+        &[],
+        max_cycles,
+        tracer,
+    )?;
     verify_golden(kernel, arch, &g, &golden, &r)?;
     Ok(KernelRun {
         arch: arch.short.to_string(),
@@ -466,6 +516,97 @@ pub fn run_kernel_faulted_with_engine(
     let bytes = marionette_isa::bitstream::encode(&prog);
     let prog = marionette_isa::bitstream::decode(&bytes).expect("bitstream roundtrip");
     let r = run_full(&prog, &arch.tm, faults, engine, &inputs, &[], max_cycles)?;
+    verify_golden(kernel, arch, &g, &golden, &r)?;
+    Ok(FaultKernelRun {
+        wedged: Some(wedged),
+        remapped: true,
+        run: KernelRun {
+            arch: arch.short.to_string(),
+            kernel: kernel.short().to_string(),
+            cycles: r.stats.cycles,
+            stats: r.stats,
+            report,
+            verified: true,
+        },
+    })
+}
+
+/// [`run_kernel_faulted_with_engine`] with a [`Tracer`]: the surviving
+/// pipeline (original or self-healed remap) is simulated traced, and a
+/// wedged bitstream leaves a `remap after <resource>` marker on the
+/// trace's marks track, so a healthy-vs-remapped `trace_diff` can anchor
+/// on the heal point.
+///
+/// # Errors
+/// As [`run_kernel_faulted_with_engine`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_kernel_faulted_traced(
+    kernel: &dyn Kernel,
+    arch: &Architecture,
+    scale: Scale,
+    seed: u64,
+    max_cycles: u64,
+    faults: &FaultSet,
+    engine: EngineKind,
+    tracer: &mut Tracer,
+) -> Result<FaultKernelRun, RunnerError> {
+    let wl = kernel.workload(scale, seed);
+    let golden = kernel.golden(&wl)?;
+    let g = kernel.build(&wl)?;
+    let (prog, report) = compile_for_arch(&g, arch)?;
+    let bytes = marionette_isa::bitstream::encode(&prog);
+    let prog = marionette_isa::bitstream::decode(&bytes).expect("bitstream roundtrip");
+    let inputs: Vec<(String, Vec<Value>)> = g
+        .arrays
+        .iter()
+        .map(|a| (a.name.clone(), a.init.clone()))
+        .collect();
+    let wedged = match run_full_traced(
+        &prog,
+        &arch.tm,
+        faults,
+        engine,
+        &inputs,
+        &[],
+        max_cycles,
+        tracer,
+    ) {
+        Ok(r) => {
+            verify_golden(kernel, arch, &g, &golden, &r)?;
+            return Ok(FaultKernelRun {
+                wedged: None,
+                remapped: false,
+                run: KernelRun {
+                    arch: arch.short.to_string(),
+                    kernel: kernel.short().to_string(),
+                    cycles: r.stats.cycles,
+                    stats: r.stats,
+                    report,
+                    verified: true,
+                },
+            });
+        }
+        Err(SimError::Fault { what, .. }) => what,
+        Err(e) => return Err(RunnerError::Sim(e)),
+    };
+    tracer.mark(0, &format!("remap after {wedged}"));
+    let mut healed = arch.clone();
+    if !healed.opts.search.is_on() {
+        healed.opts.search = SearchBudget::default_on();
+    }
+    let (prog, report) = compile_for_arch_with_faults(&g, &healed, faults)?;
+    let bytes = marionette_isa::bitstream::encode(&prog);
+    let prog = marionette_isa::bitstream::decode(&bytes).expect("bitstream roundtrip");
+    let r = run_full_traced(
+        &prog,
+        &arch.tm,
+        faults,
+        engine,
+        &inputs,
+        &[],
+        max_cycles,
+        tracer,
+    )?;
     verify_golden(kernel, arch, &g, &golden, &r)?;
     Ok(FaultKernelRun {
         wedged: Some(wedged),

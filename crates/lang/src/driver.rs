@@ -276,6 +276,45 @@ pub fn simulate_compiled(
     Ok(summarize(preset, &r, &compiled.report))
 }
 
+/// [`simulate_compiled`] with a [`marionette::sim::Tracer`] recording
+/// the cycle-accurate event stream ([`marionette::sim::trace`]): the
+/// `marc --trace` path. The traced simulation is bit-identical to the
+/// untraced one and passes the same reference verification.
+///
+/// # Errors
+/// As [`simulate_compiled`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_compiled_traced(
+    g: &Cdfg,
+    reference: &Reference,
+    arch: &Architecture,
+    compiled: &Compiled,
+    overrides: &[(String, Value)],
+    max_cycles: u64,
+    faults: &marionette::sim::FaultSet,
+    engine: marionette::sim::EngineKind,
+    tracer: &mut marionette::sim::Tracer,
+) -> Result<PresetRun, DriverError> {
+    let preset = arch.short.to_string();
+    let inputs = array_inputs(g);
+    let r = marionette::sim::run_full_traced(
+        &compiled.prog,
+        &arch.tm,
+        faults,
+        engine,
+        &inputs,
+        overrides,
+        max_cycles,
+        tracer,
+    )
+    .map_err(|e| DriverError::Sim {
+        preset: preset.clone(),
+        e,
+    })?;
+    verify_vs_reference(g, reference, arch, &preset, &compiled.prog, &r)?;
+    Ok(summarize(preset, &r, &compiled.report))
+}
+
 /// Simulates N parameter lanes of one pre-compiled artifact in a single
 /// batched pass ([`marionette::sim::run_lanes_full`]): the machine is
 /// built once and reset between lanes, which is how the `mard` batch
@@ -390,6 +429,41 @@ pub fn run_preset_engine(
         max_cycles,
         &marionette::sim::FaultSet::none(),
         engine,
+    )?;
+    if want_disasm {
+        run.disasm = Some(marionette::isa::disasm::disassemble(&compiled.prog));
+    }
+    Ok(run)
+}
+
+/// [`run_preset_engine`] with a [`marionette::sim::Tracer`]: compiles,
+/// round-trips the bitstream, simulates traced, verifies — the healthy
+/// `marc --trace` pipeline.
+///
+/// # Errors
+/// Returns the first [`DriverError`] along the pipeline.
+#[allow(clippy::too_many_arguments)]
+pub fn run_preset_engine_traced(
+    g: &Cdfg,
+    reference: &Reference,
+    arch: &Architecture,
+    overrides: &[(String, Value)],
+    max_cycles: u64,
+    want_disasm: bool,
+    engine: marionette::sim::EngineKind,
+    tracer: &mut marionette::sim::Tracer,
+) -> Result<PresetRun, DriverError> {
+    let compiled = compile_preset(g, arch)?;
+    let mut run = simulate_compiled_traced(
+        g,
+        reference,
+        arch,
+        &compiled,
+        overrides,
+        max_cycles,
+        &marionette::sim::FaultSet::none(),
+        engine,
+        tracer,
     )?;
     if want_disasm {
         run.disasm = Some(marionette::isa::disasm::disassemble(&compiled.prog));
@@ -571,6 +645,54 @@ pub fn run_preset_faulted_engine(
     let compiled = compile_preset_faulted(g, arch, faults)?;
     let run = simulate_compiled(
         g, reference, arch, &compiled, overrides, max_cycles, faults, engine,
+    )?;
+    Ok(FaultRun {
+        wedged: Some(wedged),
+        remapped: true,
+        run,
+    })
+}
+
+/// [`run_preset_faulted_engine`] with a [`marionette::sim::Tracer`]: the
+/// surviving pipeline (original or self-healed remap) simulates traced,
+/// and a wedged bitstream leaves a `remap after <resource>` marker on
+/// the trace's marks track.
+///
+/// # Errors
+/// Returns the first [`DriverError`] along whichever pipeline (original
+/// or remapped) survives fault screening.
+#[allow(clippy::too_many_arguments)]
+pub fn run_preset_faulted_engine_traced(
+    g: &Cdfg,
+    reference: &Reference,
+    arch: &Architecture,
+    overrides: &[(String, Value)],
+    max_cycles: u64,
+    faults: &marionette::sim::FaultSet,
+    engine: marionette::sim::EngineKind,
+    tracer: &mut marionette::sim::Tracer,
+) -> Result<FaultRun, DriverError> {
+    let compiled = compile_preset(g, arch)?;
+    let wedged = match simulate_compiled_traced(
+        g, reference, arch, &compiled, overrides, max_cycles, faults, engine, tracer,
+    ) {
+        Ok(run) => {
+            return Ok(FaultRun {
+                wedged: None,
+                remapped: false,
+                run,
+            })
+        }
+        Err(DriverError::Sim {
+            e: marionette::sim::SimError::Fault { what, .. },
+            ..
+        }) => what,
+        Err(e) => return Err(e),
+    };
+    tracer.mark(0, &format!("remap after {wedged}"));
+    let compiled = compile_preset_faulted(g, arch, faults)?;
+    let run = simulate_compiled_traced(
+        g, reference, arch, &compiled, overrides, max_cycles, faults, engine, tracer,
     )?;
     Ok(FaultRun {
         wedged: Some(wedged),

@@ -33,9 +33,13 @@ OPTIONS:
 
 ENDPOINTS:
   GET  /healthz   liveness probe
-  GET  /stats     counters (requests, cache, queue)
+  GET  /stats     counters (requests, cache, queue, uptime, endpoints)
+  GET  /metrics   Prometheus text exposition
   POST /run       compile + simulate one .mar body
   POST /batch     one compile, N parameter lanes
+
+One structured access-log line (JSON) per request goes to stderr;
+every response carries an X-Request-Id header matching its log line.
 ";
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -47,6 +51,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ServeConfig {
         addr: "127.0.0.1:8431".to_string(),
+        // The daemon always writes access logs; only in-process tests
+        // (which build ServeConfig directly) run quiet.
+        access_log: true,
         ..ServeConfig::default()
     };
     // Every mard flag takes exactly one value and may appear once; a

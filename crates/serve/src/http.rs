@@ -238,12 +238,35 @@ pub fn reason(status: u16) -> &'static str {
 ///
 /// # Errors
 /// Returns the underlying I/O error (the connection is dropped anyway).
-pub fn write_response<S: Write>(mut stream: S, status: u16, body: &str) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+pub fn write_response<S: Write>(stream: S, status: u16, body: &str) -> std::io::Result<()> {
+    write_response_ext(stream, status, "application/json", &[], body)
+}
+
+/// [`write_response`] with an explicit `Content-Type` and extra headers
+/// (`/metrics` answers Prometheus text; every routed response carries
+/// `X-Request-Id`).
+///
+/// # Errors
+/// Returns the underlying I/O error (the connection is dropped anyway).
+pub fn write_response_ext<S: Write>(
+    mut stream: S,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(status),
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()

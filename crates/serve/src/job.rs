@@ -9,7 +9,7 @@
 
 use crate::cache::{CacheKey, CachedArtifact};
 use crate::http::Request;
-use crate::ServerState;
+use crate::{RouteMeta, ServerState};
 use marionette::cdfg::value::Value;
 use marionette::compiler::SearchBudget;
 use marionette::report::json_escape;
@@ -25,6 +25,11 @@ use std::sync::Arc;
 
 /// Name under which request source is rendered in caret diagnostics.
 const REQUEST_FILE: &str = "<request>";
+
+/// Elapsed microseconds since `t`, saturating.
+fn micros_since(t: std::time::Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
 
 /// A typed request-processing failure: one status, one machine-readable
 /// kind, human detail, and (for front-end failures) the rendered caret
@@ -387,7 +392,7 @@ fn json_result(run: &PresetRun, sinks: &std::collections::HashMap<String, Vec<Va
 ///
 /// Returns `(run, artifact, hit)` so callers report cache outcome and
 /// remap metadata without re-deriving them.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn run_via_cache(
     state: &ServerState,
     g: &marionette::cdfg::Cdfg,
@@ -396,9 +401,11 @@ fn run_via_cache(
     overrides: &[(String, Value)],
     key: &CacheKey,
     src: &str,
+    meta: &mut RouteMeta,
 ) -> Result<(PresetRun, Arc<CachedArtifact>, bool), ApiError> {
     let under_faults = !opts.faults.is_empty();
     if let Some(artifact) = state.cache.lookup(key) {
+        let t = std::time::Instant::now();
         let run = simulate_compiled(
             g,
             reference,
@@ -410,11 +417,15 @@ fn run_via_cache(
             opts.engine,
         )
         .map_err(|e| map_driver_error(e, src, under_faults))?;
+        meta.sim_us += micros_since(t);
         return Ok((run, artifact, true));
     }
+    let t = std::time::Instant::now();
     let compiled =
         compile_preset(g, &opts.arch).map_err(|e| map_driver_error(e, src, under_faults))?;
-    match simulate_compiled(
+    meta.compile_us += micros_since(t);
+    let t = std::time::Instant::now();
+    let first = simulate_compiled(
         g,
         reference,
         &opts.arch,
@@ -423,7 +434,9 @@ fn run_via_cache(
         opts.max_cycles,
         &opts.faults,
         opts.engine,
-    ) {
+    );
+    meta.sim_us += micros_since(t);
+    match first {
         Ok(run) => {
             let artifact = CachedArtifact {
                 compiled,
@@ -438,8 +451,11 @@ fn run_via_cache(
             ..
         }) if under_faults => {
             // Self-heal: recompile with the faulty resources masked.
+            let t = std::time::Instant::now();
             let healed = compile_preset_faulted(g, &opts.arch, &opts.faults)
                 .map_err(|e| map_driver_error(e, src, true))?;
+            meta.compile_us += micros_since(t);
+            let t = std::time::Instant::now();
             let run = simulate_compiled(
                 g,
                 reference,
@@ -451,6 +467,7 @@ fn run_via_cache(
                 opts.engine,
             )
             .map_err(|e| map_driver_error(e, src, true))?;
+            meta.sim_us += micros_since(t);
             let artifact = CachedArtifact {
                 compiled: healed,
                 wedged: Some(what),
@@ -497,7 +514,11 @@ fn response_head(
 /// # Errors
 /// Returns the typed [`ApiError`] for every failure class (bad query,
 /// front-end diagnostics, wedged/unservable programs).
-pub fn handle_run(state: &ServerState, req: &Request) -> Result<String, ApiError> {
+pub fn handle_run(
+    state: &ServerState,
+    req: &Request,
+    meta: &mut RouteMeta,
+) -> Result<String, ApiError> {
     let opts = decode_options(state, req)?;
     if !opts.lanes.is_empty() {
         return Err(ApiError::bad(
@@ -512,7 +533,9 @@ pub fn handle_run(state: &ServerState, req: &Request) -> Result<String, ApiError
     let reference = reference(&g, &overrides, state.cfg.interp_budget)
         .map_err(|e| map_driver_error(e, &src, false))?;
     let key = CacheKey::derive(&canonical, &opts.arch, &opts.faults);
-    let (run, artifact, hit) = run_via_cache(state, &g, &reference, &opts, &overrides, &key, &src)?;
+    let (run, artifact, hit) =
+        run_via_cache(state, &g, &reference, &opts, &overrides, &key, &src, meta)?;
+    meta.cache_hit = Some(hit);
     let mut j = String::new();
     response_head(&mut j, "run", &ast.name.name, &opts, &key, hit, &artifact);
     let _ = writeln!(
@@ -533,7 +556,11 @@ pub fn handle_run(state: &ServerState, req: &Request) -> Result<String, ApiError
 /// Returns [`ApiError`] for request-level failures (bad query, parse
 /// errors, compile failures); per-lane errors are embedded in the 200
 /// body.
-pub fn handle_batch(state: &ServerState, req: &Request) -> Result<String, ApiError> {
+pub fn handle_batch(
+    state: &ServerState,
+    req: &Request,
+    meta: &mut RouteMeta,
+) -> Result<String, ApiError> {
     let opts = decode_options(state, req)?;
     if opts.lanes.is_empty() {
         return Err(ApiError::bad(
@@ -573,8 +600,10 @@ pub fn handle_batch(state: &ServerState, req: &Request) -> Result<String, ApiErr
     let (artifact, hit) = match state.cache.lookup(&key) {
         Some(a) => (a, true),
         None => {
+            let t = std::time::Instant::now();
             let compiled =
                 compile_preset(&g, &opts.arch).map_err(|e| map_driver_error(e, &src, false))?;
+            meta.compile_us += micros_since(t);
             let artifact = CachedArtifact {
                 compiled,
                 wedged: None,
@@ -584,11 +613,13 @@ pub fn handle_batch(state: &ServerState, req: &Request) -> Result<String, ApiErr
             (Arc::new(artifact), false)
         }
     };
+    meta.cache_hit = Some(hit);
 
     // One batched pass over the lanes whose reference survived.
     let good: Vec<usize> = (0..lane_refs.len())
         .filter(|&i| lane_refs[i].is_ok())
         .collect();
+    let t_sim = std::time::Instant::now();
     let sim_results = if good.is_empty() {
         Vec::new()
     } else {
@@ -617,6 +648,7 @@ pub fn handle_batch(state: &ServerState, req: &Request) -> Result<String, ApiErr
         )
         .map_err(|e| map_driver_error(e, &src, false))?
     };
+    meta.sim_us += micros_since(t_sim);
 
     let mut lane_json: Vec<String> = Vec::with_capacity(lane_refs.len());
     let mut errors = 0usize;

@@ -25,6 +25,7 @@
 pub mod cache;
 pub mod http;
 pub mod job;
+pub mod metrics;
 
 use marionette::parallel::{SubmitError, WorkerPool};
 use marionette::report::json_escape;
@@ -59,6 +60,10 @@ pub struct ServeConfig {
     /// Socket read/write timeout; a slow or stalled client cannot hold
     /// a worker past this.
     pub io_timeout: Option<Duration>,
+    /// Emit one structured access-log line (JSON, stderr) per request.
+    /// Off by default so in-process tests stay quiet; `mard` turns it
+    /// on.
+    pub access_log: bool,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +77,7 @@ impl Default for ServeConfig {
             max_cycles: 10_000_000,
             interp_budget: 20_000_000,
             io_timeout: Some(Duration::from_secs(10)),
+            access_log: false,
         }
     }
 }
@@ -99,6 +105,38 @@ pub struct ServerState {
     pub cache: cache::CompileCache,
     /// Request-outcome counters.
     pub counters: Counters,
+    /// Observability state: request ids, latency histogram, per-endpoint
+    /// counters, busy gauge.
+    pub metrics: metrics::Metrics,
+}
+
+/// Per-request routing metadata the observability layer reports: which
+/// endpoint handled it, the response content type, the cache verdict,
+/// and where the time went. Filled by [`route_with_meta`].
+#[derive(Debug)]
+pub struct RouteMeta {
+    /// Canonical endpoint label (see [`metrics::ENDPOINTS`]).
+    pub endpoint: &'static str,
+    /// Response `Content-Type`.
+    pub content_type: &'static str,
+    /// Compile-cache verdict, when the endpoint consulted it.
+    pub cache_hit: Option<bool>,
+    /// Microseconds spent compiling (0 on hits and non-run endpoints).
+    pub compile_us: u64,
+    /// Microseconds spent simulating.
+    pub sim_us: u64,
+}
+
+impl Default for RouteMeta {
+    fn default() -> Self {
+        RouteMeta {
+            endpoint: "other",
+            content_type: "application/json",
+            cache_hit: None,
+            compile_us: 0,
+            sim_us: 0,
+        }
+    }
 }
 
 fn error_body(kind: &str, detail: &str) -> String {
@@ -133,6 +171,14 @@ fn stats_json(state: &ServerState, depth: usize) -> String {
         "  \"queue\": {{\"depth\": {}, \"capacity\": {}, \"workers\": {}}},",
         depth, state.cfg.queue_cap, state.cfg.workers
     );
+    let _ = writeln!(j, "  \"uptime_secs\": {},", state.metrics.uptime_secs());
+    let eps: Vec<String> = state
+        .metrics
+        .by_endpoint()
+        .iter()
+        .map(|(e, n)| format!("\"{e}\": {n}"))
+        .collect();
+    let _ = writeln!(j, "  \"endpoints\": {{{}}},", eps.join(", "));
     let _ = writeln!(
         j,
         "  \"limits\": {{\"max_body\": {}, \"max_cycles\": {}, \"interp_budget\": {}}}",
@@ -145,18 +191,35 @@ fn stats_json(state: &ServerState, depth: usize) -> String {
 /// Routes one parsed request to its handler. Exposed for in-process
 /// protocol tests that want to skip the socket layer.
 pub fn route(state: &ServerState, depth: usize, req: &http::Request) -> (u16, String) {
+    let mut meta = RouteMeta::default();
+    route_with_meta(state, depth, req, &mut meta)
+}
+
+/// [`route`] plus the per-request metadata the observability layer
+/// (counters, access log, `Content-Type` selection) needs.
+pub fn route_with_meta(
+    state: &ServerState,
+    depth: usize,
+    req: &http::Request,
+    meta: &mut RouteMeta,
+) -> (u16, String) {
+    meta.endpoint = metrics::endpoint_of(&req.path);
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, "{\"ok\": true}\n".to_string()),
         ("GET", "/stats") => (200, stats_json(state, depth)),
-        ("POST", "/run") => match job::handle_run(state, req) {
+        ("GET", "/metrics") => {
+            meta.content_type = "text/plain; version=0.0.4";
+            (200, metrics::render_prometheus(state, depth))
+        }
+        ("POST", "/run") => match job::handle_run(state, req, meta) {
             Ok(body) => (200, body),
             Err(e) => (e.status, e.to_json()),
         },
-        ("POST", "/batch") => match job::handle_batch(state, req) {
+        ("POST", "/batch") => match job::handle_batch(state, req, meta) {
             Ok(body) => (200, body),
             Err(e) => (e.status, e.to_json()),
         },
-        (_, "/healthz" | "/stats" | "/run" | "/batch") => (
+        (_, "/healthz" | "/stats" | "/metrics" | "/run" | "/batch") => (
             405,
             error_body(
                 "method_not_allowed",
@@ -181,12 +244,50 @@ fn count_status(state: &ServerState, status: u16) {
     bucket.fetch_add(1, Ordering::Relaxed);
 }
 
+/// One structured access-log line (JSON, written to stderr by the
+/// caller). `method`/`path` are `-` when the request never parsed.
+fn access_log_line(
+    id: u64,
+    method: &str,
+    path: &str,
+    status: u16,
+    meta: &RouteMeta,
+    total_us: u64,
+) -> String {
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0.0, |d| d.as_secs_f64());
+    let cache = match meta.cache_hit {
+        Some(true) => "\"hit\"",
+        Some(false) => "\"miss\"",
+        None => "null",
+    };
+    format!(
+        "{{\"log\":\"mard.access\",\"ts\":{ts:.3},\"id\":{id},\"method\":\"{}\",\"path\":\"{}\",\"endpoint\":\"{}\",\"status\":{status},\"cache\":{cache},\"compile_us\":{},\"sim_us\":{},\"total_us\":{total_us}}}",
+        json_escape(method),
+        json_escape(path),
+        meta.endpoint,
+        meta.compile_us,
+        meta.sim_us,
+    )
+}
+
 /// Worker-side connection handler: read, route, respond, close.
 fn handle_connection(state: &ServerState, pool_depth: usize, stream: TcpStream) {
     let _ = stream.set_read_timeout(state.cfg.io_timeout);
     let _ = stream.set_write_timeout(state.cfg.io_timeout);
+    let id = state.metrics.next_request_id();
+    state.metrics.busy.fetch_add(1, Ordering::Relaxed);
+    let t0 = std::time::Instant::now();
+    let mut meta = RouteMeta::default();
+    let mut method = "-".to_string();
+    let mut path = "-".to_string();
     let (status, body) = match http::read_request(&stream, state.cfg.max_body) {
-        Ok(req) => route(state, pool_depth, &req),
+        Ok(req) => {
+            method.clone_from(&req.method);
+            path.clone_from(&req.path);
+            route_with_meta(state, pool_depth, &req, &mut meta)
+        }
         Err(http::HttpError::LengthRequired) => (
             411,
             error_body("length_required", "POST bodies need a Content-Length"),
@@ -202,12 +303,30 @@ fn handle_connection(state: &ServerState, pool_depth: usize, stream: TcpStream) 
         Err(http::HttpError::Io(_)) => {
             // The client vanished or stalled past the timeout; there is
             // nobody left to answer.
+            state.metrics.busy.fetch_sub(1, Ordering::Relaxed);
             let _ = stream.shutdown(Shutdown::Both);
             return;
         }
     };
     count_status(state, status);
-    let _ = http::write_response(&stream, status, &body);
+    state.metrics.record(meta.endpoint, status);
+    let total_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+    state.metrics.latency.observe(total_us);
+    state.metrics.busy.fetch_sub(1, Ordering::Relaxed);
+    if state.cfg.access_log {
+        eprintln!(
+            "{}",
+            access_log_line(id, &method, &path, status, &meta, total_us)
+        );
+    }
+    let request_id = id.to_string();
+    let _ = http::write_response_ext(
+        &stream,
+        status,
+        meta.content_type,
+        &[("X-Request-Id", &request_id)],
+        &body,
+    );
     let _ = stream.shutdown(Shutdown::Both);
 }
 
@@ -233,6 +352,7 @@ impl Server {
         let state = Arc::new(ServerState {
             cache: cache::CompileCache::new(cfg.cache_cap),
             counters: Counters::default(),
+            metrics: metrics::Metrics::default(),
             cfg,
         });
         let stopping = Arc::new(AtomicBool::new(false));
@@ -282,6 +402,7 @@ impl Server {
                                 .counters
                                 .rejected_429
                                 .fetch_add(1, Ordering::Relaxed);
+                            accept_state.metrics.record("admission", 429);
                             let _ = stream.set_write_timeout(accept_state.cfg.io_timeout);
                             let _ = http::write_response(
                                 &stream,

@@ -17,6 +17,18 @@ pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// Sends one request, returns `(status, body)`.
 pub fn http(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String) {
+    let (status, _, body) = http_full(addr, method, target, body);
+    (status, body)
+}
+
+/// Sends one request, returns `(status, response head, body)` — for
+/// tests that pin response headers (Content-Type, X-Request-Id).
+pub fn http_full(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> (u16, String, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.set_read_timeout(Some(CLIENT_TIMEOUT)).unwrap();
     s.set_write_timeout(Some(CLIENT_TIMEOUT)).unwrap();
@@ -26,7 +38,18 @@ pub fn http(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, 
     );
     s.write_all(head.as_bytes()).expect("write head");
     s.write_all(body).expect("write body");
-    read_response(&mut s)
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).expect("read response");
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in `{text}`"));
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in `{head}`"));
+    (status, head.to_string(), body.to_string())
 }
 
 /// Sends raw bytes (for malformed-request tests), returns `(status, body)`.

@@ -205,3 +205,97 @@ fn counters_track_response_classes() {
     assert!(stats.contains("\"client_errors\": 1"), "{stats}");
     s.stop();
 }
+
+#[test]
+fn stats_reports_uptime_and_per_endpoint_counts() {
+    let s = server();
+    let _ = http(s.addr(), "GET", "/healthz", b"");
+    let _ = run(s.addr(), "preset=M", GOOD);
+    let (status, stats) = http(s.addr(), "GET", "/stats", b"");
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"uptime_secs\": "), "{stats}");
+    assert!(stats.contains("\"endpoints\": {"), "{stats}");
+    assert!(stats.contains("\"healthz\": 1"), "{stats}");
+    assert!(stats.contains("\"run\": 1"), "{stats}");
+    // The /stats request itself has not been recorded yet when its own
+    // body is rendered, so the earlier traffic pins exact counts.
+    assert!(stats.contains("\"batch\": 0"), "{stats}");
+    s.stop();
+}
+
+#[test]
+fn metrics_expose_prometheus_text_that_parses() {
+    let s = server();
+    let _ = run(s.addr(), "preset=M", GOOD); // move the counters first
+    let (status, head, body) = common::http_full(s.addr(), "GET", "/metrics", b"");
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("Content-Type: text/plain"), "{head}");
+
+    // Every line must be a comment or `name[{labels}] value` with a
+    // numeric value — the Prometheus text exposition grammar.
+    for line in body.lines().filter(|l| !l.trim().is_empty()) {
+        if let Some(comment) = line.strip_prefix('#') {
+            let word = comment.trim_start().split(' ').next().unwrap_or("");
+            assert!(
+                word == "HELP" || word == "TYPE",
+                "bad comment line `{line}`"
+            );
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line `{line}` has no value");
+        });
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "value `{value}` in `{line}` is not numeric"
+        );
+        let name = name_part.split('{').next().unwrap();
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in `{line}`"
+        );
+        if let Some(rest) = name_part.split_once('{').map(|(_, r)| r) {
+            assert!(rest.ends_with('}'), "unterminated labels in `{line}`");
+        }
+    }
+
+    // The /run above must be visible in the counters and the histogram.
+    assert!(
+        body.contains("mard_requests_total{endpoint=\"run\",status=\"200\"} 1"),
+        "{body}"
+    );
+    assert!(body.contains("mard_cache_misses_total 1"), "{body}");
+    assert!(
+        body.contains("mard_request_latency_seconds_bucket{le=\"+Inf\"} 1"),
+        "{body}"
+    );
+    assert!(
+        body.contains("mard_request_latency_seconds_count 1"),
+        "{body}"
+    );
+    assert!(body.contains("mard_workers "), "{body}");
+    assert!(body.contains("mard_uptime_seconds "), "{body}");
+    s.stop();
+}
+
+#[test]
+fn responses_echo_a_request_id() {
+    let s = server();
+    let (_, head1, _) = common::http_full(s.addr(), "GET", "/healthz", b"");
+    let (_, head2, _) = common::http_full(s.addr(), "GET", "/healthz", b"");
+    let id_of = |head: &str| -> u64 {
+        head.lines()
+            .find_map(|l| l.strip_prefix("X-Request-Id: "))
+            .unwrap_or_else(|| panic!("no X-Request-Id in `{head}`"))
+            .trim()
+            .parse()
+            .expect("numeric request id")
+    };
+    let (id1, id2) = (id_of(&head1), id_of(&head2));
+    assert_ne!(id1, id2, "request ids must be distinct");
+    assert!(id2 > id1, "request ids must be monotonic");
+    s.stop();
+}

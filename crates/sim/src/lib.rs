@@ -27,12 +27,14 @@ pub mod fault;
 pub mod machine;
 pub mod stats;
 pub mod timing;
+pub mod trace;
 pub mod wheel;
 
 pub use fault::{FaultSet, FaultSpec};
 pub use machine::{
-    run, run_full, run_lanes, run_lanes_full, run_with_engine, run_with_faults, EngineKind,
-    LaneSpec, RunResult, SimError,
+    run, run_full, run_full_traced, run_lanes, run_lanes_full, run_with_engine, run_with_faults,
+    EngineKind, LaneSpec, RunResult, SimError,
 };
 pub use stats::{GroupStats, RunStats, UnitStats};
 pub use timing::{CtrlTransport, TimingModel};
+pub use trace::{ParsedEvent, ParsedTrace, Tracer};

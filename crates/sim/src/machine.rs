@@ -50,6 +50,7 @@
 use crate::fault::FaultSet;
 use crate::stats::{GroupStats, RunStats, UnitStats};
 use crate::timing::{CtrlTransport, TimingModel};
+use crate::trace::{Tracer, TrackKey};
 use crate::wheel::EventWheel;
 use marionette_cdfg::op::{Op, SteerRole};
 use marionette_cdfg::value::Value;
@@ -609,6 +610,10 @@ struct Machine<'p> {
     stats: RunStats,
     cycle: u64,
     progressed: bool,
+    /// Opt-in trace recorder ([`run_full_traced`]). `None` on every other
+    /// entry point: each hook site is a single discriminant check, and
+    /// the traced run is bit-identical to the untraced one.
+    trace: Option<Box<Tracer>>,
 }
 
 /// Runs a program to quiescence.
@@ -713,6 +718,38 @@ pub fn run_full(
     m.apply_workload(inputs, params)?;
     m.boot();
     m.run_to_quiescence(max_cycles)?;
+    Ok(m.finish())
+}
+
+/// [`run_full`] with a [`Tracer`] recording the cycle-accurate event
+/// stream (see [`crate::trace`]). The tracer is borrowed for the run and
+/// handed back with the recorded events on success **and** on error (a
+/// partial trace of a deadlocked run is exactly what one wants to look
+/// at). The run itself is bit-identical to the untraced [`run_full`].
+///
+/// # Errors
+/// Returns [`SimError`] exactly as [`run_full`] does.
+#[allow(clippy::too_many_arguments)]
+pub fn run_full_traced(
+    prog: &MachineProgram,
+    tm: &TimingModel,
+    faults: &FaultSet,
+    engine: EngineKind,
+    inputs: &[(String, Vec<Value>)],
+    params: &[(String, Value)],
+    max_cycles: u64,
+    tracer: &mut Tracer,
+) -> Result<RunResult, SimError> {
+    let mut m = Machine::new(prog, tm, faults, engine)?;
+    let mut t = std::mem::take(tracer);
+    t.set_cols(prog.cols as usize);
+    m.trace = Some(Box::new(t));
+    let run = m.apply_workload(inputs, params).and_then(|()| {
+        m.boot();
+        m.run_to_quiescence(max_cycles)
+    });
+    *tracer = *m.trace.take().expect("tracer installed above");
+    run?;
     Ok(m.finish())
 }
 
@@ -1168,6 +1205,7 @@ impl<'p> Machine<'p> {
             },
             cycle: 0,
             progressed: false,
+            trace: None,
         })
     }
 
@@ -1484,6 +1522,18 @@ impl<'p> Machine<'p> {
         }
         if self.node_group[node as usize] == self.active_group {
             self.last_active_fire = self.cycle;
+        }
+        if self.trace.is_some() {
+            let key = match self.node_place[node as usize] {
+                Placement::Pe { pe } => TrackKey::PeData(u32::from(pe)),
+                Placement::CtrlPlane { pe } => TrackKey::PeCtrl(u32::from(pe)),
+                Placement::NetSwitch { sw } => TrackKey::Switch(u32::from(sw)),
+                Placement::MemUnit { unit } => TrackKey::Mem(u32::from(unit)),
+            };
+            let (cycle, dur) = (self.cycle, occ);
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.fire(key, cycle, dur, node, poisoned);
+            }
         }
     }
 
@@ -1893,6 +1943,12 @@ impl<'p> Machine<'p> {
     }
 
     fn mem_load(&mut self, arr: usize, idx: i32) -> Value {
+        if self.trace.is_some() {
+            let cycle = self.cycle;
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.mem(cycle, false, arr as u32);
+            }
+        }
         let a = &self.memory[arr];
         if idx < 0 || idx as usize >= a.len() {
             self.oob += 1;
@@ -1902,6 +1958,12 @@ impl<'p> Machine<'p> {
     }
 
     fn mem_store(&mut self, arr: usize, idx: i32, v: Value) {
+        if self.trace.is_some() {
+            let cycle = self.cycle;
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.mem(cycle, true, arr as u32);
+            }
+        }
         let a = &mut self.memory[arr];
         if idx < 0 || idx as usize >= a.len() {
             self.oob += 1;
@@ -2000,6 +2062,20 @@ impl<'p> Machine<'p> {
                 // All cycles spent waiting, one stall per blocked cycle.
                 self.stats.link_stall_cycles += self.cycle - pf.first_attempt;
                 self.stats.link_stall_by_route[pf.route as usize] += self.cycle - pf.first_attempt;
+                if self.trace.is_some() {
+                    // Backpressure is charged to the route's final link.
+                    let route = pf.route as usize;
+                    let nhops = self.route_hops[route] as usize;
+                    let lid = if nhops >= 2 {
+                        self.route_hop_link[self.route_hop_base[route] as usize + nhops - 2]
+                    } else {
+                        0
+                    };
+                    let stall = self.cycle - pf.first_attempt;
+                    if let Some(t) = self.trace.as_deref_mut() {
+                        t.park(lid, pf.route, pf.first_attempt, stall);
+                    }
+                }
                 self.parked_count -= 1;
                 self.progressed = true;
                 self.deliver_buf.push((pf.serial, pf.route));
@@ -2149,6 +2225,12 @@ impl<'p> Machine<'p> {
                 self.flits[fi].ready_at = self.cycle + lat;
                 self.stats.mesh_hops += 1;
                 self.progressed = true;
+                if self.trace.is_some() {
+                    let cycle = self.cycle;
+                    if let Some(t) = self.trace.as_deref_mut() {
+                        t.grant(lid as u32, route as u32, cycle, lat);
+                    }
+                }
                 if self.flits[fi].hop + 1 >= nhops && lat == base {
                     // Nominal links deliver at grant time (the healthy
                     // fast path); a stretched final hop stays in flight
@@ -2182,6 +2264,13 @@ impl<'p> Machine<'p> {
                 let hop = w.hop + 1;
                 self.stats.mesh_hops += 1;
                 self.progressed = true;
+                if self.trace.is_some() {
+                    let cycle = self.cycle;
+                    if let Some(t) = self.trace.as_deref_mut() {
+                        t.stall(lid as u32, route as u32, w.first_attempt, stall);
+                        t.grant(lid as u32, route as u32, cycle, lat);
+                    }
+                }
                 if hop + 1 >= self.route_hops[route] as usize && lat == base {
                     self.park_token(w.serial, w.route, w.value);
                 } else {
@@ -2264,6 +2353,12 @@ impl<'p> Machine<'p> {
             self.switch_until = self.cycle + u64::from(self.tm.group_switch_cost);
             self.last_active_fire = self.switch_until;
             self.stats.group_switches += 1;
+            if self.trace.is_some() {
+                let (cycle, cost) = (self.cycle, u64::from(self.tm.group_switch_cost));
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.switch(cycle, cost, g);
+                }
+            }
             self.recompute_group_counts();
         }
     }
@@ -2424,6 +2519,14 @@ impl<'p> Machine<'p> {
             self.advance_flits();
             self.group_logic();
             self.issue();
+            if self.trace.is_some() {
+                let cycle = self.cycle;
+                let qd = self.events.len() as u64;
+                let inflight = (self.flits.len() + self.link_wait_count + self.parked_count) as u64;
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.counters(cycle, qd, inflight);
+                }
+            }
             if self.progressed {
                 idle_streak = 0;
                 self.cycle += 1;

@@ -191,4 +191,62 @@ mod tests {
         assert_eq!(s.top_stalled_routes(3), vec![(1, 7), (3, 7), (2, 3)]);
         assert_eq!(s.top_stalled_routes(10).len(), 4);
     }
+
+    #[test]
+    fn zero_cycle_run_yields_finite_zero_ratios() {
+        // A run that terminated before its first cycle (empty program,
+        // immediate quiescence) must report 0.0 everywhere, never NaN.
+        let s = RunStats {
+            cycles: 0,
+            pe_data: vec![UnitStats::default(); 4],
+            ..Default::default()
+        };
+        assert_eq!(s.mean_pe_utilization(), 0.0);
+        assert!(s.mean_pe_utilization().is_finite());
+        assert_eq!(s.poison_fraction(), 0.0);
+        assert!(s.top_stalled_routes(8).is_empty());
+        // No PEs recorded at all is equally defined.
+        let empty = RunStats::default();
+        assert_eq!(empty.mean_pe_utilization(), 0.0);
+    }
+
+    #[test]
+    fn all_stalled_route_attribution_is_complete() {
+        // Every route stalled: nothing is omitted, the total is
+        // preserved, and k truncates from the top.
+        let s = RunStats {
+            cycles: 10,
+            link_stall_cycles: 6,
+            link_stall_by_route: vec![2, 2, 2],
+            ..Default::default()
+        };
+        let top = s.top_stalled_routes(usize::MAX);
+        assert_eq!(top.len(), 3);
+        assert_eq!(
+            top.iter().map(|&(_, c)| c).sum::<u64>(),
+            s.link_stall_cycles
+        );
+        assert_eq!(s.top_stalled_routes(0), vec![]);
+        assert_eq!(s.top_stalled_routes(1), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn top_stalled_routes_ties_break_by_route_id() {
+        // All-equal stalls: descending-by-count is a total tie, so the
+        // order must be ascending route id — deterministically.
+        let s = RunStats {
+            link_stall_by_route: vec![5; 6],
+            ..Default::default()
+        };
+        assert_eq!(
+            s.top_stalled_routes(6),
+            vec![(0, 5), (1, 5), (2, 5), (3, 5), (4, 5), (5, 5)]
+        );
+        // A tie at the truncation boundary keeps the lower route id.
+        let s2 = RunStats {
+            link_stall_by_route: vec![1, 9, 9, 9],
+            ..Default::default()
+        };
+        assert_eq!(s2.top_stalled_routes(2), vec![(1, 9), (2, 9)]);
+    }
 }

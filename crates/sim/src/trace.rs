@@ -1,0 +1,606 @@
+//! Opt-in cycle-accurate tracing: the machine's trace plane.
+//!
+//! A [`Tracer`] installed via [`crate::machine::run_full_traced`] records
+//! one timestamped event per architectural occurrence — PE/control/memory
+//! firings, mesh link grants, arbitration and backpressure stalls,
+//! control-plane configuration switches, memory accesses — plus counter
+//! samples (event-queue depth, in-flight flits) and free-form markers
+//! (fault remaps). Events land in a chunked arena (no reallocation moves
+//! on the hot path) and export as Chrome trace-event JSON, directly
+//! loadable in Perfetto (<https://ui.perfetto.dev>): one track per
+//! PE data/ctrl part, per directed mesh link, per memory unit, plus the
+//! CCU track and the counter tracks.
+//!
+//! Tracing is strictly opt-in: a machine without a tracer takes a single
+//! null-pointer check per hook site, and the traced run is bit-identical
+//! to the untraced one (pinned by `crates/core/tests/trace_plane.rs`).
+//!
+//! The exported JSON is line-oriented (one event object per line, fixed
+//! key order) so [`parse`] can validate and reload it without a general
+//! JSON parser; `trace_diff` and the schema tests build on that. The
+//! timestamp unit is **one simulated cycle per microsecond** — Perfetto's
+//! native unit — so slice widths read directly as cycle counts.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Events per arena chunk: chunks never reallocate, so recording a new
+/// event moves no previously recorded one.
+const CHUNK: usize = 1 << 15;
+
+/// Identity of a trace track (a Perfetto "thread"); interned to a dense
+/// tid in first-use order, which makes the export deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum TrackKey {
+    /// A PE's data flow part.
+    PeData(u32),
+    /// A PE's control flow part.
+    PeCtrl(u32),
+    /// A dedicated network switch unit.
+    Switch(u32),
+    /// A memory stream unit.
+    Mem(u32),
+    /// A directed mesh link (`from_pe * 4 + dir`, E/W/S/N = 0/1/2/3).
+    Link(u32),
+    /// The central configuration unit (group switches).
+    Ccu,
+    /// Free-form markers (fault remaps, run annotations).
+    Marks,
+    /// Counter: pending events in the simulator queue.
+    QueueDepth,
+    /// Counter: flits in flight (traversing + arbitrating + parked).
+    Flits,
+}
+
+#[derive(Clone, Debug)]
+enum RecKind {
+    Fire { node: u32, poisoned: bool },
+    Grant { route: u32 },
+    Stall { route: u32 },
+    Park { route: u32 },
+    Switch { group: u16 },
+    Mem { store: bool, array: u32 },
+    Counter { value: u64 },
+    Mark { label: u32 },
+}
+
+#[derive(Clone, Debug)]
+struct Rec {
+    track: u32,
+    ts: u64,
+    dur: u64,
+    kind: RecKind,
+}
+
+/// An arena-backed trace event recorder. See the module docs.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    cols: usize,
+    tracks: Vec<String>,
+    lookup: HashMap<TrackKey, u32>,
+    chunks: Vec<Vec<Rec>>,
+    labels: Vec<String>,
+    last_queue_depth: Option<u64>,
+    last_flits: Option<u64>,
+}
+
+impl Tracer {
+    /// A fresh, empty tracer.
+    #[must_use]
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Number of recorded events (metadata lines excluded).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(Vec::len).sum()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records a free-form instant marker (e.g. `remap after pe:0,0`)
+    /// on the marks track at `cycle`.
+    pub fn mark(&mut self, cycle: u64, label: &str) {
+        let li = self.labels.len() as u32;
+        self.labels.push(label.to_string());
+        let track = self.track(TrackKey::Marks);
+        self.push(Rec {
+            track,
+            ts: cycle,
+            dur: 0,
+            kind: RecKind::Mark { label: li },
+        });
+    }
+
+    pub(crate) fn set_cols(&mut self, cols: usize) {
+        self.cols = cols;
+    }
+
+    fn push(&mut self, rec: Rec) {
+        match self.chunks.last_mut() {
+            Some(c) if c.len() < CHUNK => c.push(rec),
+            _ => {
+                let mut c = Vec::with_capacity(CHUNK);
+                c.push(rec);
+                self.chunks.push(c);
+            }
+        }
+    }
+
+    fn track(&mut self, key: TrackKey) -> u32 {
+        if let Some(&t) = self.lookup.get(&key) {
+            return t;
+        }
+        let cols = self.cols.max(1);
+        let rc = |pe: u32| (pe as usize / cols, pe as usize % cols);
+        let name = match key {
+            TrackKey::PeData(pe) => {
+                let (r, c) = rc(pe);
+                format!("pe {r},{c} data")
+            }
+            TrackKey::PeCtrl(pe) => {
+                let (r, c) = rc(pe);
+                format!("pe {r},{c} ctrl")
+            }
+            TrackKey::Switch(sw) => format!("switch {sw}"),
+            TrackKey::Mem(u) => format!("mem {u}"),
+            TrackKey::Link(lid) => {
+                let (r, c) = rc(lid / 4);
+                let dir = ["E", "W", "S", "N"][(lid % 4) as usize];
+                format!("link {r},{c}>{dir}")
+            }
+            TrackKey::Ccu => "ccu".to_string(),
+            TrackKey::Marks => "marks".to_string(),
+            TrackKey::QueueDepth => "queue depth".to_string(),
+            TrackKey::Flits => "flits in flight".to_string(),
+        };
+        let tid = self.tracks.len() as u32;
+        self.tracks.push(name);
+        self.lookup.insert(key, tid);
+        tid
+    }
+
+    pub(crate) fn fire(&mut self, key: TrackKey, cycle: u64, occ: u64, node: u32, poisoned: bool) {
+        let track = self.track(key);
+        self.push(Rec {
+            track,
+            ts: cycle,
+            dur: occ,
+            kind: RecKind::Fire { node, poisoned },
+        });
+    }
+
+    pub(crate) fn grant(&mut self, lid: u32, route: u32, cycle: u64, lat: u64) {
+        let track = self.track(TrackKey::Link(lid));
+        self.push(Rec {
+            track,
+            ts: cycle,
+            dur: lat,
+            kind: RecKind::Grant { route },
+        });
+    }
+
+    pub(crate) fn stall(&mut self, lid: u32, route: u32, first_attempt: u64, stall: u64) {
+        if stall == 0 {
+            return;
+        }
+        let track = self.track(TrackKey::Link(lid));
+        self.push(Rec {
+            track,
+            ts: first_attempt,
+            dur: stall,
+            kind: RecKind::Stall { route },
+        });
+    }
+
+    pub(crate) fn park(&mut self, lid: u32, route: u32, first_attempt: u64, stall: u64) {
+        if stall == 0 {
+            return;
+        }
+        let track = self.track(TrackKey::Link(lid));
+        self.push(Rec {
+            track,
+            ts: first_attempt,
+            dur: stall,
+            kind: RecKind::Park { route },
+        });
+    }
+
+    pub(crate) fn switch(&mut self, cycle: u64, cost: u64, group: u16) {
+        let track = self.track(TrackKey::Ccu);
+        self.push(Rec {
+            track,
+            ts: cycle,
+            dur: cost,
+            kind: RecKind::Switch { group },
+        });
+    }
+
+    pub(crate) fn mem(&mut self, cycle: u64, store: bool, array: u32) {
+        let track = self.track(TrackKey::Mem(0));
+        self.push(Rec {
+            track,
+            ts: cycle,
+            dur: 0,
+            kind: RecKind::Mem { store, array },
+        });
+    }
+
+    pub(crate) fn counters(&mut self, cycle: u64, queue_depth: u64, flits: u64) {
+        if self.last_queue_depth != Some(queue_depth) {
+            self.last_queue_depth = Some(queue_depth);
+            let track = self.track(TrackKey::QueueDepth);
+            self.push(Rec {
+                track,
+                ts: cycle,
+                dur: 0,
+                kind: RecKind::Counter { value: queue_depth },
+            });
+        }
+        if self.last_flits != Some(flits) {
+            self.last_flits = Some(flits);
+            let track = self.track(TrackKey::Flits);
+            self.push(Rec {
+                track,
+                ts: cycle,
+                dur: 0,
+                kind: RecKind::Counter { value: flits },
+            });
+        }
+    }
+
+    /// Serializes the trace as Chrome trace-event JSON, one event object
+    /// per line: first a `thread_name` metadata line per track (tids are
+    /// dense, in first-use order), then every recorded event in record
+    /// order. The output is deterministic for a deterministic run.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let mut s = String::with_capacity(64 + self.len() * 72);
+        s.push_str("{\"traceEvents\":[\n");
+        let mut first = true;
+        let mut line = |s: &mut String, l: &str| {
+            if first {
+                first = false;
+            } else {
+                s.push_str(",\n");
+            }
+            s.push_str(l);
+        };
+        let mut buf = String::new();
+        for (i, name) in self.tracks.iter().enumerate() {
+            buf.clear();
+            let _ = write!(
+                buf,
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                i + 1,
+                escape(name)
+            );
+            line(&mut s, &buf);
+        }
+        for rec in self.chunks.iter().flatten() {
+            buf.clear();
+            let tid = rec.track + 1;
+            match &rec.kind {
+                RecKind::Fire { node, poisoned } => {
+                    let what = if *poisoned { "poison" } else { "fire" };
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":\"{what} n{node}\"}}",
+                        rec.ts, rec.dur
+                    );
+                }
+                RecKind::Grant { route } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":\"grant r{route}\"}}",
+                        rec.ts, rec.dur
+                    );
+                }
+                RecKind::Stall { route } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":\"stall r{route}\"}}",
+                        rec.ts, rec.dur
+                    );
+                }
+                RecKind::Park { route } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":\"park r{route}\"}}",
+                        rec.ts, rec.dur
+                    );
+                }
+                RecKind::Switch { group } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":\"switch g{group}\"}}",
+                        rec.ts, rec.dur
+                    );
+                }
+                RecKind::Mem { store, array } => {
+                    let what = if *store { "store" } else { "load" };
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"s\":\"t\",\"name\":\"{what} a{array}\"}}",
+                        rec.ts
+                    );
+                }
+                RecKind::Counter { value } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"C\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"name\":\"{}\",\"args\":{{\"value\":{value}}}}}",
+                        rec.ts,
+                        escape(&self.tracks[rec.track as usize])
+                    );
+                }
+                RecKind::Mark { label } => {
+                    let _ = write!(
+                        buf,
+                        "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"s\":\"t\",\"name\":\"{}\"}}",
+                        rec.ts,
+                        escape(&self.labels[*label as usize])
+                    );
+                }
+            }
+            line(&mut s, &buf);
+        }
+        s.push_str("\n]}\n");
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------- parsing / validation --------------------------------
+
+/// One reloaded trace event (non-metadata).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedEvent {
+    /// Track index into [`ParsedTrace::tracks`].
+    pub track: u32,
+    /// Phase letter: `X` (complete), `C` (counter), `i` (instant).
+    pub ph: char,
+    /// Start cycle.
+    pub ts: u64,
+    /// Duration in cycles (0 for counters and instants).
+    pub dur: u64,
+    /// Event name (`fire n3`, `stall r7`, …) — track name for counters.
+    pub name: String,
+    /// Counter value, for `C` events.
+    pub value: Option<u64>,
+}
+
+/// A reloaded, schema-validated trace.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedTrace {
+    /// Track display names, indexed by `tid - 1`.
+    pub tracks: Vec<String>,
+    /// Every non-metadata event, in file order.
+    pub events: Vec<ParsedEvent>,
+}
+
+impl ParsedTrace {
+    /// Summed stall cycles (`stall` + `park` slices) per track, in track
+    /// order — the per-track attribution `trace_diff` reports deltas of.
+    #[must_use]
+    pub fn stall_by_track(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.tracks.len()];
+        for e in &self.events {
+            if e.ph == 'X' && (e.name.starts_with("stall ") || e.name.starts_with("park ")) {
+                out[e.track as usize] += e.dur;
+            }
+        }
+        out
+    }
+
+    /// Highest `ts + dur` across all events — the traced horizon.
+    #[must_use]
+    pub fn last_cycle(&self) -> u64 {
+        self.events.iter().map(|e| e.ts + e.dur).max().unwrap_or(0)
+    }
+}
+
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line.as_bytes()[i..];
+    let end = rest
+        .iter()
+        .position(|b| !b.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    line[i..i + end].parse().ok()
+}
+
+fn str_field(line: &str, pat: &str) -> Option<String> {
+    let i = line.find(pat)? + pat.len();
+    let rest = &line[i..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let cp = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(cp)?);
+                }
+                c => out.push(c),
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parses and schema-validates a trace produced by
+/// [`Tracer::to_chrome_json`] (the documented subset of the Chrome
+/// trace-event format: see `docs/OBSERVABILITY.md`).
+///
+/// # Errors
+/// Returns a description of the first schema violation: bad envelope,
+/// unknown phase, missing field, a counter without a value, or an event
+/// referencing an undeclared track.
+pub fn parse(s: &str) -> Result<ParsedTrace, String> {
+    let body = s.trim();
+    let body = body
+        .strip_prefix("{\"traceEvents\":[")
+        .ok_or("missing {\"traceEvents\":[ envelope")?;
+    let body = body
+        .strip_suffix("]}")
+        .ok_or("missing ]} envelope terminator")?;
+    let mut out = ParsedTrace::default();
+    for (ln, line) in body.lines().enumerate() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line}", ln + 1);
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err(err("event is not a one-line object"));
+        }
+        let ph = str_field(line, "\"ph\":\"").ok_or_else(|| err("missing ph"))?;
+        if u64_field(line, "pid") != Some(1) {
+            return Err(err("pid must be 1"));
+        }
+        let tid = u64_field(line, "tid").ok_or_else(|| err("missing tid"))?;
+        match ph.as_str() {
+            "M" => {
+                if str_field(line, "\"name\":\"").as_deref() != Some("thread_name") {
+                    return Err(err("metadata must be thread_name"));
+                }
+                let name = str_field(line, "\"args\":{\"name\":\"")
+                    .ok_or_else(|| err("thread_name without args.name"))?;
+                if tid as usize != out.tracks.len() + 1 {
+                    return Err(err("metadata tids must be dense and ordered"));
+                }
+                out.tracks.push(name);
+            }
+            "X" | "C" | "i" => {
+                if tid == 0 || tid as usize > out.tracks.len() {
+                    return Err(err("event on an undeclared track"));
+                }
+                let ts = u64_field(line, "ts").ok_or_else(|| err("missing ts"))?;
+                let dur = match ph.as_str() {
+                    "X" => u64_field(line, "dur").ok_or_else(|| err("complete without dur"))?,
+                    _ => 0,
+                };
+                if ph == "i" && !line.contains("\"s\":\"t\"") {
+                    return Err(err("instant without thread scope"));
+                }
+                let name = str_field(line, "\"name\":\"").ok_or_else(|| err("missing name"))?;
+                let value = match ph.as_str() {
+                    "C" => {
+                        Some(u64_field(line, "value").ok_or_else(|| err("counter without value"))?)
+                    }
+                    _ => None,
+                };
+                out.events.push(ParsedEvent {
+                    track: (tid - 1) as u32,
+                    ph: ph.as_bytes()[0] as char,
+                    ts,
+                    dur,
+                    name,
+                    value,
+                });
+            }
+            other => return Err(err(&format!("unknown phase {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_parse() {
+        let mut t = Tracer::new();
+        t.set_cols(4);
+        t.fire(TrackKey::PeData(5), 3, 1, 7, false);
+        t.fire(TrackKey::PeCtrl(5), 4, 1, 8, true);
+        t.grant(21, 2, 5, 1);
+        t.stall(21, 2, 5, 3);
+        t.park(21, 2, 6, 2);
+        t.switch(9, 4, 1);
+        t.mem(10, true, 0);
+        t.counters(11, 3, 2);
+        t.counters(12, 3, 5); // queue depth unchanged: one event only
+        t.mark(13, "remap after pe:0,0");
+        let json = t.to_chrome_json();
+        let p = parse(&json).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(p.tracks[0], "pe 1,1 data");
+        assert_eq!(p.tracks[1], "pe 1,1 ctrl");
+        assert_eq!(p.tracks[2], "link 1,1>W");
+        assert_eq!(p.events.len(), 11);
+        assert_eq!(p.events[0].name, "fire n7");
+        assert_eq!(p.events[1].name, "poison n8");
+        assert_eq!(p.events[3].name, "stall r2");
+        assert_eq!(p.events[3].dur, 3);
+        assert_eq!(p.events[7].value, Some(3));
+        assert_eq!(p.events[9].value, Some(5));
+        assert_eq!(p.events[10].name, "remap after pe:0,0");
+        // Stall attribution: stall(3) + park(2) on the link track.
+        assert_eq!(p.stall_by_track()[2], 5);
+    }
+
+    #[test]
+    fn zero_length_stalls_are_elided() {
+        let mut t = Tracer::new();
+        t.stall(0, 0, 5, 0);
+        t.park(0, 0, 5, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_schema_violations() {
+        assert!(parse("[]").is_err());
+        let undeclared =
+            "{\"traceEvents\":[\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":1,\"name\":\"x\"}\n]}";
+        assert!(parse(undeclared).unwrap_err().contains("undeclared"));
+        let bad_pid = "{\"traceEvents\":[\n{\"ph\":\"M\",\"pid\":2,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"t\"}}\n]}";
+        assert!(parse(bad_pid).unwrap_err().contains("pid"));
+        let no_dur = "{\"traceEvents\":[\n{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"t\"}},\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"name\":\"x\"}\n]}";
+        assert!(parse(no_dur).unwrap_err().contains("dur"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let mk = || {
+            let mut t = Tracer::new();
+            t.set_cols(2);
+            t.fire(TrackKey::PeData(1), 0, 1, 3, false);
+            t.grant(4, 0, 1, 1);
+            t.counters(2, 1, 1);
+            t.to_chrome_json()
+        };
+        assert_eq!(mk(), mk());
+    }
+}
