@@ -29,8 +29,8 @@ pub use marionette_compiler::FabricDims;
 pub use presets::{
     activation_detour_cycles, all_presets, all_presets_on, all_sota, all_sota_on, ccu_dyn_cycles,
     ccu_switch_cycles, dataflow_pe, dataflow_pe_on, marionette_cn, marionette_cn_on,
-    marionette_full, marionette_full_on, marionette_pe, marionette_pe_on, presets_by_tags_on,
-    revel, revel_on, riptide, riptide_on, softbrain, softbrain_on, tia, tia_on, tia_switch_cycles,
-    von_neumann_pe, von_neumann_pe_on, Architecture,
+    marionette_full, marionette_full_on, marionette_pe, marionette_pe_on, preset_for_partition,
+    presets_by_tags_on, presets_for_partitions, revel, revel_on, riptide, riptide_on, softbrain,
+    softbrain_on, tia, tia_on, tia_switch_cycles, von_neumann_pe, von_neumann_pe_on, Architecture,
 };
 pub use taxonomy::{capability_matrix, sa_taxonomy, Capabilities};

@@ -9,7 +9,9 @@
 //! the `fabric_sweep` experiment measure how centralized-control costs
 //! grow with the array — the paper's thesis at scales it didn't plot.
 
-use marionette_compiler::{CompileOptions, CtrlPlacement, FabricDims, MemPlacement, SplitFabric};
+use marionette_compiler::{
+    CompileOptions, CtrlPlacement, FabricDims, MemPlacement, Partition, PartitionMap, SplitFabric,
+};
 use marionette_sim::{CtrlTransport, TimingModel};
 
 /// One evaluated architecture: mapping policy + timing model.
@@ -387,6 +389,37 @@ pub fn presets_by_tags_on(dims: FabricDims, tags: &str) -> Result<Vec<Architectu
         }
     }
     Ok(out)
+}
+
+/// Instantiates a preset on a fabric **partition**: the architecture is
+/// normalized to the partition's own dimensions, so every
+/// geometry-derived control cost (CCU switch round trips, activation
+/// detours, TIA predicate broadcast) is priced by the *partition's*
+/// corner distance rather than the host fabric's. An 8x8 tenant of a
+/// 16x16 fabric pays 14-hop control round trips, not 30-hop ones — the
+/// control-plane payoff of spatial sharding (see `docs/PARTITIONING.md`).
+///
+/// # Errors
+/// Returns the [`presets_by_tags_on`] message for an unknown tag.
+pub fn preset_for_partition(part: &Partition, tag: &str) -> Result<Architecture, String> {
+    let mut v = presets_by_tags_on(part.dims(), tag)?;
+    match v.len() {
+        1 => Ok(v.remove(0)),
+        n => Err(format!("expected one preset tag, got {n} ({tag})")),
+    }
+}
+
+/// One preset instance per partition of a [`PartitionMap`], each
+/// normalized to its own partition's dimensions (see
+/// [`preset_for_partition`]).
+///
+/// # Errors
+/// Returns the [`presets_by_tags_on`] message for an unknown tag.
+pub fn presets_for_partitions(map: &PartitionMap, tag: &str) -> Result<Vec<Architecture>, String> {
+    map.parts()
+        .iter()
+        .map(|p| preset_for_partition(p, tag))
+        .collect()
 }
 
 #[cfg(test)]

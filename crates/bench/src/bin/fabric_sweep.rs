@@ -16,21 +16,36 @@
 //! fabric_sweep [--fabrics 4x4,6x6,8x8] [--presets vN,DF,M-PE,M-CN,M]
 //!              [--kernels A,B] [--scale tiny|small|paper]
 //!              [--search MOVES[,RESTARTS]] [--max-cycles N]
-//!              [--out BENCH_fabric.json]
+//!              [--partition RxC@r,c]... [--tenants A,B,...]
+//!              [--tenancy-fabric RxC] [--out BENCH_fabric.json]
 //! ```
 //!
 //! With `--search`, each point is additionally compiled with the
 //! annealing mapping explorer and re-verified (`cycles_search`).
+//!
+//! With `--partition` (repeatable, one per tenant) and `--tenants`
+//! (kernel tags, one per partition) the sweep additionally runs the
+//! **tenancy experiment**: for every preset, each tenant kernel runs
+//! solo on a fabric of its partition's size, then all tenants co-run on
+//! the sharded host fabric (default: the tightest fabric covering the
+//! partitions; override with `--tenancy-fabric`), and the same kernels
+//! run serially on the monolithic host fabric. Each co-resident tenant
+//! is asserted bit-identical to its solo run (cycles and fires), and
+//! the report compares sharded makespan against the monolith's serial
+//! total — does a 2x2-of-8x8 sharded mesh beat one 16x16 monolith?
+//!
 //! Exit codes: `0` every point verified, `1` any pipeline or
-//! verification failure, `2` usage errors.
+//! verification failure (including a tenant diverging from its solo
+//! run), `2` usage errors.
 
-use marionette::arch::{Architecture, FabricDims};
-use marionette::compiler::SearchBudget;
+use marionette::arch::{preset_for_partition, Architecture, FabricDims};
+use marionette::compiler::{Partition, PartitionMap, SearchBudget};
 use marionette::experiments::geomean;
 use marionette::kernels::traits::Scale;
 use marionette::parallel::{par_map, sweep_threads};
 use marionette::report::json_escape;
 use marionette_lang::driver::{reference, run_preset, Reference, INTERP_BUDGET};
+use marionette_lang::tenancy::{run_tenancy, TenantJob};
 use std::time::Instant;
 
 const SEED: u64 = 1;
@@ -43,13 +58,17 @@ struct Args {
     scale: Scale,
     search: Option<(u32, u32)>,
     max_cycles: u64,
+    partitions: Vec<Partition>,
+    tenants: Option<String>,
+    tenancy_fabric: Option<FabricDims>,
     out: String,
 }
 
 fn usage() -> String {
     "usage: fabric_sweep [--fabrics 4x4,6x6,8x8] [--presets vN,DF,M-PE,M-CN,M] \
      [--kernels A,B] [--scale tiny|small|paper] [--search MOVES[,RESTARTS]] \
-     [--max-cycles N] [--out PATH]"
+     [--max-cycles N] [--partition RxC@r,c]... [--tenants A,B,...] \
+     [--tenancy-fabric RxC] [--out PATH]"
         .to_string()
 }
 
@@ -60,6 +79,9 @@ const KNOWN_FLAGS: &[&str] = &[
     "--scale",
     "--search",
     "--max-cycles",
+    "--partition",
+    "--tenants",
+    "--tenancy-fabric",
     "--out",
 ];
 
@@ -109,6 +131,40 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             Some((moves, restarts))
         }
     };
+    // --partition is repeatable: one entry per tenant, in tenant order.
+    let mut partitions = Vec::new();
+    for (i, a) in argv.iter().enumerate() {
+        if a == "--partition" {
+            let v = argv
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .ok_or_else(|| format!("--partition needs a value\n{}", usage()))?;
+            partitions.push(
+                v.parse::<Partition>()
+                    .map_err(|e| format!("--partition: {e}"))?,
+            );
+        }
+    }
+    let tenants = get("--tenants")?;
+    match (&tenants, partitions.len()) {
+        (None, 0) => {}
+        (None, _) => return Err("--partition requires --tenants".to_string()),
+        (Some(_), 0) => return Err("--tenants requires at least one --partition".to_string()),
+        (Some(t), n) => {
+            let count = t.split(',').filter(|s| !s.trim().is_empty()).count();
+            if count != n {
+                return Err(format!(
+                    "--tenants lists {count} kernels but {n} --partition flags were given"
+                ));
+            }
+        }
+    }
+    let tenancy_fabric = get("--tenancy-fabric")?
+        .map(|v| {
+            v.parse::<FabricDims>()
+                .map_err(|e| format!("--tenancy-fabric: {e}"))
+        })
+        .transpose()?;
     Ok(Args {
         fabrics,
         presets: get("--presets")?.unwrap_or_else(|| "vN,DF,M-PE,M-CN,M".to_string()),
@@ -130,6 +186,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .parse()
                 .map_err(|_| format!("--max-cycles must be numeric, got `{v}`"))?,
         },
+        partitions,
+        tenants,
+        tenancy_fabric,
         out: get("--out")?.unwrap_or_else(|| "BENCH_fabric.json".to_string()),
     })
 }
@@ -163,6 +222,175 @@ struct Measured {
     fires: u64,
     switch_stalls: u64,
     cycles_search: Option<u64>,
+}
+
+struct TenantMeasure {
+    kernel: String,
+    partition: String,
+    cycles: u64,
+    fires: u64,
+}
+
+struct TenancyPreset {
+    preset: String,
+    makespan_cycles: u64,
+    monolith_serial_cycles: u64,
+    tenants: Vec<TenantMeasure>,
+}
+
+/// The sharded-vs-monolith tenancy experiment (see module docs): per
+/// preset, runs every tenant solo on a partition-sized fabric, co-runs
+/// them on the sharded host fabric asserting each tenant bit-matches
+/// its solo run, and runs the same kernels serially on the monolithic
+/// host fabric for the makespan comparison.
+fn tenancy_experiment(
+    args: &Args,
+    threads: usize,
+) -> Result<Option<(FabricDims, Vec<TenancyPreset>)>, String> {
+    let Some(tenant_spec) = &args.tenants else {
+        return Ok(None);
+    };
+    // Canonicalize tenant tags case-insensitively, like --kernels.
+    let canonical = kernel_tags(None)?;
+    let mut tags = Vec::new();
+    for t in tenant_spec
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+    {
+        let tag = canonical
+            .iter()
+            .find(|c| c.eq_ignore_ascii_case(t))
+            .ok_or_else(|| format!("--tenants: unknown kernel tag {t}"))?;
+        tags.push(tag.clone());
+    }
+    let map = match args.tenancy_fabric {
+        Some(dims) => PartitionMap::new(dims, args.partitions.clone()),
+        None => PartitionMap::covering(args.partitions.clone()),
+    }
+    .map_err(|e| format!("tenancy partitions: {e}"))?;
+    let host = map.fabric();
+
+    // Build each tenant's CDFG and reference once (slot order).
+    let builds = par_map(tags.clone(), threads, |tag| {
+        let k = marionette::kernels::by_short(&tag)
+            .ok_or_else(|| format!("{tag}: unknown kernel tag"))?;
+        let wl = k.workload(args.scale, SEED);
+        let g = k.build(&wl).map_err(|e| format!("{tag}: build: {e}"))?;
+        let r = reference(&g, &[], INTERP_BUDGET).map_err(|e| format!("{tag}: reference: {e}"))?;
+        Ok::<_, String>((g, r))
+    });
+    let mut kernels = Vec::with_capacity(builds.len());
+    for b in builds {
+        kernels.push(b?);
+    }
+
+    let preset_tags: Vec<String> = args
+        .presets
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let apply_search = |a: &mut Architecture| {
+        a.opts.search = match args.search {
+            None => SearchBudget::Off,
+            Some((moves, restarts)) => SearchBudget::Anneal {
+                moves,
+                restarts,
+                base_seed: 0xA11E,
+            },
+        };
+    };
+    let kernels_ref = &kernels;
+    let tags_ref = &tags;
+    let map_ref = &map;
+    let outcomes = par_map(
+        preset_tags,
+        threads,
+        |ptag| -> Result<TenancyPreset, String> {
+            // Solo baselines: each tenant alone on a partition-sized fabric.
+            let mut archs = Vec::new();
+            let mut solos = Vec::new();
+            for (i, part) in map_ref.parts().iter().enumerate() {
+                let mut arch = preset_for_partition(part, &ptag)?;
+                apply_search(&mut arch);
+                let (g, r) = &kernels_ref[i];
+                let solo = run_preset(g, r, &arch, &[], args.max_cycles, false).map_err(|e| {
+                    format!(
+                        "{} solo on {} at {}: {e}",
+                        tags_ref[i],
+                        arch.short,
+                        part.dims()
+                    )
+                })?;
+                archs.push(arch);
+                solos.push(solo);
+            }
+            // Co-resident run on the sharded host fabric.
+            let jobs: Vec<TenantJob<'_>> = map_ref
+                .parts()
+                .iter()
+                .enumerate()
+                .map(|(i, part)| TenantJob {
+                    name: tags_ref[i].clone(),
+                    g: &kernels_ref[i].0,
+                    reference: &kernels_ref[i].1,
+                    arch: &archs[i],
+                    partition: *part,
+                    overrides: Vec::new(),
+                    max_cycles: args.max_cycles,
+                })
+                .collect();
+            let report = run_tenancy(host.rows as u8, host.cols as u8, &jobs, Default::default())
+                .map_err(|e| format!("tenancy on {ptag} at {host}: {e}"))?;
+            // Every tenant must complete AND bit-match its solo run.
+            let mut tenants = Vec::new();
+            for (i, t) in report.tenants.iter().enumerate() {
+                let run = t.outcome.run().ok_or_else(|| {
+                    format!(
+                        "tenancy on {ptag}: tenant {} wedged: {:?}",
+                        t.name, t.outcome
+                    )
+                })?;
+                if (run.cycles, run.fires) != (solos[i].cycles, solos[i].fires) {
+                    return Err(format!(
+                        "tenancy on {ptag}: tenant {} diverges from its solo run \
+                     (co-resident {} cycles / {} fires, solo {} / {})",
+                        t.name, run.cycles, run.fires, solos[i].cycles, solos[i].fires
+                    ));
+                }
+                tenants.push(TenantMeasure {
+                    kernel: t.name.clone(),
+                    partition: t.partition.clone(),
+                    cycles: run.cycles,
+                    fires: run.fires,
+                });
+            }
+            // Monolith: the same kernels serially on the full host fabric.
+            let mut mono = marionette::arch::presets_by_tags_on(host, &ptag)?
+                .pop()
+                .ok_or_else(|| format!("empty preset {ptag}"))?;
+            apply_search(&mut mono);
+            let mut monolith_serial_cycles = 0u64;
+            for (i, (g, r)) in kernels_ref.iter().enumerate() {
+                let m = run_preset(g, r, &mono, &[], args.max_cycles, false).map_err(|e| {
+                    format!("{} monolith on {} at {host}: {e}", tags_ref[i], mono.short)
+                })?;
+                monolith_serial_cycles += m.cycles;
+            }
+            Ok(TenancyPreset {
+                preset: ptag,
+                makespan_cycles: report.makespan_cycles,
+                monolith_serial_cycles,
+                tenants,
+            })
+        },
+    );
+    let mut per_preset = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        per_preset.push(o?);
+    }
+    Ok(Some((host, per_preset)))
 }
 
 fn main() {
@@ -307,6 +535,8 @@ fn run(
         }
     }
 
+    let tenancy = tenancy_experiment(args, threads)?;
+
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str("  \"schema\": \"marionette.fabric_sweep/v1\",\n");
@@ -355,6 +585,47 @@ fn run(
         ));
     }
     j.push_str("  ],\n");
+    match &tenancy {
+        None => j.push_str("  \"tenancy\": null,\n"),
+        Some((host, per_preset)) => {
+            j.push_str("  \"tenancy\": {\n");
+            j.push_str(&format!("    \"fabric\": \"{host}\",\n"));
+            j.push_str(&format!(
+                "    \"partitions\": [{}],\n",
+                args.partitions
+                    .iter()
+                    .map(|p| format!("\"{p}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            j.push_str("    \"per_preset\": [\n");
+            for (i, tp) in per_preset.iter().enumerate() {
+                let speedup = tp.monolith_serial_cycles as f64 / tp.makespan_cycles as f64;
+                let tenants: Vec<String> = tp
+                    .tenants
+                    .iter()
+                    .map(|t| {
+                        format!(
+                            "{{\"kernel\": \"{}\", \"partition\": \"{}\", \"cycles\": {}, \"fires\": {}, \"solo_identical\": true}}",
+                            json_escape(&t.kernel),
+                            json_escape(&t.partition),
+                            t.cycles,
+                            t.fires
+                        )
+                    })
+                    .collect();
+                j.push_str(&format!(
+                    "      {{\"preset\": \"{}\", \"makespan_cycles\": {}, \"monolith_serial_cycles\": {}, \"sharded_speedup\": {speedup:.4}, \"tenants\": [{}]}}{}\n",
+                    json_escape(&tp.preset),
+                    tp.makespan_cycles,
+                    tp.monolith_serial_cycles,
+                    tenants.join(", "),
+                    if i + 1 == per_preset.len() { "" } else { "," }
+                ));
+            }
+            j.push_str("    ]\n  },\n");
+        }
+    }
     j.push_str("  \"points\": [\n");
     for (i, m) in measured.iter().enumerate() {
         let search_field = match m.cycles_search {
@@ -392,6 +663,18 @@ fn run(
             "fabric_sweep: {dims} geomean cycles vs Marionette: {}",
             cells.join(", ")
         );
+    }
+    if let Some((host, per_preset)) = &tenancy {
+        for tp in per_preset {
+            let speedup = tp.monolith_serial_cycles as f64 / tp.makespan_cycles as f64;
+            println!(
+                "fabric_sweep: tenancy {host} {}: sharded makespan {} vs monolith serial {} ({speedup:.2}x), {} tenants all bit-identical to solo",
+                tp.preset,
+                tp.makespan_cycles,
+                tp.monolith_serial_cycles,
+                tp.tenants.len()
+            );
+        }
     }
     Ok(())
 }

@@ -21,11 +21,33 @@
 //! ([`SearchBudget::Off`]) keeps the one-shot pipeline bit-compatible
 //! with the seed mappings.
 
+//!
+//! Fabric geometry is parametric ([`FabricDims`]), and rectangular
+//! [`partition::Partition`] regions of one fabric can host independent
+//! tenants — the spatial-sharding substrate behind multi-kernel
+//! tenancy (see `docs/PARTITIONING.md`):
+//!
+//! ```
+//! use marionette_compiler::{FabricDims, Partition, PartitionMap};
+//!
+//! // A 16x16 fabric sharded into four 8x8 partitions.
+//! let map = PartitionMap::grid(FabricDims::new(16, 16), 8, 8)?;
+//! assert_eq!(map.len(), 4);
+//! let p: Partition = "8x8@0,8".parse()?;
+//! assert_eq!(map.parts()[1], p);
+//! // A tenant's control timing derives from the partition's own
+//! // corner distance, not the host fabric's:
+//! assert_eq!(p.dims().corner_hops(), 14);
+//! assert_eq!(FabricDims::new(16, 16).corner_hops(), 30);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
 #![warn(missing_docs)]
 
 pub mod cost;
 pub mod explore;
 pub mod options;
+pub mod partition;
 pub mod pipeline;
 pub mod place;
 pub mod route;
@@ -37,9 +59,11 @@ pub use explore::{
 pub use options::{
     CompileOptions, CtrlPlacement, FabricDims, MemPlacement, SearchBudget, SplitFabric,
 };
+pub use partition::{Partition, PartitionError, PartitionMap};
 pub use pipeline::{
     compile, compile_with_faults, compile_with_timing, compile_with_timing_and_faults,
-    finalize_explored, finalize_explored_with_faults, CompileReport,
+    compile_with_timing_and_region, finalize_explored, finalize_explored_with_faults,
+    CompileReport,
 };
 pub use place::{place, place_with_faults, PlaceError, PlacementResult};
 pub use route::route;

@@ -119,6 +119,44 @@ pub fn compile_with_timing_and_faults(
     }
 }
 
+/// Region-scoped variant of [`compile_with_timing`]: the compile runs on
+/// the *full* host fabric of `map` but is confined to partition `idx` by
+/// rendering the region's complement as a [`FaultSet`] avoid-mask
+/// ([`crate::partition::PartitionMap::exclusion_mask`]) — dead PEs drop
+/// out of the greedy placer's and the annealing explorer's legality
+/// caps, and the rip-up router refuses any path over a link crossing the
+/// region boundary. Every placement and every route-path tile of the
+/// result lies inside the region.
+///
+/// This is the *fabric-view* compile; the tenancy pipeline's primary
+/// path instead compiles on the partition's own dimensions
+/// ([`crate::partition::Partition::dims`]) so a tenant is bit-identical
+/// to a solo run on an equal-sized fabric. Use this entry point when a
+/// mapping must coexist with un-relocatable neighbours in one
+/// coordinate space.
+///
+/// # Errors
+/// Returns [`PlaceError`] when the program cannot fit inside, or be
+/// routed within, the region.
+///
+/// # Panics
+/// Panics if `idx` is out of range for `map` or `opts` disagrees with
+/// the map's host fabric.
+pub fn compile_with_timing_and_region(
+    g: &Cdfg,
+    opts: &CompileOptions,
+    tm: &TimingModel,
+    map: &crate::partition::PartitionMap,
+    idx: usize,
+) -> Result<(MachineProgram, CompileReport), PlaceError> {
+    assert_eq!(
+        opts.dims(),
+        map.fabric(),
+        "compile options must target the partition map's host fabric"
+    );
+    compile_with_timing_and_faults(g, opts, tm, &map.exclusion_mask(idx))
+}
+
 /// The legacy one-shot pipeline (greedy place + XY route), bit-compatible
 /// with the seed mappings.
 fn compile_greedy(

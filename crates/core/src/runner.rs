@@ -12,7 +12,7 @@ use marionette_cdfg::value::Value;
 use marionette_cdfg::Cdfg;
 use marionette_compiler::{
     compile_with_timing_and_faults, explore_chain_with_faults, finalize_explored_with_faults,
-    select_best, CompileReport, CostModel, PlaceError, SearchBudget,
+    select_best, CompileReport, CostModel, PartitionMap, PlaceError, SearchBudget,
 };
 use marionette_isa::MachineProgram;
 use marionette_kernels::traits::{Golden, Kernel, KernelError, Scale};
@@ -158,6 +158,28 @@ pub fn compile_for_arch_with_faults(
         ok.push(c?);
     }
     finalize_explored_with_faults(g, &arch.opts, &cm, select_best(ok), faults)
+}
+
+/// Region-scoped variant of [`compile_for_arch`]: placement and routing
+/// are confined to partition `idx` of `map`, with the rest of the host
+/// fabric rendered as an exclusion mask over the fault-avoidance
+/// machinery ([`PartitionMap::exclusion_mask`]) — the explorer's
+/// legality caps and the rip-up router treat out-of-region tiles and
+/// boundary-crossing links exactly like dead resources. `arch` must be
+/// instantiated on the **host** fabric dims (this is the fabric-view
+/// compile path; tenancy's solo-equivalent path instead compiles on the
+/// partition's own dims, see `marionette_lang`'s tenancy driver).
+///
+/// # Errors
+/// Returns [`PlaceError`] when the program cannot fit inside, or be
+/// routed within, the region.
+pub fn compile_for_arch_in_region(
+    g: &Cdfg,
+    arch: &Architecture,
+    map: &PartitionMap,
+    idx: usize,
+) -> Result<(MachineProgram, CompileReport), PlaceError> {
+    compile_for_arch_with_faults(g, arch, &map.exclusion_mask(idx))
 }
 
 /// Compiles and simulates `kernel` on `arch`, verifying outputs against

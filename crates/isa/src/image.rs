@@ -1,0 +1,526 @@
+//! Multi-tenant fabric images: N per-partition bitstreams merged into
+//! one deployable configuration for a partitioned host fabric.
+//!
+//! Each tenant's bitstream is compiled on its partition's *own*
+//! dimensions (partition-local tile indices), which is what makes a
+//! co-resident tenant bit-identical to a solo run on an equal-sized
+//! fabric. [`MultiTenantImage::merge`] embeds every tenant's footprint
+//! into host-fabric coordinates and rejects, with typed
+//! [`ImageError`]s, anything that would break tenant isolation:
+//!
+//! - a bitstream whose program dimensions disagree with its declared
+//!   partition ([`ImageError::DimsMismatch`]);
+//! - a partition reaching outside the host fabric
+//!   ([`ImageError::OutOfFabric`]);
+//! - two partitions sharing tiles ([`ImageError::Overlap`]);
+//! - a node placed outside its own partition
+//!   ([`ImageError::NodeOutsidePartition`]);
+//! - a route whose physical path leaves its partition — a
+//!   **cross-partition route** — the one channel through which one
+//!   tenant could perturb another's links
+//!   ([`ImageError::CrossPartitionRoute`]).
+//!
+//! A validated image serializes to a single byte container
+//! ([`MultiTenantImage::encode`] / [`MultiTenantImage::decode`]);
+//! decoding re-runs the full merge validation, so every in-memory
+//! `MultiTenantImage` upholds the isolation invariants.
+
+use crate::bitstream;
+use crate::config::MachineProgram;
+use std::fmt;
+
+/// One tenant slot of a multi-tenant image: a partition-local bitstream
+/// plus the rectangle of the host fabric it owns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantImage {
+    /// Tenant label (kernel tag, program name, ...).
+    pub name: String,
+    /// Partition rows (must equal the bitstream program's rows).
+    pub rows: u8,
+    /// Partition columns (must equal the bitstream program's cols).
+    pub cols: u8,
+    /// Host-fabric row of the partition's top-left tile.
+    pub row0: u8,
+    /// Host-fabric column of the partition's top-left tile.
+    pub col0: u8,
+    /// The tenant's configuration bitstream, in partition-local
+    /// coordinates (as produced by [`crate::bitstream::encode`]).
+    pub bitstream: Vec<u8>,
+}
+
+impl TenantImage {
+    /// The partition in the shared CLI syntax `RxC@r,c`.
+    pub fn partition_spec(&self) -> String {
+        format!("{}x{}@{},{}", self.rows, self.cols, self.row0, self.col0)
+    }
+}
+
+/// Why per-partition bitstreams cannot be merged into one image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImageError {
+    /// The image has no tenants.
+    NoTenants,
+    /// A tenant's bitstream does not decode.
+    Decode {
+        /// Tenant label.
+        tenant: String,
+        /// Decoder error text.
+        detail: String,
+    },
+    /// A tenant's program was compiled for different dimensions than its
+    /// declared partition.
+    DimsMismatch {
+        /// Tenant label.
+        tenant: String,
+        /// Declared partition dims (rows, cols).
+        declared: (u8, u8),
+        /// The bitstream program's dims (rows, cols).
+        got: (u8, u8),
+    },
+    /// A tenant's partition reaches outside the host fabric.
+    OutOfFabric {
+        /// Tenant label.
+        tenant: String,
+        /// The partition in `RxC@r,c` syntax.
+        part: String,
+    },
+    /// Two tenants' partitions share tiles.
+    Overlap {
+        /// First tenant label.
+        a: String,
+        /// Second tenant label.
+        b: String,
+    },
+    /// A node's placement tile is not a tile of its own partition.
+    NodeOutsidePartition {
+        /// Tenant label.
+        tenant: String,
+        /// Node index in the tenant's program.
+        node: usize,
+        /// The offending partition-local tile index.
+        tile: u16,
+    },
+    /// A route's physical path leaves the tenant's partition: the merged
+    /// image would let one tenant's flits traverse another's links.
+    CrossPartitionRoute {
+        /// Tenant label.
+        tenant: String,
+        /// Route index in the tenant's program.
+        route: usize,
+        /// The offending partition-local path tile index.
+        tile: u16,
+    },
+    /// The serialized container is malformed.
+    Container(String),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::NoTenants => write!(f, "multi-tenant image has no tenants"),
+            ImageError::Decode { tenant, detail } => {
+                write!(f, "tenant {tenant}: bitstream does not decode: {detail}")
+            }
+            ImageError::DimsMismatch {
+                tenant,
+                declared,
+                got,
+            } => write!(
+                f,
+                "tenant {tenant}: partition declared {}x{} but the bitstream targets {}x{}",
+                declared.0, declared.1, got.0, got.1
+            ),
+            ImageError::OutOfFabric { tenant, part } => {
+                write!(
+                    f,
+                    "tenant {tenant}: partition {part} is off the host fabric"
+                )
+            }
+            ImageError::Overlap { a, b } => {
+                write!(f, "tenants {a} and {b} have overlapping partitions")
+            }
+            ImageError::NodeOutsidePartition { tenant, node, tile } => write!(
+                f,
+                "tenant {tenant}: node {node} is placed on tile {tile}, outside its partition"
+            ),
+            ImageError::CrossPartitionRoute {
+                tenant,
+                route,
+                tile,
+            } => write!(
+                f,
+                "tenant {tenant}: route {route} crosses the partition boundary at tile {tile}"
+            ),
+            ImageError::Container(d) => write!(f, "malformed image container: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// N per-partition bitstreams merged into one validated image for an
+/// R×C host fabric. Constructing one (via [`MultiTenantImage::merge`]
+/// or [`MultiTenantImage::decode`]) proves the isolation invariants:
+/// partitions are in-bounds and pairwise disjoint, and no tenant's
+/// placements or route paths leave its own partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiTenantImage {
+    rows: u8,
+    cols: u8,
+    tenants: Vec<TenantImage>,
+}
+
+impl MultiTenantImage {
+    /// Validates and merges per-partition bitstreams into one image.
+    ///
+    /// # Errors
+    /// Returns the first [`ImageError`] violated, in tenant order.
+    pub fn merge(rows: u8, cols: u8, tenants: Vec<TenantImage>) -> Result<Self, ImageError> {
+        if tenants.is_empty() {
+            return Err(ImageError::NoTenants);
+        }
+        for t in &tenants {
+            if t.rows == 0
+                || t.cols == 0
+                || usize::from(t.row0) + usize::from(t.rows) > usize::from(rows)
+                || usize::from(t.col0) + usize::from(t.cols) > usize::from(cols)
+            {
+                return Err(ImageError::OutOfFabric {
+                    tenant: t.name.clone(),
+                    part: t.partition_spec(),
+                });
+            }
+        }
+        for i in 0..tenants.len() {
+            for j in i + 1..tenants.len() {
+                let (a, b) = (&tenants[i], &tenants[j]);
+                let overlap = a.row0 < b.row0 + b.rows
+                    && b.row0 < a.row0 + a.rows
+                    && a.col0 < b.col0 + b.cols
+                    && b.col0 < a.col0 + a.cols;
+                if overlap {
+                    return Err(ImageError::Overlap {
+                        a: a.name.clone(),
+                        b: b.name.clone(),
+                    });
+                }
+            }
+        }
+        let img = MultiTenantImage {
+            rows,
+            cols,
+            tenants,
+        };
+        img.tenant_programs()?; // decode + containment screens
+        Ok(img)
+    }
+
+    /// Host-fabric rows.
+    pub fn rows(&self) -> u8 {
+        self.rows
+    }
+
+    /// Host-fabric columns.
+    pub fn cols(&self) -> u8 {
+        self.cols
+    }
+
+    /// The tenant slots, in merge order.
+    pub fn tenants(&self) -> &[TenantImage] {
+        &self.tenants
+    }
+
+    /// Decodes every tenant's bitstream and re-checks that each program
+    /// stays inside its partition (nodes *and* route paths).
+    ///
+    /// # Errors
+    /// Returns [`ImageError::Decode`], [`ImageError::DimsMismatch`],
+    /// [`ImageError::NodeOutsidePartition`] or
+    /// [`ImageError::CrossPartitionRoute`].
+    pub fn tenant_programs(&self) -> Result<Vec<MachineProgram>, ImageError> {
+        let mut progs = Vec::with_capacity(self.tenants.len());
+        for t in &self.tenants {
+            let prog = bitstream::decode(&t.bitstream).map_err(|e| ImageError::Decode {
+                tenant: t.name.clone(),
+                detail: e.to_string(),
+            })?;
+            if (prog.rows, prog.cols) != (t.rows, t.cols) {
+                return Err(ImageError::DimsMismatch {
+                    tenant: t.name.clone(),
+                    declared: (t.rows, t.cols),
+                    got: (prog.rows, prog.cols),
+                });
+            }
+            screen_containment(t, &prog)?;
+            progs.push(prog);
+        }
+        Ok(progs)
+    }
+
+    /// Serializes the image to its byte container.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(self.rows);
+        out.push(self.cols);
+        out.extend_from_slice(&(self.tenants.len() as u16).to_le_bytes());
+        for t in &self.tenants {
+            out.extend_from_slice(&(t.name.len() as u16).to_le_bytes());
+            out.extend_from_slice(t.name.as_bytes());
+            out.extend_from_slice(&[t.rows, t.cols, t.row0, t.col0]);
+            out.extend_from_slice(&(t.bitstream.len() as u32).to_le_bytes());
+            out.extend_from_slice(&t.bitstream);
+        }
+        out
+    }
+
+    /// Parses a byte container and re-runs the full merge validation.
+    ///
+    /// # Errors
+    /// Returns [`ImageError::Container`] for framing problems, then any
+    /// [`ImageError`] the embedded tenants violate.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ImageError> {
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Result<&[u8], ImageError> {
+            let s = bytes
+                .get(*at..*at + n)
+                .ok_or_else(|| ImageError::Container("truncated".to_string()))?;
+            *at += n;
+            Ok(s)
+        };
+        if take(&mut at, 4)? != MAGIC {
+            return Err(ImageError::Container("bad magic".to_string()));
+        }
+        let rows = take(&mut at, 1)?[0];
+        let cols = take(&mut at, 1)?[0];
+        let count = u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap());
+        let mut tenants = Vec::with_capacity(usize::from(count));
+        for _ in 0..count {
+            let nlen = usize::from(u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()));
+            let name = String::from_utf8(take(&mut at, nlen)?.to_vec())
+                .map_err(|_| ImageError::Container("tenant name is not UTF-8".to_string()))?;
+            let geo = take(&mut at, 4)?;
+            let (rows, cols, row0, col0) = (geo[0], geo[1], geo[2], geo[3]);
+            let blen = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap()) as usize;
+            let bitstream = take(&mut at, blen)?.to_vec();
+            tenants.push(TenantImage {
+                name,
+                rows,
+                cols,
+                row0,
+                col0,
+                bitstream,
+            });
+        }
+        if at != bytes.len() {
+            return Err(ImageError::Container(format!(
+                "{} trailing bytes",
+                bytes.len() - at
+            )));
+        }
+        MultiTenantImage::merge(rows, cols, tenants)
+    }
+}
+
+const MAGIC: &[u8; 4] = b"MTI1";
+
+/// Checks that every node placement and every route-path tile of a
+/// tenant's (partition-local) program indexes a tile of the partition.
+fn screen_containment(t: &TenantImage, prog: &MachineProgram) -> Result<(), ImageError> {
+    let pes = u16::from(t.rows) * u16::from(t.cols);
+    for (i, n) in prog.nodes.iter().enumerate() {
+        let tile = n.place.tile();
+        if tile >= pes {
+            return Err(ImageError::NodeOutsidePartition {
+                tenant: t.name.clone(),
+                node: i,
+                tile,
+            });
+        }
+    }
+    for (i, r) in prog.routes.iter().enumerate() {
+        if let Some(&tile) = r.path.iter().find(|&&p| p >= pes) {
+            return Err(ImageError::CrossPartitionRoute {
+                tenant: t.name.clone(),
+                route: i,
+                tile,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NodeConfig, OperandSrc, Placement, Route, RouteClass};
+    use marionette_cdfg::{BinOp, Op};
+
+    /// A tiny hand-built 2x2 program: one node on tile 0, one on tile 3,
+    /// one route between them through tile 1.
+    fn tiny(rows: u8, cols: u8) -> MachineProgram {
+        MachineProgram {
+            name: "tiny".to_string(),
+            rows,
+            cols,
+            nodes: vec![
+                NodeConfig {
+                    op: Op::Start,
+                    srcs: vec![],
+                    place: Placement::Pe { pe: 0 },
+                    bb: 0,
+                    group: 0,
+                    label: None,
+                },
+                NodeConfig {
+                    op: Op::Bin(BinOp::Add),
+                    srcs: vec![OperandSrc::Route(0), OperandSrc::None],
+                    place: Placement::Pe {
+                        pe: u16::from(rows) * u16::from(cols) - 1,
+                    },
+                    bb: 0,
+                    group: 0,
+                    label: None,
+                },
+            ],
+            routes: vec![Route {
+                src: 0,
+                dst: 1,
+                dst_port: 0,
+                class: RouteClass::Data,
+                activation: false,
+                dynamic: false,
+                path: vec![0, 1, u16::from(rows) * u16::from(cols) - 1],
+            }],
+            pes: vec![],
+            arrays: vec![],
+            params: vec![],
+        }
+    }
+
+    fn tenant(name: &str, rows: u8, cols: u8, row0: u8, col0: u8) -> TenantImage {
+        TenantImage {
+            name: name.to_string(),
+            rows,
+            cols,
+            row0,
+            col0,
+            bitstream: bitstream::encode(&tiny(rows, cols)),
+        }
+    }
+
+    #[test]
+    fn merge_accepts_disjoint_tenants_and_round_trips() {
+        let img =
+            MultiTenantImage::merge(4, 8, vec![tenant("a", 4, 4, 0, 0), tenant("b", 4, 4, 0, 4)])
+                .unwrap();
+        assert_eq!(img.tenants().len(), 2);
+        assert_eq!(img.tenants()[1].partition_spec(), "4x4@0,4");
+        let progs = img.tenant_programs().unwrap();
+        assert_eq!(progs[0].name, "tiny");
+        let bytes = img.encode();
+        let back = MultiTenantImage::decode(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn merge_rejects_overlap_and_escape() {
+        match MultiTenantImage::merge(4, 8, vec![tenant("a", 4, 4, 0, 0), tenant("b", 4, 4, 0, 3)])
+            .unwrap_err()
+        {
+            ImageError::Overlap { a, b } => assert_eq!((a.as_str(), b.as_str()), ("a", "b")),
+            other => panic!("expected Overlap, got {other}"),
+        }
+        match MultiTenantImage::merge(4, 8, vec![tenant("a", 4, 6, 0, 4)]).unwrap_err() {
+            ImageError::OutOfFabric { tenant, part } => {
+                assert_eq!(tenant, "a");
+                assert_eq!(part, "4x6@0,4");
+            }
+            other => panic!("expected OutOfFabric, got {other}"),
+        }
+        assert_eq!(
+            MultiTenantImage::merge(4, 4, vec![]).unwrap_err(),
+            ImageError::NoTenants
+        );
+    }
+
+    #[test]
+    fn cross_partition_route_is_typed() {
+        // Tamper a 2x2 program so its route detours through tile 5 —
+        // outside the 4-tile partition.
+        let mut p = tiny(2, 2);
+        p.routes[0].path = vec![0, 1, 5, 3];
+        let t = TenantImage {
+            bitstream: bitstream::encode(&p),
+            ..tenant("evil", 2, 2, 0, 0)
+        };
+        match MultiTenantImage::merge(4, 4, vec![t]).unwrap_err() {
+            ImageError::CrossPartitionRoute {
+                tenant,
+                route,
+                tile,
+            } => {
+                assert_eq!(tenant, "evil");
+                assert_eq!(route, 0);
+                assert_eq!(tile, 5);
+            }
+            other => panic!("expected CrossPartitionRoute, got {other}"),
+        }
+    }
+
+    #[test]
+    fn node_outside_partition_is_typed() {
+        let mut p = tiny(2, 2);
+        p.nodes[1].place = Placement::Pe { pe: 9 };
+        p.routes.clear();
+        let t = TenantImage {
+            bitstream: bitstream::encode(&p),
+            ..tenant("strays", 2, 2, 0, 0)
+        };
+        match MultiTenantImage::merge(4, 4, vec![t]).unwrap_err() {
+            ImageError::NodeOutsidePartition { tenant, node, tile } => {
+                assert_eq!(tenant, "strays");
+                assert_eq!(node, 1);
+                assert_eq!(tile, 9);
+            }
+            other => panic!("expected NodeOutsidePartition, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dims_mismatch_is_typed() {
+        let t = TenantImage {
+            bitstream: bitstream::encode(&tiny(2, 2)),
+            ..tenant("lied", 4, 4, 0, 0)
+        };
+        match MultiTenantImage::merge(4, 4, vec![t]).unwrap_err() {
+            ImageError::DimsMismatch { declared, got, .. } => {
+                assert_eq!(declared, (4, 4));
+                assert_eq!(got, (2, 2));
+            }
+            other => panic!("expected DimsMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn container_framing_errors_are_typed() {
+        let img = MultiTenantImage::merge(4, 4, vec![tenant("a", 2, 2, 0, 0)]).unwrap();
+        let bytes = img.encode();
+        assert!(matches!(
+            MultiTenantImage::decode(&bytes[..bytes.len() - 1]).unwrap_err(),
+            ImageError::Container(_)
+        ));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            MultiTenantImage::decode(&bad).unwrap_err(),
+            ImageError::Container(_)
+        ));
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(matches!(
+            MultiTenantImage::decode(&trailing).unwrap_err(),
+            ImageError::Container(_)
+        ));
+    }
+}

@@ -31,9 +31,11 @@
 pub mod bitstream;
 pub mod config;
 pub mod disasm;
+pub mod image;
 pub mod opcode;
 
 pub use config::{
     ArrayInfo, BbConfig, CtrlMode, MachineProgram, NodeConfig, OperandSrc, ParamInfo, PeConfig,
     Placement, Route, RouteClass,
 };
+pub use image::{ImageError, MultiTenantImage, TenantImage};

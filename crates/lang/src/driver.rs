@@ -62,6 +62,11 @@ pub enum DriverError {
         /// First mismatch description.
         detail: String,
     },
+    /// A tenancy partition layout is invalid (overlap, off-fabric, …).
+    Partition(marionette::compiler::PartitionError),
+    /// Per-partition bitstreams could not be merged into one
+    /// multi-tenant image (cross-partition route, stray node, …).
+    Image(marionette::isa::ImageError),
 }
 
 impl fmt::Display for DriverError {
@@ -86,6 +91,8 @@ impl fmt::Display for DriverError {
             DriverError::Mismatch { preset, detail } => {
                 write!(f, "sim diverges from the reference on {preset}: {detail}")
             }
+            DriverError::Partition(e) => write!(f, "partition layout: {e}"),
+            DriverError::Image(e) => write!(f, "multi-tenant image: {e}"),
         }
     }
 }
@@ -484,7 +491,7 @@ fn roundtrip_bitstream(
     })
 }
 
-fn array_inputs(g: &Cdfg) -> Vec<(String, Vec<Value>)> {
+pub(crate) fn array_inputs(g: &Cdfg) -> Vec<(String, Vec<Value>)> {
     g.arrays
         .iter()
         .map(|a| (a.name.clone(), a.init.clone()))
@@ -494,7 +501,7 @@ fn array_inputs(g: &Cdfg) -> Vec<(String, Vec<Value>)> {
 /// Bit-verifies a simulation against the reference interpreter: every
 /// array stream, every sink stream, the out-of-bounds event count and
 /// the firing count (predicated or dropping, per the timing model).
-fn verify_vs_reference(
+pub(crate) fn verify_vs_reference(
     g: &Cdfg,
     reference: &Reference,
     arch: &Architecture,
@@ -538,7 +545,7 @@ fn verify_vs_reference(
     Ok(())
 }
 
-fn summarize(
+pub(crate) fn summarize(
     preset: String,
     r: &marionette::sim::RunResult,
     report: &marionette::compiler::CompileReport,

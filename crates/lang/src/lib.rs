@@ -42,6 +42,7 @@ pub mod lower;
 pub mod parser;
 pub mod print;
 pub mod sema;
+pub mod tenancy;
 
 pub use diag::{Diagnostic, Span};
 pub use driver::{frontend, reference, run_preset, DriverError, PresetRun, Reference};
@@ -49,6 +50,7 @@ pub use lower::lower;
 pub use parser::parse;
 pub use print::print;
 pub use sema::check;
+pub use tenancy::{run_tenancy, TenancyReport, TenantJob, TenantOutcome, TenantRun};
 
 use marionette_cdfg::Cdfg;
 

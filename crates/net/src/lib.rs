@@ -14,6 +14,23 @@
 //!
 //! Switch/cell counts exposed here feed the `marionette-hw` area models
 //! behind Table 6 and the Fig 13 scalability study.
+//!
+//! The permutation core is rearrangeable non-blocking: the looping
+//! algorithm routes *any* permutation, and evaluating the resulting
+//! switch configuration reproduces it exactly:
+//!
+//! ```
+//! use marionette_net::Benes;
+//!
+//! let net = Benes::new(8);
+//! let perm = [3, 1, 4, 0, 6, 2, 7, 5]; // perm[i] = output reached from input i
+//! let cfg = net.route(&perm).expect("any permutation routes");
+//! let out = net.evaluate(&cfg); // out[o] = input arriving at output o
+//! for (i, &o) in perm.iter().enumerate() {
+//!     assert_eq!(out[o], i);
+//! }
+//! assert_eq!(net.stages(), 5); // 2·log2(8) − 1
+//! ```
 
 #![warn(missing_docs)]
 

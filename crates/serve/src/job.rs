@@ -162,6 +162,20 @@ fn map_driver_error(e: DriverError, src: &str, under_faults: bool) -> ApiError {
             detail: format!("served result diverged from the reference on {preset}: {detail}"),
             diagnostics: None,
         },
+        // Tenancy is driven by the batch CLI, not the server, so these
+        // reaching a request handler indicates a server-side bug.
+        DriverError::Partition(e) => ApiError {
+            status: 500,
+            kind: "partition_error",
+            detail: e.to_string(),
+            diagnostics: None,
+        },
+        DriverError::Image(e) => ApiError {
+            status: 500,
+            kind: "image_error",
+            detail: e.to_string(),
+            diagnostics: None,
+        },
     }
 }
 

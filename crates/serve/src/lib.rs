@@ -21,6 +21,31 @@
 //! Per-job timeouts reuse the simulator's own budget machinery (cycle
 //! limit, deadlock detector, interpreter firing budget), so a wedging
 //! program produces a typed 422, not a stuck worker.
+//!
+//! The router is pure state + request → response, so the protocol is
+//! testable (and usable) without opening a socket:
+//!
+//! ```
+//! use marionette_serve::{route, Counters, ServeConfig, ServerState};
+//!
+//! let cfg = ServeConfig::default();
+//! let state = ServerState {
+//!     cache: marionette_serve::cache::CompileCache::new(cfg.cache_cap),
+//!     counters: Counters::default(),
+//!     metrics: marionette_serve::metrics::Metrics::default(),
+//!     cfg,
+//! };
+//! let req = marionette_serve::http::Request {
+//!     method: "GET".to_string(),
+//!     path: "/healthz".to_string(),
+//!     query: Vec::new(),
+//!     headers: Vec::new(),
+//!     body: Vec::new(),
+//! };
+//! let (status, body) = route(&state, 0, &req);
+//! assert_eq!(status, 200);
+//! assert!(body.contains("\"ok\": true"));
+//! ```
 
 pub mod cache;
 pub mod http;

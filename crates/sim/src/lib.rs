@@ -19,13 +19,35 @@
 //! - memory latency on an optimistic multi-ported scratchpad.
 //!
 //! Architectural presets live in `marionette-arch`; this crate provides
-//! the neutral machine plus the [`TimingModel`] parameter space.
+//! the neutral machine plus the [`TimingModel`] parameter space. On top
+//! of the core engine sit the [`fault`] plane (dead/flaky PEs and
+//! links, shared with the compiler as an avoid-mask), the [`trace`]
+//! plane (opt-in Perfetto-loadable cycle traces), and the [`tenancy`]
+//! runner (disjoint fabric partitions simulated as independent
+//! factors).
+//!
+//! The pieces that don't need a compiled program are directly usable;
+//! for example a [`FaultSet`] parses from the CLI fault syntax and
+//! answers resource-liveness queries in the simulator's dense tile and
+//! link encoding:
+//!
+//! ```
+//! use marionette_sim::{FaultSet, FaultSpec};
+//!
+//! let mut faults = FaultSet::new(4, 4);
+//! faults.add("pe:1,2".parse::<FaultSpec>().unwrap()).unwrap();
+//! faults.add("flaky:0,0-0,1@3".parse::<FaultSpec>().unwrap()).unwrap();
+//! assert!(faults.pe_dead(1 * 4 + 2)); // tile id = row * cols + col
+//! assert!(faults.has_flaky());
+//! assert_eq!(faults.specs().len(), 2);
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod fault;
 pub mod machine;
 pub mod stats;
+pub mod tenancy;
 pub mod timing;
 pub mod trace;
 pub mod wheel;
@@ -36,5 +58,6 @@ pub use machine::{
     EngineKind, LaneSpec, RunResult, SimError,
 };
 pub use stats::{GroupStats, RunStats, UnitStats};
+pub use tenancy::{run_tenants, TenancyError, TenancyRun, TenantOutcome, TenantWorkload};
 pub use timing::{CtrlTransport, TimingModel};
 pub use trace::{ParsedEvent, ParsedTrace, Tracer};
